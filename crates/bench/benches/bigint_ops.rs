@@ -1,0 +1,68 @@
+//! Big-integer substrate benchmarks (the GMP substitute): the raw cost of
+//! the coefficient arithmetic whose growth drives the Fig. 5 overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aq_bigint::UBig;
+
+fn value(bits: u64) -> UBig {
+    // deterministic pseudo-random value of the requested width
+    let mut v = UBig::from(0x9e37_79b9_7f4a_7c15u64);
+    while v.bit_len() < bits {
+        v = &(&v * &v) + &UBig::from(0xdead_beefu64);
+    }
+    v.shr_bits(v.bit_len().saturating_sub(bits))
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubig_mul");
+    for bits in [64u64, 512, 4096, 32768] {
+        let a = value(bits);
+        let b = value(bits);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a) * black_box(&b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_divrem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubig_divrem");
+    for bits in [512u64, 4096] {
+        let a = value(2 * bits);
+        let b = value(bits);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).div_rem(black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubig_gcd");
+    for bits in [256u64, 2048] {
+        let a = value(bits);
+        let b = value(bits);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).gcd(black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows: these benches compare orders of magnitude
+/// (the paper's claims are 2x-1000x), so tight confidence intervals are
+/// not worth minutes per data point on a single-CPU container.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_mul, bench_divrem, bench_gcd);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Shared harness code for regenerating the paper's figures.
+//!
+//! The `figures` binary (`cargo run --release -p aq-bench --bin figures --
+//! <fig2|fig3|fig4|fig5|ablation|all> [--paper]`) writes one CSV per plot
+//! under `target/figures/`, with the same series the paper reports:
+//! decision-diagram size, accuracy and cumulative run-time per applied
+//! gate, for each tolerance value ε and for the algebraic representation.
+//!
+//! The Criterion benches in `benches/` cover the headline operations
+//! (full simulations per weight system, normalization schemes, ring and
+//! big-integer arithmetic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aq_circuits::Circuit;
+use aq_dd::{GcdContext, NormScheme, NumericContext, QomegaContext, WeightContext};
+use aq_sim::{Column, PairedRun, SimOptions, Simulator, Trace};
+
+/// The ε values the paper sweeps in Figs. 3–5.
+pub const PAPER_EPSILONS: [f64; 6] = [0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3];
+
+/// The ε values of Fig. 2 (GSE size table).
+pub const FIG2_EPSILONS: [f64; 6] = [0.0, 1e-15, 1e-10, 1e-6, 1e-5, 1e-3];
+
+/// Workload scale: quick (CI-sized) or paper-sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced qubit counts/steps so the whole suite runs in minutes.
+    Quick,
+    /// The paper's parameters (Grover on 15 qubits etc.) — hours for the
+    /// ε = 0 runs, exactly as the paper observes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--paper` from argv.
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// The numeric context used throughout the figure harness: the paper's
+/// evaluation package normalizes by the largest-magnitude weight (\[29\]),
+/// which keeps all stored weights at magnitude ≤ 1. (The simpler leftmost
+/// scheme is *markedly* less stable at small non-zero ε — dividing by a
+/// near-cancellation pivot produces huge co-weights that then merge
+/// wrongly under the tolerance; see the `norm_scheme` ablation.)
+pub fn figure_numeric_context(eps: f64) -> NumericContext {
+    NumericContext::with_eps_and_scheme(eps, NormScheme::MaxMagnitude)
+}
+
+/// Runs one numeric ε-sweep entry against the algebraic reference,
+/// sampling the error every `sample_every` gates.
+pub fn traced_numeric_run(circuit: &Circuit, eps: f64, sample_every: usize) -> Trace {
+    let (subject, _) = PairedRun::new(figure_numeric_context(eps), circuit, sample_every).run();
+    subject
+}
+
+/// A completed exact reference simulation with its per-sample amplitude
+/// vectors, shared across a whole ε sweep (running the expensive
+/// algebraic simulation once instead of once per ε).
+#[derive(Debug)]
+pub struct ReferenceRun {
+    /// The algebraic trace (sizes, runtime).
+    pub trace: Trace,
+    /// Exact amplitude vectors keyed by gates-applied count.
+    pub samples: std::collections::HashMap<usize, Vec<aq_rings::Complex64>>,
+    sample_every: usize,
+    start: u64,
+}
+
+/// Runs the exact algebraic simulation once, keeping the amplitude
+/// vectors at every sampling point (and at the end).
+pub fn reference_run(circuit: &Circuit, sample_every: usize, start: u64) -> ReferenceRun {
+    assert!(sample_every > 0, "sampling interval must be positive");
+    let mut sim = Simulator::new(QomegaContext::new(), circuit);
+    sim.reset_to(start);
+    let mut trace = Trace::default();
+    let mut samples = std::collections::HashMap::new();
+    while sim.step() {
+        trace.points.push(sim.sample(None));
+        let g = sim.gates_applied();
+        if g.is_multiple_of(sample_every) || sim.is_done() {
+            let s = sim.state();
+            samples.insert(g, sim.manager_mut().amplitudes(&s));
+        }
+    }
+    ReferenceRun {
+        trace,
+        samples,
+        sample_every,
+        start,
+    }
+}
+
+/// Runs a numeric ε simulation, measuring the error against a shared
+/// [`ReferenceRun`] at its sampling points.
+pub fn traced_numeric_vs_reference(circuit: &Circuit, eps: f64, reference: &ReferenceRun) -> Trace {
+    let mut sim = Simulator::new(figure_numeric_context(eps), circuit);
+    sim.reset_to(reference.start);
+    let mut trace = Trace::default();
+    while sim.step() {
+        let g = sim.gates_applied();
+        let error = if g.is_multiple_of(reference.sample_every) || sim.is_done() {
+            reference.samples.get(&g).map(|v_alg| {
+                let s = sim.state();
+                let v_num = sim.manager_mut().amplitudes(&s);
+                aq_sim::normalized_distance(&v_num, v_alg)
+            })
+        } else {
+            None
+        };
+        trace.points.push(sim.sample(error));
+    }
+    trace
+}
+
+/// Runs the exact algebraic simulation with tracing.
+pub fn traced_algebraic_run(circuit: &Circuit) -> Trace {
+    traced_run(QomegaContext::new(), circuit)
+}
+
+/// Runs the GCD-normalized algebraic simulation with tracing.
+pub fn traced_gcd_run(circuit: &Circuit) -> Trace {
+    traced_run(GcdContext::new(), circuit)
+}
+
+fn traced_run<W: WeightContext>(ctx: W, circuit: &Circuit) -> Trace {
+    let mut sim = Simulator::with_options(ctx, circuit, SimOptions::default());
+    sim.run().trace
+}
+
+/// Formats an ε for CSV column labels (`eps0`, `eps1e-10`, …).
+pub fn eps_label(eps: f64) -> String {
+    if eps == 0.0 {
+        "eps0".to_string()
+    } else {
+        format!("eps{eps:.0e}").replace("e-", "1e-").replace("eps11e-", "eps1e-")
+    }
+}
+
+/// Assembles the three per-figure CSVs (size/accuracy/runtime) from a set
+/// of labelled traces and writes them under `target/figures/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors (this is a command-line harness).
+pub fn write_figure(
+    figure: &str,
+    labelled: &[(String, Trace)],
+) {
+    let dir = std::path::Path::new("target/figures");
+    let gates: Vec<usize> = labelled
+        .iter()
+        .map(|(_, t)| t.points.len())
+        .max()
+        .map(|n| (1..=n).collect())
+        .unwrap_or_default();
+
+    let mut size_cols = vec![Column::from_usize("gates", gates.iter().copied())];
+    let mut time_cols = vec![Column::from_usize("gates", gates.iter().copied())];
+    let mut err_cols = vec![Column::from_usize("gates", gates.iter().copied())];
+    let mut bits_cols = vec![Column::from_usize("gates", gates.iter().copied())];
+    for (label, t) in labelled {
+        size_cols.push(Column::from_usize(
+            format!("nodes_{label}"),
+            t.points.iter().map(|p| p.nodes),
+        ));
+        time_cols.push(Column::from_f64(
+            format!("seconds_{label}"),
+            t.points.iter().map(|p| p.seconds),
+        ));
+        err_cols.push(Column::from_opt_f64(
+            format!("error_{label}"),
+            t.points.iter().map(|p| p.error),
+        ));
+        bits_cols.push(Column::from_usize(
+            format!("bits_{label}"),
+            t.points.iter().map(|p| p.max_weight_bits as usize),
+        ));
+    }
+    aq_sim::write_csv(dir.join(format!("{figure}a_size.csv")), &size_cols).expect("write csv");
+    aq_sim::write_csv(dir.join(format!("{figure}b_accuracy.csv")), &err_cols).expect("write csv");
+    aq_sim::write_csv(dir.join(format!("{figure}c_runtime.csv")), &time_cols).expect("write csv");
+    aq_sim::write_csv(dir.join(format!("{figure}_bits.csv")), &bits_cols).expect("write csv");
+}
+
+/// Prints a short textual summary of a figure's traces (peak size, final
+/// error, total runtime) — the "rows the paper reports".
+pub fn print_summary(figure: &str, labelled: &[(String, Trace)]) {
+    println!("== {figure} ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>10}",
+        "series", "peak nodes", "final nodes", "final error", "seconds"
+    );
+    for (label, t) in labelled {
+        let final_nodes = t.points.last().map(|p| p.nodes).unwrap_or(0);
+        println!(
+            "{:<14} {:>12} {:>12} {:>14} {:>10.3}",
+            label,
+            t.peak_nodes(),
+            final_nodes,
+            t.final_error()
+                .map(|e| format!("{e:.3e}"))
+                .unwrap_or_else(|| "exact".into()),
+            t.total_seconds()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_labels() {
+        assert_eq!(eps_label(0.0), "eps0");
+        assert_eq!(eps_label(1e-10), "eps1e-10");
+        assert_eq!(eps_label(1e-3), "eps1e-3");
+        assert_eq!(eps_label(1e-20), "eps1e-20");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_args(&["fig3".into()]), Scale::Quick);
+        assert_eq!(
+            Scale::from_args(&["fig3".into(), "--paper".into()]),
+            Scale::Paper
+        );
+    }
+
+    #[test]
+    fn traced_runs_produce_points() {
+        let c = aq_circuits::grover(3, 2);
+        let t = traced_algebraic_run(&c);
+        assert_eq!(t.points.len(), c.len());
+        let tn = traced_numeric_run(&c, 1e-12, 4);
+        assert_eq!(tn.points.len(), c.len());
+        assert!(tn.final_error().is_some());
+    }
+}

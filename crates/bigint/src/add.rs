@@ -1,0 +1,195 @@
+//! Magnitude addition and subtraction for [`UBig`].
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::{Limb, UBig};
+
+/// Adds `rhs` into `acc` starting at limb offset `shift`, growing `acc` as
+/// needed. Used by addition and by the multiplication accumulators.
+pub(crate) fn add_shifted_in_place(acc: &mut Vec<Limb>, rhs: &[Limb], shift: usize) {
+    if acc.len() < shift + rhs.len() {
+        acc.resize(shift + rhs.len(), 0);
+    }
+    let mut carry = 0u64;
+    for (i, &r) in rhs.iter().enumerate() {
+        let (s1, c1) = acc[shift + i].overflowing_add(r);
+        let (s2, c2) = s1.overflowing_add(carry);
+        acc[shift + i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    let mut i = shift + rhs.len();
+    while carry != 0 {
+        if i == acc.len() {
+            acc.push(carry);
+            break;
+        }
+        let (s, c) = acc[i].overflowing_add(carry);
+        acc[i] = s;
+        carry = c as u64;
+        i += 1;
+    }
+}
+
+/// Subtracts `rhs` from `acc` in place. `acc` must be `>= rhs` limb-wise as a
+/// number; panics (debug) on underflow.
+pub(crate) fn sub_in_place(acc: &mut Vec<Limb>, rhs: &[Limb]) {
+    let mut borrow = 0u64;
+    for (i, &r) in rhs.iter().enumerate() {
+        let (d1, b1) = acc[i].overflowing_sub(r);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        acc[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    let mut i = rhs.len();
+    while borrow != 0 {
+        debug_assert!(i < acc.len(), "subtraction underflow");
+        let (d, b) = acc[i].overflowing_sub(borrow);
+        acc[i] = d;
+        borrow = b as u64;
+        i += 1;
+    }
+    while acc.last() == Some(&0) {
+        acc.pop();
+    }
+}
+
+impl UBig {
+    /// Checked subtraction: returns `None` if `rhs > self`.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(5u64).checked_sub(&UBig::from(3u64)), Some(UBig::from(2u64)));
+    /// assert_eq!(UBig::from(3u64).checked_sub(&UBig::from(5u64)), None);
+    /// ```
+    pub fn checked_sub(&self, rhs: &UBig) -> Option<UBig> {
+        match self.cmp(rhs) {
+            Ordering::Less => None,
+            Ordering::Equal => Some(UBig::zero()),
+            Ordering::Greater => {
+                let mut limbs = self.limbs.clone();
+                sub_in_place(&mut limbs, &rhs.limbs);
+                Some(UBig { limbs })
+            }
+        }
+    }
+
+    /// Computes `|self - rhs|` together with the ordering of the operands.
+    pub fn abs_diff(&self, rhs: &UBig) -> (UBig, Ordering) {
+        let ord = self.cmp(rhs);
+        let diff = match ord {
+            Ordering::Less => rhs.checked_sub(self).expect("rhs >= self"),
+            Ordering::Equal => UBig::zero(),
+            Ordering::Greater => self.checked_sub(rhs).expect("self >= rhs"),
+        };
+        (diff, ord)
+    }
+}
+
+impl Add<&UBig> for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = long.limbs.clone();
+        add_shifted_in_place(&mut limbs, &short.limbs, 0);
+        UBig { limbs }
+    }
+}
+
+impl Add for UBig {
+    type Output = UBig;
+    fn add(self, rhs: UBig) -> UBig {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        add_shifted_in_place(&mut self.limbs, &rhs.limbs, 0);
+    }
+}
+
+impl Sub<&UBig> for &UBig {
+    type Output = UBig;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`UBig::checked_sub`] to handle that case.
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs)
+            .expect("UBig subtraction underflow; use checked_sub")
+    }
+}
+
+impl Sub for UBig {
+    type Output = UBig;
+    fn sub(self, rhs: UBig) -> UBig {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = &*self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = ub(1);
+        assert_eq!(&a + &b, UBig::from_limbs(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn add_commutes_and_zero_identity() {
+        let a = ub(0xdead_beef_dead_beef_dead);
+        let b = ub(0xffff_ffff_ffff_ffff_ffff);
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a + &UBig::zero(), a);
+    }
+
+    #[test]
+    fn sub_exact_and_underflow() {
+        let a = ub(1) + ub(u128::MAX);
+        let b = ub(u128::MAX);
+        assert_eq!(&a - &b, ub(1));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!((&a - &a), UBig::zero());
+    }
+
+    #[test]
+    fn abs_diff_both_ways() {
+        let (d, ord) = ub(10).abs_diff(&ub(3));
+        assert_eq!((d, ord), (ub(7), Ordering::Greater));
+        let (d, ord) = ub(3).abs_diff(&ub(10));
+        assert_eq!((d, ord), (ub(7), Ordering::Less));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = ub(12345678901234567890);
+        let b = ub(98765432109876543210);
+        let sum = &a + &b;
+        a += &b;
+        assert_eq!(a, sum);
+    }
+
+    #[test]
+    fn borrow_chain_across_limbs() {
+        let a = UBig::from_limbs(vec![0, 0, 1]);
+        let b = ub(1);
+        assert_eq!(&a - &b, UBig::from_limbs(vec![u64::MAX, u64::MAX]));
+    }
+}

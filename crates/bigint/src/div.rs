@@ -1,0 +1,224 @@
+//! Division with remainder: single-limb fast path and Knuth Algorithm D.
+
+use std::ops::{Div, Rem};
+
+use crate::{DoubleLimb, Limb, UBig};
+
+impl UBig {
+    /// Computes quotient and remainder of `self / rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// let (q, r) = UBig::from(23u64).div_rem(&UBig::from(5u64));
+    /// assert_eq!((q, r), (UBig::from(4u64), UBig::from(3u64)));
+    /// ```
+    pub fn div_rem(&self, rhs: &UBig) -> (UBig, UBig) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (UBig::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(rhs.limbs[0]);
+            return (q, UBig::from(r));
+        }
+        self.div_rem_knuth(rhs)
+    }
+
+    /// Divides by a single non-zero limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem_limb(&self, rhs: Limb) -> (UBig, Limb) {
+        assert!(rhs != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: Limb = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem as DoubleLimb) << 64 | self.limbs[i] as DoubleLimb;
+            out[i] = (cur / rhs as DoubleLimb) as Limb;
+            rem = (cur % rhs as DoubleLimb) as Limb;
+        }
+        (UBig::from_limbs(out), rem)
+    }
+
+    /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, rhs: &UBig) -> (UBig, UBig) {
+        let shift = rhs.limbs.last().expect("multi-limb").leading_zeros() as u64;
+        let v = rhs.shl_bits(shift).limbs;
+        let mut u = self.shl_bits(shift).limbs;
+        let n = v.len();
+        u.push(0); // room for the top partial remainder
+        let m = u.len() - n - 1;
+        let mut q = vec![0u64; m + 1];
+
+        let v_top = v[n - 1];
+        let v_next = v[n - 2];
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two (three) limbs.
+            let num = (u[j + n] as DoubleLimb) << 64 | u[j + n - 1] as DoubleLimb;
+            let mut qhat = num / v_top as DoubleLimb;
+            let mut rhat = num % v_top as DoubleLimb;
+            if qhat > Limb::MAX as DoubleLimb {
+                qhat = Limb::MAX as DoubleLimb;
+                rhat = num - qhat * v_top as DoubleLimb;
+            }
+            while rhat <= Limb::MAX as DoubleLimb
+                && qhat * v_next as DoubleLimb > (rhat << 64 | u[j + n - 2] as DoubleLimb)
+            {
+                qhat -= 1;
+                rhat += v_top as DoubleLimb;
+            }
+
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow: DoubleLimb = 0;
+            let mut carry: DoubleLimb = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as DoubleLimb + carry;
+                carry = p >> 64;
+                let (d, b) = u[j + i].overflowing_sub(p as Limb);
+                let (d, b2) = d.overflowing_sub(borrow as Limb);
+                u[j + i] = d;
+                borrow = (b as DoubleLimb) + (b2 as DoubleLimb);
+            }
+            let (d, b) = u[j + n].overflowing_sub(carry as Limb);
+            let (d, b2) = d.overflowing_sub(borrow as Limb);
+            u[j + n] = d;
+
+            if b || b2 {
+                // qhat was one too large: add v back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s, c1) = u[j + i].overflowing_add(v[i]);
+                    let (s, c2) = s.overflowing_add(carry);
+                    u[j + i] = s;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                u[j + n] = u[j + n].wrapping_add(carry);
+            }
+            q[j] = qhat as Limb;
+        }
+
+        u.truncate(n);
+        let rem = UBig::from_limbs(u).shr_bits(shift);
+        (UBig::from_limbs(q), rem)
+    }
+
+    /// Euclidean division rounding to the **nearest** integer
+    /// (ties away from zero): returns `q` with `|self - q·rhs| <= rhs/2`.
+    ///
+    /// Used by the Euclidean algorithm in `Z[omega]`, where rounding to the
+    /// nearest lattice point keeps the remainder norm small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_round_nearest(&self, rhs: &UBig) -> UBig {
+        let (q, r) = self.div_rem(rhs);
+        // round up when 2r >= rhs
+        if r.shl_bits(1) >= *rhs {
+            &q + &UBig::one()
+        } else {
+            q
+        }
+    }
+}
+
+impl Div<&UBig> for &UBig {
+    type Output = UBig;
+    fn div(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for UBig {
+    type Output = UBig;
+    fn div(self, rhs: UBig) -> UBig {
+        self.div_rem(&rhs).0
+    }
+}
+
+impl Rem<&UBig> for &UBig {
+    type Output = UBig;
+    fn rem(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for UBig {
+    type Output = UBig;
+    fn rem(self, rhs: UBig) -> UBig {
+        self.div_rem(&rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_cases() {
+        let (q, r) = UBig::from(100u64).div_rem(&UBig::from(7u64));
+        assert_eq!((q, r), (UBig::from(14u64), UBig::from(2u64)));
+        let (q, r) = UBig::from(5u64).div_rem(&UBig::from(100u64));
+        assert_eq!((q, r), (UBig::zero(), UBig::from(5u64)));
+        let (q, r) = UBig::from(100u64).div_rem(&UBig::from(100u64));
+        assert_eq!((q, r), (UBig::one(), UBig::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = UBig::from(1u64).div_rem(&UBig::zero());
+    }
+
+    #[test]
+    fn knuth_reconstruction() {
+        // (q, r) must satisfy q*d + r == n and r < d for many awkward shapes.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let nl = 1 + (next() % 12) as usize;
+            let dl = 1 + (next() % nl.min(6) as u64) as usize;
+            let n = UBig::from_limbs((0..nl).map(|_| next()).collect());
+            let mut d = UBig::from_limbs((0..dl).map(|_| next()).collect());
+            if d.is_zero() {
+                d = UBig::one();
+            }
+            let (q, r) = n.div_rem(&d);
+            assert!(r < d, "remainder must be < divisor");
+            assert_eq!(&(&q * &d) + &r, n);
+        }
+    }
+
+    #[test]
+    fn qhat_correction_path() {
+        // Crafted so the initial qhat estimate is too large (u top limbs close
+        // to divisor pattern), exercising the add-back branch.
+        let u = UBig::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let v = UBig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert!(r < v);
+        assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn div_round_nearest_ties_away() {
+        let q = UBig::from(7u64).div_round_nearest(&UBig::from(2u64));
+        assert_eq!(q, UBig::from(4u64)); // 3.5 -> 4
+        let q = UBig::from(6u64).div_round_nearest(&UBig::from(4u64));
+        assert_eq!(q, UBig::from(2u64)); // 1.5 -> 2
+        let q = UBig::from(5u64).div_round_nearest(&UBig::from(4u64));
+        assert_eq!(q, UBig::one()); // 1.25 -> 1
+    }
+}

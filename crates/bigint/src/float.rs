@@ -1,0 +1,135 @@
+//! Conversion to floating point.
+
+use crate::{IBig, UBig};
+
+impl UBig {
+    /// Converts to `f64`, rounding to nearest; values above `f64::MAX`
+    /// become `f64::INFINITY`.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(2u64).pow(70).to_f64(), 2f64.powi(70));
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits <= 64 {
+            return self.to_u64().expect("fits") as f64;
+        }
+        // Take the top 64 bits (the f64 conversion rounds them correctly to
+        // 53 bits of mantissa), then scale by the discarded bit count.
+        // A sticky bit prevents double-rounding error at the 64-bit edge.
+        let shift = bits - 64;
+        let mut top = self.shr_bits(shift).to_u64().expect("64 bits");
+        let dropped_nonzero = self.trailing_zeros().expect("nonzero") < shift;
+        if dropped_nonzero {
+            top |= 1; // sticky: low bit of 64 never reaches the 53-bit mantissa boundary rounding incorrectly
+        }
+        (top as f64) * pow2(shift)
+    }
+
+    /// Mantissa–exponent decomposition: returns `(m, e)` with
+    /// `self ≈ m · 2^e` and `m ∈ [0.5, 1)` (`(0.0, 0)` for zero).
+    ///
+    /// Unlike [`UBig::to_f64`] this never overflows to infinity, which makes
+    /// it suitable for ratios of astronomically large integers.
+    pub fn to_f64_exp(&self) -> (f64, i64) {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return (0.0, 0);
+        }
+        if bits <= 64 {
+            let v = self.to_u64().expect("fits") as f64;
+            return (v / pow2(bits), bits as i64);
+        }
+        let shift = bits - 64;
+        let mut top = self.shr_bits(shift).to_u64().expect("64 bits");
+        if self.trailing_zeros().expect("nonzero") < shift {
+            top |= 1;
+        }
+        ((top as f64) / pow2(64), bits as i64)
+    }
+}
+
+impl IBig {
+    /// Converts to `f64`, rounding to nearest (saturating to `±INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude().to_f64();
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Signed mantissa–exponent decomposition; see [`UBig::to_f64_exp`].
+    pub fn to_f64_exp(&self) -> (f64, i64) {
+        let (m, e) = self.magnitude().to_f64_exp();
+        if self.is_negative() {
+            (-m, e)
+        } else {
+            (m, e)
+        }
+    }
+}
+
+fn pow2(e: u64) -> f64 {
+    if e > 1023 {
+        f64::INFINITY
+    } else {
+        f64::from_bits((1023 + e) << 52)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        assert_eq!(UBig::zero().to_f64(), 0.0);
+        assert_eq!(UBig::from(1u64).to_f64(), 1.0);
+        assert_eq!(UBig::from(u64::MAX).to_f64(), u64::MAX as f64);
+    }
+
+    #[test]
+    fn powers_of_two_exact() {
+        for e in [64u32, 100, 500, 1000] {
+            assert_eq!(UBig::from(2u64).pow(e).to_f64(), 2f64.powi(e as i32));
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(UBig::from(2u64).pow(1100).to_f64(), f64::INFINITY);
+        assert_eq!((-IBig::from(UBig::from(2u64).pow(1100))).to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_matches_u128() {
+        let vals: [u128; 4] = [
+            (1u128 << 80) + 1,
+            (1u128 << 90) + (1u128 << 37) - 1,
+            u128::MAX,
+            (3u128 << 100) + 12345,
+        ];
+        for v in vals {
+            assert_eq!(UBig::from(v).to_f64(), v as f64, "v={v}");
+        }
+    }
+
+    #[test]
+    fn exp_decomposition() {
+        let (m, e) = UBig::from(2u64).pow(2000).to_f64_exp();
+        assert_eq!((m, e), (0.5, 2001));
+        let (m, e) = UBig::from(3u64).to_f64_exp();
+        assert_eq!((m, e), (0.75, 2));
+        let (m, e) = IBig::from(-3).to_f64_exp();
+        assert_eq!((m, e), (-0.75, 2));
+    }
+
+    #[test]
+    fn signed_to_f64() {
+        assert_eq!(IBig::from(-42).to_f64(), -42.0);
+        assert_eq!(IBig::zero().to_f64(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Greatest common divisor (binary / Stein's algorithm).
+
+use crate::UBig;
+
+impl UBig {
+    /// Greatest common divisor by the binary GCD algorithm.
+    ///
+    /// `gcd(0, b) == b` and `gcd(a, 0) == a`.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(48u64).gcd(&UBig::from(18u64)), UBig::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let za = self.trailing_zeros().expect("nonzero");
+        let zb = other.trailing_zeros().expect("nonzero");
+        let shift = za.min(zb);
+        let mut a = self.shr_bits(za);
+        let mut b = other.shr_bits(zb);
+        // Invariant: a, b odd.
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return a.shl_bits(shift);
+            }
+            b = b.shr_bits(b.trailing_zeros().expect("nonzero"));
+        }
+    }
+
+    /// Least common multiple. Returns zero if either operand is zero.
+    pub fn lcm(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(UBig::zero().gcd(&UBig::from(5u64)), UBig::from(5u64));
+        assert_eq!(UBig::from(5u64).gcd(&UBig::zero()), UBig::from(5u64));
+        assert_eq!(UBig::from(12u64).gcd(&UBig::from(18u64)), UBig::from(6u64));
+        assert_eq!(UBig::from(17u64).gcd(&UBig::from(31u64)), UBig::one());
+        assert_eq!(UBig::from(64u64).gcd(&UBig::from(48u64)), UBig::from(16u64));
+    }
+
+    #[test]
+    fn gcd_large_common_factor() {
+        let g = UBig::from(0xdead_beefu64).pow(5);
+        let a = &g * &UBig::from(101u64);
+        let b = &g * &UBig::from(103u64);
+        assert_eq!(a.gcd(&b), g);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal() {
+        let a = UBig::from(2u64).pow(40) * UBig::from(3u64).pow(17);
+        let b = UBig::from(2u64).pow(25) * UBig::from(3u64).pow(30) * UBig::from(7u64);
+        let g = a.gcd(&b);
+        assert_eq!(&a % &g, UBig::zero());
+        assert_eq!(&b % &g, UBig::zero());
+        assert_eq!(g, UBig::from(2u64).pow(25) * UBig::from(3u64).pow(17));
+    }
+
+    #[test]
+    fn lcm_relation() {
+        let a = UBig::from(12u64);
+        let b = UBig::from(18u64);
+        assert_eq!(&a.lcm(&b) * &a.gcd(&b), &a * &b);
+        assert_eq!(UBig::zero().lcm(&b), UBig::zero());
+    }
+}

@@ -1,0 +1,213 @@
+//! Multiplication: schoolbook below the Karatsuba threshold, Karatsuba above.
+
+use std::ops::{Mul, MulAssign};
+
+use crate::add::{add_shifted_in_place, sub_in_place};
+use crate::{DoubleLimb, Limb, UBig};
+
+/// Below this many limbs in the smaller operand, schoolbook multiplication
+/// wins over Karatsuba's bookkeeping.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+fn schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai as DoubleLimb * bj as DoubleLimb
+                + out[i + j] as DoubleLimb
+                + carry as DoubleLimb;
+            out[i + j] = t as Limb;
+            carry = (t >> 64) as Limb;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Karatsuba split: `a*b = z2·B² + z1·B + z0` with
+/// `z1 = (a0+a1)(b0+b1) - z2 - z0`.
+fn karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let n = a.len().min(b.len());
+    if n < KARATSUBA_THRESHOLD {
+        return schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = split(a, half);
+    let (b0, b1) = split(b, half);
+
+    let z0 = karatsuba_norm(a0, b0);
+    let z2 = karatsuba_norm(a1, b1);
+
+    let mut a01 = a0.to_vec();
+    add_shifted_in_place(&mut a01, a1, 0);
+    let mut b01 = b0.to_vec();
+    add_shifted_in_place(&mut b01, b1, 0);
+    let mut z1 = karatsuba_norm(&a01, &b01);
+    // z1 >= z0 + z2 always holds, so these subtractions cannot underflow.
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    let mut out = z0;
+    add_shifted_in_place(&mut out, &z1, half);
+    add_shifted_in_place(&mut out, &z2, 2 * half);
+    out
+}
+
+fn karatsuba_norm(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let mut v = karatsuba(trim(a), trim(b));
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
+}
+
+fn split(a: &[Limb], at: usize) -> (&[Limb], &[Limb]) {
+    if a.len() <= at {
+        (a, &[])
+    } else {
+        a.split_at(at)
+    }
+}
+
+fn trim(a: &[Limb]) -> &[Limb] {
+    let mut end = a.len();
+    while end > 0 && a[end - 1] == 0 {
+        end -= 1;
+    }
+    &a[..end]
+}
+
+impl UBig {
+    /// Multiplies by a single limb.
+    pub fn mul_limb(&self, rhs: Limb) -> UBig {
+        if rhs == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: Limb = 0;
+        for &l in &self.limbs {
+            let t = l as DoubleLimb * rhs as DoubleLimb + carry as DoubleLimb;
+            out.push(t as Limb);
+            carry = (t >> 64) as Limb;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        UBig { limbs: out }
+    }
+
+    /// Squares the value (currently multiplication with itself; kept as a
+    /// named entry point for callers that square in hot loops).
+    pub fn square(&self) -> UBig {
+        self * self
+    }
+
+    /// Raises to the power `exp` by binary exponentiation.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(3u64).pow(5), UBig::from(243u64));
+    /// assert_eq!(UBig::from(2u64).pow(100).bit_len(), 101);
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> UBig {
+        let mut base = self.clone();
+        let mut acc = UBig::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.square();
+            }
+        }
+        acc
+    }
+}
+
+impl Mul<&UBig> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        if self.is_zero() || rhs.is_zero() {
+            return UBig::zero();
+        }
+        UBig::from_limbs(karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(UBig::from(6u64) * UBig::from(7u64), UBig::from(42u64));
+        assert_eq!(UBig::from(0u64) * UBig::from(7u64), UBig::zero());
+        assert_eq!(
+            UBig::from(u64::MAX) * UBig::from(u64::MAX),
+            UBig::from(u64::MAX as u128 * u64::MAX as u128)
+        );
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Deterministic pseudo-random limbs, sizes straddling the threshold.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &(la, lb) in &[(1usize, 80usize), (40, 40), (33, 67), (100, 3), (64, 64)] {
+            let a: Vec<Limb> = (0..la).map(|_| next()).collect();
+            let b: Vec<Limb> = (0..lb).map(|_| next()).collect();
+            let expect = UBig::from_limbs(schoolbook(&a, &b));
+            let got = &UBig::from_limbs(a) * &UBig::from_limbs(b);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn mul_limb_matches_full_mul() {
+        let a = UBig::from(0xdead_beef_cafe_babe_1234_5678u128);
+        assert_eq!(a.mul_limb(1_000_003), &a * &UBig::from(1_000_003u64));
+        assert_eq!(a.mul_limb(0), UBig::zero());
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(UBig::from(5u64).pow(0), UBig::one());
+        assert_eq!(UBig::zero().pow(0), UBig::one());
+        assert_eq!(UBig::zero().pow(3), UBig::zero());
+        assert_eq!(UBig::from(10u64).pow(20).to_string(), format!("1{}", "0".repeat(20)));
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = UBig::from(123456789u64).pow(7);
+        let b = UBig::from(987654321u64).pow(6);
+        let c = UBig::from(0xabcdefu64).pow(9);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

@@ -1,0 +1,194 @@
+//! Decimal / hexadecimal conversion and parsing.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{IBig, Sign, UBig};
+
+/// Error returned when parsing a big integer from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit `{c}` in integer"),
+        }
+    }
+}
+
+impl Error for ParseBigIntError {}
+
+// Chunked base conversion: 10^19 fits in a u64 limb.
+const DEC_CHUNK: u64 = 10_000_000_000_000_000_000;
+const DEC_CHUNK_DIGITS: usize = 19;
+
+impl UBig {
+    /// Parses a decimal string of ASCII digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the string is empty or contains a non-digit.
+    pub fn from_decimal_str(s: &str) -> Result<UBig, ParseBigIntError> {
+        if s.is_empty() {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = UBig::zero();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = DEC_CHUNK_DIGITS.min(bytes.len() - i);
+            let mut chunk: u64 = 0;
+            for &b in &bytes[i..i + take] {
+                if !b.is_ascii_digit() {
+                    return Err(ParseBigIntError {
+                        kind: ParseErrorKind::InvalidDigit(b as char),
+                    });
+                }
+                chunk = chunk * 10 + (b - b'0') as u64;
+            }
+            let scale = if take == DEC_CHUNK_DIGITS {
+                DEC_CHUNK
+            } else {
+                10u64.pow(take as u32)
+            };
+            acc = acc.mul_limb(scale);
+            acc += &UBig::from(chunk);
+            i += take;
+        }
+        Ok(acc)
+    }
+
+    fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(DEC_CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.last().expect("nonzero").to_string();
+        for c in chunks.iter().rev().skip(1) {
+            out.push_str(&format!("{c:019}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::LowerHex for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl FromStr for UBig {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        UBig::from_decimal_str(s)
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(self.sign() != Sign::Negative, "", &self.magnitude().to_decimal())
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+impl FromStr for IBig {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag = UBig::from_decimal_str(digits)?;
+        Ok(if neg {
+            -IBig::from(mag)
+        } else {
+            IBig::from(mag)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "9999999999999999999",
+            "10000000000000000000",
+            "123456789012345678901234567890123456789012345678901234567890",
+        ] {
+            let v: UBig = s.parse().expect("parse");
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<UBig>().is_err());
+        assert!("12a3".parse::<UBig>().is_err());
+        assert!("-5".parse::<UBig>().is_err()); // UBig has no sign
+    }
+
+    #[test]
+    fn signed_parse_and_display() {
+        let v: IBig = "-987654321098765432109876543210".parse().expect("parse");
+        assert_eq!(v.to_string(), "-987654321098765432109876543210");
+        let v: IBig = "+42".parse().expect("parse");
+        assert_eq!(v.to_string(), "42");
+        assert_eq!("-0".parse::<IBig>().expect("parse"), IBig::zero());
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", UBig::zero()), "0");
+        assert_eq!(format!("{:#x}", UBig::from(255u64)), "0xff");
+        let v = UBig::from_limbs(vec![0x1, 0xab]);
+        assert_eq!(format!("{v:x}"), "ab0000000000000001");
+    }
+
+    #[test]
+    fn display_consistency_with_u128() {
+        let x: u128 = 340282366920938463463374607431768211455;
+        assert_eq!(UBig::from(x).to_string(), x.to_string());
+    }
+}

@@ -1,0 +1,121 @@
+//! Bit shifts for [`UBig`].
+
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+use crate::{Limb, UBig};
+
+impl UBig {
+    /// Shifts left by `bits` (multiplication by a power of two).
+    pub fn shl_bits(&self, bits: u64) -> UBig {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = (bits % 64) as u32;
+        let mut out: Vec<Limb> = vec![0; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Shifts right by `bits` (floor division by a power of two).
+    pub fn shr_bits(&self, bits: u64) -> UBig {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = (bits % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out: Vec<Limb> = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push((src[i] >> bit_shift) | hi);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Shl<u64> for &UBig {
+    type Output = UBig;
+    fn shl(self, bits: u64) -> UBig {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shl<u64> for UBig {
+    type Output = UBig;
+    fn shl(self, bits: u64) -> UBig {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &UBig {
+    type Output = UBig;
+    fn shr(self, bits: u64) -> UBig {
+        self.shr_bits(bits)
+    }
+}
+
+impl Shr<u64> for UBig {
+    type Output = UBig;
+    fn shr(self, bits: u64) -> UBig {
+        self.shr_bits(bits)
+    }
+}
+
+impl ShlAssign<u64> for UBig {
+    fn shl_assign(&mut self, bits: u64) {
+        *self = self.shl_bits(bits);
+    }
+}
+
+impl ShrAssign<u64> for UBig {
+    fn shr_assign(&mut self, bits: u64) {
+        *self = self.shr_bits(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_small_and_cross_limb() {
+        assert_eq!(UBig::from(1u64) << 0, UBig::from(1u64));
+        assert_eq!(UBig::from(1u64) << 3, UBig::from(8u64));
+        assert_eq!(UBig::from(1u64) << 64, UBig::from_limbs(vec![0, 1]));
+        assert_eq!(UBig::from(0b101u64) << 63, UBig::from(0b101u128 << 63));
+    }
+
+    #[test]
+    fn shr_floor_semantics() {
+        assert_eq!(UBig::from(9u64) >> 1, UBig::from(4u64));
+        assert_eq!(UBig::from(9u64) >> 100, UBig::zero());
+        let v = UBig::from(0xffff_0000_ffff_0000_1111u128);
+        assert_eq!(&(&v << 77) >> 77, v);
+    }
+
+    #[test]
+    fn shift_matches_pow2_mul() {
+        let v = UBig::from(123456789u64);
+        assert_eq!(&v << 130, &v * &UBig::from(2u64).pow(130));
+    }
+}

@@ -1,0 +1,91 @@
+//! Integer square root (Newton's method).
+
+use crate::UBig;
+
+impl UBig {
+    /// Floor of the square root: the largest `r` with `r*r <= self`.
+    ///
+    /// Used to build arbitrary-precision approximations of `sqrt(2)` when
+    /// evaluating algebraic numbers to floating point.
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(99u64).isqrt(), UBig::from(9u64));
+    /// assert_eq!(UBig::from(100u64).isqrt(), UBig::from(10u64));
+    /// ```
+    pub fn isqrt(&self) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        if let Some(v) = self.to_u128() {
+            return UBig::from(isqrt_u128(v));
+        }
+        // Newton: x' = (x + n/x) / 2, starting above the root.
+        let mut x = UBig::one().shl_bits(self.bit_len().div_ceil(2));
+        loop {
+            let y = (&(self / &x) + &x).shr_bits(1);
+            if y >= x {
+                break;
+            }
+            x = y;
+        }
+        debug_assert!(&x * &x <= *self);
+        x
+    }
+}
+
+fn isqrt_u128(v: u128) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = 1u128 << (128 - v.leading_zeros()).div_ceil(2);
+    loop {
+        let y = (x + v / x) / 2;
+        if y >= x {
+            break;
+        }
+        x = y;
+    }
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        for n in 0u64..200 {
+            let r = UBig::from(n).isqrt().to_u64().expect("small");
+            assert!(r * r <= n, "n={n}");
+            assert!((r + 1) * (r + 1) > n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_large() {
+        let base = UBig::from(0xffff_ffff_ffff_fffbu64).pow(3);
+        let sq = base.square();
+        assert_eq!(sq.isqrt(), base);
+        // one less than a perfect square roots down
+        assert_eq!((&sq - &UBig::one()).isqrt(), &base - &UBig::one());
+    }
+
+    #[test]
+    fn u128_boundary() {
+        let v = UBig::from(u128::MAX);
+        let r = v.isqrt();
+        assert!(&r * &r <= v);
+        let r1 = &r + &UBig::one();
+        assert!(&r1 * &r1 > v);
+    }
+
+    #[test]
+    fn sqrt2_fixed_point() {
+        // isqrt(2 * 4^p) / 2^p approximates sqrt(2): check leading digits.
+        let p = 100u64;
+        let approx = (UBig::from(2u64) << (2 * p)).isqrt();
+        let leading = (&approx * &UBig::from(10u64).pow(10)) >> p;
+        assert_eq!(leading.to_string(), "14142135623");
+    }
+}

@@ -1,0 +1,224 @@
+//! The unsigned magnitude type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::Limb;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with no trailing zero limbs, so the
+/// representation is canonical: structural equality is value equality.
+///
+/// # Examples
+///
+/// ```
+/// use aq_bigint::UBig;
+///
+/// let a = UBig::from(u64::MAX);
+/// let b = &a + &a;
+/// assert_eq!(b.bit_len(), 65);
+/// assert_eq!(b.to_string(), "36893488147419103230");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl UBig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Creates a `UBig` from raw little-endian limbs, normalizing trailing
+    /// zeros.
+    pub fn from_limbs(mut limbs: Vec<Limb>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Borrows the little-endian limbs (no trailing zeros).
+    pub fn as_limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the lowest bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Returns `true` if the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    ///
+    /// ```
+    /// use aq_bigint::UBig;
+    /// assert_eq!(UBig::from(0u64).bit_len(), 0);
+    /// assert_eq!(UBig::from(255u64).bit_len(), 8);
+    /// ```
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => {
+                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
+            }
+        }
+    }
+
+    /// Returns bit `i` (zero-based from the least significant bit).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            Some(l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Number of trailing zero bits, or `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * 64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Attempts to convert to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Attempts to convert to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_zero() {
+        assert_eq!(UBig::from_limbs(vec![0, 0, 0]), UBig::zero());
+        assert!(UBig::zero().is_zero());
+        assert!(UBig::zero().is_even());
+        assert_eq!(UBig::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        let v = UBig::from(0b1011u64);
+        assert_eq!(v.bit_len(), 4);
+        assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3) && !v.bit(4));
+        assert!(!v.bit(1000));
+    }
+
+    #[test]
+    fn ordering_by_length_then_lex() {
+        let small = UBig::from(u64::MAX);
+        let big = UBig::from_limbs(vec![0, 1]);
+        assert!(small < big);
+        assert!(UBig::from(3u64) > UBig::from(2u64));
+        assert_eq!(UBig::from(7u64).cmp(&UBig::from(7u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v: u128 = 0x1234_5678_9abc_def0_1122_3344_5566_7788;
+        assert_eq!(UBig::from(v).to_u128(), Some(v));
+        assert_eq!(UBig::from(v).to_u64(), None);
+        assert_eq!(UBig::from(42u64).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(UBig::zero().trailing_zeros(), None);
+        assert_eq!(UBig::from(1u64).trailing_zeros(), Some(0));
+        assert_eq!(UBig::from(8u64).trailing_zeros(), Some(3));
+        assert_eq!(UBig::from_limbs(vec![0, 2]).trailing_zeros(), Some(65));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the arbitrary-precision integers: ring axioms,
+//! division invariants and agreement with native 128-bit arithmetic.
+
+use aq_bigint::{IBig, UBig};
+use proptest::prelude::*;
+
+fn ubig() -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 0..8).prop_map(UBig::from_limbs)
+}
+
+fn ibig() -> impl Strategy<Value = IBig> {
+    (any::<bool>(), ubig()).prop_map(|(neg, mag)| IBig::from_sign_magnitude(neg, mag))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in ubig(), b in ubig()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig(), s in 0u64..300) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn gcd_divides_and_linear(a in ubig(), b in ubig()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn isqrt_bounds(a in ubig()) {
+        let r = a.isqrt();
+        prop_assert!(&r * &r <= a);
+        let r1 = &r + &UBig::one();
+        prop_assert!(&r1 * &r1 > a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in ubig()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<UBig>().unwrap(), a);
+    }
+
+    #[test]
+    fn matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (UBig::from(a), UBig::from(b));
+        prop_assert_eq!(&ba + &bb, UBig::from(a as u128 + b as u128));
+        prop_assert_eq!(&ba * &bb, UBig::from(a as u128 * b as u128));
+        if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+            prop_assert_eq!(&ba / &bb, UBig::from(q));
+            prop_assert_eq!(&ba % &bb, UBig::from(r));
+        }
+    }
+
+    #[test]
+    fn signed_ring_axioms(a in ibig(), b in ibig(), c in ibig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+        prop_assert_eq!(&a + &-&a, IBig::zero());
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn signed_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (IBig::from(a), IBig::from(b));
+        prop_assert_eq!((&ba + &bb).to_string(), (a as i128 + b as i128).to_string());
+        prop_assert_eq!((&ba * &bb).to_string(), (a as i128 * b as i128).to_string());
+        if b != 0 {
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert_eq!(q.to_string(), (a as i128 / b as i128).to_string());
+            prop_assert_eq!(r.to_string(), (a as i128 % b as i128).to_string());
+        }
+    }
+
+    #[test]
+    fn signed_nearest_rounding(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let q = IBig::from(a).div_round_nearest(&IBig::from(b));
+        // |a - q*b| <= |b|/2 (ties allowed either way by the metric)
+        let diff = &IBig::from(a) - &(&q * &IBig::from(b));
+        prop_assert!(diff.abs().double() <= IBig::from(b).abs());
+    }
+
+    #[test]
+    fn to_f64_close(a in ubig()) {
+        let f = a.to_f64();
+        if f.is_finite() && !a.is_zero() {
+            // relative error below 2^-52
+            let (m, e) = a.to_f64_exp();
+            let reconstructed = m * 2f64.powi(e.min(1023) as i32);
+            if e <= 1023 {
+                let rel = ((f - reconstructed) / f).abs();
+                prop_assert!(rel < 1e-15, "rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_total(a in ibig(), b in ibig()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert!(&b - &a > IBig::zero()),
+            Equal => prop_assert_eq!(&a, &b),
+            Greater => prop_assert!(&a - &b > IBig::zero()),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+use aq_circuits::cliffordt::CliffordTCompiler;
+use std::time::Instant;
+
+fn main() {
+    for budget in [6u8, 8, 10] {
+        let t0 = Instant::now();
+        let mut two = CliffordTCompiler::new(budget);
+        let build = t0.elapsed().as_secs_f64();
+        let mut one = CliffordTCompiler::new(budget).without_two_stage();
+        let mut worst_two: f64 = 0.0;
+        let mut worst_one: f64 = 0.0;
+        let mut tlen = 0usize;
+        let t0 = Instant::now();
+        for i in 0..20 {
+            let theta = 0.1 + 0.29 * i as f64;
+            let (w2, d2) = two.approximate_phase(theta);
+            let (_, d1) = one.approximate_phase(theta);
+            worst_two = worst_two.max(d2);
+            worst_one = worst_one.max(d1);
+            tlen = tlen.max(w2.len());
+        }
+        let synth = t0.elapsed().as_secs_f64();
+        println!(
+            "budget {budget}: db {} entries (build {build:.1}s); single-stage worst {worst_one:.2e}, \
+             two-stage worst {worst_two:.2e} (max word {tlen}, synth 40 angles {synth:.1}s)",
+            two.db_len()
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! The circuit intermediate representation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use aq_dd::GateMatrix;
+
+/// One operation of a [`Circuit`].
+#[allow(clippy::large_enum_variant)] // gates dominate circuits; boxing would cost more
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A (multi-)controlled single-qubit gate.
+    Gate {
+        /// The 2×2 gate body.
+        matrix: GateMatrix,
+        /// Target qubit.
+        target: u32,
+        /// `(qubit, polarity)` controls; `true` = control on `|1⟩`.
+        controls: Vec<(u32, bool)>,
+    },
+    /// One Trotter factor `exp(−i·π/4·A_M)` of a quantum walk, where `A_M`
+    /// is the adjacency matrix of a perfect-matching edge set `M` on the
+    /// computational basis states: `cos(π/4)·I − i·sin(π/4)·P` on matched
+    /// pairs, identity elsewhere. With the angle fixed at π/4 every entry
+    /// is in `D[ω]`, so the factor is exactly representable — the property
+    /// the paper requires of its BWT benchmark.
+    MatchingEvolution {
+        /// Matched basis-state pairs (disjoint).
+        pairs: Arc<Vec<(u64, u64)>>,
+    },
+    /// A classical reversible function applied to the basis states — the
+    /// shift operator of a coined quantum walk, an oracle permutation, …
+    /// Entries are 0/1, trivially exact in every weight system.
+    Permutation {
+        /// `map[x]` = image of basis state `x`; must be a bijection.
+        map: Arc<Vec<u64>>,
+    },
+}
+
+impl Op {
+    /// Returns `true` if the operation is representable exactly in `D[ω]`.
+    pub fn is_exact(&self) -> bool {
+        match self {
+            Op::Gate { matrix, .. } => matrix.is_exact(),
+            Op::MatchingEvolution { .. } | Op::Permutation { .. } => true,
+        }
+    }
+}
+
+/// A quantum circuit: a qubit count and a sequence of [`Op`]s.
+///
+/// # Examples
+///
+/// ```
+/// use aq_circuits::Circuit;
+/// use aq_dd::GateMatrix;
+///
+/// let mut c = Circuit::new(2);
+/// c.push_gate(GateMatrix::h(), 0, &[]);
+/// c.push_gate(GateMatrix::x(), 1, &[(0, true)]);
+/// assert_eq!(c.len(), 2);
+/// assert!(c.is_exact());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    n_qubits: u32,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: u32) -> Self {
+        Circuit {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// The number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Iterates over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Op> {
+        self.ops.iter()
+    }
+
+    /// Appends a raw operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends a (multi-)controlled gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target or a control is out of range, or a control
+    /// coincides with the target.
+    pub fn push_gate(&mut self, matrix: GateMatrix, target: u32, controls: &[(u32, bool)]) {
+        assert!(target < self.n_qubits, "target out of range");
+        for &(c, _) in controls {
+            assert!(c < self.n_qubits, "control out of range");
+            assert!(c != target, "control equals target");
+        }
+        self.ops.push(Op::Gate {
+            matrix,
+            target,
+            controls: controls.to_vec(),
+        });
+    }
+
+    /// Appends a multi-controlled Z over the first `n` qubits (target
+    /// `n−1`, positive controls `0..n−1`) — the Grover oracle/diffusion
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the qubit count.
+    pub fn push_mcz(&mut self, n: u32) {
+        assert!(n >= 1 && n <= self.n_qubits, "MCZ size out of range");
+        let controls: Vec<(u32, bool)> = (0..n - 1).map(|q| (q, true)).collect();
+        self.push_gate(GateMatrix::z(), n - 1, &controls);
+    }
+
+    /// Appends a walk Trotter factor for a matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair repeats a vertex or exceeds the state space.
+    pub fn push_matching(&mut self, pairs: Vec<(u64, u64)>) {
+        let dim = 1u64 << self.n_qubits;
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &pairs {
+            assert!(a < dim && b < dim, "matching pair out of range");
+            assert!(a != b, "self-loop in matching");
+            assert!(seen.insert(a) && seen.insert(b), "vertex repeated in matching");
+        }
+        self.ops.push(Op::MatchingEvolution {
+            pairs: Arc::new(pairs),
+        });
+    }
+
+    /// Appends a classical reversible map over all basis states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a bijection on `0..2^n`.
+    pub fn push_permutation(&mut self, map: Vec<u64>) {
+        let dim = 1u64 << self.n_qubits;
+        assert_eq!(map.len() as u64, dim, "permutation must cover all basis states");
+        let mut seen = vec![false; map.len()];
+        for &y in &map {
+            assert!(y < dim, "permutation image out of range");
+            assert!(!std::mem::replace(&mut seen[y as usize], true), "permutation not injective");
+        }
+        self.ops.push(Op::Permutation { map: Arc::new(map) });
+    }
+
+    /// Appends all operations of `other` (must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "circuit width mismatch in extend_from"
+        );
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
+    /// The inverse circuit: operations reversed, each gate replaced by its
+    /// adjoint. Walk factors invert as `A⁻¹ = A†` (`exp(+i·π/4·A_M)` is
+    /// not representable with the same primitive, so matching factors are
+    /// rejected); permutations invert to their inverse map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a matching-evolution factor.
+    ///
+    /// ```
+    /// use aq_circuits::Circuit;
+    /// use aq_dd::GateMatrix;
+    ///
+    /// let mut c = Circuit::new(1);
+    /// c.push_gate(GateMatrix::t(), 0, &[]);
+    /// c.push_gate(GateMatrix::h(), 0, &[]);
+    /// let inv = c.inverted();
+    /// assert_eq!(inv.len(), 2); // H†=H first, then T†
+    /// ```
+    pub fn inverted(&self) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        // share one inverse Arc per source permutation so simulators can
+        // cache the operator across repeated steps
+        let mut inverses: std::collections::HashMap<*const Vec<u64>, Arc<Vec<u64>>> =
+            std::collections::HashMap::new();
+        for op in self.ops.iter().rev() {
+            match op {
+                Op::Gate {
+                    matrix,
+                    target,
+                    controls,
+                } => out.push(Op::Gate {
+                    matrix: matrix.adjoint(),
+                    target: *target,
+                    controls: controls.clone(),
+                }),
+                Op::Permutation { map } => {
+                    let inv = inverses
+                        .entry(Arc::as_ptr(map))
+                        .or_insert_with(|| {
+                            let mut inv = vec![0u64; map.len()];
+                            for (x, &y) in map.iter().enumerate() {
+                                inv[y as usize] = x as u64;
+                            }
+                            Arc::new(inv)
+                        })
+                        .clone();
+                    out.push(Op::Permutation { map: inv });
+                }
+                Op::MatchingEvolution { .. } => {
+                    panic!("matching-evolution factors have no in-IR inverse")
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every operation is exactly representable in
+    /// `D[ω]` (i.e. the circuit can be simulated algebraically without
+    /// Clifford+T compilation).
+    pub fn is_exact(&self) -> bool {
+        self.ops.iter().all(Op::is_exact)
+    }
+
+    /// Number of operations that are *not* exactly representable.
+    pub fn approx_ops(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_exact()).count()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits, {} ops", self.n_qubits, self.ops.len())?;
+        for op in &self.ops {
+            match op {
+                Op::Gate {
+                    matrix,
+                    target,
+                    controls,
+                } => {
+                    write!(f, "  {} q{target}", matrix.name())?;
+                    for (c, p) in controls {
+                        write!(f, " {}q{c}", if *p { "+" } else { "-" })?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::MatchingEvolution { pairs } => {
+                    writeln!(f, "  walk-factor ({} pairs)", pairs.len())?;
+                }
+                Op::Permutation { map } => {
+                    let moved = map.iter().enumerate().filter(|&(x, &y)| x as u64 != y).count();
+                    writeln!(f, "  permutation ({moved} moved)")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut c = Circuit::new(3);
+        assert!(c.is_empty());
+        c.push_gate(GateMatrix::h(), 0, &[]);
+        c.push_mcz(3);
+        c.push_matching(vec![(0, 1), (2, 7)]);
+        assert_eq!(c.len(), 3);
+        assert!(c.is_exact());
+        assert_eq!(c.approx_ops(), 0);
+        c.push_gate(GateMatrix::rz(0.5), 1, &[]);
+        assert!(!c.is_exact());
+        assert_eq!(c.approx_ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex repeated in matching")]
+    fn matching_rejects_overlap() {
+        let mut c = Circuit::new(3);
+        c.push_matching(vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "control equals target")]
+    fn gate_rejects_control_on_target() {
+        let mut c = Circuit::new(2);
+        c.push_gate(GateMatrix::x(), 1, &[(1, true)]);
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let mut c = Circuit::new(2);
+        c.push_gate(GateMatrix::x(), 1, &[(0, true)]);
+        let s = c.to_string();
+        assert!(s.contains("X q1 +q0"), "got {s}");
+    }
+}

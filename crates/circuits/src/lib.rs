@@ -1,0 +1,140 @@
+//! Quantum circuits and the paper's benchmark workloads.
+//!
+//! The evaluation of the reproduced paper (Sec. V) simulates three quantum
+//! algorithms chosen to span the representability spectrum of the algebraic
+//! number ring `D[ω]`:
+//!
+//! * [`grover`] — Grover's database search: Clifford+T(+multi-controlled)
+//!   gates only, every intermediate state exactly representable.
+//! * [`bwt`] — the Binary Welded Tree quantum walk (Childs et al.):
+//!   Trotterized continuous walk over a 3-edge-colored welded tree with
+//!   step angle π/4, again exactly representable.
+//! * [`gse`] — Ground State Estimation: quantum phase estimation over a
+//!   Trotterized molecular Hamiltonian. The arbitrary rotation angles are
+//!   **not** in `D[ω]`; for algebraic simulation the circuit is compiled
+//!   to Clifford+T by [`cliffordt`] (the paper uses Quipper for this).
+//!
+//! Circuits are sequences of [`Op`]s: ordinary (controlled) gates plus the
+//! matching-evolution operators of the quantum walk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+pub mod cliffordt;
+pub mod qasm;
+mod gse;
+mod hamiltonian;
+mod qft;
+mod walk;
+
+pub use circuit::{Circuit, Op};
+pub use gse::{gse, GseParams};
+pub use hamiltonian::{h2_hamiltonian, Hamiltonian, Pauli, PauliString};
+pub use qft::{inverse_qft, qft};
+pub use walk::{bwt, bwt_trotter, BwtParams, WeldedTree};
+
+use aq_dd::GateMatrix;
+
+/// Grover's search over `n` data qubits for the marked element `marked`.
+///
+/// The circuit is the textbook algorithm: uniform superposition, then
+/// `⌊π/4·√2ⁿ⌋` iterations of phase oracle (a multi-controlled Z with `X`
+/// conjugation selecting `marked`) and the diffusion operator. All gates
+/// are exactly representable in `D[ω]`, making this the paper's
+/// best-case algebraic benchmark (Fig. 3).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `marked >= 2^n`.
+///
+/// # Examples
+///
+/// ```
+/// use aq_circuits::grover;
+///
+/// let c = grover(4, 0b1011);
+/// assert_eq!(c.n_qubits(), 4);
+/// assert!(c.len() > 3 * 4); // superposition + iterations
+/// ```
+pub fn grover(n: u32, marked: u64) -> Circuit {
+    assert!(n > 0 && n < 64, "qubit count out of range");
+    assert!(marked < 1u64 << n, "marked element out of range");
+    let mut c = Circuit::new(n);
+
+    // uniform superposition
+    for q in 0..n {
+        c.push_gate(GateMatrix::h(), q, &[]);
+    }
+
+    let iterations = ((std::f64::consts::FRAC_PI_4) * ((1u64 << n) as f64).sqrt()).floor() as u64;
+    let iterations = iterations.max(1);
+
+    for _ in 0..iterations {
+        grover_oracle(&mut c, n, marked);
+        grover_diffusion(&mut c, n);
+    }
+    c
+}
+
+/// Number of Grover iterations used by [`grover`] for `n` qubits.
+pub fn grover_iterations(n: u32) -> u64 {
+    (((std::f64::consts::FRAC_PI_4) * ((1u64 << n) as f64).sqrt()).floor() as u64).max(1)
+}
+
+fn grover_oracle(c: &mut Circuit, n: u32, marked: u64) {
+    // flip qubits where the marked bit is 0, so MCZ fires exactly on |marked⟩
+    let zeros: Vec<u32> = (0..n).filter(|q| (marked >> (n - 1 - q)) & 1 == 0).collect();
+    for &q in &zeros {
+        c.push_gate(GateMatrix::x(), q, &[]);
+    }
+    c.push_mcz(n);
+    for &q in &zeros {
+        c.push_gate(GateMatrix::x(), q, &[]);
+    }
+}
+
+fn grover_diffusion(c: &mut Circuit, n: u32) {
+    for q in 0..n {
+        c.push_gate(GateMatrix::h(), q, &[]);
+    }
+    for q in 0..n {
+        c.push_gate(GateMatrix::x(), q, &[]);
+    }
+    c.push_mcz(n);
+    for q in 0..n {
+        c.push_gate(GateMatrix::x(), q, &[]);
+    }
+    for q in 0..n {
+        c.push_gate(GateMatrix::h(), q, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grover_structure() {
+        let n = 5;
+        let c = grover(n, 7);
+        assert_eq!(c.n_qubits(), n);
+        let iters = grover_iterations(n);
+        // superposition n + iters · (oracle + diffusion)
+        assert!(c.len() as u64 > n as u64 + iters * (1 + 4 * n as u64));
+        assert!(c.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "marked element out of range")]
+    fn grover_rejects_bad_mark() {
+        let _ = grover(3, 8);
+    }
+
+    #[test]
+    fn iterations_scale_with_sqrt_n() {
+        assert_eq!(grover_iterations(2), 1);
+        assert_eq!(grover_iterations(4), 3);
+        assert_eq!(grover_iterations(15), 142);
+    }
+}

@@ -1,0 +1,445 @@
+//! OpenQASM 2.0 (subset) import and export.
+//!
+//! Supports the gate vocabulary the benchmarks use — `h x y z s sdg t tdg
+//! sx cx cz ccx swap rz ry rx u1 p id barrier` — over a single quantum
+//! register. This is enough to round-trip every gate circuit this
+//! workspace generates and to load common benchmark files.
+//!
+//! # Examples
+//!
+//! ```
+//! use aq_circuits::qasm::{parse_qasm, to_qasm};
+//!
+//! let src = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     h q[0];
+//!     cx q[0], q[1];
+//! "#;
+//! let c = parse_qasm(src)?;
+//! assert_eq!(c.n_qubits(), 2);
+//! assert_eq!(c.len(), 2);
+//! let text = to_qasm(&c);
+//! assert!(text.contains("cx q[0], q[1];"));
+//! # Ok::<(), aq_circuits::qasm::ParseQasmError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use aq_dd::GateMatrix;
+
+use crate::{Circuit, Op};
+
+/// Error produced by [`parse_qasm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseQasmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Parses an OpenQASM 2.0 subset into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns an error for unknown gates, malformed statements, missing or
+/// repeated `qreg` declarations, or out-of-range qubit indices. `creg`,
+/// `measure`, `barrier` and comments are accepted and ignored.
+pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut reg_name = String::new();
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        // strip // comments
+        let line = raw_line.split("//").next().unwrap_or("");
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            let lower = stmt.to_ascii_lowercase();
+            if lower.starts_with("openqasm") || lower.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = lower.strip_prefix("qreg") {
+                if circuit.is_some() {
+                    return Err(ParseQasmError::new(lineno, "multiple qreg declarations"));
+                }
+                let (name, size) = parse_reg(rest.trim(), lineno)?;
+                reg_name = name;
+                circuit = Some(Circuit::new(size));
+                continue;
+            }
+            if lower.starts_with("creg") || lower.starts_with("measure") || lower.starts_with("barrier") {
+                continue;
+            }
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| ParseQasmError::new(lineno, "gate before qreg declaration"))?;
+            parse_gate_stmt(c, &reg_name, stmt, lineno)?;
+        }
+    }
+    circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+}
+
+fn parse_reg(rest: &str, lineno: usize) -> Result<(String, u32), ParseQasmError> {
+    // form: name[size]
+    let open = rest
+        .find('[')
+        .ok_or_else(|| ParseQasmError::new(lineno, "malformed qreg"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(lineno, "malformed qreg"))?;
+    let name = rest[..open].trim().to_string();
+    let size: u32 = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad register size"))?;
+    if size == 0 {
+        return Err(ParseQasmError::new(lineno, "register size must be positive"));
+    }
+    Ok((name, size))
+}
+
+fn parse_gate_stmt(
+    c: &mut Circuit,
+    reg: &str,
+    stmt: &str,
+    lineno: usize,
+) -> Result<(), ParseQasmError> {
+    // split "name(params) q[a], q[b]"
+    let (head, args_str) = match stmt.find(|ch: char| ch.is_whitespace()) {
+        Some(i) => stmt.split_at(i),
+        None => return Err(ParseQasmError::new(lineno, format!("malformed statement `{stmt}`"))),
+    };
+    let (name, params) = match head.find('(') {
+        Some(i) => {
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| ParseQasmError::new(lineno, "unclosed parameter list"))?;
+            (&head[..i], parse_params(&head[i + 1..close], lineno)?)
+        }
+        None => (head, Vec::new()),
+    };
+    let name = name.trim().to_ascii_lowercase();
+    if name == "id" || name == "barrier" {
+        return Ok(());
+    }
+
+    let qubits: Vec<u32> = args_str
+        .split(',')
+        .map(|a| parse_qubit(a.trim(), reg, c.n_qubits(), lineno))
+        .collect::<Result<_, _>>()?;
+
+    let one = |lineno: usize| -> Result<u32, ParseQasmError> {
+        qubits
+            .first()
+            .copied()
+            .filter(|_| qubits.len() == 1)
+            .ok_or_else(|| ParseQasmError::new(lineno, format!("`{name}` takes one qubit")))
+    };
+    let param = |k: usize| -> Result<f64, ParseQasmError> {
+        if params.len() == k + 1 {
+            Ok(params[k])
+        } else {
+            Err(ParseQasmError::new(lineno, format!("`{name}` takes {} parameter(s)", k + 1)))
+        }
+    };
+
+    match name.as_str() {
+        "h" => c.push_gate(GateMatrix::h(), one(lineno)?, &[]),
+        "x" => c.push_gate(GateMatrix::x(), one(lineno)?, &[]),
+        "y" => c.push_gate(GateMatrix::y(), one(lineno)?, &[]),
+        "z" => c.push_gate(GateMatrix::z(), one(lineno)?, &[]),
+        "s" => c.push_gate(GateMatrix::s(), one(lineno)?, &[]),
+        "sdg" => c.push_gate(GateMatrix::sdg(), one(lineno)?, &[]),
+        "t" => c.push_gate(GateMatrix::t(), one(lineno)?, &[]),
+        "tdg" => c.push_gate(GateMatrix::tdg(), one(lineno)?, &[]),
+        "sx" => c.push_gate(GateMatrix::sx(), one(lineno)?, &[]),
+        "rz" => c.push_gate(GateMatrix::rz(param(0)?), one(lineno)?, &[]),
+        "ry" => c.push_gate(GateMatrix::ry(param(0)?), one(lineno)?, &[]),
+        "rx" => c.push_gate(GateMatrix::rx(param(0)?), one(lineno)?, &[]),
+        "p" | "u1" => c.push_gate(GateMatrix::phase(param(0)?), one(lineno)?, &[]),
+        "cx" | "cnot" => {
+            let [a, b] = two(&qubits, &name, lineno)?;
+            c.push_gate(GateMatrix::x(), b, &[(a, true)]);
+        }
+        "cz" => {
+            let [a, b] = two(&qubits, &name, lineno)?;
+            c.push_gate(GateMatrix::z(), b, &[(a, true)]);
+        }
+        "swap" => {
+            let [a, b] = two(&qubits, &name, lineno)?;
+            c.push_gate(GateMatrix::x(), b, &[(a, true)]);
+            c.push_gate(GateMatrix::x(), a, &[(b, true)]);
+            c.push_gate(GateMatrix::x(), b, &[(a, true)]);
+        }
+        "ccx" | "toffoli" => {
+            if qubits.len() != 3 {
+                return Err(ParseQasmError::new(lineno, "`ccx` takes three qubits"));
+            }
+            c.push_gate(GateMatrix::x(), qubits[2], &[(qubits[0], true), (qubits[1], true)]);
+        }
+        other => {
+            return Err(ParseQasmError::new(lineno, format!("unsupported gate `{other}`")));
+        }
+    }
+    Ok(())
+}
+
+fn two(qubits: &[u32], name: &str, lineno: usize) -> Result<[u32; 2], ParseQasmError> {
+    if qubits.len() == 2 {
+        Ok([qubits[0], qubits[1]])
+    } else {
+        Err(ParseQasmError::new(lineno, format!("`{name}` takes two qubits")))
+    }
+}
+
+fn parse_qubit(arg: &str, reg: &str, n: u32, lineno: usize) -> Result<u32, ParseQasmError> {
+    let open = arg
+        .find('[')
+        .ok_or_else(|| ParseQasmError::new(lineno, format!("malformed qubit `{arg}`")))?;
+    let close = arg
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(lineno, format!("malformed qubit `{arg}`")))?;
+    let name = arg[..open].trim();
+    if !reg.is_empty() && name != reg {
+        return Err(ParseQasmError::new(lineno, format!("unknown register `{name}`")));
+    }
+    let idx: u32 = arg[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad qubit index"))?;
+    if idx >= n {
+        return Err(ParseQasmError::new(lineno, format!("qubit index {idx} out of range")));
+    }
+    Ok(idx)
+}
+
+/// Parses a comma-separated parameter list supporting numeric literals and
+/// the forms `pi`, `-pi`, `pi/k`, `-pi/k`, `k*pi/m` used by benchmark files.
+fn parse_params(s: &str, lineno: usize) -> Result<Vec<f64>, ParseQasmError> {
+    s.split(',')
+        .map(|p| parse_angle(p.trim(), lineno))
+        .collect()
+}
+
+fn parse_angle(s: &str, lineno: usize) -> Result<f64, ParseQasmError> {
+    if let Ok(v) = s.parse::<f64>() {
+        return Ok(v);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let value = if let Some((num, den)) = body.split_once('/') {
+        let num = parse_pi_product(num.trim(), lineno)?;
+        let den: f64 = den
+            .trim()
+            .parse()
+            .map_err(|_| ParseQasmError::new(lineno, format!("bad angle `{s}`")))?;
+        num / den
+    } else {
+        parse_pi_product(body, lineno)?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_pi_product(s: &str, lineno: usize) -> Result<f64, ParseQasmError> {
+    if s.eq_ignore_ascii_case("pi") {
+        return Ok(std::f64::consts::PI);
+    }
+    if let Some((k, pi)) = s.split_once('*') {
+        if pi.trim().eq_ignore_ascii_case("pi") {
+            let k: f64 = k
+                .trim()
+                .parse()
+                .map_err(|_| ParseQasmError::new(lineno, format!("bad angle `{s}`")))?;
+            return Ok(k * std::f64::consts::PI);
+        }
+    }
+    s.parse::<f64>()
+        .map_err(|_| ParseQasmError::new(lineno, format!("bad angle `{s}`")))
+}
+
+/// Serialises a gate circuit to OpenQASM 2.0.
+///
+/// # Panics
+///
+/// Panics if the circuit contains quantum-walk operators
+/// ([`Op::MatchingEvolution`] / [`Op::Permutation`]) or gates outside the
+/// QASM vocabulary (gates with more than two controls are emitted as
+/// comments since plain QASM 2 lacks them — except `ccx`).
+pub fn to_qasm(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    for op in circuit.iter() {
+        let Op::Gate {
+            matrix,
+            target,
+            controls,
+        } = op
+        else {
+            panic!("cannot serialise walk operators to QASM 2");
+        };
+        let name = matrix.name();
+        let base = name
+            .split('(')
+            .next()
+            .unwrap_or(name)
+            .to_ascii_lowercase();
+        let param = name
+            .find('(')
+            .map(|i| name[i..].to_string())
+            .unwrap_or_default();
+        match (base.as_str(), controls.len()) {
+            (_, 0) => {
+                let q = format!("q[{target}]");
+                let g = match base.as_str() {
+                    "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "sx" => base.clone(),
+                    "p" => format!("u1{param}"),
+                    "rz" | "ry" | "rx" => format!("{base}{param}"),
+                    other => panic!("gate `{other}` has no QASM 2 spelling"),
+                };
+                let _ = writeln!(out, "{g} {q};");
+            }
+            ("x", 1) if controls[0].1 => {
+                let _ = writeln!(out, "cx q[{}], q[{target}];", controls[0].0);
+            }
+            ("z", 1) if controls[0].1 => {
+                let _ = writeln!(out, "cz q[{}], q[{target}];", controls[0].0);
+            }
+            ("x", 2) if controls.iter().all(|c| c.1) => {
+                let _ = writeln!(
+                    out,
+                    "ccx q[{}], q[{}], q[{target}];",
+                    controls[0].0, controls[1].0
+                );
+            }
+            _ => panic!("controlled `{base}` with {} controls has no QASM 2 spelling", controls.len()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];        // comment
+            t q[1]; tdg q[2];
+            cx q[0], q[1];
+            ccx q[0], q[1], q[2];
+            rz(pi/4) q[0];
+            u1(-pi/2) q[1];
+            measure q[0] -> c[0];
+        "#;
+        let c = parse_qasm(src).expect("parse");
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn parse_angles() {
+        assert!((parse_angle("pi", 1).unwrap() - std::f64::consts::PI).abs() < 1e-15);
+        assert!((parse_angle("-pi/2", 1).unwrap() + std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((parse_angle("3*pi/4", 1).unwrap() - 2.356194490192345).abs() < 1e-12);
+        assert!((parse_angle("0.5", 1).unwrap() - 0.5).abs() < 1e-15);
+        assert!(parse_angle("wat", 1).is_err());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];").expect_err("bad gate");
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("unsupported gate `foo`"));
+
+        let err = parse_qasm("OPENQASM 2.0;\nh q[0];").expect_err("no qreg");
+        assert!(err.to_string().contains("gate before qreg"));
+
+        let err = parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[4];").expect_err("range");
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        use aq_dd::QomegaContext;
+        // grover(2)'s MCZ is a plain cz, so the whole circuit round-trips
+        let small = crate::grover(2, 1);
+        let text = to_qasm(&small);
+        let reparsed = parse_qasm(&text).expect("reparse");
+        let mut m1 = aq_dd::Manager::new(QomegaContext::new(), 2);
+        let u1 = aq_sim_free_unitary(&mut m1, &small);
+        let u2 = aq_sim_free_unitary(&mut m1, &reparsed);
+        assert_eq!(u1, u2, "round trip must preserve the unitary");
+    }
+
+    // local mini-builder (aq-sim depends on this crate, not vice versa)
+    fn aq_sim_free_unitary(
+        m: &mut aq_dd::Manager<aq_dd::QomegaContext>,
+        c: &Circuit,
+    ) -> aq_dd::Edge<aq_dd::MatId> {
+        let mut u = m.identity();
+        for op in c.iter() {
+            if let Op::Gate {
+                matrix,
+                target,
+                controls,
+            } = op
+            {
+                let g = m.gate(matrix, *target, controls);
+                u = m.mat_mul(&g, &u);
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn swap_expands_to_three_cnots() {
+        let c = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nswap q[0], q[1];").expect("parse");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serialise walk operators")]
+    fn walk_ops_rejected_on_export() {
+        let (c, _) = crate::bwt(crate::BwtParams {
+            height: 2,
+            steps: 1,
+            seed: 0,
+        });
+        let _ = to_qasm(&c);
+    }
+}

@@ -1,0 +1,430 @@
+//! The Binary Welded Tree quantum walk (Childs et al., STOC 2003).
+//!
+//! Two complete binary trees of height `h` are joined (“welded”) leaf to
+//! leaf by a random pair of perfect matchings, producing a graph in which
+//! a classical random walk needs exponential time to travel from the
+//! entrance root to the exit root while the quantum walk crosses in
+//! polynomial time.
+//!
+//! The paper's BWT benchmark circuit is Clifford+T-exact. Two exact
+//! realisations are provided (see `DESIGN.md`, substitution 3):
+//!
+//! * [`bwt`] — a **coined discrete quantum walk**: a 4-direction coin
+//!   register driven by the Grover diffusion coin (entries ±1/2 ∈ `D[ω]`)
+//!   and an arc-reversal shift permutation (entries 0/1). Amplitudes stay
+//!   dyadic, so the exact decision diagram remains compact — matching the
+//!   paper's observation that the algebraic BWT DD "remains quite
+//!   compact".
+//! * [`bwt_trotter`] — Trotterization of the continuous walk `exp(−iAt)`
+//!   over a matching decomposition of the edge set with step angle π/4:
+//!   each factor `exp(−i·π/4·A_M)` has entries `1/√2` and `−i/√2` on
+//!   matched pairs, all in `D[ω]`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Circuit;
+
+/// Parameters of the [`bwt`] / [`bwt_trotter`] benchmark generators.
+#[derive(Debug, Clone, Copy)]
+pub struct BwtParams {
+    /// Height of each binary tree (`h ≥ 1`); the graph has
+    /// `2·(2^{h+1} − 1)` vertices.
+    pub height: u32,
+    /// Number of walk steps (coin + shift for [`bwt`]; one factor per
+    /// matching of the decomposition for [`bwt_trotter`]).
+    pub steps: u32,
+    /// Seed for the random weld.
+    pub seed: u64,
+}
+
+impl Default for BwtParams {
+    fn default() -> Self {
+        BwtParams {
+            height: 4,
+            steps: 60,
+            seed: 0xBD7,
+        }
+    }
+}
+
+/// The welded-tree graph: vertex labels, edges, and the entrance/exit.
+///
+/// Tree A uses heap labels `1..2^{h+1}` (root 1); tree B the same shifted
+/// by `2^{h+1}`. Label 0 is unused.
+#[derive(Debug, Clone)]
+pub struct WeldedTree {
+    height: u32,
+    edges: Vec<(u64, u64)>,
+    matchings: Vec<Vec<(u64, u64)>>,
+    adjacency: std::collections::HashMap<u64, Vec<u64>>,
+}
+
+impl WeldedTree {
+    /// Builds a welded tree of the given height with a seeded random weld.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or ≥ 20.
+    pub fn new(height: u32, seed: u64) -> Self {
+        assert!((1..20).contains(&height), "height out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let off = 1u64 << (height + 1);
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+
+        // tree edges for both trees (heap structure)
+        for v in 1..(1u64 << height) {
+            edges.push((v, 2 * v));
+            edges.push((v, 2 * v + 1));
+            edges.push((off + v, off + 2 * v));
+            edges.push((off + v, off + 2 * v + 1));
+        }
+
+        // weld: two disjoint perfect matchings between the leaf sets,
+        // forming a single alternating cycle (the standard construction)
+        let leaves_a: Vec<u64> = (1u64 << height..1u64 << (height + 1)).collect();
+        let mut leaves_b: Vec<u64> = leaves_a.iter().map(|&v| off + v).collect();
+        leaves_b.shuffle(&mut rng);
+        // cycle a0-b0-a1-b1-…-a0: matching 1 = (ai, bi), matching 2 = (b_i, a_{i+1})
+        let m = leaves_a.len();
+        for i in 0..m {
+            edges.push((leaves_a[i], leaves_b[i]));
+            edges.push((leaves_b[i], leaves_a[(i + 1) % m]));
+        }
+
+        let matchings = greedy_matching_decomposition(&edges);
+        let mut adjacency: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for &(a, b) in &edges {
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+        WeldedTree {
+            height,
+            edges,
+            matchings,
+            adjacency,
+        }
+    }
+
+    /// The entrance root (tree A).
+    pub fn entrance(&self) -> u64 {
+        1
+    }
+
+    /// The exit root (tree B).
+    pub fn exit(&self) -> u64 {
+        (1u64 << (self.height + 1)) + 1
+    }
+
+    /// Number of qubits needed to hold a vertex label.
+    pub fn n_qubits(&self) -> u32 {
+        self.height + 2
+    }
+
+    /// All edges (each once, unordered).
+    pub fn edges(&self) -> &[(u64, u64)] {
+        &self.edges
+    }
+
+    /// The matching decomposition used for Trotterization.
+    pub fn matchings(&self) -> &[Vec<(u64, u64)>] {
+        &self.matchings
+    }
+
+    /// Vertex degree (for invariant checks).
+    pub fn degree(&self, v: u64) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> u64 {
+        2 * ((1u64 << (self.height + 1)) - 1)
+    }
+
+    /// Neighbours of `v` in canonical (construction) order.
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        self.adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total qubits of the **coined** walk: vertex register + 2-qubit
+    /// direction coin.
+    pub fn coined_qubits(&self) -> u32 {
+        self.n_qubits() + 2
+    }
+
+    /// Basis-state index of the coined walk's initial state: the entrance
+    /// vertex with coin `0`.
+    pub fn coined_start(&self) -> u64 {
+        self.entrance() << 2
+    }
+
+    /// The arc-reversal shift permutation of the coined walk on basis
+    /// states `(vertex << 2) | direction`: `(v, d) ↦ (u, j)` where `u` is
+    /// `v`'s `d`-th neighbour and `j` points back at `v`. Padding
+    /// directions (beyond the vertex degree) and non-vertex labels are
+    /// fixed points, so the map is an involutive permutation.
+    pub fn coined_shift(&self) -> Vec<u64> {
+        let dim = 1usize << self.coined_qubits();
+        let mut map: Vec<u64> = (0..dim as u64).collect();
+        for (&v, nb) in &self.adjacency {
+            for (d, &u) in nb.iter().enumerate() {
+                let j = self
+                    .neighbors(u)
+                    .iter()
+                    .position(|&x| x == v)
+                    .expect("edges are symmetric");
+                map[((v << 2) | d as u64) as usize] = (u << 2) | j as u64;
+            }
+        }
+        map
+    }
+
+    /// Marginal probability per vertex from a coined-walk amplitude
+    /// vector (summing the four coin directions).
+    pub fn vertex_probabilities(&self, amplitudes: &[aq_rings::Complex64]) -> Vec<f64> {
+        let nv = 1usize << self.n_qubits();
+        let mut out = vec![0.0; nv];
+        for (i, a) in amplitudes.iter().enumerate() {
+            out[i >> 2] += a.norm_sqr();
+        }
+        out
+    }
+}
+
+/// Partitions an edge list into matchings (greedy; ≤ Δ+1 = 4 parts for the
+/// welded tree by Vizing's bound).
+fn greedy_matching_decomposition(edges: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
+    let mut matchings: Vec<Vec<(u64, u64)>> = Vec::new();
+    let mut used: Vec<std::collections::HashSet<u64>> = Vec::new();
+    for &(a, b) in edges {
+        let slot = (0..matchings.len())
+            .find(|&i| !used[i].contains(&a) && !used[i].contains(&b));
+        match slot {
+            Some(i) => {
+                matchings[i].push((a, b));
+                used[i].insert(a);
+                used[i].insert(b);
+            }
+            None => {
+                matchings.push(vec![(a, b)]);
+                used.push([a, b].into_iter().collect());
+            }
+        }
+    }
+    matchings
+}
+
+/// Generates the coined BWT walk circuit: `steps` repetitions of the
+/// Grover coin on the 2-qubit direction register followed by the
+/// arc-reversal shift permutation. All entries are in `D[ω]`
+/// (coin: ±1/2 and Clifford conjugators, shift: 0/1), and the walk's
+/// dyadic amplitudes keep the exact decision diagram compact.
+///
+/// Start the simulation from [`WeldedTree::coined_start`].
+///
+/// # Examples
+///
+/// ```
+/// use aq_circuits::{bwt, BwtParams};
+///
+/// let (c, tree) = bwt(BwtParams { height: 3, steps: 10, seed: 7 });
+/// assert_eq!(c.n_qubits(), 7); // 5 vertex qubits + 2 coin qubits
+/// assert!(c.is_exact());
+/// assert_eq!(tree.entrance(), 1);
+/// ```
+pub fn bwt(params: BwtParams) -> (Circuit, WeldedTree) {
+    use aq_dd::GateMatrix;
+    let tree = WeldedTree::new(params.height, params.seed);
+    let n = tree.coined_qubits();
+    let (c0, c1) = (n - 2, n - 1);
+    let mut c = Circuit::new(n);
+    // validate the shift once through the checked entry point
+    let mut validator = Circuit::new(n);
+    validator.push_permutation(tree.coined_shift());
+    let shift = std::sync::Arc::new(tree.coined_shift());
+
+    for _ in 0..params.steps {
+        // Grover coin D = 2|s⟩⟨s| − I = −(H⊗H)·(X⊗X·CZ·X⊗X)·(H⊗H);
+        // the global −1 is realised exactly as Z·X·Z·X.
+        for q in [c0, c1] {
+            c.push_gate(GateMatrix::h(), q, &[]);
+        }
+        for q in [c0, c1] {
+            c.push_gate(GateMatrix::x(), q, &[]);
+        }
+        c.push_gate(GateMatrix::z(), c1, &[(c0, true)]);
+        for q in [c0, c1] {
+            c.push_gate(GateMatrix::x(), q, &[]);
+        }
+        for q in [c0, c1] {
+            c.push_gate(GateMatrix::h(), q, &[]);
+        }
+        c.push_gate(GateMatrix::z(), c0, &[]);
+        c.push_gate(GateMatrix::x(), c0, &[]);
+        c.push_gate(GateMatrix::z(), c0, &[]);
+        c.push_gate(GateMatrix::x(), c0, &[]);
+        c.push(crate::Op::Permutation {
+            map: shift.clone(),
+        });
+    }
+    (c, tree)
+}
+
+/// Generates the Trotterized continuous-walk circuit: `steps` slices,
+/// each applying one π/4 matching-evolution factor per matching of the
+/// edge decomposition.
+///
+/// Returns the circuit together with the welded tree. Start from
+/// [`WeldedTree::entrance`]. Unlike the coined [`bwt`], the sequential
+/// matching factors break the column symmetry of the ideal walk, so the
+/// exact decision diagram saturates — useful as a redundancy-poor
+/// counterpoint (like the paper's GSE).
+pub fn bwt_trotter(params: BwtParams) -> (Circuit, WeldedTree) {
+    let tree = WeldedTree::new(params.height, params.seed);
+    let mut c = Circuit::new(tree.n_qubits());
+    // Validate each matching once through the checked entry point, then
+    // reuse one shared Arc per matching so simulators can cache the
+    // operator DD by pointer identity across steps.
+    let mut validator = Circuit::new(tree.n_qubits());
+    let arcs: Vec<std::sync::Arc<Vec<(u64, u64)>>> = tree
+        .matchings()
+        .iter()
+        .map(|m| {
+            validator.push_matching(m.clone());
+            std::sync::Arc::new(m.clone())
+        })
+        .collect();
+    for _ in 0..params.steps {
+        for a in &arcs {
+            c.push(crate::Op::MatchingEvolution { pairs: a.clone() });
+        }
+    }
+    (c, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welded_tree_structure() {
+        let t = WeldedTree::new(3, 42);
+        assert_eq!(t.vertex_count(), 30);
+        assert_eq!(t.n_qubits(), 5);
+        // roots have degree 2, internal 3, welded leaves 3
+        assert_eq!(t.degree(t.entrance()), 2);
+        assert_eq!(t.degree(t.exit()), 2);
+        for v in 2..8u64 {
+            assert_eq!(t.degree(v), 3, "internal vertex {v}");
+        }
+        for v in 8..16u64 {
+            assert_eq!(t.degree(v), 3, "welded leaf {v}");
+        }
+        // edge count: 2·(2^{h+1}−2) tree + 2·2^h weld
+        assert_eq!(t.edges().len(), 2 * (16 - 2) + 2 * 8);
+    }
+
+    #[test]
+    fn matchings_partition_edges_disjointly() {
+        let t = WeldedTree::new(4, 1);
+        let total: usize = t.matchings().iter().map(Vec::len).sum();
+        assert_eq!(total, t.edges().len());
+        assert!(t.matchings().len() <= 5, "got {}", t.matchings().len());
+        for m in t.matchings() {
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b) in m {
+                assert!(seen.insert(a), "vertex {a} repeated");
+                assert!(seen.insert(b), "vertex {b} repeated");
+            }
+        }
+    }
+
+    #[test]
+    fn weld_is_two_regular_on_leaves() {
+        let t = WeldedTree::new(4, 9);
+        let off = 1u64 << 5;
+        for leaf in 16..32u64 {
+            let welds = t
+                .edges()
+                .iter()
+                .filter(|&&(a, b)| {
+                    (a == leaf && b >= off) || (b == leaf && a >= off)
+                })
+                .count();
+            assert_eq!(welds, 2, "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = WeldedTree::new(3, 5);
+        let b = WeldedTree::new(3, 5);
+        assert_eq!(a.edges(), b.edges());
+        let c = WeldedTree::new(3, 6);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn trotter_circuit_has_matchings_times_steps_ops() {
+        let (c, t) = bwt_trotter(BwtParams {
+            height: 3,
+            steps: 7,
+            seed: 0,
+        });
+        assert_eq!(c.len(), 7 * t.matchings().len());
+        assert!(c.is_exact());
+    }
+
+    #[test]
+    fn coined_circuit_structure() {
+        let (c, t) = bwt(BwtParams {
+            height: 3,
+            steps: 4,
+            seed: 0,
+        });
+        assert_eq!(c.n_qubits(), t.coined_qubits());
+        // 13 coin gates + 1 shift per step
+        assert_eq!(c.len(), 4 * 14);
+        assert!(c.is_exact());
+    }
+
+    #[test]
+    fn coined_shift_is_an_involutive_permutation() {
+        let t = WeldedTree::new(3, 5);
+        let shift = t.coined_shift();
+        let dim = 1usize << t.coined_qubits();
+        assert_eq!(shift.len(), dim);
+        let mut seen = vec![false; dim];
+        for (x, &y) in shift.iter().enumerate() {
+            assert!(!std::mem::replace(&mut seen[y as usize], true));
+            assert_eq!(shift[y as usize], x as u64, "shift must be an involution");
+        }
+        // every real arc moves; padding stays fixed
+        for v in 1..=7u64 {
+            let deg = t.degree(v);
+            for d in 0..4u64 {
+                let idx = ((v << 2) | d) as usize;
+                if (d as usize) < deg {
+                    assert_ne!(shift[idx], idx as u64, "arc ({v},{d}) must move");
+                } else {
+                    assert_eq!(shift[idx], idx as u64, "padding ({v},{d}) must stay");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = WeldedTree::new(4, 9);
+        for &(a, b) in t.edges() {
+            assert!(t.neighbors(a).contains(&b));
+            assert!(t.neighbors(b).contains(&a));
+        }
+        assert_eq!(t.neighbors(t.entrance()).len(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! The exact algebraic weight systems: `Q[ω]` (Algorithm 2) and the
+//! GCD-normalized `D[ω]` (Algorithm 3).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use aq_rings::assoc::{canonical_associate, gcd_canonical};
+use aq_rings::{Complex64, Domega, Qomega};
+
+use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// Generic exact-deduplication weight table: canonical forms are hashable,
+/// so equality is structural.
+#[derive(Debug)]
+pub struct ExactTable<V> {
+    values: Vec<V>,
+    index: HashMap<V, WeightId>,
+}
+
+impl<V: Clone + Eq + Hash> ExactTable<V> {
+    fn with_constants(zero: V, one: V) -> Self {
+        let mut t = ExactTable {
+            values: Vec::new(),
+            index: HashMap::new(),
+        };
+        let z = t.intern(zero);
+        let o = t.intern(one);
+        debug_assert_eq!(z, WeightId::ZERO);
+        debug_assert_eq!(o, WeightId::ONE);
+        t
+    }
+}
+
+impl<V: Clone + Eq + Hash> WeightTable for ExactTable<V> {
+    type Value = V;
+
+    fn intern(&mut self, v: V) -> WeightId {
+        if let Some(&id) = self.index.get(&v) {
+            return id;
+        }
+        let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
+        self.values.push(v.clone());
+        self.index.insert(v, id);
+        id
+    }
+
+    fn get(&self, id: WeightId) -> &V {
+        &self.values[id.index()]
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// The `Q[ω]` weight system with field-inverse normalization — the paper's
+/// **Algorithm 2** and the scheme that “always outperformed the
+/// normalization scheme that uses GCDs” in the evaluation (Sec. V-B).
+///
+/// Every weight is an exact element of the cyclotomic field `Q[ω]`; node
+/// weights are normalized by dividing through the leftmost non-zero
+/// weight, which is always possible because `Q[ω]` is a field.
+///
+/// # Examples
+///
+/// ```
+/// use aq_dd::{GateMatrix, Manager, QomegaContext};
+///
+/// let mut m = Manager::new(QomegaContext::new(), 1);
+/// let h = m.gate(&GateMatrix::h(), 0, &[]);
+/// let t = m.gate(&GateMatrix::t(), 0, &[]);
+/// // (TH)·(TH)⁻¹ never leaves the exact ring, so equality is structural:
+/// let th = m.mat_mul(&t, &h);
+/// assert_ne!(th, m.identity());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QomegaContext;
+
+impl QomegaContext {
+    /// Creates the context.
+    pub fn new() -> Self {
+        QomegaContext
+    }
+}
+
+impl WeightContext for QomegaContext {
+    type Value = Qomega;
+    type Table = ExactTable<Qomega>;
+
+    fn new_table(&self) -> Self::Table {
+        ExactTable::with_constants(Qomega::zero(), Qomega::one())
+    }
+
+    fn zero(&self) -> Qomega {
+        Qomega::zero()
+    }
+
+    fn one(&self) -> Qomega {
+        Qomega::one()
+    }
+
+    fn add(&self, a: &Qomega, b: &Qomega) -> Qomega {
+        a + b
+    }
+
+    fn mul(&self, a: &Qomega, b: &Qomega) -> Qomega {
+        a * b
+    }
+
+    fn neg(&self, a: &Qomega) -> Qomega {
+        -a
+    }
+
+    fn conj(&self, a: &Qomega) -> Qomega {
+        a.conj()
+    }
+
+    fn is_zero(&self, a: &Qomega) -> bool {
+        a.is_zero()
+    }
+
+    fn normalize(&self, ws: &mut [Qomega]) -> Option<Qomega> {
+        // Algorithm 2: divide all weights by the leftmost non-zero one.
+        let pivot = ws.iter().position(|w| !w.is_zero())?;
+        let eta = ws[pivot].clone();
+        let inv = eta.inverse().expect("pivot is non-zero");
+        for (i, w) in ws.iter_mut().enumerate() {
+            if i == pivot {
+                *w = Qomega::one();
+            } else if !w.is_zero() {
+                *w = &*w * &inv;
+            }
+        }
+        Some(eta)
+    }
+
+    fn from_exact(&self, d: &Domega) -> Qomega {
+        Qomega::from(d.clone())
+    }
+
+    fn from_approx(&self, _c: Complex64) -> Option<Qomega> {
+        None // irrational angles must be Clifford+T-compiled first
+    }
+
+    fn to_complex(&self, a: &Qomega) -> Complex64 {
+        a.to_complex64()
+    }
+
+    fn value_bits(&self, a: &Qomega) -> u64 {
+        a.coeff_bits()
+    }
+}
+
+/// The `D[ω]` weight system with canonical-GCD normalization — the paper's
+/// **Algorithm 3**, enabled by `Z[ω]` being a Euclidean ring.
+///
+/// Node weights are divided by a greatest common divisor adjusted to the
+/// canonical associate (norm-reduced, rotation-minimal), so the diagram is
+/// canonical without ever leaving `D[ω]`.
+#[derive(Debug, Clone, Default)]
+pub struct GcdContext;
+
+impl GcdContext {
+    /// Creates the context.
+    pub fn new() -> Self {
+        GcdContext
+    }
+}
+
+impl WeightContext for GcdContext {
+    type Value = Domega;
+    type Table = ExactTable<Domega>;
+
+    fn new_table(&self) -> Self::Table {
+        ExactTable::with_constants(Domega::zero(), Domega::one())
+    }
+
+    fn zero(&self) -> Domega {
+        Domega::zero()
+    }
+
+    fn one(&self) -> Domega {
+        Domega::one()
+    }
+
+    fn add(&self, a: &Domega, b: &Domega) -> Domega {
+        a + b
+    }
+
+    fn mul(&self, a: &Domega, b: &Domega) -> Domega {
+        a * b
+    }
+
+    fn neg(&self, a: &Domega) -> Domega {
+        -a
+    }
+
+    fn conj(&self, a: &Domega) -> Domega {
+        a.conj()
+    }
+
+    fn is_zero(&self, a: &Domega) -> bool {
+        a.is_zero()
+    }
+
+    fn normalize(&self, ws: &mut [Domega]) -> Option<Domega> {
+        // Algorithm 3: extract a GCD, then adjust it by a unit so the
+        // leftmost non-zero weight becomes the canonical associate of its
+        // class — unit-invariant, hence canonical.
+        let g = gcd_canonical(ws.iter())?;
+        let g = Domega::from(g);
+        let pivot = ws.iter().position(|w| !w.is_zero()).expect("gcd found one");
+        let z = div_exact_domega(&ws[pivot], &g);
+        let (zc, unit) = canonical_associate(&z);
+        // η = g·unit, so that w_pivot/η = canonical associate z_c.
+        let eta = &g * &unit;
+        for (i, w) in ws.iter_mut().enumerate() {
+            if w.is_zero() {
+                continue;
+            }
+            if i == pivot {
+                *w = Domega::from(zc.clone());
+            } else {
+                *w = div_exact_domega(w, &eta);
+            }
+        }
+        Some(eta)
+    }
+
+    fn from_exact(&self, d: &Domega) -> Domega {
+        d.clone()
+    }
+
+    fn from_approx(&self, _c: Complex64) -> Option<Domega> {
+        None
+    }
+
+    fn to_complex(&self, a: &Domega) -> Complex64 {
+        a.to_complex64()
+    }
+
+    fn value_bits(&self, a: &Domega) -> u64 {
+        a.coeff_bits()
+    }
+}
+
+/// Division in `D[ω]` that must be exact (the divisor divides the
+/// dividend by construction).
+///
+/// # Panics
+///
+/// Panics if the quotient leaves `D[ω]` — that would be a normalization
+/// bug, not a user error.
+fn div_exact_domega(a: &Domega, b: &Domega) -> Domega {
+    let q = &Qomega::from(a.clone()) / &Qomega::from(b.clone());
+    q.to_domega()
+        .expect("GCD normalization divided by a non-divisor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_rings::Zomega;
+
+    fn dw(a: i64, b: i64, c: i64, d: i64, k: i64) -> Domega {
+        Domega::new(Zomega::new(a.into(), b.into(), c.into(), d.into()), k)
+    }
+
+    #[test]
+    fn exact_table_dedups_structurally() {
+        let ctx = QomegaContext::new();
+        let mut t = ctx.new_table();
+        let a = t.intern(Qomega::from_int_ratio(1, 3));
+        let b = t.intern(&Qomega::from_int_ratio(2, 3) - &Qomega::from_int_ratio(1, 3));
+        assert_eq!(a, b, "canonical forms must coincide");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn qomega_normalize_leftmost_becomes_one() {
+        let ctx = QomegaContext::new();
+        let mut ws = [
+            Qomega::zero(),
+            Qomega::from(Domega::one_over_sqrt2()),
+            Qomega::from_int(-1),
+            Qomega::from_int_ratio(3, 5),
+        ];
+        let orig = ws.clone();
+        let eta = ctx.normalize(&mut ws).expect("nonzero");
+        assert!(ws[1].is_one());
+        for (w, o) in ws.iter().zip(&orig) {
+            assert_eq!(&(&eta * w), o, "η·w' must reproduce w");
+        }
+    }
+
+    #[test]
+    fn qomega_normalize_all_zero() {
+        let ctx = QomegaContext::new();
+        assert!(ctx.normalize(&mut [Qomega::zero(), Qomega::zero()]).is_none());
+    }
+
+    #[test]
+    fn gcd_normalize_reproduces_weights() {
+        let ctx = GcdContext::new();
+        let mut ws = [
+            dw(0, 0, 0, 6, 1),
+            dw(0, 0, 0, -9, 1),
+            Domega::zero(),
+            dw(0, 0, 3, 3, 1),
+        ];
+        let orig = ws.clone();
+        let eta = ctx.normalize(&mut ws).expect("nonzero");
+        for (w, o) in ws.iter().zip(&orig) {
+            assert_eq!(&(&eta * w), o);
+        }
+        // the common factor 3 (times units) must have been extracted:
+        // remaining weights have coprime numerators.
+        let g = gcd_canonical(ws.iter()).expect("nonzero");
+        assert!(
+            g.euclidean_value().is_one(),
+            "weights still share a factor: {g:?}"
+        );
+    }
+
+    #[test]
+    fn gcd_normalize_is_unit_invariant() {
+        let ctx = GcdContext::new();
+        let base = [dw(1, 0, 2, 3, 0), dw(0, 1, 1, -1, 2), dw(2, 2, 0, 4, 1)];
+        let mut w1 = base.clone();
+        let n1 = ctx.normalize(&mut w1).expect("nonzero");
+        // scale all weights by a unit: ω/√2
+        let u = &Domega::omega() * &Domega::one_over_sqrt2();
+        let mut w2 = base.clone();
+        for w in &mut w2 {
+            *w = &*w * &u;
+        }
+        let n2 = ctx.normalize(&mut w2).expect("nonzero");
+        assert_eq!(w1, w2, "normalized weights must be scale-invariant");
+        assert_eq!(&n2, &(&n1 * &u));
+    }
+
+    #[test]
+    fn algebraic_contexts_reject_irrational_gates() {
+        let c = Complex64::from_polar_unit(0.3);
+        assert!(QomegaContext::new().from_approx(c).is_none());
+        assert!(GcdContext::new().from_approx(c).is_none());
+    }
+
+    #[test]
+    fn value_bits_grow_with_coefficients() {
+        let ctx = QomegaContext::new();
+        let big = Qomega::from_int_ratio(i64::MAX, 3);
+        assert!(ctx.value_bits(&big) >= 60);
+        assert_eq!(ctx.value_bits(&Qomega::one()), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Node identifiers and weighted edges.
+
+use std::fmt;
+
+use crate::weight::WeightId;
+
+/// Identifier of a vector-DD node (radix-2 branching) inside a manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VecId(pub(crate) u32);
+
+/// Identifier of a matrix-DD node (radix-4 branching) inside a manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatId(pub(crate) u32);
+
+impl VecId {
+    /// The shared terminal node.
+    pub const TERMINAL: VecId = VecId(u32::MAX);
+
+    /// Returns `true` for the terminal.
+    pub fn is_terminal(self) -> bool {
+        self == VecId::TERMINAL
+    }
+}
+
+impl MatId {
+    /// The shared terminal node.
+    pub const TERMINAL: MatId = MatId(u32::MAX);
+
+    /// Returns `true` for the terminal.
+    pub fn is_terminal(self) -> bool {
+        self == MatId::TERMINAL
+    }
+}
+
+impl fmt::Debug for VecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_terminal() {
+            write!(f, "vT")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for MatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_terminal() {
+            write!(f, "mT")
+        } else {
+            write!(f, "m{}", self.0)
+        }
+    }
+}
+
+/// A weighted edge: the fundamental QMDD reference. To read a matrix entry
+/// or amplitude, multiply the weights along the root-to-terminal path
+/// (Example 3 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge<N> {
+    /// Interned edge weight.
+    pub w: WeightId,
+    /// Target node (or the terminal).
+    pub n: N,
+}
+
+impl Edge<VecId> {
+    /// The canonical zero edge (weight 0 pointing at the terminal).
+    pub const ZERO_VEC: Edge<VecId> = Edge {
+        w: WeightId::ZERO,
+        n: VecId::TERMINAL,
+    };
+}
+
+impl Edge<MatId> {
+    /// The canonical zero edge (weight 0 pointing at the terminal).
+    pub const ZERO_MAT: Edge<MatId> = Edge {
+        w: WeightId::ZERO,
+        n: MatId::TERMINAL,
+    };
+}
+
+impl<N: Copy + PartialEq> Edge<N> {
+    /// Returns `true` for the canonical zero edge.
+    pub fn is_zero(&self) -> bool {
+        self.w == WeightId::ZERO
+    }
+}
+
+/// A vector-DD node: branches on one qubit with two successors
+/// (`|0⟩` branch, `|1⟩` branch).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct VecNode {
+    pub var: u32,
+    pub children: [Edge<VecId>; 2],
+}
+
+/// A matrix-DD node: branches on one qubit with four successors ordered
+/// `(row, col)` = `(0,0), (0,1), (1,0), (1,1)` — top-left, top-right,
+/// bottom-left, bottom-right sub-matrix as in Fig. 1 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct MatNode {
+    pub var: u32,
+    pub children: [Edge<MatId>; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_markers() {
+        assert!(VecId::TERMINAL.is_terminal());
+        assert!(MatId::TERMINAL.is_terminal());
+        assert!(!VecId(0).is_terminal());
+        assert!(Edge::<VecId>::ZERO_VEC.is_zero());
+        assert!(Edge::<MatId>::ZERO_MAT.is_zero());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VecId::TERMINAL), "vT");
+        assert_eq!(format!("{:?}", MatId(3)), "m3");
+    }
+}

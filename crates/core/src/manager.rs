@@ -1,0 +1,398 @@
+//! The QMDD manager: arenas, unique tables, interning, construction.
+
+use std::collections::HashMap;
+
+use crate::edge::{Edge, MatId, MatNode, VecId, VecNode};
+use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// A QMDD manager for a fixed number of qubits over one weight system.
+///
+/// Owns the node arenas, the unique tables (hash-consing: structurally
+/// equal nodes are shared), the interned weight table and the compute
+/// caches. All decision diagrams live inside a manager and are referenced
+/// by [`Edge`]s.
+///
+/// Because every node is normalized on construction ([Sec. II-B] of the
+/// paper), QMDDs are **canonical**: two edges are equal iff they represent
+/// the same matrix/vector — equivalence checking is `O(1)` root comparison.
+///
+/// # Examples
+///
+/// ```
+/// use aq_dd::{GateMatrix, Manager, NumericContext};
+///
+/// let mut m = Manager::new(NumericContext::new(), 2);
+/// let state = m.basis_state(0b00);
+/// let h0 = m.gate(&GateMatrix::h(), 0, &[]);
+/// let cx = m.gate(&GateMatrix::x(), 1, &[(0, true)]);
+/// let bell = {
+///     let s = m.mat_vec(&h0, &state);
+///     m.mat_vec(&cx, &s)
+/// };
+/// let amps = m.amplitudes(&bell);
+/// assert!((amps[0].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// assert!((amps[3].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// assert!(amps[1].abs() < 1e-12 && amps[2].abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct Manager<W: WeightContext> {
+    pub(crate) ctx: W,
+    pub(crate) n_qubits: u32,
+    pub(crate) table: W::Table,
+    pub(crate) vec_nodes: Vec<VecNode>,
+    pub(crate) mat_nodes: Vec<MatNode>,
+    pub(crate) vec_unique: HashMap<VecNode, VecId>,
+    pub(crate) mat_unique: HashMap<MatNode, MatId>,
+    pub(crate) add_vec_cache: HashMap<(Edge<VecId>, Edge<VecId>), Edge<VecId>>,
+    pub(crate) add_mat_cache: HashMap<(Edge<MatId>, Edge<MatId>), Edge<MatId>>,
+    pub(crate) mv_cache: HashMap<(MatId, VecId), Edge<VecId>>,
+    pub(crate) mm_cache: HashMap<(MatId, MatId), Edge<MatId>>,
+}
+
+impl<W: WeightContext> Manager<W> {
+    /// Creates an empty manager for `n_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn new(ctx: W, n_qubits: u32) -> Self {
+        assert!(n_qubits > 0, "need at least one qubit");
+        let table = ctx.new_table();
+        Manager {
+            ctx,
+            n_qubits,
+            table,
+            vec_nodes: Vec::new(),
+            mat_nodes: Vec::new(),
+            vec_unique: HashMap::new(),
+            mat_unique: HashMap::new(),
+            add_vec_cache: HashMap::new(),
+            add_mat_cache: HashMap::new(),
+            mv_cache: HashMap::new(),
+            mm_cache: HashMap::new(),
+        }
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// The weight context.
+    pub fn ctx(&self) -> &W {
+        &self.ctx
+    }
+
+    /// Number of distinct weights currently interned.
+    pub fn distinct_weights(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Looks up an interned weight value.
+    pub fn weight(&self, id: WeightId) -> &W::Value {
+        self.table.get(id)
+    }
+
+    /// Interns a weight value, collapsing ε-zeros to the canonical zero id.
+    pub fn intern(&mut self, v: W::Value) -> WeightId {
+        if self.ctx.is_zero(&v) {
+            return WeightId::ZERO;
+        }
+        self.table.intern(v)
+    }
+
+    /// Interned product of two weights.
+    pub(crate) fn w_mul(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        if a == WeightId::ZERO || b == WeightId::ZERO {
+            return WeightId::ZERO;
+        }
+        if a == WeightId::ONE {
+            return b;
+        }
+        if b == WeightId::ONE {
+            return a;
+        }
+        let v = self.ctx.mul(self.table.get(a), self.table.get(b));
+        self.intern(v)
+    }
+
+    /// Interned sum of two weights.
+    pub(crate) fn w_add(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        if a == WeightId::ZERO {
+            return b;
+        }
+        if b == WeightId::ZERO {
+            return a;
+        }
+        let v = self.ctx.add(self.table.get(a), self.table.get(b));
+        self.intern(v)
+    }
+
+    /// Creates (or finds) a normalized vector node and returns the edge to
+    /// it carrying the extracted normalization factor.
+    pub(crate) fn make_vec_node(&mut self, var: u32, children: [Edge<VecId>; 2]) -> Edge<VecId> {
+        let mut vals = [
+            self.table.get(children[0].w).clone(),
+            self.table.get(children[1].w).clone(),
+        ];
+        let Some(eta) = self.ctx.normalize(&mut vals) else {
+            return Edge::ZERO_VEC;
+        };
+        let [v0, v1] = vals;
+        let e0 = self.norm_child(v0, children[0].n);
+        let e1 = self.norm_child(v1, children[1].n);
+        let node = VecNode {
+            var,
+            children: [e0, e1],
+        };
+        let id = match self.vec_unique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = VecId(u32::try_from(self.vec_nodes.len()).expect("node arena overflow"));
+                self.vec_nodes.push(node);
+                self.vec_unique.insert(node, id);
+                id
+            }
+        };
+        Edge {
+            w: self.intern(eta),
+            n: id,
+        }
+    }
+
+    fn norm_child(&mut self, v: W::Value, n: VecId) -> Edge<VecId> {
+        let w = self.intern(v);
+        if w == WeightId::ZERO {
+            Edge::ZERO_VEC
+        } else {
+            Edge { w, n }
+        }
+    }
+
+    /// Creates (or finds) a normalized matrix node.
+    pub(crate) fn make_mat_node(&mut self, var: u32, children: [Edge<MatId>; 4]) -> Edge<MatId> {
+        let mut vals = [
+            self.table.get(children[0].w).clone(),
+            self.table.get(children[1].w).clone(),
+            self.table.get(children[2].w).clone(),
+            self.table.get(children[3].w).clone(),
+        ];
+        let Some(eta) = self.ctx.normalize(&mut vals) else {
+            return Edge::ZERO_MAT;
+        };
+        let mut edges = [Edge::ZERO_MAT; 4];
+        for (i, v) in vals.into_iter().enumerate() {
+            let w = self.intern(v);
+            edges[i] = if w == WeightId::ZERO {
+                Edge::ZERO_MAT
+            } else {
+                Edge { w, n: children[i].n }
+            };
+        }
+        let node = MatNode {
+            var,
+            children: edges,
+        };
+        let id = match self.mat_unique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = MatId(u32::try_from(self.mat_nodes.len()).expect("node arena overflow"));
+                self.mat_nodes.push(node);
+                self.mat_unique.insert(node, id);
+                id
+            }
+        };
+        Edge {
+            w: self.intern(eta),
+            n: id,
+        }
+    }
+
+    /// The computational basis state `|index⟩` (qubit 0 is the most
+    /// significant bit, matching the variable order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn basis_state(&mut self, index: u64) -> Edge<VecId> {
+        assert!(
+            self.n_qubits >= 64 || index < 1u64 << self.n_qubits,
+            "basis state index out of range"
+        );
+        let mut e = Edge {
+            w: WeightId::ONE,
+            n: VecId::TERMINAL,
+        };
+        for var in (0..self.n_qubits).rev() {
+            let bit = (index >> (self.n_qubits - 1 - var)) & 1;
+            let children = if bit == 0 {
+                [e, Edge::ZERO_VEC]
+            } else {
+                [Edge::ZERO_VEC, e]
+            };
+            e = self.make_vec_node(var, children);
+        }
+        e
+    }
+
+    /// The matrix DD with a single `1` entry at `(row, col)` — the outer
+    /// product `|row⟩⟨col|`. Building-block for sparse operators such as
+    /// the quantum-walk factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn unit_matrix(&mut self, row: u64, col: u64) -> Edge<MatId> {
+        let n = self.n_qubits;
+        assert!(
+            n >= 64 || (row < 1u64 << n && col < 1u64 << n),
+            "unit matrix index out of range"
+        );
+        let mut e = Edge {
+            w: WeightId::ONE,
+            n: MatId::TERMINAL,
+        };
+        for var in (0..n).rev() {
+            let r = ((row >> (n - 1 - var)) & 1) as usize;
+            let c = ((col >> (n - 1 - var)) & 1) as usize;
+            let mut children = [Edge::ZERO_MAT; 4];
+            children[2 * r + c] = e;
+            e = self.make_mat_node(var, children);
+        }
+        e
+    }
+
+    /// The identity operator on all qubits.
+    pub fn identity(&mut self) -> Edge<MatId> {
+        let mut e = Edge {
+            w: WeightId::ONE,
+            n: MatId::TERMINAL,
+        };
+        for var in (0..self.n_qubits).rev() {
+            e = self.make_mat_node(var, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, e]);
+        }
+        e
+    }
+
+    /// Total nodes currently allocated (live + garbage); used to trigger
+    /// [`Manager::compact`].
+    pub fn allocated_nodes(&self) -> usize {
+        self.vec_nodes.len() + self.mat_nodes.len()
+    }
+
+    /// Clears all compute caches (unique tables and nodes are kept).
+    pub fn clear_caches(&mut self) {
+        self.add_vec_cache.clear();
+        self.add_mat_cache.clear();
+        self.mv_cache.clear();
+        self.mm_cache.clear();
+    }
+
+    /// Trims compute caches that have grown beyond `cap` entries.
+    pub(crate) fn bound_caches(&mut self, cap: usize) {
+        if self.add_vec_cache.len() > cap {
+            self.add_vec_cache.clear();
+        }
+        if self.add_mat_cache.len() > cap {
+            self.add_mat_cache.clear();
+        }
+        if self.mv_cache.len() > cap {
+            self.mv_cache.clear();
+        }
+        if self.mm_cache.len() > cap {
+            self.mm_cache.clear();
+        }
+    }
+
+    /// Rebuilds the manager keeping only the DDs reachable from the given
+    /// roots, returning the remapped roots in order (vector roots first).
+    ///
+    /// This is the package's garbage collection: simulations create large
+    /// amounts of dead nodes and weights; compaction copies the live
+    /// structure into fresh arenas and drops everything else (including
+    /// all compute caches).
+    pub fn compact(
+        &mut self,
+        vec_roots: &[Edge<VecId>],
+        mat_roots: &[Edge<MatId>],
+    ) -> (Vec<Edge<VecId>>, Vec<Edge<MatId>>) {
+        let old = std::mem::replace(self, Manager::new(self.ctx.clone(), self.n_qubits));
+        let mut vec_map: HashMap<VecId, VecId> = HashMap::new();
+        let mut mat_map: HashMap<MatId, MatId> = HashMap::new();
+        let new_vecs = vec_roots
+            .iter()
+            .map(|e| {
+                let n = copy_vec(&old, self, e.n, &mut vec_map);
+                let w = self.intern(old.table.get(e.w).clone());
+                Edge { w, n }
+            })
+            .collect();
+        let new_mats = mat_roots
+            .iter()
+            .map(|e| {
+                let n = copy_mat(&old, self, e.n, &mut mat_map);
+                let w = self.intern(old.table.get(e.w).clone());
+                Edge { w, n }
+            })
+            .collect();
+        (new_vecs, new_mats)
+    }
+}
+
+fn copy_vec<W: WeightContext>(
+    old: &Manager<W>,
+    new: &mut Manager<W>,
+    id: VecId,
+    map: &mut HashMap<VecId, VecId>,
+) -> VecId {
+    if id.is_terminal() {
+        return VecId::TERMINAL;
+    }
+    if let Some(&m) = map.get(&id) {
+        return m;
+    }
+    let node = old.vec_nodes[id.0 as usize];
+    let mut children = [Edge::ZERO_VEC; 2];
+    for (i, c) in node.children.iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        let n = copy_vec(old, new, c.n, map);
+        let w = new.intern(old.table.get(c.w).clone());
+        children[i] = Edge { w, n };
+    }
+    // Children were already normalized, so re-making the node extracts a
+    // factor of exactly 1 and reuses the same structure.
+    let e = new.make_vec_node(node.var, children);
+    debug_assert_eq!(e.w, WeightId::ONE, "copy of a normalized node must not rescale");
+    map.insert(id, e.n);
+    e.n
+}
+
+fn copy_mat<W: WeightContext>(
+    old: &Manager<W>,
+    new: &mut Manager<W>,
+    id: MatId,
+    map: &mut HashMap<MatId, MatId>,
+) -> MatId {
+    if id.is_terminal() {
+        return MatId::TERMINAL;
+    }
+    if let Some(&m) = map.get(&id) {
+        return m;
+    }
+    let node = old.mat_nodes[id.0 as usize];
+    let mut children = [Edge::ZERO_MAT; 4];
+    for (i, c) in node.children.iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        let n = copy_mat(old, new, c.n, map);
+        let w = new.intern(old.table.get(c.w).clone());
+        children[i] = Edge { w, n };
+    }
+    let e = new.make_mat_node(node.var, children);
+    debug_assert_eq!(e.w, WeightId::ONE, "copy of a normalized node must not rescale");
+    map.insert(id, e.n);
+    e.n
+}

@@ -1,0 +1,237 @@
+//! Double-precision complex numbers and the tolerance comparison used by
+//! the *numerical* QMDD representation.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number in IEEE 754 double precision — the number system of the
+/// state-of-the-art numerical QMDD packages the paper evaluates against.
+///
+/// # Examples
+///
+/// ```
+/// use aq_rings::Complex64;
+///
+/// let i = Complex64::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared absolute value `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Exact zero test (bit-level, like `ε = 0` in the paper).
+    pub fn is_exactly_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+/// The tolerance value ε of Sec. III of the paper: two complex numbers are
+/// identified when both component distances are `≤ ε`.
+///
+/// `Tolerance::exact()` (ε = 0) identifies only bit-identical values — the
+/// “highest possible precision using floating point numbers” extreme of
+/// Fig. 2; larger values trade accuracy for compactness.
+///
+/// # Examples
+///
+/// ```
+/// use aq_rings::{Complex64, Tolerance};
+///
+/// let t = Tolerance::new(1e-10);
+/// let a = Complex64::new(1.0 / 3.0, 0.0);
+/// let b = Complex64::new(1.0 / 3.0 + 1e-12, 0.0);
+/// assert!(t.eq(a, b));
+/// assert!(!Tolerance::exact().eq(a, b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    eps: f64,
+}
+
+impl Tolerance {
+    /// A tolerance of `eps` per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or not finite.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps.is_finite() && eps >= 0.0, "tolerance must be ≥ 0");
+        Tolerance { eps }
+    }
+
+    /// The exact comparison, ε = 0.
+    pub fn exact() -> Self {
+        Tolerance { eps: 0.0 }
+    }
+
+    /// The ε value.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Component-wise comparison within ε.
+    pub fn eq(&self, a: Complex64, b: Complex64) -> bool {
+        (a.re - b.re).abs() <= self.eps && (a.im - b.im).abs() <= self.eps
+    }
+
+    /// Is `v` within ε of zero?
+    pub fn is_zero(&self, v: Complex64) -> bool {
+        v.re.abs() <= self.eps && v.im.abs() <= self.eps
+    }
+
+    /// Is `v` within ε of one?
+    pub fn is_one(&self, v: Complex64) -> bool {
+        (v.re - 1.0).abs() <= self.eps && v.im.abs() <= self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        assert_eq!(a * b, Complex64::new(-4.0, -5.5));
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-15);
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn norms_and_conj() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!((a * a.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn polar() {
+        let c = Complex64::from_polar_unit(std::f64::consts::FRAC_PI_2);
+        assert!((c - Complex64::I).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tolerance_semantics() {
+        let t = Tolerance::new(1e-6);
+        assert!(t.eq(Complex64::ONE, Complex64::new(1.0 + 5e-7, -5e-7)));
+        assert!(!t.eq(Complex64::ONE, Complex64::new(1.0 + 2e-6, 0.0)));
+        assert!(t.is_zero(Complex64::new(1e-7, -1e-7)));
+        assert!(t.is_one(Complex64::new(1.0, 1e-7)));
+        // exact tolerance only matches identical bits
+        assert!(Tolerance::exact().eq(Complex64::ONE, Complex64::ONE));
+        assert!(!Tolerance::exact().eq(
+            Complex64::ONE,
+            Complex64::new(1.0 + f64::EPSILON, 0.0)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be ≥ 0")]
+    fn negative_tolerance_rejected() {
+        let _ = Tolerance::new(-1.0);
+    }
+}

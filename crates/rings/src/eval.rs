@@ -1,0 +1,149 @@
+//! Arbitrary-precision fixed-point evaluation of algebraic numbers.
+//!
+//! Converting `(a·ω³ + b·ω² + c·ω + d) / (√2^k · e)` to floating point
+//! naively suffers catastrophic cancellation: `d` and `(c−a)/√2` can be
+//! astronomically large while their sum is a state amplitude `≤ 1`. The
+//! accuracy evaluation of the paper (footnote 8) needs the *exact* value to
+//! ~`1e−16`, so we evaluate in integer fixed point with enough guard bits
+//! and convert at the very end.
+
+use aq_bigint::{IBig, UBig};
+
+use crate::{Complex64, Zomega};
+
+/// Evaluates `num / (√2^k · denom)` to a [`Complex64`].
+///
+/// Exact up to the final double rounding: all intermediate arithmetic is
+/// arbitrary-precision fixed point with a precision that scales with the
+/// coefficient bit widths.
+pub(crate) fn zomega_to_complex(num: &Zomega, k: i64, denom: &UBig) -> Complex64 {
+    if num.is_zero() {
+        return Complex64::ZERO;
+    }
+    // Guard bits: the value can be as small as ~2^-(2·coefbits) relative to
+    // the leading terms (near-total cancellation), and the denominator
+    // removes another |k|/2 + bits(e) bits.
+    let coef_bits = num.coeffs().iter().map(|x| x.bit_len()).max().unwrap_or(0);
+    let p = 2 * coef_bits + denom.bit_len() + k.unsigned_abs() / 2 + 128;
+
+    let sqrt2_fp = IBig::from((UBig::from(2u64) << (2 * p)).isqrt()); // ≈ √2·2^p
+
+    // re·2^(p+1) = d·2^(p+1) + (c−a)·√2·2^p ; im analogously with (c+a), b.
+    let re = &(&num.d << (p + 1)) + &(&(&num.c - &num.a) * &sqrt2_fp);
+    let im = &(&num.b << (p + 1)) + &(&(&num.c + &num.a) * &sqrt2_fp);
+    let mut shift: i64 = p as i64 + 1;
+
+    let divide = |x: IBig, shift: &mut i64| -> IBig {
+        let mut x = x;
+        // √2^k = 2^(k/2) · √2^(k mod 2); powers of two fold into `shift`.
+        if k >= 0 {
+            *shift += k / 2;
+            if k % 2 == 1 {
+                // x / √2 = x·√2 / 2
+                x = &x * &sqrt2_fp;
+                *shift += p as i64 + 1;
+            }
+        } else {
+            let m = -k;
+            *shift -= m / 2;
+            if m % 2 == 1 {
+                x = &x * &sqrt2_fp;
+                *shift += p as i64;
+            }
+        }
+        if !denom.is_one() {
+            x = x.div_round_nearest(&IBig::from(denom.clone()));
+        }
+        x
+    };
+
+    let mut shift_re = shift;
+    let re = divide(re, &mut shift_re);
+    let im = divide(im, &mut shift);
+
+    Complex64::new(ldexp_big(&re, -shift_re), ldexp_big(&im, -shift))
+}
+
+/// `x · 2^e` for big `x`, saturating to `±INFINITY` / flushing to zero at
+/// the extremes of the double range.
+fn ldexp_big(x: &IBig, e: i64) -> f64 {
+    let (m, x_exp) = x.to_f64_exp();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let total = x_exp + e;
+    if total > 1024 {
+        return if m < 0.0 { f64::NEG_INFINITY } else { f64::INFINITY };
+    }
+    if total < -1070 {
+        return 0.0;
+    }
+    // m ∈ [0.5, 1): multiply in two steps to dodge intermediate overflow.
+    let half = total / 2;
+    m * 2f64.powi(half as i32) * 2f64.powi((total - half) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domega, Qomega};
+
+    fn assert_close(c: Complex64, re: f64, im: f64) {
+        assert!((c.re - re).abs() < 1e-12, "re: {} vs {re}", c.re);
+        assert!((c.im - im).abs() < 1e-12, "im: {} vs {im}", c.im);
+    }
+
+    #[test]
+    fn basic_constants() {
+        assert_close(Domega::one().to_complex64(), 1.0, 0.0);
+        assert_close(Domega::i().to_complex64(), 0.0, 1.0);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert_close(Domega::omega().to_complex64(), s, s);
+        assert_close(Domega::sqrt2().to_complex64(), std::f64::consts::SQRT_2, 0.0);
+        assert_close(Domega::one_over_sqrt2().to_complex64(), s, 0.0);
+    }
+
+    #[test]
+    fn rationals() {
+        assert_close(Qomega::from_int_ratio(-3, 7).to_complex64(), -3.0 / 7.0, 0.0);
+        assert_close(Qomega::from_int_ratio(1, 1024).to_complex64(), 1.0 / 1024.0, 0.0);
+    }
+
+    #[test]
+    fn cancellation_resistant() {
+        // (ω + ω⁻¹)·huge − huge·√2 == 0 exactly; build a number whose value
+        // is tiny compared to its coefficients: x = (2^200 + 1)/√2^400 − small…
+        // Simpler: (√2)^2·2^199 − 2^200 = 0; evaluate y = big − big + 3/8.
+        let big = Domega::new(Zomega::from_int(1), -400); // √2^400 = 2^200
+        let explicit = Domega::new(Zomega::from_int(1).mul_scalar(&(&IBig::from(1) << 200)), 0);
+        let diff = &(&big - &explicit) + &Qomega::from_int_ratio(3, 8).to_domega().expect("dyadic");
+        assert_close(diff.to_complex64(), 0.375, 0.0);
+    }
+
+    #[test]
+    fn tiny_values_do_not_flush() {
+        // 1/√2^600 ≈ 2^-300: far below 1 but well inside f64 range.
+        let tiny = Domega::one().div_sqrt2_pow(600);
+        let c = tiny.to_complex64();
+        assert!((c.re - 2f64.powi(-300)).abs() < 2f64.powi(-300) * 1e-12);
+    }
+
+    #[test]
+    fn saturation_at_f64_range() {
+        let huge = Domega::new(Zomega::from_int(1), -4200); // 2^2100
+        assert_eq!(huge.to_complex64().re, f64::INFINITY);
+        let tiny = Domega::one().div_sqrt2_pow(4200);
+        assert_eq!(tiny.to_complex64().re, 0.0);
+    }
+
+    #[test]
+    fn omega_powers_lie_on_unit_circle() {
+        let mut w = Domega::one();
+        for j in 0..8 {
+            let c = w.to_complex64();
+            let angle = std::f64::consts::FRAC_PI_4 * j as f64;
+            assert_close(c, angle.cos(), angle.sin());
+            w = &w * &Domega::omega();
+        }
+    }
+}

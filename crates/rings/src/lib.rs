@@ -1,0 +1,63 @@
+//! Exact algebraic number systems for quantum computation.
+//!
+//! This crate implements the algebraic machinery of the paper *“Overcoming
+//! the Trade-off between Accuracy and Compactness in Decision Diagrams for
+//! Quantum Computation”* (Sec. IV):
+//!
+//! * [`Zroot2`] — the real quadratic ring `Z[√2]`, used for norms.
+//! * [`Zomega`] — the ring of cyclotomic integers `Z[ω]` with
+//!   `ω = e^{iπ/4} = (1+i)/√2`, a Euclidean ring (division and GCDs).
+//! * [`Domega`] — the ring `D[ω] = Z[i, 1/√2]` of all complex numbers
+//!   realisable exactly by Clifford+T circuits, stored with the **minimal
+//!   denominator exponent** (Algorithm 1 of the paper) so representations
+//!   are unique.
+//! * [`Qomega`] — the cyclotomic field `Q[ω]`, the algebraic closure used
+//!   for edge-weight normalization with multiplicative inverses
+//!   (Algorithm 2 of the paper).
+//! * [`Complex64`] — plain double-precision complex numbers plus the
+//!   tolerance-based comparison that the *numerical* QMDD representation
+//!   uses (Sec. III), provided here so both number systems share one home.
+//!
+//! Every element of `D[ω]` can be written as
+//!
+//! ```text
+//!        1
+//!   α = ──── (a·ω³ + b·ω² + c·ω + d),      a, b, c, d, k ∈ Z
+//!       √2^k
+//! ```
+//!
+//! and the canonical form fixes `k` minimal. The coefficients are
+//! arbitrary-precision [`aq_bigint::IBig`]s (the paper uses GMP; see
+//! `DESIGN.md` for the substitution note).
+//!
+//! # Examples
+//!
+//! ```
+//! use aq_rings::{Domega, Qomega};
+//!
+//! // 1/√2, the Hadamard scale factor, is exact:
+//! let h = Domega::one_over_sqrt2();
+//! assert_eq!(&h * &h, Domega::from_int(1).div_sqrt2_pow(2));
+//!
+//! // Q[ω] is a field: (1 + i√2)⁻¹ = (1 − i√2)/3  (Example 8 of the paper)
+//! let z = Qomega::from(Domega::one_plus_i_sqrt2());
+//! let inv = z.inverse().expect("nonzero");
+//! assert_eq!(&z * &inv, Qomega::one());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+mod complex;
+mod domega;
+mod eval;
+mod qomega;
+mod zomega;
+mod zroot2;
+
+pub use complex::{Complex64, Tolerance};
+pub use domega::Domega;
+pub use qomega::Qomega;
+pub use zomega::Zomega;
+pub use zroot2::Zroot2;

@@ -1,0 +1,478 @@
+//! The ring of cyclotomic integers `Z[ω]`, `ω = e^{iπ/4}`.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use aq_bigint::IBig;
+
+use crate::Zroot2;
+
+/// A cyclotomic integer `a·ω³ + b·ω² + c·ω + d` with `ω = e^{iπ/4}`.
+///
+/// `ω` is a primitive 8-th root of unity, so `ω⁴ = −1`, `ω² = i` and
+/// `√2 = ω − ω³`. The coefficient order `(a, b, c, d)` follows the paper.
+///
+/// `Z[ω]` is a **Euclidean ring** (Sec. IV-B of the paper): division with
+/// remainder ([`Zomega::div_rem`]) and greatest common divisors
+/// ([`Zomega::gcd`]) exist, which is what makes the GCD normalization
+/// scheme of algebraic QMDDs possible.
+///
+/// # Examples
+///
+/// ```
+/// use aq_rings::Zomega;
+///
+/// let omega = Zomega::omega();
+/// assert_eq!(omega.pow(8), Zomega::one());
+/// assert_eq!(omega.pow(4), -&Zomega::one());
+/// // √2 = ω − ω³
+/// let sqrt2 = &omega - &omega.pow(3);
+/// assert_eq!(&sqrt2 * &sqrt2, Zomega::from_int(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Zomega {
+    /// Coefficient of `ω³`.
+    pub a: IBig,
+    /// Coefficient of `ω²`.
+    pub b: IBig,
+    /// Coefficient of `ω`.
+    pub c: IBig,
+    /// Constant coefficient.
+    pub d: IBig,
+}
+
+impl Zomega {
+    /// Creates `a·ω³ + b·ω² + c·ω + d`.
+    pub fn new(a: IBig, b: IBig, c: IBig, d: IBig) -> Self {
+        Zomega { a, b, c, d }
+    }
+
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Zomega::from_int(0)
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Zomega::from_int(1)
+    }
+
+    /// The rational integer `n`.
+    pub fn from_int(n: i64) -> Self {
+        Zomega::new(IBig::zero(), IBig::zero(), IBig::zero(), IBig::from(n))
+    }
+
+    /// The generator `ω = e^{iπ/4}`.
+    pub fn omega() -> Self {
+        Zomega::new(IBig::zero(), IBig::zero(), IBig::one(), IBig::zero())
+    }
+
+    /// The imaginary unit `i = ω²`.
+    pub fn i() -> Self {
+        Zomega::new(IBig::zero(), IBig::one(), IBig::zero(), IBig::zero())
+    }
+
+    /// `√2 = ω − ω³`.
+    pub fn sqrt2() -> Self {
+        Zomega::new(IBig::neg_one(), IBig::zero(), IBig::one(), IBig::zero())
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.a.is_zero() && self.b.is_zero() && self.c.is_zero() && self.d.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.a.is_zero() && self.b.is_zero() && self.c.is_zero() && self.d.is_one()
+    }
+
+    /// Coefficients as an array `[a, b, c, d]`.
+    pub fn coeffs(&self) -> [&IBig; 4] {
+        [&self.a, &self.b, &self.c, &self.d]
+    }
+
+    /// Complex conjugate: `ω ↦ ω⁻¹ = −ω³`, giving
+    /// `conj(aω³ + bω² + cω + d) = −cω³ − bω² − aω + d`.
+    pub fn conj(&self) -> Zomega {
+        Zomega::new(-&self.c, -&self.b, -&self.a, self.d.clone())
+    }
+
+    /// The squared norm `N(z) = z·z̄ = u + v√2 ∈ Z[√2]`, a non-negative
+    /// real number with `N(z) = 0` iff `z = 0`.
+    pub fn norm(&self) -> Zroot2 {
+        let [a, b, c, d] = [&self.a, &self.b, &self.c, &self.d];
+        let u = &(&(a * a) + &(b * b)) + &(&(c * c) + &(d * d));
+        // v = ab + bc + cd − ad
+        let v = &(&(a * b) + &(b * c)) + &(&(c * d) - &(a * d));
+        Zroot2::new(u, v)
+    }
+
+    /// The Euclidean function `E(z) = |u² − 2v²|` where `N(z) = u + v√2`
+    /// — the absolute field norm of `z` over `Q`.
+    pub fn euclidean_value(&self) -> IBig {
+        self.norm().field_norm().abs()
+    }
+
+    /// Multiplication by `ω` (a cheap coefficient rotation):
+    /// `ω·(aω³ + bω² + cω + d) = bω³? …` — concretely
+    /// `(a,b,c,d) ↦ (b, c, d, −a)`.
+    pub fn mul_omega(&self) -> Zomega {
+        Zomega::new(self.b.clone(), self.c.clone(), self.d.clone(), -&self.a)
+    }
+
+    /// Multiplication by `√2 = ω − ω³`:
+    /// `(a,b,c,d) ↦ (b−d, a+c, b+d, c−a)`.
+    pub fn mul_sqrt2(&self) -> Zomega {
+        Zomega::new(
+            &self.b - &self.d,
+            &self.a + &self.c,
+            &self.b + &self.d,
+            &self.c - &self.a,
+        )
+    }
+
+    /// Returns `z/√2` if `z` is divisible by `√2`
+    /// (iff `a ≡ c` and `b ≡ d (mod 2)`, the minimality criterion of
+    /// Algorithm 1 in the paper), else `None`.
+    pub fn div_sqrt2(&self) -> Option<Zomega> {
+        let parity_ok = (&self.a - &self.c).is_even() && (&self.b - &self.d).is_even();
+        if !parity_ok {
+            return None;
+        }
+        Some(Zomega::new(
+            (&self.b - &self.d).half_exact(),
+            (&self.a + &self.c).half_exact(),
+            (&self.b + &self.d).half_exact(),
+            (&self.c - &self.a).half_exact(),
+        ))
+    }
+
+    /// Returns `true` iff `z` is divisible by `√2` in `Z[ω]`.
+    pub fn divisible_by_sqrt2(&self) -> bool {
+        (&self.a - &self.c).is_even() && (&self.b - &self.d).is_even()
+    }
+
+    /// Multiplies every coefficient by the rational integer `s`.
+    pub fn mul_scalar(&self, s: &IBig) -> Zomega {
+        Zomega::new(&self.a * s, &self.b * s, &self.c * s, &self.d * s)
+    }
+
+    /// Divides every coefficient exactly by the rational integer `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero; debug-panics if any coefficient is not
+    /// divisible.
+    pub fn div_scalar_exact(&self, s: &IBig) -> Zomega {
+        Zomega::new(
+            self.a.div_exact(s),
+            self.b.div_exact(s),
+            self.c.div_exact(s),
+            self.d.div_exact(s),
+        )
+    }
+
+    /// Greatest common divisor of the four integer coefficients
+    /// (the *content*; zero for the zero element).
+    pub fn content(&self) -> IBig {
+        self.a.gcd(&self.b).gcd(&self.c.gcd(&self.d))
+    }
+
+    /// Multiplies by `√2^m` for `m ≥ 0` (powers of 2 shortcut).
+    pub fn mul_sqrt2_pow(&self, m: u64) -> Zomega {
+        let shifted = Zomega::new(
+            &self.a << (m / 2),
+            &self.b << (m / 2),
+            &self.c << (m / 2),
+            &self.d << (m / 2),
+        );
+        if m % 2 == 1 {
+            shifted.mul_sqrt2()
+        } else {
+            shifted
+        }
+    }
+
+    /// Raises to the power `n`.
+    pub fn pow(&self, n: u32) -> Zomega {
+        let mut acc = Zomega::one();
+        let mut base = self.clone();
+        let mut e = n;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q·rhs + r` and
+    /// `E(r) < E(rhs)` (in fact `E(r) ≤ (9/16)·E(rhs)`, see the paper).
+    ///
+    /// The quotient is obtained by dividing in `Q[ω]` and rounding each
+    /// coordinate to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Zomega) -> (Zomega, Zomega) {
+        assert!(!rhs.is_zero(), "division by zero in Z[omega]");
+        // self/rhs = self·conj(rhs)·σ(N(rhs)) / fieldnorm(rhs), where
+        // σ(N) = u − v√2 is the Galois conjugate of N(rhs) = u + v√2.
+        // As a Z[ω] element, u − v√2 = u + v(ω³ − ω) = (v, 0, −v, u).
+        let n = rhs.norm();
+        let denom = n.field_norm(); // u² − 2v², may be negative
+        let sigma = Zomega::new(n.v.clone(), IBig::zero(), -&n.v, n.u.clone());
+        let num = &(self * &rhs.conj()) * &sigma;
+        let q = Zomega::new(
+            num.a.div_round_nearest(&denom),
+            num.b.div_round_nearest(&denom),
+            num.c.div_round_nearest(&denom),
+            num.d.div_round_nearest(&denom),
+        );
+        let r = self - &(&q * rhs);
+        if r.euclidean_value() < rhs.euclidean_value() {
+            return (q, r);
+        }
+        // Rounding ties can land on the boundary E(r) = E(rhs); nudge the
+        // quotient by one unit per coordinate and take the best neighbour.
+        let mut best: Option<(Zomega, Zomega, IBig)> = None;
+        for da in -1..=1i64 {
+            for db in -1..=1i64 {
+                for dc in -1..=1i64 {
+                    for dd in -1..=1i64 {
+                        let cand = &q
+                            + &Zomega::new(da.into(), db.into(), dc.into(), dd.into());
+                        let r = self - &(&cand * rhs);
+                        let e = r.euclidean_value();
+                        if best.as_ref().is_none_or(|(_, _, be)| e < *be) {
+                            best = Some((cand, r, e));
+                        }
+                    }
+                }
+            }
+        }
+        let (q, r, e) = best.expect("nonempty neighbourhood");
+        assert!(
+            e < rhs.euclidean_value(),
+            "Euclidean division failed to reduce: E(r)={e} ≥ E(rhs)={}",
+            rhs.euclidean_value()
+        );
+        (q, r)
+    }
+
+    /// Greatest common divisor by the Euclidean algorithm.
+    ///
+    /// The result is unique only up to multiplication by units of `Z[ω]`;
+    /// callers that need a canonical representative should pass it through
+    /// [`crate::assoc::canonical_associate`].
+    pub fn gcd(&self, other: &Zomega) -> Zomega {
+        let mut x = self.clone();
+        let mut y = other.clone();
+        while !y.is_zero() {
+            let (_, r) = x.div_rem(&y);
+            x = y;
+            y = r;
+        }
+        x
+    }
+
+    /// Evaluates to a complex double (for reporting / numeric backends).
+    pub fn to_complex64(&self) -> crate::Complex64 {
+        crate::eval::zomega_to_complex(self, 0, &aq_bigint::UBig::one())
+    }
+}
+
+impl Add<&Zomega> for &Zomega {
+    type Output = Zomega;
+    fn add(self, rhs: &Zomega) -> Zomega {
+        Zomega::new(
+            &self.a + &rhs.a,
+            &self.b + &rhs.b,
+            &self.c + &rhs.c,
+            &self.d + &rhs.d,
+        )
+    }
+}
+
+impl Sub<&Zomega> for &Zomega {
+    type Output = Zomega;
+    fn sub(self, rhs: &Zomega) -> Zomega {
+        Zomega::new(
+            &self.a - &rhs.a,
+            &self.b - &rhs.b,
+            &self.c - &rhs.c,
+            &self.d - &rhs.d,
+        )
+    }
+}
+
+impl Mul<&Zomega> for &Zomega {
+    type Output = Zomega;
+    fn mul(self, rhs: &Zomega) -> Zomega {
+        // Convolution of the coefficient polynomials modulo ω⁴ = −1.
+        let (a1, b1, c1, d1) = (&self.a, &self.b, &self.c, &self.d);
+        let (a2, b2, c2, d2) = (&rhs.a, &rhs.b, &rhs.c, &rhs.d);
+        let d = &(d1 * d2) - &(&(&(a1 * c2) + &(c1 * a2)) + &(b1 * b2));
+        let c = &(&(c1 * d2) + &(d1 * c2)) - &(&(a1 * b2) + &(b1 * a2));
+        let b = &(&(&(b1 * d2) + &(d1 * b2)) + &(c1 * c2)) - &(a1 * a2);
+        let a = &(&(a1 * d2) + &(d1 * a2)) + &(&(b1 * c2) + &(c1 * b2));
+        Zomega::new(a, b, c, d)
+    }
+}
+
+impl Neg for &Zomega {
+    type Output = Zomega;
+    fn neg(self) -> Zomega {
+        Zomega::new(-&self.a, -&self.b, -&self.c, -&self.d)
+    }
+}
+
+impl Neg for Zomega {
+    type Output = Zomega;
+    fn neg(self) -> Zomega {
+        -&self
+    }
+}
+
+impl fmt::Debug for Zomega {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Zomega({self})")
+    }
+}
+
+impl fmt::Display for Zomega {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w3 + {}w2 + {}w + {}", self.a, self.b, self.c, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn zo(a: i64, b: i64, c: i64, d: i64) -> Zomega {
+        Zomega::new(a.into(), b.into(), c.into(), d.into())
+    }
+
+    #[test]
+    fn omega_powers() {
+        let w = Zomega::omega();
+        assert_eq!(w.pow(2), Zomega::i());
+        assert_eq!(w.pow(4), zo(0, 0, 0, -1));
+        assert_eq!(w.pow(8), Zomega::one());
+        assert_eq!(&w * &w.pow(7), Zomega::one());
+    }
+
+    #[test]
+    fn sqrt2_squares_to_two() {
+        let s = Zomega::sqrt2();
+        assert_eq!(&s * &s, Zomega::from_int(2));
+        assert_eq!(s.mul_sqrt2(), Zomega::from_int(2));
+    }
+
+    #[test]
+    fn mul_omega_is_rotation() {
+        let z = zo(1, 2, 3, 4);
+        assert_eq!(z.mul_omega(), &z * &Zomega::omega());
+    }
+
+    #[test]
+    fn conj_is_involution_and_multiplicative() {
+        let z = zo(3, -1, 4, 2);
+        let w = zo(-2, 5, 0, 7);
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((&z * &w).conj(), &z.conj() * &w.conj());
+    }
+
+    #[test]
+    fn norm_is_z_times_conj() {
+        let z = zo(2, -3, 1, 5);
+        let n = z.norm();
+        // z·z̄ should equal u + v√2 as a Zomega element
+        let prod = &z * &z.conj();
+        assert_eq!(prod.d, n.u);
+        assert_eq!(prod.c, n.v);
+        assert_eq!(prod.a, -&n.v);
+        assert_eq!(prod.b, IBig::zero());
+        assert!(n.is_positive());
+    }
+
+    #[test]
+    fn norm_multiplicative() {
+        let z = zo(1, 2, -2, 3);
+        let w = zo(0, -1, 4, 1);
+        let lhs = (&z * &w).norm();
+        let rhs = &z.norm() * &w.norm();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn euclidean_value_of_paper_units() {
+        // λ = 1 + √2 has |field norm| 1; ω ± 1 have field norm 2
+        let lambda = &Zomega::one() + &Zomega::sqrt2();
+        assert_eq!(lambda.euclidean_value(), IBig::one());
+        let wp1 = &Zomega::omega() + &Zomega::one();
+        assert_eq!(wp1.euclidean_value(), IBig::from(2));
+    }
+
+    #[test]
+    fn sqrt2_divisibility() {
+        assert!(Zomega::from_int(2).divisible_by_sqrt2());
+        assert_eq!(
+            Zomega::from_int(2).div_sqrt2().expect("2/√2 = √2"),
+            Zomega::sqrt2()
+        );
+        assert!(!Zomega::one().divisible_by_sqrt2());
+        assert!(!Zomega::omega().divisible_by_sqrt2());
+        // (1+ω) is not divisible; (1+i) = √2·ω is:
+        let one_plus_i = &Zomega::one() + &Zomega::i();
+        assert_eq!(
+            one_plus_i.div_sqrt2().expect("divisible"),
+            Zomega::omega()
+        );
+    }
+
+    #[test]
+    fn div_rem_invariant() {
+        let cases = [
+            (zo(5, 3, -2, 7), zo(1, 0, 1, 1)),
+            (zo(100, -50, 25, 13), zo(3, 1, -1, 2)),
+            (zo(0, 0, 0, 17), zo(0, 0, 0, 5)),
+            (zo(1, 1, 1, 1), zo(2, -1, 3, 4)),
+        ];
+        for (x, y) in cases {
+            let (q, r) = x.div_rem(&y);
+            assert_eq!(&(&q * &y) + &r, x);
+            assert!(r.euclidean_value() < y.euclidean_value());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        let g = zo(1, 0, 1, 2);
+        let x = &g * &zo(3, -1, 0, 2);
+        let y = &g * &zo(0, 2, 1, -1);
+        let got = x.gcd(&y);
+        // got must divide x and y with zero remainder
+        let (_, r1) = x.div_rem(&got);
+        let (_, r2) = y.div_rem(&got);
+        assert!(r1.is_zero() && r2.is_zero());
+        // and g must divide got
+        let (_, r3) = got.div_rem(&g);
+        assert!(r3.is_zero());
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_unit() {
+        let x = zo(0, 0, 0, 3);
+        let y = zo(0, 0, 0, 5);
+        let g = x.gcd(&y);
+        assert_eq!(g.euclidean_value(), IBig::one());
+    }
+}

@@ -1,0 +1,222 @@
+//! The real quadratic ring `Z[√2]`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use aq_bigint::IBig;
+
+/// An element `u + v·√2` of the real quadratic ring `Z[√2]`.
+///
+/// Norms of [`crate::Zomega`] elements live here (`N(z) = z·z̄ = u + v√2`),
+/// and the canonical-associate selection of the GCD normalization scheme
+/// compares such norms **exactly** — floating point would defeat the whole
+/// point of the algebraic representation.
+///
+/// # Examples
+///
+/// ```
+/// use aq_rings::Zroot2;
+///
+/// let phi = Zroot2::new(1.into(), 1.into());   // 1 + √2
+/// assert_eq!(phi.field_norm(), (-1).into());    // a fundamental unit
+/// assert!(phi.is_positive());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Zroot2 {
+    /// Rational part.
+    pub u: IBig,
+    /// Coefficient of √2.
+    pub v: IBig,
+}
+
+impl Zroot2 {
+    /// Creates `u + v·√2`.
+    pub fn new(u: IBig, v: IBig) -> Self {
+        Zroot2 { u, v }
+    }
+
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Zroot2::new(IBig::zero(), IBig::zero())
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Zroot2::new(IBig::one(), IBig::zero())
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.u.is_zero() && self.v.is_zero()
+    }
+
+    /// The Galois conjugate `u − v·√2` (the map `√2 ↦ −√2`).
+    pub fn conj_root2(&self) -> Zroot2 {
+        Zroot2::new(self.u.clone(), -&self.v)
+    }
+
+    /// The field norm `u² − 2v² ∈ Z` (product with the Galois conjugate).
+    pub fn field_norm(&self) -> IBig {
+        &(&self.u * &self.u) - &(&self.v * &self.v).double()
+    }
+
+    /// Sign of the real value `u + v·√2`, computed exactly.
+    pub fn signum(&self) -> Ordering {
+        use Ordering::*;
+        match (self.u.sign(), self.v.sign()) {
+            (aq_bigint::Sign::Zero, aq_bigint::Sign::Zero) => Equal,
+            (aq_bigint::Sign::Negative, aq_bigint::Sign::Negative)
+            | (aq_bigint::Sign::Negative, aq_bigint::Sign::Zero)
+            | (aq_bigint::Sign::Zero, aq_bigint::Sign::Negative) => Less,
+            (aq_bigint::Sign::Positive, aq_bigint::Sign::Positive)
+            | (aq_bigint::Sign::Positive, aq_bigint::Sign::Zero)
+            | (aq_bigint::Sign::Zero, aq_bigint::Sign::Positive) => Greater,
+            // Mixed signs: compare u² with 2v² and attribute the sign of the
+            // dominant term.
+            (us, _) => {
+                let u2 = &self.u * &self.u;
+                let v2_2 = (&self.v * &self.v).double();
+                match u2.cmp(&v2_2) {
+                    Equal => Equal, // impossible for nonzero u,v (√2 irrational) but harmless
+                    Greater => {
+                        if us == aq_bigint::Sign::Positive {
+                            Greater
+                        } else {
+                            Less
+                        }
+                    }
+                    Less => {
+                        if us == aq_bigint::Sign::Positive {
+                            Less
+                        } else {
+                            Greater
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the real value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.signum() == Ordering::Greater
+    }
+
+    /// Approximate real value (for reporting only — comparisons use
+    /// [`Zroot2::cmp_real`]).
+    pub fn to_f64(&self) -> f64 {
+        self.u.to_f64() + std::f64::consts::SQRT_2 * self.v.to_f64()
+    }
+
+    /// Exact comparison of the real values of two elements.
+    pub fn cmp_real(&self, other: &Zroot2) -> Ordering {
+        (self - other).signum()
+    }
+}
+
+impl Add<&Zroot2> for &Zroot2 {
+    type Output = Zroot2;
+    fn add(self, rhs: &Zroot2) -> Zroot2 {
+        Zroot2::new(&self.u + &rhs.u, &self.v + &rhs.v)
+    }
+}
+
+impl Sub<&Zroot2> for &Zroot2 {
+    type Output = Zroot2;
+    fn sub(self, rhs: &Zroot2) -> Zroot2 {
+        Zroot2::new(&self.u - &rhs.u, &self.v - &rhs.v)
+    }
+}
+
+impl Mul<&Zroot2> for &Zroot2 {
+    type Output = Zroot2;
+    fn mul(self, rhs: &Zroot2) -> Zroot2 {
+        // (u1 + v1√2)(u2 + v2√2) = u1u2 + 2v1v2 + (u1v2 + v1u2)√2
+        Zroot2::new(
+            &(&self.u * &rhs.u) + &(&self.v * &rhs.v).double(),
+            &(&self.u * &rhs.v) + &(&self.v * &rhs.u),
+        )
+    }
+}
+
+impl Neg for &Zroot2 {
+    type Output = Zroot2;
+    fn neg(self) -> Zroot2 {
+        Zroot2::new(-&self.u, -&self.v)
+    }
+}
+
+impl fmt::Debug for Zroot2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Zroot2({self})")
+    }
+}
+
+impl fmt::Display for Zroot2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}*sqrt2", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zr(u: i64, v: i64) -> Zroot2 {
+        Zroot2::new(u.into(), v.into())
+    }
+
+    #[test]
+    fn ring_ops() {
+        let a = zr(1, 2);
+        let b = zr(3, -1);
+        assert_eq!(&a + &b, zr(4, 1));
+        assert_eq!(&a - &b, zr(-2, 3));
+        // (1+2√2)(3−√2) = 3 − √2 + 6√2 − 2·2 = −1 + 5√2
+        assert_eq!(&a * &b, zr(-1, 5));
+        assert_eq!(-&a, zr(-1, -2));
+    }
+
+    #[test]
+    fn norm_multiplicative() {
+        let a = zr(5, -3);
+        let b = zr(-2, 7);
+        assert_eq!(
+            (&a * &b).field_norm(),
+            &a.field_norm() * &b.field_norm()
+        );
+    }
+
+    #[test]
+    fn fundamental_unit() {
+        let lambda = zr(1, 1);
+        assert_eq!(lambda.field_norm(), (-1).into());
+        let inv = zr(-1, 1); // √2 − 1 = λ⁻¹
+        assert_eq!(&lambda * &inv, Zroot2::one());
+    }
+
+    #[test]
+    fn exact_sign() {
+        assert_eq!(zr(0, 0).signum(), Ordering::Equal);
+        assert_eq!(zr(3, 0).signum(), Ordering::Greater);
+        assert_eq!(zr(-3, 1).signum(), Ordering::Less); // −3 + √2 < 0
+        assert_eq!(zr(-1, 1).signum(), Ordering::Greater); // √2 − 1 > 0
+        assert_eq!(zr(3, -2).signum(), Ordering::Greater); // 3 − 2√2 ≈ 0.17
+        assert_eq!(zr(-3, 2).signum(), Ordering::Less);
+        assert_eq!(zr(1, -1).signum(), Ordering::Less); // 1 − √2 < 0
+    }
+
+    #[test]
+    fn cmp_real_orders_correctly() {
+        // 2 + √2 ≈ 3.41 vs 5 − √2 ≈ 3.59
+        assert_eq!(zr(2, 1).cmp_real(&zr(5, -1)), Ordering::Less);
+        assert_eq!(zr(2, 1).cmp_real(&zr(2, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn f64_agrees() {
+        let x = zr(-7, 5);
+        assert!((x.to_f64() - (-7.0 + 5.0 * 2f64.sqrt())).abs() < 1e-12);
+    }
+}

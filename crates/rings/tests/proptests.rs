@@ -1,0 +1,170 @@
+//! Property-based tests for the algebraic number systems: ring/field axioms,
+//! canonical-form invariants, Euclidean structure, and agreement between
+//! exact arithmetic and floating-point evaluation.
+
+use aq_bigint::IBig;
+use aq_rings::{assoc::canonical_associate, Complex64, Domega, Qomega, Zomega};
+use proptest::prelude::*;
+
+fn small_ibig() -> impl Strategy<Value = IBig> {
+    (-1000i64..1000).prop_map(IBig::from)
+}
+
+fn zomega() -> impl Strategy<Value = Zomega> {
+    (small_ibig(), small_ibig(), small_ibig(), small_ibig())
+        .prop_map(|(a, b, c, d)| Zomega::new(a, b, c, d))
+}
+
+fn domega() -> impl Strategy<Value = Domega> {
+    (zomega(), -6i64..6).prop_map(|(z, k)| Domega::new(z, k))
+}
+
+fn qomega() -> impl Strategy<Value = Qomega> {
+    (zomega(), -6i64..6, 1u64..50).prop_map(|(z, k, e)| {
+        Qomega::new(z, k, aq_bigint::UBig::from(e))
+    })
+}
+
+/// A random unit of `D[ω]`: product of generators `1/√2`, `ω`, `ω+1`, `−1`.
+fn unit() -> impl Strategy<Value = Domega> {
+    prop::collection::vec(0usize..4, 0..5).prop_map(|gens| {
+        let mut u = Domega::one();
+        for g in gens {
+            let f = match g {
+                0 => Domega::one_over_sqrt2(),
+                1 => Domega::omega(),
+                2 => Domega::from(&Zomega::omega() + &Zomega::one()),
+                _ => -Domega::one(),
+            };
+            u = &u * &f;
+        }
+        u
+    })
+}
+
+fn close(a: Complex64, b: Complex64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zomega_ring_axioms(x in zomega(), y in zomega(), z in zomega()) {
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&x * &y, &y * &x);
+        prop_assert_eq!(&(&x + &y) * &z, &(&x * &z) + &(&y * &z));
+        prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+        prop_assert_eq!(&x - &x, Zomega::zero());
+    }
+
+    #[test]
+    fn zomega_norm_multiplicative_and_positive(x in zomega(), y in zomega()) {
+        prop_assert_eq!((&x * &y).norm(), &x.norm() * &y.norm());
+        if !x.is_zero() {
+            prop_assert!(x.norm().is_positive());
+        }
+    }
+
+    #[test]
+    fn zomega_mul_matches_complex(x in zomega(), y in zomega()) {
+        let lhs = (&x * &y).to_complex64();
+        let rhs = x.to_complex64() * y.to_complex64();
+        prop_assert!(close(lhs, rhs), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn euclidean_division_reduces(x in zomega(), y in zomega()) {
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(&(&q * &y) + &r, x);
+        prop_assert!(r.euclidean_value() < y.euclidean_value());
+    }
+
+    #[test]
+    fn gcd_divides_inputs(x in zomega(), y in zomega()) {
+        prop_assume!(!x.is_zero() || !y.is_zero());
+        let g = x.gcd(&y);
+        prop_assert!(!g.is_zero());
+        prop_assert!(x.div_rem(&g).1.is_zero());
+        prop_assert!(y.div_rem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn domega_canonical_k_minimal(x in domega()) {
+        if !x.is_zero() {
+            prop_assert!(!x.numerator().divisible_by_sqrt2());
+        } else {
+            prop_assert_eq!(x.k(), 0);
+        }
+    }
+
+    #[test]
+    fn domega_add_mul_match_complex(x in domega(), y in domega()) {
+        prop_assert!(close((&x + &y).to_complex64(), x.to_complex64() + y.to_complex64()));
+        prop_assert!(close((&x * &y).to_complex64(), x.to_complex64() * y.to_complex64()));
+        prop_assert!(close((&x - &y).to_complex64(), x.to_complex64() - y.to_complex64()));
+    }
+
+    #[test]
+    fn domega_equality_iff_difference_zero(x in domega(), y in domega()) {
+        prop_assert_eq!(x == y, (&x - &y).is_zero());
+    }
+
+    #[test]
+    fn qomega_field_axioms(x in qomega(), y in qomega()) {
+        prop_assert_eq!(&(&x + &y) - &y, x.clone());
+        if !y.is_zero() {
+            prop_assert_eq!(&(&x * &y) / &y, x.clone());
+            let inv = y.inverse().expect("nonzero");
+            prop_assert_eq!(&y * &inv, Qomega::one());
+        }
+    }
+
+    #[test]
+    fn qomega_canonical_denominator(x in qomega()) {
+        prop_assert!(x.denom().is_odd());
+        if x.is_zero() {
+            prop_assert!(x.denom().is_one());
+            prop_assert_eq!(x.k(), 0);
+        } else {
+            // denominator coprime to the numerator content
+            let g = x.numerator().content().gcd(&IBig::from(x.denom().clone()));
+            prop_assert!(g.is_one() || x.denom().is_one());
+        }
+    }
+
+    #[test]
+    fn qomega_matches_complex(x in qomega(), y in qomega()) {
+        prop_assert!(close((&x + &y).to_complex64(), x.to_complex64() + y.to_complex64()));
+        prop_assert!(close((&x * &y).to_complex64(), x.to_complex64() * y.to_complex64()));
+    }
+
+    #[test]
+    fn canonical_associate_unit_invariant(z in domega(), u in unit()) {
+        prop_assume!(!z.is_zero());
+        let (c1, u1) = canonical_associate(&z);
+        let zu = &z * &u;
+        let (c2, _) = canonical_associate(&zu);
+        prop_assert_eq!(&c1, &c2, "canonical form must be unit-invariant");
+        // and the decomposition reproduces the value
+        prop_assert_eq!(&Domega::from(c1) * &u1, z);
+    }
+
+    #[test]
+    fn canonical_associate_idempotent(z in domega()) {
+        prop_assume!(!z.is_zero());
+        let (c, _) = canonical_associate(&z);
+        let (c2, u2) = canonical_associate(&Domega::from(c.clone()));
+        prop_assert_eq!(c2, c);
+        prop_assert!(u2.is_one());
+    }
+
+    #[test]
+    fn conj_mul_compatible(x in domega(), y in domega()) {
+        prop_assert_eq!((&x * &y).conj(), &x.conj() * &y.conj());
+        let n = x.norm_sqr().to_complex64();
+        prop_assert!(n.im.abs() < 1e-9);
+        prop_assert!(n.re >= -1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! CSV emission for the figure-regeneration harness.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One column of a CSV report: a header plus row values (rows may be
+/// shorter than the longest column; missing cells stay empty).
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Header label.
+    pub name: String,
+    /// Cell values, already formatted.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// A column of floats with compact formatting.
+    pub fn from_f64(name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        Column {
+            name: name.into(),
+            values: values.into_iter().map(|v| format!("{v:.6e}")).collect(),
+        }
+    }
+
+    /// A column of integers.
+    pub fn from_usize(name: impl Into<String>, values: impl IntoIterator<Item = usize>) -> Self {
+        Column {
+            name: name.into(),
+            values: values.into_iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// A column of optional floats (empty cells for `None`).
+    pub fn from_opt_f64(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = Option<f64>>,
+    ) -> Self {
+        Column {
+            name: name.into(),
+            values: values
+                .into_iter()
+                .map(|v| v.map(|x| format!("{x:.6e}")).unwrap_or_default())
+                .collect(),
+        }
+    }
+}
+
+/// Writes columns as CSV to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_csv(path: impl AsRef<Path>, columns: &[Column]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let rows = columns.iter().map(|c| c.values.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let headers: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for r in 0..rows {
+        let row: Vec<&str> = columns
+            .iter()
+            .map(|c| c.values.get(r).map(String::as_str).unwrap_or(""))
+            .collect();
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("aq_sim_report_test");
+        let path = dir.join("t.csv");
+        let cols = vec![
+            Column::from_usize("gates", [1, 2, 3]),
+            Column::from_f64("err", [0.5, 0.25]),
+            Column::from_opt_f64("maybe", [None, Some(1.0), None]),
+        ];
+        write_csv(&path, &cols).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "gates,err,maybe");
+        assert_eq!(lines[1], "1,5.000000e-1,");
+        assert_eq!(lines[2], "2,2.500000e-1,1.000000e0");
+        assert_eq!(lines[3], "3,,");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! The circuit simulator: applies operations to a state DD and traces.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aq_circuits::{Circuit, Op};
+use aq_dd::{Edge, Manager, MatId, VecId, WeightContext, WeightId};
+use aq_rings::Complex64;
+
+use crate::trace::{Trace, TracePoint};
+
+/// Tuning knobs for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Record a [`TracePoint`] after every operation (otherwise only the
+    /// final state is kept).
+    pub record_trace: bool,
+    /// Compact the manager when its arena exceeds this many nodes.
+    pub compact_threshold: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            record_trace: true,
+            compact_threshold: 4_000_000,
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Amplitudes of the final state (complex doubles).
+    pub amplitudes: Vec<Complex64>,
+    /// Nodes of the final state DD.
+    pub final_nodes: usize,
+    /// The time series (empty unless tracing was enabled).
+    pub trace: Trace,
+}
+
+impl SimResult {
+    /// Measurement probabilities `|α_i|²`.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+/// A stateful simulator over one weight system.
+///
+/// Operations are translated into decision-diagram operators once and
+/// cached; walking the circuit is a sequence of matrix–vector products.
+#[derive(Debug)]
+pub struct Simulator<'c, W: WeightContext> {
+    manager: Manager<W>,
+    circuit: &'c Circuit,
+    state: Edge<VecId>,
+    cursor: usize,
+    elapsed: f64,
+    gate_cache: HashMap<GateKey, Edge<MatId>>,
+    options: SimOptions,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GateKey {
+    Gate {
+        entries: [WeightId; 4],
+        target: u32,
+        controls: Vec<(u32, bool)>,
+    },
+    Matching(usize), // Arc pointer identity
+}
+
+impl<'c, W: WeightContext> Simulator<'c, W> {
+    /// Creates a simulator for `circuit` starting from `|0…0⟩`.
+    pub fn new(ctx: W, circuit: &'c Circuit) -> Self {
+        Simulator::with_options(ctx, circuit, SimOptions::default())
+    }
+
+    /// Creates a simulator with explicit options.
+    pub fn with_options(ctx: W, circuit: &'c Circuit, options: SimOptions) -> Self {
+        let mut manager = Manager::new(ctx, circuit.n_qubits());
+        let state = manager.basis_state(0);
+        Simulator {
+            manager,
+            circuit,
+            state,
+            cursor: 0,
+            elapsed: 0.0,
+            gate_cache: HashMap::new(),
+            options,
+        }
+    }
+
+    /// Restarts from the basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn reset_to(&mut self, index: u64) {
+        self.state = self.manager.basis_state(index);
+        self.cursor = 0;
+        self.elapsed = 0.0;
+    }
+
+    /// The underlying manager (for extraction helpers).
+    pub fn manager(&self) -> &Manager<W> {
+        &self.manager
+    }
+
+    /// Mutable access to the manager.
+    pub fn manager_mut(&mut self) -> &mut Manager<W> {
+        &mut self.manager
+    }
+
+    /// The current state edge.
+    pub fn state(&self) -> Edge<VecId> {
+        self.state
+    }
+
+    /// Operations applied so far.
+    pub fn gates_applied(&self) -> usize {
+        self.cursor
+    }
+
+    /// Cumulative DD-operation time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Whether the whole circuit has been applied.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.circuit.len()
+    }
+
+    /// Applies the next operation. Returns `false` when the circuit is
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is not representable in the weight system
+    /// (compile to Clifford+T first).
+    pub fn step(&mut self) -> bool {
+        let Some(op) = self.circuit.ops().get(self.cursor) else {
+            return false;
+        };
+        let start = Instant::now();
+        let gate = self.operator_for(op);
+        self.state = self.manager.mat_vec(&gate, &self.state);
+        self.elapsed += start.elapsed().as_secs_f64();
+        self.cursor += 1;
+
+        if self.manager.allocated_nodes() > self.options.compact_threshold {
+            let t = Instant::now();
+            let (vs, _) = self.manager.compact(&[self.state], &[]);
+            self.state = vs[0];
+            self.gate_cache.clear();
+            self.elapsed += t.elapsed().as_secs_f64();
+        }
+        true
+    }
+
+    /// Current state DD size.
+    pub fn nodes(&self) -> usize {
+        self.manager.vec_nodes(&self.state)
+    }
+
+    /// Samples a [`TracePoint`] for the current position.
+    pub fn sample(&self, error: Option<f64>) -> TracePoint {
+        TracePoint {
+            gates_applied: self.cursor,
+            nodes: self.manager.vec_nodes(&self.state),
+            seconds: self.elapsed,
+            max_weight_bits: self.manager.max_weight_bits(&self.state),
+            error,
+        }
+    }
+
+    /// Runs the remaining circuit to completion.
+    pub fn run(&mut self) -> SimResult {
+        let mut trace = Trace::default();
+        while self.step() {
+            if self.options.record_trace {
+                trace.points.push(self.sample(None));
+            }
+        }
+        let final_nodes = self.nodes();
+        SimResult {
+            amplitudes: self.manager.amplitudes(&self.state.clone()),
+            final_nodes,
+            trace,
+        }
+    }
+
+    /// Builds the unitary of the **entire remaining circuit** as a single
+    /// operator DD by matrix–matrix multiplication — the other workhorse
+    /// of DD-based design automation (synthesis and equivalence checking
+    /// build whole-circuit matrices rather than evolving a state).
+    ///
+    /// Consumes the remaining operations (the cursor advances to the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is not representable in the weight system.
+    pub fn build_unitary(&mut self) -> Edge<MatId> {
+        let mut u = self.manager.identity();
+        while let Some(op) = self.circuit.ops().get(self.cursor) {
+            let start = Instant::now();
+            let gate = self.operator_for(&op.clone());
+            u = self.manager.mat_mul(&gate, &u);
+            self.elapsed += start.elapsed().as_secs_f64();
+            self.cursor += 1;
+            if self.manager.allocated_nodes() > self.options.compact_threshold {
+                let t = Instant::now();
+                let (_, ms) = self.manager.compact(&[], &[u]);
+                u = ms[0];
+                self.gate_cache.clear();
+                self.elapsed += t.elapsed().as_secs_f64();
+            }
+        }
+        u
+    }
+
+    /// Builds (or fetches) the operator DD for one circuit operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate entry is not representable in the weight system.
+    fn operator_for(&mut self, op: &Op) -> Edge<MatId> {
+        let key = match op {
+            Op::Gate {
+                matrix,
+                target,
+                controls,
+            } => {
+                let mut entries = [WeightId::ZERO; 4];
+                for (i, e) in matrix.entries().iter().enumerate() {
+                    let v = match e {
+                        aq_dd::GateEntry::Exact(d) => self.manager.ctx().from_exact(d),
+                        aq_dd::GateEntry::Approx(c) => self
+                            .manager
+                            .ctx()
+                            .from_approx(*c)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "gate `{}` not representable; Clifford+T-compile first",
+                                    matrix.name()
+                                )
+                            }),
+                    };
+                    entries[i] = self.manager.intern(v);
+                }
+                GateKey::Gate {
+                    entries,
+                    target: *target,
+                    controls: controls.clone(),
+                }
+            }
+            Op::MatchingEvolution { pairs } => GateKey::Matching(Arc::as_ptr(pairs) as usize),
+            Op::Permutation { map } => GateKey::Matching(Arc::as_ptr(map) as *const () as usize),
+        };
+        if let Some(&hit) = self.gate_cache.get(&key) {
+            return hit;
+        }
+        let built = crate::operators::op_operator(&mut self.manager, op);
+        self.gate_cache.insert(key, built);
+        built
+    }
+}

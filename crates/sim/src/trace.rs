@@ -1,0 +1,92 @@
+//! Per-gate measurement records.
+
+/// One sample of the evolving simulation, taken after applying a gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Number of operations applied so far (1-based after the first gate).
+    pub gates_applied: usize,
+    /// Decision-diagram nodes of the evolved state.
+    pub nodes: usize,
+    /// Cumulative DD-operation time in seconds (excludes instrumentation).
+    pub seconds: f64,
+    /// Largest weight bit-width in the state DD (1 for floats).
+    pub max_weight_bits: u64,
+    /// Accuracy sample: Euclidean distance to the exact reference
+    /// (only present in paired runs at sampling points).
+    pub error: Option<f64>,
+}
+
+/// The full time series of a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Samples in gate order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Peak node count over the run.
+    pub fn peak_nodes(&self) -> usize {
+        self.points.iter().map(|p| p.nodes).max().unwrap_or(0)
+    }
+
+    /// Final cumulative runtime in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.points.last().map(|p| p.seconds).unwrap_or(0.0)
+    }
+
+    /// Largest observed error sample, if any were taken.
+    pub fn max_error(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.error)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Final error sample, if any.
+    pub fn final_error(&self) -> Option<f64> {
+        self.points.iter().rev().find_map(|p| p.error)
+    }
+
+    /// Largest weight bit-width seen over the run.
+    pub fn peak_weight_bits(&self) -> u64 {
+        self.points.iter().map(|p| p.max_weight_bits).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(g: usize, n: usize, s: f64, e: Option<f64>) -> TracePoint {
+        TracePoint {
+            gates_applied: g,
+            nodes: n,
+            seconds: s,
+            max_weight_bits: 53,
+            error: e,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = Trace {
+            points: vec![
+                pt(1, 5, 0.1, None),
+                pt(2, 9, 0.2, Some(1e-3)),
+                pt(3, 7, 0.3, Some(2e-4)),
+            ],
+        };
+        assert_eq!(t.peak_nodes(), 9);
+        assert_eq!(t.total_seconds(), 0.3);
+        assert_eq!(t.max_error(), Some(1e-3));
+        assert_eq!(t.final_error(), Some(2e-4));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert_eq!(t.peak_nodes(), 0);
+        assert_eq!(t.total_seconds(), 0.0);
+        assert_eq!(t.max_error(), None);
+    }
+}

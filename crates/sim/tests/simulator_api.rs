@@ -1,0 +1,134 @@
+//! API-surface tests for the simulator: cursor semantics, resets,
+//! unitary building, and option handling.
+
+use aq_circuits::{grover, Circuit};
+use aq_dd::{GateMatrix, NumericContext, QomegaContext};
+use aq_sim::{circuit_unitary, circuits_equivalent, SimOptions, Simulator};
+
+#[test]
+fn cursor_and_done_semantics() {
+    let circuit = grover(3, 5);
+    let mut sim = Simulator::new(QomegaContext::new(), &circuit);
+    assert_eq!(sim.gates_applied(), 0);
+    assert!(!sim.is_done());
+    assert!(sim.step());
+    assert_eq!(sim.gates_applied(), 1);
+    while sim.step() {}
+    assert!(sim.is_done());
+    assert_eq!(sim.gates_applied(), circuit.len());
+    assert!(!sim.step(), "stepping past the end returns false");
+    assert!(sim.elapsed_seconds() > 0.0);
+}
+
+#[test]
+fn reset_restarts_cleanly() {
+    let circuit = grover(3, 2);
+    let mut sim = Simulator::new(QomegaContext::new(), &circuit);
+    while sim.step() {}
+    let s1 = sim.state();
+    let first = sim.manager_mut().amplitudes(&s1);
+    sim.reset_to(0);
+    assert_eq!(sim.gates_applied(), 0);
+    assert_eq!(sim.elapsed_seconds(), 0.0);
+    while sim.step() {}
+    let s2 = sim.state();
+    let second = sim.manager_mut().amplitudes(&s2);
+    for (a, b) in first.iter().zip(&second) {
+        assert!((*a - *b).abs() < 1e-14, "determinism after reset");
+    }
+}
+
+#[test]
+fn build_unitary_consumes_remaining_ops_only() {
+    let mut circuit = Circuit::new(2);
+    circuit.push_gate(GateMatrix::x(), 0, &[]);
+    circuit.push_gate(GateMatrix::h(), 1, &[]);
+    let mut sim = Simulator::new(QomegaContext::new(), &circuit);
+    assert!(sim.step()); // consume the X
+    let u = sim.build_unitary(); // only the H remains
+    assert!(sim.is_done());
+    let m = sim.manager_mut();
+    let want = m.gate(&GateMatrix::h(), 1, &[]);
+    assert_eq!(u, want);
+}
+
+#[test]
+fn equivalence_helper_agrees_with_manual_build() {
+    let mut a = Circuit::new(2);
+    a.push_gate(GateMatrix::s(), 0, &[]);
+    a.push_gate(GateMatrix::s(), 0, &[]);
+    let mut b = Circuit::new(2);
+    b.push_gate(GateMatrix::z(), 0, &[]);
+    assert!(circuits_equivalent(QomegaContext::new(), &a, &b));
+
+    let mut m = aq_dd::Manager::new(QomegaContext::new(), 2);
+    let ua = circuit_unitary(&mut m, &a);
+    let ub = circuit_unitary(&mut m, &b);
+    assert_eq!(ua, ub);
+}
+
+#[test]
+#[should_panic(expected = "circuit width mismatch")]
+fn equivalence_rejects_width_mismatch() {
+    let a = Circuit::new(2);
+    let b = Circuit::new(3);
+    let _ = circuits_equivalent(QomegaContext::new(), &a, &b);
+}
+
+#[test]
+#[should_panic(expected = "not representable")]
+fn algebraic_simulator_panics_on_rotations() {
+    let mut c = Circuit::new(1);
+    c.push_gate(GateMatrix::rz(0.7), 0, &[]);
+    let mut sim = Simulator::new(QomegaContext::new(), &c);
+    let _ = sim.step();
+}
+
+#[test]
+fn trace_can_be_disabled() {
+    let circuit = grover(4, 3);
+    let mut sim = Simulator::with_options(
+        NumericContext::with_eps(1e-12),
+        &circuit,
+        SimOptions {
+            record_trace: false,
+            ..SimOptions::default()
+        },
+    );
+    let result = sim.run();
+    assert!(result.trace.points.is_empty());
+    assert!(result.final_nodes > 0);
+}
+
+#[test]
+fn empty_circuit_runs_to_a_basis_state() {
+    let circuit = Circuit::new(3);
+    let mut sim = Simulator::new(QomegaContext::new(), &circuit);
+    sim.reset_to(6);
+    let result = sim.run();
+    assert!((result.amplitudes[6].re - 1.0).abs() < 1e-15);
+    assert!(result.trace.points.is_empty());
+}
+
+#[test]
+fn circuit_inverse_composes_to_identity() {
+    // gate circuit: Grover round trip
+    let c = grover(4, 6);
+    let mut both = c.clone();
+    both.extend_from(&c.inverted());
+    assert!(circuits_equivalent(QomegaContext::new(), &both, &Circuit::new(4)));
+
+    // permutation ops: coined BWT shift inverts correctly
+    use aq_circuits::{bwt, BwtParams};
+    let (walk, tree) = bwt(BwtParams {
+        height: 2,
+        steps: 3,
+        seed: 4,
+    });
+    let mut round = walk.clone();
+    round.extend_from(&walk.inverted());
+    let mut sim = Simulator::new(QomegaContext::new(), &round);
+    sim.reset_to(tree.coined_start());
+    let result = sim.run();
+    assert!((result.amplitudes[tree.coined_start() as usize].re - 1.0).abs() < 1e-12);
+}

@@ -1,0 +1,49 @@
+//! Grover's database search simulated with exact algebraic QMDDs —
+//! the paper's Fig. 3 workload as a runnable program.
+//!
+//! ```text
+//! cargo run --release --example grover_search [n_qubits] [marked]
+//! ```
+
+use aqudd::circuits::{grover, grover_iterations};
+use aqudd::dd::QomegaContext;
+use aqudd::sim::Simulator;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let marked: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0b1011011011 & ((1 << n) - 1));
+
+    println!(
+        "searching {} entries for index {marked} ({} Grover iterations)…",
+        1u64 << n,
+        grover_iterations(n)
+    );
+    let circuit = grover(n, marked);
+    let mut sim = Simulator::new(QomegaContext::new(), &circuit);
+    let result = sim.run();
+
+    let probs = result.probabilities();
+    let (best, p) = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("nonempty");
+
+    println!("applied {} gates", circuit.len());
+    println!("most likely outcome: |{best}⟩ with probability {p:.6}");
+    println!(
+        "state DD: {} nodes final, {} peak — never more than a handful,\n\
+         because the exact representation recognises that the state has\n\
+         only two distinct amplitudes (the compactness half of the paper)",
+        result.final_nodes,
+        result.trace.peak_nodes()
+    );
+    assert_eq!(best as u64, marked, "Grover must find the marked element");
+}
