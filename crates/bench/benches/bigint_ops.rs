@@ -1,8 +1,7 @@
 //! Big-integer substrate benchmarks (the GMP substitute): the raw cost of
 //! the coefficient arithmetic whose growth drives the Fig. 5 overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use aq_testutil::bench::{bench, black_box};
 
 use aq_bigint::UBig;
 
@@ -15,54 +14,52 @@ fn value(bits: u64) -> UBig {
     v.shr_bits(v.bit_len().saturating_sub(bits))
 }
 
-fn bench_mul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ubig_mul");
+fn bench_mul() {
     for bits in [64u64, 512, 4096, 32768] {
         let a = value(bits);
         let b = value(bits);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| black_box(&a) * black_box(&b))
+        bench(&format!("ubig_mul/{bits}"), || {
+            black_box(&a) * black_box(&b)
         });
     }
-    g.finish();
 }
 
-fn bench_divrem(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ubig_divrem");
+fn bench_divrem() {
     for bits in [512u64, 4096] {
         let a = value(2 * bits);
         let b = value(bits);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| black_box(&a).div_rem(black_box(&b)))
+        bench(&format!("ubig_divrem/{bits}"), || {
+            black_box(&a).div_rem(black_box(&b))
         });
     }
-    g.finish();
 }
 
-fn bench_gcd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ubig_gcd");
+fn bench_gcd() {
     for bits in [256u64, 2048] {
         let a = value(bits);
         let b = value(bits);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| black_box(&a).gcd(black_box(&b)))
+        bench(&format!("ubig_gcd/{bits}"), || {
+            black_box(&a).gcd(black_box(&b))
         });
     }
-    g.finish();
 }
 
-/// Short measurement windows: these benches compare orders of magnitude
-/// (the paper's claims are 2x-1000x), so tight confidence intervals are
-/// not worth minutes per data point on a single-CPU container.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
+/// Small-value fast path: the inline (≤ 2 limb) representation that
+/// Clifford+T coefficients overwhelmingly hit.
+fn bench_small() {
+    let a = UBig::from(119u64);
+    let b = UBig::from(257u64);
+    bench("ubig_small/add", || black_box(&a) + black_box(&b));
+    bench("ubig_small/mul", || black_box(&a) * black_box(&b));
+    let c = UBig::from(0xdead_beef_dead_beefu64);
+    let d = UBig::from(0x1234_5678u64);
+    bench("ubig_small/divrem", || black_box(&c).div_rem(black_box(&d)));
+    bench("ubig_small/gcd", || black_box(&c).gcd(black_box(&d)));
 }
 
-criterion_group!(
-    name = benches;
-    config = fast_config();
-    targets = bench_mul, bench_divrem, bench_gcd);
-criterion_main!(benches);
+fn main() {
+    bench_small();
+    bench_mul();
+    bench_divrem();
+    bench_gcd();
+}

@@ -1,8 +1,7 @@
 //! Normalization-scheme micro-benchmarks (Algorithm 2 vs Algorithm 3 vs
 //! the numeric schemes) — the design-choice ablation of Sec. V-B.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use aq_testutil::bench::{bench, black_box};
 
 use aq_dd::{GcdContext, NormScheme, NumericContext, QomegaContext, WeightContext};
 use aq_rings::{Complex64, Domega, Qomega, Zomega};
@@ -11,9 +10,7 @@ fn domega(a: i64, b: i64, c: i64, d: i64, k: i64) -> Domega {
     Domega::new(Zomega::new(a.into(), b.into(), c.into(), d.into()), k)
 }
 
-fn bench_normalize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("normalize");
-
+fn main() {
     let num_ws = [
         Complex64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0),
         Complex64::new(-0.5, 0.5),
@@ -21,18 +18,14 @@ fn bench_normalize(c: &mut Criterion) {
         Complex64::new(0.1, -0.3),
     ];
     let ctx = NumericContext::new();
-    g.bench_function("numeric_leftmost", |b| {
-        b.iter(|| {
-            let mut ws = black_box(num_ws);
-            black_box(ctx.normalize(&mut ws))
-        })
+    bench("normalize/numeric_leftmost", || {
+        let mut ws = black_box(num_ws);
+        black_box(ctx.normalize(&mut ws))
     });
     let ctx_max = NumericContext::with_eps_and_scheme(0.0, NormScheme::MaxMagnitude);
-    g.bench_function("numeric_max_magnitude", |b| {
-        b.iter(|| {
-            let mut ws = black_box(num_ws);
-            black_box(ctx_max.normalize(&mut ws))
-        })
+    bench("normalize/numeric_max_magnitude", || {
+        let mut ws = black_box(num_ws);
+        black_box(ctx_max.normalize(&mut ws))
     });
 
     let q_ws = [
@@ -42,11 +35,9 @@ fn bench_normalize(c: &mut Criterion) {
         Qomega::from_int_ratio(3, 5),
     ];
     let qctx = QomegaContext::new();
-    g.bench_function("qomega_inverse_alg2", |b| {
-        b.iter(|| {
-            let mut ws = black_box(q_ws.clone());
-            black_box(qctx.normalize(&mut ws))
-        })
+    bench("normalize/qomega_inverse_alg2", || {
+        let mut ws = black_box(q_ws.clone());
+        black_box(qctx.normalize(&mut ws))
     });
 
     let d_ws = [
@@ -56,27 +47,8 @@ fn bench_normalize(c: &mut Criterion) {
         domega(3, 3, 0, 6, 0),
     ];
     let gctx = GcdContext::new();
-    g.bench_function("gcd_alg3", |b| {
-        b.iter(|| {
-            let mut ws = black_box(d_ws.clone());
-            black_box(gctx.normalize(&mut ws))
-        })
+    bench("normalize/gcd_alg3", || {
+        let mut ws = black_box(d_ws.clone());
+        black_box(gctx.normalize(&mut ws))
     });
-    g.finish();
 }
-
-/// Short measurement windows: these benches compare orders of magnitude
-/// (the paper's claims are 2x-1000x), so tight confidence intervals are
-/// not worth minutes per data point on a single-CPU container.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group!(
-    name = benches;
-    config = fast_config();
-    targets = bench_normalize);
-criterion_main!(benches);

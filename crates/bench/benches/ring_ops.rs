@@ -1,8 +1,7 @@
 //! Ring-arithmetic micro-benchmarks: the cost model behind the paper's
 //! “more expensive arithmetic operations” discussion (end of Sec. IV).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use aq_testutil::bench::{bench, black_box};
 
 use aq_bigint::IBig;
 use aq_rings::assoc::canonical_associate;
@@ -19,73 +18,49 @@ fn big_zomega(bits: u32) -> Zomega {
     )
 }
 
-fn bench_zomega_mul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zomega_mul");
+fn bench_zomega_mul() {
     for bits in [16u32, 128, 1024, 8192] {
         let x = big_zomega(bits);
         let y = big_zomega(bits / 2 + 5);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
-            b.iter(|| black_box(&x) * black_box(&y))
+        bench(&format!("zomega_mul/{bits}"), || {
+            black_box(&x) * black_box(&y)
         });
     }
-    g.finish();
 }
 
-fn bench_qomega_field(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qomega");
+fn bench_qomega_field() {
     let x = Qomega::new(big_zomega(64), 7, 9u64.into());
     let y = Qomega::new(big_zomega(48), 3, 25u64.into());
-    g.bench_function("add", |b| b.iter(|| black_box(&x) + black_box(&y)));
-    g.bench_function("mul", |b| b.iter(|| black_box(&x) * black_box(&y)));
-    g.bench_function("inverse", |b| {
-        b.iter(|| black_box(&x).inverse().expect("nonzero"))
+    bench("qomega/add", || black_box(&x) + black_box(&y));
+    bench("qomega/mul", || black_box(&x) * black_box(&y));
+    bench("qomega/inverse", || {
+        black_box(&x).inverse().expect("nonzero")
     });
-    g.finish();
 }
 
-fn bench_gcd_and_canonical(c: &mut Criterion) {
-    let mut g = c.benchmark_group("euclidean");
+fn bench_gcd_and_canonical() {
     let common = big_zomega(32);
     let x = &common * &big_zomega(24);
     let y = &common * &Zomega::new(5.into(), (-2).into(), 1.into(), 8.into());
-    g.bench_function("zomega_gcd", |b| {
-        b.iter(|| black_box(&x).gcd(black_box(&y)))
-    });
+    bench("euclidean/zomega_gcd", || black_box(&x).gcd(black_box(&y)));
     let z = Domega::new(big_zomega(32), 3);
-    g.bench_function("canonical_associate", |b| {
-        b.iter(|| canonical_associate(black_box(&z)))
+    bench("euclidean/canonical_associate", || {
+        canonical_associate(black_box(&z))
     });
-    g.finish();
 }
 
-fn bench_minimal_exponent(c: &mut Criterion) {
+fn bench_minimal_exponent() {
     // Algorithm 1: reduction to the minimal denominator exponent.
-    let mut g = c.benchmark_group("algorithm1");
-    // a value divisible by √2 many times: 2^32 = √2^64
+    // A value divisible by √2 many times: 2^32 = √2^64.
     let v = Zomega::new(0.into(), 0.into(), 0.into(), &IBig::from(1) << 32);
-    g.bench_function("reduce_64_steps", |b| {
-        b.iter(|| Domega::new(black_box(v.clone()), 0))
+    bench("algorithm1/reduce_64_steps", || {
+        Domega::new(black_box(v.clone()), 0)
     });
-    g.finish();
 }
 
-/// Short measurement windows: these benches compare orders of magnitude
-/// (the paper's claims are 2x-1000x), so tight confidence intervals are
-/// not worth minutes per data point on a single-CPU container.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
+fn main() {
+    bench_zomega_mul();
+    bench_qomega_field();
+    bench_gcd_and_canonical();
+    bench_minimal_exponent();
 }
-
-criterion_group!(
-    name = benches;
-    config = fast_config();
-    targets =
-    bench_zomega_mul,
-    bench_qomega_field,
-    bench_gcd_and_canonical,
-    bench_minimal_exponent
-);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Full-simulation benchmarks: one per paper figure, comparing the weight
 //! systems on (scaled-down) versions of the evaluated workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use aq_testutil::bench::{bench, black_box};
 
 use aq_circuits::cliffordt::CliffordTCompiler;
 use aq_circuits::{bwt, grover, gse, BwtParams, Circuit, GseParams};
@@ -24,49 +23,43 @@ fn run<W: WeightContext>(ctx: W, circuit: &Circuit, start: u64) -> usize {
 }
 
 /// Fig. 3 headline: Grover simulation per weight system.
-fn bench_grover(c: &mut Criterion) {
+fn bench_grover() {
     let circuit = grover(8, 0b10110101);
-    let mut g = c.benchmark_group("grover_fig3");
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("numeric", "eps1e-10"), |b| {
-        b.iter(|| run(NumericContext::with_eps(1e-10), black_box(&circuit), 0))
+    bench("grover_fig3/numeric_eps1e-10", || {
+        run(NumericContext::with_eps(1e-10), black_box(&circuit), 0)
     });
-    g.bench_function(BenchmarkId::new("numeric", "eps0"), |b| {
-        b.iter(|| run(NumericContext::new(), black_box(&circuit), 0))
+    bench("grover_fig3/numeric_eps0", || {
+        run(NumericContext::new(), black_box(&circuit), 0)
     });
-    g.bench_function("algebraic_qomega", |b| {
-        b.iter(|| run(QomegaContext::new(), black_box(&circuit), 0))
+    bench("grover_fig3/algebraic_qomega", || {
+        run(QomegaContext::new(), black_box(&circuit), 0)
     });
-    g.bench_function("algebraic_gcd", |b| {
-        b.iter(|| run(GcdContext::new(), black_box(&circuit), 0))
+    bench("grover_fig3/algebraic_gcd", || {
+        run(GcdContext::new(), black_box(&circuit), 0)
     });
-    g.finish();
 }
 
 /// Fig. 4 headline: BWT walk per weight system.
-fn bench_bwt(c: &mut Criterion) {
+fn bench_bwt() {
     let (circuit, tree) = bwt(BwtParams {
         height: 3,
         steps: 20,
         seed: 0xBD7,
     });
     let start = tree.entrance();
-    let mut g = c.benchmark_group("bwt_fig4");
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("numeric", "eps1e-10"), |b| {
-        b.iter(|| run(NumericContext::with_eps(1e-10), black_box(&circuit), start))
+    bench("bwt_fig4/numeric_eps1e-10", || {
+        run(NumericContext::with_eps(1e-10), black_box(&circuit), start)
     });
-    g.bench_function("algebraic_qomega", |b| {
-        b.iter(|| run(QomegaContext::new(), black_box(&circuit), start))
+    bench("bwt_fig4/algebraic_qomega", || {
+        run(QomegaContext::new(), black_box(&circuit), start)
     });
-    g.bench_function("algebraic_gcd", |b| {
-        b.iter(|| run(GcdContext::new(), black_box(&circuit), start))
+    bench("bwt_fig4/algebraic_gcd", || {
+        run(GcdContext::new(), black_box(&circuit), start)
     });
-    g.finish();
 }
 
 /// Fig. 2 / Fig. 5 headline: compiled Clifford+T GSE per weight system.
-fn bench_gse(c: &mut Criterion) {
+fn bench_gse() {
     let raw = gse(&GseParams {
         precision_bits: 3,
         ..GseParams::default()
@@ -74,32 +67,19 @@ fn bench_gse(c: &mut Criterion) {
     // single lookups keep the per-iteration cost benchmarkable; the
     // two-stage search roughly doubles word lengths and coefficient depth
     let (circuit, _) = CliffordTCompiler::new(6).without_two_stage().compile(&raw);
-    let mut g = c.benchmark_group("gse_fig5");
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("numeric", "eps1e-10"), |b| {
-        b.iter(|| run(NumericContext::with_eps(1e-10), black_box(&circuit), 0))
+    bench("gse_fig5/numeric_eps1e-10", || {
+        run(NumericContext::with_eps(1e-10), black_box(&circuit), 0)
     });
-    g.bench_function(BenchmarkId::new("numeric", "eps0"), |b| {
-        b.iter(|| run(NumericContext::new(), black_box(&circuit), 0))
+    bench("gse_fig5/numeric_eps0", || {
+        run(NumericContext::new(), black_box(&circuit), 0)
     });
-    g.bench_function("algebraic_qomega", |b| {
-        b.iter(|| run(QomegaContext::new(), black_box(&circuit), 0))
+    bench("gse_fig5/algebraic_qomega", || {
+        run(QomegaContext::new(), black_box(&circuit), 0)
     });
-    g.finish();
 }
 
-/// Short measurement windows: these benches compare orders of magnitude
-/// (the paper's claims are 2x-1000x), so tight confidence intervals are
-/// not worth minutes per data point on a single-CPU container.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
+fn main() {
+    bench_grover();
+    bench_bwt();
+    bench_gse();
 }
-
-criterion_group!(
-    name = benches;
-    config = fast_config();
-    targets = bench_grover, bench_bwt, bench_gse);
-criterion_main!(benches);

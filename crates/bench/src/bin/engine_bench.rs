@@ -1,0 +1,159 @@
+//! Engine micro-benchmark: runs the figure workloads once per weight
+//! system and emits `BENCH_engine.json` with throughput (gates/s, DD
+//! nodes/s) and cache-hit-rate numbers, so the perf trajectory of the
+//! engine can be tracked across PRs.
+//!
+//! Usage: `cargo run --release -p aq-bench --bin engine_bench [-- <out.json>]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use aq_circuits::{bwt, grover, BwtParams, Circuit};
+use aq_dd::{EngineStatistics, GcdContext, NumericContext, QomegaContext, WeightContext};
+use aq_sim::{SimOptions, Simulator};
+
+/// One completed measurement.
+struct Sample {
+    name: &'static str,
+    gates: usize,
+    seconds: f64,
+    final_nodes: usize,
+    stats: EngineStatistics,
+}
+
+fn run<W: WeightContext>(name: &'static str, ctx: W, circuit: &Circuit, start: u64) -> Sample {
+    let mut sim = Simulator::with_options(
+        ctx,
+        circuit,
+        SimOptions {
+            record_trace: false,
+            ..SimOptions::default()
+        },
+    );
+    sim.reset_to(start);
+    let t = Instant::now();
+    while sim.step() {}
+    let seconds = t.elapsed().as_secs_f64();
+    Sample {
+        name,
+        gates: sim.gates_applied(),
+        seconds,
+        final_nodes: sim.nodes(),
+        stats: sim.statistics(),
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn sample_json(s: &Sample) -> String {
+    let st = &s.stats;
+    // nodes allocated over the run (arena length; compaction resets it, so
+    // add the nodes the run produced per second as the throughput proxy)
+    let nodes_allocated = st.vec_nodes + st.mat_nodes;
+    let mut o = String::new();
+    let _ = write!(
+        o,
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"gates\": {},\n",
+            "      \"seconds\": {},\n",
+            "      \"gates_per_second\": {},\n",
+            "      \"nodes_allocated\": {},\n",
+            "      \"nodes_per_second\": {},\n",
+            "      \"final_nodes\": {},\n",
+            "      \"cache_hit_rate\": {},\n",
+            "      \"cache_lookups\": {},\n",
+            "      \"cache_evictions\": {},\n",
+            "      \"vec_unique_load\": {},\n",
+            "      \"mat_unique_load\": {},\n",
+            "      \"distinct_weights\": {},\n",
+            "      \"compactions\": {}\n",
+            "    }}"
+        ),
+        s.name,
+        s.gates,
+        json_f64(s.seconds),
+        json_f64(s.gates as f64 / s.seconds),
+        nodes_allocated,
+        json_f64(nodes_allocated as f64 / s.seconds),
+        s.final_nodes,
+        json_f64(st.cache_hit_rate()),
+        st.add_vec.lookups + st.add_mat.lookups + st.mv.lookups + st.mm.lookups,
+        st.add_vec.evictions + st.add_mat.evictions + st.mv.evictions + st.mm.evictions,
+        json_f64(st.vec_unique_load()),
+        json_f64(st.mat_unique_load()),
+        st.distinct_weights,
+        st.compactions,
+    );
+    o
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+
+    let grover_c = grover(10, 0b1011010110);
+    let (bwt_c, tree) = bwt(BwtParams {
+        height: 3,
+        steps: 20,
+        seed: 0xBD7,
+    });
+    let entrance = tree.entrance();
+
+    let samples = [
+        run(
+            "grover10/numeric_eps1e-10",
+            NumericContext::with_eps(1e-10),
+            &grover_c,
+            0,
+        ),
+        run(
+            "grover10/algebraic_qomega",
+            QomegaContext::new(),
+            &grover_c,
+            0,
+        ),
+        run("grover10/algebraic_gcd", GcdContext::new(), &grover_c, 0),
+        run(
+            "bwt_h3/numeric_eps1e-10",
+            NumericContext::with_eps(1e-10),
+            &bwt_c,
+            entrance,
+        ),
+        run(
+            "bwt_h3/algebraic_qomega",
+            QomegaContext::new(),
+            &bwt_c,
+            entrance,
+        ),
+    ];
+
+    for s in &samples {
+        println!(
+            "{:<28} {:>8} gates  {:>9.3}s  {:>12.0} gates/s  {:>12.0} nodes/s  cache {:>5.1}%  compactions {}",
+            s.name,
+            s.gates,
+            s.seconds,
+            s.gates as f64 / s.seconds,
+            (s.stats.vec_nodes + s.stats.mat_nodes) as f64 / s.seconds,
+            100.0 * s.stats.cache_hit_rate(),
+            s.stats.compactions,
+        );
+    }
+
+    let body: Vec<String> = samples.iter().map(sample_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"aq engine\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_engine.json");
+    println!("wrote {out}");
+}

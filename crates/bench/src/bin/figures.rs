@@ -211,7 +211,10 @@ fn ablation(scale: Scale) {
         });
         // single lookups: the ablation compares normalization schemes,
         // not compilation quality, and shorter words keep it minutes-scale
-        CliffordTCompiler::new(6).without_two_stage().compile(&raw).0
+        CliffordTCompiler::new(6)
+            .without_two_stage()
+            .compile(&raw)
+            .0
     };
 
     let mut rows: Vec<(String, Trace, Trace, f64, f64)> = Vec::new();

@@ -90,6 +90,7 @@ pub fn reference_run(circuit: &Circuit, sample_every: usize, start: u64) -> Refe
             samples.insert(g, sim.manager_mut().amplitudes(&s));
         }
     }
+    trace.engine = Some(sim.statistics());
     ReferenceRun {
         trace,
         samples,
@@ -117,6 +118,7 @@ pub fn traced_numeric_vs_reference(circuit: &Circuit, eps: f64, reference: &Refe
         };
         trace.points.push(sim.sample(error));
     }
+    trace.engine = Some(sim.statistics());
     trace
 }
 
@@ -140,7 +142,9 @@ pub fn eps_label(eps: f64) -> String {
     if eps == 0.0 {
         "eps0".to_string()
     } else {
-        format!("eps{eps:.0e}").replace("e-", "1e-").replace("eps11e-", "eps1e-")
+        format!("eps{eps:.0e}")
+            .replace("e-", "1e-")
+            .replace("eps11e-", "eps1e-")
     }
 }
 
@@ -150,10 +154,7 @@ pub fn eps_label(eps: f64) -> String {
 /// # Panics
 ///
 /// Panics on I/O errors (this is a command-line harness).
-pub fn write_figure(
-    figure: &str,
-    labelled: &[(String, Trace)],
-) {
+pub fn write_figure(figure: &str, labelled: &[(String, Trace)]) {
     let dir = std::path::Path::new("target/figures");
     let gates: Vec<usize> = labelled
         .iter()
@@ -195,20 +196,31 @@ pub fn write_figure(
 pub fn print_summary(figure: &str, labelled: &[(String, Trace)]) {
     println!("== {figure} ==");
     println!(
-        "{:<14} {:>12} {:>12} {:>14} {:>10}",
-        "series", "peak nodes", "final nodes", "final error", "seconds"
+        "{:<14} {:>12} {:>12} {:>14} {:>10} {:>9} {:>8}",
+        "series", "peak nodes", "final nodes", "final error", "seconds", "cache%", "compact"
     );
     for (label, t) in labelled {
         let final_nodes = t.points.last().map(|p| p.nodes).unwrap_or(0);
+        let (cache, compactions) = t
+            .engine
+            .map(|e| {
+                (
+                    format!("{:.1}", 100.0 * e.cache_hit_rate()),
+                    e.compactions.to_string(),
+                )
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into()));
         println!(
-            "{:<14} {:>12} {:>12} {:>14} {:>10.3}",
+            "{:<14} {:>12} {:>12} {:>14} {:>10.3} {:>9} {:>8}",
             label,
             t.peak_nodes(),
             final_nodes,
             t.final_error()
                 .map(|e| format!("{e:.3e}"))
                 .unwrap_or_else(|| "exact".into()),
-            t.total_seconds()
+            t.total_seconds(),
+            cache,
+            compactions,
         );
     }
 }

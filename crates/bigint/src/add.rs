@@ -63,13 +63,18 @@ impl UBig {
     /// assert_eq!(UBig::from(3u64).checked_sub(&UBig::from(5u64)), None);
     /// ```
     pub fn checked_sub(&self, rhs: &UBig) -> Option<UBig> {
+        // inline fast path: a borrow can never grow the result, so two-limb
+        // operands subtract entirely in native registers
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            return a.checked_sub(b).map(UBig::from);
+        }
         match self.cmp(rhs) {
             Ordering::Less => None,
             Ordering::Equal => Some(UBig::zero()),
             Ordering::Greater => {
-                let mut limbs = self.limbs.clone();
-                sub_in_place(&mut limbs, &rhs.limbs);
-                Some(UBig { limbs })
+                let mut limbs = self.to_limb_vec();
+                sub_in_place(&mut limbs, rhs.as_limbs());
+                Some(UBig::from_limb_vec(limbs))
             }
         }
     }
@@ -89,14 +94,20 @@ impl UBig {
 impl Add<&UBig> for &UBig {
     type Output = UBig;
     fn add(self, rhs: &UBig) -> UBig {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+        // inline fast path: both operands and the sum fit in u128
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            if let Some(sum) = a.checked_add(b) {
+                return UBig::from(sum);
+            }
+        }
+        let (long, short) = if self.as_limbs().len() >= rhs.as_limbs().len() {
             (self, rhs)
         } else {
             (rhs, self)
         };
-        let mut limbs = long.limbs.clone();
-        add_shifted_in_place(&mut limbs, &short.limbs, 0);
-        UBig { limbs }
+        let mut limbs = long.to_limb_vec();
+        add_shifted_in_place(&mut limbs, short.as_limbs(), 0);
+        UBig::from_limb_vec(limbs)
     }
 }
 
@@ -109,7 +120,15 @@ impl Add for UBig {
 
 impl AddAssign<&UBig> for UBig {
     fn add_assign(&mut self, rhs: &UBig) {
-        add_shifted_in_place(&mut self.limbs, &rhs.limbs, 0);
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            if let Some(sum) = a.checked_add(b) {
+                *self = UBig::from(sum);
+                return;
+            }
+        }
+        let mut limbs = std::mem::take(self).into_limb_vec();
+        add_shifted_in_place(&mut limbs, rhs.as_limbs(), 0);
+        *self = UBig::from_limb_vec(limbs);
     }
 }
 

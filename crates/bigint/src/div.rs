@@ -18,11 +18,16 @@ impl UBig {
     /// ```
     pub fn div_rem(&self, rhs: &UBig) -> (UBig, UBig) {
         assert!(!rhs.is_zero(), "division by zero");
+        // inline fast path: quotient and remainder both fit by construction
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            return (UBig::from(a / b), UBig::from(a % b));
+        }
         if self < rhs {
             return (UBig::zero(), self.clone());
         }
-        if rhs.limbs.len() == 1 {
-            let (q, r) = self.div_rem_limb(rhs.limbs[0]);
+        let rl = rhs.as_limbs();
+        if rl.len() == 1 {
+            let (q, r) = self.div_rem_limb(rl[0]);
             return (q, UBig::from(r));
         }
         self.div_rem_knuth(rhs)
@@ -35,21 +40,26 @@ impl UBig {
     /// Panics if `rhs` is zero.
     pub fn div_rem_limb(&self, rhs: Limb) -> (UBig, Limb) {
         assert!(rhs != 0, "division by zero");
-        let mut out = vec![0u64; self.limbs.len()];
+        // inline fast path: u128 / u64 in native arithmetic
+        if let Some(a) = self.to_u128() {
+            return (UBig::from(a / rhs as u128), (a % rhs as u128) as Limb);
+        }
+        let limbs = self.as_limbs();
+        let mut out = vec![0u64; limbs.len()];
         let mut rem: Limb = 0;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem as DoubleLimb) << 64 | self.limbs[i] as DoubleLimb;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem as DoubleLimb) << 64 | limbs[i] as DoubleLimb;
             out[i] = (cur / rhs as DoubleLimb) as Limb;
             rem = (cur % rhs as DoubleLimb) as Limb;
         }
-        (UBig::from_limbs(out), rem)
+        (UBig::from_limb_vec(out), rem)
     }
 
     /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
     fn div_rem_knuth(&self, rhs: &UBig) -> (UBig, UBig) {
-        let shift = rhs.limbs.last().expect("multi-limb").leading_zeros() as u64;
-        let v = rhs.shl_bits(shift).limbs;
-        let mut u = self.shl_bits(shift).limbs;
+        let shift = rhs.as_limbs().last().expect("multi-limb").leading_zeros() as u64;
+        let v = rhs.shl_bits(shift).into_limb_vec();
+        let mut u = self.shl_bits(shift).into_limb_vec();
         let n = v.len();
         u.push(0); // room for the top partial remainder
         let m = u.len() - n - 1;

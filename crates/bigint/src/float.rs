@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn overflow_to_infinity() {
         assert_eq!(UBig::from(2u64).pow(1100).to_f64(), f64::INFINITY);
-        assert_eq!((-IBig::from(UBig::from(2u64).pow(1100))).to_f64(), f64::NEG_INFINITY);
+        assert_eq!(
+            (-IBig::from(UBig::from(2u64).pow(1100))).to_f64(),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -2,6 +2,22 @@
 
 use crate::UBig;
 
+/// Binary GCD over native `u128`. Both operands must be nonzero.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
 impl UBig {
     /// Greatest common divisor by the binary GCD algorithm.
     ///
@@ -17,6 +33,10 @@ impl UBig {
         }
         if other.is_zero() {
             return self.clone();
+        }
+        // inline fast path: binary GCD entirely in native u128 arithmetic
+        if let (Some(a), Some(b)) = (self.to_u128(), other.to_u128()) {
+            return UBig::from(gcd_u128(a, b));
         }
         let za = self.trailing_zeros().expect("nonzero");
         let zb = other.trailing_zeros().expect("nonzero");

@@ -298,7 +298,10 @@ impl Sub<&IBig> for &IBig {
 impl Mul<&IBig> for &IBig {
     type Output = IBig;
     fn mul(self, rhs: &IBig) -> IBig {
-        IBig::from_sign_magnitude(self.negative != rhs.negative, &self.magnitude * &rhs.magnitude)
+        IBig::from_sign_magnitude(
+            self.negative != rhs.negative,
+            &self.magnitude * &rhs.magnitude,
+        )
     }
 }
 

@@ -90,9 +90,19 @@ impl UBig {
         if rhs == 0 || self.is_zero() {
             return UBig::zero();
         }
-        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        // inline fast path: single-limb × limb always fits in u128
+        if let Some(a) = self.to_u64() {
+            return UBig::from(a as u128 * rhs as u128);
+        }
+        if let Some(a) = self.to_u128() {
+            if let Some(p) = a.checked_mul(rhs as u128) {
+                return UBig::from(p);
+            }
+        }
+        let limbs = self.as_limbs();
+        let mut out = Vec::with_capacity(limbs.len() + 1);
         let mut carry: Limb = 0;
-        for &l in &self.limbs {
+        for &l in limbs {
             let t = l as DoubleLimb * rhs as DoubleLimb + carry as DoubleLimb;
             out.push(t as Limb);
             carry = (t >> 64) as Limb;
@@ -100,7 +110,7 @@ impl UBig {
         if carry != 0 {
             out.push(carry);
         }
-        UBig { limbs: out }
+        UBig::from_limb_vec(out)
     }
 
     /// Squares the value (currently multiplication with itself; kept as a
@@ -138,7 +148,13 @@ impl Mul<&UBig> for &UBig {
         if self.is_zero() || rhs.is_zero() {
             return UBig::zero();
         }
-        UBig::from_limbs(karatsuba(&self.limbs, &rhs.limbs))
+        // inline fast path: product fits in u128
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            if let Some(p) = a.checked_mul(b) {
+                return UBig::from(p);
+            }
+        }
+        UBig::from_limb_vec(karatsuba(self.as_limbs(), rhs.as_limbs()))
     }
 }
 
@@ -200,7 +216,10 @@ mod tests {
         assert_eq!(UBig::from(5u64).pow(0), UBig::one());
         assert_eq!(UBig::zero().pow(0), UBig::one());
         assert_eq!(UBig::zero().pow(3), UBig::zero());
-        assert_eq!(UBig::from(10u64).pow(20).to_string(), format!("1{}", "0".repeat(20)));
+        assert_eq!(
+            UBig::from(10u64).pow(20).to_string(),
+            format!("1{}", "0".repeat(20))
+        );
     }
 
     #[test]

@@ -101,8 +101,9 @@ impl fmt::LowerHex for UBig {
         if self.is_zero() {
             return f.pad_integral(true, "0x", "0");
         }
-        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
-        for l in self.limbs.iter().rev().skip(1) {
+        let limbs = self.as_limbs();
+        let mut s = format!("{:x}", limbs.last().expect("nonzero"));
+        for l in limbs.iter().rev().skip(1) {
             s.push_str(&format!("{l:016x}"));
         }
         f.pad_integral(true, "0x", &s)
@@ -118,7 +119,11 @@ impl FromStr for UBig {
 
 impl fmt::Display for IBig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.pad_integral(self.sign() != Sign::Negative, "", &self.magnitude().to_decimal())
+        f.pad_integral(
+            self.sign() != Sign::Negative,
+            "",
+            &self.magnitude().to_decimal(),
+        )
     }
 }
 

@@ -10,14 +10,20 @@ impl UBig {
         if self.is_zero() || bits == 0 {
             return self.clone();
         }
+        // inline fast path: shifted value still fits in u128
+        if let Some(v) = self.to_u128() {
+            if bits < 128 && v.leading_zeros() as u64 >= bits {
+                return UBig::from(v << bits);
+            }
+        }
         let limb_shift = (bits / 64) as usize;
         let bit_shift = (bits % 64) as u32;
         let mut out: Vec<Limb> = vec![0; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(self.as_limbs());
         } else {
             let mut carry: Limb = 0;
-            for &l in &self.limbs {
+            for &l in self.as_limbs() {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (64 - bit_shift);
             }
@@ -25,17 +31,22 @@ impl UBig {
                 out.push(carry);
             }
         }
-        UBig::from_limbs(out)
+        UBig::from_limb_vec(out)
     }
 
     /// Shifts right by `bits` (floor division by a power of two).
     pub fn shr_bits(&self, bits: u64) -> UBig {
+        // inline fast path: a right shift never grows the value
+        if let Some(v) = self.to_u128() {
+            return UBig::from(if bits >= 128 { 0u128 } else { v >> bits });
+        }
+        let limbs = self.as_limbs();
         let limb_shift = (bits / 64) as usize;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return UBig::zero();
         }
         let bit_shift = (bits % 64) as u32;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out: Vec<Limb> = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
@@ -49,7 +60,7 @@ impl UBig {
                 out.push((src[i] >> bit_shift) | hi);
             }
         }
-        UBig::from_limbs(out)
+        UBig::from_limb_vec(out)
     }
 }
 

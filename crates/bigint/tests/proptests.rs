@@ -2,7 +2,7 @@
 //! division invariants and agreement with native 128-bit arithmetic.
 
 use aq_bigint::{IBig, UBig};
-use proptest::prelude::*;
+use aq_testutil::proptest::prelude::*;
 
 fn ubig() -> impl Strategy<Value = UBig> {
     prop::collection::vec(any::<u64>(), 0..8).prop_map(UBig::from_limbs)
@@ -138,6 +138,137 @@ proptest! {
             Less => prop_assert!(&b - &a > IBig::zero()),
             Equal => prop_assert_eq!(&a, &b),
             Greater => prop_assert!(&a - &b > IBig::zero()),
+        }
+    }
+}
+
+/// Values concentrated around the inline/heap representation boundary:
+/// exactly 1, 2 or 3 limbs, with the top limb sometimes tiny so carries and
+/// borrows cross `2^128` in both directions.
+fn boundary_ubig() -> impl Strategy<Value = UBig> {
+    let sized = |n: usize| {
+        prop::collection::vec(any::<u64>(), n..(n + 1))
+            .prop_map(|mut limbs| {
+                if let Some(top) = limbs.last_mut() {
+                    *top = (*top).max(1);
+                }
+                UBig::from_limbs(limbs)
+            })
+            .boxed()
+    };
+    let near_top = |n: usize| {
+        prop::collection::vec(any::<u64>(), n..(n + 1))
+            .prop_map(|mut limbs| {
+                // top limb all-ones or one: maximizes carry/borrow crossings
+                let last = limbs.len() - 1;
+                limbs[last] = if limbs[last] & 1 == 1 { u64::MAX } else { 1 };
+                UBig::from_limbs(limbs)
+            })
+            .boxed()
+    };
+    prop_oneof![sized(1), sized(2), sized(3), near_top(2), near_top(3),]
+}
+
+/// The representation invariant: a value is stored inline exactly when it
+/// fits in two limbs, so `is_inline` is a function of the value alone.
+fn assert_canonical(v: &UBig) {
+    assert_eq!(
+        v.is_inline(),
+        v.bit_len() <= 128,
+        "inline repr must hold exactly the <= 2-limb values: {v:?}"
+    );
+}
+
+fn hash_fingerprint(v: &UBig) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Every arithmetic result near the boundary lands in the canonical
+    /// representation, whichever side it came from.
+    #[test]
+    fn boundary_ops_canonical(a in boundary_ubig(), b in boundary_ubig(), s in 0u64..200) {
+        let sum = &a + &b;
+        assert_canonical(&sum);
+        assert_canonical(&(&sum - &a));
+        let prod = &a * &b;
+        assert_canonical(&prod);
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            assert_canonical(&q);
+            assert_canonical(&r);
+        }
+        assert_canonical(&a.gcd(&b));
+        assert_canonical(&a.shl_bits(s));
+        assert_canonical(&a.shr_bits(s));
+    }
+
+    /// Round-trips that cross the inline/heap boundary in both directions
+    /// recover the original value, equal and with an identical hash.
+    #[test]
+    fn boundary_crossing_roundtrips(a in boundary_ubig(), b in boundary_ubig(), s in 1u64..200) {
+        // up through add, back down through sub
+        let up = &a + &b;
+        let back = &up - &b;
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(hash_fingerprint(&back), hash_fingerprint(&a));
+        // up through shl, back down through shr
+        let shifted_back = a.shl_bits(s).shr_bits(s);
+        prop_assert_eq!(&shifted_back, &a);
+        prop_assert_eq!(hash_fingerprint(&shifted_back), hash_fingerprint(&a));
+        // up through mul, back down through exact division
+        if !b.is_zero() {
+            let (q, r) = (&a * &b).div_rem(&b);
+            prop_assert_eq!(&q, &a);
+            prop_assert!(r.is_zero());
+            prop_assert_eq!(hash_fingerprint(&q), hash_fingerprint(&a));
+        }
+    }
+
+    /// The u128 fast paths agree bit-for-bit with native arithmetic, and
+    /// their results never allocate.
+    #[test]
+    fn inline_fast_paths_match_u128(a in any::<u64>(), b in any::<u64>(), s in 0u64..64) {
+        let (ba, bb) = (UBig::from(a), UBig::from(b));
+        prop_assert!(ba.is_inline() && bb.is_inline());
+        let sum = &ba + &bb;
+        prop_assert!(sum.is_inline());
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+        let prod = &ba * &bb;
+        prop_assert!(prod.is_inline());
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+        if let (Some(quot), Some(rem)) = (a.checked_div(b), a.checked_rem(b)) {
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert!(q.is_inline() && r.is_inline());
+            prop_assert_eq!(q.to_u64(), Some(quot));
+            prop_assert_eq!(r.to_u64(), Some(rem));
+            let g = ba.gcd(&bb);
+            prop_assert!(g.is_inline());
+        }
+        let sh = ba.shl_bits(s);
+        prop_assert!(sh.is_inline());
+        prop_assert_eq!(sh.to_u128(), Some((a as u128) << s));
+    }
+
+    /// Two-limb operands whose results stay within two limbs remain inline
+    /// through every operation (the "never touch the heap" guarantee).
+    #[test]
+    fn two_limb_results_stay_inline(a in any::<u64>(), b in any::<u64>()) {
+        let x = UBig::from((a as u128) << 32 | b as u128);
+        let y = UBig::from(b.max(1) as u128);
+        prop_assert!((&x + &y).is_inline());
+        prop_assert!(x.checked_sub(&y).is_none_or(|d| d.is_inline()));
+        let (q, r) = x.div_rem(&y);
+        prop_assert!(q.is_inline() && r.is_inline());
+        prop_assert!(x.gcd(&y).is_inline());
+        prop_assert!(x.shr_bits(1).is_inline());
+        // product of a 96-bit by a ~32-bit value fits in 128 bits
+        let small = UBig::from((b >> 32).max(1));
+        if x.bit_len() + small.bit_len() <= 128 {
+            prop_assert!((&x * &small).is_inline());
         }
     }
 }

@@ -149,7 +149,10 @@ impl Circuit {
         for &(a, b) in &pairs {
             assert!(a < dim && b < dim, "matching pair out of range");
             assert!(a != b, "self-loop in matching");
-            assert!(seen.insert(a) && seen.insert(b), "vertex repeated in matching");
+            assert!(
+                seen.insert(a) && seen.insert(b),
+                "vertex repeated in matching"
+            );
         }
         self.ops.push(Op::MatchingEvolution {
             pairs: Arc::new(pairs),
@@ -163,11 +166,18 @@ impl Circuit {
     /// Panics if `map` is not a bijection on `0..2^n`.
     pub fn push_permutation(&mut self, map: Vec<u64>) {
         let dim = 1u64 << self.n_qubits;
-        assert_eq!(map.len() as u64, dim, "permutation must cover all basis states");
+        assert_eq!(
+            map.len() as u64,
+            dim,
+            "permutation must cover all basis states"
+        );
         let mut seen = vec![false; map.len()];
         for &y in &map {
             assert!(y < dim, "permutation image out of range");
-            assert!(!std::mem::replace(&mut seen[y as usize], true), "permutation not injective");
+            assert!(
+                !std::mem::replace(&mut seen[y as usize], true),
+                "permutation not injective"
+            );
         }
         self.ops.push(Op::Permutation { map: Arc::new(map) });
     }
@@ -257,7 +267,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} ops", self.n_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} ops",
+            self.n_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             match op {
                 Op::Gate {
@@ -275,7 +290,11 @@ impl fmt::Display for Circuit {
                     writeln!(f, "  walk-factor ({} pairs)", pairs.len())?;
                 }
                 Op::Permutation { map } => {
-                    let moved = map.iter().enumerate().filter(|&(x, &y)| x as u64 != y).count();
+                    let moved = map
+                        .iter()
+                        .enumerate()
+                        .filter(|&(x, &y)| x as u64 != y)
+                        .count();
                     writeln!(f, "  permutation ({moved} moved)")?;
                 }
             }

@@ -120,7 +120,12 @@ fn mat_mul(a: &[Complex64; 4], b: &[Complex64; 4]) -> [Complex64; 4] {
 }
 
 fn word_matrix(word: &[CtGate]) -> [Complex64; 4] {
-    let mut u = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+    let mut u = [
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::ONE,
+    ];
     for g in word {
         u = mat_mul(&g.complex(), &u);
     }
@@ -153,7 +158,12 @@ fn enumerate_cliffords() -> Vec<Vec<CtGate>> {
         out
     };
     let mut seen: HashMap<[(i64, i64); 4], Vec<CtGate>> = HashMap::new();
-    let id = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+    let id = [
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::ONE,
+    ];
     seen.insert(canon(&id), Vec::new());
     let mut frontier = vec![(id, Vec::new())];
     while let Some((u, word)) = frontier.pop() {
@@ -168,11 +178,15 @@ fn enumerate_cliffords() -> Vec<Vec<CtGate>> {
         }
     }
     let mut v: Vec<Vec<CtGate>> = seen.into_values().collect();
-    v.sort_by_key(|w| (w.len(), w.clone().iter().map(|g| *g as u8).collect::<Vec<_>>()));
+    v.sort_by_key(|w| {
+        (
+            w.len(),
+            w.clone().iter().map(|g| *g as u8).collect::<Vec<_>>(),
+        )
+    });
     assert_eq!(v.len(), 24, "single-qubit Clifford group has 24 elements");
     v
 }
-
 
 /// Phase-stripped unit quaternion (w, x, y, z) of a 2×2 unitary, with the
 /// canonical sign `w ≥ 0`. Two unitaries equal up to global phase map to
@@ -217,8 +231,7 @@ impl CliffordTCompiler {
     pub fn new(max_syllables: u8) -> Self {
         assert!(max_syllables <= 24, "syllable budget too large");
         let cliffords = enumerate_cliffords();
-        let cliff_mats: Vec<[Complex64; 4]> =
-            cliffords.iter().map(|w| word_matrix(w)).collect();
+        let cliff_mats: Vec<[Complex64; 4]> = cliffords.iter().map(|w| word_matrix(w)).collect();
         let ht = word_matrix(&[CtGate::T, CtGate::H]); // H·T as matrix product H·T applied right-to-left…
         let _ = ht;
 
@@ -232,17 +245,18 @@ impl CliffordTCompiler {
         let mut db = Vec::new();
         // cores(k): all products of k syllables, built incrementally.
         let mut cores: Vec<([Complex64; 4], u32)> = vec![(
-            [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
+            [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
             0,
         )];
         for k in 0..=max_syllables {
             for &(core, bits) in &cores {
                 for leading_t in [false, true] {
-                    let m = if leading_t {
-                        mat_mul(&t, &core)
-                    } else {
-                        core
-                    };
+                    let m = if leading_t { mat_mul(&t, &core) } else { core };
                     for (ci, cm) in cliff_mats.iter().enumerate() {
                         db.push(DbEntry {
                             u: mat_mul(&m, cm),

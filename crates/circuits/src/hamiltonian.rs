@@ -176,8 +176,7 @@ mod tests {
         // the known ground energy for these coefficients ≈ −1.8516 hartree…
         // computed analytically: E = g0 − g3 − sqrt((g1−g2)² + (g4+g5)²)
         let e = h2_hamiltonian().ground_energy();
-        let g: (f64, f64, f64, f64, f64, f64) =
-            (-0.4804, 0.3435, -0.4347, 0.5716, 0.0910, 0.0910);
+        let g: (f64, f64, f64, f64, f64, f64) = (-0.4804, 0.3435, -0.4347, 0.5716, 0.0910, 0.0910);
         // the {|01⟩,|10⟩} block is [[g0−g3+(g1−g2), g4+g5],[g4+g5, g0−g3−(g1−g2)]]
         // with eigenvalues g0−g3 ± sqrt((g1−g2)² + (g4+g5)²)
         let analytic = g.0 - g.3 - ((g.1 - g.2).powi(2) + (g.4 + g.5).powi(2)).sqrt();

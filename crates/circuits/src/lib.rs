@@ -22,9 +22,9 @@
 
 mod circuit;
 pub mod cliffordt;
-pub mod qasm;
 mod gse;
 mod hamiltonian;
+pub mod qasm;
 mod qft;
 mod walk;
 
@@ -84,7 +84,9 @@ pub fn grover_iterations(n: u32) -> u64 {
 
 fn grover_oracle(c: &mut Circuit, n: u32, marked: u64) {
     // flip qubits where the marked bit is 0, so MCZ fires exactly on |marked⟩
-    let zeros: Vec<u32> = (0..n).filter(|q| (marked >> (n - 1 - q)) & 1 == 0).collect();
+    let zeros: Vec<u32> = (0..n)
+        .filter(|q| (marked >> (n - 1 - q)) & 1 == 0)
+        .collect();
     for &q in &zeros {
         c.push_gate(GateMatrix::x(), q, &[]);
     }

@@ -55,7 +55,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -94,7 +98,10 @@ pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if lower.starts_with("creg") || lower.starts_with("measure") || lower.starts_with("barrier") {
+            if lower.starts_with("creg")
+                || lower.starts_with("measure")
+                || lower.starts_with("barrier")
+            {
                 continue;
             }
             let c = circuit
@@ -120,7 +127,10 @@ fn parse_reg(rest: &str, lineno: usize) -> Result<(String, u32), ParseQasmError>
         .parse()
         .map_err(|_| ParseQasmError::new(lineno, "bad register size"))?;
     if size == 0 {
-        return Err(ParseQasmError::new(lineno, "register size must be positive"));
+        return Err(ParseQasmError::new(
+            lineno,
+            "register size must be positive",
+        ));
     }
     Ok((name, size))
 }
@@ -134,7 +144,12 @@ fn parse_gate_stmt(
     // split "name(params) q[a], q[b]"
     let (head, args_str) = match stmt.find(|ch: char| ch.is_whitespace()) {
         Some(i) => stmt.split_at(i),
-        None => return Err(ParseQasmError::new(lineno, format!("malformed statement `{stmt}`"))),
+        None => {
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("malformed statement `{stmt}`"),
+            ))
+        }
     };
     let (name, params) = match head.find('(') {
         Some(i) => {
@@ -166,7 +181,10 @@ fn parse_gate_stmt(
         if params.len() == k + 1 {
             Ok(params[k])
         } else {
-            Err(ParseQasmError::new(lineno, format!("`{name}` takes {} parameter(s)", k + 1)))
+            Err(ParseQasmError::new(
+                lineno,
+                format!("`{name}` takes {} parameter(s)", k + 1),
+            ))
         }
     };
 
@@ -202,10 +220,17 @@ fn parse_gate_stmt(
             if qubits.len() != 3 {
                 return Err(ParseQasmError::new(lineno, "`ccx` takes three qubits"));
             }
-            c.push_gate(GateMatrix::x(), qubits[2], &[(qubits[0], true), (qubits[1], true)]);
+            c.push_gate(
+                GateMatrix::x(),
+                qubits[2],
+                &[(qubits[0], true), (qubits[1], true)],
+            );
         }
         other => {
-            return Err(ParseQasmError::new(lineno, format!("unsupported gate `{other}`")));
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("unsupported gate `{other}`"),
+            ));
         }
     }
     Ok(())
@@ -215,7 +240,10 @@ fn two(qubits: &[u32], name: &str, lineno: usize) -> Result<[u32; 2], ParseQasmE
     if qubits.len() == 2 {
         Ok([qubits[0], qubits[1]])
     } else {
-        Err(ParseQasmError::new(lineno, format!("`{name}` takes two qubits")))
+        Err(ParseQasmError::new(
+            lineno,
+            format!("`{name}` takes two qubits"),
+        ))
     }
 }
 
@@ -228,14 +256,20 @@ fn parse_qubit(arg: &str, reg: &str, n: u32, lineno: usize) -> Result<u32, Parse
         .ok_or_else(|| ParseQasmError::new(lineno, format!("malformed qubit `{arg}`")))?;
     let name = arg[..open].trim();
     if !reg.is_empty() && name != reg {
-        return Err(ParseQasmError::new(lineno, format!("unknown register `{name}`")));
+        return Err(ParseQasmError::new(
+            lineno,
+            format!("unknown register `{name}`"),
+        ));
     }
     let idx: u32 = arg[open + 1..close]
         .trim()
         .parse()
         .map_err(|_| ParseQasmError::new(lineno, "bad qubit index"))?;
     if idx >= n {
-        return Err(ParseQasmError::new(lineno, format!("qubit index {idx} out of range")));
+        return Err(ParseQasmError::new(
+            lineno,
+            format!("qubit index {idx} out of range"),
+        ));
     }
     Ok(idx)
 }
@@ -308,11 +342,7 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             panic!("cannot serialise walk operators to QASM 2");
         };
         let name = matrix.name();
-        let base = name
-            .split('(')
-            .next()
-            .unwrap_or(name)
-            .to_ascii_lowercase();
+        let base = name.split('(').next().unwrap_or(name).to_ascii_lowercase();
         let param = name
             .find('(')
             .map(|i| name[i..].to_string())
@@ -341,7 +371,10 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                     controls[0].0, controls[1].0
                 );
             }
-            _ => panic!("controlled `{base}` with {} controls has no QASM 2 spelling", controls.len()),
+            _ => panic!(
+                "controlled `{base}` with {} controls has no QASM 2 spelling",
+                controls.len()
+            ),
         }
     }
     out

@@ -20,11 +20,40 @@
 //!   each factor `exp(−i·π/4·A_M)` has entries `1/√2` and `−i/√2` on
 //!   matched pairs, all in `D[ω]`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::Circuit;
+
+/// Minimal deterministic RNG for the weld permutation (xorshift64* seeded
+/// through one SplitMix64 step). In-crate so the benchmark generators
+/// need no external randomness dependency; only seed-determinism matters
+/// here, not statistical strength.
+struct WeldRng(u64);
+
+impl WeldRng {
+    fn new(seed: u64) -> WeldRng {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        WeldRng((z ^ (z >> 31)).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Fisher–Yates shuffle (unbiased via 128-bit multiply reduction;
+    /// the leaf counts here are far below any bias-visible scale).
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = ((self.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
 
 /// Parameters of the [`bwt`] / [`bwt_trotter`] benchmark generators.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +98,7 @@ impl WeldedTree {
     /// Panics if `height` is 0 or ≥ 20.
     pub fn new(height: u32, seed: u64) -> Self {
         assert!((1..20).contains(&height), "height out of range");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = WeldRng::new(seed);
         let off = 1u64 << (height + 1);
         let mut edges: Vec<(u64, u64)> = Vec::new();
 
@@ -85,7 +114,7 @@ impl WeldedTree {
         // forming a single alternating cycle (the standard construction)
         let leaves_a: Vec<u64> = (1u64 << height..1u64 << (height + 1)).collect();
         let mut leaves_b: Vec<u64> = leaves_a.iter().map(|&v| off + v).collect();
-        leaves_b.shuffle(&mut rng);
+        rng.shuffle(&mut leaves_b);
         // cycle a0-b0-a1-b1-…-a0: matching 1 = (ai, bi), matching 2 = (b_i, a_{i+1})
         let m = leaves_a.len();
         for i in 0..m {
@@ -202,8 +231,7 @@ fn greedy_matching_decomposition(edges: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
     let mut matchings: Vec<Vec<(u64, u64)>> = Vec::new();
     let mut used: Vec<std::collections::HashSet<u64>> = Vec::new();
     for &(a, b) in edges {
-        let slot = (0..matchings.len())
-            .find(|&i| !used[i].contains(&a) && !used[i].contains(&b));
+        let slot = (0..matchings.len()).find(|&i| !used[i].contains(&a) && !used[i].contains(&b));
         match slot {
             Some(i) => {
                 matchings[i].push((a, b));
@@ -268,9 +296,7 @@ pub fn bwt(params: BwtParams) -> (Circuit, WeldedTree) {
         c.push_gate(GateMatrix::x(), c0, &[]);
         c.push_gate(GateMatrix::z(), c0, &[]);
         c.push_gate(GateMatrix::x(), c0, &[]);
-        c.push(crate::Op::Permutation {
-            map: shift.clone(),
-        });
+        c.push(crate::Op::Permutation { map: shift.clone() });
     }
     (c, tree)
 }
@@ -352,9 +378,7 @@ mod tests {
             let welds = t
                 .edges()
                 .iter()
-                .filter(|&&(a, b)| {
-                    (a == leaf && b >= off) || (b == leaf && a >= off)
-                })
+                .filter(|&&(a, b)| (a == leaf && b >= off) || (b == leaf && a >= off))
                 .count();
             assert_eq!(welds, 2, "leaf {leaf}");
         }

@@ -4,7 +4,7 @@
 
 use aq_circuits::cliffordt::{word_distance, CliffordTCompiler};
 use aq_rings::Complex64;
-use proptest::prelude::*;
+use aq_testutil::proptest::prelude::*;
 
 fn target_phase(theta: f64) -> [Complex64; 4] {
     [

@@ -1,27 +1,32 @@
 //! The exact algebraic weight systems: `Q[ω]` (Algorithm 2) and the
 //! GCD-normalized `D[ω]` (Algorithm 3).
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 use aq_rings::assoc::{canonical_associate, gcd_canonical};
 use aq_rings::{Complex64, Domega, Qomega};
 
+use crate::fxhash::fx_hash;
+use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
 
 /// Generic exact-deduplication weight table: canonical forms are hashable,
 /// so equality is structural.
+///
+/// Values are stored once in an arena; the index holds only precomputed
+/// hashes and ids, so interning hashes each value exactly once and never
+/// clones it into a map key.
 #[derive(Debug)]
 pub struct ExactTable<V> {
     values: Vec<V>,
-    index: HashMap<V, WeightId>,
+    index: UniqueTable,
 }
 
 impl<V: Clone + Eq + Hash> ExactTable<V> {
     fn with_constants(zero: V, one: V) -> Self {
         let mut t = ExactTable {
             values: Vec::new(),
-            index: HashMap::new(),
+            index: UniqueTable::new(),
         };
         let z = t.intern(zero);
         let o = t.intern(one);
@@ -35,13 +40,15 @@ impl<V: Clone + Eq + Hash> WeightTable for ExactTable<V> {
     type Value = V;
 
     fn intern(&mut self, v: V) -> WeightId {
-        if let Some(&id) = self.index.get(&v) {
-            return id;
+        let hash = fx_hash(&v);
+        let values = &self.values;
+        if let Some(id) = self.index.find(hash, |i| values[i as usize] == v) {
+            return WeightId(id);
         }
-        let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
-        self.values.push(v.clone());
-        self.index.insert(v, id);
-        id
+        let id = u32::try_from(self.values.len()).expect("weight table overflow");
+        self.values.push(v);
+        self.index.insert(hash, id);
+        WeightId(id)
     }
 
     fn get(&self, id: WeightId) -> &V {
@@ -296,7 +303,9 @@ mod tests {
     #[test]
     fn qomega_normalize_all_zero() {
         let ctx = QomegaContext::new();
-        assert!(ctx.normalize(&mut [Qomega::zero(), Qomega::zero()]).is_none());
+        assert!(ctx
+            .normalize(&mut [Qomega::zero(), Qomega::zero()])
+            .is_none());
     }
 
     #[test]

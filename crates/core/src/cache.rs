@@ -1,0 +1,199 @@
+//! Fixed-size, direct-mapped compute caches.
+//!
+//! The compute caches memoise recursive DD operations. Unbounded maps keep
+//! every result alive until a wholesale clear, which costs memory, hashing
+//! time and latency spikes; a direct-mapped cache with power-of-two slots
+//! simply overwrites on collision (lossy memoisation is always sound — a
+//! miss only costs recomputation), never rehashes, and keeps the working
+//! set hot. The same design is used by the major BDD/DD packages.
+
+use std::hash::Hash;
+
+use crate::fxhash::fx_hash;
+
+/// Hit/miss/eviction counters for one compute cache.
+///
+/// Invariant: `lookups == hits + misses`; `insertions == evictions +
+/// (currently occupied slots, across clears)`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total `get` calls.
+    pub lookups: u64,
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed (empty slot, or slot held a different key).
+    pub misses: u64,
+    /// Total `insert` calls.
+    pub insertions: u64,
+    /// Insertions that overwrote a *different* live key.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Merges counters (used to carry statistics across compactions).
+    pub(crate) fn absorb(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+}
+
+/// A direct-mapped lossy cache: each key hashes to exactly one slot, and a
+/// colliding insert overwrites the previous occupant.
+#[derive(Debug, Clone)]
+pub(crate) struct LossyCache<K, V> {
+    /// Slot array, allocated lazily on first use (compaction creates fresh
+    /// managers frequently; empty caches must be free).
+    slots: Vec<Option<(K, V)>>,
+    /// Power-of-two slot count.
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Copy + Eq + Hash, V: Copy> LossyCache<K, V> {
+    /// Creates a cache with `capacity` slots (rounded up to a power of two,
+    /// minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        LossyCache {
+            slots: Vec::new(),
+            capacity: capacity.next_power_of_two().max(2),
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: &K) -> usize {
+        (fx_hash(key) as usize) & (self.capacity - 1)
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    #[inline]
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.stats.lookups += 1;
+        let hit = if self.slots.is_empty() {
+            None
+        } else {
+            match &self.slots[self.slot_of(key)] {
+                Some((k, v)) if k == key => Some(*v),
+                _ => None,
+            }
+        };
+        if hit.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Inserts `key -> value`, overwriting (and counting as an eviction)
+    /// any different key occupying the slot.
+    #[inline]
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.slots.is_empty() {
+            self.slots = vec![None; self.capacity];
+        }
+        let i = self.slot_of(&key);
+        self.stats.insertions += 1;
+        if matches!(&self.slots[i], Some((k, _)) if *k != key) {
+            self.stats.evictions += 1;
+        }
+        self.slots[i] = Some((key, value));
+    }
+
+    /// Drops all entries; counters are kept (they describe the lifetime of
+    /// the cache, not its current contents).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.slots.shrink_to_fit();
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Adds another cache's counters (statistics survive compaction).
+    pub fn absorb_stats(&mut self, other: &CacheStats) {
+        self.stats.absorb(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_counters() {
+        let mut c: LossyCache<u64, u64> = LossyCache::new(8);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.lookups, s.hits + s.misses);
+    }
+
+    #[test]
+    fn eviction_on_slot_collision() {
+        // capacity 2: plenty of keys share slots
+        let mut c: LossyCache<u64, u64> = LossyCache::new(2);
+        for k in 0..100 {
+            c.insert(k, k);
+        }
+        let s = c.stats();
+        assert_eq!(s.insertions, 100);
+        assert!(s.evictions >= 90, "almost every insert evicts: {s:?}");
+        // the cache stays bounded: at most 2 keys can hit
+        let mut live = 0;
+        for k in 0..100 {
+            if c.get(&k).is_some() {
+                live += 1;
+            }
+        }
+        assert!(live <= 2);
+    }
+
+    #[test]
+    fn reinserting_same_key_is_not_an_eviction() {
+        let mut c: LossyCache<u64, u64> = LossyCache::new(8);
+        c.insert(7, 1);
+        c.insert(7, 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&7), Some(2));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c: LossyCache<u64, u64> = LossyCache::new(8);
+        c.insert(1, 1);
+        let _ = c.get(&1);
+        c.clear();
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.lookups, s.hits + s.misses);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let c: LossyCache<u64, u64> = LossyCache::new(100);
+        assert_eq!(c.capacity, 128);
+        let c: LossyCache<u64, u64> = LossyCache::new(0);
+        assert_eq!(c.capacity, 2);
+    }
+}

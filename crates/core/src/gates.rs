@@ -110,12 +110,7 @@ impl GateMatrix {
     pub fn x() -> Self {
         GateMatrix::from_exact(
             "X",
-            [
-                Domega::zero(),
-                Domega::one(),
-                Domega::one(),
-                Domega::zero(),
-            ],
+            [Domega::zero(), Domega::one(), Domega::one(), Domega::zero()],
         )
     }
 
@@ -123,12 +118,7 @@ impl GateMatrix {
     pub fn y() -> Self {
         GateMatrix::from_exact(
             "Y",
-            [
-                Domega::zero(),
-                -&Domega::i(),
-                Domega::i(),
-                Domega::zero(),
-            ],
+            [Domega::zero(), -&Domega::i(), Domega::i(), Domega::zero()],
         )
     }
 
@@ -149,12 +139,7 @@ impl GateMatrix {
     pub fn s() -> Self {
         GateMatrix::from_exact(
             "S",
-            [
-                Domega::one(),
-                Domega::zero(),
-                Domega::zero(),
-                Domega::i(),
-            ],
+            [Domega::one(), Domega::zero(), Domega::zero(), Domega::i()],
         )
     }
 
@@ -162,12 +147,7 @@ impl GateMatrix {
     pub fn sdg() -> Self {
         GateMatrix::from_exact(
             "Sdg",
-            [
-                Domega::one(),
-                Domega::zero(),
-                Domega::zero(),
-                -&Domega::i(),
-            ],
+            [Domega::one(), Domega::zero(), Domega::zero(), -&Domega::i()],
         )
     }
 
@@ -373,11 +353,13 @@ impl<W: WeightContext> Manager<W> {
         for (i, e) in gate.entries().iter().enumerate() {
             let v = match e {
                 GateEntry::Exact(d) => self.ctx.from_exact(d),
-                GateEntry::Approx(c) => self.ctx.from_approx(*c).ok_or_else(|| {
-                    UnrepresentableGateError {
-                        gate: gate.name().to_string(),
-                    }
-                })?,
+                GateEntry::Approx(c) => {
+                    self.ctx
+                        .from_approx(*c)
+                        .ok_or_else(|| UnrepresentableGateError {
+                            gate: gate.name().to_string(),
+                        })?
+                }
             };
             entry_ids[i] = self.intern(v);
         }
@@ -395,7 +377,10 @@ impl<W: WeightContext> Manager<W> {
             if w == WeightId::ZERO {
                 Edge::ZERO_MAT
             } else {
-                Edge { w, n: MatId::TERMINAL }
+                Edge {
+                    w,
+                    n: MatId::TERMINAL,
+                }
             }
         });
 
@@ -403,7 +388,11 @@ impl<W: WeightContext> Manager<W> {
             if let Some(pol) = is_control(v) {
                 let mut nb = [Edge::ZERO_MAT; 4];
                 for (i, b) in blocks.iter().enumerate() {
-                    let diag = if i == 0 || i == 3 { id_below } else { Edge::ZERO_MAT };
+                    let diag = if i == 0 || i == 3 {
+                        id_below
+                    } else {
+                        Edge::ZERO_MAT
+                    };
                     nb[i] = if pol {
                         self.make_mat_node(v, [diag, Edge::ZERO_MAT, Edge::ZERO_MAT, *b])
                     } else {
@@ -449,7 +438,12 @@ impl<W: WeightContext> Manager<W> {
     ///
     /// Panics if the gate is not representable in this weight system, or
     /// on the index errors of [`Manager::try_gate`].
-    pub fn gate(&mut self, gate: &GateMatrix, target: u32, controls: &[(u32, bool)]) -> Edge<MatId> {
+    pub fn gate(
+        &mut self,
+        gate: &GateMatrix,
+        target: u32,
+        controls: &[(u32, bool)],
+    ) -> Edge<MatId> {
         self.try_gate(gate, target, controls)
             .expect("gate not representable in this weight system")
     }

@@ -44,20 +44,24 @@
 #![warn(missing_docs)]
 
 mod algebraic;
+mod cache;
 mod dot;
 mod edge;
 mod extract;
+pub mod fxhash;
 mod gates;
 mod manager;
 mod numeric;
 mod ops;
+mod unique;
 mod verify;
 mod weight;
 
 pub use algebraic::{GcdContext, QomegaContext};
+pub use cache::CacheStats;
 pub use edge::{Edge, MatId, VecId};
 pub use gates::{GateEntry, GateMatrix, UnrepresentableGateError};
-pub use manager::Manager;
+pub use manager::{EngineStatistics, Manager};
 pub use numeric::{NormScheme, NumericContext};
 pub use verify::kron_states;
 pub use weight::{WeightContext, WeightId, WeightTable};

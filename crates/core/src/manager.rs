@@ -1,9 +1,70 @@
 //! The QMDD manager: arenas, unique tables, interning, construction.
 
-use std::collections::HashMap;
-
+use crate::cache::{CacheStats, LossyCache};
 use crate::edge::{Edge, MatId, MatNode, VecId, VecNode};
+use crate::fxhash::{fx_hash, FxHashMap};
+use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// Default slot count for each compute cache (`2^16` direct-mapped slots).
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// A point-in-time snapshot of the engine's internal counters.
+///
+/// Obtained from [`Manager::statistics`]. Cache counters are lifetime
+/// totals: they survive [`Manager::clear_caches`] and [`Manager::compact`],
+/// so differences between snapshots measure the work in between.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStatistics {
+    /// Vector-addition compute cache counters.
+    pub add_vec: CacheStats,
+    /// Matrix-addition compute cache counters.
+    pub add_mat: CacheStats,
+    /// Matrix–vector compute cache counters.
+    pub mv: CacheStats,
+    /// Matrix–matrix compute cache counters.
+    pub mm: CacheStats,
+    /// Vector nodes currently allocated (live + garbage).
+    pub vec_nodes: usize,
+    /// Matrix nodes currently allocated (live + garbage).
+    pub mat_nodes: usize,
+    /// Entries in the vector unique table.
+    pub vec_unique_len: usize,
+    /// Slot count of the vector unique table.
+    pub vec_unique_capacity: usize,
+    /// Entries in the matrix unique table.
+    pub mat_unique_len: usize,
+    /// Slot count of the matrix unique table.
+    pub mat_unique_capacity: usize,
+    /// Distinct interned weights.
+    pub distinct_weights: usize,
+    /// Number of [`Manager::compact`] runs over this manager's lifetime.
+    pub compactions: u64,
+}
+
+impl EngineStatistics {
+    /// Aggregate hit rate over all four compute caches, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups =
+            self.add_vec.lookups + self.add_mat.lookups + self.mv.lookups + self.mm.lookups;
+        let hits = self.add_vec.hits + self.add_mat.hits + self.mv.hits + self.mm.hits;
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// Load factor of the vector unique table, in `[0, 1)`.
+    pub fn vec_unique_load(&self) -> f64 {
+        self.vec_unique_len as f64 / self.vec_unique_capacity.max(1) as f64
+    }
+
+    /// Load factor of the matrix unique table, in `[0, 1)`.
+    pub fn mat_unique_load(&self) -> f64 {
+        self.mat_unique_len as f64 / self.mat_unique_capacity.max(1) as f64
+    }
+}
 
 /// A QMDD manager for a fixed number of qubits over one weight system.
 ///
@@ -41,12 +102,14 @@ pub struct Manager<W: WeightContext> {
     pub(crate) table: W::Table,
     pub(crate) vec_nodes: Vec<VecNode>,
     pub(crate) mat_nodes: Vec<MatNode>,
-    pub(crate) vec_unique: HashMap<VecNode, VecId>,
-    pub(crate) mat_unique: HashMap<MatNode, MatId>,
-    pub(crate) add_vec_cache: HashMap<(Edge<VecId>, Edge<VecId>), Edge<VecId>>,
-    pub(crate) add_mat_cache: HashMap<(Edge<MatId>, Edge<MatId>), Edge<MatId>>,
-    pub(crate) mv_cache: HashMap<(MatId, VecId), Edge<VecId>>,
-    pub(crate) mm_cache: HashMap<(MatId, MatId), Edge<MatId>>,
+    pub(crate) vec_unique: UniqueTable,
+    pub(crate) mat_unique: UniqueTable,
+    pub(crate) add_vec_cache: LossyCache<(Edge<VecId>, Edge<VecId>), Edge<VecId>>,
+    pub(crate) add_mat_cache: LossyCache<(Edge<MatId>, Edge<MatId>), Edge<MatId>>,
+    pub(crate) mv_cache: LossyCache<(MatId, VecId), Edge<VecId>>,
+    pub(crate) mm_cache: LossyCache<(MatId, MatId), Edge<MatId>>,
+    cache_capacity: usize,
+    compactions: u64,
 }
 
 impl<W: WeightContext> Manager<W> {
@@ -56,6 +119,19 @@ impl<W: WeightContext> Manager<W> {
     ///
     /// Panics if `n_qubits` is zero.
     pub fn new(ctx: W, n_qubits: u32) -> Self {
+        Manager::with_cache_capacity(ctx, n_qubits, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a manager whose four compute caches each have
+    /// `cache_capacity` direct-mapped slots (rounded up to a power of two).
+    ///
+    /// Smaller caches trade recomputation for memory; results are identical
+    /// either way because the caches are lossy memoisation, not state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn with_cache_capacity(ctx: W, n_qubits: u32, cache_capacity: usize) -> Self {
         assert!(n_qubits > 0, "need at least one qubit");
         let table = ctx.new_table();
         Manager {
@@ -64,12 +140,33 @@ impl<W: WeightContext> Manager<W> {
             table,
             vec_nodes: Vec::new(),
             mat_nodes: Vec::new(),
-            vec_unique: HashMap::new(),
-            mat_unique: HashMap::new(),
-            add_vec_cache: HashMap::new(),
-            add_mat_cache: HashMap::new(),
-            mv_cache: HashMap::new(),
-            mm_cache: HashMap::new(),
+            vec_unique: UniqueTable::new(),
+            mat_unique: UniqueTable::new(),
+            add_vec_cache: LossyCache::new(cache_capacity),
+            add_mat_cache: LossyCache::new(cache_capacity),
+            mv_cache: LossyCache::new(cache_capacity),
+            mm_cache: LossyCache::new(cache_capacity),
+            cache_capacity,
+            compactions: 0,
+        }
+    }
+
+    /// A snapshot of the engine's counters: per-cache hits/misses/evictions,
+    /// unique-table load, weight-table size and compaction count.
+    pub fn statistics(&self) -> EngineStatistics {
+        EngineStatistics {
+            add_vec: self.add_vec_cache.stats(),
+            add_mat: self.add_mat_cache.stats(),
+            mv: self.mv_cache.stats(),
+            mm: self.mm_cache.stats(),
+            vec_nodes: self.vec_nodes.len(),
+            mat_nodes: self.mat_nodes.len(),
+            vec_unique_len: self.vec_unique.len(),
+            vec_unique_capacity: self.vec_unique.capacity(),
+            mat_unique_len: self.mat_unique.len(),
+            mat_unique_capacity: self.mat_unique.capacity(),
+            distinct_weights: self.table.len(),
+            compactions: self.compactions,
         }
     }
 
@@ -145,13 +242,16 @@ impl<W: WeightContext> Manager<W> {
             var,
             children: [e0, e1],
         };
-        let id = match self.vec_unique.get(&node) {
-            Some(&id) => id,
+        // the node hash is computed exactly once here; table growth reuses it
+        let hash = fx_hash(&node);
+        let nodes = &self.vec_nodes;
+        let id = match self.vec_unique.find(hash, |i| nodes[i as usize] == node) {
+            Some(id) => VecId(id),
             None => {
-                let id = VecId(u32::try_from(self.vec_nodes.len()).expect("node arena overflow"));
+                let id = u32::try_from(self.vec_nodes.len()).expect("node arena overflow");
                 self.vec_nodes.push(node);
-                self.vec_unique.insert(node, id);
-                id
+                self.vec_unique.insert(hash, id);
+                VecId(id)
             }
         };
         Edge {
@@ -186,20 +286,25 @@ impl<W: WeightContext> Manager<W> {
             edges[i] = if w == WeightId::ZERO {
                 Edge::ZERO_MAT
             } else {
-                Edge { w, n: children[i].n }
+                Edge {
+                    w,
+                    n: children[i].n,
+                }
             };
         }
         let node = MatNode {
             var,
             children: edges,
         };
-        let id = match self.mat_unique.get(&node) {
-            Some(&id) => id,
+        let hash = fx_hash(&node);
+        let nodes = &self.mat_nodes;
+        let id = match self.mat_unique.find(hash, |i| nodes[i as usize] == node) {
+            Some(id) => MatId(id),
             None => {
-                let id = MatId(u32::try_from(self.mat_nodes.len()).expect("node arena overflow"));
+                let id = u32::try_from(self.mat_nodes.len()).expect("node arena overflow");
                 self.mat_nodes.push(node);
-                self.mat_unique.insert(node, id);
-                id
+                self.mat_unique.insert(hash, id);
+                MatId(id)
             }
         };
         Edge {
@@ -280,28 +385,13 @@ impl<W: WeightContext> Manager<W> {
         self.vec_nodes.len() + self.mat_nodes.len()
     }
 
-    /// Clears all compute caches (unique tables and nodes are kept).
+    /// Clears all compute caches (unique tables and nodes are kept;
+    /// lifetime counters are preserved).
     pub fn clear_caches(&mut self) {
         self.add_vec_cache.clear();
         self.add_mat_cache.clear();
         self.mv_cache.clear();
         self.mm_cache.clear();
-    }
-
-    /// Trims compute caches that have grown beyond `cap` entries.
-    pub(crate) fn bound_caches(&mut self, cap: usize) {
-        if self.add_vec_cache.len() > cap {
-            self.add_vec_cache.clear();
-        }
-        if self.add_mat_cache.len() > cap {
-            self.add_mat_cache.clear();
-        }
-        if self.mv_cache.len() > cap {
-            self.mv_cache.clear();
-        }
-        if self.mm_cache.len() > cap {
-            self.mm_cache.clear();
-        }
     }
 
     /// Rebuilds the manager keeping only the DDs reachable from the given
@@ -316,9 +406,21 @@ impl<W: WeightContext> Manager<W> {
         vec_roots: &[Edge<VecId>],
         mat_roots: &[Edge<MatId>],
     ) -> (Vec<Edge<VecId>>, Vec<Edge<MatId>>) {
-        let old = std::mem::replace(self, Manager::new(self.ctx.clone(), self.n_qubits));
-        let mut vec_map: HashMap<VecId, VecId> = HashMap::new();
-        let mut mat_map: HashMap<MatId, MatId> = HashMap::new();
+        let mut fresh =
+            Manager::with_cache_capacity(self.ctx.clone(), self.n_qubits, self.cache_capacity);
+        // lifetime counters survive compaction so they measure whole runs
+        fresh.compactions = self.compactions + 1;
+        fresh
+            .add_vec_cache
+            .absorb_stats(&self.add_vec_cache.stats());
+        fresh
+            .add_mat_cache
+            .absorb_stats(&self.add_mat_cache.stats());
+        fresh.mv_cache.absorb_stats(&self.mv_cache.stats());
+        fresh.mm_cache.absorb_stats(&self.mm_cache.stats());
+        let old = std::mem::replace(self, fresh);
+        let mut vec_map: FxHashMap<VecId, VecId> = FxHashMap::default();
+        let mut mat_map: FxHashMap<MatId, MatId> = FxHashMap::default();
         let new_vecs = vec_roots
             .iter()
             .map(|e| {
@@ -343,7 +445,7 @@ fn copy_vec<W: WeightContext>(
     old: &Manager<W>,
     new: &mut Manager<W>,
     id: VecId,
-    map: &mut HashMap<VecId, VecId>,
+    map: &mut FxHashMap<VecId, VecId>,
 ) -> VecId {
     if id.is_terminal() {
         return VecId::TERMINAL;
@@ -364,7 +466,11 @@ fn copy_vec<W: WeightContext>(
     // Children were already normalized, so re-making the node extracts a
     // factor of exactly 1 and reuses the same structure.
     let e = new.make_vec_node(node.var, children);
-    debug_assert_eq!(e.w, WeightId::ONE, "copy of a normalized node must not rescale");
+    debug_assert_eq!(
+        e.w,
+        WeightId::ONE,
+        "copy of a normalized node must not rescale"
+    );
     map.insert(id, e.n);
     e.n
 }
@@ -373,7 +479,7 @@ fn copy_mat<W: WeightContext>(
     old: &Manager<W>,
     new: &mut Manager<W>,
     id: MatId,
-    map: &mut HashMap<MatId, MatId>,
+    map: &mut FxHashMap<MatId, MatId>,
 ) -> MatId {
     if id.is_terminal() {
         return MatId::TERMINAL;
@@ -392,7 +498,11 @@ fn copy_mat<W: WeightContext>(
         children[i] = Edge { w, n };
     }
     let e = new.make_mat_node(node.var, children);
-    debug_assert_eq!(e.w, WeightId::ONE, "copy of a normalized node must not rescale");
+    debug_assert_eq!(
+        e.w,
+        WeightId::ONE,
+        "copy of a normalized node must not rescale"
+    );
     map.insert(id, e.n);
     e.n
 }

@@ -6,10 +6,9 @@
 //! misses redundancies (exponential blow-up); large ε merges distinct
 //! values and loses information.
 
-use std::collections::HashMap;
-
 use aq_rings::{Complex64, Domega, Tolerance};
 
+use crate::fxhash::FxHashMap;
 use crate::weight::{WeightContext, WeightId, WeightTable};
 
 /// Normalization scheme for numeric QMDDs (Sec. II-B of the paper).
@@ -93,11 +92,11 @@ impl WeightContext for NumericContext {
 
     fn new_table(&self) -> NumericTable {
         let index = if self.tol.eps() == 0.0 {
-            NumericIndex::Exact(HashMap::new())
+            NumericIndex::Exact(FxHashMap::default())
         } else {
             NumericIndex::Grid {
                 pitch: self.tol.eps(),
-                map: HashMap::new(),
+                map: FxHashMap::default(),
             }
         };
         let mut t = NumericTable {
@@ -202,10 +201,10 @@ pub struct NumericTable {
 
 #[derive(Debug)]
 enum NumericIndex {
-    Exact(HashMap<(u64, u64), WeightId>),
+    Exact(FxHashMap<(u64, u64), WeightId>),
     Grid {
         pitch: f64,
-        map: HashMap<(i128, i128), Vec<WeightId>>,
+        map: FxHashMap<(i128, i128), Vec<WeightId>>,
     },
 }
 
@@ -234,8 +233,7 @@ impl WeightTable for NumericTable {
                 if let Some(&id) = map.get(&key) {
                     return id;
                 }
-                let id =
-                    WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
+                let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
                 self.values.push(v);
                 map.insert(key, id);
                 id
@@ -253,8 +251,7 @@ impl WeightTable for NumericTable {
                         }
                     }
                 }
-                let id =
-                    WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
+                let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
                 self.values.push(v);
                 map.entry((cx, cy)).or_default().push(id);
                 id

@@ -10,13 +10,9 @@ use crate::edge::{Edge, MatId, VecId};
 use crate::manager::Manager;
 use crate::weight::{WeightContext, WeightId};
 
-/// Entries above which an individual compute cache is dropped.
-const CACHE_CAP: usize = 1 << 21;
-
 impl<W: WeightContext> Manager<W> {
     /// Sum of two vector DDs.
     pub fn vec_add(&mut self, a: &Edge<VecId>, b: &Edge<VecId>) -> Edge<VecId> {
-        self.bound_caches(CACHE_CAP);
         self.add_vec_rec(*a, *b)
     }
 
@@ -34,12 +30,19 @@ impl<W: WeightContext> Manager<W> {
             return if w == WeightId::ZERO {
                 Edge::ZERO_VEC
             } else {
-                Edge { w, n: VecId::TERMINAL }
+                Edge {
+                    w,
+                    n: VecId::TERMINAL,
+                }
             };
         }
         // addition is commutative: canonical argument order doubles hits
-        let (a, b) = if (b.n, b.w) < (a.n, a.w) { (b, a) } else { (a, b) };
-        if let Some(&hit) = self.add_vec_cache.get(&(a, b)) {
+        let (a, b) = if (b.n, b.w) < (a.n, a.w) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let Some(hit) = self.add_vec_cache.get(&(a, b)) {
             return hit;
         }
         let na = self.vec_nodes[a.n.0 as usize];
@@ -58,7 +61,6 @@ impl<W: WeightContext> Manager<W> {
 
     /// Sum of two matrix DDs.
     pub fn mat_add(&mut self, a: &Edge<MatId>, b: &Edge<MatId>) -> Edge<MatId> {
-        self.bound_caches(CACHE_CAP);
         self.add_mat_rec(*a, *b)
     }
 
@@ -76,11 +78,18 @@ impl<W: WeightContext> Manager<W> {
             return if w == WeightId::ZERO {
                 Edge::ZERO_MAT
             } else {
-                Edge { w, n: MatId::TERMINAL }
+                Edge {
+                    w,
+                    n: MatId::TERMINAL,
+                }
             };
         }
-        let (a, b) = if (b.n, b.w) < (a.n, a.w) { (b, a) } else { (a, b) };
-        if let Some(&hit) = self.add_mat_cache.get(&(a, b)) {
+        let (a, b) = if (b.n, b.w) < (a.n, a.w) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let Some(hit) = self.add_mat_cache.get(&(a, b)) {
             return hit;
         }
         let na = self.mat_nodes[a.n.0 as usize];
@@ -100,7 +109,6 @@ impl<W: WeightContext> Manager<W> {
     /// Matrix–vector product: applies an operator DD to a state DD —
     /// one quantum gate application in DD-based simulation.
     pub fn mat_vec(&mut self, m: &Edge<MatId>, v: &Edge<VecId>) -> Edge<VecId> {
-        self.bound_caches(CACHE_CAP);
         if m.is_zero() || v.is_zero() {
             return Edge::ZERO_VEC;
         }
@@ -125,7 +133,7 @@ impl<W: WeightContext> Manager<W> {
                 n: VecId::TERMINAL,
             };
         }
-        if let Some(&hit) = self.mv_cache.get(&(m, v)) {
+        if let Some(hit) = self.mv_cache.get(&(m, v)) {
             return hit;
         }
         let mn = self.mat_nodes[m.0 as usize];
@@ -160,7 +168,6 @@ impl<W: WeightContext> Manager<W> {
     /// Matrix–matrix product `a · b` (operator composition: `a` applied
     /// after `b` in circuit order).
     pub fn mat_mul(&mut self, a: &Edge<MatId>, b: &Edge<MatId>) -> Edge<MatId> {
-        self.bound_caches(CACHE_CAP);
         if a.is_zero() || b.is_zero() {
             return Edge::ZERO_MAT;
         }
@@ -182,7 +189,7 @@ impl<W: WeightContext> Manager<W> {
                 n: MatId::TERMINAL,
             };
         }
-        if let Some(&hit) = self.mm_cache.get(&(a, b)) {
+        if let Some(hit) = self.mm_cache.get(&(a, b)) {
             return hit;
         }
         let na = self.mat_nodes[a.0 as usize];

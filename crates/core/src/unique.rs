@@ -1,0 +1,130 @@
+//! Open-addressing unique table for hash-consing nodes and weights.
+//!
+//! The table stores only `(precomputed hash, id)` pairs; the actual entry
+//! data lives in the owner's arena. This halves memory compared to a
+//! `HashMap<Node, Id>` (which would duplicate every node) and means growth
+//! rehashes never touch the entries themselves — the hash of each entry is
+//! computed exactly once, when it is interned.
+
+/// Sentinel id marking an empty slot. Arena ids are dense indices and the
+/// `u32::MAX` terminal is never interned, so the value is free.
+const EMPTY: u32 = u32::MAX;
+
+/// An open-addressing (linear probing) index from precomputed hashes to
+/// arena ids.
+#[derive(Debug, Clone)]
+pub(crate) struct UniqueTable {
+    /// `(hash, id)` slots; `id == EMPTY` marks a free slot.
+    slots: Vec<(u64, u32)>,
+    /// `slots.len() - 1`; slot count is a power of two.
+    mask: usize,
+    len: usize,
+}
+
+impl UniqueTable {
+    const INITIAL_SLOTS: usize = 1 << 10;
+
+    pub fn new() -> Self {
+        UniqueTable {
+            slots: vec![(0, EMPTY); Self::INITIAL_SLOTS],
+            mask: Self::INITIAL_SLOTS - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Current slot count (capacity before the next growth is `3/4` of it).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up an entry by its hash, confirming candidates with `eq`
+    /// (hash collisions are possible; `eq(id)` must compare the actual
+    /// entry against the probe key).
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let (h, id) = self.slots[i];
+            if id == EMPTY {
+                return None;
+            }
+            if h == hash && eq(id) {
+                return Some(id);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts an id under a precomputed hash. The caller must have checked
+    /// with [`UniqueTable::find`] that no equal entry exists.
+    pub fn insert(&mut self, hash: u64, id: u32) {
+        debug_assert_ne!(id, EMPTY, "the sentinel id cannot be interned");
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        self.insert_slot(hash, id);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn insert_slot(&mut self, hash: u64, id: u32) {
+        let mut i = (hash as usize) & self.mask;
+        while self.slots[i].1 != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = (hash, id);
+    }
+
+    /// Doubles the slot array, reusing the stored hashes (entries are never
+    /// rehashed).
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(0, EMPTY); new_len]);
+        self.mask = new_len - 1;
+        for (h, id) in old {
+            if id != EMPTY {
+                self.insert_slot(h, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::fx_hash;
+
+    #[test]
+    fn find_insert_roundtrip_with_growth() {
+        let mut t = UniqueTable::new();
+        let entries: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        for (i, &e) in entries.iter().enumerate() {
+            let h = fx_hash(&e);
+            assert_eq!(t.find(h, |id| entries[id as usize] == e), None);
+            t.insert(h, i as u32);
+        }
+        assert_eq!(t.len(), entries.len());
+        assert!(t.capacity() >= entries.len());
+        for (i, &e) in entries.iter().enumerate() {
+            let h = fx_hash(&e);
+            assert_eq!(t.find(h, |id| entries[id as usize] == e), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn colliding_hashes_resolved_by_eq() {
+        let mut t = UniqueTable::new();
+        let entries = ["alpha", "beta"];
+        let h = 0x42; // force both entries onto the same probe chain
+        t.insert(h, 0);
+        t.insert(h, 1);
+        assert_eq!(t.find(h, |id| entries[id as usize] == "beta"), Some(1));
+        assert_eq!(t.find(h, |id| entries[id as usize] == "alpha"), Some(0));
+        assert_eq!(t.find(h, |id| entries[id as usize] == "gamma"), None);
+    }
+}

@@ -258,13 +258,7 @@ pub fn kron_states<W: WeightContext>(
     let a_root = graft_above(ma, &mut dst, ea.n, graft, &mut memo_a);
     let wa = dst.intern(ma.weight(ea.w).clone());
     let w0 = dst.w_mul(wa, a_root.w);
-    (
-        dst,
-        Edge {
-            w: w0,
-            n: a_root.n,
-        },
-    )
+    (dst, Edge { w: w0, n: a_root.n })
 }
 
 fn copy_shifted<W: WeightContext>(

@@ -1,6 +1,8 @@
 //! Edge-case and failure-injection tests for the QMDD engine.
 
-use aq_dd::{Edge, GateMatrix, GcdContext, Manager, NumericContext, QomegaContext, WeightContext, WeightId};
+use aq_dd::{
+    Edge, GateMatrix, GcdContext, Manager, NumericContext, QomegaContext, WeightContext, WeightId,
+};
 use aq_rings::{Complex64, Qomega};
 
 #[test]
@@ -139,7 +141,10 @@ fn weight_table_growth_is_observable() {
         }
         m.distinct_weights()
     };
-    assert!(run(0.0) >= run(1e-2), "looser ε must not grow the table more");
+    assert!(
+        run(0.0) >= run(1e-2),
+        "looser ε must not grow the table more"
+    );
 }
 
 #[test]

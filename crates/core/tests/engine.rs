@@ -1,7 +1,10 @@
 //! Engine-level tests for the QMDD package: gate semantics, canonicity,
 //! agreement between the numeric and both algebraic weight systems.
 
-use aq_dd::{Edge, GateMatrix, GcdContext, Manager, MatId, NormScheme, NumericContext, QomegaContext, VecId, WeightContext};
+use aq_dd::{
+    Edge, GateMatrix, GcdContext, Manager, MatId, NormScheme, NumericContext, QomegaContext, VecId,
+    WeightContext,
+};
 use aq_rings::Complex64;
 
 /// `(gate, target, controls)` triple used throughout these tests.
@@ -159,10 +162,30 @@ fn fig1_h_tensor_i_has_one_node_per_level() {
         let got = r.gate_matrix(&GateMatrix::h(), 0, &[]);
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let want = vec![
-            vec![Complex64::new(s, 0.0), Complex64::ZERO, Complex64::new(s, 0.0), Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::new(s, 0.0), Complex64::ZERO, Complex64::new(s, 0.0)],
-            vec![Complex64::new(s, 0.0), Complex64::ZERO, Complex64::new(-s, 0.0), Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::new(s, 0.0), Complex64::ZERO, Complex64::new(-s, 0.0)],
+            vec![
+                Complex64::new(s, 0.0),
+                Complex64::ZERO,
+                Complex64::new(s, 0.0),
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::new(s, 0.0),
+                Complex64::ZERO,
+                Complex64::new(s, 0.0),
+            ],
+            vec![
+                Complex64::new(s, 0.0),
+                Complex64::ZERO,
+                Complex64::new(-s, 0.0),
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::new(s, 0.0),
+                Complex64::ZERO,
+                Complex64::new(-s, 0.0),
+            ],
         ];
         assert_matrix_close(&got, &want);
     });
@@ -178,10 +201,30 @@ fn cnot_matrix_matches_paper_example_2() {
         let mut r = make(2);
         let got = r.gate_matrix(&GateMatrix::x(), 1, &[(0, true)]);
         let want = vec![
-            vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
         ];
         assert_matrix_close(&got, &want);
     });
@@ -194,10 +237,30 @@ fn control_below_target_works() {
         let mut r = make(2);
         let got = r.gate_matrix(&GateMatrix::x(), 0, &[(1, true)]);
         let want = vec![
-            vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
         ];
         assert_matrix_close(&got, &want);
     });
@@ -210,10 +273,30 @@ fn negative_control() {
         let mut r = make(2);
         let got = r.gate_matrix(&GateMatrix::x(), 1, &[(0, false)]);
         let want = vec![
-            vec![Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
-            vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
-            vec![Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
+            vec![
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
+            vec![
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
         ];
         assert_matrix_close(&got, &want);
     });
@@ -224,15 +307,15 @@ fn toffoli_truth_table() {
     run_for_all_contexts(|make| {
         for input in 0u64..8 {
             let mut r = make(3);
-            let amps = r.apply_and_amplitudes(
-                &[(GateMatrix::x(), 2, vec![(0, true), (1, true)])],
-                input,
-            );
+            let amps =
+                r.apply_and_amplitudes(&[(GateMatrix::x(), 2, vec![(0, true), (1, true)])], input);
             let expected = if input >> 1 == 0b11 { input ^ 1 } else { input };
             for (i, a) in amps.iter().enumerate() {
                 let want = if i as u64 == expected { 1.0 } else { 0.0 };
-                assert!((a.re - want).abs() < EPS && a.im.abs() < EPS,
-                    "input {input}: amplitude {i} = {a:?}");
+                assert!(
+                    (a.re - want).abs() < EPS && a.im.abs() < EPS,
+                    "input {input}: amplitude {i} = {a:?}"
+                );
             }
         }
     });
@@ -281,10 +364,7 @@ fn hh_equals_identity_via_root_comparison() {
     ];
     for r in &mut runners {
         assert!(r.circuits_equal(
-            &[
-                (GateMatrix::h(), 1, vec![]),
-                (GateMatrix::h(), 1, vec![]),
-            ],
+            &[(GateMatrix::h(), 1, vec![]), (GateMatrix::h(), 1, vec![]),],
             &[],
         ));
         // HZH = X — a classic Clifford identity, checked in O(1)
@@ -319,10 +399,7 @@ fn sx_squares_to_x() {
     run_for_all_contexts(|make| {
         let mut r = make(1);
         assert!(r.circuits_equal(
-            &[
-                (GateMatrix::sx(), 0, vec![]),
-                (GateMatrix::sx(), 0, vec![]),
-            ],
+            &[(GateMatrix::sx(), 0, vec![]), (GateMatrix::sx(), 0, vec![]),],
             &[(GateMatrix::x(), 0, vec![])],
         ));
     });
@@ -336,7 +413,10 @@ fn numeric_rotations_compose() {
     let b = m.gate(&GateMatrix::rz(0.4), 0, &[]);
     let ab = m.mat_mul(&a, &b);
     let want = m.gate(&GateMatrix::rz(0.7), 0, &[]);
-    assert_eq!(ab, want, "ε-tolerant manager should identify Rz(0.3+0.4) with Rz(0.7)");
+    assert_eq!(
+        ab, want,
+        "ε-tolerant manager should identify Rz(0.3+0.4) with Rz(0.7)"
+    );
 }
 
 #[test]
@@ -344,7 +424,9 @@ fn algebraic_contexts_reject_rotations() {
     let mut m = Manager::new(QomegaContext::new(), 1);
     assert!(m.try_gate(&GateMatrix::rz(0.123), 0, &[]).is_err());
     // …but π/4 multiples are exact:
-    assert!(m.try_gate(&GateMatrix::phase(std::f64::consts::FRAC_PI_4), 0, &[]).is_ok());
+    assert!(m
+        .try_gate(&GateMatrix::phase(std::f64::consts::FRAC_PI_4), 0, &[])
+        .is_ok());
     let mut g = Manager::new(GcdContext::new(), 1);
     assert!(g.try_gate(&GateMatrix::ry(1.0), 0, &[]).is_err());
 }
@@ -408,7 +490,9 @@ fn uniform_superposition_is_one_node_per_level() {
     run_for_all_contexts(|make| {
         let mut r = make(6);
         let amps = r.apply_and_amplitudes(
-            &(0..6).map(|q| (GateMatrix::h(), q, vec![])).collect::<Vec<_>>(),
+            &(0..6)
+                .map(|q| (GateMatrix::h(), q, vec![]))
+                .collect::<Vec<_>>(),
             0,
         );
         let want = 1.0 / 8.0;
@@ -427,7 +511,10 @@ fn uniform_superposition_is_one_node_per_level() {
 
 #[test]
 fn max_magnitude_scheme_matches_leftmost_values() {
-    let mut a = Manager::new(NumericContext::with_eps_and_scheme(0.0, NormScheme::Leftmost), 3);
+    let mut a = Manager::new(
+        NumericContext::with_eps_and_scheme(0.0, NormScheme::Leftmost),
+        3,
+    );
     let mut b = Manager::new(
         NumericContext::with_eps_and_scheme(0.0, NormScheme::MaxMagnitude),
         3,

@@ -2,8 +2,10 @@
 //! produce identical states across all three weight systems, preserve
 //! norms, and satisfy canonicity invariants.
 
-use aq_dd::{Edge, GateMatrix, GcdContext, Manager, NumericContext, QomegaContext, VecId, WeightContext};
-use proptest::prelude::*;
+use aq_dd::{
+    Edge, GateMatrix, GcdContext, Manager, NumericContext, QomegaContext, VecId, WeightContext,
+};
+use aq_testutil::proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {

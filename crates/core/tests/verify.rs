@@ -45,7 +45,11 @@ fn inner_product_matches_amplitude_sum() {
     let mut m = Manager::new(NumericContext::with_eps(1e-13), 3);
     let mut a = m.basis_state(1);
     let mut b = m.basis_state(6);
-    for (q, g) in [(0, GateMatrix::h()), (1, GateMatrix::y()), (2, GateMatrix::t())] {
+    for (q, g) in [
+        (0, GateMatrix::h()),
+        (1, GateMatrix::y()),
+        (2, GateMatrix::t()),
+    ] {
         let gd = m.gate(&g, q, &[]);
         a = m.mat_vec(&gd, &a);
     }

@@ -223,10 +223,7 @@ mod tests {
         assert!(t.is_one(Complex64::new(1.0, 1e-7)));
         // exact tolerance only matches identical bits
         assert!(Tolerance::exact().eq(Complex64::ONE, Complex64::ONE));
-        assert!(!Tolerance::exact().eq(
-            Complex64::ONE,
-            Complex64::new(1.0 + f64::EPSILON, 0.0)
-        ));
+        assert!(!Tolerance::exact().eq(Complex64::ONE, Complex64::new(1.0 + f64::EPSILON, 0.0)));
     }
 
     #[test]

@@ -73,7 +73,11 @@ fn ldexp_big(x: &IBig, e: i64) -> f64 {
     }
     let total = x_exp + e;
     if total > 1024 {
-        return if m < 0.0 { f64::NEG_INFINITY } else { f64::INFINITY };
+        return if m < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
     }
     if total < -1070 {
         return 0.0;
@@ -99,14 +103,26 @@ mod tests {
         assert_close(Domega::i().to_complex64(), 0.0, 1.0);
         let s = std::f64::consts::FRAC_1_SQRT_2;
         assert_close(Domega::omega().to_complex64(), s, s);
-        assert_close(Domega::sqrt2().to_complex64(), std::f64::consts::SQRT_2, 0.0);
+        assert_close(
+            Domega::sqrt2().to_complex64(),
+            std::f64::consts::SQRT_2,
+            0.0,
+        );
         assert_close(Domega::one_over_sqrt2().to_complex64(), s, 0.0);
     }
 
     #[test]
     fn rationals() {
-        assert_close(Qomega::from_int_ratio(-3, 7).to_complex64(), -3.0 / 7.0, 0.0);
-        assert_close(Qomega::from_int_ratio(1, 1024).to_complex64(), 1.0 / 1024.0, 0.0);
+        assert_close(
+            Qomega::from_int_ratio(-3, 7).to_complex64(),
+            -3.0 / 7.0,
+            0.0,
+        );
+        assert_close(
+            Qomega::from_int_ratio(1, 1024).to_complex64(),
+            1.0 / 1024.0,
+            0.0,
+        );
     }
 
     #[test]

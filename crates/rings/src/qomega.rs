@@ -172,7 +172,7 @@ impl Qomega {
         }
         let n = self.num.norm();
         let field_norm = n.field_norm(); // u² − 2v², non-zero
-        // (u − v√2) as a Z[ω] element: u + v(ω³ − ω).
+                                         // (u − v√2) as a Z[ω] element: u + v(ω³ − ω).
         let sigma = Zomega::new(n.v.clone(), IBig::zero(), -&n.v, n.u.clone());
         let mut inv_num = (&self.num.conj() * &sigma).mul_scalar(&IBig::from(self.denom.clone()));
         if field_norm.is_negative() {
@@ -234,9 +234,7 @@ impl Add<&Qomega> for &Qomega {
         let l = self.denom.lcm(&rhs.denom);
         let scale = |q: &Qomega| -> Zomega {
             let s = IBig::from(&l / &q.denom);
-            q.num
-                .mul_sqrt2_pow((target_k - q.k) as u64)
-                .mul_scalar(&s)
+            q.num.mul_sqrt2_pow((target_k - q.k) as u64).mul_scalar(&s)
         };
         Qomega::new(&scale(self) + &scale(rhs), target_k, l)
     }
@@ -291,7 +289,11 @@ impl Neg for Qomega {
 
 impl fmt::Debug for Qomega {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Qomega(({}) / (sqrt2^{} * {}))", self.num, self.k, self.denom)
+        write!(
+            f,
+            "Qomega(({}) / (sqrt2^{} * {}))",
+            self.num, self.k, self.denom
+        )
     }
 }
 
@@ -324,7 +326,10 @@ mod tests {
         assert_eq!(quarter.k(), 4);
         assert!(quarter.denom().is_one());
         // negative rational denominator flips sign into the numerator
-        assert_eq!(Qomega::from_int_ratio(1, -3), -&Qomega::from_int_ratio(1, 3));
+        assert_eq!(
+            Qomega::from_int_ratio(1, -3),
+            -&Qomega::from_int_ratio(1, 3)
+        );
     }
 
     #[test]
@@ -334,7 +339,10 @@ mod tests {
         let inv = z.inverse().expect("nonzero");
         assert_eq!(*inv.denom(), UBig::from(3u64));
         assert_eq!(inv.k(), 0);
-        assert_eq!(*inv.numerator(), Domega::one_plus_i_sqrt2().numerator().conj());
+        assert_eq!(
+            *inv.numerator(),
+            Domega::one_plus_i_sqrt2().numerator().conj()
+        );
         assert_eq!(&z * &inv, Qomega::one());
     }
 

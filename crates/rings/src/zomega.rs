@@ -246,8 +246,7 @@ impl Zomega {
             for db in -1..=1i64 {
                 for dc in -1..=1i64 {
                     for dd in -1..=1i64 {
-                        let cand = &q
-                            + &Zomega::new(da.into(), db.into(), dc.into(), dd.into());
+                        let cand = &q + &Zomega::new(da.into(), db.into(), dc.into(), dd.into());
                         let r = self - &(&cand * rhs);
                         let e = r.euclidean_value();
                         if best.as_ref().is_none_or(|(_, _, be)| e < *be) {
@@ -432,10 +431,7 @@ mod tests {
         assert!(!Zomega::omega().divisible_by_sqrt2());
         // (1+ω) is not divisible; (1+i) = √2·ω is:
         let one_plus_i = &Zomega::one() + &Zomega::i();
-        assert_eq!(
-            one_plus_i.div_sqrt2().expect("divisible"),
-            Zomega::omega()
-        );
+        assert_eq!(one_plus_i.div_sqrt2().expect("divisible"), Zomega::omega());
     }
 
     #[test]

@@ -182,10 +182,7 @@ mod tests {
     fn norm_multiplicative() {
         let a = zr(5, -3);
         let b = zr(-2, 7);
-        assert_eq!(
-            (&a * &b).field_norm(),
-            &a.field_norm() * &b.field_norm()
-        );
+        assert_eq!((&a * &b).field_norm(), &a.field_norm() * &b.field_norm());
     }
 
     #[test]

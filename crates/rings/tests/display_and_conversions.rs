@@ -33,12 +33,7 @@ fn qomega_display_roundtrips_meaning() {
 #[test]
 fn conversion_chain_is_lossless() {
     // IBig -> Zomega -> Domega -> Qomega -> Complex64
-    let z = Zomega::new(
-        IBig::from(7),
-        IBig::from(-3),
-        IBig::from(2),
-        IBig::from(11),
-    );
+    let z = Zomega::new(IBig::from(7), IBig::from(-3), IBig::from(2), IBig::from(11));
     let d = Domega::from(z.clone());
     let q = Qomega::from(d.clone());
     assert_eq!(q.to_domega().expect("unit denominator"), d);

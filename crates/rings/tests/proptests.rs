@@ -4,7 +4,7 @@
 
 use aq_bigint::IBig;
 use aq_rings::{assoc::canonical_associate, Complex64, Domega, Qomega, Zomega};
-use proptest::prelude::*;
+use aq_testutil::proptest::prelude::*;
 
 fn small_ibig() -> impl Strategy<Value = IBig> {
     (-1000i64..1000).prop_map(IBig::from)
@@ -20,9 +20,7 @@ fn domega() -> impl Strategy<Value = Domega> {
 }
 
 fn qomega() -> impl Strategy<Value = Qomega> {
-    (zomega(), -6i64..6, 1u64..50).prop_map(|(z, k, e)| {
-        Qomega::new(z, k, aq_bigint::UBig::from(e))
-    })
+    (zomega(), -6i64..6, 1u64..50).prop_map(|(z, k, e)| Qomega::new(z, k, aq_bigint::UBig::from(e)))
 }
 
 /// A random unit of `D[ω]`: product of generators `1/√2`, `ω`, `ω+1`, `−1`.

@@ -95,6 +95,8 @@ impl<'c, W: WeightContext> PairedRun<'c, W> {
             subject_trace.points.push(self.subject.sample(error));
             reference_trace.points.push(self.reference.sample(None));
         }
+        subject_trace.engine = Some(self.subject.statistics());
+        reference_trace.engine = Some(self.reference.statistics());
         (subject_trace, reference_trace)
     }
 }

@@ -1,11 +1,11 @@
 //! The circuit simulator: applies operations to a state DD and traces.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use aq_circuits::{Circuit, Op};
-use aq_dd::{Edge, Manager, MatId, VecId, WeightContext, WeightId};
+use aq_dd::fxhash::FxHashMap;
+use aq_dd::{Edge, EngineStatistics, Manager, MatId, VecId, WeightContext, WeightId};
 use aq_rings::Complex64;
 
 use crate::trace::{Trace, TracePoint};
@@ -18,6 +18,10 @@ pub struct SimOptions {
     pub record_trace: bool,
     /// Compact the manager when its arena exceeds this many nodes.
     pub compact_threshold: usize,
+    /// Slot count for the engine's compute caches (`None` = engine
+    /// default). Smaller caches trade recomputation for memory; results
+    /// are identical either way because the caches are lossy memoisation.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for SimOptions {
@@ -25,6 +29,7 @@ impl Default for SimOptions {
         SimOptions {
             record_trace: true,
             compact_threshold: 4_000_000,
+            cache_capacity: None,
         }
     }
 }
@@ -38,6 +43,9 @@ pub struct SimResult {
     pub final_nodes: usize,
     /// The time series (empty unless tracing was enabled).
     pub trace: Trace,
+    /// Engine counters at the end of the run (cache hit rates, unique
+    /// table loads, compactions).
+    pub statistics: EngineStatistics,
 }
 
 impl SimResult {
@@ -58,7 +66,7 @@ pub struct Simulator<'c, W: WeightContext> {
     state: Edge<VecId>,
     cursor: usize,
     elapsed: f64,
-    gate_cache: HashMap<GateKey, Edge<MatId>>,
+    gate_cache: FxHashMap<GateKey, Edge<MatId>>,
     options: SimOptions,
 }
 
@@ -80,7 +88,10 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
 
     /// Creates a simulator with explicit options.
     pub fn with_options(ctx: W, circuit: &'c Circuit, options: SimOptions) -> Self {
-        let mut manager = Manager::new(ctx, circuit.n_qubits());
+        let mut manager = match options.cache_capacity {
+            Some(c) => Manager::with_cache_capacity(ctx, circuit.n_qubits(), c),
+            None => Manager::new(ctx, circuit.n_qubits()),
+        };
         let state = manager.basis_state(0);
         Simulator {
             manager,
@@ -88,7 +99,7 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
             state,
             cursor: 0,
             elapsed: 0.0,
-            gate_cache: HashMap::new(),
+            gate_cache: FxHashMap::default(),
             options,
         }
     }
@@ -132,6 +143,11 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
     /// Whether the whole circuit has been applied.
     pub fn is_done(&self) -> bool {
         self.cursor >= self.circuit.len()
+    }
+
+    /// Engine counters so far (caches, unique tables, compactions).
+    pub fn statistics(&self) -> EngineStatistics {
+        self.manager.statistics()
     }
 
     /// Applies the next operation. Returns `false` when the circuit is
@@ -186,10 +202,12 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
             }
         }
         let final_nodes = self.nodes();
+        trace.engine = Some(self.manager.statistics());
         SimResult {
             amplitudes: self.manager.amplitudes(&self.state.clone()),
             final_nodes,
             trace,
+            statistics: self.manager.statistics(),
         }
     }
 
@@ -238,16 +256,14 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
                 for (i, e) in matrix.entries().iter().enumerate() {
                     let v = match e {
                         aq_dd::GateEntry::Exact(d) => self.manager.ctx().from_exact(d),
-                        aq_dd::GateEntry::Approx(c) => self
-                            .manager
-                            .ctx()
-                            .from_approx(*c)
-                            .unwrap_or_else(|| {
+                        aq_dd::GateEntry::Approx(c) => {
+                            self.manager.ctx().from_approx(*c).unwrap_or_else(|| {
                                 panic!(
                                     "gate `{}` not representable; Clifford+T-compile first",
                                     matrix.name()
                                 )
-                            }),
+                            })
+                        }
                     };
                     entries[i] = self.manager.intern(v);
                 }

@@ -1,5 +1,7 @@
 //! Per-gate measurement records.
 
+use aq_dd::EngineStatistics;
+
 /// One sample of the evolving simulation, taken after applying a gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TracePoint {
@@ -21,6 +23,9 @@ pub struct TracePoint {
 pub struct Trace {
     /// Samples in gate order.
     pub points: Vec<TracePoint>,
+    /// Engine counters at the end of the run, when the harness recorded
+    /// them (cache hit rates, unique-table load, compactions).
+    pub engine: Option<EngineStatistics>,
 }
 
 impl Trace {
@@ -49,7 +54,11 @@ impl Trace {
 
     /// Largest weight bit-width seen over the run.
     pub fn peak_weight_bits(&self) -> u64 {
-        self.points.iter().map(|p| p.max_weight_bits).max().unwrap_or(0)
+        self.points
+            .iter()
+            .map(|p| p.max_weight_bits)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -75,6 +84,7 @@ mod tests {
                 pt(2, 9, 0.2, Some(1e-3)),
                 pt(3, 7, 0.3, Some(2e-4)),
             ],
+            engine: None,
         };
         assert_eq!(t.peak_nodes(), 9);
         assert_eq!(t.total_seconds(), 0.3);

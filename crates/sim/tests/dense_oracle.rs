@@ -6,7 +6,7 @@ use aq_circuits::{bwt, grover, BwtParams, Circuit, Op};
 use aq_dd::{GateEntry, QomegaContext};
 use aq_rings::Complex64;
 use aq_sim::{normalized_distance, Simulator};
-use proptest::prelude::*;
+use aq_testutil::proptest::prelude::*;
 
 /// Plain `2ⁿ`-vector simulation of a circuit (the “straight-forward
 /// representation” the paper's Sec. II-B contrasts DDs with).
@@ -136,9 +136,7 @@ fn build(n: u32, ops: &[RndOp]) -> Circuit {
             RndOp::Sx(q) => c.push_gate(GateMatrix::sx(), *q, &[]),
             RndOp::Cx(a, b) => c.push_gate(GateMatrix::x(), *b, &[(*a, true)]),
             RndOp::NegCx(a, b) => c.push_gate(GateMatrix::x(), *b, &[(*a, false)]),
-            RndOp::Ccz(a, b, t) => {
-                c.push_gate(GateMatrix::z(), *t, &[(*a, true), (*b, true)])
-            }
+            RndOp::Ccz(a, b, t) => c.push_gate(GateMatrix::z(), *t, &[(*a, true), (*b, true)]),
         }
     }
     c

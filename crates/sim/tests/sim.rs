@@ -61,7 +61,10 @@ fn bwt_walk_is_unitary_and_spreads_to_exit_side() {
     let result = sim.run();
     let probs = tree.vertex_probabilities(&result.amplitudes);
     let total: f64 = probs.iter().sum();
-    assert!((total - 1.0).abs() < 1e-9, "walk must stay unitary: {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "walk must stay unitary: {total}"
+    );
     // probability must have reached the second tree (labels ≥ offset)
     let off = 1usize << 4;
     let second_tree: f64 = probs[off..].iter().sum();
@@ -85,7 +88,10 @@ fn bwt_trotter_walk_is_unitary() {
     sim.reset_to(tree.entrance());
     let result = sim.run();
     let total: f64 = result.probabilities().iter().sum();
-    assert!((total - 1.0).abs() < 1e-9, "walk must stay unitary: {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "walk must stay unitary: {total}"
+    );
 }
 
 #[test]
@@ -155,12 +161,84 @@ fn compaction_threshold_does_not_change_results() {
         SimOptions {
             record_trace: false,
             compact_threshold: 64, // absurdly small: compacts constantly
+            ..SimOptions::default()
         },
     );
     let mut loose = Simulator::new(QomegaContext::new(), &circuit);
     let a = tight.run().amplitudes;
     let b = loose.run().amplitudes;
     assert!(normalized_distance(&a, &b) < 1e-12);
+}
+
+#[test]
+fn tiny_lossy_caches_are_bit_identical_to_default_caches() {
+    // The compute caches are lossy memoisation, not state: shrinking them
+    // to a handful of slots (forcing constant evictions) and compacting
+    // constantly must reproduce the default run bit for bit.
+    let circuit = grover(6, 45);
+    let mut starved = Simulator::with_options(
+        QomegaContext::new(),
+        &circuit,
+        SimOptions {
+            record_trace: false,
+            compact_threshold: 64,   // compacts after almost every gate
+            cache_capacity: Some(4), // four slots per compute cache
+        },
+    );
+    let mut default = Simulator::new(QomegaContext::new(), &circuit);
+    let a = starved.run().amplitudes;
+    let b = default.run().amplitudes;
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        // exact algebraic weights: the amplitudes are equal as f64 bits
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+    let stats = starved.statistics();
+    let total_evictions =
+        stats.add_vec.evictions + stats.add_mat.evictions + stats.mv.evictions + stats.mm.evictions;
+    assert!(
+        total_evictions > 0,
+        "tiny caches must actually evict to exercise the lossy path"
+    );
+    assert!(stats.compactions > 0, "threshold 64 must force compactions");
+}
+
+#[test]
+fn statistics_counters_are_monotone_and_consistent() {
+    let circuit = grover(5, 9);
+    let mut sim = Simulator::with_options(
+        QomegaContext::new(),
+        &circuit,
+        SimOptions {
+            record_trace: false,
+            compact_threshold: 64, // counters must survive compaction
+            ..SimOptions::default()
+        },
+    );
+    let mut prev = sim.statistics();
+    while sim.step() {
+        let now = sim.statistics();
+        for (p, n) in [
+            (prev.add_vec, now.add_vec),
+            (prev.add_mat, now.add_mat),
+            (prev.mv, now.mv),
+            (prev.mm, now.mm),
+        ] {
+            assert!(n.lookups >= p.lookups, "lookups must be monotone");
+            assert!(n.hits >= p.hits, "hits must be monotone");
+            assert!(n.misses >= p.misses, "misses must be monotone");
+            assert!(n.insertions >= p.insertions);
+            assert!(n.evictions >= p.evictions);
+            assert_eq!(n.lookups, n.hits + n.misses, "lookups = hits + misses");
+        }
+        assert!(now.compactions >= prev.compactions);
+        prev = now;
+    }
+    // the run did real work through the caches
+    assert!(prev.mv.lookups > 0);
+    assert!(prev.cache_hit_rate() > 0.0);
+    assert!(prev.distinct_weights >= 2);
 }
 
 #[test]

@@ -116,7 +116,11 @@ fn circuit_inverse_composes_to_identity() {
     let c = grover(4, 6);
     let mut both = c.clone();
     both.extend_from(&c.inverted());
-    assert!(circuits_equivalent(QomegaContext::new(), &both, &Circuit::new(4)));
+    assert!(circuits_equivalent(
+        QomegaContext::new(),
+        &both,
+        &Circuit::new(4)
+    ));
 
     // permutation ops: coined BWT shift inverts correctly
     use aq_circuits::{bwt, BwtParams};

@@ -1,0 +1,50 @@
+//! A micro-benchmark timer: the offline stand-in for Criterion.
+//!
+//! Each measurement warms the closure up, calibrates an iteration count
+//! to a ~200 ms window, and prints a single `name ... ns/iter` line.
+//! The workspace's benches compare orders of magnitude, so tight
+//! confidence intervals are deliberately out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Measures `f`, prints `name: <ns>/iter`, and returns the nanoseconds
+/// per iteration.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // warm-up and calibration: double the batch until it takes >= 10ms
+    let mut batch = 1u64;
+    let per_iter_estimate = loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= Duration::from_millis(10) {
+            break dt.as_secs_f64() / batch as f64;
+        }
+        batch = batch.saturating_mul(2);
+    };
+    let iters = ((TARGET.as_secs_f64() / per_iter_estimate) as u64).clamp(1, 1_000_000_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    println!("{name:<44} {ns:>14.1} ns/iter  ({iters} iters)");
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let ns = bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+}

@@ -27,7 +27,11 @@ fn main() {
         circuit.n_qubits(),
         circuit.n_qubits() - 2
     );
-    println!("walking {} steps ({} exact operations)…\n", steps, circuit.len());
+    println!(
+        "walking {} steps ({} exact operations)…\n",
+        steps,
+        circuit.len()
+    );
 
     let mut sim = Simulator::new(QomegaContext::new(), &circuit);
     sim.reset_to(tree.coined_start());
@@ -51,7 +55,10 @@ fn main() {
             per_column[column(v as u64)] += p;
         }
     }
-    println!("probability by column (entrance = column 0, exit = column {}):", 2 * height + 1);
+    println!(
+        "probability by column (entrance = column 0, exit = column {}):",
+        2 * height + 1
+    );
     for (c, p) in per_column.iter().enumerate() {
         let bar = "#".repeat((p * 120.0).round() as usize);
         println!("  col {c:>2}: {p:.4} {bar}");

@@ -11,10 +11,7 @@ use aqudd::sim::Simulator;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: u32 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10);
+    let n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     let marked: u64 = args
         .next()
         .and_then(|a| a.parse().ok())

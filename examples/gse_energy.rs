@@ -40,7 +40,11 @@ fn main() {
 
     // 1. The raw rotation circuit, simulated numerically.
     let raw = gse(&params);
-    println!("\nQPE circuit: {} qubits, {} gates (with arbitrary rotations)", raw.n_qubits(), raw.len());
+    println!(
+        "\nQPE circuit: {} qubits, {} gates (with arbitrary rotations)",
+        raw.n_qubits(),
+        raw.len()
+    );
     let mut sim = Simulator::new(NumericContext::with_eps(1e-12), &raw);
     let result = sim.run();
     let (m, prob) = peak_phase(&result.probabilities(), p, 4);

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\noutcome probabilities (non-zero):");
     for (i, p) in result.probabilities().iter().enumerate() {
         if *p > 1e-12 {
-            println!("  |{:0width$b}⟩  {p:.6}", i, width = circuit.n_qubits() as usize);
+            println!(
+                "  |{:0width$b}⟩  {p:.6}",
+                i,
+                width = circuit.n_qubits() as usize
+            );
         }
     }
     println!(

@@ -28,9 +28,18 @@ fn bell_state<W: WeightContext>(label: &str, ctx: W) {
 fn main() {
     // The exact contexts represent 1/√2 algebraically: applying H twice
     // gives *literally* the identity, not something 1e−16 away from it.
-    bell_state("algebraic Q[ω] (Algorithm 2 normalization)", QomegaContext::new());
-    bell_state("algebraic D[ω] (Algorithm 3, GCD normalization)", GcdContext::new());
-    bell_state("numeric doubles, ε = 1e−10", NumericContext::with_eps(1e-10));
+    bell_state(
+        "algebraic Q[ω] (Algorithm 2 normalization)",
+        QomegaContext::new(),
+    );
+    bell_state(
+        "algebraic D[ω] (Algorithm 3, GCD normalization)",
+        GcdContext::new(),
+    );
+    bell_state(
+        "numeric doubles, ε = 1e−10",
+        NumericContext::with_eps(1e-10),
+    );
 
     // Canonicity in action: HH = I is an O(1) root-edge comparison.
     let mut m = Manager::new(QomegaContext::new(), 2);
@@ -43,5 +52,8 @@ fn main() {
     let h = m.gate(&GateMatrix::h(), 1, &[]);
     let hh = m.mat_mul(&h, &h);
     let id = m.identity();
-    println!("ε = 0 floating-point HH == I:      {}  (the paper's Sec. III problem!)", hh == id);
+    println!(
+        "ε = 0 floating-point HH == I:      {}  (the paper's Sec. III problem!)",
+        hh == id
+    );
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI: formatting, lints, the tier-1 build+test command, and the
+# engine throughput benchmark. No network access required — the workspace
+# has no external dependencies.
+#
+# Usage: scripts/ci.sh [--no-bench]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== engine bench (BENCH_engine.json) =="
+    cargo run --release --offline -p aq-bench --bin engine_bench -- BENCH_engine.json
+fi
+
+echo "CI OK"

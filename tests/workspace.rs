@@ -81,7 +81,10 @@ fn qft_roundtrip_exact_through_the_full_stack() {
     let got = sim.run().amplitudes;
     // |0010⟩ must remain dominant
     let p = got[0b0010].norm_sqr();
-    assert!(p > 0.8, "round trip lost the state: {p} (worst gate {worst})");
+    assert!(
+        p > 0.8,
+        "round trip lost the state: {p} (worst gate {worst})"
+    );
 }
 
 #[test]
