@@ -4,35 +4,57 @@
 //! engine can be tracked across PRs.
 //!
 //! Usage: `cargo run --release -p aq-bench --bin engine_bench [-- <out.json>]`
+//!
+//! Resource-budget flags (`--max-nodes=N`, `--max-weights=N`, `--max-bits=N`,
+//! `--deadline-secs=S`) cap each workload; a capped run is reported with its
+//! partial measurements and an `"aborted"` reason instead of crashing the
+//! whole benchmark.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use aq_bench::budget_from_args;
 use aq_circuits::{bwt, grover, BwtParams, Circuit};
-use aq_dd::{EngineStatistics, GcdContext, NumericContext, QomegaContext, WeightContext};
+use aq_dd::{
+    EngineStatistics, GcdContext, NumericContext, QomegaContext, RunBudget, WeightContext,
+};
 use aq_sim::{SimOptions, Simulator};
 
-/// One completed measurement.
+/// One completed (possibly budget-aborted) measurement.
 struct Sample {
     name: &'static str,
     gates: usize,
     seconds: f64,
     final_nodes: usize,
     stats: EngineStatistics,
+    aborted: Option<String>,
 }
 
-fn run<W: WeightContext>(name: &'static str, ctx: W, circuit: &Circuit, start: u64) -> Sample {
+fn run<W: WeightContext>(
+    name: &'static str,
+    ctx: W,
+    circuit: &Circuit,
+    start: u64,
+    budget: RunBudget,
+) -> Sample {
     let mut sim = Simulator::with_options(
         ctx,
         circuit,
         SimOptions {
             record_trace: false,
+            budget,
             ..SimOptions::default()
         },
     );
-    sim.reset_to(start);
     let t = Instant::now();
-    while sim.step() {}
+    let mut aborted = sim.try_reset_to(start).err().map(|e| e.to_string());
+    while aborted.is_none() {
+        match sim.try_step() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => aborted = Some(e.to_string()),
+        }
+    }
     let seconds = t.elapsed().as_secs_f64();
     Sample {
         name,
@@ -40,6 +62,7 @@ fn run<W: WeightContext>(name: &'static str, ctx: W, circuit: &Circuit, start: u
         seconds,
         final_nodes: sim.nodes(),
         stats: sim.statistics(),
+        aborted,
     }
 }
 
@@ -74,7 +97,8 @@ fn sample_json(s: &Sample) -> String {
             "      \"vec_unique_load\": {},\n",
             "      \"mat_unique_load\": {},\n",
             "      \"distinct_weights\": {},\n",
-            "      \"compactions\": {}\n",
+            "      \"compactions\": {},\n",
+            "      \"aborted\": {}\n",
             "    }}"
         ),
         s.name,
@@ -91,13 +115,21 @@ fn sample_json(s: &Sample) -> String {
         json_f64(st.mat_unique_load()),
         st.distinct_weights,
         st.compactions,
+        match &s.aborted {
+            Some(reason) => format!("\"{}\"", reason.replace('\\', "\\\\").replace('"', "\\\"")),
+            None => "null".into(),
+        },
     );
     o
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = budget_from_args(&args);
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".into());
 
     let grover_c = grover(10, 0b1011010110);
@@ -114,25 +146,35 @@ fn main() {
             NumericContext::with_eps(1e-10),
             &grover_c,
             0,
+            budget,
         ),
         run(
             "grover10/algebraic_qomega",
             QomegaContext::new(),
             &grover_c,
             0,
+            budget,
         ),
-        run("grover10/algebraic_gcd", GcdContext::new(), &grover_c, 0),
+        run(
+            "grover10/algebraic_gcd",
+            GcdContext::new(),
+            &grover_c,
+            0,
+            budget,
+        ),
         run(
             "bwt_h3/numeric_eps1e-10",
             NumericContext::with_eps(1e-10),
             &bwt_c,
             entrance,
+            budget,
         ),
         run(
             "bwt_h3/algebraic_qomega",
             QomegaContext::new(),
             &bwt_c,
             entrance,
+            budget,
         ),
     ];
 
@@ -147,6 +189,9 @@ fn main() {
             100.0 * s.stats.cache_hit_rate(),
             s.stats.compactions,
         );
+        if let Some(reason) = &s.aborted {
+            println!("{:<28} aborted: {reason}", "");
+        }
     }
 
     let body: Vec<String> = samples.iter().map(sample_json).collect();

@@ -5,22 +5,28 @@
 //! cargo run --release -p aq-bench --bin figures -- fig3 --paper   # paper scale
 //! ```
 //!
+//! Optional resource-budget flags (`--max-nodes=N`, `--max-weights=N`,
+//! `--max-bits=N`, `--deadline-secs=S`) cap every series of an ε sweep; a
+//! capped series is reported as an explicit `aborted` row with its partial
+//! prefix kept, and the remaining ε points still run to completion.
+//!
 //! Output lands in `target/figures/*.csv`; a textual summary (the rows the
 //! paper reports) is printed to stdout. See `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison.
 
 use aq_bench::{
-    eps_label, print_summary, reference_run, traced_numeric_vs_reference, write_figure, Scale,
-    FIG2_EPSILONS, PAPER_EPSILONS,
+    budget_from_args, eps_label, print_summary, reference_run_budgeted,
+    traced_numeric_vs_reference_budgeted, write_figure, Scale, FIG2_EPSILONS, PAPER_EPSILONS,
 };
 use aq_circuits::cliffordt::CliffordTCompiler;
 use aq_circuits::{bwt, grover, gse, BwtParams, Circuit, GseParams};
-use aq_dd::{GcdContext, QomegaContext};
+use aq_dd::{GcdContext, QomegaContext, RunBudget};
 use aq_sim::{Column, SimOptions, Simulator, Trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    let budget = budget_from_args(&args);
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -28,22 +34,23 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "fig2" => fig2_and_fig5(scale, true, false),
-        "fig3" => fig3(scale),
-        "fig4" => fig4(scale),
-        "fig5" => fig2_and_fig5(scale, false, true),
+        "fig2" => fig2_and_fig5(scale, budget, true, false),
+        "fig3" => fig3(scale, budget),
+        "fig4" => fig4(scale, budget),
+        "fig5" => fig2_and_fig5(scale, budget, false, true),
         "ablation" => ablation(scale),
         "extras" => extras(scale),
         "all" => {
-            fig2_and_fig5(scale, true, true);
-            fig3(scale);
-            fig4(scale);
+            fig2_and_fig5(scale, budget, true, true);
+            fig3(scale, budget);
+            fig4(scale, budget);
             ablation(scale);
             extras(scale);
         }
         other => {
             eprintln!(
-                "unknown figure `{other}`; use fig2|fig3|fig4|fig5|ablation|extras|all [--paper]"
+                "unknown figure `{other}`; use fig2|fig3|fig4|fig5|ablation|extras|all \
+                 [--paper] [--max-nodes=N] [--max-weights=N] [--max-bits=N] [--deadline-secs=S]"
             );
             std::process::exit(2);
         }
@@ -87,7 +94,7 @@ fn gse_circuit(scale: Scale) -> Circuit {
 }
 
 /// Fig. 3: Grover — size / accuracy / runtime over applied gates.
-fn fig3(scale: Scale) {
+fn fig3(scale: Scale, budget: RunBudget) {
     let (n, marked) = match scale {
         Scale::Quick => (11, 0b10110101101),
         Scale::Paper => (15, 0b101101011010110),
@@ -95,12 +102,12 @@ fn fig3(scale: Scale) {
     let circuit = grover(n, marked);
     println!("Grover: {n} qubits, {} ops", circuit.len());
     let sample = (circuit.len() / 60).max(1);
-    let reference = reference_run(&circuit, sample, 0);
+    let reference = reference_run_budgeted(&circuit, sample, 0, budget);
     let mut labelled: Vec<(String, Trace)> = Vec::new();
     for eps in PAPER_EPSILONS {
         labelled.push((
             eps_label(eps),
-            traced_numeric_vs_reference(&circuit, eps, &reference),
+            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
         ));
     }
     labelled.push(("algebraic".into(), reference.trace));
@@ -109,7 +116,7 @@ fn fig3(scale: Scale) {
 }
 
 /// Fig. 4: Binary Welded Tree — size / accuracy / runtime.
-fn fig4(scale: Scale) {
+fn fig4(scale: Scale, budget: RunBudget) {
     let params = match scale {
         Scale::Quick => BwtParams {
             height: 4,
@@ -131,12 +138,12 @@ fn fig4(scale: Scale) {
         circuit.len()
     );
     let sample = (circuit.len() / 60).max(1);
-    let reference = reference_run(&circuit, sample, tree.coined_start());
+    let reference = reference_run_budgeted(&circuit, sample, tree.coined_start(), budget);
     let mut labelled: Vec<(String, Trace)> = Vec::new();
     for eps in PAPER_EPSILONS {
         labelled.push((
             eps_label(eps),
-            traced_numeric_vs_reference(&circuit, eps, &reference),
+            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
         ));
     }
     labelled.push(("algebraic".into(), reference.trace));
@@ -146,10 +153,10 @@ fn fig4(scale: Scale) {
 
 /// Figs. 2 and 5 share the same GSE workload: one algebraic reference
 /// run feeds both ε sweeps.
-fn fig2_and_fig5(scale: Scale, emit_fig2: bool, emit_fig5: bool) {
+fn fig2_and_fig5(scale: Scale, budget: RunBudget, emit_fig2: bool, emit_fig5: bool) {
     let circuit = gse_circuit(scale);
     let sample = (circuit.len() / 50).max(1);
-    let reference = reference_run(&circuit, sample, 0);
+    let reference = reference_run_budgeted(&circuit, sample, 0, budget);
     let mut eps_list: Vec<f64> = PAPER_EPSILONS.to_vec();
     for e in FIG2_EPSILONS {
         if !eps_list.contains(&e) {
@@ -159,7 +166,10 @@ fn fig2_and_fig5(scale: Scale, emit_fig2: bool, emit_fig5: bool) {
     eps_list.sort_by(|a, b| b.total_cmp(a));
     let mut traces: Vec<(f64, Trace)> = Vec::new();
     for eps in eps_list {
-        traces.push((eps, traced_numeric_vs_reference(&circuit, eps, &reference)));
+        traces.push((
+            eps,
+            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
+        ));
     }
     let pick = |list: &[f64]| -> Vec<(String, Trace)> {
         let mut out: Vec<(String, Trace)> = list

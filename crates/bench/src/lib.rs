@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 use aq_circuits::Circuit;
-use aq_dd::{GcdContext, NormScheme, NumericContext, QomegaContext, WeightContext};
+use aq_dd::{GcdContext, NormScheme, NumericContext, QomegaContext, RunBudget, WeightContext};
 use aq_sim::{Column, PairedRun, SimOptions, Simulator, Trace};
+
+pub use aq_sim::sweep::ReferenceRun;
 
 /// The ε values the paper sweeps in Figs. 3–5.
 pub const PAPER_EPSILONS: [f64; 6] = [0.0, 1e-20, 1e-15, 1e-10, 1e-5, 1e-3];
@@ -44,6 +46,30 @@ impl Scale {
     }
 }
 
+/// Parses resource-budget flags from argv: `--max-nodes=N`,
+/// `--max-weights=N`, `--max-bits=N`, `--deadline-secs=S`. Absent flags
+/// leave the corresponding limit unset (unlimited).
+///
+/// # Panics
+///
+/// Panics on an unparsable flag value (this is a command-line harness).
+pub fn budget_from_args(args: &[String]) -> RunBudget {
+    let mut budget = RunBudget::unlimited();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--max-nodes=") {
+            budget = budget.with_max_nodes(v.parse().expect("--max-nodes=N"));
+        } else if let Some(v) = a.strip_prefix("--max-weights=") {
+            budget = budget.with_max_distinct_weights(v.parse().expect("--max-weights=N"));
+        } else if let Some(v) = a.strip_prefix("--max-bits=") {
+            budget = budget.with_max_weight_bits(v.parse().expect("--max-bits=N"));
+        } else if let Some(v) = a.strip_prefix("--deadline-secs=") {
+            let secs: f64 = v.parse().expect("--deadline-secs=S");
+            budget = budget.with_deadline(std::time::Duration::from_secs_f64(secs));
+        }
+    }
+    budget
+}
+
 /// The numeric context used throughout the figure harness: the paper's
 /// evaluation package normalizes by the largest-magnitude weight (\[29\]),
 /// which keeps all stored weights at magnitude ≤ 1. (The simpler leftmost
@@ -61,65 +87,54 @@ pub fn traced_numeric_run(circuit: &Circuit, eps: f64, sample_every: usize) -> T
     subject
 }
 
-/// A completed exact reference simulation with its per-sample amplitude
-/// vectors, shared across a whole ε sweep (running the expensive
-/// algebraic simulation once instead of once per ε).
-#[derive(Debug)]
-pub struct ReferenceRun {
-    /// The algebraic trace (sizes, runtime).
-    pub trace: Trace,
-    /// Exact amplitude vectors keyed by gates-applied count.
-    pub samples: std::collections::HashMap<usize, Vec<aq_rings::Complex64>>,
-    sample_every: usize,
-    start: u64,
+/// Simulation options for the figure harness: default tuning plus the
+/// given resource budget (unlimited = historical behaviour).
+pub fn figure_options(budget: RunBudget) -> SimOptions {
+    SimOptions {
+        budget,
+        ..SimOptions::default()
+    }
 }
 
 /// Runs the exact algebraic simulation once, keeping the amplitude
-/// vectors at every sampling point (and at the end).
+/// vectors at every sampling point (and at the end). Delegates to the
+/// fail-soft [`aq_sim::sweep`] harness with an unlimited budget.
 pub fn reference_run(circuit: &Circuit, sample_every: usize, start: u64) -> ReferenceRun {
-    assert!(sample_every > 0, "sampling interval must be positive");
-    let mut sim = Simulator::new(QomegaContext::new(), circuit);
-    sim.reset_to(start);
-    let mut trace = Trace::default();
-    let mut samples = std::collections::HashMap::new();
-    while sim.step() {
-        trace.points.push(sim.sample(None));
-        let g = sim.gates_applied();
-        if g.is_multiple_of(sample_every) || sim.is_done() {
-            let s = sim.state();
-            samples.insert(g, sim.manager_mut().amplitudes(&s));
-        }
-    }
-    trace.engine = Some(sim.statistics());
-    ReferenceRun {
-        trace,
-        samples,
-        sample_every,
-        start,
-    }
+    aq_sim::sweep::reference_run(circuit, sample_every, start, &SimOptions::default())
+}
+
+/// Like [`reference_run`] but under a resource budget: on a budget abort
+/// the reference is partial ([`Trace::aborted`] set) instead of panicking.
+pub fn reference_run_budgeted(
+    circuit: &Circuit,
+    sample_every: usize,
+    start: u64,
+    budget: RunBudget,
+) -> ReferenceRun {
+    aq_sim::sweep::reference_run(circuit, sample_every, start, &figure_options(budget))
 }
 
 /// Runs a numeric ε simulation, measuring the error against a shared
 /// [`ReferenceRun`] at its sampling points.
 pub fn traced_numeric_vs_reference(circuit: &Circuit, eps: f64, reference: &ReferenceRun) -> Trace {
-    let mut sim = Simulator::new(figure_numeric_context(eps), circuit);
-    sim.reset_to(reference.start);
-    let mut trace = Trace::default();
-    while sim.step() {
-        let g = sim.gates_applied();
-        let error = if g.is_multiple_of(reference.sample_every) || sim.is_done() {
-            reference.samples.get(&g).map(|v_alg| {
-                let s = sim.state();
-                let v_num = sim.manager_mut().amplitudes(&s);
-                aq_sim::normalized_distance(&v_num, v_alg)
-            })
-        } else {
-            None
-        };
-        trace.points.push(sim.sample(error));
-    }
-    trace.engine = Some(sim.statistics());
-    trace
+    traced_numeric_vs_reference_budgeted(circuit, eps, reference, RunBudget::unlimited())
+}
+
+/// Like [`traced_numeric_vs_reference`] but under a resource budget: a
+/// budget abort yields the partial prefix trace with [`Trace::aborted`]
+/// set, so the surrounding ε sweep continues with its remaining points.
+pub fn traced_numeric_vs_reference_budgeted(
+    circuit: &Circuit,
+    eps: f64,
+    reference: &ReferenceRun,
+    budget: RunBudget,
+) -> Trace {
+    aq_sim::sweep::numeric_vs_reference(
+        figure_numeric_context(eps),
+        circuit,
+        reference,
+        &figure_options(budget),
+    )
 }
 
 /// Runs the exact algebraic simulation with tracing.
@@ -189,6 +204,30 @@ pub fn write_figure(figure: &str, labelled: &[(String, Trace)]) {
     aq_sim::write_csv(dir.join(format!("{figure}b_accuracy.csv")), &err_cols).expect("write csv");
     aq_sim::write_csv(dir.join(format!("{figure}c_runtime.csv")), &time_cols).expect("write csv");
     aq_sim::write_csv(dir.join(format!("{figure}_bits.csv")), &bits_cols).expect("write csv");
+
+    // Budget-aborted series are partial (shorter columns above); record
+    // which ones and why so the CSVs are self-describing.
+    if labelled.iter().any(|(_, t)| t.aborted.is_some()) {
+        let aborted: Vec<&(String, Trace)> = labelled
+            .iter()
+            .filter(|(_, t)| t.aborted.is_some())
+            .collect();
+        let cols = vec![
+            Column {
+                name: "series".into(),
+                values: aborted.iter().map(|(l, _)| l.clone()).collect(),
+            },
+            Column {
+                name: "aborted".into(),
+                values: aborted
+                    .iter()
+                    .map(|(_, t)| t.aborted.clone().unwrap_or_default())
+                    .collect(),
+            },
+            Column::from_usize("points_kept", aborted.iter().map(|(_, t)| t.points.len())),
+        ];
+        aq_sim::write_csv(dir.join(format!("{figure}_aborted.csv")), &cols).expect("write csv");
+    }
 }
 
 /// Prints a short textual summary of a figure's traces (peak size, final
@@ -222,6 +261,14 @@ pub fn print_summary(figure: &str, labelled: &[(String, Trace)]) {
             cache,
             compactions,
         );
+        if let Some(reason) = &t.aborted {
+            println!(
+                "{:<14}   aborted: {} ({} points kept)",
+                "",
+                reason,
+                t.points.len()
+            );
+        }
     }
 }
 
@@ -235,6 +282,41 @@ mod tests {
         assert_eq!(eps_label(1e-10), "eps1e-10");
         assert_eq!(eps_label(1e-3), "eps1e-3");
         assert_eq!(eps_label(1e-20), "eps1e-20");
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert!(budget_from_args(&["fig3".into()]).is_unlimited());
+        let b = budget_from_args(&[
+            "fig3".into(),
+            "--max-nodes=1000".into(),
+            "--max-bits=256".into(),
+            "--deadline-secs=1.5".into(),
+        ]);
+        assert_eq!(b.max_nodes, Some(1000));
+        assert_eq!(b.max_weight_bits, Some(256));
+        assert_eq!(b.deadline, Some(std::time::Duration::from_secs_f64(1.5)));
+        assert_eq!(b.max_distinct_weights, None);
+    }
+
+    #[test]
+    fn budgeted_sweep_reports_abort_and_continues() {
+        let c = aq_circuits::grover(4, 5);
+        let reference = reference_run(&c, 8, 0);
+        assert!(reference.trace.aborted.is_none());
+        // a numeric eps=0 run under a tiny node budget aborts fail-soft...
+        let capped = traced_numeric_vs_reference_budgeted(
+            &c,
+            0.0,
+            &reference,
+            RunBudget::unlimited().with_max_nodes(8),
+        );
+        assert!(capped.aborted.is_some());
+        assert!(capped.points.len() < c.len());
+        // ...while the next sweep point (unlimited) still completes
+        let free = traced_numeric_vs_reference(&c, 1e-10, &reference);
+        assert!(free.aborted.is_none());
+        assert_eq!(free.points.len(), c.len());
     }
 
     #[test]

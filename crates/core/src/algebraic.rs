@@ -6,6 +6,7 @@ use std::hash::Hash;
 use aq_rings::assoc::{canonical_associate, gcd_canonical};
 use aq_rings::{Complex64, Domega, Qomega};
 
+use crate::error::EngineError;
 use crate::fxhash::fx_hash;
 use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
@@ -39,16 +40,16 @@ impl<V: Clone + Eq + Hash> ExactTable<V> {
 impl<V: Clone + Eq + Hash> WeightTable for ExactTable<V> {
     type Value = V;
 
-    fn intern(&mut self, v: V) -> WeightId {
+    fn try_intern(&mut self, v: V) -> Result<WeightId, EngineError> {
         let hash = fx_hash(&v);
         let values = &self.values;
         if let Some(id) = self.index.find(hash, |i| values[i as usize] == v) {
-            return WeightId(id);
+            return Ok(WeightId(id));
         }
-        let id = u32::try_from(self.values.len()).expect("weight table overflow");
+        let id = u32::try_from(self.values.len()).map_err(|_| EngineError::WeightTableOverflow)?;
         self.values.push(v);
         self.index.insert(hash, id);
-        WeightId(id)
+        Ok(WeightId(id))
     }
 
     fn get(&self, id: WeightId) -> &V {

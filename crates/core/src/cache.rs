@@ -14,7 +14,9 @@ use crate::fxhash::fx_hash;
 /// Hit/miss/eviction counters for one compute cache.
 ///
 /// Invariant: `lookups == hits + misses`; `insertions == evictions +
-/// (currently occupied slots, across clears)`.
+/// updates + cleared + (currently occupied slots)` — entries dropped by a
+/// wholesale [`clear`](LossyCache::clear) are counted in `cleared`, so
+/// every insert is accounted for across the cache's lifetime.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total `get` calls.
@@ -27,6 +29,13 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Insertions that overwrote a *different* live key.
     pub evictions: u64,
+    /// Insertions that overwrote the *same* key (never happens from the
+    /// engine — an insert follows a miss — but counted so the accounting
+    /// identity above is exact).
+    pub updates: u64,
+    /// Live entries dropped by wholesale clears (including the implicit
+    /// clear during [`Manager::compact`](crate::Manager::compact)).
+    pub cleared: u64,
 }
 
 impl CacheStats {
@@ -46,6 +55,8 @@ impl CacheStats {
         self.misses += other.misses;
         self.insertions += other.insertions;
         self.evictions += other.evictions;
+        self.updates += other.updates;
+        self.cleared += other.cleared;
     }
 }
 
@@ -58,6 +69,9 @@ pub(crate) struct LossyCache<K, V> {
     slots: Vec<Option<(K, V)>>,
     /// Power-of-two slot count.
     capacity: usize,
+    /// Currently occupied slots (so clears can account for dropped
+    /// entries without scanning).
+    len: usize,
     stats: CacheStats,
 }
 
@@ -68,6 +82,7 @@ impl<K: Copy + Eq + Hash, V: Copy> LossyCache<K, V> {
         LossyCache {
             slots: Vec::new(),
             capacity: capacity.next_power_of_two().max(2),
+            len: 0,
             stats: CacheStats::default(),
         }
     }
@@ -106,17 +121,28 @@ impl<K: Copy + Eq + Hash, V: Copy> LossyCache<K, V> {
         }
         let i = self.slot_of(&key);
         self.stats.insertions += 1;
-        if matches!(&self.slots[i], Some((k, _)) if *k != key) {
-            self.stats.evictions += 1;
+        match &self.slots[i] {
+            Some((k, _)) if *k != key => self.stats.evictions += 1,
+            None => self.len += 1,
+            _ => self.stats.updates += 1, // same-key overwrite
         }
         self.slots[i] = Some((key, value));
     }
 
-    /// Drops all entries; counters are kept (they describe the lifetime of
-    /// the cache, not its current contents).
+    /// Drops all entries, counting them in [`CacheStats::cleared`]
+    /// (lookup/insert counters describe the lifetime of the cache, not its
+    /// current contents, and are kept).
     pub fn clear(&mut self) {
+        self.stats.cleared += self.len as u64;
+        self.len = 0;
         self.slots.clear();
         self.slots.shrink_to_fit();
+    }
+
+    /// Currently occupied slots.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
     }
 
     /// Lifetime counters.
@@ -134,6 +160,18 @@ impl<K: Copy + Eq + Hash, V: Copy> LossyCache<K, V> {
 mod tests {
     use super::*;
 
+    /// The documented accounting identity, checked after every scenario.
+    fn assert_invariants<K: Copy + Eq + Hash, V: Copy>(c: &LossyCache<K, V>) {
+        let s = c.stats();
+        assert_eq!(s.lookups, s.hits + s.misses, "lookup identity: {s:?}");
+        assert_eq!(
+            s.insertions,
+            s.evictions + s.updates + s.cleared + c.len() as u64,
+            "insert identity: {s:?} with {} occupied slots",
+            c.len()
+        );
+    }
+
     #[test]
     fn get_insert_and_counters() {
         let mut c: LossyCache<u64, u64> = LossyCache::new(8);
@@ -144,7 +182,7 @@ mod tests {
         assert_eq!(s.lookups, 2);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
-        assert_eq!(s.lookups, s.hits + s.misses);
+        assert_invariants(&c);
     }
 
     #[test]
@@ -157,6 +195,7 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.insertions, 100);
         assert!(s.evictions >= 90, "almost every insert evicts: {s:?}");
+        assert_invariants(&c);
         // the cache stays bounded: at most 2 keys can hit
         let mut live = 0;
         for k in 0..100 {
@@ -165,6 +204,7 @@ mod tests {
             }
         }
         assert!(live <= 2);
+        assert_eq!(c.len(), live, "len must track the occupied slots");
     }
 
     #[test]
@@ -174,19 +214,30 @@ mod tests {
         c.insert(7, 2);
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(&7), Some(2));
+        assert_eq!(c.len(), 1);
+        assert_invariants(&c);
     }
 
     #[test]
-    fn clear_keeps_counters() {
+    fn clear_counts_dropped_entries_and_keeps_counters() {
         let mut c: LossyCache<u64, u64> = LossyCache::new(8);
         c.insert(1, 1);
+        c.insert(2, 2);
         let _ = c.get(&1);
         c.clear();
         assert_eq!(c.get(&1), None);
         let s = c.stats();
-        assert_eq!(s.insertions, 1);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.cleared, 2, "live entries dropped by clear are counted");
         assert_eq!(s.lookups, 2);
-        assert_eq!(s.lookups, s.hits + s.misses);
+        assert_eq!(c.len(), 0);
+        assert_invariants(&c);
+        // refilling after a clear keeps the identity
+        c.insert(3, 3);
+        assert_invariants(&c);
+        c.clear();
+        assert_eq!(c.stats().cleared, 3);
+        assert_invariants(&c);
     }
 
     #[test]

@@ -50,6 +50,10 @@ impl<W: WeightContext> Manager<W> {
 
     /// A single amplitude `⟨index|ψ⟩` (qubit 0 = most significant bit),
     /// computed along one root-to-terminal path.
+    ///
+    /// For registers wider than 64 qubits, the high qubits (which a `u64`
+    /// index cannot address) are read as `|0⟩` — mirroring
+    /// [`Manager::basis_state`](Self::basis_state).
     pub fn amplitude(&self, e: &Edge<VecId>, index: u64) -> Complex64 {
         if e.is_zero() {
             return Complex64::ZERO;
@@ -59,7 +63,12 @@ impl<W: WeightContext> Manager<W> {
         let mut depth = 0;
         while !n.is_terminal() {
             let node = self.vec_nodes[n.0 as usize];
-            let bit = ((index >> (self.n_qubits - 1 - depth)) & 1) as usize;
+            let shift = self.n_qubits - 1 - depth;
+            let bit = if shift >= u64::BITS {
+                0
+            } else {
+                ((index >> shift) & 1) as usize
+            };
             let child = node.children[bit];
             if child.is_zero() {
                 return Complex64::ZERO;

@@ -5,6 +5,7 @@ use std::fmt;
 use aq_rings::{Complex64, Domega, Zomega};
 
 use crate::edge::{Edge, MatId};
+use crate::error::EngineError;
 use crate::manager::Manager;
 use crate::weight::{WeightContext, WeightId};
 
@@ -303,9 +304,19 @@ impl fmt::Debug for GateMatrix {
 /// Error returned when a gate matrix cannot be represented in the
 /// manager's weight system (e.g. an arbitrary rotation in an algebraic
 /// manager).
+///
+/// Kept for backwards compatibility; [`Manager::try_gate`] now reports
+/// this condition as [`EngineError::UnrepresentableGate`], which this
+/// type converts into.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnrepresentableGateError {
     gate: String,
+}
+
+impl From<UnrepresentableGateError> for EngineError {
+    fn from(e: UnrepresentableGateError) -> EngineError {
+        EngineError::UnrepresentableGate { gate: e.gate }
+    }
 }
 
 impl fmt::Display for UnrepresentableGateError {
@@ -330,8 +341,9 @@ impl<W: WeightContext> Manager<W> {
     ///
     /// # Errors
     ///
-    /// Returns an error if an entry is not representable in the weight
-    /// system (see [`GateMatrix`]).
+    /// Returns [`EngineError::UnrepresentableGate`] if an entry is not
+    /// representable in the weight system (see [`GateMatrix`]), or a
+    /// budget error when a limit is crossed.
     ///
     /// # Panics
     ///
@@ -342,7 +354,7 @@ impl<W: WeightContext> Manager<W> {
         gate: &GateMatrix,
         target: u32,
         controls: &[(u32, bool)],
-    ) -> Result<Edge<MatId>, UnrepresentableGateError> {
+    ) -> Result<Edge<MatId>, EngineError> {
         assert!(target < self.n_qubits, "target out of range");
         for &(c, _) in controls {
             assert!(c < self.n_qubits, "control out of range");
@@ -351,17 +363,16 @@ impl<W: WeightContext> Manager<W> {
 
         let mut entry_ids = [WeightId::ZERO; 4];
         for (i, e) in gate.entries().iter().enumerate() {
-            let v = match e {
-                GateEntry::Exact(d) => self.ctx.from_exact(d),
-                GateEntry::Approx(c) => {
-                    self.ctx
-                        .from_approx(*c)
-                        .ok_or_else(|| UnrepresentableGateError {
+            let v =
+                match e {
+                    GateEntry::Exact(d) => self.ctx.from_exact(d),
+                    GateEntry::Approx(c) => self.ctx.from_approx(*c).ok_or_else(|| {
+                        EngineError::UnrepresentableGate {
                             gate: gate.name().to_string(),
-                        })?
-                }
-            };
-            entry_ids[i] = self.intern(v);
+                        }
+                    })?,
+                };
+            entry_ids[i] = self.try_intern(v)?;
         }
 
         let is_control = |v: u32| controls.iter().find(|&&(c, _)| c == v).map(|&(_, p)| p);
@@ -394,39 +405,41 @@ impl<W: WeightContext> Manager<W> {
                         Edge::ZERO_MAT
                     };
                     nb[i] = if pol {
-                        self.make_mat_node(v, [diag, Edge::ZERO_MAT, Edge::ZERO_MAT, *b])
+                        self.try_make_mat_node(v, [diag, Edge::ZERO_MAT, Edge::ZERO_MAT, *b])?
                     } else {
-                        self.make_mat_node(v, [*b, Edge::ZERO_MAT, Edge::ZERO_MAT, diag])
+                        self.try_make_mat_node(v, [*b, Edge::ZERO_MAT, Edge::ZERO_MAT, diag])?
                     };
                 }
                 blocks = nb;
             } else {
                 let mut nb = [Edge::ZERO_MAT; 4];
                 for (i, b) in blocks.iter().enumerate() {
-                    nb[i] = self.make_mat_node(v, [*b, Edge::ZERO_MAT, Edge::ZERO_MAT, *b]);
+                    nb[i] = self.try_make_mat_node(v, [*b, Edge::ZERO_MAT, Edge::ZERO_MAT, *b])?;
                 }
                 blocks = nb;
             }
-            id_below = self.make_mat_node(v, [id_below, Edge::ZERO_MAT, Edge::ZERO_MAT, id_below]);
+            id_below =
+                self.try_make_mat_node(v, [id_below, Edge::ZERO_MAT, Edge::ZERO_MAT, id_below])?;
         }
 
         // Target level combines the four blocks into one node; the
         // identity chain is extended across the target for controls above.
-        let mut e = self.make_mat_node(target, blocks);
+        let mut e = self.try_make_mat_node(target, blocks)?;
         let mut id_from =
-            self.make_mat_node(target, [id_below, Edge::ZERO_MAT, Edge::ZERO_MAT, id_below]);
+            self.try_make_mat_node(target, [id_below, Edge::ZERO_MAT, Edge::ZERO_MAT, id_below])?;
 
         for v in (0..target).rev() {
             e = if let Some(pol) = is_control(v) {
                 if pol {
-                    self.make_mat_node(v, [id_from, Edge::ZERO_MAT, Edge::ZERO_MAT, e])
+                    self.try_make_mat_node(v, [id_from, Edge::ZERO_MAT, Edge::ZERO_MAT, e])?
                 } else {
-                    self.make_mat_node(v, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, id_from])
+                    self.try_make_mat_node(v, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, id_from])?
                 }
             } else {
-                self.make_mat_node(v, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, e])
+                self.try_make_mat_node(v, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, e])?
             };
-            id_from = self.make_mat_node(v, [id_from, Edge::ZERO_MAT, Edge::ZERO_MAT, id_from]);
+            id_from =
+                self.try_make_mat_node(v, [id_from, Edge::ZERO_MAT, Edge::ZERO_MAT, id_from])?;
         }
         Ok(e)
     }
@@ -436,8 +449,9 @@ impl<W: WeightContext> Manager<W> {
     ///
     /// # Panics
     ///
-    /// Panics if the gate is not representable in this weight system, or
-    /// on the index errors of [`Manager::try_gate`].
+    /// Panics if the gate is not representable in this weight system, on a
+    /// crossed budget limit, or on the index errors of
+    /// [`Manager::try_gate`].
     pub fn gate(
         &mut self,
         gate: &GateMatrix,
@@ -445,7 +459,7 @@ impl<W: WeightContext> Manager<W> {
         controls: &[(u32, bool)],
     ) -> Edge<MatId> {
         self.try_gate(gate, target, controls)
-            .expect("gate not representable in this weight system")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a SWAP between two qubits as three CNOTs.

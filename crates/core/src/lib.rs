@@ -47,6 +47,7 @@ mod algebraic;
 mod cache;
 mod dot;
 mod edge;
+mod error;
 mod extract;
 pub mod fxhash;
 mod gates;
@@ -60,6 +61,7 @@ mod weight;
 pub use algebraic::{GcdContext, QomegaContext};
 pub use cache::CacheStats;
 pub use edge::{Edge, MatId, VecId};
+pub use error::{EngineError, RunBudget};
 pub use gates::{GateEntry, GateMatrix, UnrepresentableGateError};
 pub use manager::{EngineStatistics, Manager};
 pub use numeric::{NormScheme, NumericContext};

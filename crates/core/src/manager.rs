@@ -1,7 +1,10 @@
 //! The QMDD manager: arenas, unique tables, interning, construction.
 
+use std::time::Instant;
+
 use crate::cache::{CacheStats, LossyCache};
 use crate::edge::{Edge, MatId, MatNode, VecId, VecNode};
+use crate::error::{EngineError, RunBudget};
 use crate::fxhash::{fx_hash, FxHashMap};
 use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
@@ -77,6 +80,17 @@ impl EngineStatistics {
 /// paper), QMDDs are **canonical**: two edges are equal iff they represent
 /// the same matrix/vector — equivalence checking is `O(1)` root comparison.
 ///
+/// # Fail-soft operation
+///
+/// A [`RunBudget`] installed with [`Manager::set_budget`] caps allocated
+/// nodes, distinct weights, coefficient bit-width and wall-clock time.
+/// With a budget active, use the fallible `try_*` entry points
+/// ([`Manager::try_mat_vec`](Self::try_mat_vec) and friends): they return a
+/// structured [`EngineError`] instead of panicking, leaving the manager in
+/// a consistent state (all previously built DDs remain valid). The
+/// infallible APIs are thin wrappers that panic, preserving the historical
+/// behaviour.
+///
 /// # Examples
 ///
 /// ```
@@ -110,7 +124,25 @@ pub struct Manager<W: WeightContext> {
     pub(crate) mm_cache: LossyCache<(MatId, MatId), Edge<MatId>>,
     cache_capacity: usize,
     compactions: u64,
+    /// Active resource budget (unlimited by default). `budget_active`
+    /// caches `!budget.is_unlimited()` so the hot-path probe is one
+    /// branch when no budget is set.
+    budget: RunBudget,
+    budget_active: bool,
+    /// Epoch for the wall-clock deadline.
+    budget_epoch: Instant,
+    /// Probe counter: the deadline (which needs an `Instant::now` syscall)
+    /// is only checked every [`DEADLINE_PROBE_PERIOD`]th probe.
+    probe_tick: u32,
 }
+
+/// How many budget probes elapse between wall-clock checks (the other
+/// limits are plain integer comparisons and are checked on every probe).
+const DEADLINE_PROBE_PERIOD: u32 = 64;
+
+/// Remapped root edges returned by [`Manager::compact`]: the vector roots
+/// and matrix roots, in input order.
+pub type CompactedRoots = (Vec<Edge<VecId>>, Vec<Edge<MatId>>);
 
 impl<W: WeightContext> Manager<W> {
     /// Creates an empty manager for `n_qubits` qubits.
@@ -148,7 +180,67 @@ impl<W: WeightContext> Manager<W> {
             mm_cache: LossyCache::new(cache_capacity),
             cache_capacity,
             compactions: 0,
+            budget: RunBudget::default(),
+            budget_active: false,
+            budget_epoch: Instant::now(),
+            probe_tick: 0,
         }
+    }
+
+    /// Installs a resource budget and resets its wall-clock epoch.
+    ///
+    /// Subsequent `try_*` operations fail with a structured
+    /// [`EngineError`] when a limit is crossed; the infallible wrappers
+    /// panic instead. Install [`RunBudget::unlimited`] to remove limits.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget_active = !budget.is_unlimited();
+        self.budget = budget;
+        self.budget_epoch = Instant::now();
+        self.probe_tick = 0;
+    }
+
+    /// The active resource budget.
+    pub fn budget(&self) -> RunBudget {
+        self.budget
+    }
+
+    /// One cheap budget probe: integer comparisons on every call, a
+    /// wall-clock read every [`DEADLINE_PROBE_PERIOD`]th call. Free (one
+    /// predictable branch) when no budget is installed.
+    #[inline]
+    pub(crate) fn budget_probe(&mut self) -> Result<(), EngineError> {
+        if !self.budget_active {
+            return Ok(());
+        }
+        self.budget_probe_cold()
+    }
+
+    #[cold]
+    fn budget_probe_cold(&mut self) -> Result<(), EngineError> {
+        if let Some(limit) = self.budget.max_nodes {
+            let allocated = self.vec_nodes.len() + self.mat_nodes.len();
+            if allocated > limit {
+                return Err(EngineError::NodeBudgetExceeded { allocated, limit });
+            }
+        }
+        if let Some(limit) = self.budget.max_distinct_weights {
+            let distinct = self.table.len();
+            if distinct > limit {
+                return Err(EngineError::WeightBudgetExceeded { distinct, limit });
+            }
+        }
+        if let Some(limit) = self.budget.deadline {
+            // the first probe after `set_budget` checks immediately, so
+            // already-expired deadlines fail fast in tests and harnesses
+            if self.probe_tick.is_multiple_of(DEADLINE_PROBE_PERIOD) {
+                let elapsed = self.budget_epoch.elapsed();
+                if elapsed > limit {
+                    return Err(EngineError::DeadlineExceeded { elapsed, limit });
+                }
+            }
+            self.probe_tick = self.probe_tick.wrapping_add(1);
+        }
+        Ok(())
     }
 
     /// A snapshot of the engine's counters: per-cache hits/misses/evictions,
@@ -191,53 +283,83 @@ impl<W: WeightContext> Manager<W> {
     }
 
     /// Interns a weight value, collapsing ε-zeros to the canonical zero id.
-    pub fn intern(&mut self, v: W::Value) -> WeightId {
+    ///
+    /// # Errors
+    ///
+    /// Fails on weight-table overflow, or when the value's coefficient
+    /// bit-width exceeds the budget's `max_weight_bits`.
+    pub fn try_intern(&mut self, v: W::Value) -> Result<WeightId, EngineError> {
         if self.ctx.is_zero(&v) {
-            return WeightId::ZERO;
+            return Ok(WeightId::ZERO);
         }
-        self.table.intern(v)
+        if let Some(limit) = self.budget.max_weight_bits {
+            let bits = self.ctx.value_bits(&v);
+            if bits > limit {
+                return Err(EngineError::WeightBitsExceeded { bits, limit });
+            }
+        }
+        self.table.try_intern(v)
+    }
+
+    /// Like [`Manager::try_intern`] but panics on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on weight-table overflow or a crossed bit-width budget.
+    pub fn intern(&mut self, v: W::Value) -> WeightId {
+        self.try_intern(v).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Interned product of two weights.
-    pub(crate) fn w_mul(&mut self, a: WeightId, b: WeightId) -> WeightId {
+    pub(crate) fn try_w_mul(&mut self, a: WeightId, b: WeightId) -> Result<WeightId, EngineError> {
         if a == WeightId::ZERO || b == WeightId::ZERO {
-            return WeightId::ZERO;
+            return Ok(WeightId::ZERO);
         }
         if a == WeightId::ONE {
-            return b;
+            return Ok(b);
         }
         if b == WeightId::ONE {
-            return a;
+            return Ok(a);
         }
         let v = self.ctx.mul(self.table.get(a), self.table.get(b));
-        self.intern(v)
+        self.try_intern(v)
+    }
+
+    /// Like [`Manager::try_w_mul`] but panics on budget exhaustion.
+    pub(crate) fn w_mul(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        self.try_w_mul(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Interned sum of two weights.
-    pub(crate) fn w_add(&mut self, a: WeightId, b: WeightId) -> WeightId {
+    pub(crate) fn try_w_add(&mut self, a: WeightId, b: WeightId) -> Result<WeightId, EngineError> {
         if a == WeightId::ZERO {
-            return b;
+            return Ok(b);
         }
         if b == WeightId::ZERO {
-            return a;
+            return Ok(a);
         }
         let v = self.ctx.add(self.table.get(a), self.table.get(b));
-        self.intern(v)
+        self.try_intern(v)
     }
 
     /// Creates (or finds) a normalized vector node and returns the edge to
     /// it carrying the extracted normalization factor.
-    pub(crate) fn make_vec_node(&mut self, var: u32, children: [Edge<VecId>; 2]) -> Edge<VecId> {
+    pub(crate) fn try_make_vec_node(
+        &mut self,
+        var: u32,
+        children: [Edge<VecId>; 2],
+    ) -> Result<Edge<VecId>, EngineError> {
+        self.budget_probe()?;
         let mut vals = [
             self.table.get(children[0].w).clone(),
             self.table.get(children[1].w).clone(),
         ];
         let Some(eta) = self.ctx.normalize(&mut vals) else {
-            return Edge::ZERO_VEC;
+            return Ok(Edge::ZERO_VEC);
         };
         let [v0, v1] = vals;
-        let e0 = self.norm_child(v0, children[0].n);
-        let e1 = self.norm_child(v1, children[1].n);
+        let e0 = self.norm_child(v0, children[0].n)?;
+        let e1 = self.norm_child(v1, children[1].n)?;
         let node = VecNode {
             var,
             children: [e0, e1],
@@ -248,29 +370,40 @@ impl<W: WeightContext> Manager<W> {
         let id = match self.vec_unique.find(hash, |i| nodes[i as usize] == node) {
             Some(id) => VecId(id),
             None => {
-                let id = u32::try_from(self.vec_nodes.len()).expect("node arena overflow");
+                let id = u32::try_from(self.vec_nodes.len())
+                    .map_err(|_| EngineError::NodeArenaOverflow)?;
                 self.vec_nodes.push(node);
                 self.vec_unique.insert(hash, id);
                 VecId(id)
             }
         };
-        Edge {
-            w: self.intern(eta),
+        Ok(Edge {
+            w: self.try_intern(eta)?,
             n: id,
-        }
+        })
     }
 
-    fn norm_child(&mut self, v: W::Value, n: VecId) -> Edge<VecId> {
-        let w = self.intern(v);
-        if w == WeightId::ZERO {
+    pub(crate) fn make_vec_node(&mut self, var: u32, children: [Edge<VecId>; 2]) -> Edge<VecId> {
+        self.try_make_vec_node(var, children)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn norm_child(&mut self, v: W::Value, n: VecId) -> Result<Edge<VecId>, EngineError> {
+        let w = self.try_intern(v)?;
+        Ok(if w == WeightId::ZERO {
             Edge::ZERO_VEC
         } else {
             Edge { w, n }
-        }
+        })
     }
 
     /// Creates (or finds) a normalized matrix node.
-    pub(crate) fn make_mat_node(&mut self, var: u32, children: [Edge<MatId>; 4]) -> Edge<MatId> {
+    pub(crate) fn try_make_mat_node(
+        &mut self,
+        var: u32,
+        children: [Edge<MatId>; 4],
+    ) -> Result<Edge<MatId>, EngineError> {
+        self.budget_probe()?;
         let mut vals = [
             self.table.get(children[0].w).clone(),
             self.table.get(children[1].w).clone(),
@@ -278,11 +411,11 @@ impl<W: WeightContext> Manager<W> {
             self.table.get(children[3].w).clone(),
         ];
         let Some(eta) = self.ctx.normalize(&mut vals) else {
-            return Edge::ZERO_MAT;
+            return Ok(Edge::ZERO_MAT);
         };
         let mut edges = [Edge::ZERO_MAT; 4];
         for (i, v) in vals.into_iter().enumerate() {
-            let w = self.intern(v);
+            let w = self.try_intern(v)?;
             edges[i] = if w == WeightId::ZERO {
                 Edge::ZERO_MAT
             } else {
@@ -301,25 +434,48 @@ impl<W: WeightContext> Manager<W> {
         let id = match self.mat_unique.find(hash, |i| nodes[i as usize] == node) {
             Some(id) => MatId(id),
             None => {
-                let id = u32::try_from(self.mat_nodes.len()).expect("node arena overflow");
+                let id = u32::try_from(self.mat_nodes.len())
+                    .map_err(|_| EngineError::NodeArenaOverflow)?;
                 self.mat_nodes.push(node);
                 self.mat_unique.insert(hash, id);
                 MatId(id)
             }
         };
-        Edge {
-            w: self.intern(eta),
+        Ok(Edge {
+            w: self.try_intern(eta)?,
             n: id,
+        })
+    }
+
+    pub(crate) fn make_mat_node(&mut self, var: u32, children: [Edge<MatId>; 4]) -> Edge<MatId> {
+        self.try_make_mat_node(var, children)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Extracts bit `n_qubits − 1 − var` of `index`, treating bit positions
+    /// at and above 64 as zero — registers wider than 64 qubits address
+    /// only the low 2⁶⁴ computational basis states, but must not overflow
+    /// the shift (a debug panic / masked wrap in release builds).
+    #[inline]
+    fn index_bit(&self, index: u64, var: u32) -> u64 {
+        let shift = self.n_qubits - 1 - var;
+        if shift >= u64::BITS {
+            0
+        } else {
+            (index >> shift) & 1
         }
     }
 
     /// The computational basis state `|index⟩` (qubit 0 is the most
     /// significant bit, matching the variable order).
     ///
-    /// # Panics
+    /// For registers wider than 64 qubits, the high qubits (which a `u64`
+    /// index cannot address) are `|0⟩`.
     ///
-    /// Panics if `index >= 2^n_qubits`.
-    pub fn basis_state(&mut self, index: u64) -> Edge<VecId> {
+    /// # Errors
+    ///
+    /// Fails when a budget limit is crossed.
+    pub fn try_basis_state(&mut self, index: u64) -> Result<Edge<VecId>, EngineError> {
         assert!(
             self.n_qubits >= 64 || index < 1u64 << self.n_qubits,
             "basis state index out of range"
@@ -329,25 +485,39 @@ impl<W: WeightContext> Manager<W> {
             n: VecId::TERMINAL,
         };
         for var in (0..self.n_qubits).rev() {
-            let bit = (index >> (self.n_qubits - 1 - var)) & 1;
+            let bit = self.index_bit(index, var);
             let children = if bit == 0 {
                 [e, Edge::ZERO_VEC]
             } else {
                 [Edge::ZERO_VEC, e]
             };
-            e = self.make_vec_node(var, children);
+            e = self.try_make_vec_node(var, children)?;
         }
-        e
+        Ok(e)
+    }
+
+    /// Like [`Manager::try_basis_state`] but panics on budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits` (for `n_qubits < 64`), or when a
+    /// budget limit is crossed.
+    pub fn basis_state(&mut self, index: u64) -> Edge<VecId> {
+        self.try_basis_state(index)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The matrix DD with a single `1` entry at `(row, col)` — the outer
     /// product `|row⟩⟨col|`. Building-block for sparse operators such as
     /// the quantum-walk factors.
     ///
-    /// # Panics
+    /// For registers wider than 64 qubits, the high qubits take the
+    /// `(0, 0)` block (a `u64` cannot address them).
     ///
-    /// Panics if `row` or `col` is out of range.
-    pub fn unit_matrix(&mut self, row: u64, col: u64) -> Edge<MatId> {
+    /// # Errors
+    ///
+    /// Fails when a budget limit is crossed.
+    pub fn try_unit_matrix(&mut self, row: u64, col: u64) -> Result<Edge<MatId>, EngineError> {
         let n = self.n_qubits;
         assert!(
             n >= 64 || (row < 1u64 << n && col < 1u64 << n),
@@ -358,25 +528,49 @@ impl<W: WeightContext> Manager<W> {
             n: MatId::TERMINAL,
         };
         for var in (0..n).rev() {
-            let r = ((row >> (n - 1 - var)) & 1) as usize;
-            let c = ((col >> (n - 1 - var)) & 1) as usize;
+            let r = self.index_bit(row, var) as usize;
+            let c = self.index_bit(col, var) as usize;
             let mut children = [Edge::ZERO_MAT; 4];
             children[2 * r + c] = e;
-            e = self.make_mat_node(var, children);
+            e = self.try_make_mat_node(var, children)?;
         }
-        e
+        Ok(e)
+    }
+
+    /// Like [`Manager::try_unit_matrix`] but panics on budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range (for `n_qubits < 64`), or
+    /// when a budget limit is crossed.
+    pub fn unit_matrix(&mut self, row: u64, col: u64) -> Edge<MatId> {
+        self.try_unit_matrix(row, col)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The identity operator on all qubits.
-    pub fn identity(&mut self) -> Edge<MatId> {
+    ///
+    /// # Errors
+    ///
+    /// Fails when a budget limit is crossed.
+    pub fn try_identity(&mut self) -> Result<Edge<MatId>, EngineError> {
         let mut e = Edge {
             w: WeightId::ONE,
             n: MatId::TERMINAL,
         };
         for var in (0..self.n_qubits).rev() {
-            e = self.make_mat_node(var, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, e]);
+            e = self.try_make_mat_node(var, [e, Edge::ZERO_MAT, Edge::ZERO_MAT, e])?;
         }
-        e
+        Ok(e)
+    }
+
+    /// Like [`Manager::try_identity`] but panics on budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a budget limit is crossed.
+    pub fn identity(&mut self) -> Edge<MatId> {
+        self.try_identity().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Total nodes currently allocated (live + garbage); used to trigger
@@ -386,7 +580,8 @@ impl<W: WeightContext> Manager<W> {
     }
 
     /// Clears all compute caches (unique tables and nodes are kept;
-    /// lifetime counters are preserved).
+    /// lifetime counters are preserved, with the dropped entries recorded
+    /// in [`CacheStats::cleared`]).
     pub fn clear_caches(&mut self) {
         self.add_vec_cache.clear();
         self.add_mat_cache.clear();
@@ -401,15 +596,31 @@ impl<W: WeightContext> Manager<W> {
     /// amounts of dead nodes and weights; compaction copies the live
     /// structure into fresh arenas and drops everything else (including
     /// all compute caches).
-    pub fn compact(
+    ///
+    /// # Errors
+    ///
+    /// Fails when a budget limit is crossed mid-copy (e.g. the live
+    /// structure alone exceeds `max_nodes`, or the deadline passes). On
+    /// failure the manager is left **unchanged** — the original roots stay
+    /// valid, so callers can still extract partial results.
+    pub fn try_compact(
         &mut self,
         vec_roots: &[Edge<VecId>],
         mat_roots: &[Edge<MatId>],
-    ) -> (Vec<Edge<VecId>>, Vec<Edge<MatId>>) {
+    ) -> Result<CompactedRoots, EngineError> {
+        // Count the live cache entries as cleared *before* their stats are
+        // carried over, so the documented accounting identity holds across
+        // compactions too.
+        self.clear_caches();
         let mut fresh =
             Manager::with_cache_capacity(self.ctx.clone(), self.n_qubits, self.cache_capacity);
-        // lifetime counters survive compaction so they measure whole runs
+        // lifetime counters and the budget survive compaction so they
+        // measure/limit whole runs
         fresh.compactions = self.compactions + 1;
+        fresh.budget = self.budget;
+        fresh.budget_active = self.budget_active;
+        fresh.budget_epoch = self.budget_epoch;
+        fresh.probe_tick = self.probe_tick;
         fresh
             .add_vec_cache
             .absorb_stats(&self.add_vec_cache.stats());
@@ -418,26 +629,38 @@ impl<W: WeightContext> Manager<W> {
             .absorb_stats(&self.add_mat_cache.stats());
         fresh.mv_cache.absorb_stats(&self.mv_cache.stats());
         fresh.mm_cache.absorb_stats(&self.mm_cache.stats());
-        let old = std::mem::replace(self, fresh);
+        // Copy into `fresh` while `self` stays intact; only swap on
+        // success so a mid-copy abort cannot lose the caller's roots.
         let mut vec_map: FxHashMap<VecId, VecId> = FxHashMap::default();
         let mut mat_map: FxHashMap<MatId, MatId> = FxHashMap::default();
-        let new_vecs = vec_roots
-            .iter()
-            .map(|e| {
-                let n = copy_vec(&old, self, e.n, &mut vec_map);
-                let w = self.intern(old.table.get(e.w).clone());
-                Edge { w, n }
-            })
-            .collect();
-        let new_mats = mat_roots
-            .iter()
-            .map(|e| {
-                let n = copy_mat(&old, self, e.n, &mut mat_map);
-                let w = self.intern(old.table.get(e.w).clone());
-                Edge { w, n }
-            })
-            .collect();
-        (new_vecs, new_mats)
+        let mut new_vecs = Vec::with_capacity(vec_roots.len());
+        for e in vec_roots {
+            let n = copy_vec(self, &mut fresh, e.n, &mut vec_map)?;
+            let w = fresh.try_intern(self.table.get(e.w).clone())?;
+            new_vecs.push(Edge { w, n });
+        }
+        let mut new_mats = Vec::with_capacity(mat_roots.len());
+        for e in mat_roots {
+            let n = copy_mat(self, &mut fresh, e.n, &mut mat_map)?;
+            let w = fresh.try_intern(self.table.get(e.w).clone())?;
+            new_mats.push(Edge { w, n });
+        }
+        *self = fresh;
+        Ok((new_vecs, new_mats))
+    }
+
+    /// Like [`Manager::try_compact`] but panics on budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a budget limit is crossed mid-copy.
+    pub fn compact(
+        &mut self,
+        vec_roots: &[Edge<VecId>],
+        mat_roots: &[Edge<MatId>],
+    ) -> CompactedRoots {
+        self.try_compact(vec_roots, mat_roots)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -446,12 +669,12 @@ fn copy_vec<W: WeightContext>(
     new: &mut Manager<W>,
     id: VecId,
     map: &mut FxHashMap<VecId, VecId>,
-) -> VecId {
+) -> Result<VecId, EngineError> {
     if id.is_terminal() {
-        return VecId::TERMINAL;
+        return Ok(VecId::TERMINAL);
     }
     if let Some(&m) = map.get(&id) {
-        return m;
+        return Ok(m);
     }
     let node = old.vec_nodes[id.0 as usize];
     let mut children = [Edge::ZERO_VEC; 2];
@@ -459,20 +682,20 @@ fn copy_vec<W: WeightContext>(
         if c.is_zero() {
             continue;
         }
-        let n = copy_vec(old, new, c.n, map);
-        let w = new.intern(old.table.get(c.w).clone());
+        let n = copy_vec(old, new, c.n, map)?;
+        let w = new.try_intern(old.table.get(c.w).clone())?;
         children[i] = Edge { w, n };
     }
     // Children were already normalized, so re-making the node extracts a
     // factor of exactly 1 and reuses the same structure.
-    let e = new.make_vec_node(node.var, children);
+    let e = new.try_make_vec_node(node.var, children)?;
     debug_assert_eq!(
         e.w,
         WeightId::ONE,
         "copy of a normalized node must not rescale"
     );
     map.insert(id, e.n);
-    e.n
+    Ok(e.n)
 }
 
 fn copy_mat<W: WeightContext>(
@@ -480,12 +703,12 @@ fn copy_mat<W: WeightContext>(
     new: &mut Manager<W>,
     id: MatId,
     map: &mut FxHashMap<MatId, MatId>,
-) -> MatId {
+) -> Result<MatId, EngineError> {
     if id.is_terminal() {
-        return MatId::TERMINAL;
+        return Ok(MatId::TERMINAL);
     }
     if let Some(&m) = map.get(&id) {
-        return m;
+        return Ok(m);
     }
     let node = old.mat_nodes[id.0 as usize];
     let mut children = [Edge::ZERO_MAT; 4];
@@ -493,16 +716,16 @@ fn copy_mat<W: WeightContext>(
         if c.is_zero() {
             continue;
         }
-        let n = copy_mat(old, new, c.n, map);
-        let w = new.intern(old.table.get(c.w).clone());
+        let n = copy_mat(old, new, c.n, map)?;
+        let w = new.try_intern(old.table.get(c.w).clone())?;
         children[i] = Edge { w, n };
     }
-    let e = new.make_mat_node(node.var, children);
+    let e = new.try_make_mat_node(node.var, children)?;
     debug_assert_eq!(
         e.w,
         WeightId::ONE,
         "copy of a normalized node must not rescale"
     );
     map.insert(id, e.n);
-    e.n
+    Ok(e.n)
 }

@@ -8,6 +8,7 @@
 
 use aq_rings::{Complex64, Domega, Tolerance};
 
+use crate::error::EngineError;
 use crate::fxhash::FxHashMap;
 use crate::weight::{WeightContext, WeightId, WeightTable};
 
@@ -148,7 +149,11 @@ impl WeightContext for NumericContext {
                     if self.tol.is_zero(*w) {
                         continue;
                     }
-                    let m = w.norm_sqr();
+                    // Compare *linear* magnitudes against the linear ε so
+                    // the tie window has consistent units (squared
+                    // magnitude vs linear ε would make the "leftmost among
+                    // ties" rule depend on the magnitude scale).
+                    let m = w.norm_sqr().sqrt();
                     // strictly-greater keeps the leftmost among ties
                     if best.map(|(_, bm)| m > bm + self.tol.eps()).unwrap_or(true) {
                         best = Some((i, m));
@@ -224,19 +229,21 @@ fn quantize(x: f64, pitch: f64) -> i128 {
 impl WeightTable for NumericTable {
     type Value = Complex64;
 
-    fn intern(&mut self, v: Complex64) -> WeightId {
+    fn try_intern(&mut self, v: Complex64) -> Result<WeightId, EngineError> {
         // canonicalise signed zeros so hashing is stable
         let v = Complex64::new(v.re + 0.0, v.im + 0.0);
         match &mut self.index {
             NumericIndex::Exact(map) => {
                 let key = (v.re.to_bits(), v.im.to_bits());
                 if let Some(&id) = map.get(&key) {
-                    return id;
+                    return Ok(id);
                 }
-                let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
+                let raw = u32::try_from(self.values.len())
+                    .map_err(|_| EngineError::WeightTableOverflow)?;
+                let id = WeightId(raw);
                 self.values.push(v);
                 map.insert(key, id);
-                id
+                Ok(id)
             }
             NumericIndex::Grid { pitch, map } => {
                 let (cx, cy) = (quantize(v.re, *pitch), quantize(v.im, *pitch));
@@ -245,16 +252,18 @@ impl WeightTable for NumericTable {
                         if let Some(ids) = map.get(&(cx + dx, cy + dy)) {
                             for &id in ids {
                                 if self.tol.eq(self.values[id.index()], v) {
-                                    return id;
+                                    return Ok(id);
                                 }
                             }
                         }
                     }
                 }
-                let id = WeightId(u32::try_from(self.values.len()).expect("weight table overflow"));
+                let raw = u32::try_from(self.values.len())
+                    .map_err(|_| EngineError::WeightTableOverflow)?;
+                let id = WeightId(raw);
                 self.values.push(v);
                 map.entry((cx, cy)).or_default().push(id);
-                id
+                Ok(id)
             }
         }
     }
@@ -341,6 +350,28 @@ mod tests {
             assert!(w.abs() <= 1.0 + 1e-12, "weight {w:?} exceeds 1");
         }
         assert_eq!(ws[1], Complex64::ONE);
+    }
+
+    #[test]
+    fn max_magnitude_tie_break_uses_linear_units() {
+        // Magnitudes 0.8 and 0.95 with ε = 0.2: |0.95| ≤ |0.8| + ε, so in
+        // linear units they tie and the leftmost (0.8) must be the pivot.
+        // The old comparison mixed units — squared magnitudes against the
+        // linear ε (0.9025 > 0.64 + 0.2) — and wrongly declared 0.95 the
+        // strict maximum, so the pivot depended on where in [0, 1] the
+        // weights happened to sit.
+        let ctx = NumericContext::with_eps_and_scheme(0.2, NormScheme::MaxMagnitude);
+        let mut ws = [Complex64::new(0.8, 0.0), Complex64::new(0.95, 0.0)];
+        let eta = ctx.normalize(&mut ws).expect("nonzero");
+        assert_eq!(
+            eta,
+            Complex64::new(0.8, 0.0),
+            "tie within the linear ε window must keep the leftmost pivot"
+        );
+        // a magnitude gap larger than ε is not a tie: the right pivot wins
+        let mut ws = [Complex64::new(0.5, 0.0), Complex64::new(0.9, 0.0)];
+        let eta = ctx.normalize(&mut ws).expect("nonzero");
+        assert_eq!(eta, Complex64::new(0.9, 0.0));
     }
 
     #[test]

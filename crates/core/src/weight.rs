@@ -4,6 +4,8 @@ use std::fmt;
 
 use aq_rings::{Complex64, Domega};
 
+use crate::error::EngineError;
+
 /// Handle to an interned edge weight inside a [`Manager`]'s weight table.
 ///
 /// Weights are deduplicated on interning (exactly for algebraic contexts,
@@ -44,7 +46,21 @@ pub trait WeightTable {
 
     /// Interns `v`, returning the id of an existing equal (or ε-close)
     /// entry if there is one.
-    fn intern(&mut self, v: Self::Value) -> WeightId;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::WeightTableOverflow`] if the table has
+    /// exhausted its 32-bit id space.
+    fn try_intern(&mut self, v: Self::Value) -> Result<WeightId, EngineError>;
+
+    /// Like [`WeightTable::try_intern`] but panics on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has exhausted its 32-bit id space.
+    fn intern(&mut self, v: Self::Value) -> WeightId {
+        self.try_intern(v).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Looks up a weight by id.
     ///

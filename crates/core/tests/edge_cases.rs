@@ -148,6 +148,36 @@ fn weight_table_growth_is_observable() {
 }
 
 #[test]
+fn wide_register_basis_state_does_not_overflow_the_shift() {
+    // 72 qubits: a u64 index only addresses the low 64; the high qubits
+    // read as |0⟩ instead of hitting a shift-overflow panic.
+    let mut m = Manager::new(QomegaContext::new(), 72);
+    let s = m.basis_state(5);
+    assert_eq!(m.vec_nodes(&s), 72);
+    assert!((m.amplitude(&s, 5).re - 1.0).abs() < 1e-15);
+    assert_eq!(m.amplitude(&s, 6).re, 0.0);
+    // the all-ones u64 index is in range on a wide register
+    let top = m.basis_state(u64::MAX);
+    assert!((m.amplitude(&top, u64::MAX).re - 1.0).abs() < 1e-15);
+    assert_eq!(m.amplitude(&top, 0).re, 0.0);
+}
+
+#[test]
+fn wide_register_unit_matrix_maps_col_to_row() {
+    let mut m = Manager::new(QomegaContext::new(), 70);
+    let u = m.unit_matrix(3, 7);
+    let col = m.basis_state(7);
+    let mapped = m.mat_vec(&u, &col);
+    assert!((m.amplitude(&mapped, 3).re - 1.0).abs() < 1e-15);
+    assert_eq!(m.amplitude(&mapped, 7).re, 0.0);
+    // gates still apply on a wide register: X on qubit 69 flips index
+    // bit 0 (qubit q addresses index bit n−1−q)
+    let x = m.gate(&GateMatrix::x(), 69, &[]);
+    let flipped = m.mat_vec(&x, &mapped);
+    assert!((m.amplitude(&flipped, 2).re - 1.0).abs() < 1e-15);
+}
+
+#[test]
 fn compact_with_matrix_roots() {
     let mut m = Manager::new(QomegaContext::new(), 3);
     let a = m.gate(&GateMatrix::h(), 0, &[]);

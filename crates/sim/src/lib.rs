@@ -32,10 +32,16 @@ mod accuracy;
 mod operators;
 mod report;
 mod simulator;
+pub mod sweep;
 mod trace;
 
+use aq_dd::WeightContext;
+
 pub use accuracy::{circuits_equivalent, normalized_distance, PairedRun};
-pub use operators::{circuit_unitary, matching_evolution, op_operator, permutation};
+pub use operators::{
+    circuit_unitary, matching_evolution, op_operator, permutation, try_circuit_unitary,
+    try_matching_evolution, try_op_operator, try_permutation,
+};
 pub use report::{write_csv, Column};
-pub use simulator::{SimOptions, SimResult, Simulator};
+pub use simulator::{SimAbort, SimError, SimOptions, SimResult, Simulator};
 pub use trace::{Trace, TracePoint};

@@ -1,109 +1,169 @@
 //! Translation of circuit operations into decision-diagram operators.
 
 use aq_circuits::{Circuit, Op};
-use aq_dd::{Edge, Manager, MatId, WeightContext};
+use aq_dd::{Edge, EngineError, Manager, MatId, WeightContext};
 use aq_rings::{Domega, Zomega};
 
 /// Builds the operator DD for a single circuit operation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a gate entry is not representable in the weight system
-/// (compile to Clifford+T first).
-pub fn op_operator<W: WeightContext>(m: &mut Manager<W>, op: &Op) -> Edge<MatId> {
+/// Fails if a gate entry is not representable in the weight system
+/// (compile to Clifford+T first) or when a budget limit is crossed.
+pub fn try_op_operator<W: WeightContext>(
+    m: &mut Manager<W>,
+    op: &Op,
+) -> Result<Edge<MatId>, EngineError> {
     match op {
         Op::Gate {
             matrix,
             target,
             controls,
-        } => m.try_gate(matrix, *target, controls).unwrap_or_else(|e| {
-            panic!("{e}");
-        }),
-        Op::MatchingEvolution { pairs } => matching_evolution(m, pairs),
-        Op::Permutation { map } => permutation(m, map),
+        } => m.try_gate(matrix, *target, controls),
+        Op::MatchingEvolution { pairs } => try_matching_evolution(m, pairs),
+        Op::Permutation { map } => try_permutation(m, map),
     }
+}
+
+/// Like [`try_op_operator`] but panics on failure.
+///
+/// # Panics
+///
+/// Panics if a gate entry is not representable in the weight system
+/// (compile to Clifford+T first) or when a budget limit is crossed.
+pub fn op_operator<W: WeightContext>(m: &mut Manager<W>, op: &Op) -> Edge<MatId> {
+    try_op_operator(m, op).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Builds the unitary of a whole circuit by matrix–matrix multiplication
 /// in the given manager — the operator-level design task (synthesis,
 /// equivalence checking) of the paper's introduction.
 ///
+/// # Errors
+///
+/// Fails if an operation is not representable in the weight system or
+/// when a budget limit is crossed.
+///
 /// # Panics
 ///
-/// Panics if the circuit width differs from the manager's, or an
-/// operation is not representable.
-pub fn circuit_unitary<W: WeightContext>(m: &mut Manager<W>, circuit: &Circuit) -> Edge<MatId> {
+/// Panics if the circuit width differs from the manager's.
+pub fn try_circuit_unitary<W: WeightContext>(
+    m: &mut Manager<W>,
+    circuit: &Circuit,
+) -> Result<Edge<MatId>, EngineError> {
     assert_eq!(
         m.n_qubits(),
         circuit.n_qubits(),
         "manager/circuit width mismatch"
     );
-    let mut u = m.identity();
+    let mut u = m.try_identity()?;
     for op in circuit.iter() {
-        let g = op_operator(m, op);
-        u = m.mat_mul(&g, &u);
+        let g = try_op_operator(m, op)?;
+        u = m.try_mat_mul(&g, &u)?;
     }
-    u
+    Ok(u)
+}
+
+/// Like [`try_circuit_unitary`] but panics on failure.
+///
+/// # Panics
+///
+/// Panics if the circuit width differs from the manager's, or an
+/// operation is not representable, or a budget limit is crossed.
+pub fn circuit_unitary<W: WeightContext>(m: &mut Manager<W>, circuit: &Circuit) -> Edge<MatId> {
+    try_circuit_unitary(m, circuit).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// `exp(−i·π/4·A_M) = I + (1/√2 − 1)·D_M − (i/√2)·P_M` where `D_M`
 /// projects onto matched vertices and `P_M` swaps matched pairs. All
 /// three constants are in `D[ω]`, so the operator is exact in every
 /// weight system.
-pub fn matching_evolution<W: WeightContext>(
+///
+/// # Errors
+///
+/// Fails when a budget limit is crossed.
+pub fn try_matching_evolution<W: WeightContext>(
     m: &mut Manager<W>,
     pairs: &[(u64, u64)],
-) -> Edge<MatId> {
+) -> Result<Edge<MatId>, EngineError> {
     let w_diag = {
         let v = m
             .ctx()
             .from_exact(&(&Domega::one_over_sqrt2() - &Domega::one()));
-        m.intern(v)
+        m.try_intern(v)?
     };
     let w_swap = {
         let minus_i_over_sqrt2 = Domega::new(-&Zomega::i(), 1);
         let v = m.ctx().from_exact(&minus_i_over_sqrt2);
-        m.intern(v)
+        m.try_intern(v)?
     };
 
-    let mut acc = m.identity();
+    let mut acc = m.try_identity()?;
     for &(a, b) in pairs {
         // diagonal depletion at a and b
         for v in [a, b] {
-            let unit = m.unit_matrix(v, v);
-            let scaled = m.mat_scale(&unit, w_diag);
-            acc = m.mat_add(&acc, &scaled);
+            let unit = m.try_unit_matrix(v, v)?;
+            let scaled = m.try_mat_scale(&unit, w_diag)?;
+            acc = m.try_mat_add(&acc, &scaled)?;
         }
         // off-diagonal coupling a↔b
         for (r, c) in [(a, b), (b, a)] {
-            let unit = m.unit_matrix(r, c);
-            let scaled = m.mat_scale(&unit, w_swap);
-            acc = m.mat_add(&acc, &scaled);
+            let unit = m.try_unit_matrix(r, c)?;
+            let scaled = m.try_mat_scale(&unit, w_swap)?;
+            acc = m.try_mat_add(&acc, &scaled)?;
         }
     }
-    acc
+    Ok(acc)
+}
+
+/// Like [`try_matching_evolution`] but panics on budget exhaustion.
+///
+/// # Panics
+///
+/// Panics when a budget limit is crossed.
+pub fn matching_evolution<W: WeightContext>(
+    m: &mut Manager<W>,
+    pairs: &[(u64, u64)],
+) -> Edge<MatId> {
+    try_matching_evolution(m, pairs).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The permutation operator `Σ_x |map[x]⟩⟨x|` as the identity plus
 /// corrections on the moved points.
-pub fn permutation<W: WeightContext>(m: &mut Manager<W>, map: &[u64]) -> Edge<MatId> {
+///
+/// # Errors
+///
+/// Fails when a budget limit is crossed.
+pub fn try_permutation<W: WeightContext>(
+    m: &mut Manager<W>,
+    map: &[u64],
+) -> Result<Edge<MatId>, EngineError> {
     let neg_one = {
         let v = m.ctx().from_exact(&-Domega::one());
-        m.intern(v)
+        m.try_intern(v)?
     };
-    let mut acc = m.identity();
+    let mut acc = m.try_identity()?;
     for (x, &y) in map.iter().enumerate() {
         let x = x as u64;
         if x == y {
             continue;
         }
-        let remove = m.unit_matrix(x, x);
-        let remove = m.mat_scale(&remove, neg_one);
-        acc = m.mat_add(&acc, &remove);
-        let add = m.unit_matrix(y, x);
-        acc = m.mat_add(&acc, &add);
+        let remove = m.try_unit_matrix(x, x)?;
+        let remove = m.try_mat_scale(&remove, neg_one)?;
+        acc = m.try_mat_add(&acc, &remove)?;
+        let add = m.try_unit_matrix(y, x)?;
+        acc = m.try_mat_add(&acc, &add)?;
     }
-    acc
+    Ok(acc)
+}
+
+/// Like [`try_permutation`] but panics on budget exhaustion.
+///
+/// # Panics
+///
+/// Panics when a budget limit is crossed.
+pub fn permutation<W: WeightContext>(m: &mut Manager<W>, map: &[u64]) -> Edge<MatId> {
+    try_permutation(m, map).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -1,11 +1,14 @@
 //! The circuit simulator: applies operations to a state DD and traces.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
 use aq_circuits::{Circuit, Op};
 use aq_dd::fxhash::FxHashMap;
-use aq_dd::{Edge, EngineStatistics, Manager, MatId, VecId, WeightContext, WeightId};
+use aq_dd::{
+    Edge, EngineError, EngineStatistics, Manager, MatId, RunBudget, VecId, WeightContext, WeightId,
+};
 use aq_rings::Complex64;
 
 use crate::trace::{Trace, TracePoint};
@@ -22,6 +25,10 @@ pub struct SimOptions {
     /// default). Smaller caches trade recomputation for memory; results
     /// are identical either way because the caches are lossy memoisation.
     pub cache_capacity: Option<usize>,
+    /// Resource budget installed into the manager (unlimited by default).
+    /// With a budget set, prefer the `try_*` entry points: the infallible
+    /// ones panic when a limit is crossed.
+    pub budget: RunBudget,
 }
 
 impl Default for SimOptions {
@@ -30,9 +37,62 @@ impl Default for SimOptions {
             record_trace: true,
             compact_threshold: 4_000_000,
             cache_capacity: None,
+            budget: RunBudget::unlimited(),
         }
     }
 }
+
+/// A structured simulation error: which operation failed, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Index of the circuit operation being applied when the engine
+    /// failed (0-based).
+    pub op_index: usize,
+    /// The underlying engine error.
+    pub source: EngineError,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {}: {}", self.op_index, self.source)
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A budget-aborted run: the reason plus everything that *did* happen.
+///
+/// Returned by [`Simulator::try_run`] so harnesses can report the partial
+/// series (the paper's ε = 0 sweeps routinely exhaust memory budgets —
+/// fail-soft beats fail-crash there).
+#[derive(Debug)]
+pub struct SimAbort {
+    /// What stopped the run.
+    pub error: SimError,
+    /// The partial time series up to the abort (with
+    /// [`Trace::aborted`] set to the rendered error).
+    pub trace: Trace,
+    /// Engine counters at the abort point.
+    pub statistics: EngineStatistics,
+    /// Operations successfully applied before the abort.
+    pub gates_applied: usize,
+}
+
+impl fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aborted after {} gate(s): {}",
+            self.gates_applied, self.error
+        )
+    }
+}
+
+impl std::error::Error for SimAbort {}
 
 /// Result of a completed run.
 #[derive(Debug)]
@@ -70,6 +130,11 @@ pub struct Simulator<'c, W: WeightContext> {
     options: SimOptions,
 }
 
+/// Key of the per-simulator operator cache. The `Arc`-backed op kinds are
+/// keyed by pointer identity *and* variant tag: a `MatchingEvolution` and
+/// a `Permutation` can share an allocation address (or one can be freed
+/// and the other allocated at the same address), so the raw pointer alone
+/// would conflate two different operators.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum GateKey {
     Gate {
@@ -77,7 +142,8 @@ enum GateKey {
         target: u32,
         controls: Vec<(u32, bool)>,
     },
-    Matching(usize), // Arc pointer identity
+    Matching(usize),    // Arc pointer identity of a MatchingEvolution
+    Permutation(usize), // Arc pointer identity of a Permutation
 }
 
 impl<'c, W: WeightContext> Simulator<'c, W> {
@@ -87,12 +153,18 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
     }
 
     /// Creates a simulator with explicit options.
+    ///
+    /// The budget is installed *after* the initial `|0…0⟩` state is built,
+    /// so its wall-clock epoch starts at the first operation and even a
+    /// zero deadline yields a structured abort rather than a panicking
+    /// constructor.
     pub fn with_options(ctx: W, circuit: &'c Circuit, options: SimOptions) -> Self {
         let mut manager = match options.cache_capacity {
             Some(c) => Manager::with_cache_capacity(ctx, circuit.n_qubits(), c),
             None => Manager::new(ctx, circuit.n_qubits()),
         };
         let state = manager.basis_state(0);
+        manager.set_budget(options.budget);
         Simulator {
             manager,
             circuit,
@@ -106,13 +178,30 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
 
     /// Restarts from the basis state `|index⟩`.
     ///
+    /// # Errors
+    ///
+    /// Fails when a budget limit is crossed while building the state
+    /// (e.g. an already-expired deadline); the previous state stays
+    /// current and the cursor does not move.
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn reset_to(&mut self, index: u64) {
-        self.state = self.manager.basis_state(index);
+    pub fn try_reset_to(&mut self, index: u64) -> Result<(), EngineError> {
+        self.state = self.manager.try_basis_state(index)?;
         self.cursor = 0;
         self.elapsed = 0.0;
+        Ok(())
+    }
+
+    /// Restarts from the basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range, or when a budget limit is
+    /// crossed while building the state.
+    pub fn reset_to(&mut self, index: u64) {
+        self.try_reset_to(index).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// The underlying manager (for extraction helpers).
@@ -150,31 +239,62 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
         self.manager.statistics()
     }
 
-    /// Applies the next operation. Returns `false` when the circuit is
-    /// exhausted.
+    /// Applies the next operation. Returns `Ok(false)` when the circuit
+    /// is exhausted.
     ///
-    /// # Panics
+    /// On an error the cursor does not advance and the pre-operation
+    /// state stays valid — extraction helpers still work, which is how
+    /// [`Simulator::try_run`] assembles its partial result.
     ///
-    /// Panics if an operation is not representable in the weight system
-    /// (compile to Clifford+T first).
-    pub fn step(&mut self) -> bool {
+    /// # Errors
+    ///
+    /// Fails if the operation is not representable in the weight system
+    /// or a budget limit is crossed.
+    pub fn try_step(&mut self) -> Result<bool, SimError> {
         let Some(op) = self.circuit.ops().get(self.cursor) else {
-            return false;
+            return Ok(false);
         };
         let start = Instant::now();
-        let gate = self.operator_for(op);
-        self.state = self.manager.mat_vec(&gate, &self.state);
+        let result = (|| {
+            let gate = self.try_operator_for(op)?;
+            self.manager.try_mat_vec(&gate, &self.state)
+        })();
+        let state = match result {
+            Ok(s) => s,
+            Err(source) => {
+                self.elapsed += start.elapsed().as_secs_f64();
+                return Err(SimError {
+                    op_index: self.cursor,
+                    source,
+                });
+            }
+        };
+        self.state = state;
         self.elapsed += start.elapsed().as_secs_f64();
         self.cursor += 1;
 
         if self.manager.allocated_nodes() > self.options.compact_threshold {
             let t = Instant::now();
-            let (vs, _) = self.manager.compact(&[self.state], &[]);
-            self.state = vs[0];
-            self.gate_cache.clear();
+            // A failed compaction leaves the manager unchanged, so it is
+            // not fatal: keep simulating uncompacted and let the budget
+            // fire on the operation that actually exceeds it.
+            if let Ok((vs, _)) = self.manager.try_compact(&[self.state], &[]) {
+                self.state = vs[0];
+                self.gate_cache.clear();
+            }
             self.elapsed += t.elapsed().as_secs_f64();
         }
-        true
+        Ok(true)
+    }
+
+    /// Like [`Simulator::try_step`] but panics on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is not representable in the weight system
+    /// (compile to Clifford+T first) or a budget limit is crossed.
+    pub fn step(&mut self) -> bool {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Current state DD size.
@@ -193,22 +313,54 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
         }
     }
 
-    /// Runs the remaining circuit to completion.
-    pub fn run(&mut self) -> SimResult {
+    /// Runs the remaining circuit to completion, fail-soft.
+    ///
+    /// # Errors
+    ///
+    /// On a budget abort (or an unrepresentable operation) returns a
+    /// [`SimAbort`] carrying the structured error **and** the partial
+    /// trace and engine statistics up to the failing operation.
+    pub fn try_run(&mut self) -> Result<SimResult, Box<SimAbort>> {
         let mut trace = Trace::default();
-        while self.step() {
-            if self.options.record_trace {
-                trace.points.push(self.sample(None));
+        loop {
+            match self.try_step() {
+                Ok(true) => {
+                    if self.options.record_trace {
+                        trace.points.push(self.sample(None));
+                    }
+                }
+                Ok(false) => break,
+                Err(error) => {
+                    let statistics = self.manager.statistics();
+                    trace.engine = Some(statistics);
+                    trace.aborted = Some(error.to_string());
+                    return Err(Box::new(SimAbort {
+                        error,
+                        trace,
+                        statistics,
+                        gates_applied: self.cursor,
+                    }));
+                }
             }
         }
         let final_nodes = self.nodes();
         trace.engine = Some(self.manager.statistics());
-        SimResult {
+        Ok(SimResult {
             amplitudes: self.manager.amplitudes(&self.state.clone()),
             final_nodes,
             trace,
             statistics: self.manager.statistics(),
-        }
+        })
+    }
+
+    /// Like [`Simulator::try_run`] but panics on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is not representable in the weight system
+    /// or a budget limit is crossed.
+    pub fn run(&mut self) -> SimResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the unitary of the **entire remaining circuit** as a single
@@ -216,36 +368,54 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
     /// of DD-based design automation (synthesis and equivalence checking
     /// build whole-circuit matrices rather than evolving a state).
     ///
-    /// Consumes the remaining operations (the cursor advances to the end).
+    /// Consumes the successfully applied operations (on an error the
+    /// cursor stays at the failing operation).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an operation is not representable in the weight system.
-    pub fn build_unitary(&mut self) -> Edge<MatId> {
-        let mut u = self.manager.identity();
+    /// Fails if an operation is not representable in the weight system or
+    /// a budget limit is crossed.
+    pub fn try_build_unitary(&mut self) -> Result<Edge<MatId>, SimError> {
+        let mut u = self.manager.try_identity().map_err(|source| SimError {
+            op_index: self.cursor,
+            source,
+        })?;
         while let Some(op) = self.circuit.ops().get(self.cursor) {
             let start = Instant::now();
-            let gate = self.operator_for(&op.clone());
-            u = self.manager.mat_mul(&gate, &u);
+            let result = (|| {
+                let gate = self.try_operator_for(&op.clone())?;
+                self.manager.try_mat_mul(&gate, &u)
+            })();
             self.elapsed += start.elapsed().as_secs_f64();
+            u = result.map_err(|source| SimError {
+                op_index: self.cursor,
+                source,
+            })?;
             self.cursor += 1;
             if self.manager.allocated_nodes() > self.options.compact_threshold {
                 let t = Instant::now();
-                let (_, ms) = self.manager.compact(&[], &[u]);
-                u = ms[0];
-                self.gate_cache.clear();
+                if let Ok((_, ms)) = self.manager.try_compact(&[], &[u]) {
+                    u = ms[0];
+                    self.gate_cache.clear();
+                }
                 self.elapsed += t.elapsed().as_secs_f64();
             }
         }
-        u
+        Ok(u)
     }
 
-    /// Builds (or fetches) the operator DD for one circuit operation.
+    /// Like [`Simulator::try_build_unitary`] but panics on failure.
     ///
     /// # Panics
     ///
-    /// Panics if a gate entry is not representable in the weight system.
-    fn operator_for(&mut self, op: &Op) -> Edge<MatId> {
+    /// Panics if an operation is not representable in the weight system
+    /// or a budget limit is crossed.
+    pub fn build_unitary(&mut self) -> Edge<MatId> {
+        self.try_build_unitary().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds (or fetches) the operator DD for one circuit operation.
+    fn try_operator_for(&mut self, op: &Op) -> Result<Edge<MatId>, EngineError> {
         let key = match op {
             Op::Gate {
                 matrix,
@@ -257,15 +427,14 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
                     let v = match e {
                         aq_dd::GateEntry::Exact(d) => self.manager.ctx().from_exact(d),
                         aq_dd::GateEntry::Approx(c) => {
-                            self.manager.ctx().from_approx(*c).unwrap_or_else(|| {
-                                panic!(
-                                    "gate `{}` not representable; Clifford+T-compile first",
-                                    matrix.name()
-                                )
-                            })
+                            self.manager.ctx().from_approx(*c).ok_or_else(|| {
+                                EngineError::UnrepresentableGate {
+                                    gate: matrix.name().to_string(),
+                                }
+                            })?
                         }
                     };
-                    entries[i] = self.manager.intern(v);
+                    entries[i] = self.manager.try_intern(v)?;
                 }
                 GateKey::Gate {
                     entries,
@@ -274,13 +443,13 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
                 }
             }
             Op::MatchingEvolution { pairs } => GateKey::Matching(Arc::as_ptr(pairs) as usize),
-            Op::Permutation { map } => GateKey::Matching(Arc::as_ptr(map) as *const () as usize),
+            Op::Permutation { map } => GateKey::Permutation(Arc::as_ptr(map) as *const () as usize),
         };
         if let Some(&hit) = self.gate_cache.get(&key) {
-            return hit;
+            return Ok(hit);
         }
-        let built = crate::operators::op_operator(&mut self.manager, op);
+        let built = crate::operators::try_op_operator(&mut self.manager, op)?;
         self.gate_cache.insert(key, built);
-        built
+        Ok(built)
     }
 }

@@ -1,0 +1,202 @@
+//! Fail-soft sweep harness: one exact reference run shared across a whole
+//! ε sweep, with budget aborts downgraded to partial traces.
+//!
+//! The paper's figures sweep a tolerance ε over the same circuit and
+//! compare every numeric run against one exact algebraic reference. The
+//! ε = 0 (and exact) entries are exactly the ones that blow up in nodes
+//! and coefficient bits — so the harness runs everything through
+//! [`Simulator::try_run`]-style stepping and records an abort as a
+//! [`Trace`] with [`Trace::aborted`] set instead of crashing the sweep:
+//! the remaining series still complete and the CSV/summary report an
+//! explicit `aborted` row.
+
+use std::collections::HashMap;
+
+use aq_circuits::Circuit;
+use aq_dd::QomegaContext;
+use aq_rings::Complex64;
+
+use crate::accuracy::normalized_distance;
+use crate::simulator::{SimOptions, Simulator};
+use crate::trace::Trace;
+use crate::WeightContext;
+
+/// A completed (possibly aborted) exact reference simulation with its
+/// per-sample amplitude vectors, shared across a whole ε sweep (running
+/// the expensive algebraic simulation once instead of once per ε).
+#[derive(Debug)]
+pub struct ReferenceRun {
+    /// The algebraic trace (sizes, runtime; [`Trace::aborted`] set if the
+    /// reference itself hit a budget limit).
+    pub trace: Trace,
+    /// Exact amplitude vectors keyed by gates-applied count. Partial if
+    /// the reference aborted — numeric runs then simply have no error
+    /// samples past the abort point.
+    pub samples: HashMap<usize, Vec<Complex64>>,
+    sample_every: usize,
+    start: u64,
+}
+
+impl ReferenceRun {
+    /// The sampling interval the reference was taken with.
+    pub fn sample_every(&self) -> usize {
+        self.sample_every
+    }
+
+    /// The basis state the run started from.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+}
+
+/// Runs the exact algebraic simulation once, keeping the amplitude
+/// vectors at every sampling point (and at the end). Fail-soft: a budget
+/// abort yields a partial reference (see [`ReferenceRun::samples`]).
+///
+/// # Panics
+///
+/// Panics if `sample_every` is zero or `start` is out of range.
+pub fn reference_run(
+    circuit: &Circuit,
+    sample_every: usize,
+    start: u64,
+    options: &SimOptions,
+) -> ReferenceRun {
+    assert!(sample_every > 0, "sampling interval must be positive");
+    let mut sim = Simulator::with_options(QomegaContext::new(), circuit, options.clone());
+    let mut trace = Trace::default();
+    let mut samples = HashMap::new();
+    if let Err(e) = sim.try_reset_to(start) {
+        // e.g. an already-expired deadline: abort before the first gate
+        trace.aborted = Some(e.to_string());
+        trace.engine = Some(sim.statistics());
+        return ReferenceRun {
+            trace,
+            samples,
+            sample_every,
+            start,
+        };
+    }
+    loop {
+        match sim.try_step() {
+            Ok(true) => {
+                trace.points.push(sim.sample(None));
+                let g = sim.gates_applied();
+                if g.is_multiple_of(sample_every) || sim.is_done() {
+                    let s = sim.state();
+                    samples.insert(g, sim.manager_mut().amplitudes(&s));
+                }
+            }
+            Ok(false) => break,
+            Err(e) => {
+                trace.aborted = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    trace.engine = Some(sim.statistics());
+    ReferenceRun {
+        trace,
+        samples,
+        sample_every,
+        start,
+    }
+}
+
+/// Runs one numeric simulation, measuring the error against a shared
+/// [`ReferenceRun`] at its sampling points. Fail-soft: on a budget abort
+/// the returned [`Trace`] covers the prefix that ran and carries the
+/// abort reason in [`Trace::aborted`].
+pub fn numeric_vs_reference<W: WeightContext>(
+    ctx: W,
+    circuit: &Circuit,
+    reference: &ReferenceRun,
+    options: &SimOptions,
+) -> Trace {
+    let mut sim = Simulator::with_options(ctx, circuit, options.clone());
+    let mut trace = Trace::default();
+    if let Err(e) = sim.try_reset_to(reference.start) {
+        trace.aborted = Some(e.to_string());
+        trace.engine = Some(sim.statistics());
+        return trace;
+    }
+    loop {
+        match sim.try_step() {
+            Ok(true) => {
+                let g = sim.gates_applied();
+                let error = if g.is_multiple_of(reference.sample_every) || sim.is_done() {
+                    reference.samples.get(&g).map(|v_alg| {
+                        let s = sim.state();
+                        let v_num = sim.manager_mut().amplitudes(&s);
+                        normalized_distance(&v_num, v_alg)
+                    })
+                } else {
+                    None
+                };
+                trace.points.push(sim.sample(error));
+            }
+            Ok(false) => break,
+            Err(e) => {
+                trace.aborted = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    trace.engine = Some(sim.statistics());
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_dd::{NumericContext, RunBudget};
+
+    #[test]
+    fn reference_and_numeric_complete_without_budget() {
+        let c = aq_circuits::grover(3, 2);
+        let opts = SimOptions::default();
+        let r = reference_run(&c, 4, 0, &opts);
+        assert!(r.trace.aborted.is_none());
+        assert_eq!(r.trace.points.len(), c.len());
+        let t = numeric_vs_reference(NumericContext::with_eps(1e-12), &c, &r, &opts);
+        assert!(t.aborted.is_none());
+        assert_eq!(t.points.len(), c.len());
+        assert!(t.final_error().is_some());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_the_first_gate() {
+        // regression: the initial `reset_to` runs with the budget already
+        // installed — an expired deadline must yield an aborted trace,
+        // not a panic out of the basis-state constructor
+        let c = aq_circuits::grover(3, 2);
+        let opts = SimOptions {
+            budget: RunBudget::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..SimOptions::default()
+        };
+        let r = reference_run(&c, 4, 0, &opts);
+        let reason = r.trace.aborted.as_deref().expect("expired deadline");
+        assert!(reason.contains("deadline exceeded"), "reason: {reason}");
+        assert!(r.trace.points.is_empty());
+        let t = numeric_vs_reference(NumericContext::with_eps(1e-12), &c, &r, &opts);
+        assert!(t.aborted.is_some());
+    }
+
+    #[test]
+    fn budget_abort_yields_partial_trace_not_panic() {
+        let c = aq_circuits::grover(4, 3);
+        let reference = reference_run(&c, 4, 0, &SimOptions::default());
+        let tight = SimOptions {
+            budget: RunBudget::unlimited().with_max_nodes(8),
+            ..SimOptions::default()
+        };
+        let t = numeric_vs_reference(NumericContext::with_eps(0.0), &c, &reference, &tight);
+        let reason = t.aborted.as_deref().expect("tight budget must abort");
+        assert!(reason.contains("node budget"), "reason: {reason}");
+        assert!(
+            t.points.len() < c.len(),
+            "aborted trace must be a strict prefix"
+        );
+        assert!(t.engine.is_some(), "statistics still recorded");
+    }
+}

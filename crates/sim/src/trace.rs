@@ -26,6 +26,11 @@ pub struct Trace {
     /// Engine counters at the end of the run, when the harness recorded
     /// them (cache hit rates, unique-table load, compactions).
     pub engine: Option<EngineStatistics>,
+    /// Why the run stopped early, if it did: the rendered
+    /// [`EngineError`](aq_dd::EngineError) of a budget abort. `None` for
+    /// runs that completed. The recorded points cover the prefix that did
+    /// run — a partial trace, not a discarded one.
+    pub aborted: Option<String>,
 }
 
 impl Trace {
@@ -84,7 +89,7 @@ mod tests {
                 pt(2, 9, 0.2, Some(1e-3)),
                 pt(3, 7, 0.3, Some(2e-4)),
             ],
-            engine: None,
+            ..Trace::default()
         };
         assert_eq!(t.peak_nodes(), 9);
         assert_eq!(t.total_seconds(), 0.3);

@@ -183,6 +183,7 @@ fn tiny_lossy_caches_are_bit_identical_to_default_caches() {
             record_trace: false,
             compact_threshold: 64,   // compacts after almost every gate
             cache_capacity: Some(4), // four slots per compute cache
+            ..SimOptions::default()
         },
     );
     let mut default = Simulator::new(QomegaContext::new(), &circuit);

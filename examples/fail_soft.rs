@@ -1,0 +1,76 @@
+//! Fail-soft simulation under resource budgets: cap nodes, distinct
+//! weights, coefficient bits and wall-clock time, and get a structured
+//! abort with everything the run *did* produce — instead of an OOM kill
+//! or a panic — when the exact run blows up (the paper's Fig. 5 regime).
+//!
+//! ```text
+//! cargo run --release --example fail_soft [max_nodes]
+//! ```
+
+use aqudd::circuits::grover;
+use aqudd::dd::{QomegaContext, RunBudget};
+use aqudd::sim::{SimOptions, Simulator};
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let circuit = grover(8, 113);
+    println!(
+        "Grover on 8 qubits ({} gates), node budget {max_nodes}\n",
+        circuit.len()
+    );
+
+    let budget = RunBudget::unlimited()
+        .with_max_nodes(max_nodes)
+        .with_deadline(std::time::Duration::from_secs(30));
+    let mut sim = Simulator::with_options(
+        QomegaContext::new(),
+        &circuit,
+        SimOptions {
+            budget,
+            ..SimOptions::default()
+        },
+    );
+
+    match sim.try_run() {
+        Ok(result) => {
+            let best = result
+                .probabilities()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i);
+            println!(
+                "completed: most likely outcome {:?}, peak {} nodes",
+                best,
+                result.trace.peak_nodes()
+            );
+        }
+        Err(abort) => {
+            // the abort carries the partial trace and the engine counters
+            println!("aborted: {}", abort.error);
+            println!(
+                "  gates applied : {}/{}",
+                abort.gates_applied,
+                circuit.len()
+            );
+            println!("  trace points  : {}", abort.trace.points.len());
+            println!("  peak nodes    : {}", abort.trace.peak_nodes());
+            println!(
+                "  nodes alloc'd : {}",
+                abort.statistics.vec_nodes + abort.statistics.mat_nodes
+            );
+            println!(
+                "  cache hit rate: {:.1}%",
+                100.0 * abort.statistics.cache_hit_rate()
+            );
+            println!("\nretry with a larger budget, e.g.:");
+            println!(
+                "  cargo run --release --example fail_soft {}",
+                max_nodes * 8
+            );
+        }
+    }
+}

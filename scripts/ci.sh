@@ -20,6 +20,11 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
 
+echo "== fail-soft: budget-abort suites =="
+cargo test -q --offline -p aq-dd --test budget
+cargo test -q --offline -p aq-sim --test fail_soft
+cargo test -q --offline --test workspace gse_algebraic_run_fails_soft
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== engine bench (BENCH_engine.json) =="
     cargo run --release --offline -p aq-bench --bin engine_bench -- BENCH_engine.json

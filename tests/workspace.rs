@@ -137,6 +137,40 @@ fn paired_run_reports_the_tradeoff() {
 }
 
 #[test]
+fn gse_algebraic_run_fails_soft_under_a_small_budget() {
+    // The ISSUE's acceptance scenario: the exact GSE run is exactly the
+    // workload whose nodes and coefficient bits blow up (Fig. 5), so a
+    // small budget must produce a structured abort — carrying the partial
+    // trace and the engine statistics — never a panic.
+    use aqudd::dd::RunBudget;
+    use aqudd::sim::SimOptions;
+
+    let raw = gse(&GseParams {
+        precision_bits: 2,
+        ..GseParams::default()
+    });
+    let (compiled, _) = CliffordTCompiler::new(5).compile(&raw);
+    let mut sim = Simulator::with_options(
+        QomegaContext::new(),
+        &compiled,
+        SimOptions {
+            budget: RunBudget::unlimited()
+                .with_max_nodes(24)
+                .with_max_weight_bits(16),
+            ..SimOptions::default()
+        },
+    );
+    let abort = *sim.try_run().expect_err("tiny budget must abort GSE");
+    assert!(abort.error.source.is_budget(), "got: {}", abort.error);
+    assert!(abort.gates_applied < compiled.len());
+    // partial trace: one point per applied gate, with the abort reason
+    assert_eq!(abort.trace.points.len(), abort.gates_applied);
+    assert!(abort.trace.aborted.is_some());
+    // engine statistics at the abort point are the real counters
+    assert!(abort.statistics.vec_nodes + abort.statistics.mat_nodes > 0);
+}
+
+#[test]
 fn exact_contexts_never_drift_over_long_runs() {
     // T applied 8k times is the identity — with exact arithmetic the DD
     // returns to the literal starting edge, regardless of run length.
