@@ -9,11 +9,17 @@
 //! `--deadline-secs=S`) cap each workload; a capped run is reported with its
 //! partial measurements and an `"aborted"` reason instead of crashing the
 //! whole benchmark.
+//!
+//! With `--checkpoint=PATH` a budget-aborted workload dumps its simulator
+//! to PATH (a later abort overwrites an earlier one); re-running with
+//! `--resume=PATH` (and a roomier budget) continues the workload the file
+//! belongs to from the stored cursor while the others run normally.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
-use aq_bench::budget_from_args;
+use aq_bench::{budget_from_args, checkpoint_from_args};
 use aq_circuits::{bwt, grover, BwtParams, Circuit};
 use aq_dd::{
     EngineStatistics, GcdContext, NumericContext, QomegaContext, RunBudget, WeightContext,
@@ -36,23 +42,44 @@ fn run<W: WeightContext>(
     circuit: &Circuit,
     start: u64,
     budget: RunBudget,
+    checkpoint: Option<&Path>,
+    resume: Option<&Path>,
 ) -> Sample {
-    let mut sim = Simulator::with_options(
-        ctx,
-        circuit,
-        SimOptions {
-            record_trace: false,
-            budget,
-            ..SimOptions::default()
-        },
-    );
+    let options = SimOptions {
+        record_trace: false,
+        budget,
+        ..SimOptions::default()
+    };
+    // only the workload the checkpoint was taken from resumes; the rest
+    // rerun from scratch
+    let resumed = resume.and_then(|path| {
+        let info = aq_sim::peek_checkpoint(path).ok()?;
+        if info.label != name {
+            return None;
+        }
+        Simulator::resume(ctx.clone(), circuit, path, options.clone()).ok()
+    });
+    let (mut sim, mut aborted) = match resumed {
+        Some((sim, _)) => (sim, None),
+        None => {
+            let mut sim = Simulator::with_options(ctx, circuit, options);
+            let aborted = sim.try_reset_to(start).err().map(|e| e.to_string());
+            (sim, aborted)
+        }
+    };
     let t = Instant::now();
-    let mut aborted = sim.try_reset_to(start).err().map(|e| e.to_string());
     while aborted.is_none() {
         match sim.try_step() {
             Ok(true) => {}
             Ok(false) => break,
-            Err(e) => aborted = Some(e.to_string()),
+            Err(e) => {
+                if let Some(path) = checkpoint {
+                    if let Err(ckpt_err) = sim.checkpoint(path, name) {
+                        eprintln!("warning: could not write checkpoint: {ckpt_err}");
+                    }
+                }
+                aborted = Some(e.to_string());
+            }
         }
     }
     let seconds = t.elapsed().as_secs_f64();
@@ -126,6 +153,8 @@ fn sample_json(s: &Sample) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
+    let (checkpoint, resume) = checkpoint_from_args(&args);
+    let (ckpt, res) = (checkpoint.as_deref(), resume.as_deref());
     let out = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -147,6 +176,8 @@ fn main() {
             &grover_c,
             0,
             budget,
+            ckpt,
+            res,
         ),
         run(
             "grover10/algebraic_qomega",
@@ -154,6 +185,8 @@ fn main() {
             &grover_c,
             0,
             budget,
+            ckpt,
+            res,
         ),
         run(
             "grover10/algebraic_gcd",
@@ -161,6 +194,8 @@ fn main() {
             &grover_c,
             0,
             budget,
+            ckpt,
+            res,
         ),
         run(
             "bwt_h3/numeric_eps1e-10",
@@ -168,6 +203,8 @@ fn main() {
             &bwt_c,
             entrance,
             budget,
+            ckpt,
+            res,
         ),
         run(
             "bwt_h3/algebraic_qomega",
@@ -175,6 +212,8 @@ fn main() {
             &bwt_c,
             entrance,
             budget,
+            ckpt,
+            res,
         ),
     ];
 

@@ -10,23 +10,44 @@
 //! capped series is reported as an explicit `aborted` row with its partial
 //! prefix kept, and the remaining ε points still run to completion.
 //!
+//! With `--checkpoint=PATH` a budget abort additionally dumps the aborted
+//! stage's simulator to PATH; re-running the same figure with
+//! `--resume=PATH` (and a roomier budget) continues that stage from the
+//! stored cursor instead of replaying it, while all other stages run
+//! normally.
+//!
 //! Output lands in `target/figures/*.csv`; a textual summary (the rows the
 //! paper reports) is printed to stdout. See `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison.
 
+use std::path::Path;
+
 use aq_bench::{
-    budget_from_args, eps_label, print_summary, reference_run_budgeted,
-    traced_numeric_vs_reference_budgeted, write_figure, Scale, FIG2_EPSILONS, PAPER_EPSILONS,
+    budget_from_args, checkpoint_from_args, eps_label, print_summary, reference_run_budgeted,
+    traced_numeric_vs_reference_resumable, write_figure, Scale, FIG2_EPSILONS, PAPER_EPSILONS,
 };
 use aq_circuits::cliffordt::CliffordTCompiler;
 use aq_circuits::{bwt, grover, gse, BwtParams, Circuit, GseParams};
 use aq_dd::{GcdContext, QomegaContext, RunBudget};
 use aq_sim::{Column, SimOptions, Simulator, Trace};
 
+/// Crash-safety wiring shared by every sweep: where to dump a checkpoint
+/// on abort, and which (if any) checkpoint to continue from.
+#[derive(Clone, Copy, Default)]
+struct Persist<'a> {
+    checkpoint: Option<&'a Path>,
+    resume: Option<&'a Path>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let budget = budget_from_args(&args);
+    let (checkpoint, resume) = checkpoint_from_args(&args);
+    let persist = Persist {
+        checkpoint: checkpoint.as_deref(),
+        resume: resume.as_deref(),
+    };
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -34,23 +55,24 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "fig2" => fig2_and_fig5(scale, budget, true, false),
-        "fig3" => fig3(scale, budget),
-        "fig4" => fig4(scale, budget),
-        "fig5" => fig2_and_fig5(scale, budget, false, true),
+        "fig2" => fig2_and_fig5(scale, budget, persist, true, false),
+        "fig3" => fig3(scale, budget, persist),
+        "fig4" => fig4(scale, budget, persist),
+        "fig5" => fig2_and_fig5(scale, budget, persist, false, true),
         "ablation" => ablation(scale),
         "extras" => extras(scale),
         "all" => {
-            fig2_and_fig5(scale, budget, true, true);
-            fig3(scale, budget);
-            fig4(scale, budget);
+            fig2_and_fig5(scale, budget, persist, true, true);
+            fig3(scale, budget, persist);
+            fig4(scale, budget, persist);
             ablation(scale);
             extras(scale);
         }
         other => {
             eprintln!(
                 "unknown figure `{other}`; use fig2|fig3|fig4|fig5|ablation|extras|all \
-                 [--paper] [--max-nodes=N] [--max-weights=N] [--max-bits=N] [--deadline-secs=S]"
+                 [--paper] [--max-nodes=N] [--max-weights=N] [--max-bits=N] [--deadline-secs=S] \
+                 [--checkpoint=PATH] [--resume=PATH]"
             );
             std::process::exit(2);
         }
@@ -94,7 +116,7 @@ fn gse_circuit(scale: Scale) -> Circuit {
 }
 
 /// Fig. 3: Grover — size / accuracy / runtime over applied gates.
-fn fig3(scale: Scale, budget: RunBudget) {
+fn fig3(scale: Scale, budget: RunBudget, persist: Persist<'_>) {
     let (n, marked) = match scale {
         Scale::Quick => (11, 0b10110101101),
         Scale::Paper => (15, 0b101101011010110),
@@ -107,7 +129,15 @@ fn fig3(scale: Scale, budget: RunBudget) {
     for eps in PAPER_EPSILONS {
         labelled.push((
             eps_label(eps),
-            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
+            traced_numeric_vs_reference_resumable(
+                &circuit,
+                eps,
+                &reference,
+                budget,
+                &format!("fig3/{}", eps_label(eps)),
+                persist.checkpoint,
+                persist.resume,
+            ),
         ));
     }
     labelled.push(("algebraic".into(), reference.trace));
@@ -116,7 +146,7 @@ fn fig3(scale: Scale, budget: RunBudget) {
 }
 
 /// Fig. 4: Binary Welded Tree — size / accuracy / runtime.
-fn fig4(scale: Scale, budget: RunBudget) {
+fn fig4(scale: Scale, budget: RunBudget, persist: Persist<'_>) {
     let params = match scale {
         Scale::Quick => BwtParams {
             height: 4,
@@ -143,7 +173,15 @@ fn fig4(scale: Scale, budget: RunBudget) {
     for eps in PAPER_EPSILONS {
         labelled.push((
             eps_label(eps),
-            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
+            traced_numeric_vs_reference_resumable(
+                &circuit,
+                eps,
+                &reference,
+                budget,
+                &format!("fig4/{}", eps_label(eps)),
+                persist.checkpoint,
+                persist.resume,
+            ),
         ));
     }
     labelled.push(("algebraic".into(), reference.trace));
@@ -153,7 +191,13 @@ fn fig4(scale: Scale, budget: RunBudget) {
 
 /// Figs. 2 and 5 share the same GSE workload: one algebraic reference
 /// run feeds both ε sweeps.
-fn fig2_and_fig5(scale: Scale, budget: RunBudget, emit_fig2: bool, emit_fig5: bool) {
+fn fig2_and_fig5(
+    scale: Scale,
+    budget: RunBudget,
+    persist: Persist<'_>,
+    emit_fig2: bool,
+    emit_fig5: bool,
+) {
     let circuit = gse_circuit(scale);
     let sample = (circuit.len() / 50).max(1);
     let reference = reference_run_budgeted(&circuit, sample, 0, budget);
@@ -168,7 +212,15 @@ fn fig2_and_fig5(scale: Scale, budget: RunBudget, emit_fig2: bool, emit_fig5: bo
     for eps in eps_list {
         traces.push((
             eps,
-            traced_numeric_vs_reference_budgeted(&circuit, eps, &reference, budget),
+            traced_numeric_vs_reference_resumable(
+                &circuit,
+                eps,
+                &reference,
+                budget,
+                &format!("gse/{}", eps_label(eps)),
+                persist.checkpoint,
+                persist.resume,
+            ),
         ));
     }
     let pick = |list: &[f64]| -> Vec<(String, Trace)> {

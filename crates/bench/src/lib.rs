@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 use aq_circuits::Circuit;
 use aq_dd::{GcdContext, NormScheme, NumericContext, QomegaContext, RunBudget, WeightContext};
 use aq_sim::{Column, PairedRun, SimOptions, Simulator, Trace};
@@ -68,6 +70,23 @@ pub fn budget_from_args(args: &[String]) -> RunBudget {
         }
     }
     budget
+}
+
+/// Parses crash-safety flags from argv: `--checkpoint=PATH` (dump a
+/// checkpoint there when a budget abort hits) and `--resume=PATH`
+/// (continue a matching stage from a previously dumped checkpoint).
+/// Returns `(checkpoint, resume)`.
+pub fn checkpoint_from_args(args: &[String]) -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut checkpoint = None;
+    let mut resume = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--checkpoint=") {
+            checkpoint = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--resume=") {
+            resume = Some(PathBuf::from(v));
+        }
+    }
+    (checkpoint, resume)
 }
 
 /// The numeric context used throughout the figure harness: the paper's
@@ -134,6 +153,32 @@ pub fn traced_numeric_vs_reference_budgeted(
         circuit,
         reference,
         &figure_options(budget),
+    )
+}
+
+/// Like [`traced_numeric_vs_reference_budgeted`] with crash-safe
+/// persistence: a budget abort dumps a checkpoint (tagged `label`) to
+/// `checkpoint`, and a later invocation passing the same file as `resume`
+/// continues that stage from the stored cursor. Stages whose label does
+/// not match the stored one run from scratch, so one `--resume` flag can
+/// safely be applied to a whole sweep.
+pub fn traced_numeric_vs_reference_resumable(
+    circuit: &Circuit,
+    eps: f64,
+    reference: &ReferenceRun,
+    budget: RunBudget,
+    label: &str,
+    checkpoint: Option<&Path>,
+    resume: Option<&Path>,
+) -> Trace {
+    aq_sim::sweep::numeric_vs_reference_resumable(
+        figure_numeric_context(eps),
+        circuit,
+        reference,
+        &figure_options(budget),
+        label,
+        checkpoint,
+        resume,
     )
 }
 
@@ -317,6 +362,18 @@ mod tests {
         let free = traced_numeric_vs_reference(&c, 1e-10, &reference);
         assert!(free.aborted.is_none());
         assert_eq!(free.points.len(), c.len());
+    }
+
+    #[test]
+    fn checkpoint_flag_parsing() {
+        assert_eq!(checkpoint_from_args(&["fig3".into()]), (None, None));
+        let (c, r) = checkpoint_from_args(&[
+            "fig3".into(),
+            "--checkpoint=/tmp/a.aqckp".into(),
+            "--resume=/tmp/b.aqckp".into(),
+        ]);
+        assert_eq!(c, Some(PathBuf::from("/tmp/a.aqckp")));
+        assert_eq!(r, Some(PathBuf::from("/tmp/b.aqckp")));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Acceptance test for crash-safe figure sweeps: a budget-aborted sweep
+//! stage that is checkpointed and later resumed must emit exactly the CSV
+//! rows an uninterrupted run emits (byte-for-byte, wall-clock columns
+//! excluded — the size, accuracy and bit-width series are deterministic).
+
+use aq_bench::{
+    eps_label, reference_run, traced_numeric_vs_reference, traced_numeric_vs_reference_resumable,
+    write_figure,
+};
+use aq_dd::RunBudget;
+use aq_sim::Trace;
+
+#[test]
+fn resumed_sweep_emits_identical_csv_rows() {
+    let circuit = aq_circuits::grover(4, 3);
+    let reference = reference_run(&circuit, 4, 0);
+    assert!(reference.trace.aborted.is_none());
+
+    let sweep_eps = [1e-10, 1e-3];
+
+    // the uninterrupted baseline
+    let full: Vec<(String, Trace)> = sweep_eps
+        .iter()
+        .map(|&eps| {
+            (
+                eps_label(eps),
+                traced_numeric_vs_reference(&circuit, eps, &reference),
+            )
+        })
+        .collect();
+
+    // the same sweep with the ε = 1e-10 stage budget-aborted + checkpointed…
+    let ckpt = std::env::temp_dir().join("aq_bench_resume_figures.aqckp");
+    std::fs::remove_file(&ckpt).ok();
+    let aborted = traced_numeric_vs_reference_resumable(
+        &circuit,
+        1e-10,
+        &reference,
+        RunBudget::unlimited().with_max_nodes(8),
+        "resume-test/eps1e-10",
+        Some(&ckpt),
+        None,
+    );
+    assert!(aborted.aborted.is_some(), "8-node budget must abort");
+    assert!(ckpt.exists(), "abort must leave a checkpoint");
+
+    // …and finished later from the checkpoint by a separate invocation
+    let resumed: Vec<(String, Trace)> = sweep_eps
+        .iter()
+        .map(|&eps| {
+            (
+                eps_label(eps),
+                traced_numeric_vs_reference_resumable(
+                    &circuit,
+                    eps,
+                    &reference,
+                    RunBudget::unlimited(),
+                    &format!("resume-test/{}", eps_label(eps)),
+                    None,
+                    Some(&ckpt),
+                ),
+            )
+        })
+        .collect();
+    for (label, t) in &resumed {
+        assert!(t.aborted.is_none(), "{label} must complete on resume");
+        assert_eq!(t.points.len(), circuit.len());
+    }
+
+    write_figure("resume_test_full", &full);
+    write_figure("resume_test_resumed", &resumed);
+
+    // byte-equality of every deterministic CSV (runtime CSV carries
+    // wall-clock seconds and is legitimately different)
+    for suffix in ["a_size.csv", "b_accuracy.csv", "_bits.csv"] {
+        let a = std::fs::read(format!("target/figures/resume_test_full{suffix}"))
+            .expect("baseline csv");
+        let b = std::fs::read(format!("target/figures/resume_test_resumed{suffix}"))
+            .expect("resumed csv");
+        assert_eq!(a, b, "CSV rows diverged in {suffix}");
+    }
+    std::fs::remove_file(&ckpt).ok();
+}

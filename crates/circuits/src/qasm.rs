@@ -20,7 +20,7 @@
 //! let c = parse_qasm(src)?;
 //! assert_eq!(c.n_qubits(), 2);
 //! assert_eq!(c.len(), 2);
-//! let text = to_qasm(&c);
+//! let text = to_qasm(&c).expect("gate circuits always serialise");
 //! assert!(text.contains("cx q[0], q[1];"));
 //! # Ok::<(), aq_circuits::qasm::ParseQasmError>(())
 //! ```
@@ -320,26 +320,63 @@ fn parse_pi_product(s: &str, lineno: usize) -> Result<f64, ParseQasmError> {
         .map_err(|_| ParseQasmError::new(lineno, format!("bad angle `{s}`")))
 }
 
+/// Error produced by [`to_qasm`]: the operation (by index) that has no
+/// OpenQASM 2.0 spelling, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmExportError {
+    op_index: usize,
+    message: String,
+}
+
+impl QasmExportError {
+    fn new(op_index: usize, message: impl Into<String>) -> Self {
+        QasmExportError {
+            op_index,
+            message: message.into(),
+        }
+    }
+
+    /// 0-based index of the circuit operation that cannot be serialised.
+    pub fn op_index(&self) -> usize {
+        self.op_index
+    }
+}
+
+impl fmt::Display for QasmExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QASM export error at op {}: {}",
+            self.op_index, self.message
+        )
+    }
+}
+
+impl Error for QasmExportError {}
+
 /// Serialises a gate circuit to OpenQASM 2.0.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit contains quantum-walk operators
+/// Returns an error if the circuit contains quantum-walk operators
 /// ([`Op::MatchingEvolution`] / [`Op::Permutation`]) or gates outside the
-/// QASM vocabulary (gates with more than two controls are emitted as
-/// comments since plain QASM 2 lacks them — except `ccx`).
-pub fn to_qasm(circuit: &Circuit) -> String {
+/// QASM 2 vocabulary (plain QASM 2 has no controlled form beyond `cx`,
+/// `cz` and `ccx`).
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmExportError> {
     use std::fmt::Write as _;
     let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
     let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
-    for op in circuit.iter() {
+    for (i, op) in circuit.iter().enumerate() {
         let Op::Gate {
             matrix,
             target,
             controls,
         } = op
         else {
-            panic!("cannot serialise walk operators to QASM 2");
+            return Err(QasmExportError::new(
+                i,
+                "cannot serialise walk operators to QASM 2",
+            ));
         };
         let name = matrix.name();
         let base = name.split('(').next().unwrap_or(name).to_ascii_lowercase();
@@ -354,7 +391,12 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                     "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "sx" => base.clone(),
                     "p" => format!("u1{param}"),
                     "rz" | "ry" | "rx" => format!("{base}{param}"),
-                    other => panic!("gate `{other}` has no QASM 2 spelling"),
+                    other => {
+                        return Err(QasmExportError::new(
+                            i,
+                            format!("gate `{other}` has no QASM 2 spelling"),
+                        ));
+                    }
                 };
                 let _ = writeln!(out, "{g} {q};");
             }
@@ -371,13 +413,18 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                     controls[0].0, controls[1].0
                 );
             }
-            _ => panic!(
-                "controlled `{base}` with {} controls has no QASM 2 spelling",
-                controls.len()
-            ),
+            _ => {
+                return Err(QasmExportError::new(
+                    i,
+                    format!(
+                        "controlled `{base}` with {} controls has no QASM 2 spelling",
+                        controls.len()
+                    ),
+                ));
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -431,7 +478,7 @@ mod tests {
         use aq_dd::QomegaContext;
         // grover(2)'s MCZ is a plain cz, so the whole circuit round-trips
         let small = crate::grover(2, 1);
-        let text = to_qasm(&small);
+        let text = to_qasm(&small).expect("grover(2) is pure gates");
         let reparsed = parse_qasm(&text).expect("reparse");
         let mut m1 = aq_dd::Manager::new(QomegaContext::new(), 2);
         let u1 = aq_sim_free_unitary(&mut m1, &small);
@@ -466,13 +513,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot serialise walk operators")]
     fn walk_ops_rejected_on_export() {
         let (c, _) = crate::bwt(crate::BwtParams {
             height: 2,
             steps: 1,
             seed: 0,
         });
-        let _ = to_qasm(&c);
+        let err = to_qasm(&c).expect_err("walk operators have no QASM 2 spelling");
+        assert!(
+            err.to_string().contains("cannot serialise walk operators"),
+            "{err}"
+        );
+        // the offending op index points past the gate prefix
+        assert!(err.op_index() < c.len());
+    }
+
+    #[test]
+    fn unsupported_controlled_gates_rejected_on_export() {
+        // grover(4)'s multi-controlled Z has 3 controls — not QASM 2
+        let c = crate::grover(4, 5);
+        let err = to_qasm(&c).expect_err("mcz has no QASM 2 spelling");
+        assert!(err.to_string().contains("no QASM 2 spelling"), "{err}");
     }
 }

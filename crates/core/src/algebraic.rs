@@ -3,13 +3,37 @@
 
 use std::hash::Hash;
 
+use aq_bigint::{IBig, UBig};
 use aq_rings::assoc::{canonical_associate, gcd_canonical};
-use aq_rings::{Complex64, Domega, Qomega};
+use aq_rings::{Complex64, Domega, Qomega, Zomega};
 
 use crate::error::EngineError;
 use crate::fxhash::fx_hash;
+use crate::snapshot::{ByteReader, ByteWriter};
 use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// Serializes a `Z[ω]` element as four decimal coefficient strings
+/// (the bigint radix I/O — exact at any width).
+fn put_zomega(z: &Zomega, out: &mut ByteWriter) {
+    for c in z.coeffs() {
+        out.put_str(&c.to_string());
+    }
+}
+
+fn take_ibig(r: &mut ByteReader<'_>) -> Result<IBig, String> {
+    let s = r.take_str()?;
+    s.parse::<IBig>()
+        .map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+fn take_zomega(r: &mut ByteReader<'_>) -> Result<Zomega, String> {
+    let a = take_ibig(r)?;
+    let b = take_ibig(r)?;
+    let c = take_ibig(r)?;
+    let d = take_ibig(r)?;
+    Ok(Zomega::new(a, b, c, d))
+}
 
 /// Generic exact-deduplication weight table: canonical forms are hashable,
 /// so equality is structural.
@@ -157,6 +181,30 @@ impl WeightContext for QomegaContext {
     fn value_bits(&self, a: &Qomega) -> u64 {
         a.coeff_bits()
     }
+
+    fn kind(&self) -> &'static str {
+        "qomega"
+    }
+
+    fn write_value(&self, v: &Qomega, out: &mut ByteWriter) {
+        put_zomega(v.numerator(), out);
+        out.put_i64(v.k());
+        out.put_str(&v.denom().to_string());
+    }
+
+    fn read_value(&self, r: &mut ByteReader<'_>) -> Result<Qomega, String> {
+        let num = take_zomega(r)?;
+        let k = r.take_i64()?;
+        let denom_str = r.take_str()?;
+        let denom = UBig::from_decimal_str(&denom_str)
+            .map_err(|e| format!("bad denominator `{denom_str}`: {e}"))?;
+        if denom.is_zero() {
+            return Err("zero denominator".into());
+        }
+        // Qomega::new reduces; a canonically stored value round-trips
+        // structurally unchanged.
+        Ok(Qomega::new(num, k, denom))
+    }
 }
 
 /// The `D[ω]` weight system with canonical-GCD normalization — the paper's
@@ -249,6 +297,21 @@ impl WeightContext for GcdContext {
 
     fn value_bits(&self, a: &Domega) -> u64 {
         a.coeff_bits()
+    }
+
+    fn kind(&self) -> &'static str {
+        "gcd-domega"
+    }
+
+    fn write_value(&self, v: &Domega, out: &mut ByteWriter) {
+        put_zomega(v.numerator(), out);
+        out.put_i64(v.k());
+    }
+
+    fn read_value(&self, r: &mut ByteReader<'_>) -> Result<Domega, String> {
+        let num = take_zomega(r)?;
+        let k = r.take_i64()?;
+        Ok(Domega::new(num, k))
     }
 }
 

@@ -133,6 +133,45 @@ pub enum EngineError {
         /// Display name of the offending gate.
         gate: String,
     },
+    /// A snapshot file could not be read or written.
+    SnapshotIo {
+        /// The file path involved.
+        path: String,
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// A snapshot is structurally damaged: truncated data, a bad magic
+    /// number, a checksum mismatch, or a payload that fails to decode.
+    SnapshotCorrupt {
+        /// Which part of the snapshot failed (`header`, `meta`,
+        /// `weights`, …).
+        section: String,
+        /// What exactly went wrong.
+        detail: String,
+    },
+    /// A snapshot was written by an incompatible format version.
+    SnapshotVersionSkew {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A snapshot does not belong to the load target: wrong weight
+    /// context, wrong context parameters, or wrong circuit.
+    SnapshotMismatch {
+        /// What the loader required.
+        expected: String,
+        /// What the snapshot recorded.
+        found: String,
+    },
+    /// A structural invariant of the decision diagram does not hold
+    /// (reported by [`Manager::validate`](crate::Manager::validate) —
+    /// either the snapshot encodes a non-canonical diagram or the engine
+    /// has a consistency bug).
+    InvariantViolation {
+        /// Which invariant failed, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -163,6 +202,22 @@ impl fmt::Display for EngineError {
                 "gate `{gate}` not representable in this weight system; \
                  compile to Clifford+T first"
             ),
+            EngineError::SnapshotIo { path, detail } => {
+                write!(f, "snapshot I/O error on `{path}`: {detail}")
+            }
+            EngineError::SnapshotCorrupt { section, detail } => {
+                write!(f, "snapshot corrupt in {section}: {detail}")
+            }
+            EngineError::SnapshotVersionSkew { found, supported } => write!(
+                f,
+                "snapshot version skew: file is version {found}, this build supports {supported}"
+            ),
+            EngineError::SnapshotMismatch { expected, found } => {
+                write!(f, "snapshot mismatch: expected {expected}, found {found}")
+            }
+            EngineError::InvariantViolation { detail } => {
+                write!(f, "structural invariant violated: {detail}")
+            }
         }
     }
 }
@@ -179,6 +234,18 @@ impl EngineError {
                 | EngineError::WeightBudgetExceeded { .. }
                 | EngineError::WeightBitsExceeded { .. }
                 | EngineError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Returns `true` for errors raised by the snapshot layer (I/O,
+    /// corruption, version skew, or a context/circuit mismatch).
+    pub fn is_snapshot(&self) -> bool {
+        matches!(
+            self,
+            EngineError::SnapshotIo { .. }
+                | EngineError::SnapshotCorrupt { .. }
+                | EngineError::SnapshotVersionSkew { .. }
+                | EngineError::SnapshotMismatch { .. }
         )
     }
 }
@@ -205,5 +272,27 @@ mod tests {
         assert!(g.to_string().contains("not representable"));
         assert!(!g.is_budget());
         assert!(!EngineError::NodeArenaOverflow.is_budget());
+    }
+
+    #[test]
+    fn snapshot_errors_are_classified() {
+        let c = EngineError::SnapshotCorrupt {
+            section: "weights".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(c.is_snapshot());
+        assert!(!c.is_budget());
+        assert!(c.to_string().contains("weights"));
+        let v = EngineError::SnapshotVersionSkew {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.is_snapshot());
+        assert!(v.to_string().contains("version 9"));
+        let i = EngineError::InvariantViolation {
+            detail: "vec node 3: child weight not canonical".into(),
+        };
+        assert!(!i.is_snapshot());
+        assert!(i.to_string().contains("invariant"));
     }
 }

@@ -51,9 +51,11 @@ mod error;
 mod extract;
 pub mod fxhash;
 mod gates;
+mod invariant;
 mod manager;
 mod numeric;
 mod ops;
+pub mod snapshot;
 mod unique;
 mod verify;
 mod weight;

@@ -122,8 +122,8 @@ pub struct Manager<W: WeightContext> {
     pub(crate) add_mat_cache: LossyCache<(Edge<MatId>, Edge<MatId>), Edge<MatId>>,
     pub(crate) mv_cache: LossyCache<(MatId, VecId), Edge<VecId>>,
     pub(crate) mm_cache: LossyCache<(MatId, MatId), Edge<MatId>>,
-    cache_capacity: usize,
-    compactions: u64,
+    pub(crate) cache_capacity: usize,
+    pub(crate) compactions: u64,
     /// Active resource budget (unlimited by default). `budget_active`
     /// caches `!budget.is_unlimited()` so the hot-path probe is one
     /// branch when no budget is set.
@@ -646,6 +646,9 @@ impl<W: WeightContext> Manager<W> {
             new_mats.push(Edge { w, n });
         }
         *self = fresh;
+        #[cfg(feature = "validate-invariants")]
+        self.validate()
+            .expect("compaction must preserve the structural invariants");
         Ok((new_vecs, new_mats))
     }
 

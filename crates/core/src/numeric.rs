@@ -190,6 +190,53 @@ impl WeightContext for NumericContext {
     fn value_bits(&self, _a: &Complex64) -> u64 {
         53 // double-precision mantissa, constant by definition
     }
+
+    fn kind(&self) -> &'static str {
+        "numeric"
+    }
+
+    fn params_fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        out.extend_from_slice(&self.tol.eps().to_bits().to_le_bytes());
+        out.push(match self.scheme {
+            NormScheme::Leftmost => 0,
+            NormScheme::MaxMagnitude => 1,
+        });
+        out
+    }
+
+    fn write_value(&self, v: &Complex64, out: &mut crate::snapshot::ByteWriter) {
+        out.put_f64(v.re);
+        out.put_f64(v.im);
+    }
+
+    fn read_value(&self, r: &mut crate::snapshot::ByteReader<'_>) -> Result<Complex64, String> {
+        let re = r.take_f64()?;
+        let im = r.take_f64()?;
+        if !re.is_finite() || !im.is_finite() {
+            return Err(format!("non-finite weight ({re}, {im})"));
+        }
+        Ok(Complex64::new(re, im))
+    }
+
+    fn is_normalized(&self, ws: &[Complex64]) -> bool {
+        // The default re-normalization check is too strict here: with ε > 0
+        // the interned pivot need not be bitwise 1.0 (the grid table may
+        // have merged it into an earlier ε-close representative), and
+        // `MaxMagnitude` re-normalization is not idempotent inside the tie
+        // window. The tolerance-aware invariant is: no stored nonzero
+        // weight is an ε-zero, and the pivot position holds an ε-one.
+        if ws.iter().any(|w| *w != Complex64::ZERO && self.is_zero(w)) {
+            return false;
+        }
+        match self.scheme {
+            NormScheme::Leftmost => ws
+                .iter()
+                .find(|w| **w != Complex64::ZERO)
+                .is_some_and(|w| self.tol.eq(*w, Complex64::ONE)),
+            NormScheme::MaxMagnitude => ws.iter().any(|w| self.tol.eq(*w, Complex64::ONE)),
+        }
+    }
 }
 
 /// Weight table for complex doubles with ε-deduplication.
@@ -202,6 +249,15 @@ pub struct NumericTable {
     values: Vec<Complex64>,
     tol: Tolerance,
     index: NumericIndex,
+}
+
+impl NumericTable {
+    /// Appends a value while bypassing deduplication — only for invariant
+    /// tests that need a deliberately corrupted table.
+    #[cfg(test)]
+    pub(crate) fn push_duplicate_for_tests(&mut self, v: Complex64) {
+        self.values.push(v);
+    }
 }
 
 #[derive(Debug)]

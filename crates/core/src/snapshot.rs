@@ -1,0 +1,821 @@
+//! Versioned, section-checksummed binary snapshots of a [`Manager`].
+//!
+//! The build is offline, so the format is hand-rolled — no serde. A
+//! snapshot is a byte stream:
+//!
+//! ```text
+//! magic (8 bytes) | version (u32 LE) | section* | END section
+//! section = tag (u32) | payload_len (u64) | payload | fnv1a64(payload)
+//! ```
+//!
+//! Every multi-byte integer is little-endian. Each section carries its own
+//! FNV-1a 64-bit checksum, so truncation and bit flips are detected
+//! per-section and surface as structured
+//! [`EngineError::SnapshotCorrupt`] values — never a panic and never a
+//! silently-wrong diagram. A version bump is reported as
+//! [`EngineError::SnapshotVersionSkew`].
+//!
+//! A manager snapshot serializes the node arenas, the open-addressing
+//! unique tables (full slot arrays, so a reloaded manager is
+//! *bit-identical* down to its probe layout and capacity statistics), and
+//! the weight table. Exact `D[ω]`/`Q[ω]` coefficients are written as
+//! decimal strings through the bigint radix I/O; numeric weights as IEEE
+//! 754 bit patterns. On load the weight table is rebuilt by re-interning
+//! the stored values in their original order — any duplicate (or
+//! non-canonical zero) is caught because each value must intern to its own
+//! index — and the whole diagram is checked with [`Manager::validate`].
+//!
+//! The active [`RunBudget`](crate::RunBudget) is deliberately **not**
+//! persisted: a resuming process installs its own budget (typically a
+//! fresh deadline) via [`Manager::set_budget`].
+
+use std::path::Path;
+
+use crate::edge::{Edge, MatId, MatNode, VecId, VecNode};
+use crate::error::EngineError;
+use crate::manager::Manager;
+use crate::unique::UniqueTable;
+use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// The manager snapshot magic number.
+pub const MANAGER_MAGIC: [u8; 8] = *b"AQDDSNAP";
+/// The manager snapshot format version this build reads and writes.
+pub const MANAGER_VERSION: u32 = 1;
+
+const SEC_META: u32 = 1;
+const SEC_WEIGHTS: u32 = 2;
+const SEC_VEC_NODES: u32 = 3;
+const SEC_MAT_NODES: u32 = 4;
+const SEC_VEC_UNIQUE: u32 = 5;
+const SEC_MAT_UNIQUE: u32 = 6;
+const SEC_ROOTS: u32 = 7;
+/// The terminating section tag (empty payload).
+pub const SEC_END: u32 = 0xE4D;
+
+/// FNV-1a 64-bit over a byte slice — the per-section checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian byte sink used by the snapshot encoders.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE 754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The accumulated bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Little-endian cursor over a byte slice. Every accessor is
+/// bounds-checked and reports a human-readable detail string on underrun
+/// (the snapshot reader wraps it into
+/// [`EngineError::SnapshotCorrupt`]).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "unexpected end of data: need {n} byte(s), {} left",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, String> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn take_blob(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.take_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a `u64` length and sanity-checks it against the remaining
+    /// bytes, so a corrupted length cannot trigger a huge allocation.
+    pub fn take_len(&mut self) -> Result<usize, String> {
+        let len = self.take_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(format!(
+                "length {len} exceeds remaining {} byte(s)",
+                self.remaining()
+            ));
+        }
+        Ok(len as usize)
+    }
+
+    /// Fails unless the reader is exhausted.
+    pub fn expect_end(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing byte(s)", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Writes a framed snapshot stream: magic, version, checksummed sections.
+///
+/// Shared by the manager snapshot here and the simulator checkpoint in
+/// `aq-sim` (which embeds a manager snapshot as one of its sections).
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    out: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a stream with the given magic number and format version.
+    pub fn new(magic: [u8; 8], version: u32) -> Self {
+        let mut out = Vec::new();
+        out.extend_from_slice(&magic);
+        out.extend_from_slice(&version.to_le_bytes());
+        SnapshotWriter { out }
+    }
+
+    /// Appends one checksummed section.
+    pub fn section(&mut self, tag: u32, payload: &[u8]) {
+        self.out.extend_from_slice(&tag.to_le_bytes());
+        self.out
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        self.out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    }
+
+    /// Appends the END marker and returns the finished byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.section(SEC_END, &[]);
+        self.out
+    }
+}
+
+/// Reads a framed snapshot stream, verifying magic, version and every
+/// section checksum before handing out a payload.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    reader: ByteReader<'a>,
+    done: bool,
+}
+
+fn corrupt(section: &str, detail: impl Into<String>) -> EngineError {
+    EngineError::SnapshotCorrupt {
+        section: section.to_string(),
+        detail: detail.into(),
+    }
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens a stream, checking the magic number and format version.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotCorrupt`] if the magic does not match,
+    /// [`EngineError::SnapshotVersionSkew`] if the version differs from
+    /// `supported`.
+    pub fn new(bytes: &'a [u8], magic: [u8; 8], supported: u32) -> Result<Self, EngineError> {
+        let mut reader = ByteReader::new(bytes);
+        let found_magic = reader
+            .take(8)
+            .map_err(|e| corrupt("header", format!("missing magic: {e}")))?;
+        if found_magic != magic {
+            return Err(corrupt(
+                "header",
+                format!(
+                    "bad magic {:02x?} (expected {:02x?})",
+                    found_magic,
+                    &magic[..]
+                ),
+            ));
+        }
+        let found = reader
+            .take_u32()
+            .map_err(|e| corrupt("header", format!("missing version: {e}")))?;
+        if found != supported {
+            return Err(EngineError::SnapshotVersionSkew { found, supported });
+        }
+        Ok(SnapshotReader {
+            reader,
+            done: false,
+        })
+    }
+
+    /// Returns the next `(tag, payload)` pair, or `None` after the END
+    /// marker. The payload's checksum has already been verified.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotCorrupt`] on truncation or a checksum
+    /// mismatch.
+    pub fn next_section(&mut self) -> Result<Option<(u32, &'a [u8])>, EngineError> {
+        if self.done {
+            return Ok(None);
+        }
+        let tag = self
+            .reader
+            .take_u32()
+            .map_err(|e| corrupt("section header", e))?;
+        let len = self
+            .reader
+            .take_u64()
+            .map_err(|e| corrupt("section header", e))?;
+        if len > self.reader.remaining() as u64 {
+            return Err(corrupt(
+                "section header",
+                format!(
+                    "section length {len} exceeds remaining {} byte(s) (truncated file?)",
+                    self.reader.remaining()
+                ),
+            ));
+        }
+        let payload = self.reader.take(len as usize).expect("length checked");
+        let stored = self
+            .reader
+            .take_u64()
+            .map_err(|e| corrupt("section checksum", e))?;
+        let actual = fnv1a64(payload);
+        if stored != actual {
+            return Err(corrupt(
+                &format!("section {tag}"),
+                format!("checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"),
+            ));
+        }
+        if tag == SEC_END {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some((tag, payload)))
+    }
+}
+
+/// Collects all sections of a stream into `(tag, payload)` pairs,
+/// requiring a well-formed END marker.
+fn read_all_sections(
+    bytes: &[u8],
+    magic: [u8; 8],
+    supported: u32,
+) -> Result<Vec<(u32, &[u8])>, EngineError> {
+    let mut r = SnapshotReader::new(bytes, magic, supported)?;
+    let mut sections = Vec::new();
+    while let Some(s) = r.next_section()? {
+        sections.push(s);
+    }
+    if !r.done {
+        return Err(corrupt("trailer", "missing END section"));
+    }
+    Ok(sections)
+}
+
+fn required<'a>(
+    sections: &[(u32, &'a [u8])],
+    tag: u32,
+    name: &str,
+) -> Result<&'a [u8], EngineError> {
+    sections
+        .iter()
+        .find(|(t, _)| *t == tag)
+        .map(|(_, p)| *p)
+        .ok_or_else(|| corrupt(name, "section missing"))
+}
+
+fn edge_vec(w: u32, n: u32) -> Edge<VecId> {
+    Edge {
+        w: WeightId(w),
+        n: VecId(n),
+    }
+}
+
+fn edge_mat(w: u32, n: u32) -> Edge<MatId> {
+    Edge {
+        w: WeightId(w),
+        n: MatId(n),
+    }
+}
+
+fn put_vec_edge(w: &mut ByteWriter, e: &Edge<VecId>) {
+    w.put_u32(e.w.0);
+    w.put_u32(e.n.0);
+}
+
+fn put_mat_edge(w: &mut ByteWriter, e: &Edge<MatId>) {
+    w.put_u32(e.w.0);
+    w.put_u32(e.n.0);
+}
+
+fn take_vec_edge(r: &mut ByteReader<'_>) -> Result<Edge<VecId>, String> {
+    Ok(edge_vec(r.take_u32()?, r.take_u32()?))
+}
+
+fn take_mat_edge(r: &mut ByteReader<'_>) -> Result<Edge<MatId>, String> {
+    Ok(edge_mat(r.take_u32()?, r.take_u32()?))
+}
+
+fn encode_unique(t: &UniqueTable) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let slots = t.snapshot_slots();
+    w.put_u64(slots.len() as u64);
+    w.put_u64(t.len() as u64);
+    for &(hash, id) in slots {
+        w.put_u64(hash);
+        w.put_u32(id);
+    }
+    w.into_bytes()
+}
+
+fn decode_unique(payload: &[u8], section: &str) -> Result<UniqueTable, EngineError> {
+    let mut r = ByteReader::new(payload);
+    let inner = (|| -> Result<UniqueTable, String> {
+        let slot_count = r.take_u64()?;
+        let len = r.take_u64()?;
+        if slot_count > (payload.len() as u64) / 12 + 1 {
+            return Err(format!("slot count {slot_count} exceeds payload"));
+        }
+        let mut slots = Vec::with_capacity(slot_count as usize);
+        for _ in 0..slot_count {
+            let hash = r.take_u64()?;
+            let id = r.take_u32()?;
+            slots.push((hash, id));
+        }
+        r.expect_end()?;
+        UniqueTable::from_snapshot_slots(slots, len as usize)
+    })();
+    inner.map_err(|e| corrupt(section, e))
+}
+
+impl<W: WeightContext> Manager<W> {
+    /// Serializes this manager and the given root edges into a snapshot
+    /// byte stream (see the module docs for the format).
+    ///
+    /// The roots are remembered in the stream and handed back by
+    /// [`Manager::snapshot_from_bytes`], remapped onto the reloaded
+    /// manager (ids are preserved verbatim, so "remapped" is the identity
+    /// — the arenas are serialized in full, garbage included, which keeps
+    /// reloaded ε-interning decisions bit-identical to an uninterrupted
+    /// run).
+    pub fn snapshot_to_bytes(
+        &self,
+        vec_roots: &[Edge<VecId>],
+        mat_roots: &[Edge<MatId>],
+    ) -> Vec<u8> {
+        let mut s = SnapshotWriter::new(MANAGER_MAGIC, MANAGER_VERSION);
+
+        let mut meta = ByteWriter::new();
+        meta.put_str(self.ctx.kind());
+        meta.put_bytes(&self.ctx.params_fingerprint());
+        meta.put_u32(self.n_qubits);
+        meta.put_u64(self.cache_capacity as u64);
+        meta.put_u64(self.compactions);
+        s.section(SEC_META, meta.as_bytes());
+
+        let mut weights = ByteWriter::new();
+        weights.put_u64(self.table.len() as u64);
+        for i in 0..self.table.len() {
+            self.ctx
+                .write_value(self.table.get(WeightId(i as u32)), &mut weights);
+        }
+        s.section(SEC_WEIGHTS, weights.as_bytes());
+
+        let mut vn = ByteWriter::new();
+        vn.put_u64(self.vec_nodes.len() as u64);
+        for node in &self.vec_nodes {
+            vn.put_u32(node.var);
+            for c in &node.children {
+                put_vec_edge(&mut vn, c);
+            }
+        }
+        s.section(SEC_VEC_NODES, vn.as_bytes());
+
+        let mut mn = ByteWriter::new();
+        mn.put_u64(self.mat_nodes.len() as u64);
+        for node in &self.mat_nodes {
+            mn.put_u32(node.var);
+            for c in &node.children {
+                put_mat_edge(&mut mn, c);
+            }
+        }
+        s.section(SEC_MAT_NODES, mn.as_bytes());
+
+        s.section(SEC_VEC_UNIQUE, &encode_unique(&self.vec_unique));
+        s.section(SEC_MAT_UNIQUE, &encode_unique(&self.mat_unique));
+
+        let mut roots = ByteWriter::new();
+        roots.put_u64(vec_roots.len() as u64);
+        for e in vec_roots {
+            put_vec_edge(&mut roots, e);
+        }
+        roots.put_u64(mat_roots.len() as u64);
+        for e in mat_roots {
+            put_mat_edge(&mut roots, e);
+        }
+        s.section(SEC_ROOTS, roots.as_bytes());
+
+        s.finish()
+    }
+
+    /// Reconstructs a manager (and the saved root edges) from a snapshot
+    /// byte stream produced by [`Manager::snapshot_to_bytes`].
+    ///
+    /// The weight table is rebuilt by re-interning every stored value in
+    /// its original order; each value must intern to its own index, which
+    /// structurally rules out duplicate interned weights. The reloaded
+    /// diagram is then checked with [`Manager::validate`] before it is
+    /// handed to the caller.
+    ///
+    /// The caller's `ctx` must match the snapshot's context kind and
+    /// parameters; the active budget is **not** restored (install one
+    /// with [`Manager::set_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotCorrupt`] for truncation, bit flips or
+    /// undecodable payloads; [`EngineError::SnapshotVersionSkew`] for a
+    /// foreign format version; [`EngineError::SnapshotMismatch`] when
+    /// `ctx` differs from the snapshot's context;
+    /// [`EngineError::InvariantViolation`] when the decoded diagram is
+    /// not canonical.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_from_bytes(
+        ctx: W,
+        bytes: &[u8],
+    ) -> Result<(Manager<W>, Vec<Edge<VecId>>, Vec<Edge<MatId>>), EngineError> {
+        let sections = read_all_sections(bytes, MANAGER_MAGIC, MANAGER_VERSION)?;
+
+        // META: context identity, qubit count, cache size, compactions.
+        let meta = required(&sections, SEC_META, "meta")?;
+        let mut r = ByteReader::new(meta);
+        let (kind, params, n_qubits, cache_capacity, compactions) = (|| -> Result<_, String> {
+            let kind = r.take_str()?;
+            let params = r.take_blob()?;
+            let n_qubits = r.take_u32()?;
+            let cache_capacity = r.take_u64()?;
+            let compactions = r.take_u64()?;
+            r.expect_end()?;
+            Ok((kind, params, n_qubits, cache_capacity, compactions))
+        })()
+        .map_err(|e| corrupt("meta", e))?;
+        if kind != ctx.kind() || params != ctx.params_fingerprint() {
+            return Err(EngineError::SnapshotMismatch {
+                expected: format!("context {} (params {:02x?})", ctx.kind(), {
+                    ctx.params_fingerprint()
+                }),
+                found: format!("context {kind} (params {params:02x?})"),
+            });
+        }
+        if n_qubits == 0 {
+            return Err(corrupt("meta", "zero qubits"));
+        }
+
+        // WEIGHTS: re-intern in order; index stability proves uniqueness.
+        let payload = required(&sections, SEC_WEIGHTS, "weights")?;
+        let mut r = ByteReader::new(payload);
+        let count = r.take_u64().map_err(|e| corrupt("weights", e))?;
+        let mut table = ctx.new_table();
+        if count < table.len() as u64 {
+            return Err(corrupt(
+                "weights",
+                format!("table has {count} entries, fewer than the mandatory constants"),
+            ));
+        }
+        for i in 0..count {
+            let v = ctx
+                .read_value(&mut r)
+                .map_err(|e| corrupt("weights", format!("value {i}: {e}")))?;
+            let id = table
+                .try_intern(v)
+                .map_err(|e| corrupt("weights", format!("value {i}: {e}")))?;
+            if id.0 as u64 != i {
+                return Err(corrupt(
+                    "weights",
+                    format!(
+                        "value {i} interned to id {} — duplicate or non-canonical entry",
+                        id.0
+                    ),
+                ));
+            }
+        }
+        r.expect_end().map_err(|e| corrupt("weights", e))?;
+
+        // Node arenas.
+        let payload = required(&sections, SEC_VEC_NODES, "vec nodes")?;
+        let mut r = ByteReader::new(payload);
+        let vec_nodes = (|| -> Result<Vec<VecNode>, String> {
+            let count = r.take_u64()?;
+            if count > payload.len() as u64 / 4 {
+                return Err(format!("node count {count} exceeds payload"));
+            }
+            let mut nodes = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let var = r.take_u32()?;
+                let children = [take_vec_edge(&mut r)?, take_vec_edge(&mut r)?];
+                nodes.push(VecNode { var, children });
+            }
+            r.expect_end()?;
+            Ok(nodes)
+        })()
+        .map_err(|e| corrupt("vec nodes", e))?;
+
+        let payload = required(&sections, SEC_MAT_NODES, "mat nodes")?;
+        let mut r = ByteReader::new(payload);
+        let mat_nodes = (|| -> Result<Vec<MatNode>, String> {
+            let count = r.take_u64()?;
+            if count > payload.len() as u64 / 4 {
+                return Err(format!("node count {count} exceeds payload"));
+            }
+            let mut nodes = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let var = r.take_u32()?;
+                let children = [
+                    take_mat_edge(&mut r)?,
+                    take_mat_edge(&mut r)?,
+                    take_mat_edge(&mut r)?,
+                    take_mat_edge(&mut r)?,
+                ];
+                nodes.push(MatNode { var, children });
+            }
+            r.expect_end()?;
+            Ok(nodes)
+        })()
+        .map_err(|e| corrupt("mat nodes", e))?;
+
+        // Unique tables (full slot arrays — probe layout is preserved).
+        let vec_unique = decode_unique(
+            required(&sections, SEC_VEC_UNIQUE, "vec unique table")?,
+            "vec unique table",
+        )?;
+        let mat_unique = decode_unique(
+            required(&sections, SEC_MAT_UNIQUE, "mat unique table")?,
+            "mat unique table",
+        )?;
+
+        // Roots.
+        let payload = required(&sections, SEC_ROOTS, "roots")?;
+        let mut r = ByteReader::new(payload);
+        let (vec_roots, mat_roots) = (|| -> Result<_, String> {
+            let nv = r.take_u64()?;
+            if nv > payload.len() as u64 / 8 {
+                return Err(format!("root count {nv} exceeds payload"));
+            }
+            let mut vec_roots = Vec::with_capacity(nv as usize);
+            for _ in 0..nv {
+                vec_roots.push(take_vec_edge(&mut r)?);
+            }
+            let nm = r.take_u64()?;
+            if nm > payload.len() as u64 / 8 {
+                return Err(format!("root count {nm} exceeds payload"));
+            }
+            let mut mat_roots = Vec::with_capacity(nm as usize);
+            for _ in 0..nm {
+                mat_roots.push(take_mat_edge(&mut r)?);
+            }
+            r.expect_end()?;
+            Ok((vec_roots, mat_roots))
+        })()
+        .map_err(|e| corrupt("roots", e))?;
+
+        let mut m = Manager::with_cache_capacity(ctx, n_qubits, (cache_capacity as usize).max(1));
+        m.table = table;
+        m.vec_nodes = vec_nodes;
+        m.mat_nodes = mat_nodes;
+        m.vec_unique = vec_unique;
+        m.mat_unique = mat_unique;
+        m.compactions = compactions;
+
+        m.validate()?;
+        for (i, e) in vec_roots.iter().enumerate() {
+            m.validate_vec_root(e)
+                .map_err(|err| root_error("vec", i, err))?;
+        }
+        for (i, e) in mat_roots.iter().enumerate() {
+            m.validate_mat_root(e)
+                .map_err(|err| root_error("mat", i, err))?;
+        }
+        Ok((m, vec_roots, mat_roots))
+    }
+
+    /// Writes a snapshot of this manager (and the given roots) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotIo`] when the file cannot be written.
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+        vec_roots: &[Edge<VecId>],
+        mat_roots: &[Edge<MatId>],
+    ) -> Result<(), EngineError> {
+        let path = path.as_ref();
+        let bytes = self.snapshot_to_bytes(vec_roots, mat_roots);
+        std::fs::write(path, bytes).map_err(|e| EngineError::SnapshotIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Loads a manager (and the saved roots) from a snapshot file written
+    /// by [`Manager::save_snapshot`]. Validates the diagram on load.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotIo`] when the file cannot be read, plus
+    /// every error of [`Manager::snapshot_from_bytes`].
+    #[allow(clippy::type_complexity)]
+    pub fn load_snapshot(
+        ctx: W,
+        path: impl AsRef<Path>,
+    ) -> Result<(Manager<W>, Vec<Edge<VecId>>, Vec<Edge<MatId>>), EngineError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| EngineError::SnapshotIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Manager::snapshot_from_bytes(ctx, &bytes)
+    }
+}
+
+fn root_error(kind: &str, index: usize, err: EngineError) -> EngineError {
+    match err {
+        EngineError::InvariantViolation { detail } => EngineError::InvariantViolation {
+            detail: format!("{kind} root {index}: {detail}"),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(std::f64::consts::PI);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        assert_eq!(r.take_blob().unwrap(), vec![1, 2, 3]);
+        r.expect_end().unwrap();
+        assert!(r.take_u8().is_err(), "reads past the end must fail");
+    }
+
+    #[test]
+    fn reader_rejects_oversized_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // a corrupted length prefix
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_str().unwrap_err();
+        assert!(err.contains("exceeds remaining"), "{err}");
+    }
+
+    #[test]
+    fn section_framing_detects_flips() {
+        let mut w = SnapshotWriter::new(*b"TESTMAGC", 3);
+        w.section(9, b"payload");
+        let mut bytes = w.finish();
+        // pristine stream parses
+        let mut r = SnapshotReader::new(&bytes, *b"TESTMAGC", 3).unwrap();
+        let (tag, payload) = r.next_section().unwrap().unwrap();
+        assert_eq!((tag, payload), (9, &b"payload"[..]));
+        assert!(r.next_section().unwrap().is_none());
+        // flip a payload bit: checksum must catch it
+        bytes[8 + 4 + 4 + 8 + 2] ^= 0x10;
+        let mut r = SnapshotReader::new(&bytes, *b"TESTMAGC", 3).unwrap();
+        let err = r.next_section().unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotCorrupt { .. }), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn version_skew_and_bad_magic() {
+        let w = SnapshotWriter::new(*b"TESTMAGC", 3);
+        let bytes = w.finish();
+        let err = SnapshotReader::new(&bytes, *b"TESTMAGC", 4).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::SnapshotVersionSkew {
+                found: 3,
+                supported: 4
+            }
+        );
+        let err = SnapshotReader::new(&bytes, *b"OTHERMGC", 3).unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotCorrupt { .. }));
+        let err = SnapshotReader::new(&bytes[..5], *b"TESTMAGC", 3).unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotCorrupt { .. }));
+    }
+}

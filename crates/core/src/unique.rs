@@ -80,6 +80,49 @@ impl UniqueTable {
         self.slots[i] = (hash, id);
     }
 
+    /// The raw slot array, for snapshot serialization. Persisting the
+    /// slots verbatim (rather than re-inserting on load) keeps the probe
+    /// layout and capacity of a reloaded table bit-identical to the
+    /// original — reloaded statistics match exactly.
+    pub fn snapshot_slots(&self) -> &[(u64, u32)] {
+        &self.slots
+    }
+
+    /// Rebuilds a table from a snapshotted slot array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the slot count is not a power of two, the
+    /// occupied-slot count disagrees with `expected_len`, or the load
+    /// factor is above the growth threshold (states [`UniqueTable::insert`]
+    /// can never produce).
+    pub fn from_snapshot_slots(
+        slots: Vec<(u64, u32)>,
+        expected_len: usize,
+    ) -> Result<Self, String> {
+        if slots.len() < Self::INITIAL_SLOTS || !slots.len().is_power_of_two() {
+            return Err(format!(
+                "slot count {} is not a power of two ≥ {}",
+                slots.len(),
+                Self::INITIAL_SLOTS
+            ));
+        }
+        let len = slots.iter().filter(|&&(_, id)| id != EMPTY).count();
+        if len != expected_len {
+            return Err(format!(
+                "{len} occupied slot(s) but header claims {expected_len}"
+            ));
+        }
+        if len * 4 > slots.len() * 3 {
+            return Err(format!(
+                "load factor {len}/{} above the growth threshold",
+                slots.len()
+            ));
+        }
+        let mask = slots.len() - 1;
+        Ok(UniqueTable { slots, mask, len })
+    }
+
     /// Doubles the slot array, reusing the stored hashes (entries are never
     /// rehashed).
     fn grow(&mut self) {

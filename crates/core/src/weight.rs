@@ -141,4 +141,50 @@ pub trait WeightContext: Clone + fmt::Debug {
     /// Bit-width of the representation (1 for hardware floats): the
     /// coefficient-growth metric discussed for Fig. 5 of the paper.
     fn value_bits(&self, a: &Self::Value) -> u64;
+
+    // --- persistence hooks (see `crate::snapshot`) ---
+
+    /// Short stable name of the number system, recorded in snapshots so a
+    /// load with the wrong context fails with
+    /// [`EngineError::SnapshotMismatch`] instead of misinterpreting the
+    /// stored values.
+    ///
+    /// [`EngineError::SnapshotMismatch`]: crate::EngineError::SnapshotMismatch
+    fn kind(&self) -> &'static str;
+
+    /// Opaque fingerprint of the context parameters (ε and normalization
+    /// scheme for the numeric context; empty for the exact contexts).
+    /// Snapshots can only be loaded by a context with an equal fingerprint.
+    fn params_fingerprint(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Serializes one weight value into a snapshot byte stream.
+    fn write_value(&self, v: &Self::Value, out: &mut crate::snapshot::ByteWriter);
+
+    /// Deserializes one weight value from a snapshot byte stream. The
+    /// error string is wrapped into
+    /// [`EngineError::SnapshotCorrupt`](crate::EngineError::SnapshotCorrupt)
+    /// by the caller.
+    fn read_value(&self, r: &mut crate::snapshot::ByteReader<'_>) -> Result<Self::Value, String>;
+
+    /// Returns `true` if `ws` is already in the canonical form
+    /// [`WeightContext::normalize`] produces — the invariant every stored
+    /// node's child weights must satisfy.
+    ///
+    /// The default implementation re-normalizes a copy and requires the
+    /// extracted factor to be `1` and every value to be unchanged, which
+    /// is exact for the algebraic contexts. The numeric context overrides
+    /// this with tolerance-aware checks, because ε-interning means a
+    /// stored pivot need not be bitwise `1.0` and re-normalization under
+    /// `MaxMagnitude` is not idempotent at ε > 0.
+    fn is_normalized(&self, ws: &[Self::Value]) -> bool {
+        let mut copy: Vec<Self::Value> = ws.to_vec();
+        let Some(eta) = self.normalize(&mut copy) else {
+            // all-zero rows never occur on a stored node
+            return false;
+        };
+        let unchanged = |a: &Self::Value, b: &Self::Value| self.is_zero(&self.add(a, &self.neg(b)));
+        unchanged(&eta, &self.one()) && ws.iter().zip(&copy).all(|(a, b)| unchanged(a, b))
+    }
 }

@@ -1,0 +1,298 @@
+//! Simulator checkpoints: a manager snapshot plus enough run context
+//! (circuit identity, cursor, partial trace) to continue an aborted
+//! simulation in a later process.
+//!
+//! A checkpoint file reuses the framed, section-checksummed container of
+//! [`aq_dd::snapshot`] with its own magic number:
+//!
+//! ```text
+//! "AQSIMCKP" | version | INFO | TRACE | MANAGER | END
+//! ```
+//!
+//! * `INFO` — free-form label, qubit count, circuit length, a fingerprint
+//!   of the circuit's operations, the cursor (gates applied) and the
+//!   accumulated DD-operation seconds.
+//! * `TRACE` — the partial [`Trace`] recorded before the abort (points
+//!   and abort reason; engine counters are *not* persisted — they are
+//!   recomputed from the reloaded manager).
+//! * `MANAGER` — an embedded [`Manager`](aq_dd::Manager) snapshot with
+//!   the simulator state as its single vector root. The manager is saved
+//!   **uncompacted**: the weight table's ε-merge decisions are
+//!   path-dependent, so only the full table guarantees a resumed run is
+//!   bit-identical to an uninterrupted one.
+//!
+//! The run's [`RunBudget`](aq_dd::RunBudget) is deliberately not stored:
+//! a checkpoint usually exists *because* the budget fired, and the
+//! resuming process installs its own (typically larger) budget.
+
+use std::path::Path;
+
+use aq_circuits::Circuit;
+use aq_dd::snapshot::{ByteReader, ByteWriter, SnapshotReader, SnapshotWriter};
+use aq_dd::EngineError;
+
+use crate::trace::{Trace, TracePoint};
+
+/// The checkpoint magic number.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"AQSIMCKP";
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const SEC_INFO: u32 = 1;
+const SEC_TRACE: u32 = 2;
+const SEC_MANAGER: u32 = 3;
+
+/// The run context stored in a checkpoint, readable without knowing the
+/// weight context (see [`peek_checkpoint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointInfo {
+    /// Free-form label identifying the run (a sweep stage, a benchmark
+    /// workload). Resume helpers match on it before paying for a load.
+    pub label: String,
+    /// Qubit count of the checkpointed circuit.
+    pub n_qubits: u32,
+    /// Operation count of the checkpointed circuit.
+    pub circuit_len: u64,
+    /// Fingerprint of the circuit's operations ([`circuit_fingerprint`]).
+    pub circuit_fingerprint: u64,
+    /// Operations applied when the checkpoint was taken.
+    pub gates_applied: u64,
+    /// Accumulated DD-operation seconds at the checkpoint.
+    pub elapsed_seconds: f64,
+}
+
+/// A fingerprint of a circuit's structure (qubit count plus every
+/// operation), used to refuse resuming a checkpoint against a different
+/// circuit. Operations don't implement `Hash`; their `Debug` rendering is
+/// stable and covers every parameter, so the fingerprint hashes that.
+pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    let rendered = format!("{}:{:?}", circuit.n_qubits(), circuit.ops());
+    aq_dd::fxhash::fx_hash(&rendered)
+}
+
+fn corrupt(section: &str, detail: impl Into<String>) -> EngineError {
+    EngineError::SnapshotCorrupt {
+        section: format!("checkpoint {section}"),
+        detail: detail.into(),
+    }
+}
+
+fn encode_info(info: &CheckpointInfo) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&info.label);
+    w.put_u32(info.n_qubits);
+    w.put_u64(info.circuit_len);
+    w.put_u64(info.circuit_fingerprint);
+    w.put_u64(info.gates_applied);
+    w.put_f64(info.elapsed_seconds);
+    w.into_bytes()
+}
+
+fn decode_info(payload: &[u8]) -> Result<CheckpointInfo, EngineError> {
+    let mut r = ByteReader::new(payload);
+    (|| -> Result<CheckpointInfo, String> {
+        let info = CheckpointInfo {
+            label: r.take_str()?,
+            n_qubits: r.take_u32()?,
+            circuit_len: r.take_u64()?,
+            circuit_fingerprint: r.take_u64()?,
+            gates_applied: r.take_u64()?,
+            elapsed_seconds: r.take_f64()?,
+        };
+        r.expect_end()?;
+        Ok(info)
+    })()
+    .map_err(|e| corrupt("info", e))
+}
+
+fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(trace.points.len() as u64);
+    for p in &trace.points {
+        w.put_u64(p.gates_applied as u64);
+        w.put_u64(p.nodes as u64);
+        w.put_f64(p.seconds);
+        w.put_u64(p.max_weight_bits);
+        match p.error {
+            Some(e) => {
+                w.put_u8(1);
+                w.put_f64(e);
+            }
+            None => w.put_u8(0),
+        }
+    }
+    match &trace.aborted {
+        Some(reason) => {
+            w.put_u8(1);
+            w.put_str(reason);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
+}
+
+fn decode_trace(payload: &[u8]) -> Result<Trace, EngineError> {
+    let mut r = ByteReader::new(payload);
+    (|| -> Result<Trace, String> {
+        let count = r.take_u64()?;
+        if count > payload.len() as u64 / 8 {
+            return Err(format!("point count {count} exceeds payload"));
+        }
+        let mut trace = Trace::default();
+        for _ in 0..count {
+            let gates_applied = r.take_u64()? as usize;
+            let nodes = r.take_u64()? as usize;
+            let seconds = r.take_f64()?;
+            let max_weight_bits = r.take_u64()?;
+            let error = match r.take_u8()? {
+                0 => None,
+                1 => Some(r.take_f64()?),
+                other => return Err(format!("bad error flag {other}")),
+            };
+            trace.points.push(TracePoint {
+                gates_applied,
+                nodes,
+                seconds,
+                max_weight_bits,
+                error,
+            });
+        }
+        trace.aborted = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_str()?),
+            other => return Err(format!("bad aborted flag {other}")),
+        };
+        r.expect_end()?;
+        Ok(trace)
+    })()
+    .map_err(|e| corrupt("trace", e))
+}
+
+pub(crate) fn encode_checkpoint(
+    info: &CheckpointInfo,
+    trace: &Trace,
+    manager_bytes: &[u8],
+) -> Vec<u8> {
+    let mut s = SnapshotWriter::new(CHECKPOINT_MAGIC, CHECKPOINT_VERSION);
+    s.section(SEC_INFO, &encode_info(info));
+    s.section(SEC_TRACE, &encode_trace(trace));
+    s.section(SEC_MANAGER, manager_bytes);
+    s.finish()
+}
+
+pub(crate) fn decode_checkpoint(
+    bytes: &[u8],
+) -> Result<(CheckpointInfo, Trace, Vec<u8>), EngineError> {
+    let mut reader = SnapshotReader::new(bytes, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+    let mut info = None;
+    let mut trace = None;
+    let mut manager = None;
+    while let Some((tag, payload)) = reader.next_section()? {
+        match tag {
+            SEC_INFO => info = Some(decode_info(payload)?),
+            SEC_TRACE => trace = Some(decode_trace(payload)?),
+            SEC_MANAGER => manager = Some(payload.to_vec()),
+            _ => {} // unknown checksummed sections are skippable
+        }
+    }
+    Ok((
+        info.ok_or_else(|| corrupt("info", "section missing"))?,
+        trace.ok_or_else(|| corrupt("trace", "section missing"))?,
+        manager.ok_or_else(|| corrupt("manager", "section missing"))?,
+    ))
+}
+
+/// Reads only the [`CheckpointInfo`] of a checkpoint file — cheap, and
+/// independent of the weight context, so harnesses can decide whether a
+/// checkpoint belongs to a given run before loading it.
+///
+/// # Errors
+///
+/// [`EngineError::SnapshotIo`] when the file cannot be read, plus the
+/// corruption/version errors of the container format.
+pub fn peek_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointInfo, EngineError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| EngineError::SnapshotIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let (info, _, _) = decode_checkpoint(&bytes)?;
+    Ok(info)
+}
+
+/// Checks a checkpoint's stored circuit identity against the circuit a
+/// resume was asked to continue.
+pub(crate) fn check_circuit_identity(
+    info: &CheckpointInfo,
+    circuit: &Circuit,
+) -> Result<(), EngineError> {
+    let expected = (
+        circuit.n_qubits(),
+        circuit.len() as u64,
+        circuit_fingerprint(circuit),
+    );
+    let found = (info.n_qubits, info.circuit_len, info.circuit_fingerprint);
+    if expected != found {
+        return Err(EngineError::SnapshotMismatch {
+            expected: format!(
+                "circuit with {} qubit(s), {} op(s), fingerprint {:#018x}",
+                expected.0, expected.1, expected.2
+            ),
+            found: format!(
+                "checkpoint `{}` for {} qubit(s), {} op(s), fingerprint {:#018x}",
+                info.label, found.0, found.1, found.2
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips() {
+        let mut t = Trace::default();
+        t.points.push(TracePoint {
+            gates_applied: 3,
+            nodes: 17,
+            seconds: 0.25,
+            max_weight_bits: 12,
+            error: Some(1e-9),
+        });
+        t.points.push(TracePoint {
+            gates_applied: 4,
+            nodes: 19,
+            seconds: 0.5,
+            max_weight_bits: 13,
+            error: None,
+        });
+        t.aborted = Some("node budget exceeded".into());
+        let decoded = decode_trace(&encode_trace(&t)).expect("round-trip");
+        assert_eq!(decoded.points, t.points);
+        assert_eq!(decoded.aborted, t.aborted);
+    }
+
+    #[test]
+    fn info_roundtrips() {
+        let info = CheckpointInfo {
+            label: "fig3/eps1e-10".into(),
+            n_qubits: 7,
+            circuit_len: 421,
+            circuit_fingerprint: 0xDEAD_BEEF_F00D,
+            gates_applied: 99,
+            elapsed_seconds: 1.5,
+        };
+        let got = decode_info(&encode_info(&info)).expect("round-trip");
+        assert_eq!(got, info);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_circuits() {
+        let a = aq_circuits::grover(3, 2);
+        let b = aq_circuits::grover(3, 3);
+        assert_ne!(circuit_fingerprint(&a), circuit_fingerprint(&b));
+        assert_eq!(circuit_fingerprint(&a), circuit_fingerprint(&a));
+    }
+}

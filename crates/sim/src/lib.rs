@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod accuracy;
+mod checkpoint;
 mod operators;
 mod report;
 mod simulator;
@@ -38,6 +39,9 @@ mod trace;
 use aq_dd::WeightContext;
 
 pub use accuracy::{circuits_equivalent, normalized_distance, PairedRun};
+pub use checkpoint::{
+    circuit_fingerprint, peek_checkpoint, CheckpointInfo, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use operators::{
     circuit_unitary, matching_evolution, op_operator, permutation, try_circuit_unitary,
     try_matching_evolution, try_op_operator, try_permutation,

@@ -1,6 +1,7 @@
 //! The circuit simulator: applies operations to a state DD and traces.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +30,11 @@ pub struct SimOptions {
     /// With a budget set, prefer the `try_*` entry points: the infallible
     /// ones panic when a limit is crossed.
     pub budget: RunBudget,
+    /// When set, [`Simulator::try_run`] dumps a checkpoint to this path on
+    /// a budget abort, so a later process can [`Simulator::resume`] the
+    /// run instead of redoing it. [`SimAbort::checkpoint`] records whether
+    /// the dump succeeded.
+    pub checkpoint_on_abort: Option<PathBuf>,
 }
 
 impl Default for SimOptions {
@@ -38,6 +44,7 @@ impl Default for SimOptions {
             compact_threshold: 4_000_000,
             cache_capacity: None,
             budget: RunBudget::unlimited(),
+            checkpoint_on_abort: None,
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct SimAbort {
     pub statistics: EngineStatistics,
     /// Operations successfully applied before the abort.
     pub gates_applied: usize,
+    /// Path of the checkpoint written at the abort, when
+    /// [`SimOptions::checkpoint_on_abort`] was set and the dump succeeded.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl fmt::Display for SimAbort {
@@ -334,11 +344,20 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
                     let statistics = self.manager.statistics();
                     trace.engine = Some(statistics);
                     trace.aborted = Some(error.to_string());
+                    // Dump a checkpoint so a later process can resume the
+                    // run. A failed dump must not mask the abort itself —
+                    // it only leaves `checkpoint` unset.
+                    let checkpoint = self.options.checkpoint_on_abort.clone().and_then(|path| {
+                        self.checkpoint_with_trace(&path, "try_run-abort", &trace)
+                            .ok()
+                            .map(|()| path)
+                    });
                     return Err(Box::new(SimAbort {
                         error,
                         trace,
                         statistics,
                         gates_applied: self.cursor,
+                        checkpoint,
                     }));
                 }
             }
@@ -361,6 +380,113 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
     /// or a budget limit is crossed.
     pub fn run(&mut self) -> SimResult {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Writes a checkpoint of this simulator to `path`: the full manager
+    /// (uncompacted, so a resumed run is bit-identical to an uninterrupted
+    /// one), the current state, the cursor, and the accumulated DD time.
+    ///
+    /// `label` is free-form run identification; resume helpers match on it
+    /// via [`peek_checkpoint`](crate::peek_checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotIo`] when the file cannot be written.
+    pub fn checkpoint(&self, path: impl AsRef<Path>, label: &str) -> Result<(), EngineError> {
+        self.checkpoint_with_trace(path, label, &Trace::default())
+    }
+
+    /// Like [`Simulator::checkpoint`], additionally persisting a partial
+    /// [`Trace`] (points and abort reason) so a resumed run can extend the
+    /// recorded series instead of losing the prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SnapshotIo`] when the file cannot be written.
+    pub fn checkpoint_with_trace(
+        &self,
+        path: impl AsRef<Path>,
+        label: &str,
+        trace: &Trace,
+    ) -> Result<(), EngineError> {
+        let info = crate::checkpoint::CheckpointInfo {
+            label: label.to_string(),
+            n_qubits: self.circuit.n_qubits(),
+            circuit_len: self.circuit.len() as u64,
+            circuit_fingerprint: crate::checkpoint::circuit_fingerprint(self.circuit),
+            gates_applied: self.cursor as u64,
+            elapsed_seconds: self.elapsed,
+        };
+        let manager_bytes = self.manager.snapshot_to_bytes(&[self.state], &[]);
+        let bytes = crate::checkpoint::encode_checkpoint(&info, trace, &manager_bytes);
+        let path = path.as_ref();
+        std::fs::write(path, bytes).map_err(|e| EngineError::SnapshotIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Reconstructs a simulator from a checkpoint written by
+    /// [`Simulator::checkpoint`], positioned at the stored cursor and
+    /// ready to continue stepping. Returns the persisted partial
+    /// [`Trace`] with its abort reason cleared (the abort is what is
+    /// being resumed past).
+    ///
+    /// The stored manager snapshot is validated on load. The checkpoint's
+    /// budget is **not** restored — `options.budget` is installed with a
+    /// fresh wall-clock epoch, because a checkpoint typically exists
+    /// precisely because the previous budget fired.
+    ///
+    /// # Errors
+    ///
+    /// Every snapshot-layer error, plus
+    /// [`EngineError::SnapshotMismatch`] when `circuit` or `ctx` differ
+    /// from what the checkpoint was taken with, and
+    /// [`EngineError::SnapshotCorrupt`] if the stored cursor or state
+    /// root is inconsistent.
+    pub fn resume(
+        ctx: W,
+        circuit: &'c Circuit,
+        path: impl AsRef<Path>,
+        options: SimOptions,
+    ) -> Result<(Self, Trace), EngineError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| EngineError::SnapshotIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let (info, mut trace, manager_bytes) = crate::checkpoint::decode_checkpoint(&bytes)?;
+        crate::checkpoint::check_circuit_identity(&info, circuit)?;
+        if info.gates_applied > info.circuit_len {
+            return Err(EngineError::SnapshotCorrupt {
+                section: "checkpoint info".into(),
+                detail: format!(
+                    "cursor {} past the end of the {}-op circuit",
+                    info.gates_applied, info.circuit_len
+                ),
+            });
+        }
+        let (mut manager, vec_roots, _) = Manager::snapshot_from_bytes(ctx, &manager_bytes)?;
+        let &[state] = vec_roots.as_slice() else {
+            return Err(EngineError::SnapshotCorrupt {
+                section: "checkpoint manager".into(),
+                detail: format!("expected 1 state root, found {}", vec_roots.len()),
+            });
+        };
+        manager.set_budget(options.budget);
+        trace.aborted = None;
+        Ok((
+            Simulator {
+                manager,
+                circuit,
+                state,
+                cursor: info.gates_applied as usize,
+                elapsed: info.elapsed_seconds,
+                gate_cache: FxHashMap::default(),
+                options,
+            },
+            trace,
+        ))
     }
 
     /// Builds the unitary of the **entire remaining circuit** as a single

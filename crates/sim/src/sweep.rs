@@ -11,6 +11,7 @@
 //! explicit `aborted` row.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use aq_circuits::Circuit;
 use aq_dd::QomegaContext;
@@ -95,6 +96,7 @@ pub fn reference_run(
         }
     }
     trace.engine = Some(sim.statistics());
+    validate_stage(&sim, "reference_run");
     ReferenceRun {
         trace,
         samples,
@@ -102,6 +104,18 @@ pub fn reference_run(
         start,
     }
 }
+
+/// With the `validate-invariants` feature, every sweep stage re-checks the
+/// manager's structural invariants before its trace is reported.
+#[cfg(feature = "validate-invariants")]
+fn validate_stage<W: WeightContext>(sim: &Simulator<'_, W>, stage: &str) {
+    sim.manager()
+        .validate()
+        .unwrap_or_else(|e| panic!("sweep stage `{stage}` broke the invariants: {e}"));
+}
+
+#[cfg(not(feature = "validate-invariants"))]
+fn validate_stage<W: WeightContext>(_sim: &Simulator<'_, W>, _stage: &str) {}
 
 /// Runs one numeric simulation, measuring the error against a shared
 /// [`ReferenceRun`] at its sampling points. Fail-soft: on a budget abort
@@ -113,13 +127,51 @@ pub fn numeric_vs_reference<W: WeightContext>(
     reference: &ReferenceRun,
     options: &SimOptions,
 ) -> Trace {
-    let mut sim = Simulator::with_options(ctx, circuit, options.clone());
-    let mut trace = Trace::default();
-    if let Err(e) = sim.try_reset_to(reference.start) {
-        trace.aborted = Some(e.to_string());
-        trace.engine = Some(sim.statistics());
-        return trace;
-    }
+    numeric_vs_reference_resumable(ctx, circuit, reference, options, "", None, None)
+}
+
+/// [`numeric_vs_reference`] with crash-safe persistence: on a budget abort
+/// the simulator state and the partial trace are checkpointed to
+/// `checkpoint` (tagged with `label`), and a later call that passes the
+/// same file as `resume` continues the run from the stored cursor instead
+/// of replaying the prefix.
+///
+/// A `resume` file is only honoured when it exists, decodes, and its
+/// stored label and circuit identity match — otherwise the run silently
+/// starts from scratch, so a stale or foreign checkpoint can never
+/// corrupt a sweep. The exact reference is *not* resumable (its sample
+/// vectors are not persisted); callers recompute it, which is
+/// deterministic, so resumed error measurements are unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn numeric_vs_reference_resumable<W: WeightContext>(
+    ctx: W,
+    circuit: &Circuit,
+    reference: &ReferenceRun,
+    options: &SimOptions,
+    label: &str,
+    checkpoint: Option<&Path>,
+    resume: Option<&Path>,
+) -> Trace {
+    let resumed = resume.and_then(|path| {
+        let info = crate::checkpoint::peek_checkpoint(path).ok()?;
+        if info.label != label {
+            return None;
+        }
+        Simulator::resume(ctx.clone(), circuit, path, options.clone()).ok()
+    });
+    let (mut sim, mut trace) = match resumed {
+        Some((sim, trace)) => (sim, trace),
+        None => {
+            let mut sim = Simulator::with_options(ctx, circuit, options.clone());
+            let mut trace = Trace::default();
+            if let Err(e) = sim.try_reset_to(reference.start) {
+                trace.aborted = Some(e.to_string());
+                trace.engine = Some(sim.statistics());
+                return trace;
+            }
+            (sim, trace)
+        }
+    };
     loop {
         match sim.try_step() {
             Ok(true) => {
@@ -138,11 +190,17 @@ pub fn numeric_vs_reference<W: WeightContext>(
             Ok(false) => break,
             Err(e) => {
                 trace.aborted = Some(e.to_string());
+                if let Some(path) = checkpoint {
+                    if let Err(ckpt_err) = sim.checkpoint_with_trace(path, label, &trace) {
+                        eprintln!("warning: could not write checkpoint: {ckpt_err}");
+                    }
+                }
                 break;
             }
         }
     }
     trace.engine = Some(sim.statistics());
+    validate_stage(&sim, label);
     trace
 }
 
@@ -180,6 +238,65 @@ mod tests {
         assert!(r.trace.points.is_empty());
         let t = numeric_vs_reference(NumericContext::with_eps(1e-12), &c, &r, &opts);
         assert!(t.aborted.is_some());
+    }
+
+    #[test]
+    fn resumable_sweep_continues_from_its_checkpoint() {
+        let c = aq_circuits::grover(4, 3);
+        let opts = SimOptions::default();
+        let reference = reference_run(&c, 4, 0, &opts);
+        let full = numeric_vs_reference(NumericContext::with_eps(1e-10), &c, &reference, &opts);
+
+        let path = std::env::temp_dir().join("aq_sweep_resume_test.aqckp");
+        std::fs::remove_file(&path).ok();
+        let tight = SimOptions {
+            budget: RunBudget::unlimited().with_max_nodes(8),
+            ..SimOptions::default()
+        };
+        let partial = numeric_vs_reference_resumable(
+            NumericContext::with_eps(1e-10),
+            &c,
+            &reference,
+            &tight,
+            "test/eps1e-10",
+            Some(&path),
+            None,
+        );
+        assert!(partial.aborted.is_some(), "tight budget must abort");
+        assert!(path.exists(), "abort must leave a checkpoint behind");
+
+        // a checkpoint for a *different* stage is ignored, not misapplied
+        let fresh = numeric_vs_reference_resumable(
+            NumericContext::with_eps(1e-10),
+            &c,
+            &reference,
+            &opts,
+            "other-stage",
+            None,
+            Some(&path),
+        );
+        assert!(fresh.aborted.is_none());
+        assert_eq!(fresh.points.len(), c.len());
+
+        let resumed = numeric_vs_reference_resumable(
+            NumericContext::with_eps(1e-10),
+            &c,
+            &reference,
+            &opts,
+            "test/eps1e-10",
+            None,
+            Some(&path),
+        );
+        assert!(resumed.aborted.is_none(), "resumed run completes");
+        assert_eq!(resumed.points.len(), c.len());
+        // identical to the uninterrupted run in everything but wall-clock
+        for (a, b) in resumed.points.iter().zip(full.points.iter()) {
+            assert_eq!(a.gates_applied, b.gates_applied);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.max_weight_bits, b.max_weight_bits);
+            assert_eq!(a.error, b.error);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Crash-safe simulation: a budget-aborted run dumps a checkpoint, and a
+//! "later process" resumes the sweep from it instead of starting over —
+//! with bit-identical results, because the checkpoint carries the full
+//! manager (nodes, unique tables and the complete weight table).
+//!
+//! ```text
+//! cargo run --release --example checkpoint_resume [max_nodes]
+//! ```
+
+use aqudd::circuits::{bwt, BwtParams};
+use aqudd::dd::{QomegaContext, RunBudget};
+use aqudd::sim::{peek_checkpoint, SimOptions, Simulator};
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let (circuit, tree) = bwt(BwtParams {
+        height: 3,
+        steps: 20,
+        seed: 0xBD7,
+    });
+    let path = std::env::temp_dir().join("aqudd_bwt_example.aqckp");
+    std::fs::remove_file(&path).ok();
+    println!(
+        "BWT walk: height 3, {} qubits, {} ops; node budget {max_nodes}\n",
+        circuit.n_qubits(),
+        circuit.len()
+    );
+
+    // ---- process 1: run under a tight budget, dumping a checkpoint on abort
+    let mut sim = Simulator::with_options(
+        QomegaContext::new(),
+        &circuit,
+        SimOptions {
+            budget: RunBudget::unlimited().with_max_nodes(max_nodes),
+            checkpoint_on_abort: Some(path.clone()),
+            ..SimOptions::default()
+        },
+    );
+    sim.try_reset_to(tree.coined_start())
+        .expect("budget allows the start state");
+    let abort = match sim.try_run() {
+        Ok(result) => {
+            println!(
+                "budget was roomy enough — run completed at peak {} nodes; \
+                 try a smaller max_nodes",
+                result.trace.peak_nodes()
+            );
+            return;
+        }
+        Err(abort) => abort,
+    };
+    println!("process 1 aborted: {}", abort.error);
+    println!(
+        "  gates applied : {}/{}",
+        abort.gates_applied,
+        circuit.len()
+    );
+    let ckpt = abort.checkpoint.as_ref().expect("checkpoint was dumped");
+    println!("  checkpoint    : {}", ckpt.display());
+
+    // ---- process 2: inspect the checkpoint, then resume with a roomier budget
+    let info = peek_checkpoint(ckpt).expect("readable checkpoint");
+    println!(
+        "\nprocess 2 resuming `{}` at gate {}/{}",
+        info.label, info.gates_applied, info.circuit_len
+    );
+    let (mut resumed, _trace) =
+        Simulator::resume(QomegaContext::new(), &circuit, ckpt, SimOptions::default())
+            .expect("checkpoint matches circuit and context");
+    let result = resumed.try_run().expect("unlimited budget completes");
+    println!(
+        "resumed run finished: {} final nodes, peak {} nodes over the remainder",
+        result.final_nodes,
+        result.trace.peak_nodes()
+    );
+
+    // the checkpointed run is bit-identical to an uninterrupted one
+    let mut reference = Simulator::new(QomegaContext::new(), &circuit);
+    reference
+        .try_reset_to(tree.coined_start())
+        .expect("unlimited budget");
+    let expected = reference.try_run().expect("completes");
+    assert_eq!(result.amplitudes, expected.amplitudes);
+    println!("amplitudes match an uninterrupted run exactly");
+    std::fs::remove_file(&path).ok();
+}

@@ -25,9 +25,35 @@ cargo test -q --offline -p aq-dd --test budget
 cargo test -q --offline -p aq-sim --test fail_soft
 cargo test -q --offline --test workspace gse_algebraic_run_fails_soft
 
+echo "== persistence: snapshot fault injection + checkpoint/resume =="
+cargo test -q --offline -p aq-dd --test snapshot_faults
+cargo test -q --offline -p aq-dd --test snapshot_roundtrip
+cargo test -q --offline -p aq-sim --test checkpoint_resume
+cargo test -q --offline -p aq-bench --test resume_figures
+
+echo "== invariants: validate-invariants feature gates =="
+cargo test -q --offline -p aq-dd --features validate-invariants --test invariants
+cargo test -q --offline -p aq-sim --features validate-invariants --lib
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== engine bench (BENCH_engine.json) =="
     cargo run --release --offline -p aq-bench --bin engine_bench -- BENCH_engine.json
+
+    echo "== engine bench: real checkpoint/resume cycle =="
+    ckpt="target/ci_engine_bench.aqckp"
+    rm -f "$ckpt"
+    # a 50 ms deadline aborts every workload mid-run; each abort dumps the
+    # checkpoint (later workloads overwrite it)
+    cargo run --release --offline -p aq-bench --bin engine_bench -- \
+        target/ci_bench_aborted.json --deadline-secs=0.05 --checkpoint="$ckpt"
+    test -f "$ckpt" || { echo "expected a checkpoint dump"; exit 1; }
+    # resumed run must complete and leave no aborted samples
+    cargo run --release --offline -p aq-bench --bin engine_bench -- \
+        target/ci_bench_resumed.json --resume="$ckpt"
+    if grep -q '"aborted": "' target/ci_bench_resumed.json; then
+        echo "resumed engine_bench still has aborted samples"; exit 1
+    fi
+    rm -f "$ckpt" target/ci_bench_aborted.json target/ci_bench_resumed.json
 fi
 
 echo "CI OK"
