@@ -17,14 +17,11 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
 use aq_bench::{budget_from_args, checkpoint_from_args};
 use aq_circuits::{bwt, grover, BwtParams, Circuit};
-use aq_dd::{
-    EngineStatistics, GcdContext, NumericContext, QomegaContext, RunBudget, WeightContext,
-};
-use aq_sim::{SimOptions, Simulator};
+use aq_dd::{EngineStatistics, RunBudget};
+use aq_sim::{run_job, JobSpec, SchemeSpec};
 
 /// One completed (possibly budget-aborted) measurement.
 struct Sample {
@@ -36,60 +33,31 @@ struct Sample {
     aborted: Option<String>,
 }
 
-fn run<W: WeightContext>(
+fn run(
     name: &'static str,
-    ctx: W,
+    scheme: SchemeSpec,
     circuit: &Circuit,
     start: u64,
     budget: RunBudget,
     checkpoint: Option<&Path>,
     resume: Option<&Path>,
 ) -> Sample {
-    let options = SimOptions {
-        record_trace: false,
-        budget,
-        ..SimOptions::default()
-    };
-    // only the workload the checkpoint was taken from resumes; the rest
-    // rerun from scratch
-    let resumed = resume.and_then(|path| {
-        let info = aq_sim::peek_checkpoint(path).ok()?;
-        if info.label != name {
-            return None;
-        }
-        Simulator::resume(ctx.clone(), circuit, path, options.clone()).ok()
-    });
-    let (mut sim, mut aborted) = match resumed {
-        Some((sim, _)) => (sim, None),
-        None => {
-            let mut sim = Simulator::with_options(ctx, circuit, options);
-            let aborted = sim.try_reset_to(start).err().map(|e| e.to_string());
-            (sim, aborted)
-        }
-    };
-    let t = Instant::now();
-    while aborted.is_none() {
-        match sim.try_step() {
-            Ok(true) => {}
-            Ok(false) => break,
-            Err(e) => {
-                if let Some(path) = checkpoint {
-                    if let Err(ckpt_err) = sim.checkpoint(path, name) {
-                        eprintln!("warning: could not write checkpoint: {ckpt_err}");
-                    }
-                }
-                aborted = Some(e.to_string());
-            }
-        }
-    }
-    let seconds = t.elapsed().as_secs_f64();
+    let mut spec = JobSpec::new(circuit, start, scheme);
+    // The workload name is the checkpoint label: only the workload a
+    // checkpoint was taken from resumes, the rest rerun from scratch.
+    spec.label = name.to_string();
+    spec.options.budget = budget;
+    spec.options.checkpoint_on_abort = checkpoint.map(Path::to_path_buf);
+    spec.resume = resume.map(Path::to_path_buf);
+    spec.top_k = 0; // throughput measurement; skip amplitude extraction
+    let outcome = run_job(&spec, None);
     Sample {
         name,
-        gates: sim.gates_applied(),
-        seconds,
-        final_nodes: sim.nodes(),
-        stats: sim.statistics(),
-        aborted,
+        gates: outcome.gates_applied,
+        seconds: outcome.seconds,
+        final_nodes: outcome.final_nodes,
+        stats: outcome.statistics,
+        aborted: outcome.aborted.map(|a| a.reason),
     }
 }
 
@@ -172,7 +140,7 @@ fn main() {
     let samples = [
         run(
             "grover10/numeric_eps1e-10",
-            NumericContext::with_eps(1e-10),
+            SchemeSpec::Numeric { eps: 1e-10 },
             &grover_c,
             0,
             budget,
@@ -181,7 +149,7 @@ fn main() {
         ),
         run(
             "grover10/algebraic_qomega",
-            QomegaContext::new(),
+            SchemeSpec::Qomega,
             &grover_c,
             0,
             budget,
@@ -190,7 +158,7 @@ fn main() {
         ),
         run(
             "grover10/algebraic_gcd",
-            GcdContext::new(),
+            SchemeSpec::Gcd,
             &grover_c,
             0,
             budget,
@@ -199,7 +167,7 @@ fn main() {
         ),
         run(
             "bwt_h3/numeric_eps1e-10",
-            NumericContext::with_eps(1e-10),
+            SchemeSpec::Numeric { eps: 1e-10 },
             &bwt_c,
             entrance,
             budget,
@@ -208,7 +176,7 @@ fn main() {
         ),
         run(
             "bwt_h3/algebraic_qomega",
-            QomegaContext::new(),
+            SchemeSpec::Qomega,
             &bwt_c,
             entrance,
             budget,

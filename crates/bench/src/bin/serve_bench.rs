@@ -1,0 +1,205 @@
+//! Service load benchmark: drives an in-process `aq-serve` core with a
+//! closed-loop client fleet at 1, 4 and 8 workers and emits
+//! `BENCH_serve.json` with throughput (jobs/s) and exact client-side
+//! latency quantiles (p50/p99), next to the server's own bucketed
+//! histogram estimates for comparison.
+//!
+//! Usage: `cargo run --release -p aq-bench --bin serve_bench
+//! [-- <out.json>] [--jobs=N]`
+//!
+//! Every worker is pinned numeric and every job is a numeric Grover
+//! search, so the three configurations measure pool scaling rather than
+//! scheme mix.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aq_dd::RunBudget;
+use aq_serve::{
+    CircuitSpec, Client, JobState, Response, SchemeClass, ServeConfig, ServeCore, SubmitRequest,
+};
+use aq_sim::SchemeSpec;
+
+struct ConfigResult {
+    workers: usize,
+    jobs: usize,
+    seconds: f64,
+    jobs_per_second: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    server_p50_ms: Option<u64>,
+    server_p99_ms: Option<u64>,
+    completed: u64,
+    aborted: u64,
+}
+
+/// Exact quantile of a sorted latency sample (nearest-rank).
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_config(workers: usize, total_jobs: usize) -> ConfigResult {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric; workers],
+        queue_capacity: total_jobs.max(8) * 2,
+        checkpoint_dir: std::env::temp_dir()
+            .join(format!("aq-serve-bench-{}-w{workers}", std::process::id())),
+    };
+    let core = ServeCore::start(cfg);
+    let client = Client::new(Arc::clone(&core));
+
+    // Closed loop: 2 client threads per worker, each submitting and then
+    // waiting for one job at a time until the shared job budget is spent.
+    let submitters = (workers * 2).max(2);
+    let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(total_jobs));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..submitters)
+        .map(|s| {
+            let client = client.clone();
+            let remaining = Arc::clone(&remaining);
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::new();
+                let mut i = 0u64;
+                while remaining
+                    .fetch_update(
+                        std::sync::atomic::Ordering::Relaxed,
+                        std::sync::atomic::Ordering::Relaxed,
+                        |n| n.checked_sub(1),
+                    )
+                    .is_ok()
+                {
+                    // vary the oracle so consing across jobs stays honest
+                    let marked = (s as u64 * 31 + i * 7) % 64;
+                    i += 1;
+                    let t = Instant::now();
+                    let submitted = client.submit(SubmitRequest {
+                        circuit: CircuitSpec::Grover { n: 6, marked },
+                        scheme: SchemeSpec::Numeric { eps: 1e-10 },
+                        priority: 0,
+                        budget: RunBudget::unlimited().with_max_nodes(5_000_000),
+                        resume: None,
+                        top_k: 1,
+                    });
+                    let job = match submitted {
+                        Response::Submitted { job } => job,
+                        other => panic!("bench submission refused: {other:?}"),
+                    };
+                    match client.wait(job, Duration::from_secs(300)) {
+                        Response::Status(report) => {
+                            assert_eq!(report.state, JobState::Completed, "job {job}")
+                        }
+                        other => panic!("bench wait failed: {other:?}"),
+                    }
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("submitter thread"))
+        .collect();
+    let seconds = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+
+    match client.drain() {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    let m = client.metrics();
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+    client.shutdown();
+
+    ConfigResult {
+        workers,
+        jobs: latencies.len(),
+        seconds,
+        jobs_per_second: latencies.len() as f64 / seconds,
+        p50_ms: quantile_ms(&latencies, 0.50),
+        p99_ms: quantile_ms(&latencies, 0.99),
+        server_p50_ms: m.p50_ms,
+        server_p99_ms: m.p99_ms,
+        completed: m.completed,
+        aborted: m.aborted,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let total_jobs: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--jobs="))
+        .map(|v| v.parse().expect("--jobs=N"))
+        .unwrap_or(64);
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let results: Vec<ConfigResult> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            let r = run_config(w, total_jobs);
+            println!(
+                "{:>2} workers: {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  p50 {:>8.2}ms  p99 {:>8.2}ms  (server buckets: p50<={:?}ms p99<={:?}ms)",
+                r.workers, r.jobs, r.seconds, r.jobs_per_second, r.p50_ms, r.p99_ms,
+                r.server_p50_ms, r.server_p99_ms,
+            );
+            r
+        })
+        .collect();
+
+    let mut body = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            body,
+            concat!(
+                "    {{\n",
+                "      \"workers\": {},\n",
+                "      \"jobs\": {},\n",
+                "      \"seconds\": {:.6},\n",
+                "      \"jobs_per_second\": {:.3},\n",
+                "      \"p50_ms\": {:.3},\n",
+                "      \"p99_ms\": {:.3},\n",
+                "      \"server_p50_ms\": {},\n",
+                "      \"server_p99_ms\": {},\n",
+                "      \"completed\": {},\n",
+                "      \"aborted\": {}\n",
+                "    }}{}"
+            ),
+            r.workers,
+            r.jobs,
+            r.seconds,
+            r.jobs_per_second,
+            r.p50_ms,
+            r.p99_ms,
+            r.server_p50_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".into()),
+            r.server_p99_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".into()),
+            r.completed,
+            r.aborted,
+            if i + 1 < results.len() { ",\n" } else { "\n" },
+        );
+    }
+    // Worker scaling is bounded by the machine: on a single-core host the
+    // 4- and 8-worker rows measure queueing behaviour, not speedup.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"aq-serve load\",\n  \"workload\": \"grover6 numeric eps=1e-10, closed loop, 2 clients per worker\",\n  \"host_cores\": {cores},\n  \"jobs_per_config\": {total_jobs},\n  \"configs\": [\n{body}  ]\n}}\n",
+    );
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

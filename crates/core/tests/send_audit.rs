@@ -1,0 +1,35 @@
+//! Compile-time thread-safety audit for the serving layer.
+//!
+//! `aq-serve` moves managers (inside simulators/jobs) across worker
+//! threads: one `Manager` per worker, never shared. That requires `Send`
+//! but not `Sync`. These assertions are checked by the compiler — if a
+//! non-`Send` member (an `Rc`, a raw pointer, a thread-local handle) ever
+//! sneaks into the engine, this test stops compiling rather than the
+//! server failing at a distance.
+
+use aq_dd::{
+    Edge, EngineError, EngineStatistics, GcdContext, Manager, MatId, NumericContext, QomegaContext,
+    RunBudget, VecId,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn managers_over_every_context_are_send() {
+    assert_send::<Manager<NumericContext>>();
+    assert_send::<Manager<QomegaContext>>();
+    assert_send::<Manager<GcdContext>>();
+}
+
+#[test]
+fn contexts_and_plain_data_are_send_and_sync() {
+    assert_send_sync::<NumericContext>();
+    assert_send_sync::<QomegaContext>();
+    assert_send_sync::<GcdContext>();
+    assert_send_sync::<Edge<VecId>>();
+    assert_send_sync::<Edge<MatId>>();
+    assert_send_sync::<EngineError>();
+    assert_send_sync::<EngineStatistics>();
+    assert_send_sync::<RunBudget>();
+}

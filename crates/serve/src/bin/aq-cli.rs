@@ -1,0 +1,199 @@
+//! `aq-cli` — a thin command-line client for `aq-served`.
+//!
+//! ```text
+//! aq-cli --addr=HOST:PORT submit --circuit=grover --n=6 --marked=5
+//!        [--scheme=numeric|qomega|gcd] [--eps=1e-10] [--priority=0..9]
+//!        [--max-nodes=N] [--max-weights=N] [--max-bits=N]
+//!        [--deadline-secs=S] [--resume=PATH] [--top-k=K] [--wait=SECS]
+//! aq-cli --addr=HOST:PORT status --job=ID
+//! aq-cli --addr=HOST:PORT wait --job=ID [--timeout=SECS]
+//! aq-cli --addr=HOST:PORT metrics | drain | shutdown
+//! ```
+//!
+//! Prints the server's JSON response line(s) on stdout. Exit status is 0
+//! when every response had `"ok":true`, 1 otherwise (a *rejected*
+//! submission or *aborted* job is still `ok:true` — inspect `state`).
+
+use std::collections::HashMap;
+
+use aq_serve::{Json, TcpClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aq-cli --addr=HOST:PORT <submit|status|wait|metrics|drain|shutdown> [flags]\n\
+         see `aq-cli --help` in the README \"Serving\" section for flag details"
+    );
+    std::process::exit(2);
+}
+
+fn flag_map(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for a in args {
+        let Some(rest) = a.strip_prefix("--") else {
+            usage();
+        };
+        match rest.split_once('=') {
+            Some((k, v)) => map.insert(k.to_string(), v.to_string()),
+            None => map.insert(rest.to_string(), String::new()),
+        };
+    }
+    map
+}
+
+fn num_field(map: &HashMap<String, String>, key: &str) -> Option<(String, Json)> {
+    map.get(key).map(|v| {
+        let n: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("aq-cli: --{key} expects a number, got {v:?}");
+            std::process::exit(2);
+        });
+        (key.replace('-', "_"), Json::Num(n))
+    })
+}
+
+fn build_submit(map: &HashMap<String, String>) -> String {
+    let mut pairs: Vec<(String, Json)> = vec![("verb".into(), Json::str("submit"))];
+    match map.get("qasm-file") {
+        Some(path) => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("aq-cli: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            pairs.push(("qasm".into(), Json::str(src)));
+        }
+        None => {
+            let circuit = map.get("circuit").unwrap_or_else(|| usage());
+            pairs.push(("circuit".into(), Json::str(circuit.as_str())));
+            for key in [
+                "n",
+                "marked",
+                "height",
+                "steps",
+                "seed",
+                "precision-bits",
+                "trotter-slices",
+            ] {
+                if let Some(p) = num_field(map, key) {
+                    pairs.push(p);
+                }
+            }
+        }
+    }
+    if let Some(s) = map.get("scheme") {
+        pairs.push(("scheme".into(), Json::str(s.as_str())));
+    }
+    for key in ["eps", "priority", "top-k"] {
+        if let Some((k, v)) = num_field(map, key) {
+            pairs.push((if k == "top_k" { "top_k".into() } else { k }, v));
+        }
+    }
+    if let Some(r) = map.get("resume") {
+        pairs.push(("resume".into(), Json::str(r.as_str())));
+    }
+    let budget: Vec<(String, Json)> = ["max-nodes", "max-weights", "max-bits", "deadline-secs"]
+        .iter()
+        .filter_map(|k| num_field(map, k))
+        .collect();
+    pairs.push(("budget".into(), Json::Obj(budget)));
+    Json::Obj(pairs).render()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut verb = None;
+    let mut rest = Vec::new();
+    for a in &args {
+        if let Some(v) = a.strip_prefix("--addr=") {
+            addr = Some(v.to_string());
+        } else if verb.is_none() && !a.starts_with("--") {
+            verb = Some(a.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let (Some(addr), Some(verb)) = (addr, verb) else {
+        usage();
+    };
+    let map = flag_map(&rest);
+
+    let job_line = |map: &HashMap<String, String>, verb: &str, timeout_key: Option<&str>| {
+        let job: u64 = map
+            .get("job")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        let mut pairs = vec![
+            ("verb".into(), Json::str(verb)),
+            ("job".into(), Json::Num(job as f64)),
+        ];
+        if let Some(key) = timeout_key {
+            if let Some(t) = map.get(key).and_then(|v| v.parse::<f64>().ok()) {
+                pairs.push(("timeout_secs".into(), Json::Num(t)));
+            }
+        }
+        Json::Obj(pairs).render()
+    };
+
+    let line = match verb.as_str() {
+        "submit" => build_submit(&map),
+        "status" => job_line(&map, "status", None),
+        "wait" => job_line(&map, "wait", Some("timeout")),
+        "metrics" => Json::obj(vec![("verb", Json::str("metrics"))]).render(),
+        "drain" => Json::obj(vec![("verb", Json::str("drain"))]).render(),
+        "shutdown" => Json::obj(vec![("verb", Json::str("shutdown"))]).render(),
+        _ => usage(),
+    };
+
+    let mut client = TcpClient::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("aq-cli: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut all_ok = true;
+    let mut check_and_print = |response: String| {
+        let ok = Json::parse(&response)
+            .ok()
+            .and_then(|j| j.get("ok").and_then(Json::as_bool))
+            .unwrap_or(false);
+        all_ok &= ok;
+        println!("{response}");
+        Json::parse(&response).ok()
+    };
+
+    let response = client.roundtrip(&line).unwrap_or_else(|e| {
+        eprintln!("aq-cli: request failed: {e}");
+        std::process::exit(1);
+    });
+    let parsed = check_and_print(response);
+
+    // `submit --wait=SECS` chains a wait on the job id just returned.
+    if verb == "submit" {
+        if let Some(secs) = map.get("wait").and_then(|v| v.parse::<f64>().ok()) {
+            let job = parsed
+                .as_ref()
+                .and_then(|j| j.get("job"))
+                .and_then(Json::as_u64);
+            match job {
+                Some(job) => {
+                    let wait = Json::obj(vec![
+                        ("verb", Json::str("wait")),
+                        ("job", Json::Num(job as f64)),
+                        ("timeout_secs", Json::Num(secs)),
+                    ])
+                    .render();
+                    match client.roundtrip(&wait) {
+                        Ok(r) => {
+                            check_and_print(r);
+                        }
+                        Err(e) => {
+                            eprintln!("aq-cli: wait failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => {
+                    // Rejected submissions have no job id; nothing to wait on.
+                }
+            }
+        }
+    }
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,81 @@
+//! `aq-served` — the batch-simulation server.
+//!
+//! ```text
+//! aq-served [--port=N] [--workers=N | --pin=numeric,algebraic,...]
+//!           [--queue=N] [--checkpoint-dir=PATH]
+//! ```
+//!
+//! `--port=0` binds an ephemeral port; the chosen address is printed as
+//! a `listening on 127.0.0.1:PORT` line so scripts can scrape it. The
+//! process exits after a client sends the `shutdown` verb.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use aq_serve::{SchemeClass, ServeConfig, ServeCore, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aq-served [--port=N] [--workers=N | --pin=numeric,algebraic,...] \
+         [--queue=N] [--checkpoint-dir=PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut port: u16 = 7878;
+    let mut cfg = ServeConfig::default();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--port=") {
+            port = match v.parse() {
+                Ok(p) => p,
+                Err(_) => usage(),
+            };
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            let n: usize = match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage(),
+            };
+            cfg.workers = ServeConfig::with_workers(n).workers;
+        } else if let Some(v) = arg.strip_prefix("--pin=") {
+            let pins: Option<Vec<SchemeClass>> = v.split(',').map(SchemeClass::parse).collect();
+            match pins {
+                Some(p) if !p.is_empty() => cfg.workers = p,
+                _ => usage(),
+            }
+        } else if let Some(v) = arg.strip_prefix("--queue=") {
+            cfg.queue_capacity = match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage(),
+            };
+        } else if let Some(v) = arg.strip_prefix("--checkpoint-dir=") {
+            cfg.checkpoint_dir = PathBuf::from(v);
+        } else {
+            usage();
+        }
+    }
+
+    let pins: Vec<&str> = cfg.workers.iter().map(|c| c.as_str()).collect();
+    eprintln!(
+        "aq-served: {} workers [{}], queue capacity {}, checkpoints in {}",
+        cfg.workers.len(),
+        pins.join(","),
+        cfg.queue_capacity,
+        cfg.checkpoint_dir.display()
+    );
+    let core = ServeCore::start(cfg);
+    let server = match Server::bind(Arc::clone(&core), port) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("aq-served: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scrapeable by scripts (stdout, flushed by println).
+    println!("listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("aq-served: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("aq-served: stopped");
+}

@@ -1,0 +1,148 @@
+//! Clients: an in-process handle for tests/benchmarks and a TCP line
+//! client for the CLI.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{Request, SubmitRequest, MAX_FRAME_BYTES};
+use crate::service::{MetricsReport, Response, ServeCore};
+
+/// An in-process client: the same request/response surface as the wire,
+/// minus serialization. This is what the integration tests and the load
+/// benchmark use, so the service semantics are exercised identically
+/// with and without TCP in the middle.
+#[derive(Debug, Clone)]
+pub struct Client {
+    core: Arc<ServeCore>,
+}
+
+impl Client {
+    /// Wraps a running core.
+    pub fn new(core: Arc<ServeCore>) -> Client {
+        Client { core }
+    }
+
+    /// Sends any request.
+    pub fn request(&self, request: Request) -> Response {
+        self.core.handle(request)
+    }
+
+    /// Submits a job.
+    pub fn submit(&self, submit: SubmitRequest) -> Response {
+        self.core.handle(Request::Submit(Box::new(submit)))
+    }
+
+    /// Queries a job's state.
+    pub fn status(&self, job: u64) -> Response {
+        self.core.handle(Request::Status { job })
+    }
+
+    /// Blocks until the job is terminal (or the timeout).
+    pub fn wait(&self, job: u64, timeout: Duration) -> Response {
+        self.core.handle(Request::Wait { job, timeout })
+    }
+
+    /// Fetches a metrics snapshot.
+    pub fn metrics(&self) -> MetricsReport {
+        self.core.metrics_report()
+    }
+
+    /// Stops admission and waits for in-flight jobs.
+    pub fn drain(&self) -> Response {
+        self.core.handle(Request::Drain)
+    }
+
+    /// Stops the service (evicting/cancelling as documented on the
+    /// `Shutdown` request).
+    pub fn shutdown(&self) -> Response {
+        self.core.handle(Request::Shutdown)
+    }
+}
+
+/// A blocking TCP client speaking the line protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; an oversized or missing response line is
+    /// reported as [`io::ErrorKind::InvalidData`] /
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one response line (without sending anything).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::roundtrip`].
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut buf = Vec::new();
+        let mut limited = (&mut self.reader).take((MAX_FRAME_BYTES + 1) as u64);
+        limited.read_until(b'\n', &mut buf)?;
+        if buf.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response frame too large",
+            ));
+        }
+        while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        String::from_utf8(buf)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))
+    }
+
+    /// Sends raw bytes verbatim (fault-injection tests use this to send
+    /// deliberately broken frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Half-closes the write side, signalling EOF to the server while
+    /// keeping the read side open for its final response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown failure.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}

@@ -1,0 +1,41 @@
+//! # aq-serve — a concurrent batch-simulation service
+//!
+//! A std-only serving layer over the `aqudd` engine: clients submit
+//! circuit-simulation jobs (by name or inline QASM, with a weight scheme
+//! and a **mandatory** resource budget), a hand-rolled worker pool runs
+//! them fail-soft, and a `metrics` verb exposes live counters, queue
+//! depth, latency histograms and per-worker engine statistics.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`ServeCore`] — queue + registry + worker pool; speak typed
+//!   [`Request`]/[`Response`] to it directly or through the in-process
+//!   [`Client`].
+//! - [`Server`] — line-delimited JSON over TCP localhost (the
+//!   `aq-served` binary); [`TcpClient`] / the `aq-cli` binary talk to
+//!   it.
+//! - [`protocol`] — the wire grammar, circuit specs and request parsing,
+//!   reusable without a socket.
+//!
+//! Design notes live in the workspace `DESIGN.md` ("Service layer").
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, TcpClient};
+pub use json::Json;
+pub use metrics::{histogram_quantile_ms, LatencyHistogram, Metrics, WorkerStats};
+pub use protocol::{CircuitSpec, Request, SubmitRequest, MAX_FRAME_BYTES, MAX_QUBITS};
+pub use queue::{AdmissionError, JobQueue};
+pub use server::Server;
+pub use service::{
+    JobState, JobStatusReport, MetricsReport, Response, SchemeClass, ServeConfig, ServeCore,
+    WorkerReport,
+};

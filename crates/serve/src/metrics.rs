@@ -1,0 +1,196 @@
+//! Live service metrics: lifecycle counters, queue depth, a fixed-bucket
+//! latency histogram, and per-worker aggregated engine statistics.
+//!
+//! Counters are atomics (updated from worker and connection threads
+//! without locks); the reconciliation identity the service guarantees at
+//! quiescence is
+//!
+//! ```text
+//! submitted == completed + aborted + rejected
+//! ```
+//!
+//! where `aborted` includes evictions (tracked separately in `evicted`
+//! as well) and `rejected` counts submissions that never became jobs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use aq_dd::EngineStatistics;
+
+/// Upper edges (milliseconds) of the latency histogram buckets; a final
+/// implicit overflow bucket catches everything slower.
+pub const LATENCY_BUCKET_EDGES_MS: [u64; 12] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000];
+
+/// Number of histogram buckets (the edges plus the overflow bucket).
+pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_EDGES_MS.len() + 1;
+
+/// A hand-rolled fixed-bucket histogram of job latencies
+/// (submission-to-terminal-state, queue wait included).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let ms = latency.as_millis() as u64;
+        let idx = LATENCY_BUCKET_EDGES_MS
+            .iter()
+            .position(|&edge| ms <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn counts(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Upper-bound estimate of quantile `q` (in `[0, 1]`) from bucket counts:
+/// the upper edge of the bucket containing the q-th observation, in
+/// milliseconds (`None` while empty; the overflow bucket reports the last
+/// edge, i.e. "≥ 5000").
+pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(
+                LATENCY_BUCKET_EDGES_MS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*LATENCY_BUCKET_EDGES_MS.last().unwrap()),
+            );
+        }
+    }
+    None
+}
+
+/// Aggregated per-worker measurements, accumulated after every job.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker ran to a terminal state.
+    pub jobs: u64,
+    /// Summed engine counters over every job the worker ran.
+    pub engine: EngineStatistics,
+    /// Summed wall-clock seconds spent inside job step loops.
+    pub busy_seconds: f64,
+}
+
+/// Sums two [`EngineStatistics`] field-wise (the engine itself has no
+/// cross-manager aggregation — each job runs its own manager).
+pub fn add_engine_statistics(acc: &mut EngineStatistics, s: &EngineStatistics) {
+    for (a, b) in [
+        (&mut acc.add_vec, &s.add_vec),
+        (&mut acc.add_mat, &s.add_mat),
+        (&mut acc.mv, &s.mv),
+        (&mut acc.mm, &s.mm),
+    ] {
+        a.lookups += b.lookups;
+        a.hits += b.hits;
+        a.misses += b.misses;
+        a.insertions += b.insertions;
+        a.evictions += b.evictions;
+        a.updates += b.updates;
+        a.cleared += b.cleared;
+    }
+    acc.vec_nodes += s.vec_nodes;
+    acc.mat_nodes += s.mat_nodes;
+    acc.vec_unique_len += s.vec_unique_len;
+    acc.vec_unique_capacity += s.vec_unique_capacity;
+    acc.mat_unique_len += s.mat_unique_len;
+    acc.mat_unique_capacity += s.mat_unique_capacity;
+    acc.distinct_weights += s.distinct_weights;
+    acc.compactions += s.compactions;
+}
+
+/// The service's shared metrics state.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Submit requests received (accepted + rejected).
+    pub submitted: AtomicU64,
+    /// Jobs that ran the whole circuit.
+    pub completed: AtomicU64,
+    /// Jobs that stopped early (budget, engine error, or eviction).
+    pub aborted: AtomicU64,
+    /// Submissions refused by admission control.
+    pub rejected: AtomicU64,
+    /// Subset of `aborted` that were evicted by drain/shutdown/cancel.
+    pub evicted: AtomicU64,
+    /// Jobs currently inside a worker.
+    pub running: AtomicU64,
+    /// Latency from submission to terminal state.
+    pub latency: LatencyHistogram,
+    /// Per-worker aggregates, indexed by worker id.
+    pub workers: Mutex<Vec<WorkerStats>>,
+}
+
+impl Metrics {
+    /// Creates metrics storage for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            workers: Mutex::new(vec![WorkerStats::default(); workers]),
+            ..Metrics::default()
+        }
+    }
+
+    /// Folds one finished job into a worker's aggregate row.
+    pub fn record_worker_job(&self, worker: usize, engine: &EngineStatistics, seconds: f64) {
+        let mut rows = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(row) = rows.get_mut(worker) {
+            row.jobs += 1;
+            row.busy_seconds += seconds;
+            add_engine_statistics(&mut row.engine, engine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for ms in [0, 1, 3, 9, 80, 80, 80, 400, 6_000, 100_000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let counts = h.counts();
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert_eq!(counts[0], 2); // 0ms and 1ms in the ≤1ms bucket
+        assert_eq!(counts[LATENCY_BUCKETS - 1], 2); // both overflows
+        assert_eq!(histogram_quantile_ms(&counts, 0.5), Some(100));
+        assert_eq!(histogram_quantile_ms(&counts, 1.0), Some(5_000));
+        assert_eq!(histogram_quantile_ms(&counts, 0.0), Some(1));
+        assert_eq!(
+            histogram_quantile_ms(&[0; LATENCY_BUCKETS], 0.5),
+            None,
+            "empty histogram has no quantiles"
+        );
+    }
+
+    #[test]
+    fn engine_statistics_sum_fieldwise() {
+        let mut a = EngineStatistics::default();
+        let mut one = EngineStatistics::default();
+        one.mv.lookups = 10;
+        one.mv.hits = 7;
+        one.vec_nodes = 5;
+        one.compactions = 1;
+        add_engine_statistics(&mut a, &one);
+        add_engine_statistics(&mut a, &one);
+        assert_eq!(a.mv.lookups, 20);
+        assert_eq!(a.mv.hits, 14);
+        assert_eq!(a.vec_nodes, 10);
+        assert_eq!(a.compactions, 2);
+    }
+}

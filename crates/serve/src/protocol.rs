@@ -1,0 +1,480 @@
+//! The line-delimited wire protocol: one JSON object per line, request in,
+//! response out.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request    = submit | status | wait | metrics | drain | shutdown
+//! submit     = {"verb":"submit", circuit..., "scheme":"numeric"|"qomega"|"gcd",
+//!               ["eps":<f64>,] ["priority":0..=9,] ["top_k":<n>,]
+//!               ["resume":"<path>",]
+//!               "budget":{["max_nodes":n,]["max_weights":n,]
+//!                         ["max_bits":n,]["deadline_secs":s]}}
+//! circuit    = "circuit":"grover","n":n,"marked":m
+//!            | "circuit":"bwt","height":h,"steps":s[,"seed":x]
+//!            | "circuit":"gse"[,"precision_bits":b][,"trotter_slices":t]
+//!            | "circuit":"qft","n":n
+//!            | "qasm":"<inline OpenQASM 2.0>"
+//! status     = {"verb":"status","job":id}
+//! wait       = {"verb":"wait","job":id[,"timeout_secs":s]}
+//! metrics    = {"verb":"metrics"}
+//! drain      = {"verb":"drain"}
+//! shutdown   = {"verb":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`: protocol-level failures (malformed
+//! JSON, unknown verbs, oversized frames) are `{"ok":false,"error":...}`;
+//! everything the service decided — including *rejected* submissions and
+//! *aborted* jobs, which are valid outcomes — is `"ok":true` with a
+//! `"state"` field. Frames are capped at [`MAX_FRAME_BYTES`].
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use aq_circuits::{bwt, grover, qft, BwtParams, Circuit, GseParams};
+use aq_dd::RunBudget;
+use aq_sim::SchemeSpec;
+
+use crate::json::Json;
+
+/// Hard cap on one request or response line, in bytes (including the
+/// newline). Inline QASM must fit; bigger circuits belong in files.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Widest register the service admits. Wider jobs are rejected at
+/// submission: amplitude extraction is `O(2ⁿ)` and a serving process must
+/// not be wedged by one pathological request.
+pub const MAX_QUBITS: u32 = 24;
+
+/// What circuit a submission asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitSpec {
+    /// Grover search over `n` qubits for `marked`.
+    Grover {
+        /// Data qubits.
+        n: u32,
+        /// Marked element.
+        marked: u64,
+    },
+    /// Binary Welded Tree walk.
+    Bwt {
+        /// Tree height.
+        height: u32,
+        /// Trotter steps.
+        steps: u32,
+        /// Weld permutation seed.
+        seed: u64,
+    },
+    /// Ground State Estimation (numeric schemes only — its rotation
+    /// angles are not in `D[ω]`; algebraic runs abort fail-soft).
+    Gse {
+        /// Counting-register width.
+        precision_bits: u32,
+        /// Trotter slices.
+        trotter_slices: u32,
+    },
+    /// Quantum Fourier transform on `n` qubits.
+    Qft {
+        /// Register width.
+        n: u32,
+    },
+    /// Inline OpenQASM 2.0 source.
+    Qasm(String),
+}
+
+impl CircuitSpec {
+    /// Builds the circuit and its start basis state, validating every
+    /// parameter first — a bad request must come back as a rejection
+    /// reason, never reach a panicking constructor.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable rejection reason.
+    pub fn build(&self) -> Result<(Circuit, u64), String> {
+        match self {
+            CircuitSpec::Grover { n, marked } => {
+                if !(1..=MAX_QUBITS).contains(n) {
+                    return Err(format!("grover: n must be in 1..={MAX_QUBITS}, got {n}"));
+                }
+                if *marked >= 1u64 << n {
+                    return Err(format!("grover: marked {marked} out of range for n={n}"));
+                }
+                Ok((grover(*n, *marked), 0))
+            }
+            CircuitSpec::Bwt {
+                height,
+                steps,
+                seed,
+            } => {
+                if !(1..=6).contains(height) {
+                    return Err(format!("bwt: height must be in 1..=6, got {height}"));
+                }
+                if !(1..=10_000).contains(steps) {
+                    return Err(format!("bwt: steps must be in 1..=10000, got {steps}"));
+                }
+                let (c, tree) = bwt(BwtParams {
+                    height: *height,
+                    steps: *steps,
+                    seed: *seed,
+                });
+                Ok((c, tree.entrance()))
+            }
+            CircuitSpec::Gse {
+                precision_bits,
+                trotter_slices,
+            } => {
+                if !(1..=12).contains(precision_bits) {
+                    return Err(format!(
+                        "gse: precision_bits must be in 1..=12, got {precision_bits}"
+                    ));
+                }
+                if !(1..=64).contains(trotter_slices) {
+                    return Err(format!(
+                        "gse: trotter_slices must be in 1..=64, got {trotter_slices}"
+                    ));
+                }
+                let params = GseParams {
+                    precision_bits: *precision_bits,
+                    trotter_slices: *trotter_slices,
+                    ..GseParams::default()
+                };
+                // the circuit prepares its own initial state (as the
+                // figure harness does), so runs start from |0…0⟩
+                Ok((aq_circuits::gse(&params), 0))
+            }
+            CircuitSpec::Qft { n } => {
+                if !(1..=MAX_QUBITS).contains(n) {
+                    return Err(format!("qft: n must be in 1..={MAX_QUBITS}, got {n}"));
+                }
+                Ok((qft(*n), 0))
+            }
+            CircuitSpec::Qasm(src) => {
+                let c = aq_circuits::qasm::parse_qasm(src).map_err(|e| e.to_string())?;
+                if c.n_qubits() > MAX_QUBITS {
+                    return Err(format!(
+                        "qasm: {} qubits exceeds the service limit of {MAX_QUBITS}",
+                        c.n_qubits()
+                    ));
+                }
+                if c.is_empty() {
+                    return Err("qasm: circuit has no operations".into());
+                }
+                Ok((c, 0))
+            }
+        }
+    }
+
+    /// Canonical label for checkpoints and reports (`grover6x42`,
+    /// `qasm@<fingerprint>` …).
+    pub fn label(&self) -> String {
+        match self {
+            CircuitSpec::Grover { n, marked } => format!("grover{n}x{marked}"),
+            CircuitSpec::Bwt {
+                height,
+                steps,
+                seed,
+            } => format!("bwt_h{height}s{steps}x{seed:x}"),
+            CircuitSpec::Gse {
+                precision_bits,
+                trotter_slices,
+            } => format!("gse_p{precision_bits}t{trotter_slices}"),
+            CircuitSpec::Qft { n } => format!("qft{n}"),
+            CircuitSpec::Qasm(src) => {
+                // FNV-1a over the source: stable identity without keeping
+                // the text in every label
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in src.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                format!("qasm@{h:016x}")
+            }
+        }
+    }
+}
+
+/// A parsed submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// What to simulate.
+    pub circuit: CircuitSpec,
+    /// Which weight system to run under.
+    pub scheme: SchemeSpec,
+    /// Queue priority, 0 (lowest) to 9; higher runs first.
+    pub priority: u8,
+    /// Mandatory resource budget (admission rejects unlimited budgets —
+    /// a multi-tenant service must not host unbounded jobs).
+    pub budget: RunBudget,
+    /// Checkpoint file to resume from.
+    pub resume: Option<PathBuf>,
+    /// Top measurement probabilities to report.
+    pub top_k: usize,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(Box<SubmitRequest>),
+    /// Query a job's state.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Block until a job reaches a terminal state (or the timeout).
+    Wait {
+        /// Job id.
+        job: u64,
+        /// Give up after this long.
+        timeout: Duration,
+    },
+    /// Fetch service metrics.
+    Metrics,
+    /// Stop admission and wait for in-flight work to finish.
+    Drain,
+    /// Stop admission, evict the queue, cancel running jobs (they
+    /// checkpoint), stop the workers.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable protocol error (malformed JSON, missing or
+    /// ill-typed fields, unknown verb).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        if line.trim().is_empty() {
+            return Err("empty request".into());
+        }
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let verb = v
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `verb`")?;
+        match verb {
+            "submit" => Ok(Request::Submit(Box::new(parse_submit(&v)?))),
+            "status" => Ok(Request::Status {
+                job: require_u64(&v, "job")?,
+            }),
+            "wait" => Ok(Request::Wait {
+                job: require_u64(&v, "job")?,
+                timeout: Duration::from_secs_f64(
+                    opt_f64(&v, "timeout_secs")?
+                        .unwrap_or(60.0)
+                        .clamp(0.0, 600.0),
+                ),
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "drain" => Ok(Request::Drain),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+}
+
+fn require_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
+    let circuit = if let Some(src) = v.get("qasm").and_then(Json::as_str) {
+        CircuitSpec::Qasm(src.to_string())
+    } else {
+        match v.get("circuit").and_then(Json::as_str) {
+            Some("grover") => CircuitSpec::Grover {
+                n: require_u64(v, "n")? as u32,
+                marked: require_u64(v, "marked")?,
+            },
+            Some("bwt") => CircuitSpec::Bwt {
+                height: require_u64(v, "height")? as u32,
+                steps: require_u64(v, "steps")? as u32,
+                seed: opt_u64(v, "seed")?.unwrap_or(0xBD7),
+            },
+            Some("gse") => CircuitSpec::Gse {
+                precision_bits: opt_u64(v, "precision_bits")?.unwrap_or(4) as u32,
+                trotter_slices: opt_u64(v, "trotter_slices")?.unwrap_or(1) as u32,
+            },
+            Some("qft") => CircuitSpec::Qft {
+                n: require_u64(v, "n")? as u32,
+            },
+            Some(other) => {
+                return Err(format!(
+                    "unknown circuit `{other}` (expected grover|bwt|gse|qft, or inline `qasm`)"
+                ))
+            }
+            None => return Err("submit needs either `circuit` or `qasm`".into()),
+        }
+    };
+
+    let scheme = match v.get("scheme").and_then(Json::as_str) {
+        Some("numeric") | None => SchemeSpec::Numeric {
+            eps: opt_f64(v, "eps")?.unwrap_or(1e-10),
+        },
+        Some("qomega") => SchemeSpec::Qomega,
+        Some("gcd") => SchemeSpec::Gcd,
+        Some(other) => {
+            return Err(format!(
+                "unknown scheme `{other}` (expected numeric|qomega|gcd)"
+            ))
+        }
+    };
+    if let SchemeSpec::Numeric { eps } = &scheme {
+        if !(0.0..=1.0).contains(eps) {
+            return Err(format!("eps must be in [0, 1], got {eps}"));
+        }
+    }
+
+    let priority = match opt_u64(v, "priority")?.unwrap_or(0) {
+        p @ 0..=9 => p as u8,
+        p => return Err(format!("priority must be 0..=9, got {p}")),
+    };
+
+    let budget_json = v.get("budget").cloned().unwrap_or(Json::Null);
+    let mut budget = RunBudget::unlimited();
+    if let Some(n) = opt_u64(&budget_json, "max_nodes")? {
+        budget = budget.with_max_nodes(n as usize);
+    }
+    if let Some(n) = opt_u64(&budget_json, "max_weights")? {
+        budget = budget.with_max_distinct_weights(n as usize);
+    }
+    if let Some(n) = opt_u64(&budget_json, "max_bits")? {
+        budget = budget.with_max_weight_bits(n);
+    }
+    if let Some(s) = opt_f64(&budget_json, "deadline_secs")? {
+        if !(0.0..=3600.0).contains(&s) {
+            return Err(format!("deadline_secs must be in [0, 3600], got {s}"));
+        }
+        budget = budget.with_deadline(Duration::from_secs_f64(s));
+    }
+
+    let resume = match v.get("resume") {
+        None | Some(Json::Null) => None,
+        Some(j) => Some(PathBuf::from(
+            j.as_str().ok_or("field `resume` must be a path string")?,
+        )),
+    };
+
+    let top_k = opt_u64(v, "top_k")?.unwrap_or(4).min(64) as usize;
+
+    Ok(SubmitRequest {
+        circuit,
+        scheme,
+        priority,
+        budget,
+        resume,
+        top_k,
+    })
+}
+
+/// Renders a protocol-level error response.
+pub fn error_response(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_submit() {
+        let line = r#"{"verb":"submit","circuit":"grover","n":6,"marked":42,
+            "scheme":"numeric","eps":1e-10,"priority":3,"top_k":2,
+            "budget":{"max_nodes":100000,"deadline_secs":5}}"#;
+        let Request::Submit(s) = Request::parse(line).expect("parse") else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.circuit, CircuitSpec::Grover { n: 6, marked: 42 });
+        assert_eq!(s.scheme, SchemeSpec::Numeric { eps: 1e-10 });
+        assert_eq!(s.priority, 3);
+        assert_eq!(s.top_k, 2);
+        assert_eq!(s.budget.max_nodes, Some(100_000));
+        assert_eq!(s.budget.deadline, Some(Duration::from_secs_f64(5.0)),);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("{\"verb\":\"submit\"}", "`circuit` or `qasm`"),
+            ("{\"verb\":\"fly\"}", "unknown verb"),
+            ("{\"job\":1}", "verb"),
+            ("not json", "invalid JSON"),
+            (
+                "{\"verb\":\"submit\",\"circuit\":\"grover\",\"n\":6,\"marked\":42,\"scheme\":\"vortex\"}",
+                "unknown scheme",
+            ),
+            (
+                "{\"verb\":\"submit\",\"circuit\":\"teleport\"}",
+                "unknown circuit",
+            ),
+            ("{\"verb\":\"status\"}", "`job`"),
+            (
+                "{\"verb\":\"submit\",\"circuit\":\"grover\",\"n\":6,\"marked\":1,\"priority\":12}",
+                "priority",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn circuit_specs_validate_and_build() {
+        assert!(CircuitSpec::Grover { n: 6, marked: 42 }.build().is_ok());
+        assert!(CircuitSpec::Grover { n: 0, marked: 0 }.build().is_err());
+        assert!(CircuitSpec::Grover { n: 30, marked: 0 }.build().is_err());
+        assert!(CircuitSpec::Grover { n: 3, marked: 9 }.build().is_err());
+        assert!(CircuitSpec::Qft { n: 4 }.build().is_ok());
+        let (c, start) = CircuitSpec::Bwt {
+            height: 2,
+            steps: 3,
+            seed: 7,
+        }
+        .build()
+        .expect("bwt builds");
+        assert!(start < 1 << c.n_qubits());
+        assert!(CircuitSpec::Qasm("garbage".into()).build().is_err());
+        let qasm = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+        assert!(CircuitSpec::Qasm(qasm.into()).build().is_ok());
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        assert_eq!(
+            CircuitSpec::Grover { n: 6, marked: 42 }.label(),
+            "grover6x42"
+        );
+        let a = CircuitSpec::Qasm("h q[0];".into()).label();
+        let b = CircuitSpec::Qasm("x q[0];".into()).label();
+        assert_ne!(a, b);
+        assert_eq!(a, CircuitSpec::Qasm("h q[0];".into()).label());
+    }
+}

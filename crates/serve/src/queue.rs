@@ -1,0 +1,235 @@
+//! A bounded, scheme-aware priority job queue.
+//!
+//! Admission control happens at push time: a full queue refuses the job
+//! with a structured reason instead of blocking the submitter (the
+//! service's back-pressure story is *reject-with-reason*, not unbounded
+//! buffering). Workers pop the highest-priority job matching their pinned
+//! scheme class; FIFO order breaks priority ties so equal-priority jobs
+//! cannot starve each other.
+
+use std::sync::{Condvar, Mutex};
+
+use crate::service::SchemeClass;
+
+/// An entry waiting for a worker.
+#[derive(Debug)]
+pub struct QueuedJob<T> {
+    /// Job id (registry key).
+    pub id: u64,
+    /// 0 (lowest) to 9; higher pops first.
+    pub priority: u8,
+    /// Admission order, for FIFO tie-breaking.
+    pub seq: u64,
+    /// Which worker class may run this job.
+    pub class: SchemeClass,
+    /// The work payload.
+    pub payload: T,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue holds `capacity` jobs already.
+    Full {
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The queue no longer admits work (drain or shutdown).
+    Closed,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Full { capacity } => {
+                write!(f, "queue full (capacity {capacity}); retry later")
+            }
+            AdmissionError::Closed => write!(f, "service is draining; not accepting jobs"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    jobs: Vec<QueuedJob<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The shared queue: a mutex-protected vector plus a condvar for idle
+/// workers. Linear scans are deliberate — the queue is bounded and small
+/// (tens of entries), so a heap buys nothing over obvious code.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits a job, or refuses with a reason.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Full`] at capacity, [`AdmissionError::Closed`]
+    /// after [`JobQueue::close`].
+    pub fn push(
+        &self,
+        id: u64,
+        priority: u8,
+        class: SchemeClass,
+        payload: T,
+    ) -> Result<(), AdmissionError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(AdmissionError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(AdmissionError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.jobs.push(QueuedJob {
+            id,
+            priority,
+            seq,
+            class,
+            payload,
+        });
+        self.available.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a job matching `class` is available (returning it),
+    /// or the queue is closed *and* holds no matching work (returning
+    /// `None` — the worker should exit).
+    pub fn pop(&self, class: SchemeClass) -> Option<QueuedJob<T>> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(idx) = best_match(&inner.jobs, class) {
+                return Some(inner.jobs.swap_remove(idx));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every waiting worker. Already-queued
+    /// jobs can still be popped (drain) or swept out with
+    /// [`JobQueue::evict_all`] (shutdown).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Removes and returns every queued job (shutdown eviction).
+    pub fn evict_all(&self) -> Vec<QueuedJob<T>> {
+        let mut inner = self.lock();
+        let jobs = std::mem::take(&mut inner.jobs);
+        self.available.notify_all();
+        jobs
+    }
+}
+
+/// Index of the best job for `class`: highest priority, then lowest
+/// sequence number (FIFO within a priority level).
+fn best_match<T>(jobs: &[QueuedJob<T>], class: SchemeClass) -> Option<usize> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(_, j)| j.class == class)
+        .min_by_key(|(_, j)| (std::cmp::Reverse(j.priority), j.seq))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_rejects_when_full_and_after_close() {
+        let q: JobQueue<&str> = JobQueue::new(2);
+        q.push(1, 0, SchemeClass::Numeric, "a").unwrap();
+        q.push(2, 0, SchemeClass::Numeric, "b").unwrap();
+        assert_eq!(
+            q.push(3, 0, SchemeClass::Numeric, "c"),
+            Err(AdmissionError::Full { capacity: 2 })
+        );
+        q.close();
+        // still rejects, now as closed
+        let popped = q.pop(SchemeClass::Numeric).expect("queued work drains");
+        assert_eq!(popped.payload, "a");
+        assert_eq!(
+            q.push(4, 0, SchemeClass::Numeric, "d"),
+            Err(AdmissionError::Closed)
+        );
+    }
+
+    #[test]
+    fn pop_orders_by_priority_then_fifo_and_respects_class() {
+        let q: JobQueue<u32> = JobQueue::new(16);
+        q.push(1, 1, SchemeClass::Numeric, 10).unwrap();
+        q.push(2, 9, SchemeClass::Algebraic, 20).unwrap();
+        q.push(3, 9, SchemeClass::Numeric, 30).unwrap();
+        q.push(4, 9, SchemeClass::Numeric, 40).unwrap();
+        assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 30);
+        assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 40);
+        assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 10);
+        assert_eq!(q.pop(SchemeClass::Algebraic).unwrap().payload, 20);
+        q.close();
+        assert!(q.pop(SchemeClass::Numeric).is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn evict_all_empties_the_queue() {
+        let q: JobQueue<u32> = JobQueue::new(8);
+        q.push(1, 0, SchemeClass::Numeric, 1).unwrap();
+        q.push(2, 5, SchemeClass::Algebraic, 2).unwrap();
+        let evicted = q.evict_all();
+        assert_eq!(evicted.len(), 2);
+        assert!(q.is_empty());
+    }
+}

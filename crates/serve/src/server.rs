@@ -1,0 +1,181 @@
+//! The TCP front-end: line-delimited JSON over localhost.
+//!
+//! One thread per connection, each serving any number of requests. The
+//! framing layer is deliberately paranoid — a frame longer than
+//! [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES) gets a
+//! structured error and the connection is closed (there is no way to
+//! resynchronise mid-frame); malformed JSON or unknown verbs get a
+//! structured error and the connection *stays open*. Nothing a client
+//! sends can panic the server.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::{error_response, Request, MAX_FRAME_BYTES};
+use crate::service::{Response, ServeCore};
+
+/// What reading one frame produced.
+enum Frame {
+    /// A complete line (without the trailing newline).
+    Line(Vec<u8>),
+    /// Peer closed the connection cleanly.
+    Eof,
+    /// The line exceeded [`MAX_FRAME_BYTES`]; the connection is
+    /// unrecoverable.
+    Oversized,
+}
+
+/// Reads one newline-terminated frame, refusing to buffer more than
+/// `MAX_FRAME_BYTES` of it.
+fn read_frame(reader: &mut BufReader<TcpStream>) -> io::Result<Frame> {
+    let mut line = Vec::new();
+    let mut limited = reader.take((MAX_FRAME_BYTES + 1) as u64);
+    limited.read_until(b'\n', &mut line)?;
+    if line.is_empty() {
+        return Ok(Frame::Eof);
+    }
+    if line.last() != Some(&b'\n') {
+        // Either the peer hung up mid-line (short frame, no newline) or
+        // the frame is oversized. Distinguish by length.
+        if line.len() > MAX_FRAME_BYTES {
+            return Ok(Frame::Oversized);
+        }
+        // Truncated final line: treat as a complete (garbage) frame so
+        // the parser can answer with a structured error before EOF.
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Frame::Line(line))
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// A bound TCP server wrapping a [`ServeCore`].
+#[derive(Debug)]
+pub struct Server {
+    core: Arc<ServeCore>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `127.0.0.1:port` (`port = 0` picks an ephemeral port;
+    /// read it back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(core: Arc<ServeCore>, port: u16) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            core,
+            listener,
+            addr,
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves connections until a `shutdown` request completes. Blocks
+    /// the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection errors are
+    /// contained in their threads).
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            let core = Arc::clone(&self.core);
+            let stopping = Arc::clone(&self.stopping);
+            let addr = self.addr;
+            std::thread::Builder::new()
+                .name("aq-serve-conn".into())
+                .spawn(move || {
+                    serve_connection(stream, core, stopping, addr);
+                })
+                .ok();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    core: Arc<ServeCore>,
+    stopping: Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return, // connection-level I/O failure; nothing to say
+        };
+        let line = match frame {
+            Frame::Eof => return,
+            Frame::Oversized => {
+                let _ = write_line(
+                    &mut writer,
+                    &error_response(&format!(
+                        "frame exceeds {MAX_FRAME_BYTES} bytes; closing connection"
+                    )),
+                );
+                return;
+            }
+            Frame::Line(bytes) => bytes,
+        };
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue; // ignore blank keep-alive lines
+        }
+        let text = match std::str::from_utf8(&line) {
+            Ok(t) => t,
+            Err(_) => {
+                let _ = write_line(&mut writer, &error_response("frame is not valid UTF-8"));
+                continue;
+            }
+        };
+        let request = match Request::parse(text) {
+            Ok(r) => r,
+            Err(reason) => {
+                let _ = write_line(&mut writer, &error_response(&reason));
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = core.handle(request);
+        let _ = write_line(&mut writer, &response.render());
+        if is_shutdown && matches!(response, Response::ShutdownDone { .. }) {
+            // Stop the accept loop: raise the flag, then poke the
+            // listener with a throwaway connection so `incoming()`
+            // returns and observes it.
+            stopping.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(server_addr);
+            return;
+        }
+    }
+}

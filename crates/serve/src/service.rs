@@ -1,0 +1,855 @@
+//! The service core: admission control, the job registry and lifecycle,
+//! and the hand-rolled worker pool.
+//!
+//! # Job state machine
+//!
+//! ```text
+//! submit ──(admission)──► queued ──► running ──► completed
+//!    │                       │          │
+//!    │                       │          ├──► aborted   (budget / engine error)
+//!    │                       │          └──► aborted*  (evicted: cancelled, checkpointed)
+//!    │                       └──► aborted* (evicted: swept at shutdown)
+//!    └──► rejected  (full queue, draining, bad request, missing budget,
+//!                    no worker pinned to the scheme class)
+//! ```
+//!
+//! `aborted*` evictions carry a checkpoint when anything had run, so the
+//! client can resubmit with `resume` and finish bit-identically.
+//!
+//! Workers are plain OS threads, each *pinned to one scheme class*
+//! (numeric or algebraic) and owning one engine `Manager` at a time via
+//! its job's `Simulator` — managers are `Send` (see aq-dd's
+//! `send_audit`) but never shared. A worker survives anything a job does:
+//! engine errors arrive as structured aborts from
+//! [`run_job`](aq_sim::run_job), and a panic in the stack below is caught
+//! and converted into an aborted outcome.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aq_circuits::Circuit;
+use aq_dd::EngineStatistics;
+use aq_sim::{run_job, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SimOptions};
+
+use crate::json::Json;
+use crate::metrics::{
+    histogram_quantile_ms, Metrics, WorkerStats, LATENCY_BUCKETS, LATENCY_BUCKET_EDGES_MS,
+};
+use crate::protocol::{Request, SubmitRequest};
+use crate::queue::JobQueue;
+
+/// The two families of weight systems a worker can be pinned to. Engine
+/// managers are cheap per job, but the *working set* (gate caches, weight
+/// table shapes) differs sharply between floats and bigint rings — the
+/// pool keeps them on separate workers so an exact blow-up job cannot
+/// stall the interactive numeric lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeClass {
+    /// Tolerance-ε double-precision jobs.
+    Numeric,
+    /// Exact `Q[ω]` / `D[ω]` jobs.
+    Algebraic,
+}
+
+impl SchemeClass {
+    /// The class a scheme belongs to.
+    pub fn of(scheme: &SchemeSpec) -> SchemeClass {
+        if scheme.is_algebraic() {
+            SchemeClass::Algebraic
+        } else {
+            SchemeClass::Numeric
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SchemeClass::Numeric => "numeric",
+            SchemeClass::Algebraic => "algebraic",
+        }
+    }
+
+    /// Parses a pin-spec token.
+    pub fn parse(s: &str) -> Option<SchemeClass> {
+        match s {
+            "numeric" => Some(SchemeClass::Numeric),
+            "algebraic" => Some(SchemeClass::Algebraic),
+            _ => None,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pins, one entry per worker thread.
+    pub workers: Vec<SchemeClass>,
+    /// Bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Where per-job abort/eviction checkpoints are written.
+    pub checkpoint_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+            queue_capacity: 64,
+            checkpoint_dir: std::env::temp_dir().join("aq-serve-checkpoints"),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// `n` workers pinned alternately numeric, algebraic, numeric, … —
+    /// the default mix for a general-purpose server.
+    pub fn with_workers(n: usize) -> Self {
+        ServeConfig {
+            workers: (0..n.max(1))
+                .map(|i| {
+                    if i % 2 == 0 {
+                        SchemeClass::Numeric
+                    } else {
+                        SchemeClass::Algebraic
+                    }
+                })
+                .collect(),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Lifecycle position of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Inside a worker.
+    Running,
+    /// The whole circuit was applied.
+    Completed,
+    /// Stopped early (budget, engine error, or eviction).
+    Aborted,
+}
+
+impl JobState {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Aborted => "aborted",
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Completed | JobState::Aborted)
+    }
+}
+
+/// Everything a worker needs to run one admitted job.
+#[derive(Debug)]
+struct JobWork {
+    circuit: Circuit,
+    start: u64,
+    scheme: SchemeSpec,
+    options: SimOptions,
+    label: String,
+    resume: Option<PathBuf>,
+    top_k: usize,
+}
+
+/// Registry entry for one admitted job.
+#[derive(Debug)]
+struct JobRecord {
+    state: JobState,
+    label: String,
+    scheme: String,
+    priority: u8,
+    submitted_at: Instant,
+    outcome: Option<JobOutcome>,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    map: HashMap<u64, JobRecord>,
+    /// Jobs admitted but not yet terminal (queued + running), maintained
+    /// under this lock so drain/shutdown can wait race-free.
+    pending: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue<JobWork>,
+    registry: Mutex<Registry>,
+    /// Signalled on every terminal transition (wait/drain listeners).
+    terminal: Condvar,
+    next_id: AtomicU64,
+    metrics: Metrics,
+}
+
+impl Shared {
+    fn lock_registry(&self) -> MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Moves a job to a terminal state and does every piece of
+    /// bookkeeping that hangs off it.
+    fn finish_job(&self, id: u64, outcome: JobOutcome) {
+        let mut reg = self.lock_registry();
+        let Some(rec) = reg.map.get_mut(&id) else {
+            return;
+        };
+        if rec.state.is_terminal() {
+            return;
+        }
+        let latency = rec.submitted_at.elapsed();
+        let aborted = outcome.aborted.as_ref();
+        rec.state = if aborted.is_none() {
+            JobState::Completed
+        } else {
+            JobState::Aborted
+        };
+        match aborted {
+            None => {
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(info) => {
+                self.metrics.aborted.fetch_add(1, Ordering::Relaxed);
+                if info.evicted {
+                    self.metrics.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        rec.outcome = Some(outcome);
+        self.metrics.latency.record(latency);
+        reg.pending = reg.pending.saturating_sub(1);
+        drop(reg);
+        self.terminal.notify_all();
+    }
+}
+
+/// A typed job status (what the `status`/`wait` verbs report).
+#[derive(Debug, Clone)]
+pub struct JobStatusReport {
+    /// Job id.
+    pub job: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The job's checkpoint/report label.
+    pub label: String,
+    /// Scheme label (`numeric_eps…`, `qomega`, `gcd`).
+    pub scheme: String,
+    /// Queue priority it was admitted with.
+    pub priority: u8,
+    /// Terminal measurements (present once completed/aborted).
+    pub outcome: Option<JobOutcome>,
+}
+
+/// One worker's row in the metrics report.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Scheme class the worker is pinned to.
+    pub class: SchemeClass,
+    /// Aggregates over the jobs it ran.
+    pub stats: WorkerStats,
+}
+
+/// A point-in-time metrics snapshot (the `metrics` verb).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Submit requests received (accepted + rejected).
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs aborted (including evictions).
+    pub aborted: u64,
+    /// Submissions refused.
+    pub rejected: u64,
+    /// Evicted subset of `aborted`.
+    pub evicted: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Jobs inside workers right now.
+    pub running: u64,
+    /// Latency histogram bucket counts (edges in
+    /// [`LATENCY_BUCKET_EDGES_MS`], plus overflow).
+    pub latency_counts: [u64; LATENCY_BUCKETS],
+    /// Median latency upper bound, ms.
+    pub p50_ms: Option<u64>,
+    /// 99th-percentile latency upper bound, ms.
+    pub p99_ms: Option<u64>,
+    /// Per-worker aggregates.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl MetricsReport {
+    /// The accounting identity the service guarantees at quiescence.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.completed + self.aborted + self.rejected
+            && self.queue_depth == 0
+            && self.running == 0
+    }
+}
+
+/// A typed response (rendered to one JSON line by [`Response::render`]).
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Job admitted.
+    Submitted {
+        /// Assigned job id.
+        job: u64,
+    },
+    /// Submission refused by admission control.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Job status (from `status` or `wait`).
+    Status(Box<JobStatusReport>),
+    /// `status`/`wait` named a job the registry has never seen.
+    UnknownJob {
+        /// The id asked about.
+        job: u64,
+    },
+    /// Metrics snapshot.
+    Metrics(Box<MetricsReport>),
+    /// Drain finished: admission stopped, everything terminal.
+    Drained {
+        /// Completed-job count at drain time.
+        completed: u64,
+        /// Aborted-job count at drain time.
+        aborted: u64,
+    },
+    /// Shutdown finished: workers joined.
+    ShutdownDone {
+        /// Queued jobs swept out without running.
+        evicted_queued: u64,
+        /// Running jobs cancelled (checkpointed where possible).
+        cancelled_running: u64,
+    },
+    /// Protocol-level failure (`ok:false`).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as one compact JSON line (no newline).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Submitted { job } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("submit")),
+                ("job", Json::Num(*job as f64)),
+                ("state", Json::str("queued")),
+            ]),
+            Response::Rejected { reason } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("submit")),
+                ("state", Json::str("rejected")),
+                ("reason", Json::str(reason.as_str())),
+            ]),
+            Response::Status(s) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("verb", Json::str("status")),
+                    ("job", Json::Num(s.job as f64)),
+                    ("state", Json::str(s.state.as_str())),
+                    ("label", Json::str(s.label.as_str())),
+                    ("scheme", Json::str(s.scheme.as_str())),
+                    ("priority", Json::Num(s.priority as f64)),
+                ];
+                if let Some(o) = &s.outcome {
+                    pairs.push(("gates_applied", Json::Num(o.gates_applied as f64)));
+                    pairs.push(("seconds", Json::Num(o.seconds)));
+                    pairs.push(("final_nodes", Json::Num(o.final_nodes as f64)));
+                    pairs.push(("resumed", Json::Bool(o.resumed)));
+                    pairs.push(("cache_hit_rate", Json::Num(o.statistics.cache_hit_rate())));
+                    pairs.push((
+                        "top",
+                        Json::Arr(
+                            o.top_probabilities
+                                .iter()
+                                .map(|(i, p)| Json::Arr(vec![Json::Num(*i as f64), Json::Num(*p)]))
+                                .collect(),
+                        ),
+                    ));
+                    if let Some(a) = &o.aborted {
+                        pairs.push(("reason", Json::str(a.reason.as_str())));
+                        pairs.push(("evicted", Json::Bool(a.evicted)));
+                        pairs.push((
+                            "checkpoint",
+                            match &a.checkpoint {
+                                Some(p) => Json::str(p.display().to_string()),
+                                None => Json::Null,
+                            },
+                        ));
+                    }
+                }
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            }
+            Response::UnknownJob { job } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("status")),
+                ("job", Json::Num(*job as f64)),
+                ("state", Json::str("unknown")),
+            ]),
+            Response::Metrics(m) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("metrics")),
+                ("submitted", Json::Num(m.submitted as f64)),
+                ("completed", Json::Num(m.completed as f64)),
+                ("aborted", Json::Num(m.aborted as f64)),
+                ("rejected", Json::Num(m.rejected as f64)),
+                ("evicted", Json::Num(m.evicted as f64)),
+                ("queue_depth", Json::Num(m.queue_depth as f64)),
+                ("running", Json::Num(m.running as f64)),
+                (
+                    "latency_ms",
+                    Json::obj(vec![
+                        (
+                            "bucket_edges",
+                            Json::Arr(
+                                LATENCY_BUCKET_EDGES_MS
+                                    .iter()
+                                    .map(|&e| Json::Num(e as f64))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "counts",
+                            Json::Arr(
+                                m.latency_counts
+                                    .iter()
+                                    .map(|&c| Json::Num(c as f64))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "p50",
+                            m.p50_ms.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
+                        ),
+                        (
+                            "p99",
+                            m.p99_ms.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
+                        ),
+                    ]),
+                ),
+                (
+                    "workers",
+                    Json::Arr(
+                        m.workers
+                            .iter()
+                            .map(|w| {
+                                Json::obj(vec![
+                                    ("worker", Json::Num(w.worker as f64)),
+                                    ("class", Json::str(w.class.as_str())),
+                                    ("jobs", Json::Num(w.stats.jobs as f64)),
+                                    ("busy_seconds", Json::Num(w.stats.busy_seconds)),
+                                    ("cache_hit_rate", Json::Num(w.stats.engine.cache_hit_rate())),
+                                    (
+                                        "nodes_allocated",
+                                        Json::Num(
+                                            (w.stats.engine.vec_nodes + w.stats.engine.mat_nodes)
+                                                as f64,
+                                        ),
+                                    ),
+                                    ("compactions", Json::Num(w.stats.engine.compactions as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Drained { completed, aborted } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("drain")),
+                ("state", Json::str("drained")),
+                ("completed", Json::Num(*completed as f64)),
+                ("aborted", Json::Num(*aborted as f64)),
+            ]),
+            Response::ShutdownDone {
+                evicted_queued,
+                cancelled_running,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::str("shutdown")),
+                ("state", Json::str("stopped")),
+                ("evicted_queued", Json::Num(*evicted_queued as f64)),
+                ("cancelled_running", Json::Num(*cancelled_running as f64)),
+            ]),
+            Response::Error { message } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(message.as_str())),
+            ]),
+        }
+    }
+}
+
+/// The running service: queue, registry, metrics and the worker pool.
+///
+/// Construct with [`ServeCore::start`], talk to it with
+/// [`ServeCore::handle`] (directly, through the in-process
+/// [`Client`](crate::Client), or via the TCP
+/// [`Server`](crate::Server)), and stop it with the `Shutdown` request.
+#[derive(Debug)]
+pub struct ServeCore {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServeCore {
+    /// Starts the worker pool and returns the core.
+    pub fn start(cfg: ServeConfig) -> Arc<ServeCore> {
+        std::fs::create_dir_all(&cfg.checkpoint_dir).ok();
+        let workers = cfg.workers.clone();
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity),
+            metrics: Metrics::new(workers.len()),
+            registry: Mutex::new(Registry::default()),
+            terminal: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            cfg,
+        });
+        let handles = workers
+            .iter()
+            .enumerate()
+            .map(|(idx, &class)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aq-serve-worker-{idx}"))
+                    .spawn(move || worker_loop(shared, idx, class))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(ServeCore {
+            shared,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// The configuration the core was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Handles one request to a terminal response. `Wait`, `Drain` and
+    /// `Shutdown` block the calling thread (that is their contract).
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Submit(submit) => self.submit(*submit),
+            Request::Status { job } => self.status(job),
+            Request::Wait { job, timeout } => self.wait(job, timeout),
+            Request::Metrics => Response::Metrics(Box::new(self.metrics_report())),
+            Request::Drain => self.drain(),
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    fn submit(&self, req: SubmitRequest) -> Response {
+        let shared = &self.shared;
+        shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let reject = |reason: String| {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Rejected { reason }
+        };
+
+        // Admission control, cheapest checks first.
+        if req.budget.is_unlimited() {
+            return reject(
+                "a resource budget is mandatory: set budget.max_nodes, budget.max_weights, \
+                 budget.max_bits and/or budget.deadline_secs"
+                    .into(),
+            );
+        }
+        let class = SchemeClass::of(&req.scheme);
+        if !shared.cfg.workers.contains(&class) {
+            return reject(format!(
+                "no worker is pinned to the {} scheme class on this server",
+                class.as_str()
+            ));
+        }
+        let (circuit, start) = match req.circuit.build() {
+            Ok(pair) => pair,
+            Err(reason) => return reject(reason),
+        };
+
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let label = format!("{}/{}", req.circuit.label(), req.scheme.label());
+        let work = JobWork {
+            circuit,
+            start,
+            scheme: req.scheme.clone(),
+            options: SimOptions {
+                record_trace: false,
+                budget: req.budget,
+                checkpoint_on_abort: Some(
+                    shared.cfg.checkpoint_dir.join(format!("job-{id}.aqckp")),
+                ),
+                ..SimOptions::default()
+            },
+            label: label.clone(),
+            resume: req.resume.clone(),
+            top_k: req.top_k,
+        };
+        let record = JobRecord {
+            state: JobState::Queued,
+            label,
+            scheme: req.scheme.label(),
+            priority: req.priority,
+            submitted_at: Instant::now(),
+            outcome: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+
+        // Insert the record before queueing so a fast worker always finds
+        // it; roll both back if the queue refuses.
+        {
+            let mut reg = shared.lock_registry();
+            reg.map.insert(id, record);
+            reg.pending += 1;
+        }
+        if let Err(e) = shared.queue.push(id, req.priority, class, work) {
+            let mut reg = shared.lock_registry();
+            reg.map.remove(&id);
+            reg.pending = reg.pending.saturating_sub(1);
+            drop(reg);
+            return reject(e.to_string());
+        }
+        Response::Submitted { job: id }
+    }
+
+    fn status(&self, job: u64) -> Response {
+        let reg = self.shared.lock_registry();
+        match reg.map.get(&job) {
+            None => Response::UnknownJob { job },
+            Some(rec) => Response::Status(Box::new(JobStatusReport {
+                job,
+                state: rec.state,
+                label: rec.label.clone(),
+                scheme: rec.scheme.clone(),
+                priority: rec.priority,
+                outcome: rec.outcome.clone(),
+            })),
+        }
+    }
+
+    fn wait(&self, job: u64, timeout: Duration) -> Response {
+        let deadline = Instant::now() + timeout;
+        let mut reg = self.shared.lock_registry();
+        loop {
+            match reg.map.get(&job) {
+                None => return Response::UnknownJob { job },
+                Some(rec) if rec.state.is_terminal() => {
+                    return Response::Status(Box::new(JobStatusReport {
+                        job,
+                        state: rec.state,
+                        label: rec.label.clone(),
+                        scheme: rec.scheme.clone(),
+                        priority: rec.priority,
+                        outcome: rec.outcome.clone(),
+                    }))
+                }
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Response::Error {
+                    message: format!("timed out waiting for job {job}"),
+                };
+            }
+            let (guard, _) = self
+                .shared
+                .terminal
+                .wait_timeout(reg, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            reg = guard;
+        }
+    }
+
+    /// Assembles a metrics snapshot.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let shared = &self.shared;
+        let latency_counts = shared.metrics.latency.counts();
+        let workers = shared
+            .metrics
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(worker, stats)| WorkerReport {
+                worker,
+                class: shared.cfg.workers[worker],
+                stats,
+            })
+            .collect();
+        MetricsReport {
+            submitted: shared.metrics.submitted.load(Ordering::Relaxed),
+            completed: shared.metrics.completed.load(Ordering::Relaxed),
+            aborted: shared.metrics.aborted.load(Ordering::Relaxed),
+            rejected: shared.metrics.rejected.load(Ordering::Relaxed),
+            evicted: shared.metrics.evicted.load(Ordering::Relaxed),
+            queue_depth: shared.queue.len() as u64,
+            running: shared.metrics.running.load(Ordering::Relaxed),
+            p50_ms: histogram_quantile_ms(&latency_counts, 0.50),
+            p99_ms: histogram_quantile_ms(&latency_counts, 0.99),
+            latency_counts,
+            workers,
+        }
+    }
+
+    fn drain(&self) -> Response {
+        let shared = &self.shared;
+        shared.queue.close();
+        let mut reg = shared.lock_registry();
+        while reg.pending > 0 {
+            reg = self
+                .shared
+                .terminal
+                .wait(reg)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(reg);
+        Response::Drained {
+            completed: shared.metrics.completed.load(Ordering::Relaxed),
+            aborted: shared.metrics.aborted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) -> Response {
+        let shared = &self.shared;
+        shared.queue.close();
+
+        // Sweep out everything that never started…
+        let evicted = shared.queue.evict_all();
+        let evicted_queued = evicted.len() as u64;
+        for q in evicted {
+            shared.finish_job(
+                q.id,
+                JobOutcome {
+                    gates_applied: 0,
+                    seconds: 0.0,
+                    final_nodes: 0,
+                    statistics: EngineStatistics::default(),
+                    top_probabilities: Vec::new(),
+                    resumed: false,
+                    aborted: Some(JobAbortInfo {
+                        reason: "evicted: shutdown before the job started (resubmit to rerun)"
+                            .into(),
+                        checkpoint: None,
+                        evicted: true,
+                    }),
+                },
+            );
+        }
+
+        // …cancel what is running (each job checkpoints itself)…
+        let cancelled_running = {
+            let reg = shared.lock_registry();
+            let mut n = 0;
+            for rec in reg.map.values() {
+                if rec.state == JobState::Running {
+                    rec.cancel.store(true, Ordering::Relaxed);
+                    n += 1;
+                }
+            }
+            n
+        };
+
+        // …wait for the pool to go quiet and join it.
+        {
+            let mut reg = shared.lock_registry();
+            while reg.pending > 0 {
+                reg = self
+                    .shared
+                    .terminal
+                    .wait(reg)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        Response::ShutdownDone {
+            evicted_queued,
+            cancelled_running,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
+    while let Some(qjob) = shared.queue.pop(class) {
+        let cancel = {
+            let mut reg = shared.lock_registry();
+            let Some(rec) = reg.map.get_mut(&qjob.id) else {
+                continue; // record vanished (never happens; stay alive anyway)
+            };
+            rec.state = JobState::Running;
+            Arc::clone(&rec.cancel)
+        };
+        shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+
+        let work = &qjob.payload;
+        let spec = JobSpec {
+            circuit: &work.circuit,
+            start: work.start,
+            scheme: work.scheme.clone(),
+            options: work.options.clone(),
+            label: work.label.clone(),
+            resume: work.resume.clone(),
+            top_k: work.top_k,
+        };
+        // The last line of the never-lose-a-worker defence: run_job is
+        // fail-soft by design, but if anything underneath it ever panics
+        // the panic is converted into an aborted outcome here.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(&spec, Some(&cancel)))) {
+            Ok(outcome) => outcome,
+            Err(payload) => JobOutcome {
+                gates_applied: 0,
+                seconds: 0.0,
+                final_nodes: 0,
+                statistics: EngineStatistics::default(),
+                top_probabilities: Vec::new(),
+                resumed: false,
+                aborted: Some(JobAbortInfo {
+                    reason: format!("internal error: job panicked: {}", panic_message(&payload)),
+                    checkpoint: None,
+                    evicted: false,
+                }),
+            },
+        };
+        shared
+            .metrics
+            .record_worker_job(worker_idx, &outcome.statistics, outcome.seconds);
+        shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
+        shared.finish_job(qjob.id, outcome);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}

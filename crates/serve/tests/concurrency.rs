@@ -1,0 +1,351 @@
+//! Multi-threaded service smoke tests: N client threads × M jobs over a
+//! 4-worker pool, mixed schemes, budget aborts with checkpointed resume,
+//! and metrics reconciliation. Job mixes are deterministic per thread
+//! (seeded [`aq_testutil::Rng`]), so failures replay.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aq_dd::RunBudget;
+use aq_serve::{
+    CircuitSpec, Client, JobState, JobStatusReport, Response, SchemeClass, ServeConfig, ServeCore,
+    SubmitRequest,
+};
+use aq_sim::{JobOutcome, SchemeSpec};
+use aq_testutil::Rng;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aq-serve-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submit(circuit: CircuitSpec, scheme: SchemeSpec, budget: RunBudget) -> SubmitRequest {
+    SubmitRequest {
+        circuit,
+        scheme,
+        priority: 0,
+        budget,
+        resume: None,
+        top_k: 4,
+    }
+}
+
+fn submitted_id(response: Response) -> u64 {
+    match response {
+        Response::Submitted { job } => job,
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+}
+
+fn wait_terminal(client: &Client, job: u64) -> JobStatusReport {
+    match client.wait(job, Duration::from_secs(120)) {
+        Response::Status(report) => {
+            assert!(report.state.is_terminal(), "wait returned {report:?}");
+            *report
+        }
+        other => panic!("expected Status for job {job}, got {other:?}"),
+    }
+}
+
+fn outcome(report: &JobStatusReport) -> &JobOutcome {
+    report
+        .outcome
+        .as_ref()
+        .expect("terminal job carries an outcome")
+}
+
+#[test]
+fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
+    let cfg = ServeConfig {
+        workers: vec![
+            SchemeClass::Numeric,
+            SchemeClass::Numeric,
+            SchemeClass::Algebraic,
+            SchemeClass::Algebraic,
+        ],
+        queue_capacity: 64,
+        checkpoint_dir: test_dir("mixed"),
+    };
+    let core = ServeCore::start(cfg);
+    let client = Client::new(Arc::clone(&core));
+
+    const THREADS: u64 = 4;
+    const JOBS_PER_THREAD: u64 = 9; // 36 total: >= 32 mixed jobs
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng::from_seed(1000 + t);
+                let mut jobs = Vec::new();
+                let mut expected_aborts = Vec::new();
+                for j in 0..JOBS_PER_THREAD {
+                    let roomy = RunBudget::unlimited().with_max_nodes(2_000_000);
+                    let req = match j % 4 {
+                        // Numeric Grover of varying size; always completes.
+                        0 => {
+                            let n = 4 + rng.below(2) as u32;
+                            let marked = rng.below(1 << n);
+                            submit(
+                                CircuitSpec::Grover { n, marked },
+                                SchemeSpec::Numeric { eps: 1e-10 },
+                                roomy,
+                            )
+                        }
+                        // Exact Q[omega] Grover on the algebraic lane.
+                        1 => submit(
+                            CircuitSpec::Grover {
+                                n: 4,
+                                marked: rng.below(16),
+                            },
+                            SchemeSpec::Qomega,
+                            roomy,
+                        ),
+                        // Exact D[omega]/GCD Grover on the algebraic lane.
+                        2 => submit(
+                            CircuitSpec::Grover {
+                                n: 4,
+                                marked: rng.below(16),
+                            },
+                            SchemeSpec::Gcd,
+                            roomy,
+                        ),
+                        // Starved budget: aborts with a checkpoint.
+                        _ => submit(
+                            CircuitSpec::Grover { n: 6, marked: 45 },
+                            SchemeSpec::Numeric { eps: 1e-10 },
+                            RunBudget::unlimited().with_max_nodes(20),
+                        ),
+                    };
+                    let id = submitted_id(client.submit(req));
+                    if j % 4 == 3 {
+                        expected_aborts.push(id);
+                    }
+                    jobs.push(id);
+                }
+                // One deliberately bad submission per thread: a budget is
+                // mandatory, so this must be rejected (and counted).
+                match client.submit(submit(
+                    CircuitSpec::Grover { n: 4, marked: 1 },
+                    SchemeSpec::Numeric { eps: 1e-10 },
+                    RunBudget::unlimited(),
+                )) {
+                    Response::Rejected { reason } => {
+                        assert!(reason.contains("budget"), "unexpected reason: {reason}")
+                    }
+                    other => panic!("unbudgeted submit must be rejected, got {other:?}"),
+                }
+                // The canonical job every thread submits identically: its
+                // outcome must be byte-for-byte reproducible.
+                let canonical = submitted_id(client.submit(submit(
+                    CircuitSpec::Grover { n: 5, marked: 19 },
+                    SchemeSpec::Numeric { eps: 1e-10 },
+                    RunBudget::unlimited().with_max_nodes(2_000_000),
+                )));
+
+                let reports: Vec<JobStatusReport> =
+                    jobs.iter().map(|&id| wait_terminal(&client, id)).collect();
+                for (report, &id) in reports.iter().zip(&jobs) {
+                    if expected_aborts.contains(&id) {
+                        assert_eq!(report.state, JobState::Aborted, "job {id}");
+                        let abort = outcome(report).aborted.as_ref().unwrap();
+                        assert!(!abort.reason.is_empty());
+                        assert!(!abort.evicted, "budget aborts are not evictions");
+                    }
+                }
+                let canonical_report = wait_terminal(&client, canonical);
+                assert_eq!(canonical_report.state, JobState::Completed);
+                canonical_report
+            })
+        })
+        .collect();
+
+    let canonical_reports: Vec<JobStatusReport> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Determinism across workers and client threads: identical submissions
+    // produce bit-identical amplitudes and node counts.
+    let first = outcome(&canonical_reports[0]);
+    assert_eq!(first.top_probabilities[0].0, 19, "Grover finds the mark");
+    for report in &canonical_reports[1..] {
+        let o = outcome(report);
+        assert_eq!(o.top_probabilities, first.top_probabilities);
+        assert_eq!(o.final_nodes, first.final_nodes);
+        assert_eq!(o.gates_applied, first.gates_applied);
+    }
+
+    match client.drain() {
+        Response::Drained { .. } => {}
+        other => panic!("expected Drained, got {other:?}"),
+    }
+    let m = client.metrics();
+    let accepted = THREADS * (JOBS_PER_THREAD + 1);
+    assert_eq!(m.submitted, accepted + THREADS); // + the rejected ones
+    assert_eq!(m.rejected, THREADS);
+    assert_eq!(m.completed + m.aborted, accepted);
+    // j % 4 == 3 hits j = 3 and j = 7: two starved-budget jobs per thread.
+    assert_eq!(m.aborted, THREADS * 2);
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+    assert_eq!(m.evicted, 0);
+    let worker_jobs: u64 = m.workers.iter().map(|w| w.stats.jobs).sum();
+    assert_eq!(worker_jobs, accepted, "every accepted job ran on a worker");
+    assert_eq!(m.latency_counts.iter().sum::<u64>(), accepted);
+    assert!(
+        m.workers
+            .iter()
+            .filter(|w| w.class == SchemeClass::Algebraic)
+            .map(|w| w.stats.jobs)
+            .sum::<u64>()
+            >= THREADS * 2,
+        "algebraic jobs must run on algebraic-pinned workers"
+    );
+}
+
+#[test]
+fn budget_abort_checkpoints_and_resume_completes_bit_identically() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric],
+        queue_capacity: 8,
+        checkpoint_dir: test_dir("resume"),
+    };
+    let core = ServeCore::start(cfg);
+    let client = Client::new(Arc::clone(&core));
+    let circuit = CircuitSpec::Grover { n: 6, marked: 45 };
+    let scheme = SchemeSpec::Numeric { eps: 1e-10 };
+    let roomy = RunBudget::unlimited().with_max_nodes(5_000_000);
+
+    // 1. Starve a job so it aborts and checkpoints.
+    let starved = submitted_id(client.submit(submit(
+        circuit.clone(),
+        scheme.clone(),
+        RunBudget::unlimited().with_max_nodes(24),
+    )));
+    let report = wait_terminal(&client, starved);
+    assert_eq!(report.state, JobState::Aborted);
+    let abort = outcome(&report).aborted.clone().unwrap();
+    let checkpoint = abort
+        .checkpoint
+        .expect("budget abort must leave a checkpoint");
+    assert!(
+        checkpoint.exists(),
+        "checkpoint file missing: {checkpoint:?}"
+    );
+
+    // 2. Resubmit with `resume` pointing at the checkpoint.
+    let resumed = submitted_id(client.submit(SubmitRequest {
+        resume: Some(checkpoint),
+        ..submit(circuit.clone(), scheme.clone(), roomy)
+    }));
+    let resumed_report = wait_terminal(&client, resumed);
+    assert_eq!(resumed_report.state, JobState::Completed);
+    let resumed_outcome = outcome(&resumed_report);
+    assert!(resumed_outcome.resumed, "job must pick the checkpoint up");
+
+    // 3. An uninterrupted reference run must match bit-for-bit.
+    let reference = submitted_id(client.submit(submit(circuit, scheme, roomy)));
+    let reference_report = wait_terminal(&client, reference);
+    assert_eq!(reference_report.state, JobState::Completed);
+    let reference_outcome = outcome(&reference_report);
+    assert!(!reference_outcome.resumed);
+    assert_eq!(
+        resumed_outcome.top_probabilities, reference_outcome.top_probabilities,
+        "resume must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed_outcome.final_nodes, reference_outcome.final_nodes);
+
+    // While we have a numeric-only pool: algebraic submissions must be
+    // rejected with a pinning reason, not queued forever.
+    match client.submit(submit(
+        CircuitSpec::Grover { n: 4, marked: 2 },
+        SchemeSpec::Qomega,
+        RunBudget::unlimited().with_max_nodes(1_000),
+    )) {
+        Response::Rejected { reason } => {
+            assert!(reason.contains("algebraic"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    let m = client.metrics();
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+}
+
+#[test]
+fn shutdown_evicts_queued_jobs_and_joins_workers() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric],
+        queue_capacity: 16,
+        checkpoint_dir: test_dir("shutdown"),
+    };
+    let core = ServeCore::start(cfg);
+    let client = Client::new(Arc::clone(&core));
+
+    // Six real jobs into a single-worker pool: most of them are still
+    // queued when shutdown lands.
+    let jobs: Vec<u64> = (0..6)
+        .map(|i| {
+            submitted_id(client.submit(submit(
+                CircuitSpec::Grover {
+                    n: 8,
+                    marked: 17 + i,
+                },
+                SchemeSpec::Numeric { eps: 1e-10 },
+                RunBudget::unlimited().with_max_nodes(5_000_000),
+            )))
+        })
+        .collect();
+
+    let (evicted_queued, cancelled_running) = match client.shutdown() {
+        Response::ShutdownDone {
+            evicted_queued,
+            cancelled_running,
+        } => (evicted_queued, cancelled_running),
+        other => panic!("expected ShutdownDone, got {other:?}"),
+    };
+
+    // Every job is terminal; evicted ones say so and explain why.
+    let mut evicted_seen = 0;
+    for &id in &jobs {
+        let report = wait_terminal(&client, id);
+        match report.state {
+            JobState::Completed => {}
+            JobState::Aborted => {
+                let abort = outcome(&report).aborted.as_ref().unwrap();
+                if abort.evicted {
+                    evicted_seen += 1;
+                    assert!(abort.reason.contains("evicted"), "reason: {}", abort.reason);
+                }
+            }
+            s => panic!("job {id} not terminal after shutdown: {s:?}"),
+        }
+    }
+    assert!(
+        evicted_queued >= 4,
+        "a single worker cannot have started more than 2 of 6 jobs \
+         (evicted_queued={evicted_queued}, cancelled_running={cancelled_running})"
+    );
+    // A cancelled running job may have been on its last gate and finished
+    // anyway, so the upper bound is not tight.
+    assert!(evicted_seen >= evicted_queued);
+    assert!(evicted_seen <= evicted_queued + cancelled_running);
+
+    // Admission is closed now.
+    match client.submit(submit(
+        CircuitSpec::Grover { n: 4, marked: 1 },
+        SchemeSpec::Numeric { eps: 1e-10 },
+        RunBudget::unlimited().with_max_nodes(1_000),
+    )) {
+        Response::Rejected { reason } => {
+            assert!(reason.contains("draining"), "unexpected reason: {reason}")
+        }
+        other => panic!("expected Rejected after shutdown, got {other:?}"),
+    }
+
+    let m = client.metrics();
+    assert_eq!(m.submitted, 7);
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.completed + m.aborted, 6);
+    assert_eq!(m.evicted, evicted_seen);
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+}

@@ -30,6 +30,7 @@
 
 mod accuracy;
 mod checkpoint;
+pub mod job;
 mod operators;
 mod report;
 mod simulator;
@@ -42,6 +43,7 @@ pub use accuracy::{circuits_equivalent, normalized_distance, PairedRun};
 pub use checkpoint::{
     circuit_fingerprint, peek_checkpoint, CheckpointInfo, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
+pub use job::{run_job, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec};
 pub use operators::{
     circuit_unitary, matching_evolution, op_operator, permutation, try_circuit_unitary,
     try_matching_evolution, try_op_operator, try_permutation,

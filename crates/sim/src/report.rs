@@ -46,7 +46,22 @@ impl Column {
     }
 }
 
-/// Writes columns as CSV to `path`, creating parent directories.
+/// Quotes a CSV field when it contains a delimiter, a quote, or a line
+/// break (RFC 4180): the field is wrapped in double quotes and embedded
+/// quotes are doubled. Plain fields pass through unchanged, so existing
+/// numeric CSVs are byte-identical.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
+/// Writes columns as CSV to `path`, creating parent directories. Fields
+/// (headers and cells) containing commas, quotes or newlines are quoted
+/// and escaped, so free-form labels — abort reasons, sweep stage names —
+/// cannot corrupt the row structure.
 ///
 /// # Errors
 ///
@@ -58,12 +73,12 @@ pub fn write_csv(path: impl AsRef<Path>, columns: &[Column]) -> io::Result<()> {
     }
     let rows = columns.iter().map(|c| c.values.len()).max().unwrap_or(0);
     let mut out = String::new();
-    let headers: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+    let headers: Vec<_> = columns.iter().map(|c| csv_field(&c.name)).collect();
     let _ = writeln!(out, "{}", headers.join(","));
     for r in 0..rows {
-        let row: Vec<&str> = columns
+        let row: Vec<_> = columns
             .iter()
-            .map(|c| c.values.get(r).map(String::as_str).unwrap_or(""))
+            .map(|c| csv_field(c.values.get(r).map(String::as_str).unwrap_or("")))
             .collect();
         let _ = writeln!(out, "{}", row.join(","));
     }
@@ -90,6 +105,32 @@ mod tests {
         assert_eq!(lines[1], "1,5.000000e-1,");
         assert_eq!(lines[2], "2,2.500000e-1,1.000000e0");
         assert_eq!(lines[3], "3,,");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fields_with_commas_and_quotes_are_escaped() {
+        // regression: abort reasons like `op 3: node budget exceeded
+        // (1000, limit 8)` and labels with quotes used to be written raw,
+        // corrupting the row structure for downstream parsers
+        let dir = std::env::temp_dir().join("aq_sim_report_quote_test");
+        let path = dir.join("q.csv");
+        let cols = vec![
+            Column {
+                name: "series, or \"label\"".into(),
+                values: vec!["plain".into(), "a,b".into(), "say \"hi\"\nbye".into()],
+            },
+            Column::from_usize("n", [1, 2, 3]),
+        ];
+        write_csv(&path, &cols).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "\"series, or \"\"label\"\"\",n");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"a,b\",2");
+        // the embedded newline keeps the quoted field open across lines
+        assert_eq!(lines[3], "\"say \"\"hi\"\"");
+        assert_eq!(lines[4], "bye\",3");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -96,7 +96,7 @@ pub fn reference_run(
         }
     }
     trace.engine = Some(sim.statistics());
-    validate_stage(&sim, "reference_run");
+    record_validation(&mut trace, validate_stage(&sim, "reference_run"));
     ReferenceRun {
         trace,
         samples,
@@ -106,16 +106,35 @@ pub fn reference_run(
 }
 
 /// With the `validate-invariants` feature, every sweep stage re-checks the
-/// manager's structural invariants before its trace is reported.
+/// manager's structural invariants before its trace is reported. A
+/// violation is returned as a rendered
+/// [`EngineError::InvariantViolation`](aq_dd::EngineError) rather than a
+/// panic, so the stage is reported as an aborted row and the surrounding
+/// sweep (or a serving worker) survives — the fail-soft contract.
 #[cfg(feature = "validate-invariants")]
-fn validate_stage<W: WeightContext>(sim: &Simulator<'_, W>, stage: &str) {
+fn validate_stage<W: WeightContext>(sim: &Simulator<'_, W>, stage: &str) -> Option<String> {
     sim.manager()
         .validate()
-        .unwrap_or_else(|e| panic!("sweep stage `{stage}` broke the invariants: {e}"));
+        .err()
+        .map(|e| format!("sweep stage `{stage}` broke the invariants: {e}"))
 }
 
 #[cfg(not(feature = "validate-invariants"))]
-fn validate_stage<W: WeightContext>(_sim: &Simulator<'_, W>, _stage: &str) {}
+fn validate_stage<W: WeightContext>(_sim: &Simulator<'_, W>, _stage: &str) -> Option<String> {
+    None
+}
+
+/// Folds an invariant-check failure into a trace's abort field, keeping
+/// any earlier abort reason (budget aborts stay first; the violation is
+/// appended, never lost).
+fn record_validation(trace: &mut Trace, violation: Option<String>) {
+    if let Some(v) = violation {
+        trace.aborted = Some(match trace.aborted.take() {
+            Some(prev) => format!("{prev}; {v}"),
+            None => v,
+        });
+    }
+}
 
 /// Runs one numeric simulation, measuring the error against a shared
 /// [`ReferenceRun`] at its sampling points. Fail-soft: on a budget abort
@@ -200,7 +219,7 @@ pub fn numeric_vs_reference_resumable<W: WeightContext>(
         }
     }
     trace.engine = Some(sim.statistics());
-    validate_stage(&sim, label);
+    record_validation(&mut trace, validate_stage(&sim, label));
     trace
 }
 

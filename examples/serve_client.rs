@@ -1,0 +1,159 @@
+//! Batch-serving in process: start an `aq-serve` core with a mixed
+//! worker pool, submit jobs across both scheme classes, survive a budget
+//! abort by resuming its checkpoint, and read the metrics back.
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The same lifecycle works over TCP: start `aq-served --port=0` and
+//! drive it with `aq-cli` (see the README's "Serving" section).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aqudd::dd::RunBudget;
+use aqudd::serve::{
+    CircuitSpec, Client, JobState, Response, SchemeClass, ServeConfig, ServeCore, SubmitRequest,
+};
+use aqudd::sim::SchemeSpec;
+
+fn submit(
+    client: &Client,
+    circuit: CircuitSpec,
+    scheme: SchemeSpec,
+    budget: RunBudget,
+) -> Option<u64> {
+    match client.submit(SubmitRequest {
+        circuit,
+        scheme,
+        priority: 0,
+        budget,
+        resume: None,
+        top_k: 3,
+    }) {
+        Response::Submitted { job } => Some(job),
+        Response::Rejected { reason } => {
+            println!("  rejected: {reason}");
+            None
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+fn main() {
+    // Two workers, one per scheme class: float jobs and exact-arithmetic
+    // jobs never block each other.
+    let core = ServeCore::start(ServeConfig {
+        workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+        queue_capacity: 16,
+        checkpoint_dir: std::env::temp_dir().join("aq-serve-example"),
+    });
+    let client = Client::new(Arc::clone(&core));
+    let roomy = RunBudget::unlimited()
+        .with_max_nodes(2_000_000)
+        .with_deadline(Duration::from_secs(60));
+
+    println!("submitting a numeric and an exact Grover search...");
+    let numeric = submit(
+        &client,
+        CircuitSpec::Grover { n: 6, marked: 42 },
+        SchemeSpec::Numeric { eps: 1e-10 },
+        roomy,
+    )
+    .unwrap();
+    let exact = submit(
+        &client,
+        CircuitSpec::Grover { n: 6, marked: 42 },
+        SchemeSpec::Qomega,
+        roomy,
+    )
+    .unwrap();
+
+    // A budget is mandatory — unbounded jobs are refused at admission.
+    println!("submitting without a budget (must be rejected)...");
+    assert!(submit(
+        &client,
+        CircuitSpec::Qft { n: 5 },
+        SchemeSpec::Numeric { eps: 1e-10 },
+        RunBudget::unlimited(),
+    )
+    .is_none());
+
+    // Starve a job so it aborts with a checkpoint...
+    println!("submitting a starved job (aborts, checkpoints)...");
+    let starved = submit(
+        &client,
+        CircuitSpec::Grover { n: 8, marked: 113 },
+        SchemeSpec::Numeric { eps: 1e-10 },
+        RunBudget::unlimited().with_max_nodes(64),
+    )
+    .unwrap();
+
+    for job in [numeric, exact] {
+        match client.wait(job, Duration::from_secs(120)) {
+            Response::Status(report) => {
+                let outcome = report.outcome.as_ref().unwrap();
+                println!(
+                    "  job {job} [{}] {}: top outcome {:?} ({} gates, {} nodes)",
+                    report.label,
+                    report.state.as_str(),
+                    outcome.top_probabilities.first().map(|(i, _)| i),
+                    outcome.gates_applied,
+                    outcome.final_nodes,
+                );
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    // ...and resume it with a real budget: bit-identical continuation.
+    let checkpoint = match client.wait(starved, Duration::from_secs(120)) {
+        Response::Status(report) => {
+            assert_eq!(report.state, JobState::Aborted);
+            let abort = report.outcome.unwrap().aborted.unwrap();
+            println!("  job {starved} aborted: {}", abort.reason);
+            abort.checkpoint.expect("budget abort leaves a checkpoint")
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+    println!("resuming the aborted job from {}", checkpoint.display());
+    let resumed = client.submit(SubmitRequest {
+        circuit: CircuitSpec::Grover { n: 8, marked: 113 },
+        scheme: SchemeSpec::Numeric { eps: 1e-10 },
+        priority: 9, // jump the queue
+        budget: roomy,
+        resume: Some(checkpoint),
+        top_k: 3,
+    });
+    let resumed = match resumed {
+        Response::Submitted { job } => job,
+        other => panic!("unexpected response: {other:?}"),
+    };
+    match client.wait(resumed, Duration::from_secs(120)) {
+        Response::Status(report) => {
+            let outcome = report.outcome.as_ref().unwrap();
+            assert!(outcome.resumed);
+            println!(
+                "  job {resumed} {}: top outcome {:?} after {} gates total",
+                report.state.as_str(),
+                outcome.top_probabilities.first().map(|(i, _)| i),
+                outcome.gates_applied,
+            );
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    client.drain();
+    let m = client.metrics();
+    println!(
+        "metrics: submitted={} completed={} aborted={} rejected={} (reconciles: {})",
+        m.submitted,
+        m.completed,
+        m.aborted,
+        m.rejected,
+        m.reconciles(),
+    );
+    assert!(m.reconciles());
+    client.shutdown();
+}

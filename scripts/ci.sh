@@ -35,6 +35,56 @@ echo "== invariants: validate-invariants feature gates =="
 cargo test -q --offline -p aq-dd --features validate-invariants --test invariants
 cargo test -q --offline -p aq-sim --features validate-invariants --lib
 
+echo "== serve: concurrency + protocol fault suites =="
+cargo test -q --offline -p aq-serve --test concurrency
+cargo test -q --offline -p aq-serve --test protocol_faults
+
+echo "== serve: real server cycle over TCP (aq-served + aq-cli) =="
+serve_ck="target/ci_serve_ckpts"
+serve_log="target/ci_served.log"
+rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
+./target/release/aq-served --port=0 --workers=2 --checkpoint-dir="$serve_ck" \
+    >"$serve_log" 2>&1 &
+serve_pid=$!
+# scrape the ephemeral address from the server's "listening on" line
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "aq-served never reported its address:"
+    cat "$serve_log"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cli() { ./target/release/aq-cli --addr="$addr" "$@"; }
+# a roomy job that completes...
+cli submit --circuit=grover --n=5 --marked=19 --scheme=numeric --eps=1e-10 \
+    --max-nodes=2000000 --wait=120 | tee target/ci_serve_completed.json
+grep -q '"state":"completed"' target/ci_serve_completed.json \
+    || { echo "expected a completed job"; exit 1; }
+# ...and a starved one that budget-aborts, leaving a resumable checkpoint
+cli submit --circuit=grover --n=6 --marked=45 --scheme=numeric --eps=1e-10 \
+    --max-nodes=24 --wait=120 | tee target/ci_serve_aborted.json
+grep -q '"state":"aborted"' target/ci_serve_aborted.json \
+    || { echo "expected a budget abort"; exit 1; }
+grep -q '"checkpoint":"' target/ci_serve_aborted.json \
+    || { echo "expected a checkpoint path in the abort"; exit 1; }
+ls "$serve_ck"/job-*.aqckp >/dev/null \
+    || { echo "expected a checkpoint file on disk"; exit 1; }
+# metrics must reconcile: 2 submitted == 1 completed + 1 aborted, none in flight
+cli metrics | tee target/ci_serve_metrics.json
+grep -q '"submitted":2,"completed":1,"aborted":1,"rejected":0' \
+    target/ci_serve_metrics.json || { echo "metrics do not reconcile"; exit 1; }
+grep -q '"queue_depth":0,"running":0' target/ci_serve_metrics.json \
+    || { echo "expected an idle server"; exit 1; }
+cli drain | grep -q '"state":"drained"' || { echo "drain failed"; exit 1; }
+cli shutdown | grep -q '"state":"stopped"' || { echo "shutdown failed"; exit 1; }
+wait "$serve_pid" || { echo "aq-served exited non-zero"; exit 1; }
+rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== engine bench (BENCH_engine.json) =="
     cargo run --release --offline -p aq-bench --bin engine_bench -- BENCH_engine.json

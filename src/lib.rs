@@ -13,7 +13,10 @@
 //! * [`circuits`] — circuit IR, gate library and the benchmark generators
 //!   (Grover, Binary Welded Tree, Ground State Estimation, Clifford+T
 //!   compilation),
-//! * [`sim`] — the simulation and measurement harness.
+//! * [`sim`] — the simulation and measurement harness,
+//! * [`serve`] — the concurrent batch-simulation service (worker pool,
+//!   admission-controlled job queue, line-delimited TCP protocol, live
+//!   metrics).
 //!
 //! # Quickstart
 //!
@@ -43,4 +46,5 @@ pub use aq_bigint as bigint;
 pub use aq_circuits as circuits;
 pub use aq_dd as dd;
 pub use aq_rings as rings;
+pub use aq_serve as serve;
 pub use aq_sim as sim;
