@@ -1,0 +1,300 @@
+//! The committed baseline file (`lint-baseline.toml`): tracked legacy
+//! findings that do not fail CI, so new violations are caught while old
+//! ones are paid down deliberately.
+//!
+//! The format is a hand-parsed TOML subset — an array of `[[suppress]]`
+//! tables with string and integer values:
+//!
+//! ```toml
+//! # Every entry needs a `reason`; entries that stop matching anything
+//! # are reported as stale so the file shrinks over time.
+//! [[suppress]]
+//! rule = "R1"
+//! file = "crates/sim/src/legacy.rs"
+//! line = 42            # optional: pin to a line
+//! contains = "unwrap"  # optional: pin to source text on the found line
+//! reason = "tracked: migrating to try_run in the next PR"
+//! ```
+//!
+//! Matching is by rule + file, then by the optional `line` and `contains`
+//! pins. Prefer `contains` over `line`: it survives unrelated edits.
+
+use crate::rules::{Finding, RuleId};
+
+/// One `[[suppress]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressEntry {
+    /// Rule being suppressed.
+    pub rule: RuleId,
+    /// Workspace-relative file the finding lives in.
+    pub file: String,
+    /// Optional 1-based line pin.
+    pub line: Option<usize>,
+    /// Optional substring pin against the found source line.
+    pub contains: Option<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line in the baseline file (for stale reporting).
+    pub defined_at: usize,
+}
+
+impl SuppressEntry {
+    /// Whether this entry suppresses `f` (whose source line text is
+    /// `line_text`).
+    pub fn matches(&self, f: &Finding, line_text: &str) -> bool {
+        self.rule == f.rule
+            && self.file == f.file
+            && self.line.map(|l| l == f.line).unwrap_or(true)
+            && self
+                .contains
+                .as_deref()
+                .map(|s| line_text.contains(s))
+                .unwrap_or(true)
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The suppress entries, in file order.
+    pub entries: Vec<SuppressEntry>,
+}
+
+/// A half-built entry during parsing.
+#[derive(Debug, Default)]
+struct Partial {
+    rule: Option<RuleId>,
+    file: Option<String>,
+    line: Option<usize>,
+    contains: Option<String>,
+    reason: Option<String>,
+    defined_at: usize,
+}
+
+impl Partial {
+    fn finish(self) -> Result<SuppressEntry, String> {
+        let at = self.defined_at;
+        Ok(SuppressEntry {
+            rule: self
+                .rule
+                .ok_or(format!("baseline entry at line {at}: missing `rule`"))?,
+            file: self
+                .file
+                .ok_or(format!("baseline entry at line {at}: missing `file`"))?,
+            line: self.line,
+            contains: self.contains,
+            reason: self.reason.filter(|r| !r.trim().is_empty()).ok_or(format!(
+                "baseline entry at line {at}: missing `reason` — every suppression must be justified"
+            ))?,
+            defined_at: at,
+        })
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline text.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line; malformed baselines are an
+    /// internal error (exit code 2), never a silent pass.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<Partial> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                if let Some(p) = current.take() {
+                    entries.push(p.finish()?);
+                }
+                current = Some(Partial {
+                    defined_at: lineno,
+                    ..Partial::default()
+                });
+                continue;
+            }
+            if line.starts_with("[[") {
+                return Err(format!(
+                    "line {lineno}: unknown table `{line}` (only [[suppress]] is supported)"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let Some(p) = current.as_mut() else {
+                return Err(format!(
+                    "line {lineno}: `{}` outside any [[suppress]] entry",
+                    key.trim()
+                ));
+            };
+            let value = strip_comment(value).trim();
+            match key.trim() {
+                "rule" => {
+                    let s = parse_string(value, lineno)?;
+                    p.rule = Some(RuleId::from_code(&s).ok_or(format!(
+                        "line {lineno}: unknown rule `{s}` (expected R1..R5 or A0)"
+                    ))?);
+                }
+                "file" => p.file = Some(parse_string(value, lineno)?),
+                "contains" => p.contains = Some(parse_string(value, lineno)?),
+                "reason" => p.reason = Some(parse_string(value, lineno)?),
+                "line" => {
+                    p.line = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: `line` must be an integer, got `{value}`")
+                    })?)
+                }
+                other => {
+                    return Err(format!("line {lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(p) = current.take() {
+            entries.push(p.finish()?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders findings as baseline entries (the `--write-baseline`
+    /// starting point; reasons must then be filled in by hand).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# lint-baseline.toml — tracked legacy findings (see DESIGN.md, \"Static analysis\").\n\
+             # Every entry MUST carry a `reason`. Keep this file shrinking: new code never\n\
+             # adds entries; it fixes the finding or justifies an inline allow instead.\n",
+        );
+        for f in findings {
+            out.push_str(&format!(
+                "\n[[suppress]]\nrule = \"{}\"\nfile = \"{}\"\nline = {}\nreason = \"FIXME: justify or fix\"\n",
+                f.rule.code(),
+                f.file,
+                f.line
+            ));
+        }
+        out
+    }
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(value: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in value.char_indices() {
+        match c {
+            '\\' if in_str && !escape => {
+                escape = true;
+                continue;
+            }
+            '"' if !escape => in_str = !in_str,
+            '#' if !in_str => return &value[..i],
+            _ => {}
+        }
+        escape = false;
+    }
+    value
+}
+
+/// Parses a double-quoted TOML string with `\"` and `\\` escapes.
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(format!(
+            "line {lineno}: expected a quoted string, got `{value}`"
+        ))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut escape = false;
+    for c in inner.chars() {
+        if escape {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            }
+            escape = false;
+        } else if c == '\\' {
+            escape = true;
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: RuleId, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches_entries() {
+        let text = r#"
+# header comment
+[[suppress]]
+rule = "R1"
+file = "crates/x/src/a.rs"
+contains = "unwrap"  # trailing comment
+reason = "legacy path, tracked in ISSUE 9"
+
+[[suppress]]
+rule = "R4"
+file = "crates/x/src/b.rs"
+line = 7
+reason = "checked upstream"
+"#;
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.entries.len(), 2);
+        assert!(b.entries[0].matches(
+            &finding(RuleId::NoPanicPath, "crates/x/src/a.rs", 3),
+            "x.unwrap()"
+        ));
+        assert!(!b.entries[0].matches(
+            &finding(RuleId::NoPanicPath, "crates/x/src/a.rs", 3),
+            "x.expect()"
+        ));
+        assert!(b.entries[1].matches(&finding(RuleId::NarrowingCast, "crates/x/src/b.rs", 7), ""));
+        assert!(!b.entries[1].matches(&finding(RuleId::NarrowingCast, "crates/x/src/b.rs", 8), ""));
+    }
+
+    #[test]
+    fn rejects_unjustified_or_malformed_entries() {
+        let missing_reason = "[[suppress]]\nrule = \"R1\"\nfile = \"a.rs\"\n";
+        assert!(Baseline::parse(missing_reason)
+            .unwrap_err()
+            .contains("reason"));
+        let bad_rule = "[[suppress]]\nrule = \"R9\"\nfile = \"a.rs\"\nreason = \"x\"\n";
+        assert!(Baseline::parse(bad_rule)
+            .unwrap_err()
+            .contains("unknown rule"));
+        let bad_key = "[[suppress]]\nrule = \"R1\"\nfoo = \"1\"\n";
+        assert!(Baseline::parse(bad_key)
+            .unwrap_err()
+            .contains("unknown key"));
+        let orphan = "rule = \"R1\"\n";
+        assert!(Baseline::parse(orphan).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn empty_baseline_is_fine() {
+        assert_eq!(
+            Baseline::parse("# nothing here\n").expect("ok").entries,
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! `aq-lint` — the workspace lint gate.
+//!
+//! ```text
+//! aq-lint [--root=DIR] [--baseline=FILE] [--deny] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory mode without `--deny`), `1`
+//! findings at deny level under `--deny`, `2` internal error — so CI can
+//! distinguish "the code has violations" from "the linter is broken".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aq_analyze::{run_workspace, Baseline, LintConfig, Report, RuleId};
+
+const EXIT_CLEAN: u8 = 0;
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_INTERNAL: u8 = 2;
+
+#[derive(Debug)]
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        deny: false,
+        json: false,
+        list_rules: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--root=") {
+            args.root = PathBuf::from(v);
+        } else if let Some(v) = arg.strip_prefix("--baseline=") {
+            args.baseline = Some(PathBuf::from(v));
+        } else if arg == "--deny" {
+            args.deny = true;
+        } else if arg == "--json" {
+            args.json = true;
+        } else if arg == "--list-rules" {
+            args.list_rules = true;
+        } else if arg == "--help" || arg == "-h" {
+            return Err(HELP.to_string());
+        } else {
+            return Err(format!("unknown argument `{arg}`\n{HELP}"));
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "usage: aq-lint [--root=DIR] [--baseline=FILE] [--deny] [--json] [--list-rules]
+  --root=DIR       workspace root to scan (default: .)
+  --baseline=FILE  committed suppression file (lint-baseline.toml)
+  --deny           exit 1 if any deny-level finding survives suppression
+  --json           machine-readable line-delimited JSON output
+  --list-rules     print the rule table and exit";
+
+const ALL_RULES: &[RuleId] = &[
+    RuleId::NoPanicPath,
+    RuleId::InfallibleDelegate,
+    RuleId::UnboundedCache,
+    RuleId::NarrowingCast,
+    RuleId::FloatEq,
+    RuleId::BadSuppression,
+];
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_report(report: &Report, json: bool) {
+    if json {
+        for f in &report.findings {
+            println!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                f.rule.code(),
+                f.severity.as_str(),
+                json_escape(&f.message)
+            );
+        }
+        println!(
+            "{{\"summary\":{{\"findings\":{},\"files\":{},\"baseline_suppressed\":{},\"stale_baseline\":{}}}}}",
+            report.findings.len(),
+            report.files_scanned,
+            report.baseline_suppressed,
+            report.stale_baseline.len()
+        );
+        return;
+    }
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    for s in &report.stale_baseline {
+        println!("warning: {s}");
+    }
+    println!(
+        "aq-lint: {} finding(s) across {} file(s) ({} baseline-suppressed, {} stale baseline entr{})",
+        report.findings.len(),
+        report.files_scanned,
+        report.baseline_suppressed,
+        report.stale_baseline.len(),
+        if report.stale_baseline.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    };
+    if args.list_rules {
+        for r in ALL_RULES {
+            println!("{}  {}", r.code(), r.describe());
+        }
+        return ExitCode::from(EXIT_CLEAN);
+    }
+    let baseline = match &args.baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!(
+                    "aq-lint: internal error: cannot read {}: {e}",
+                    path.display()
+                );
+                return ExitCode::from(EXIT_INTERNAL);
+            }
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("aq-lint: internal error: {}: {e}", path.display());
+                    return ExitCode::from(EXIT_INTERNAL);
+                }
+            },
+        },
+    };
+    let cfg = LintConfig::for_workspace();
+    let report = match run_workspace(&args.root, &cfg, baseline.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aq-lint: internal error: {e}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    };
+    print_report(&report, args.json);
+    if args.deny && report.has_deny() {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        ExitCode::from(EXIT_CLEAN)
+    }
+}

@@ -1,0 +1,479 @@
+//! A hand-rolled lexer for (a practical superset of) Rust source text.
+//!
+//! The rule engine needs token-accurate answers to questions like "is this
+//! `unwrap` an identifier or part of a string literal?", so a line-oriented
+//! grep is not good enough. This lexer handles the constructs that defeat
+//! naive scanners:
+//!
+//! * nested block comments (`/* outer /* inner */ still outer */`),
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `r##"…"##`),
+//! * byte strings and raw byte strings (`b"…"`, `br#"…"#`),
+//! * lifetimes vs. char literals (`'a` vs. `'a'` vs. `'\u{1F600}'`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals with underscores, radix prefixes, exponents and
+//!   type suffixes (`1_000u64`, `0xFF`, `1.5e-10`, `1f64`).
+//!
+//! Tokens carry byte spans only; use [`LineIndex`] to turn a byte offset
+//! into a `line:column` pair when reporting. The lexer never fails: input
+//! it cannot classify becomes [`TokKind::Unknown`] tokens, and unterminated
+//! literals or comments extend to end-of-input.
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`).
+    Ident,
+    /// A raw identifier (`r#type`).
+    RawIdent,
+    /// A lifetime (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A char literal (`'a'`, `'\n'`, `'\u{41}'`).
+    Char,
+    /// A byte literal (`b'x'`).
+    Byte,
+    /// A string literal (`"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// A byte-string literal (`b"…"`).
+    ByteStr,
+    /// A raw byte-string literal (`br"…"`, `br#"…"#`).
+    RawByteStr,
+    /// An integer literal (any radix, with optional suffix).
+    Int,
+    /// A floating-point literal (`1.0`, `1e-10`, `2f64`).
+    Float,
+    /// Punctuation, possibly multi-character (`==`, `->`, `..=`).
+    Punct,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (nesting honoured).
+    BlockComment,
+    /// A byte sequence the lexer could not classify.
+    Unknown,
+}
+
+/// One lexed token: a kind plus the byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The source text this token covers.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// The 1-based line containing byte `offset`.
+    pub fn line(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The 1-based `(line, column)` of byte `offset` (column in bytes).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line(offset);
+        let start = self.starts.get(line - 1).copied().unwrap_or(0);
+        (line, offset.saturating_sub(start) + 1)
+    }
+
+    /// The full text of 1-based line `line` in `src` (without newline).
+    pub fn line_text<'a>(&self, src: &'a str, line: usize) -> &'a str {
+        if line == 0 || line > self.starts.len() {
+            return "";
+        }
+        let start = self.starts[line - 1];
+        let end = self
+            .starts
+            .get(line)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(src.len());
+        src.get(start..end).unwrap_or("").trim_end_matches('\r')
+    }
+}
+
+/// Multi-character punctuation, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Consumes a `//` comment (cursor on the first `/`).
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a possibly-nested `/* … */` comment (cursor on `/*`).
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.starts_with("/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.starts_with("*/") {
+                self.pos += 2;
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        // unterminated: consumed to end of input
+    }
+
+    /// Consumes a `"…"` body with escapes (cursor just past the quote).
+    fn string_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            self.pos += 1;
+            match b {
+                b'\\' if self.peek(0).is_some() => self.pos += 1,
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `#…#"…"#…#` given the cursor sits on the first `#` or the
+    /// opening quote; returns false if this is not a raw-string opener.
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.pos += hashes + 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut closing = 0usize;
+                while closing < hashes && self.peek(1 + closing) == Some(b'#') {
+                    closing += 1;
+                }
+                if closing == hashes {
+                    self.pos += 1 + hashes;
+                    return true;
+                }
+            }
+            self.pos += 1;
+        }
+        true // unterminated: consumed to end of input
+    }
+
+    fn ident_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a char literal body after the opening `'`; returns true if
+    /// it really was a char literal, false for a lifetime.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.pos += 1;
+                match self.peek(0) {
+                    Some(b'u') if self.peek(1) == Some(b'{') => {
+                        self.pos += 2;
+                        while let Some(b) = self.peek(0) {
+                            self.pos += 1;
+                            if b == b'}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'x') => self.pos += (3).min(self.bytes.len() - self.pos),
+                    Some(_) => self.pos += 1,
+                    None => {}
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                TokKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                let mark = self.pos;
+                self.ident_body();
+                if self.peek(0) == Some(b'\'') {
+                    // 'a' — a char literal after all
+                    self.pos += 1;
+                    TokKind::Char
+                } else {
+                    // 'a / 'static — a lifetime; keep the ident consumed
+                    let _ = mark;
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // '+' and friends: single char then closing quote
+                self.pos += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                    TokKind::Char
+                } else {
+                    TokKind::Unknown
+                }
+            }
+            None => TokKind::Unknown,
+        }
+    }
+
+    /// Consumes a numeric literal (cursor on the first digit); returns the
+    /// kind (Int or Float).
+    fn number(&mut self) -> TokKind {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefixed {
+            self.pos += 2;
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return TokKind::Int;
+        }
+        let mut float = false;
+        while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b) if b.is_ascii_digit()) {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+            if matches!(self.peek(1 + sign), Some(b) if b.is_ascii_digit()) {
+                float = true;
+                self.pos += 1 + sign;
+                while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+                    self.pos += 1;
+                }
+            }
+        }
+        // type suffix (u8, i64, f32, usize, …)
+        let suffix_start = self.pos;
+        while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        if self.bytes[suffix_start..self.pos].starts_with(b"f32")
+            || self.bytes[suffix_start..self.pos].starts_with(b"f64")
+        {
+            float = true;
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (the rule engine reads suppression directives out of them).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.pos += 1;
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.line_comment();
+                TokKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.block_comment();
+                TokKind::BlockComment
+            }
+            b'r' if cur.peek(1) == Some(b'"') || cur.peek(1) == Some(b'#') => {
+                cur.pos += 1;
+                if cur.raw_string_body() {
+                    TokKind::RawStr
+                } else if matches!(cur.peek(0), Some(b'#'))
+                    && matches!(cur.peek(1), Some(n) if is_ident_start(n))
+                {
+                    // r#ident raw identifier
+                    cur.pos += 2;
+                    cur.ident_body();
+                    TokKind::RawIdent
+                } else {
+                    cur.ident_body();
+                    TokKind::Ident
+                }
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.pos += 2;
+                let k = cur.char_or_lifetime();
+                if k == TokKind::Char {
+                    TokKind::Byte
+                } else {
+                    TokKind::Unknown
+                }
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.pos += 2;
+                cur.string_body();
+                TokKind::ByteStr
+            }
+            b'b' if cur.peek(1) == Some(b'r') && matches!(cur.peek(2), Some(b'"') | Some(b'#')) => {
+                cur.pos += 2;
+                if cur.raw_string_body() {
+                    TokKind::RawByteStr
+                } else {
+                    cur.ident_body();
+                    TokKind::Ident
+                }
+            }
+            b'"' => {
+                cur.pos += 1;
+                cur.string_body();
+                TokKind::Str
+            }
+            b'\'' => {
+                cur.pos += 1;
+                cur.char_or_lifetime()
+            }
+            b'0'..=b'9' => cur.number(),
+            _ if is_ident_start(b) => {
+                cur.ident_body();
+                TokKind::Ident
+            }
+            _ => {
+                let mut matched = None;
+                for p in PUNCTS {
+                    if cur.starts_with(p) {
+                        matched = Some(p.len());
+                        break;
+                    }
+                }
+                match matched {
+                    Some(n) => {
+                        cur.pos += n;
+                        TokKind::Punct
+                    }
+                    None => {
+                        cur.pos += 1;
+                        if b.is_ascii_punctuation() {
+                            TokKind::Punct
+                        } else {
+                            TokKind::Unknown
+                        }
+                    }
+                }
+            }
+        };
+        debug_assert!(cur.pos > start, "lexer must always advance");
+        if cur.pos == start {
+            cur.pos += 1; // defensive: never loop forever on weird input
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("pub fn f(x: u32) -> bool { x == 3 }");
+        assert!(toks.contains(&(TokKind::Ident, "pub")));
+        assert!(toks.contains(&(TokKind::Punct, "==")));
+        assert!(toks.contains(&(TokKind::Punct, "->")));
+        assert!(toks.contains(&(TokKind::Int, "3")));
+    }
+
+    #[test]
+    fn line_index_round_trips() {
+        let src = "ab\ncd\nef";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(7), (3, 2));
+        assert_eq!(idx.line_text(src, 2), "cd");
+    }
+}

@@ -1,0 +1,154 @@
+//! Pathological inputs for the hand-rolled lexer: the rule engine is only
+//! as trustworthy as the token stream, so the constructs that break
+//! grep-based linters — nested block comments, raw strings with hash
+//! guards, lifetimes next to char literals — must lex correctly, and
+//! *unterminated* forms must terminate the lexer rather than the process.
+
+use aq_analyze::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* outer /* inner /* deep */ */ still outer */ fn";
+    let toks = kinds(src);
+    assert_eq!(toks.len(), 2, "{toks:?}");
+    assert_eq!(toks[0].0, TokKind::BlockComment);
+    assert_eq!(toks[0].1, "/* outer /* inner /* deep */ */ still outer */");
+    assert_eq!(toks[1], (TokKind::Ident, "fn".to_string()));
+}
+
+#[test]
+fn raw_strings_ignore_embedded_quotes_and_comment_starters() {
+    // The payload contains `"#` and `// unwrap(` — a lesser lexer would
+    // end the string early or hallucinate a comment.
+    let src = r####"let s = r##"quote "# and // unwrap( inside"## ;"####;
+    let toks = kinds(src);
+    let raw = toks
+        .iter()
+        .find(|(k, _)| *k == TokKind::RawStr)
+        .expect("raw string token");
+    assert_eq!(raw.1, r####"r##"quote "# and // unwrap( inside"##"####);
+    assert!(
+        !toks.iter().any(|(k, _)| *k == TokKind::LineComment),
+        "no comment inside the raw string: {toks:?}"
+    );
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{toks:?}");
+    assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+    assert_eq!(chars.len(), 1, "{toks:?}");
+    assert_eq!(chars[0].1, "'a'");
+}
+
+#[test]
+fn escaped_chars_and_byte_literals() {
+    let toks = kinds(r"let a = '\''; let b = '\u{41}'; let c = b'\n';");
+    let got: Vec<&str> = toks
+        .iter()
+        .filter(|(k, _)| matches!(k, TokKind::Char | TokKind::Byte))
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(got, [r"'\''", r"'\u{41}'", r"b'\n'"]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let src = r###"let a = b"bytes"; let b = br#"raw "quoted" bytes"#;"###;
+    let toks = kinds(src);
+    assert!(toks.contains(&(TokKind::ByteStr, "b\"bytes\"".to_string())));
+    assert!(toks.contains(&(
+        TokKind::RawByteStr,
+        r###"br#"raw "quoted" bytes"#"###.to_string()
+    )));
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    let toks = kinds("let r#type = r#struct; let s = r#\"text\"#;");
+    let raw_idents: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::RawIdent)
+        .collect();
+    assert_eq!(raw_idents.len(), 2, "{toks:?}");
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::RawStr && t == "r#\"text\"#"));
+}
+
+#[test]
+fn numeric_literals_and_ranges() {
+    let toks = kinds("let a = 1..2; let b = 1.5e-10; let c = 0xFFu32; let d = 2f64;");
+    // `1..2` must NOT merge into a float
+    assert!(toks.contains(&(TokKind::Int, "1".to_string())), "{toks:?}");
+    assert!(
+        toks.contains(&(TokKind::Punct, "..".to_string())),
+        "{toks:?}"
+    );
+    assert!(
+        toks.contains(&(TokKind::Float, "1.5e-10".to_string())),
+        "{toks:?}"
+    );
+    assert!(
+        toks.contains(&(TokKind::Int, "0xFFu32".to_string())),
+        "{toks:?}"
+    );
+    assert!(
+        toks.contains(&(TokKind::Float, "2f64".to_string())),
+        "{toks:?}"
+    );
+}
+
+#[test]
+fn string_escapes_hide_quotes_and_comment_markers() {
+    let src = r#"let s = "not a comment // and an escaped \" quote";"#;
+    let toks = kinds(src);
+    assert!(
+        toks.iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("escaped")),
+        "{toks:?}"
+    );
+    assert!(!toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+}
+
+#[test]
+fn unterminated_forms_do_not_hang_or_panic() {
+    // Each of these is malformed; the lexer must consume to EOF and stop.
+    for src in [
+        "/* never closed",
+        "/* outer /* inner */ still open",
+        "\"no closing quote",
+        "r#\"no closing guard\"",
+        "b\"open byte string",
+        "'",
+        "let x = ",
+    ] {
+        let toks = lex(src);
+        assert!(
+            toks.iter().all(|t| t.end <= src.len()),
+            "token spans stay in bounds for {src:?}"
+        );
+    }
+}
+
+#[test]
+fn multibyte_source_keeps_spans_on_char_boundaries() {
+    let src = "// ε-tolerance → compact\nlet ε = \"naïve\";";
+    for t in lex(src) {
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        let _ = t.text(src); // must not slice mid-codepoint
+    }
+}

@@ -1,0 +1,208 @@
+//! One positive (must fire) and one negative (must stay silent) fixture
+//! per rule, run through `lint_source` with a small synthetic scope so
+//! the fixtures are independent of the real workspace policy.
+
+use aq_analyze::{lint_source, LintConfig, RuleId};
+
+fn cfg() -> LintConfig {
+    LintConfig {
+        r1_allow_prefixes: vec![("crates/harness/".into(), "fixture harness crate".into())],
+        r2_scope: vec!["crates/lib/src/".into()],
+        r2_max_body_tokens: 12,
+        r3_hot_files: vec!["crates/lib/src/hot.rs".into()],
+        r4_wire_files: vec!["crates/lib/src/wire.rs".into()],
+        r5_exempt_files: vec!["crates/lib/src/eps.rs".into()],
+    }
+}
+
+fn rules_at(rel: &str, src: &str) -> Vec<RuleId> {
+    lint_source(rel, src, &cfg())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// ---- R1: no panic-family calls in non-test library code ----
+
+#[test]
+fn r1_flags_unwrap_expect_and_panic_macros() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               let y = x.unwrap();\n    \
+               let z = x.expect(\"present\");\n    \
+               if y != z { panic!(\"mismatch\"); }\n    \
+               y\n}\n";
+    let found = rules_at("crates/lib/src/lib.rs", src);
+    assert_eq!(
+        found,
+        [
+            RuleId::NoPanicPath,
+            RuleId::NoPanicPath,
+            RuleId::NoPanicPath
+        ],
+        "unwrap, expect and panic! each fire once"
+    );
+}
+
+#[test]
+fn r1_silent_in_tests_allowed_crates_and_test_modules() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    // tests/ directories are non-library code
+    assert!(rules_at("crates/lib/tests/it.rs", src).is_empty());
+    // crates under an r1 allow prefix are exempt wholesale
+    assert!(rules_at("crates/harness/src/lib.rs", src).is_empty());
+    // #[cfg(test)] modules inside library files are exempt
+    let in_test_mod = "#[cfg(test)]\nmod tests {\n    \
+                       fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert!(rules_at("crates/lib/src/lib.rs", in_test_mod).is_empty());
+}
+
+#[test]
+fn r1_suppression_works_on_the_line_above_only() {
+    let allowed = "pub fn f(x: Option<u32>) -> u32 {\n    \
+                   // aq-lint: allow(R1): fixture-justified invariant\n    \
+                   x.unwrap()\n}\n";
+    assert!(rules_at("crates/lib/src/lib.rs", allowed).is_empty());
+
+    // Two lines of distance is out of range: the finding survives.
+    let too_far = "pub fn f(x: Option<u32>) -> u32 {\n    \
+                   // aq-lint: allow(R1): fixture-justified invariant\n    \
+                   let _ = 0;\n    \
+                   x.unwrap()\n}\n";
+    assert_eq!(
+        rules_at("crates/lib/src/lib.rs", too_far),
+        [RuleId::NoPanicPath]
+    );
+}
+
+// ---- R2: infallible public APIs delegate to their try_* sibling ----
+
+#[test]
+fn r2_flags_infallible_twin_that_reimplements() {
+    let src = "pub fn try_get(x: u32) -> Result<u32, ()> { Ok(x + 1) }\n\
+               pub fn get(x: u32) -> u32 { x + 1 }\n";
+    assert_eq!(
+        rules_at("crates/lib/src/api.rs", src),
+        [RuleId::InfallibleDelegate]
+    );
+}
+
+#[test]
+fn r2_accepts_a_thin_delegate() {
+    let src = "pub fn try_get(x: u32) -> Result<u32, ()> { Ok(x + 1) }\n\
+               pub fn get(x: u32) -> u32 { try_get(x).unwrap_or(0) }\n";
+    assert!(rules_at("crates/lib/src/api.rs", src).is_empty());
+}
+
+#[test]
+fn r2_flags_an_oversized_delegate_body() {
+    // Calls try_get, but the body is far beyond r2_max_body_tokens: the
+    // logic belongs in the fallible sibling.
+    let src = "pub fn try_get(x: u32) -> Result<u32, ()> { Ok(x + 1) }\n\
+               pub fn get(x: u32) -> u32 {\n    \
+               let a = x + 1; let b = a * 2; let c = b - x; let d = c ^ a;\n    \
+               try_get(d).unwrap_or(a + b + c)\n}\n";
+    assert_eq!(
+        rules_at("crates/lib/src/api.rs", src),
+        [RuleId::InfallibleDelegate]
+    );
+}
+
+// ---- R3: no unbounded map caches in hot-path modules ----
+
+#[test]
+fn r3_flags_cache_named_map_fields_in_hot_files() {
+    let src = "use std::collections::HashMap;\n\
+               pub struct Engine {\n    compute_cache: HashMap<u64, u64>,\n}\n";
+    assert_eq!(
+        rules_at("crates/lib/src/hot.rs", src),
+        [RuleId::UnboundedCache]
+    );
+}
+
+#[test]
+fn r3_silent_for_non_cache_maps_and_cold_files() {
+    // Same shape, name does not smell like a cache: a map is fine.
+    let table = "use std::collections::HashMap;\n\
+                 pub struct Engine {\n    symbol_table: HashMap<u64, u64>,\n}\n";
+    assert!(rules_at("crates/lib/src/hot.rs", table).is_empty());
+    // Cache-named map outside the hot-file list: out of scope.
+    let cache = "use std::collections::HashMap;\n\
+                 pub struct Engine {\n    compute_cache: HashMap<u64, u64>,\n}\n";
+    assert!(rules_at("crates/lib/src/cold.rs", cache).is_empty());
+}
+
+// ---- R4: no bare narrowing casts in wire/snapshot code ----
+
+#[test]
+fn r4_flags_narrowing_casts_in_wire_files() {
+    let src = "pub fn encode(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(
+        rules_at("crates/lib/src/wire.rs", src),
+        [RuleId::NarrowingCast]
+    );
+}
+
+#[test]
+fn r4_accepts_widening_casts_and_non_wire_files() {
+    let widen = "pub fn encode(x: u32) -> u64 { x as u64 }\n";
+    assert!(rules_at("crates/lib/src/wire.rs", widen).is_empty());
+    let narrow = "pub fn encode(x: u64) -> u32 { x as u32 }\n";
+    assert!(rules_at("crates/lib/src/other.rs", narrow).is_empty());
+}
+
+// ---- R5: no direct float-literal ==/!= outside the epsilon module ----
+
+#[test]
+fn r5_flags_float_literal_equality() {
+    let src = "pub fn is_zero(x: f64) -> bool { x == 0.0 }\n\
+               pub fn nonzero(x: f64) -> bool { 0.0 != x }\n";
+    assert_eq!(
+        rules_at("crates/lib/src/math.rs", src),
+        [RuleId::FloatEq, RuleId::FloatEq]
+    );
+}
+
+#[test]
+fn r5_silent_in_the_epsilon_module_and_for_integers() {
+    let src = "pub fn is_zero(x: f64) -> bool { x == 0.0 }\n";
+    assert!(rules_at("crates/lib/src/eps.rs", src).is_empty());
+    let ints = "pub fn is_zero(x: u64) -> bool { x == 0 }\n";
+    assert!(rules_at("crates/lib/src/math.rs", ints).is_empty());
+}
+
+// ---- A0: suppression directives need known rules and a real reason ----
+
+#[test]
+fn a0_flags_reasonless_or_unknown_suppressions() {
+    let short = "// aq-lint: allow(R1): nope\npub fn f() {}\n";
+    assert_eq!(
+        rules_at("crates/lib/src/lib.rs", short),
+        [RuleId::BadSuppression],
+        "a sub-8-character reason is not a justification"
+    );
+    let unknown = "// aq-lint: allow(R9): rule nine does not exist here\npub fn f() {}\n";
+    assert_eq!(
+        rules_at("crates/lib/src/lib.rs", unknown),
+        [RuleId::BadSuppression]
+    );
+}
+
+#[test]
+fn a0_accepts_a_well_formed_directive_and_reports_positions() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               // aq-lint: allow(R1): invariant documented in the fixture\n    \
+               x.unwrap()\n}\n";
+    assert!(rules_at("crates/lib/src/lib.rs", src).is_empty());
+
+    // Findings carry 1-based file:line:col coordinates.
+    let bare = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = lint_source("crates/lib/src/lib.rs", bare, &cfg());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].file, "crates/lib/src/lib.rs");
+    assert_eq!(findings[0].line, 1);
+    assert!(
+        findings[0].col > 30,
+        "column points into the line: {:?}",
+        findings[0]
+    );
+}

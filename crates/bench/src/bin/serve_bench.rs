@@ -50,7 +50,7 @@ fn run_config(workers: usize, total_jobs: usize) -> ConfigResult {
         checkpoint_dir: std::env::temp_dir()
             .join(format!("aq-serve-bench-{}-w{workers}", std::process::id())),
     };
-    let core = ServeCore::start(cfg);
+    let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
 
     // Closed loop: 2 client threads per worker, each submitting and then

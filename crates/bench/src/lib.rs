@@ -199,7 +199,7 @@ fn traced_run<W: WeightContext>(ctx: W, circuit: &Circuit) -> Trace {
 
 /// Formats an ε for CSV column labels (`eps0`, `eps1e-10`, …).
 pub fn eps_label(eps: f64) -> String {
-    if eps == 0.0 {
+    if aq_rings::is_exact_eps(eps) {
         "eps0".to_string()
     } else {
         format!("eps{eps:.0e}")

@@ -83,8 +83,10 @@ impl UBig {
     pub fn abs_diff(&self, rhs: &UBig) -> (UBig, Ordering) {
         let ord = self.cmp(rhs);
         let diff = match ord {
+            // aq-lint: allow(R1): the match on cmp() proves the ordering each arm relies on
             Ordering::Less => rhs.checked_sub(self).expect("rhs >= self"),
             Ordering::Equal => UBig::zero(),
+            // aq-lint: allow(R1): the match on cmp() proves the ordering each arm relies on
             Ordering::Greater => self.checked_sub(rhs).expect("self >= rhs"),
         };
         (diff, ord)
@@ -139,6 +141,7 @@ impl Sub<&UBig> for &UBig {
     /// Panics if `rhs > self`; use [`UBig::checked_sub`] to handle that case.
     fn sub(self, rhs: &UBig) -> UBig {
         self.checked_sub(rhs)
+            // aq-lint: allow(R1): documented panicking operator, mirroring std integer Sub
             .expect("UBig subtraction underflow; use checked_sub")
     }
 }

@@ -57,6 +57,7 @@ impl UBig {
 
     /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
     fn div_rem_knuth(&self, rhs: &UBig) -> (UBig, UBig) {
+        // aq-lint: allow(R1): caller dispatches here only for divisors of >= 2 limbs
         let shift = rhs.as_limbs().last().expect("multi-limb").leading_zeros() as u64;
         let v = rhs.shl_bits(shift).into_limb_vec();
         let mut u = self.shl_bits(shift).into_limb_vec();

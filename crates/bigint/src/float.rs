@@ -13,13 +13,16 @@ impl UBig {
     pub fn to_f64(&self) -> f64 {
         let bits = self.bit_len();
         if bits <= 64 {
+            // aq-lint: allow(R1): bit_len() <= 64 means the value fits in a u64
             return self.to_u64().expect("fits") as f64;
         }
         // Take the top 64 bits (the f64 conversion rounds them correctly to
         // 53 bits of mantissa), then scale by the discarded bit count.
         // A sticky bit prevents double-rounding error at the 64-bit edge.
         let shift = bits - 64;
+        // aq-lint: allow(R1): shifting a bit_len() > 64 value right to exactly 64 bits
         let mut top = self.shr_bits(shift).to_u64().expect("64 bits");
+        // aq-lint: allow(R1): bit_len() > 64 rules out zero, so trailing_zeros is Some
         let dropped_nonzero = self.trailing_zeros().expect("nonzero") < shift;
         if dropped_nonzero {
             top |= 1; // sticky: low bit of 64 never reaches the 53-bit mantissa boundary rounding incorrectly
@@ -38,11 +41,14 @@ impl UBig {
             return (0.0, 0);
         }
         if bits <= 64 {
+            // aq-lint: allow(R1): bit_len() <= 64 means the value fits in a u64
             let v = self.to_u64().expect("fits") as f64;
             return (v / pow2(bits), bits as i64);
         }
         let shift = bits - 64;
+        // aq-lint: allow(R1): shifting a bit_len() > 64 value right to exactly 64 bits
         let mut top = self.shr_bits(shift).to_u64().expect("64 bits");
+        // aq-lint: allow(R1): bit_len() > 64 rules out zero, so trailing_zeros is Some
         if self.trailing_zeros().expect("nonzero") < shift {
             top |= 1;
         }

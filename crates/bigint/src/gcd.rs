@@ -38,7 +38,9 @@ impl UBig {
         if let (Some(a), Some(b)) = (self.to_u128(), other.to_u128()) {
             return UBig::from(gcd_u128(a, b));
         }
+        // aq-lint: allow(R1): both operands were checked non-zero at the top of gcd()
         let za = self.trailing_zeros().expect("nonzero");
+        // aq-lint: allow(R1): both operands were checked non-zero at the top of gcd()
         let zb = other.trailing_zeros().expect("nonzero");
         let shift = za.min(zb);
         let mut a = self.shr_bits(za);
@@ -52,6 +54,7 @@ impl UBig {
             if b.is_zero() {
                 return a.shl_bits(shift);
             }
+            // aq-lint: allow(R1): the is_zero() branch above returned, so b is non-zero here
             b = b.shr_bits(b.trailing_zeros().expect("nonzero"));
         }
     }

@@ -82,6 +82,7 @@ impl UBig {
             chunks.push(r);
             cur = q;
         }
+        // aq-lint: allow(R1): the zero case returned earlier, so at least one chunk exists
         let mut out = chunks.last().expect("nonzero").to_string();
         for c in chunks.iter().rev().skip(1) {
             out.push_str(&format!("{c:019}"));
@@ -102,6 +103,7 @@ impl fmt::LowerHex for UBig {
             return f.pad_integral(true, "0x", "0");
         }
         let limbs = self.as_limbs();
+        // aq-lint: allow(R1): the is_zero() branch above returned, so a top limb exists
         let mut s = format!("{:x}", limbs.last().expect("nonzero"));
         for l in limbs.iter().rev().skip(1) {
             s.push_str(&format!("{l:016x}"));

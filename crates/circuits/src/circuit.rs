@@ -245,6 +245,7 @@ impl Circuit {
                     out.push(Op::Permutation { map: inv });
                 }
                 Op::MatchingEvolution { .. } => {
+                    // aq-lint: allow(R1): documented contract of inverse(); no IR exists for the inverse factor
                     panic!("matching-evolution factors have no in-IR inverse")
                 }
             }

@@ -147,6 +147,7 @@ fn enumerate_cliffords() -> Vec<Vec<CtGate>> {
         // bounded height, so rounding to 6 decimals is collision-free).
         let pivot = (0..4)
             .max_by(|&a, &b| u[a].norm_sqr().total_cmp(&u[b].norm_sqr()))
+            // aq-lint: allow(R1): max_by over the non-empty literal range 0..4
             .expect("four entries");
         let phase = u[pivot] * (1.0 / u[pivot].abs());
         let inv = phase.conj();

@@ -143,6 +143,7 @@ fn push_controlled_trotter_slice(
         conjugate(c, false);
         // parity fan-in onto the last involved qubit
         let qubits: Vec<u32> = term.ops.iter().map(|&(q, _)| sys0 + q).collect();
+        // aq-lint: allow(R1): Hamiltonian terms are built with at least one operator
         let last = *qubits.last().expect("non-empty term");
         for w in qubits.windows(2) {
             c.push_gate(GateMatrix::x(), w[1], &[(w[0], true)]);

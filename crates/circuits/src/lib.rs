@@ -18,6 +18,7 @@
 //! matching-evolution operators of the quantum walk.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod circuit;

@@ -206,6 +206,7 @@ impl WeldedTree {
                     .neighbors(u)
                     .iter()
                     .position(|&x| x == v)
+                    // aq-lint: allow(R1): the welded-tree builder inserts both edge directions
                     .expect("edges are symmetric");
                 map[((v << 2) | d as u64) as usize] = (u << 2) | j as u64;
             }

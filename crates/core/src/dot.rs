@@ -100,6 +100,7 @@ impl<W: WeightContext> Manager<W> {
 
     fn weight_label(&self, w: crate::WeightId) -> String {
         let c = self.ctx.to_complex(self.table.get(w));
+        // aq-lint: allow(R5): display-only check for an exactly-real weight
         if c.im == 0.0 {
             format!("{:.4}", c.re)
         } else {

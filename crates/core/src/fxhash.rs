@@ -33,6 +33,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // aq-lint: allow(R1): chunks_exact(8) yields exactly 8-byte slices
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

@@ -648,6 +648,7 @@ impl<W: WeightContext> Manager<W> {
         *self = fresh;
         #[cfg(feature = "validate-invariants")]
         self.validate()
+            // aq-lint: allow(R1): opt-in debug feature whose whole point is to fail loudly
             .expect("compaction must preserve the structural invariants");
         Ok((new_vecs, new_mats))
     }

@@ -92,7 +92,7 @@ impl WeightContext for NumericContext {
     type Table = NumericTable;
 
     fn new_table(&self) -> NumericTable {
-        let index = if self.tol.eps() == 0.0 {
+        let index = if self.tol.is_exact() {
             NumericIndex::Exact(FxHashMap::default())
         } else {
             NumericIndex::Grid {

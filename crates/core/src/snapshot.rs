@@ -160,19 +160,25 @@ impl<'a> ByteReader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| format!("internal: take({N}) returned the wrong slice width"))
+    }
+
     /// Reads a `u32`.
     pub fn take_u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u64`.
     pub fn take_u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `i64`.
     pub fn take_i64(&mut self) -> Result<i64, String> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` from its bit pattern.
@@ -203,7 +209,7 @@ impl<'a> ByteReader<'a> {
                 self.remaining()
             ));
         }
-        Ok(len as usize)
+        usize::try_from(len).map_err(|_| format!("length {len} does not fit in usize on this host"))
     }
 
     /// Fails unless the reader is exhausted.
@@ -327,7 +333,16 @@ impl<'a> SnapshotReader<'a> {
                 ),
             ));
         }
-        let payload = self.reader.take(len as usize).expect("length checked");
+        let len = usize::try_from(len).map_err(|_| {
+            corrupt(
+                "section header",
+                format!("section length {len} does not fit in usize on this host"),
+            )
+        })?;
+        let payload = self
+            .reader
+            .take(len)
+            .map_err(|e| corrupt("section header", e))?;
         let stored = self
             .reader
             .take_u64()
@@ -429,14 +444,18 @@ fn decode_unique(payload: &[u8], section: &str) -> Result<UniqueTable, EngineErr
         if slot_count > (payload.len() as u64) / 12 + 1 {
             return Err(format!("slot count {slot_count} exceeds payload"));
         }
-        let mut slots = Vec::with_capacity(slot_count as usize);
+        let slot_count = usize::try_from(slot_count)
+            .map_err(|_| format!("slot count {slot_count} does not fit in usize on this host"))?;
+        let len = usize::try_from(len)
+            .map_err(|_| format!("table length {len} does not fit in usize on this host"))?;
+        let mut slots = Vec::with_capacity(slot_count);
         for _ in 0..slot_count {
             let hash = r.take_u64()?;
             let id = r.take_u32()?;
             slots.push((hash, id));
         }
         r.expect_end()?;
-        UniqueTable::from_snapshot_slots(slots, len as usize)
+        UniqueTable::from_snapshot_slots(slots, len)
     })();
     inner.map_err(|e| corrupt(section, e))
 }
@@ -470,6 +489,7 @@ impl<W: WeightContext> Manager<W> {
         weights.put_u64(self.table.len() as u64);
         for i in 0..self.table.len() {
             self.ctx
+                // aq-lint: allow(R4): every table index was interned as a u32 id
                 .write_value(self.table.get(WeightId(i as u32)), &mut weights);
         }
         s.section(SEC_WEIGHTS, weights.as_bytes());
@@ -602,7 +622,9 @@ impl<W: WeightContext> Manager<W> {
             if count > payload.len() as u64 / 4 {
                 return Err(format!("node count {count} exceeds payload"));
             }
-            let mut nodes = Vec::with_capacity(count as usize);
+            let count = usize::try_from(count)
+                .map_err(|_| format!("node count {count} does not fit in usize on this host"))?;
+            let mut nodes = Vec::with_capacity(count);
             for _ in 0..count {
                 let var = r.take_u32()?;
                 let children = [take_vec_edge(&mut r)?, take_vec_edge(&mut r)?];
@@ -620,7 +642,9 @@ impl<W: WeightContext> Manager<W> {
             if count > payload.len() as u64 / 4 {
                 return Err(format!("node count {count} exceeds payload"));
             }
-            let mut nodes = Vec::with_capacity(count as usize);
+            let count = usize::try_from(count)
+                .map_err(|_| format!("node count {count} does not fit in usize on this host"))?;
+            let mut nodes = Vec::with_capacity(count);
             for _ in 0..count {
                 let var = r.take_u32()?;
                 let children = [
@@ -654,7 +678,9 @@ impl<W: WeightContext> Manager<W> {
             if nv > payload.len() as u64 / 8 {
                 return Err(format!("root count {nv} exceeds payload"));
             }
-            let mut vec_roots = Vec::with_capacity(nv as usize);
+            let nv = usize::try_from(nv)
+                .map_err(|_| format!("root count {nv} does not fit in usize on this host"))?;
+            let mut vec_roots = Vec::with_capacity(nv);
             for _ in 0..nv {
                 vec_roots.push(take_vec_edge(&mut r)?);
             }
@@ -662,7 +688,9 @@ impl<W: WeightContext> Manager<W> {
             if nm > payload.len() as u64 / 8 {
                 return Err(format!("root count {nm} exceeds payload"));
             }
-            let mut mat_roots = Vec::with_capacity(nm as usize);
+            let nm = usize::try_from(nm)
+                .map_err(|_| format!("root count {nm} does not fit in usize on this host"))?;
+            let mut mat_roots = Vec::with_capacity(nm);
             for _ in 0..nm {
                 mat_roots.push(take_mat_edge(&mut r)?);
             }
@@ -671,7 +699,13 @@ impl<W: WeightContext> Manager<W> {
         })()
         .map_err(|e| corrupt("roots", e))?;
 
-        let mut m = Manager::with_cache_capacity(ctx, n_qubits, (cache_capacity as usize).max(1));
+        let cache_capacity = usize::try_from(cache_capacity).map_err(|_| {
+            corrupt(
+                "meta",
+                format!("cache capacity {cache_capacity} does not fit in usize on this host"),
+            )
+        })?;
+        let mut m = Manager::with_cache_capacity(ctx, n_qubits, cache_capacity.max(1));
         m.table = table;
         m.vec_nodes = vec_nodes;
         m.mat_nodes = mat_nodes;

@@ -167,6 +167,11 @@ impl Tolerance {
         self.eps
     }
 
+    /// Whether this is the exact comparison (ε = 0).
+    pub fn is_exact(&self) -> bool {
+        is_exact_eps(self.eps)
+    }
+
     /// Component-wise comparison within ε.
     pub fn eq(&self, a: Complex64, b: Complex64) -> bool {
         (a.re - b.re).abs() <= self.eps && (a.im - b.im).abs() <= self.eps
@@ -181,6 +186,14 @@ impl Tolerance {
     pub fn is_one(&self, v: Complex64) -> bool {
         (v.re - 1.0).abs() <= self.eps && v.im.abs() <= self.eps
     }
+}
+
+/// Whether a raw ε names the exact regime. This is *the* place in the
+/// workspace where an ε is compared against zero — every other module
+/// asks this function (or [`Tolerance::is_exact`]) so the decision stays
+/// inside the epsilon module.
+pub fn is_exact_eps(eps: f64) -> bool {
+    eps == 0.0
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ pub(crate) fn zomega_to_complex(num: &Zomega, k: i64, denom: &UBig) -> Complex64
 /// the extremes of the double range.
 fn ldexp_big(x: &IBig, e: i64) -> f64 {
     let (m, x_exp) = x.to_f64_exp();
+    // aq-lint: allow(R5): to_f64_exp returns an exactly-zero mantissa iff x = 0
     if m == 0.0 {
         return 0.0;
     }

@@ -46,6 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod assoc;
@@ -56,7 +57,7 @@ mod qomega;
 mod zomega;
 mod zroot2;
 
-pub use complex::{Complex64, Tolerance};
+pub use complex::{is_exact_eps, Complex64, Tolerance};
 pub use domega::Domega;
 pub use qomega::Qomega;
 pub use zomega::Zomega;

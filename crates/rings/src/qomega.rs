@@ -180,6 +180,7 @@ impl Qomega {
         }
         let mag = field_norm.abs().into_magnitude();
         // mag = 2^t · odd: powers of two go to the √2 exponent.
+        // aq-lint: allow(R1): field norm of a non-zero element is non-zero
         let t = mag.trailing_zeros().expect("nonzero");
         let odd = mag.shr_bits(t);
         Some(Qomega::new(inv_num, 2 * t as i64 - self.k, odd))
@@ -265,6 +266,7 @@ impl Div<&Qomega> for &Qomega {
     /// Panics if `rhs` is zero.
     #[allow(clippy::suspicious_arithmetic_impl)] // division = multiplication by the inverse
     fn div(self, rhs: &Qomega) -> Qomega {
+        // aq-lint: allow(R1): documented panicking operator, mirroring std integer Div
         self * &rhs.inverse().expect("division by zero in Q[omega]")
     }
 }

@@ -256,6 +256,7 @@ impl Zomega {
                 }
             }
         }
+        // aq-lint: allow(R1): the candidate loop always runs, so best was set at least once
         let (q, r, e) = best.expect("nonempty neighbourhood");
         assert!(
             e < rhs.euclidean_value(),

@@ -63,7 +63,13 @@ fn main() {
         cfg.queue_capacity,
         cfg.checkpoint_dir.display()
     );
-    let core = ServeCore::start(cfg);
+    let core = match ServeCore::start(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("aq-served: cannot start worker pool: {e}");
+            std::process::exit(1);
+        }
+    };
     let server = match Server::bind(Arc::clone(&core), port) {
         Ok(s) => s,
         Err(e) => {

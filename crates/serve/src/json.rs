@@ -86,6 +86,7 @@ impl Json {
     /// doubles stop being exact).
     pub fn as_u64(&self) -> Option<u64> {
         let n = self.as_f64()?;
+        // aq-lint: allow(R5): exact integrality test, not a tolerance comparison
         if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
             Some(n as u64)
         } else {
@@ -164,6 +165,7 @@ fn write_num(n: f64, out: &mut String) {
     use std::fmt::Write as _;
     if !n.is_finite() {
         out.push_str("null"); // JSON has no NaN/Inf; null is the honest spelling
+                              // aq-lint: allow(R5): exact integrality test, not a tolerance comparison
     } else if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
         let _ = write!(out, "{}", n as i64);
     } else {
@@ -181,8 +183,8 @@ fn write_escaped(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -217,7 +219,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -271,7 +273,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -314,7 +316,7 @@ impl<'a> Parser<'a> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
-                    if (c as u32) < 0x20 {
+                    if u32::from(c) < 0x20 {
                         return Err(self.err("raw control character in string"));
                     }
                     out.push(c);
@@ -325,7 +327,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -348,7 +350,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -359,7 +361,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));

@@ -19,10 +19,13 @@
 //!
 //! Design notes live in the workspace `DESIGN.md` ("Service layer").
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod json;
+pub mod lockaudit;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;

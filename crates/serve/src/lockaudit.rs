@@ -1,0 +1,479 @@
+//! Lock-order auditing: named lock wrappers that record a global
+//! acquisition-order graph at test time and cost nothing in release.
+//!
+//! # Why
+//!
+//! The service core is deliberately written so that no thread ever holds
+//! two locks at once (guards are dropped before the next lock is taken,
+//! condvar waits release the one lock they hold). That discipline is what
+//! makes the worker pool deadlock-free — but nothing *enforced* it until
+//! now. [`DebugMutex`], [`DebugRwLock`] and [`DebugCondvar`] are drop-in
+//! replacements for their `std::sync` counterparts that, **only** with
+//! the `lock-audit` feature enabled, additionally:
+//!
+//! - record every *held → acquired* pair of lock names into a global
+//!   directed graph, and flag a cycle the moment one appears (a cycle in
+//!   the acquisition-order graph is the classic deadlock precondition);
+//! - flag a condvar wait performed while *another* lock is still held
+//!   (the wait releases only its own mutex — anything else stays locked
+//!   across a potentially unbounded sleep);
+//! - flag [`blocking_op`] call sites (TCP writes, joins) reached while
+//!   any audited lock is held.
+//!
+//! Without the feature every wrapper is a transparent newtype over the
+//! std primitive: no thread-locals, no global graph, no atomics — the
+//! only cost is the `&'static str` name stored next to the lock.
+//!
+//! All wrappers recover from poisoning (`into_inner`), matching the
+//! workspace-wide convention: a panicking job thread must not wedge the
+//! service.
+//!
+//! The test suite (`tests/concurrency.rs`) runs the full serve workload
+//! under `--features lock-audit` and asserts the recorded graph is
+//! cycle- and hazard-free; `tests/lock_audit.rs` proves the detector
+//! actually fires by constructing an A→B / B→A ordering on purpose.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};
+use std::time::Duration;
+
+/// A named [`Mutex`] that feeds the lock-order graph under `lock-audit`.
+#[derive(Debug)]
+pub struct DebugMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// Guard for a [`DebugMutex`]; releases the audit record on drop.
+#[derive(Debug)]
+pub struct DebugMutexGuard<'a, T> {
+    name: &'static str,
+    /// `None` only transiently inside [`DebugCondvar::wait`].
+    inner: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> DebugMutex<T> {
+    /// Creates a named mutex. Names must be unique per lock *role*
+    /// ("serve.registry", "queue.inner", …) — the audit graph is keyed
+    /// on them.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        DebugMutex {
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The audit name this lock was created with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Locks, recovering from poison, recording the acquisition edge(s).
+    #[inline]
+    pub fn lock(&self) -> DebugMutexGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        audit::acquiring(self.name);
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-audit")]
+        audit::acquired(self.name);
+        DebugMutexGuard {
+            name: self.name,
+            inner: Some(g),
+        }
+    }
+}
+
+impl<T: Default> Default for DebugMutex<T> {
+    fn default() -> Self {
+        DebugMutex::new("unnamed", T::default())
+    }
+}
+
+impl<T> DebugMutexGuard<'_, T> {
+    /// The audit name of the lock this guard holds.
+    pub fn lock_name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<T> std::ops::Deref for DebugMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard vacated outside a condvar wait"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for DebugMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard vacated outside a condvar wait"),
+        }
+    }
+}
+
+impl<T> Drop for DebugMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
+        if self.inner.is_some() {
+            audit::released(self.name);
+        }
+    }
+}
+
+/// A named [`RwLock`] that feeds the lock-order graph under `lock-audit`.
+///
+/// Reader and writer acquisitions record the same edge — for ordering
+/// purposes a read lock can participate in a deadlock exactly like a
+/// write lock (reader blocks writer blocks reader).
+#[derive(Debug)]
+pub struct DebugRwLock<T> {
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+/// Read guard for a [`DebugRwLock`].
+#[derive(Debug)]
+pub struct DebugReadGuard<'a, T> {
+    name: &'static str,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Write guard for a [`DebugRwLock`].
+#[derive(Debug)]
+pub struct DebugWriteGuard<'a, T> {
+    name: &'static str,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> DebugRwLock<T> {
+    /// Creates a named rwlock (see [`DebugMutex::new`] for naming).
+    pub const fn new(name: &'static str, value: T) -> Self {
+        DebugRwLock {
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// The audit name this lock was created with.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Takes the shared lock, recovering from poison.
+    #[inline]
+    pub fn read(&self) -> DebugReadGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        audit::acquiring(self.name);
+        let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-audit")]
+        audit::acquired(self.name);
+        DebugReadGuard {
+            name: self.name,
+            inner: g,
+        }
+    }
+
+    /// Takes the exclusive lock, recovering from poison.
+    #[inline]
+    pub fn write(&self) -> DebugWriteGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        audit::acquiring(self.name);
+        let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-audit")]
+        audit::acquired(self.name);
+        DebugWriteGuard {
+            name: self.name,
+            inner: g,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for DebugReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for DebugReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
+        audit::released(self.name);
+        let _ = self.name;
+    }
+}
+
+impl<T> std::ops::Deref for DebugWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for DebugWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for DebugWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
+        audit::released(self.name);
+        let _ = self.name;
+    }
+}
+
+/// A condvar aware of [`DebugMutex`]: waiting releases the guard's audit
+/// record (the OS releases the mutex) and flags a wait performed while
+/// any *other* audited lock is still held.
+#[derive(Debug, Default)]
+pub struct DebugCondvar {
+    inner: Condvar,
+}
+
+impl DebugCondvar {
+    /// Creates a condvar.
+    pub const fn new() -> Self {
+        DebugCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified. Poison is recovered, matching
+    /// [`DebugMutex::lock`].
+    pub fn wait<'a, T>(&self, mut guard: DebugMutexGuard<'a, T>) -> DebugMutexGuard<'a, T> {
+        #[cfg(feature = "lock-audit")]
+        audit::wait_begin(guard.name);
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("waiting on a vacated guard"),
+        };
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        #[cfg(feature = "lock-audit")]
+        audit::wait_end(guard.name);
+        guard
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: DebugMutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (DebugMutexGuard<'a, T>, WaitTimeoutResult) {
+        #[cfg(feature = "lock-audit")]
+        audit::wait_begin(guard.name);
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("waiting on a vacated guard"),
+        };
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        #[cfg(feature = "lock-audit")]
+        audit::wait_end(guard.name);
+        (guard, result)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Marks a potentially unbounded blocking operation (a TCP write, a
+/// thread join). Under `lock-audit` this records a hazard if any audited
+/// lock is held by the calling thread; otherwise it is a no-op.
+#[inline]
+pub fn blocking_op(what: &'static str) {
+    #[cfg(feature = "lock-audit")]
+    audit::blocking(what);
+    let _ = what;
+}
+
+#[cfg(feature = "lock-audit")]
+pub use audit::{detected_cycles, detected_hazards, dot_graph, lock_order_edges, reset};
+
+#[cfg(feature = "lock-audit")]
+mod audit {
+    //! The global acquisition-order graph. One `std::sync::Mutex` guards
+    //! it — audited locks are low-frequency service locks, so the
+    //! serialization cost is irrelevant, and the auditor must not itself
+    //! use an audited lock.
+
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Graph {
+        edges: BTreeSet<(&'static str, &'static str)>,
+        cycles: Vec<String>,
+        hazards: Vec<String>,
+    }
+
+    static GRAPH: Mutex<Graph> = Mutex::new(Graph {
+        edges: BTreeSet::new(),
+        cycles: Vec::new(),
+        hazards: Vec::new(),
+    });
+
+    thread_local! {
+        /// Names of audited locks this thread currently holds, in
+        /// acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn graph() -> std::sync::MutexGuard<'static, Graph> {
+        GRAPH.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Is `to` reachable from `from` over the current edge set?
+    fn reaches(edges: &BTreeSet<(&'static str, &'static str)>, from: &str, to: &str) -> bool {
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for &(a, b) in edges.iter() {
+                if a == n {
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    /// Called *before* blocking on `name`: records a held→wanted edge
+    /// per held lock and reports any cycle the new edge closes.
+    pub(super) fn acquiring(name: &'static str) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if held.is_empty() {
+                return;
+            }
+            let mut g = graph();
+            for &from in held.iter() {
+                if from == name {
+                    g.cycles
+                        .push(format!("{name} -> {name} (recursive acquisition)"));
+                    continue;
+                }
+                if g.edges.insert((from, name)) && reaches(&g.edges, name, from) {
+                    g.cycles.push(format!(
+                        "{from} -> {name} closes a cycle ({name} already reaches {from})"
+                    ));
+                }
+            }
+        });
+    }
+
+    /// Called after the lock is actually held.
+    pub(super) fn acquired(name: &'static str) {
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    /// Called when a guard drops (releases the most recent acquisition
+    /// of `name` — names can legitimately repeat across lock instances).
+    pub(super) fn released(name: &'static str) {
+        HELD.with(|h| {
+            let mut v = h.borrow_mut();
+            if let Some(i) = v.iter().rposition(|&n| n == name) {
+                v.remove(i);
+            }
+        });
+    }
+
+    /// A condvar wait on `name` releases that mutex but keeps everything
+    /// else locked across an unbounded sleep — flag those.
+    pub(super) fn wait_begin(name: &'static str) {
+        released(name);
+        HELD.with(|h| {
+            let held = h.borrow();
+            if !held.is_empty() {
+                graph().hazards.push(format!(
+                    "condvar wait on `{name}` while still holding {:?}",
+                    &*held
+                ));
+            }
+        });
+    }
+
+    /// The wait returned; the mutex is held again.
+    pub(super) fn wait_end(name: &'static str) {
+        acquired(name);
+    }
+
+    /// A blocking operation reached with audited locks held.
+    pub(super) fn blocking(what: &'static str) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if !held.is_empty() {
+                graph().hazards.push(format!(
+                    "blocking operation `{what}` while holding {:?}",
+                    &*held
+                ));
+            }
+        });
+    }
+
+    /// Every recorded held→acquired edge, sorted.
+    pub fn lock_order_edges() -> Vec<(&'static str, &'static str)> {
+        graph().edges.iter().copied().collect()
+    }
+
+    /// Every cycle report recorded so far (empty means deadlock-free
+    /// ordering over everything the run exercised).
+    pub fn detected_cycles() -> Vec<String> {
+        graph().cycles.clone()
+    }
+
+    /// Every wait/blocking-op hazard recorded so far.
+    pub fn detected_hazards() -> Vec<String> {
+        graph().hazards.clone()
+    }
+
+    /// The graph in Graphviz DOT form, for dumping on failure.
+    pub fn dot_graph() -> String {
+        let g = graph();
+        let mut out = String::from("digraph lock_order {\n");
+        let mut names: BTreeSet<&'static str> = BTreeSet::new();
+        for &(a, b) in g.edges.iter() {
+            names.insert(a);
+            names.insert(b);
+        }
+        for n in names {
+            out.push_str(&format!("  \"{n}\";\n"));
+        }
+        for &(a, b) in g.edges.iter() {
+            out.push_str(&format!("  \"{a}\" -> \"{b}\";\n"));
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Clears the global graph (intentional-cycle tests isolate
+    /// themselves with this; run them in their own process).
+    pub fn reset() {
+        let mut g = graph();
+        g.edges.clear();
+        g.cycles.clear();
+        g.hazards.clear();
+    }
+}

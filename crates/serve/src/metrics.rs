@@ -12,8 +12,8 @@
 //! where `aborted` includes evictions (tracked separately in `evicted`
 //! as well) and `rejected` counts submissions that never became jobs.
 
+use crate::lockaudit::DebugMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 use aq_dd::EngineStatistics;
@@ -64,12 +64,8 @@ pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return Some(
-                LATENCY_BUCKET_EDGES_MS
-                    .get(i)
-                    .copied()
-                    .unwrap_or(*LATENCY_BUCKET_EDGES_MS.last().unwrap()),
-            );
+            const LAST_EDGE: u64 = LATENCY_BUCKET_EDGES_MS[LATENCY_BUCKET_EDGES_MS.len() - 1];
+            return Some(LATENCY_BUCKET_EDGES_MS.get(i).copied().unwrap_or(LAST_EDGE));
         }
     }
     None
@@ -131,21 +127,21 @@ pub struct Metrics {
     /// Latency from submission to terminal state.
     pub latency: LatencyHistogram,
     /// Per-worker aggregates, indexed by worker id.
-    pub workers: Mutex<Vec<WorkerStats>>,
+    pub workers: DebugMutex<Vec<WorkerStats>>,
 }
 
 impl Metrics {
     /// Creates metrics storage for `workers` workers.
     pub fn new(workers: usize) -> Self {
         Metrics {
-            workers: Mutex::new(vec![WorkerStats::default(); workers]),
+            workers: DebugMutex::new("metrics.workers", vec![WorkerStats::default(); workers]),
             ..Metrics::default()
         }
     }
 
     /// Folds one finished job into a worker's aggregate row.
     pub fn record_worker_job(&self, worker: usize, engine: &EngineStatistics, seconds: f64) {
-        let mut rows = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows = self.workers.lock();
         if let Some(row) = rows.get_mut(worker) {
             row.jobs += 1;
             row.busy_seconds += seconds;

@@ -290,6 +290,24 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn require_u32(v: &Json, key: &str) -> Result<u32, String> {
+    let n = require_u64(v, key)?;
+    u32::try_from(n).map_err(|_| format!("field `{key}` must fit in 32 bits, got {n}"))
+}
+
+fn opt_u32_or(v: &Json, key: &str, default: u32) -> Result<u32, String> {
+    match opt_u64(v, key)? {
+        None => Ok(default),
+        Some(n) => {
+            u32::try_from(n).map_err(|_| format!("field `{key}` must fit in 32 bits, got {n}"))
+        }
+    }
+}
+
+fn checked_usize(key: &str, n: u64) -> Result<usize, String> {
+    usize::try_from(n).map_err(|_| format!("field `{key}` value {n} does not fit in usize"))
+}
+
 fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -306,20 +324,20 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
     } else {
         match v.get("circuit").and_then(Json::as_str) {
             Some("grover") => CircuitSpec::Grover {
-                n: require_u64(v, "n")? as u32,
+                n: require_u32(v, "n")?,
                 marked: require_u64(v, "marked")?,
             },
             Some("bwt") => CircuitSpec::Bwt {
-                height: require_u64(v, "height")? as u32,
-                steps: require_u64(v, "steps")? as u32,
+                height: require_u32(v, "height")?,
+                steps: require_u32(v, "steps")?,
                 seed: opt_u64(v, "seed")?.unwrap_or(0xBD7),
             },
             Some("gse") => CircuitSpec::Gse {
-                precision_bits: opt_u64(v, "precision_bits")?.unwrap_or(4) as u32,
-                trotter_slices: opt_u64(v, "trotter_slices")?.unwrap_or(1) as u32,
+                precision_bits: opt_u32_or(v, "precision_bits", 4)?,
+                trotter_slices: opt_u32_or(v, "trotter_slices", 1)?,
             },
             Some("qft") => CircuitSpec::Qft {
-                n: require_u64(v, "n")? as u32,
+                n: require_u32(v, "n")?,
             },
             Some(other) => {
                 return Err(format!(
@@ -348,18 +366,20 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         }
     }
 
-    let priority = match opt_u64(v, "priority")?.unwrap_or(0) {
-        p @ 0..=9 => p as u8,
-        p => return Err(format!("priority must be 0..=9, got {p}")),
-    };
+    let priority = opt_u64(v, "priority")?.unwrap_or(0);
+    let priority =
+        u8::try_from(priority).map_err(|_| format!("priority must be 0..=9, got {priority}"))?;
+    if priority > 9 {
+        return Err(format!("priority must be 0..=9, got {priority}"));
+    }
 
     let budget_json = v.get("budget").cloned().unwrap_or(Json::Null);
     let mut budget = RunBudget::unlimited();
     if let Some(n) = opt_u64(&budget_json, "max_nodes")? {
-        budget = budget.with_max_nodes(n as usize);
+        budget = budget.with_max_nodes(checked_usize("max_nodes", n)?);
     }
     if let Some(n) = opt_u64(&budget_json, "max_weights")? {
-        budget = budget.with_max_distinct_weights(n as usize);
+        budget = budget.with_max_distinct_weights(checked_usize("max_weights", n)?);
     }
     if let Some(n) = opt_u64(&budget_json, "max_bits")? {
         budget = budget.with_max_weight_bits(n);
@@ -378,7 +398,7 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         )),
     };
 
-    let top_k = opt_u64(v, "top_k")?.unwrap_or(4).min(64) as usize;
+    let top_k = checked_usize("top_k", opt_u64(v, "top_k")?.unwrap_or(4).min(64))?;
 
     Ok(SubmitRequest {
         circuit,

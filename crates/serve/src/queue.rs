@@ -7,8 +7,7 @@
 //! scheme class; FIFO order breaks priority ties so equal-priority jobs
 //! cannot starve each other.
 
-use std::sync::{Condvar, Mutex};
-
+use crate::lockaudit::{DebugCondvar, DebugMutex, DebugMutexGuard};
 use crate::service::SchemeClass;
 
 /// An entry waiting for a worker.
@@ -61,8 +60,8 @@ struct Inner<T> {
 /// (tens of entries), so a heap buys nothing over obvious code.
 #[derive(Debug)]
 pub struct JobQueue<T> {
-    inner: Mutex<Inner<T>>,
-    available: Condvar,
+    inner: DebugMutex<Inner<T>>,
+    available: DebugCondvar,
     capacity: usize,
 }
 
@@ -70,12 +69,15 @@ impl<T> JobQueue<T> {
     /// Creates a queue admitting at most `capacity` waiting jobs.
     pub fn new(capacity: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(Inner {
-                jobs: Vec::new(),
-                next_seq: 0,
-                closed: false,
-            }),
-            available: Condvar::new(),
+            inner: DebugMutex::new(
+                "queue.inner",
+                Inner {
+                    jobs: Vec::new(),
+                    next_seq: 0,
+                    closed: false,
+                },
+            ),
+            available: DebugCondvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -95,8 +97,8 @@ impl<T> JobQueue<T> {
         self.capacity
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> DebugMutexGuard<'_, Inner<T>> {
+        self.inner.lock()
     }
 
     /// Admits a job, or refuses with a reason.
@@ -146,10 +148,7 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self
-                .available
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            inner = self.available.wait(inner);
         }
     }
 

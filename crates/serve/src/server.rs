@@ -52,6 +52,7 @@ fn read_frame(reader: &mut BufReader<TcpStream>) -> io::Result<Frame> {
 }
 
 fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    crate::lockaudit::blocking_op("tcp write_line");
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
     stream.flush()

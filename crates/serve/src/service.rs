@@ -25,10 +25,11 @@
 //! and converted into an aborted outcome.
 
 use std::collections::HashMap;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,6 +38,7 @@ use aq_dd::EngineStatistics;
 use aq_sim::{run_job, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SimOptions};
 
 use crate::json::Json;
+use crate::lockaudit::{DebugCondvar, DebugMutex, DebugMutexGuard};
 use crate::metrics::{
     histogram_quantile_ms, Metrics, WorkerStats, LATENCY_BUCKETS, LATENCY_BUCKET_EDGES_MS,
 };
@@ -190,16 +192,16 @@ struct Registry {
 struct Shared {
     cfg: ServeConfig,
     queue: JobQueue<JobWork>,
-    registry: Mutex<Registry>,
+    registry: DebugMutex<Registry>,
     /// Signalled on every terminal transition (wait/drain listeners).
-    terminal: Condvar,
+    terminal: DebugCondvar,
     next_id: AtomicU64,
     metrics: Metrics,
 }
 
 impl Shared {
-    fn lock_registry(&self) -> MutexGuard<'_, Registry> {
-        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_registry(&self) -> DebugMutexGuard<'_, Registry> {
+        self.registry.lock()
     }
 
     /// Moves a job to a terminal state and does every piece of
@@ -512,37 +514,48 @@ impl Response {
 #[derive(Debug)]
 pub struct ServeCore {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    handles: DebugMutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServeCore {
     /// Starts the worker pool and returns the core.
-    pub fn start(cfg: ServeConfig) -> Arc<ServeCore> {
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if a worker thread cannot be spawned (the OS is out
+    /// of threads); any workers already started are shut down again.
+    pub fn start(cfg: ServeConfig) -> io::Result<Arc<ServeCore>> {
         std::fs::create_dir_all(&cfg.checkpoint_dir).ok();
         let workers = cfg.workers.clone();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: Metrics::new(workers.len()),
-            registry: Mutex::new(Registry::default()),
-            terminal: Condvar::new(),
+            registry: DebugMutex::new("serve.registry", Registry::default()),
+            terminal: DebugCondvar::new(),
             next_id: AtomicU64::new(1),
             cfg,
         });
-        let handles = workers
-            .iter()
-            .enumerate()
-            .map(|(idx, &class)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("aq-serve-worker-{idx}"))
-                    .spawn(move || worker_loop(shared, idx, class))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Arc::new(ServeCore {
+        let mut handles = Vec::with_capacity(workers.len());
+        for (idx, &class) in workers.iter().enumerate() {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("aq-serve-worker-{idx}"))
+                .spawn(move || worker_loop(worker_shared, idx, class));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    shared.queue.close();
+                    for h in handles {
+                        h.join().ok();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Arc::new(ServeCore {
             shared,
-            handles: Mutex::new(handles),
-        })
+            handles: DebugMutex::new("serve.handles", handles),
+        }))
     }
 
     /// The configuration the core was started with.
@@ -675,11 +688,7 @@ impl ServeCore {
                     message: format!("timed out waiting for job {job}"),
                 };
             }
-            let (guard, _) = self
-                .shared
-                .terminal
-                .wait_timeout(reg, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _) = self.shared.terminal.wait_timeout(reg, deadline - now);
             reg = guard;
         }
     }
@@ -692,7 +701,6 @@ impl ServeCore {
             .metrics
             .workers
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .cloned()
             .enumerate()
@@ -722,11 +730,7 @@ impl ServeCore {
         shared.queue.close();
         let mut reg = shared.lock_registry();
         while reg.pending > 0 {
-            reg = self
-                .shared
-                .terminal
-                .wait(reg)
-                .unwrap_or_else(|e| e.into_inner());
+            reg = self.shared.terminal.wait(reg);
         }
         drop(reg);
         Response::Drained {
@@ -779,14 +783,11 @@ impl ServeCore {
         {
             let mut reg = shared.lock_registry();
             while reg.pending > 0 {
-                reg = self
-                    .shared
-                    .terminal
-                    .wait(reg)
-                    .unwrap_or_else(|e| e.into_inner());
+                reg = self.shared.terminal.wait(reg);
             }
         }
-        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        let handles = std::mem::take(&mut *self.handles.lock());
+        crate::lockaudit::blocking_op("join worker pool");
         for h in handles {
             let _ = h.join();
         }

@@ -68,7 +68,7 @@ fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
         queue_capacity: 64,
         checkpoint_dir: test_dir("mixed"),
     };
-    let core = ServeCore::start(cfg);
+    let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
 
     const THREADS: u64 = 4;
@@ -200,6 +200,21 @@ fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
             >= THREADS * 2,
         "algebraic jobs must run on algebraic-pinned workers"
     );
+
+    // Under `--features lock-audit` the whole workload above fed the
+    // lock-order graph; the service discipline is "never hold two locks",
+    // so the graph must be cycle- and hazard-free.
+    #[cfg(feature = "lock-audit")]
+    {
+        let cycles = aq_serve::lockaudit::detected_cycles();
+        assert!(
+            cycles.is_empty(),
+            "lock-order cycles detected: {cycles:?}\ngraph:\n{}",
+            aq_serve::lockaudit::dot_graph()
+        );
+        let hazards = aq_serve::lockaudit::detected_hazards();
+        assert!(hazards.is_empty(), "lock hazards detected: {hazards:?}");
+    }
 }
 
 #[test]
@@ -209,7 +224,7 @@ fn budget_abort_checkpoints_and_resume_completes_bit_identically() {
         queue_capacity: 8,
         checkpoint_dir: test_dir("resume"),
     };
-    let core = ServeCore::start(cfg);
+    let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
     let circuit = CircuitSpec::Grover { n: 6, marked: 45 };
     let scheme = SchemeSpec::Numeric { eps: 1e-10 };
@@ -278,7 +293,7 @@ fn shutdown_evicts_queued_jobs_and_joins_workers() {
         queue_capacity: 16,
         checkpoint_dir: test_dir("shutdown"),
     };
-    let core = ServeCore::start(cfg);
+    let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
 
     // Six real jobs into a single-worker pool: most of them are still
@@ -348,4 +363,19 @@ fn shutdown_evicts_queued_jobs_and_joins_workers() {
     assert_eq!(m.completed + m.aborted, 6);
     assert_eq!(m.evicted, evicted_seen);
     assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+
+    // Under `--features lock-audit` the whole workload above fed the
+    // lock-order graph; the service discipline is "never hold two locks",
+    // so the graph must be cycle- and hazard-free.
+    #[cfg(feature = "lock-audit")]
+    {
+        let cycles = aq_serve::lockaudit::detected_cycles();
+        assert!(
+            cycles.is_empty(),
+            "lock-order cycles detected: {cycles:?}\ngraph:\n{}",
+            aq_serve::lockaudit::dot_graph()
+        );
+        let hazards = aq_serve::lockaudit::detected_hazards();
+        assert!(hazards.is_empty(), "lock hazards detected: {hazards:?}");
+    }
 }

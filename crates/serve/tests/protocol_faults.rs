@@ -20,7 +20,7 @@ fn start_server(name: &str) -> Harness {
         checkpoint_dir: std::env::temp_dir()
             .join(format!("aq-serve-faults-{}-{name}", std::process::id())),
     };
-    let core = ServeCore::start(cfg);
+    let core = ServeCore::start(cfg).expect("start worker pool");
     let server = Server::bind(core, 0).expect("bind ephemeral port");
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || {

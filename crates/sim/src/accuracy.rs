@@ -17,6 +17,7 @@ use crate::trace::Trace;
 pub fn normalized_distance(v_num: &[Complex64], v_alg: &[Complex64]) -> f64 {
     assert_eq!(v_num.len(), v_alg.len(), "dimension mismatch");
     let norm: f64 = v_num.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    // aq-lint: allow(R5): exact zero-vector guard; any nonzero norm takes the ratio path
     if norm == 0.0 {
         // ‖0 − v_alg‖ = ‖v_alg‖ = 1 for a unit reference
         return v_alg.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();

@@ -131,6 +131,10 @@ fn encode_trace(trace: &Trace) -> Vec<u8> {
     w.into_bytes()
 }
 
+fn checked_usize(n: u64) -> Result<usize, String> {
+    usize::try_from(n).map_err(|_| format!("count {n} does not fit in usize on this host"))
+}
+
 fn decode_trace(payload: &[u8]) -> Result<Trace, EngineError> {
     let mut r = ByteReader::new(payload);
     (|| -> Result<Trace, String> {
@@ -140,8 +144,8 @@ fn decode_trace(payload: &[u8]) -> Result<Trace, EngineError> {
         }
         let mut trace = Trace::default();
         for _ in 0..count {
-            let gates_applied = r.take_u64()? as usize;
-            let nodes = r.take_u64()? as usize;
+            let gates_applied = r.take_u64().and_then(checked_usize)?;
+            let nodes = r.take_u64().and_then(checked_usize)?;
             let seconds = r.take_f64()?;
             let max_weight_bits = r.take_u64()?;
             let error = match r.take_u8()? {

@@ -55,7 +55,7 @@ impl SchemeSpec {
     /// in checkpoint labels and reports.
     pub fn label(&self) -> String {
         match self {
-            SchemeSpec::Numeric { eps } if *eps == 0.0 => "numeric_eps0".into(),
+            SchemeSpec::Numeric { eps } if aq_rings::is_exact_eps(*eps) => "numeric_eps0".into(),
             SchemeSpec::Numeric { eps } => format!("numeric_eps{eps:e}"),
             SchemeSpec::Qomega => "qomega".into(),
             SchemeSpec::Gcd => "gcd".into(),

@@ -48,7 +48,8 @@ fn main() {
         workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
         queue_capacity: 16,
         checkpoint_dir: std::env::temp_dir().join("aq-serve-example"),
-    });
+    })
+    .expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
     let roomy = RunBudget::unlimited()
         .with_max_nodes(2_000_000)

@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== aq-lint: workspace lint gate =="
+cargo run -q --offline -p aq-analyze --bin aq-lint -- --deny --baseline=lint-baseline.toml
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 
@@ -35,8 +38,9 @@ echo "== invariants: validate-invariants feature gates =="
 cargo test -q --offline -p aq-dd --features validate-invariants --test invariants
 cargo test -q --offline -p aq-sim --features validate-invariants --lib
 
-echo "== serve: concurrency + protocol fault suites =="
-cargo test -q --offline -p aq-serve --test concurrency
+echo "== serve: concurrency + protocol fault suites (lock-order audit on) =="
+cargo test -q --offline -p aq-serve --features lock-audit --test concurrency
+cargo test -q --offline -p aq-serve --features lock-audit --test lock_audit
 cargo test -q --offline -p aq-serve --test protocol_faults
 
 echo "== serve: real server cycle over TCP (aq-served + aq-cli) =="
