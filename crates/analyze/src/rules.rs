@@ -186,6 +186,7 @@ impl LintConfig {
                 "crates/core/src/numeric.rs".into(),
                 "crates/core/src/algebraic.rs".into(),
                 "crates/core/src/gates.rs".into(),
+                "crates/core/src/wops.rs".into(),
             ],
             r4_wire_files: vec![
                 "crates/core/src/snapshot.rs".into(),

@@ -131,6 +131,28 @@ fn r3_silent_for_non_cache_maps_and_cold_files() {
     assert!(rules_at("crates/lib/src/cold.rs", cache).is_empty());
 }
 
+#[test]
+fn r3_default_scope_covers_the_weight_op_cache_module() {
+    // the workspace default hot-file list must include the handle-level
+    // weight-op cache module, so an unbounded map can never sneak into it
+    let defaults = LintConfig::default();
+    assert!(
+        defaults
+            .r3_hot_files
+            .iter()
+            .any(|f| f == "crates/core/src/wops.rs"),
+        "wops.rs must be R3-scoped by default"
+    );
+    let src = "use std::collections::HashMap;\n\
+               pub struct WeightOpCache {\n    \
+               pairs_cache: HashMap<(u8, u32, u32), u32>,\n}\n";
+    let found: Vec<RuleId> = lint_source("crates/core/src/wops.rs", src, &defaults)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_eq!(found, [RuleId::UnboundedCache]);
+}
+
 // ---- R4: no bare narrowing casts in wire/snapshot code ----
 
 #[test]

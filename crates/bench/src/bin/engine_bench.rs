@@ -14,6 +14,13 @@
 //! to PATH (a later abort overwrites an earlier one); re-running with
 //! `--resume=PATH` (and a roomier budget) continues the workload the file
 //! belongs to from the stored cursor while the others run normally.
+//!
+//! With `--gap-gate=FRACTION` the benchmark instead runs the quick
+//! algebraic-gap regression gate: Grover-6 under the numeric and the GCD
+//! `D[ω]` scheme, exiting non-zero if GCD throughput falls below
+//! FRACTION of numeric throughput. CI pins this so the exact
+//! representation can never silently regress back to orders-of-magnitude
+//! slower than floating point.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -61,6 +68,58 @@ fn run(
     }
 }
 
+fn gps(s: &Sample) -> f64 {
+    s.gates as f64 / s.seconds
+}
+
+fn gap_gate_from_args(args: &[String]) -> Option<f64> {
+    args.iter().find_map(|a| {
+        a.strip_prefix("--gap-gate=")
+            .map(|v| v.parse().expect("--gap-gate takes a fraction, e.g. 0.3"))
+    })
+}
+
+/// Runs the algebraic-gap regression gate on Grover-6; returns the exit
+/// code (0 = GCD throughput holds the pinned fraction of numeric).
+fn run_gap_gate(min_frac: f64, budget: RunBudget) -> i32 {
+    let c = grover(6, 0b101101);
+    let numeric = run(
+        "grover6/numeric_eps1e-10",
+        SchemeSpec::Numeric { eps: 1e-10 },
+        &c,
+        0,
+        budget,
+        None,
+        None,
+    );
+    let gcd = run(
+        "grover6/algebraic_gcd",
+        SchemeSpec::Gcd,
+        &c,
+        0,
+        budget,
+        None,
+        None,
+    );
+    let ratio = gps(&gcd) / gps(&numeric);
+    println!(
+        "gap gate: gcd {:.0} gates/s vs numeric {:.0} gates/s — ratio {ratio:.3} (required ≥ {min_frac})",
+        gps(&gcd),
+        gps(&numeric),
+    );
+    if let Some(reason) = numeric.aborted.as_ref().or(gcd.aborted.as_ref()) {
+        eprintln!("gap gate: workload aborted ({reason}); cannot judge the ratio");
+        return 1;
+    }
+    if ratio.is_nan() || ratio < min_frac {
+        eprintln!(
+            "gap gate FAILED: GCD D[omega] throughput fell below {min_frac} of numeric (ratio {ratio:.3})"
+        );
+        return 1;
+    }
+    0
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -89,6 +148,8 @@ fn sample_json(s: &Sample) -> String {
             "      \"cache_hit_rate\": {},\n",
             "      \"cache_lookups\": {},\n",
             "      \"cache_evictions\": {},\n",
+            "      \"weight_cache_hit_rate\": {},\n",
+            "      \"weight_cache_lookups\": {},\n",
             "      \"vec_unique_load\": {},\n",
             "      \"mat_unique_load\": {},\n",
             "      \"distinct_weights\": {},\n",
@@ -106,6 +167,8 @@ fn sample_json(s: &Sample) -> String {
         json_f64(st.cache_hit_rate()),
         st.add_vec.lookups + st.add_mat.lookups + st.mv.lookups + st.mm.lookups,
         st.add_vec.evictions + st.add_mat.evictions + st.mv.evictions + st.mm.evictions,
+        json_f64(st.weight_cache_hit_rate()),
+        st.wop.lookups + st.wnorm.lookups,
         json_f64(st.vec_unique_load()),
         json_f64(st.mat_unique_load()),
         st.distinct_weights,
@@ -121,6 +184,9 @@ fn sample_json(s: &Sample) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
+    if let Some(min_frac) = gap_gate_from_args(&args) {
+        std::process::exit(run_gap_gate(min_frac, budget));
+    }
     let (checkpoint, resume) = checkpoint_from_args(&args);
     let (ckpt, res) = (checkpoint.as_deref(), resume.as_deref());
     let out = args
@@ -187,13 +253,14 @@ fn main() {
 
     for s in &samples {
         println!(
-            "{:<28} {:>8} gates  {:>9.3}s  {:>12.0} gates/s  {:>12.0} nodes/s  cache {:>5.1}%  compactions {}",
+            "{:<28} {:>8} gates  {:>9.3}s  {:>12.0} gates/s  {:>12.0} nodes/s  cache {:>5.1}%  wcache {:>5.1}%  compactions {}",
             s.name,
             s.gates,
             s.seconds,
             s.gates as f64 / s.seconds,
             (s.stats.vec_nodes + s.stats.mat_nodes) as f64 / s.seconds,
             100.0 * s.stats.cache_hit_rate(),
+            100.0 * s.stats.weight_cache_hit_rate(),
             s.stats.compactions,
         );
         if let Some(reason) = &s.aborted {
@@ -201,9 +268,26 @@ fn main() {
         }
     }
 
+    // slowdown of each exact scheme relative to the numeric run of the
+    // same workload (1.0 = parity; the paper's gap is what this PR closes)
+    let gap = |num: &Sample, alg: &Sample| json_f64(gps(num) / gps(alg));
+    let algebraic_gap = format!(
+        concat!(
+            "  \"algebraic_gap\": {{\n",
+            "    \"grover10_qomega\": {},\n",
+            "    \"grover10_gcd\": {},\n",
+            "    \"bwt_h3_qomega\": {}\n",
+            "  }},\n"
+        ),
+        gap(&samples[0], &samples[1]),
+        gap(&samples[0], &samples[2]),
+        gap(&samples[3], &samples[4]),
+    );
+
     let body: Vec<String> = samples.iter().map(sample_json).collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"aq engine\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"aq engine\",\n{}  \"samples\": [\n{}\n  ]\n}}\n",
+        algebraic_gap,
         body.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_engine.json");

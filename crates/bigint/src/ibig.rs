@@ -221,6 +221,12 @@ macro_rules! impl_from_signed {
 }
 impl_from_signed!(i8, i16, i32, i64);
 
+impl From<i128> for IBig {
+    fn from(v: i128) -> Self {
+        IBig::from_sign_magnitude(v < 0, UBig::from(v.unsigned_abs()))
+    }
+}
+
 macro_rules! impl_from_unsigned {
     ($($t:ty),*) => {$(
         impl From<$t> for IBig {
@@ -463,6 +469,17 @@ mod tests {
         let too_big = IBig::from(UBig::from(u64::MAX));
         assert_eq!(too_big.to_i64(), None);
         assert_eq!((-too_big).to_i64(), None);
+    }
+
+    #[test]
+    fn i128_conversion_bounds() {
+        assert_eq!(IBig::from(0i128), IBig::zero());
+        assert_eq!(IBig::from(-1i128), IBig::neg_one());
+        assert_eq!(IBig::from(i64::MAX as i128), ib(i64::MAX));
+        assert_eq!(IBig::from(i64::MIN as i128), ib(i64::MIN));
+        // values beyond i64 round-trip through the decimal writer
+        assert_eq!(IBig::from(i128::MAX).to_string(), i128::MAX.to_string());
+        assert_eq!(IBig::from(i128::MIN).to_string(), i128::MIN.to_string());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! GCD-normalized `D[ω]` (Algorithm 3).
 
 use std::hash::Hash;
+use std::sync::Mutex;
 
 use aq_bigint::{IBig, UBig};
-use aq_rings::assoc::{canonical_associate, gcd_canonical};
+use aq_rings::assoc::AssocMemo;
 use aq_rings::{Complex64, Domega, Qomega, Zomega};
 
 use crate::error::EngineError;
@@ -147,6 +148,10 @@ impl WeightContext for QomegaContext {
         a.conj()
     }
 
+    fn is_canonical_value(&self, v: &Qomega) -> bool {
+        v.numerator().repr_is_canonical()
+    }
+
     fn is_zero(&self, a: &Qomega) -> bool {
         a.is_zero()
     }
@@ -214,13 +219,57 @@ impl WeightContext for QomegaContext {
 /// Node weights are divided by a greatest common divisor adjusted to the
 /// canonical associate (norm-reduced, rotation-minimal), so the diagram is
 /// canonical without ever leaving `D[ω]`.
-#[derive(Debug, Clone, Default)]
-pub struct GcdContext;
+///
+/// The GCD extraction is **lazy**: [`GcdContext::normalize`] runs one plain
+/// Euclidean GCD chain over the raw numerators (the per-weight `√2`
+/// denominator exponents stay pending and are re-reduced once per weight),
+/// then performs a single — memoized — canonical-associate search. Because
+/// the canonical associate is unit-invariant, the result is bit-identical
+/// to eager per-step canonicalization, at a fraction of the cost.
+#[derive(Debug)]
+pub struct GcdContext {
+    /// Memo for the canonical-associate triple `(z_c, unit, unit⁻¹)` — the
+    /// dominant cost of Algorithm 3, and highly repetitive across nodes.
+    memo: Mutex<AssocMemo>,
+}
+
+/// Slot count of the per-context canonical-associate memo (bounded,
+/// direct-mapped, lossy — identical results on hit or miss).
+const ASSOC_MEMO_SLOTS: usize = 1 << 12;
 
 impl GcdContext {
     /// Creates the context.
     pub fn new() -> Self {
-        GcdContext
+        GcdContext {
+            memo: Mutex::new(AssocMemo::new(ASSOC_MEMO_SLOTS)),
+        }
+    }
+
+    /// `(hits, misses)` of the canonical-associate memo.
+    pub fn assoc_memo_stats(&self) -> (u64, u64) {
+        self.lock_memo().stats()
+    }
+
+    /// Locks the memo. The lock is uncontended in practice (managers are
+    /// moved across threads, not shared), and the memo holds no invariant
+    /// that a panic mid-`triple` could break — a poisoned lock is safe to
+    /// keep using.
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, AssocMemo> {
+        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Clone for GcdContext {
+    fn clone(&self) -> Self {
+        // The memo is lossy cache state, not semantics: a clone with a
+        // fresh memo produces bit-identical normalizations.
+        GcdContext::new()
+    }
+}
+
+impl Default for GcdContext {
+    fn default() -> Self {
+        GcdContext::new()
     }
 }
 
@@ -256,22 +305,66 @@ impl WeightContext for GcdContext {
         a.conj()
     }
 
+    fn is_canonical_value(&self, v: &Domega) -> bool {
+        // `is_reduced` is exactly "no pending lazy-GCD state": minimal √2
+        // exponent and canonical (inline-where-it-fits) coefficients.
+        v.is_reduced()
+    }
+
     fn is_zero(&self, a: &Domega) -> bool {
         a.is_zero()
     }
 
     fn normalize(&self, ws: &mut [Domega]) -> Option<Domega> {
-        // Algorithm 3: extract a GCD, then adjust it by a unit so the
-        // leftmost non-zero weight becomes the canonical associate of its
-        // class — unit-invariant, hence canonical.
-        let g = gcd_canonical(ws.iter())?;
-        let g = Domega::from(g);
-        // aq-lint: allow(R1): gcd_canonical returned Some, so a non-zero weight exists
-        let pivot = ws.iter().position(|w| !w.is_zero()).expect("gcd found one");
-        let z = div_exact_domega(&ws[pivot], &g);
-        let (zc, unit) = canonical_associate(&z);
+        // Algorithm 3, lazily: a plain Euclidean GCD chain over the raw
+        // numerators (denominator exponents stay pending), then a single
+        // memoized canonical-associate search and one cheap exact division
+        // per weight. The GCD is unique only up to units, and the pending
+        // `√2` powers shift it by further `D[ω]` units — both absorbed by
+        // the unit-invariant canonical associate, so the output is
+        // bit-identical to eager per-step canonicalization.
+        let pivot = ws.iter().position(|w| !w.is_zero())?;
+        let mut g: Option<Zomega> = None;
+        for w in ws.iter() {
+            if w.is_zero() {
+                continue;
+            }
+            g = Some(match g {
+                None => w.numerator().clone(),
+                Some(acc) => acc.gcd(w.numerator()),
+            });
+            // Early exit: a unit GCD cannot shrink further.
+            if g.as_ref().is_some_and(|g| g.euclidean_value().is_one()) {
+                break;
+            }
+        }
+        // aq-lint: allow(R1): the pivot exists, so at least one numerator contributed
+        let g = g.expect("pivot exists");
+
+        // Exact division by g in Z[ω], hoisting the division setup
+        // (conjugate, Galois factor, field norm) out of the per-weight loop:
+        // num/g = num·conj(g)·σ(N(g)) / fieldnorm(g), coordinate-exact
+        // whenever g | num — which holds for every numerator by
+        // construction of the GCD.
+        let g_div = if g.is_one() {
+            None
+        } else {
+            let n = g.norm();
+            let denom = n.field_norm();
+            let sigma = Zomega::new(n.v.clone(), IBig::zero(), -&n.v, n.u.clone());
+            Some((&g.conj() * &sigma, denom))
+        };
+        let div_g = |num: &Zomega| match &g_div {
+            None => num.clone(),
+            Some((adj, denom)) => (num * adj).div_scalar_exact(denom),
+        };
+
+        // One canonical-associate search on z = w_pivot/g (memoized): the
+        // batched replacement for per-step `gcd_canonical` calls.
+        let z = Domega::new(div_g(ws[pivot].numerator()), ws[pivot].k());
+        let (zc, unit, unit_inv) = self.lock_memo().triple(&z);
         // η = g·unit, so that w_pivot/η = canonical associate z_c.
-        let eta = &g * &unit;
+        let eta = &Domega::from(g) * &unit;
         for (i, w) in ws.iter_mut().enumerate() {
             if w.is_zero() {
                 continue;
@@ -279,7 +372,10 @@ impl WeightContext for GcdContext {
             if i == pivot {
                 *w = Domega::from(zc.clone());
             } else {
-                *w = div_exact_domega(w, &eta);
+                // w/η = (num/g)/√2^k · unit⁻¹ — the pending exponent is
+                // paid here, once, by Domega's canonical reduction.
+                let q = Domega::new(div_g(w.numerator()), w.k());
+                *w = &q * &unit_inv;
             }
         }
         Some(eta)
@@ -317,23 +413,10 @@ impl WeightContext for GcdContext {
     }
 }
 
-/// Division in `D[ω]` that must be exact (the divisor divides the
-/// dividend by construction).
-///
-/// # Panics
-///
-/// Panics if the quotient leaves `D[ω]` — that would be a normalization
-/// bug, not a user error.
-fn div_exact_domega(a: &Domega, b: &Domega) -> Domega {
-    let q = &Qomega::from(a.clone()) / &Qomega::from(b.clone());
-    q.to_domega()
-        // aq-lint: allow(R1): callers divide by a GCD factor, which divides exactly by construction
-        .expect("GCD normalization divided by a non-divisor")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aq_rings::assoc::gcd_canonical;
     use aq_rings::Zomega;
 
     fn dw(a: i64, b: i64, c: i64, d: i64, k: i64) -> Domega {
@@ -396,6 +479,62 @@ mod tests {
             g.euclidean_value().is_one(),
             "weights still share a factor: {g:?}"
         );
+    }
+
+    #[test]
+    fn lazy_normalize_is_bit_identical_to_eager_reference() {
+        // The eager Algorithm 3 this PR replaced: canonical GCD up front,
+        // full Q[ω] field division per weight. The lazy path must agree
+        // bitwise (canonical Domega representation is unique, so value
+        // equality is structural equality).
+        fn eager(ws: &mut [Domega]) -> Option<Domega> {
+            let div = |a: &Domega, b: &Domega| {
+                (&Qomega::from(a.clone()) / &Qomega::from(b.clone()))
+                    .to_domega()
+                    .expect("exact by construction")
+            };
+            let g = Domega::from(gcd_canonical(ws.iter())?);
+            let pivot = ws.iter().position(|w| !w.is_zero()).expect("gcd found one");
+            let z = div(&ws[pivot], &g);
+            let (zc, unit) = aq_rings::assoc::canonical_associate(&z);
+            let eta = &g * &unit;
+            for (i, w) in ws.iter_mut().enumerate() {
+                if w.is_zero() {
+                    continue;
+                }
+                if i == pivot {
+                    *w = Domega::from(zc.clone());
+                } else {
+                    *w = div(w, &eta);
+                }
+            }
+            Some(eta)
+        }
+
+        let ctx = GcdContext::new();
+        let tuples: Vec<Vec<Domega>> = vec![
+            vec![dw(0, 0, 0, 6, 1), dw(0, 0, 0, -9, 1), dw(0, 0, 3, 3, 1)],
+            vec![Domega::zero(), dw(1, 0, 2, 3, 0), dw(0, 1, 1, -1, 2)],
+            vec![dw(2, 2, 0, 4, 1), dw(0, 0, 0, 2, 3), dw(0, 0, 0, 0, 0)],
+            vec![dw(0, 0, 0, 5, 0), dw(0, 0, 0, 7, 0)],
+            vec![dw(1, 1, 1, 3, 5), dw(-7, 2, 0, 0, -3)],
+            vec![dw(0, 0, 0, 1, 1), dw(0, 0, 0, 1, 1)], // identical weights
+            vec![Domega::zero(), dw(3, -1, 4, 2, 2)],   // single non-zero
+        ];
+        // run each tuple twice so the second pass exercises memo hits
+        for _ in 0..2 {
+            for t in &tuples {
+                let mut lazy = t.clone();
+                let mut reference = t.clone();
+                let eta_lazy = ctx.normalize(&mut lazy);
+                let eta_eager = eager(&mut reference);
+                assert_eq!(eta_lazy, eta_eager, "η differs for {t:?}");
+                assert_eq!(lazy, reference, "weights differ for {t:?}");
+            }
+        }
+        let (hits, misses) = ctx.assoc_memo_stats();
+        assert!(hits > 0, "second pass must hit the memo");
+        assert!(misses > 0);
     }
 
     #[test]

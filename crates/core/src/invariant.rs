@@ -70,12 +70,21 @@ impl<W: WeightContext> Manager<W> {
         }
         // Re-intern every value in its original order into a fresh table:
         // each must land on its own index, otherwise two stored weights are
-        // duplicates (equal, or ε-close for the numeric context).
+        // duplicates (equal, or ε-close for the numeric context). Each value
+        // must also be in its number system's canonical representation —
+        // with lazy GCD normalization, this proves no pending state (an
+        // unreduced √2 exponent, non-canonical coefficients) escaped the
+        // normalization pipeline into the weight table.
         let mut fresh = self.ctx.new_table();
         for i in 0..n {
-            let v = self.table.get(WeightId(i as u32)).clone();
+            let v = self.table.get(WeightId(i as u32));
+            if !self.ctx.is_canonical_value(v) {
+                return Err(violation(format!(
+                    "weight {i} is not in canonical reduced form: {v:?}"
+                )));
+            }
             let id = fresh
-                .try_intern(v)
+                .try_intern(v.clone())
                 .map_err(|e| violation(format!("weight {i} cannot be re-interned: {e}")))?;
             if id.index() != i {
                 return Err(violation(format!(
@@ -312,7 +321,7 @@ mod tests {
     use super::*;
     use crate::gates::GateMatrix;
     use crate::numeric::NumericContext;
-    use crate::QomegaContext;
+    use crate::{GcdContext, QomegaContext};
 
     fn busy_manager() -> Manager<NumericContext> {
         let mut m = Manager::new(NumericContext::with_eps(1e-10), 3);
@@ -334,6 +343,23 @@ mod tests {
         let h = m.gate(&GateMatrix::h(), 0, &[]);
         let _ = m.mat_vec(&h, &z);
         m.validate().expect("algebraic manager is canonical");
+    }
+
+    #[test]
+    fn lazily_normalized_gcd_weights_intern_fully_reduced() {
+        // a workload whose GCD normalizations all take the lazy path; the
+        // validator's is_canonical_value sweep proves no pending √2
+        // exponent or non-canonical coefficient form reached the table
+        let mut m = Manager::new(GcdContext::new(), 3);
+        let mut s = m.basis_state(0b101);
+        for q in 0..3 {
+            let h = m.gate(&GateMatrix::h(), q, &[]);
+            s = m.mat_vec(&h, &s);
+            let t = m.gate(&GateMatrix::t(), q, &[((q + 1) % 3, true)]);
+            s = m.mat_vec(&t, &s);
+        }
+        assert!(m.distinct_weights() > 2, "workload must intern weights");
+        m.validate().expect("lazy GCD manager is canonical");
     }
 
     #[test]

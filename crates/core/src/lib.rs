@@ -60,6 +60,7 @@ pub mod snapshot;
 mod unique;
 mod verify;
 mod weight;
+mod wops;
 
 pub use algebraic::{GcdContext, QomegaContext};
 pub use cache::CacheStats;

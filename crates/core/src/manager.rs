@@ -8,6 +8,7 @@ use crate::error::{EngineError, RunBudget};
 use crate::fxhash::{fx_hash, FxHashMap};
 use crate::unique::UniqueTable;
 use crate::weight::{WeightContext, WeightId, WeightTable};
+use crate::wops::{normalize_ids_trivial, WeightOpCache, OP_ADD, OP_MUL};
 
 /// Default slot count for each compute cache (`2^16` direct-mapped slots).
 const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
@@ -27,6 +28,10 @@ pub struct EngineStatistics {
     pub mv: CacheStats,
     /// Matrix–matrix compute cache counters.
     pub mm: CacheStats,
+    /// Weight-handle operation cache counters (interned `mul`/`add` pairs).
+    pub wop: CacheStats,
+    /// Weight-handle normalization cache counters (whole-node rows).
+    pub wnorm: CacheStats,
     /// Vector nodes currently allocated (live + garbage).
     pub vec_nodes: usize,
     /// Matrix nodes currently allocated (live + garbage).
@@ -51,6 +56,20 @@ impl EngineStatistics {
         let lookups =
             self.add_vec.lookups + self.add_mat.lookups + self.mv.lookups + self.mm.lookups;
         let hits = self.add_vec.hits + self.add_mat.hits + self.mv.hits + self.mm.hits;
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// Aggregate hit rate over the weight-handle caches (pair operations
+    /// and node normalization), in `[0, 1]`. These hits are ring/complex
+    /// operations that were skipped entirely — the lever that closes the
+    /// algebraic/numeric throughput gap.
+    pub fn weight_cache_hit_rate(&self) -> f64 {
+        let lookups = self.wop.lookups + self.wnorm.lookups;
+        let hits = self.wop.hits + self.wnorm.hits;
         if lookups == 0 {
             0.0
         } else {
@@ -122,6 +141,8 @@ pub struct Manager<W: WeightContext> {
     pub(crate) add_mat_cache: LossyCache<(Edge<MatId>, Edge<MatId>), Edge<MatId>>,
     pub(crate) mv_cache: LossyCache<(MatId, VecId), Edge<VecId>>,
     pub(crate) mm_cache: LossyCache<(MatId, MatId), Edge<MatId>>,
+    /// Handle-level caches for weight pair ops and node normalization.
+    pub(crate) wops: WeightOpCache,
     pub(crate) cache_capacity: usize,
     pub(crate) compactions: u64,
     /// Active resource budget (unlimited by default). `budget_active`
@@ -178,6 +199,7 @@ impl<W: WeightContext> Manager<W> {
             add_mat_cache: LossyCache::new(cache_capacity),
             mv_cache: LossyCache::new(cache_capacity),
             mm_cache: LossyCache::new(cache_capacity),
+            wops: WeightOpCache::new(cache_capacity),
             cache_capacity,
             compactions: 0,
             budget: RunBudget::default(),
@@ -251,6 +273,8 @@ impl<W: WeightContext> Manager<W> {
             add_mat: self.add_mat_cache.stats(),
             mv: self.mv_cache.stats(),
             mm: self.mm_cache.stats(),
+            wop: self.wops.pair_stats(),
+            wnorm: self.wops.norm_stats(),
             vec_nodes: self.vec_nodes.len(),
             mat_nodes: self.mat_nodes.len(),
             vec_unique_len: self.vec_unique.len(),
@@ -321,8 +345,13 @@ impl<W: WeightContext> Manager<W> {
         if b == WeightId::ONE {
             return Ok(a);
         }
+        if let Some(r) = self.wops.get_pair(OP_MUL, a, b) {
+            return Ok(r);
+        }
         let v = self.ctx.mul(self.table.get(a), self.table.get(b));
-        self.try_intern(v)
+        let r = self.try_intern(v)?;
+        self.wops.put_pair(OP_MUL, a, b, r);
+        Ok(r)
     }
 
     /// Like [`Manager::try_w_mul`] but panics on budget exhaustion.
@@ -338,8 +367,77 @@ impl<W: WeightContext> Manager<W> {
         if b == WeightId::ZERO {
             return Ok(a);
         }
+        if let Some(r) = self.wops.get_pair(OP_ADD, a, b) {
+            return Ok(r);
+        }
         let v = self.ctx.add(self.table.get(a), self.table.get(b));
-        self.try_intern(v)
+        let r = self.try_intern(v)?;
+        self.wops.put_pair(OP_ADD, a, b, r);
+        Ok(r)
+    }
+
+    /// Normalizes a 2-weight row entirely at the handle level: trivial rows
+    /// (all non-zero entries sharing one id) resolve without touching the
+    /// weight table, everything else goes through the normalization cache
+    /// with the value-level [`WeightContext::normalize`] as the miss path.
+    ///
+    /// Returns `(normalized ids, η)`; η is [`WeightId::ZERO`] exactly for
+    /// the all-zero row.
+    fn try_normalize_weights2(
+        &mut self,
+        key: [WeightId; 2],
+    ) -> Result<([WeightId; 2], WeightId), EngineError> {
+        if let Some(hit) = normalize_ids_trivial(&key) {
+            return Ok(hit);
+        }
+        if let Some(hit) = self.wops.get_norm2(&key) {
+            return Ok(hit);
+        }
+        let mut vals = [
+            self.table.get(key[0]).clone(),
+            self.table.get(key[1]).clone(),
+        ];
+        let Some(eta) = self.ctx.normalize(&mut vals) else {
+            return Ok(([WeightId::ZERO; 2], WeightId::ZERO));
+        };
+        let [v0, v1] = vals;
+        let ws = [self.try_intern(v0)?, self.try_intern(v1)?];
+        let eta = self.try_intern(eta)?;
+        self.wops.put_norm2(key, (ws, eta));
+        Ok((ws, eta))
+    }
+
+    /// 4-weight (matrix-row) analogue of
+    /// [`Manager::try_normalize_weights2`].
+    fn try_normalize_weights4(
+        &mut self,
+        key: [WeightId; 4],
+    ) -> Result<([WeightId; 4], WeightId), EngineError> {
+        if let Some(hit) = normalize_ids_trivial(&key) {
+            return Ok(hit);
+        }
+        if let Some(hit) = self.wops.get_norm4(&key) {
+            return Ok(hit);
+        }
+        let mut vals = [
+            self.table.get(key[0]).clone(),
+            self.table.get(key[1]).clone(),
+            self.table.get(key[2]).clone(),
+            self.table.get(key[3]).clone(),
+        ];
+        let Some(eta) = self.ctx.normalize(&mut vals) else {
+            return Ok(([WeightId::ZERO; 4], WeightId::ZERO));
+        };
+        let [v0, v1, v2, v3] = vals;
+        let ws = [
+            self.try_intern(v0)?,
+            self.try_intern(v1)?,
+            self.try_intern(v2)?,
+            self.try_intern(v3)?,
+        ];
+        let eta = self.try_intern(eta)?;
+        self.wops.put_norm4(key, (ws, eta));
+        Ok((ws, eta))
     }
 
     /// Creates (or finds) a normalized vector node and returns the edge to
@@ -350,16 +448,12 @@ impl<W: WeightContext> Manager<W> {
         children: [Edge<VecId>; 2],
     ) -> Result<Edge<VecId>, EngineError> {
         self.budget_probe()?;
-        let mut vals = [
-            self.table.get(children[0].w).clone(),
-            self.table.get(children[1].w).clone(),
-        ];
-        let Some(eta) = self.ctx.normalize(&mut vals) else {
+        let (ws, eta) = self.try_normalize_weights2([children[0].w, children[1].w])?;
+        if eta == WeightId::ZERO {
             return Ok(Edge::ZERO_VEC);
-        };
-        let [v0, v1] = vals;
-        let e0 = self.norm_child(v0, children[0].n)?;
-        let e1 = self.norm_child(v1, children[1].n)?;
+        }
+        let e0 = Self::vec_edge(ws[0], children[0].n);
+        let e1 = Self::vec_edge(ws[1], children[1].n);
         let node = VecNode {
             var,
             children: [e0, e1],
@@ -377,10 +471,7 @@ impl<W: WeightContext> Manager<W> {
                 VecId(id)
             }
         };
-        Ok(Edge {
-            w: self.try_intern(eta)?,
-            n: id,
-        })
+        Ok(Edge { w: eta, n: id })
     }
 
     pub(crate) fn make_vec_node(&mut self, var: u32, children: [Edge<VecId>; 2]) -> Edge<VecId> {
@@ -388,13 +479,13 @@ impl<W: WeightContext> Manager<W> {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn norm_child(&mut self, v: W::Value, n: VecId) -> Result<Edge<VecId>, EngineError> {
-        let w = self.try_intern(v)?;
-        Ok(if w == WeightId::ZERO {
+    #[inline]
+    fn vec_edge(w: WeightId, n: VecId) -> Edge<VecId> {
+        if w == WeightId::ZERO {
             Edge::ZERO_VEC
         } else {
             Edge { w, n }
-        })
+        }
     }
 
     /// Creates (or finds) a normalized matrix node.
@@ -404,26 +495,23 @@ impl<W: WeightContext> Manager<W> {
         children: [Edge<MatId>; 4],
     ) -> Result<Edge<MatId>, EngineError> {
         self.budget_probe()?;
-        let mut vals = [
-            self.table.get(children[0].w).clone(),
-            self.table.get(children[1].w).clone(),
-            self.table.get(children[2].w).clone(),
-            self.table.get(children[3].w).clone(),
-        ];
-        let Some(eta) = self.ctx.normalize(&mut vals) else {
+        let (ws, eta) = self.try_normalize_weights4([
+            children[0].w,
+            children[1].w,
+            children[2].w,
+            children[3].w,
+        ])?;
+        if eta == WeightId::ZERO {
             return Ok(Edge::ZERO_MAT);
-        };
+        }
         let mut edges = [Edge::ZERO_MAT; 4];
-        for (i, v) in vals.into_iter().enumerate() {
-            let w = self.try_intern(v)?;
-            edges[i] = if w == WeightId::ZERO {
-                Edge::ZERO_MAT
-            } else {
-                Edge {
+        for (i, &w) in ws.iter().enumerate() {
+            if w != WeightId::ZERO {
+                edges[i] = Edge {
                     w,
                     n: children[i].n,
-                }
-            };
+                };
+            }
         }
         let node = MatNode {
             var,
@@ -441,10 +529,7 @@ impl<W: WeightContext> Manager<W> {
                 MatId(id)
             }
         };
-        Ok(Edge {
-            w: self.try_intern(eta)?,
-            n: id,
-        })
+        Ok(Edge { w: eta, n: id })
     }
 
     pub(crate) fn make_mat_node(&mut self, var: u32, children: [Edge<MatId>; 4]) -> Edge<MatId> {
@@ -587,6 +672,7 @@ impl<W: WeightContext> Manager<W> {
         self.add_mat_cache.clear();
         self.mv_cache.clear();
         self.mm_cache.clear();
+        self.wops.clear();
     }
 
     /// Rebuilds the manager keeping only the DDs reachable from the given
@@ -629,6 +715,9 @@ impl<W: WeightContext> Manager<W> {
             .absorb_stats(&self.add_mat_cache.stats());
         fresh.mv_cache.absorb_stats(&self.mv_cache.stats());
         fresh.mm_cache.absorb_stats(&self.mm_cache.stats());
+        fresh
+            .wops
+            .absorb_stats(&self.wops.pair_stats(), &self.wops.norm_stats());
         // Copy into `fresh` while `self` stays intact; only swap on
         // success so a mid-copy abort cannot lose the caller's roots.
         let mut vec_map: FxHashMap<VecId, VecId> = FxHashMap::default();

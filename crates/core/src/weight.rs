@@ -168,6 +168,19 @@ pub trait WeightContext: Clone + fmt::Debug {
     /// by the caller.
     fn read_value(&self, r: &mut crate::snapshot::ByteReader<'_>) -> Result<Self::Value, String>;
 
+    /// Returns `true` if a single stored weight value is in the canonical
+    /// representation its number system's constructors produce — the
+    /// invariant every *interned* weight must satisfy, independent of the
+    /// per-node normalization checked by [`WeightContext::is_normalized`].
+    ///
+    /// The exact contexts override this: with lazily deferred GCD
+    /// normalization, it proves that no pending state (an unreduced `√2`
+    /// denominator exponent, a non-canonical coefficient representation)
+    /// ever escapes the normalization pipeline into the weight table.
+    fn is_canonical_value(&self, _v: &Self::Value) -> bool {
+        true
+    }
+
     /// Returns `true` if `ws` is already in the canonical form
     /// [`WeightContext::normalize`] produces — the invariant every stored
     /// node's child weights must satisfy.

@@ -1,0 +1,215 @@
+//! Weight-handle operation caches: interned [`WeightId`]s as the currency
+//! of the hot path.
+//!
+//! Every weight an operation touches is already interned, so a pair of ids
+//! identifies the exact inputs of a ring operation. Caching
+//! `(op, id, id) → id` lets repeated multiplications and additions skip
+//! both the ring arithmetic *and* the intern-table probe; caching
+//! `[ids] → ([ids], η)` does the same for whole-node normalization — where
+//! the expensive work of the algebraic contexts (field inverses, GCD
+//! chains, canonical associates) actually lives.
+//!
+//! Both caches are direct-mapped [`LossyCache`]s: bounded, eviction on
+//! collision, identical results on hit or miss. Soundness rests on the
+//! weight table being append-only — an id never changes its value within a
+//! manager's lifetime, and compaction/snapshot-load build fresh managers
+//! with fresh (empty) caches.
+
+use crate::cache::{CacheStats, LossyCache};
+use crate::weight::WeightId;
+
+/// Op tag for addition in the pair cache.
+pub(crate) const OP_ADD: u8 = 0;
+/// Op tag for multiplication in the pair cache.
+pub(crate) const OP_MUL: u8 = 1;
+
+/// The per-manager weight-operation cache bundle.
+#[derive(Debug)]
+pub(crate) struct WeightOpCache {
+    /// `(op, a, b) → a ∘ b` for commutative ring ops on interned weights.
+    /// Keys are canonically ordered (`a ≤ b`) so both operand orders hit.
+    pairs: LossyCache<(u8, WeightId, WeightId), WeightId>,
+    /// Whole-node normalization of a 2-weight (vector node) row:
+    /// `[w0, w1] → ([w0', w1'], η)`, all interned.
+    norm2: LossyCache<[WeightId; 2], ([WeightId; 2], WeightId)>,
+    /// Whole-node normalization of a 4-weight (matrix node) row.
+    norm4: LossyCache<[WeightId; 4], ([WeightId; 4], WeightId)>,
+}
+
+impl WeightOpCache {
+    /// Creates the bundle with `capacity` slots per cache.
+    pub fn new(capacity: usize) -> Self {
+        WeightOpCache {
+            pairs: LossyCache::new(capacity),
+            norm2: LossyCache::new(capacity),
+            norm4: LossyCache::new(capacity),
+        }
+    }
+
+    /// Looks up a commutative pair op, canonicalizing the operand order.
+    #[inline]
+    pub fn get_pair(&mut self, op: u8, a: WeightId, b: WeightId) -> Option<WeightId> {
+        self.pairs.get(&Self::pair_key(op, a, b))
+    }
+
+    /// Records a pair-op result.
+    #[inline]
+    pub fn put_pair(&mut self, op: u8, a: WeightId, b: WeightId, r: WeightId) {
+        self.pairs.insert(Self::pair_key(op, a, b), r);
+    }
+
+    #[inline]
+    fn pair_key(op: u8, a: WeightId, b: WeightId) -> (u8, WeightId, WeightId) {
+        if a <= b {
+            (op, a, b)
+        } else {
+            (op, b, a)
+        }
+    }
+
+    /// Looks up a 2-weight normalization.
+    #[inline]
+    pub fn get_norm2(&mut self, key: &[WeightId; 2]) -> Option<([WeightId; 2], WeightId)> {
+        self.norm2.get(key)
+    }
+
+    /// Records a 2-weight normalization.
+    #[inline]
+    pub fn put_norm2(&mut self, key: [WeightId; 2], r: ([WeightId; 2], WeightId)) {
+        self.norm2.insert(key, r);
+    }
+
+    /// Looks up a 4-weight normalization.
+    #[inline]
+    pub fn get_norm4(&mut self, key: &[WeightId; 4]) -> Option<([WeightId; 4], WeightId)> {
+        self.norm4.get(key)
+    }
+
+    /// Records a 4-weight normalization.
+    #[inline]
+    pub fn put_norm4(&mut self, key: [WeightId; 4], r: ([WeightId; 4], WeightId)) {
+        self.norm4.insert(key, r);
+    }
+
+    /// Lifetime counters of the pair-op cache.
+    pub fn pair_stats(&self) -> CacheStats {
+        self.pairs.stats()
+    }
+
+    /// Combined lifetime counters of both normalization caches.
+    pub fn norm_stats(&self) -> CacheStats {
+        let mut s = self.norm2.stats();
+        s.absorb(&self.norm4.stats());
+        s
+    }
+
+    /// Drops all entries (counters are kept, dropped entries recorded in
+    /// [`CacheStats::cleared`]).
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+        self.norm2.clear();
+        self.norm4.clear();
+    }
+
+    /// Adds previously accumulated counters (statistics survive
+    /// compaction). The merged norm counters land on the 2-weight cache;
+    /// [`WeightOpCache::norm_stats`] reports the sum either way.
+    pub fn absorb_stats(&mut self, pairs: &CacheStats, norm: &CacheStats) {
+        self.pairs.absorb_stats(pairs);
+        self.norm2.absorb_stats(norm);
+    }
+}
+
+/// Handle-only normalization for the trivial (and extremely common) rows:
+/// every non-zero entry is the *same* interned weight `w` — basis states,
+/// identity blocks, permutation gates. Then the normalized row maps `w ↦ 1`
+/// (zeros stay zero) with `η = w`, in every weight system:
+/// leftmost/max-magnitude division, the `Q[ω]` field inverse and the
+/// canonical-GCD extraction all divide the row by exactly `w`.
+///
+/// Returns `(normalized ids, η id)`; for the all-zero row η is
+/// [`WeightId::ZERO`]. `None` means the row is non-trivial and needs the
+/// value-level normalize.
+pub(crate) fn normalize_ids_trivial<const N: usize>(
+    key: &[WeightId; N],
+) -> Option<([WeightId; N], WeightId)> {
+    let mut common: Option<WeightId> = None;
+    for &w in key {
+        if w == WeightId::ZERO {
+            continue;
+        }
+        match common {
+            None => common = Some(w),
+            Some(c) if c == w => {}
+            Some(_) => return None,
+        }
+    }
+    let eta = match common {
+        None => return Some(([WeightId::ZERO; N], WeightId::ZERO)),
+        Some(w) => w,
+    };
+    let mapped = key.map(|w| {
+        if w == WeightId::ZERO {
+            WeightId::ZERO
+        } else {
+            WeightId::ONE
+        }
+    });
+    Some((mapped, eta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W2: WeightId = WeightId(2);
+    const W3: WeightId = WeightId(3);
+
+    #[test]
+    fn pair_key_is_commutative() {
+        let mut c = WeightOpCache::new(8);
+        c.put_pair(OP_MUL, W3, W2, WeightId(9));
+        assert_eq!(c.get_pair(OP_MUL, W2, W3), Some(WeightId(9)));
+        assert_eq!(c.get_pair(OP_MUL, W3, W2), Some(WeightId(9)));
+        // a different op tag is a different key
+        assert_eq!(c.get_pair(OP_ADD, W2, W3), None);
+    }
+
+    #[test]
+    fn norm_stats_merge_both_widths() {
+        let mut c = WeightOpCache::new(8);
+        c.put_norm2([W2, W3], ([WeightId::ONE, W2], W3));
+        c.put_norm4([W2, W3, W2, W3], ([WeightId::ONE; 4], W2));
+        assert_eq!(c.get_norm2(&[W2, W3]), Some(([WeightId::ONE, W2], W3)));
+        assert_eq!(c.get_norm4(&[W2, W3, W2, W3]).map(|r| r.1), Some(W2));
+        let s = c.norm_stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.insertions, 2);
+    }
+
+    #[test]
+    fn trivial_rows_resolve_without_table_access() {
+        use WeightId as W;
+        // all-zero
+        assert_eq!(
+            normalize_ids_trivial(&[W::ZERO, W::ZERO]),
+            Some(([W::ZERO, W::ZERO], W::ZERO))
+        );
+        // single non-zero, either slot
+        assert_eq!(
+            normalize_ids_trivial(&[W::ZERO, W2]),
+            Some(([W::ZERO, W::ONE], W2))
+        );
+        assert_eq!(
+            normalize_ids_trivial(&[W2, W::ZERO]),
+            Some(([W::ONE, W::ZERO], W2))
+        );
+        // identity-block pattern
+        assert_eq!(
+            normalize_ids_trivial(&[W2, W::ZERO, W::ZERO, W2]),
+            Some(([W::ONE, W::ZERO, W::ZERO, W::ONE], W2))
+        );
+        // two distinct non-zero weights: not trivial
+        assert_eq!(normalize_ids_trivial(&[W2, W3]), None);
+    }
+}

@@ -134,6 +134,56 @@ fn snapshot_survives_a_file_round_trip() {
 }
 
 #[test]
+fn gcd_snapshot_roundtrips_inline_and_promoted_coefficients() {
+    use aq_bigint::IBig;
+    use aq_dd::GcdContext;
+    use aq_rings::{Domega, Zomega};
+
+    // weights on both sides of the i64 inline boundary, including ones
+    // whose coefficients only exist in the heap-promoted representation
+    let big = &(&IBig::from(i64::MAX) * &IBig::from(7)) + &IBig::from(12345);
+    let values = [
+        Domega::new(Zomega::new(1.into(), 0.into(), 1.into(), 1.into()), 3),
+        Domega::new(
+            Zomega::new(i64::MAX.into(), i64::MIN.into(), 1.into(), 0.into()),
+            1,
+        ),
+        Domega::new(
+            Zomega::new(big.clone(), (-&big).clone(), 3.into(), big.clone()),
+            5,
+        ),
+        Domega::from(Zomega::new(
+            IBig::zero(),
+            big.clone(),
+            IBig::zero(),
+            IBig::one(),
+        )),
+    ];
+    let mut m = Manager::new(GcdContext::new(), 2);
+    let s = m.basis_state(0);
+    let mut ids = Vec::new();
+    for v in &values {
+        assert!(v.is_reduced(), "test values must be canonical");
+        ids.push(m.intern(v.clone()));
+    }
+    // mixed-repr forms must round-trip the decimal-string serialization
+    let bytes = m.snapshot_to_bytes(&[s], &[]);
+    let (m2, roots, _) = Manager::snapshot_from_bytes(GcdContext::new(), &bytes).expect("load");
+    assert_eq!(roots, vec![s]);
+    assert_eq!(m2.distinct_weights(), m.distinct_weights());
+    for (v, id) in values.iter().zip(&ids) {
+        let loaded = m2.weight(*id);
+        assert_eq!(loaded, v, "weight w{} must be bit-identical", id.index());
+        assert!(loaded.is_reduced(), "reloaded weight must stay canonical");
+    }
+    // inline values stay inline, promoted values stay promoted
+    assert!(m2.weight(ids[0]).numerator().is_inline());
+    assert!(m2.weight(ids[1]).numerator().is_inline());
+    assert!(!m2.weight(ids[2]).numerator().is_inline());
+    assert!(!m2.weight(ids[3]).numerator().is_inline());
+}
+
+#[test]
 fn gcd_context_snapshot_roundtrips() {
     use aq_dd::GcdContext;
     let mut m = Manager::new(GcdContext::new(), 3);

@@ -162,6 +162,24 @@ impl Domega {
         }
     }
 
+    /// Returns `true` if the value is in the canonical reduced form every
+    /// constructor produces: the denominator exponent `k` is minimal (the
+    /// numerator is not divisible by `√2`; zero has `k = 0`) and the
+    /// numerator's coefficient representation is canonical.
+    ///
+    /// Always `true` for values built through the public API — the check
+    /// exists so the engine's invariant validator can prove that no pending
+    /// (lazily deferred) normalization state ever escapes into an interned
+    /// weight.
+    pub fn is_reduced(&self) -> bool {
+        let k_minimal = if self.num.is_zero() {
+            self.k == 0
+        } else {
+            !self.num.divisible_by_sqrt2()
+        };
+        k_minimal && self.num.repr_is_canonical()
+    }
+
     /// The squared absolute value `|α|² = α·ᾱ` as a real element of `D[√2]`
     /// represented in `D[ω]`.
     pub fn norm_sqr(&self) -> Domega {
@@ -285,6 +303,20 @@ mod tests {
 
     fn dw(a: i64, b: i64, c: i64, d: i64, k: i64) -> Domega {
         Domega::new(Zomega::new(a.into(), b.into(), c.into(), d.into()), k)
+    }
+
+    #[test]
+    fn constructed_values_are_reduced_and_pending_state_is_not() {
+        assert!(dw(0, 0, 0, 0, 5).is_reduced()); // zero collapses to k = 0
+        assert!(dw(1, 1, 1, 1, 3).is_reduced());
+        assert!(Domega::one_over_sqrt2().is_reduced());
+        // hand-build the pending state `2/√2²` that `reduce` must never leak
+        let pending = Domega {
+            num: Zomega::from_int(2),
+            k: 2,
+        };
+        assert!(!pending.is_reduced());
+        assert!(Domega::new(pending.num.clone(), pending.k).is_reduced());
     }
 
     #[test]

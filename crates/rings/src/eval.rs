@@ -29,8 +29,9 @@ pub(crate) fn zomega_to_complex(num: &Zomega, k: i64, denom: &UBig) -> Complex64
     let sqrt2_fp = IBig::from((UBig::from(2u64) << (2 * p)).isqrt()); // ≈ √2·2^p
 
     // re·2^(p+1) = d·2^(p+1) + (c−a)·√2·2^p ; im analogously with (c+a), b.
-    let re = &(&num.d << (p + 1)) + &(&(&num.c - &num.a) * &sqrt2_fp);
-    let im = &(&num.b << (p + 1)) + &(&(&num.c + &num.a) * &sqrt2_fp);
+    let [a, b, c, d] = num.coeffs();
+    let re = &(&d << (p + 1)) + &(&(&c - &a) * &sqrt2_fp);
+    let im = &(&b << (p + 1)) + &(&(&c + &a) * &sqrt2_fp);
     let mut shift: i64 = p as i64 + 1;
 
     let divide = |x: IBig, shift: &mut i64| -> IBig {

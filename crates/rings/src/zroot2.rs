@@ -62,8 +62,28 @@ impl Zroot2 {
     }
 
     /// Sign of the real value `u + v·√2`, computed exactly.
+    ///
+    /// Coefficients that fit `i64` are compared entirely in `i128`
+    /// (`u²` and `2v²` both fit), skipping bigint products on the hot
+    /// norm-balancing path of the canonical-associate search.
     pub fn signum(&self) -> Ordering {
         use Ordering::*;
+        if let (Some(u), Some(v)) = (self.u.to_i64(), self.v.to_i64()) {
+            let (u, v) = (u as i128, v as i128);
+            return match (u.signum(), v.signum()) {
+                (0, 0) => Equal,
+                (u_sign, v_sign) if u_sign >= 0 && v_sign >= 0 => Greater,
+                (u_sign, v_sign) if u_sign <= 0 && v_sign <= 0 => Less,
+                // Mixed signs: the dominant square decides.
+                (u_sign, _) => match (u * u).cmp(&(2 * v * v)) {
+                    Equal => Equal, // impossible for nonzero u,v (√2 irrational)
+                    Greater if u_sign > 0 => Greater,
+                    Greater => Less,
+                    Less if u_sign > 0 => Less,
+                    Less => Greater,
+                },
+            };
+        }
         match (self.u.sign(), self.v.sign()) {
             (aq_bigint::Sign::Zero, aq_bigint::Sign::Zero) => Equal,
             (aq_bigint::Sign::Negative, aq_bigint::Sign::Negative)

@@ -15,6 +15,43 @@ fn zomega() -> impl Strategy<Value = Zomega> {
         .prop_map(|(a, b, c, d)| Zomega::new(a, b, c, d))
 }
 
+/// Coefficients straddling the `i64` boundary of the inline `Zomega`
+/// representation: small, hugging `i64::MAX`/`i64::MIN` from inside, and
+/// just past the boundary (heap-promoted).
+fn boundary_coeff() -> impl Strategy<Value = IBig> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(IBig::from),
+        (0i64..1000).prop_map(|m| IBig::from(i64::MAX - m)),
+        (i64::MIN..i64::MIN + 1000).prop_map(IBig::from),
+        (1i64..1000).prop_map(|m| IBig::from(i64::MAX as i128 + m as i128)),
+        (1i64..1000).prop_map(|m| IBig::from(i64::MIN as i128 - m as i128)),
+    ]
+}
+
+fn boundary_zomega() -> impl Strategy<Value = Zomega> {
+    (
+        boundary_coeff(),
+        boundary_coeff(),
+        boundary_coeff(),
+        boundary_coeff(),
+    )
+        .prop_map(|(a, b, c, d)| Zomega::new(a, b, c, d))
+}
+
+/// Reference multiplication straight from the `ω⁴ = −1` reduction rules,
+/// entirely in heap bigint arithmetic — the oracle the inline `i64`/`i128`
+/// fast paths must agree with bit for bit.
+fn reference_mul(x: &Zomega, y: &Zomega) -> [IBig; 4] {
+    let [a, b, c, d] = x.coeffs();
+    let [e, f, g, h] = y.coeffs();
+    [
+        &(&(&a * &h) + &(&b * &g)) + &(&(&c * &f) + &(&d * &e)),
+        &(&(&b * &h) + &(&c * &g)) + &(&(&d * &f) - &(&a * &e)),
+        &(&(&c * &h) + &(&d * &g)) - &(&(&a * &f) + &(&b * &e)),
+        &(&(&d * &h) - &(&a * &g)) - &(&(&b * &f) + &(&c * &e)),
+    ]
+}
+
 fn domega() -> impl Strategy<Value = Domega> {
     (zomega(), -6i64..6).prop_map(|(z, k)| Domega::new(z, k))
 }
@@ -156,6 +193,81 @@ proptest! {
         let (c2, u2) = canonical_associate(&Domega::from(c.clone()));
         prop_assert_eq!(c2, c);
         prop_assert!(u2.is_one());
+    }
+
+    #[test]
+    fn boundary_repr_is_canonical_and_roundtrips(x in boundary_zomega()) {
+        prop_assert!(x.repr_is_canonical());
+        prop_assert_eq!(x.is_inline(), x.coeffs_i64().is_some());
+        let [a, b, c, d] = x.coeffs();
+        prop_assert_eq!(&Zomega::new(a, b, c, d), &x);
+    }
+
+    #[test]
+    fn boundary_mul_matches_bigint_reference(x in boundary_zomega(), y in boundary_zomega()) {
+        let p = &x * &y;
+        prop_assert_eq!(p.coeffs(), reference_mul(&x, &y));
+        prop_assert!(p.repr_is_canonical());
+    }
+
+    #[test]
+    fn boundary_add_sub_neg_match_reference(x in boundary_zomega(), y in boundary_zomega()) {
+        let xs = x.coeffs();
+        let ys = y.coeffs();
+        let sum = &x + &y;
+        let diff = &x - &y;
+        let neg = -&x;
+        for i in 0..4 {
+            prop_assert_eq!(&sum.coeffs()[i], &(&xs[i] + &ys[i]));
+            prop_assert_eq!(&diff.coeffs()[i], &(&xs[i] - &ys[i]));
+            prop_assert_eq!(&neg.coeffs()[i], &-&xs[i]);
+        }
+        prop_assert!(sum.repr_is_canonical());
+        prop_assert!(diff.repr_is_canonical());
+        prop_assert!(neg.repr_is_canonical());
+    }
+
+    #[test]
+    fn boundary_conj_and_norm_agree_with_heap_form(x in boundary_zomega()) {
+        // ω̄ = −ω³ gives conj(aω³ + bω² + cω + d) = −cω³ − bω² − aω + d
+        let [a, b, c, d] = x.coeffs();
+        let conj = x.conj();
+        prop_assert_eq!(conj.coeffs(), [-&c, -&b, -&a, d]);
+        prop_assert!(conj.repr_is_canonical());
+        // N(z) = z·z̄ = u + v√2, which embeds as −vω³ + vω + u
+        let n = x.norm();
+        let prod = &x * &conj;
+        prop_assert_eq!(prod.coeffs(), [-&n.v, IBig::zero(), n.v.clone(), n.u.clone()]);
+    }
+
+    #[test]
+    fn boundary_div_sqrt2_roundtrips(x in boundary_zomega()) {
+        match x.div_sqrt2() {
+            Some(half) => {
+                prop_assert!(half.repr_is_canonical());
+                prop_assert_eq!(half.mul_sqrt2(), x.clone());
+            }
+            None => prop_assert!(!x.divisible_by_sqrt2()),
+        }
+        // ·√2 then /√2 is always the identity, across the repr boundary
+        let doubled = x.mul_sqrt2();
+        prop_assert!(doubled.repr_is_canonical());
+        prop_assert_eq!(doubled.div_sqrt2().expect("multiple of sqrt2"), x);
+    }
+
+    #[test]
+    fn boundary_cancellation_demotes(x in boundary_zomega(), y in zomega()) {
+        // (x + y) − x recovers y exactly, landing back on y's (inline) repr
+        let back = &(&x + &y) - &x;
+        prop_assert_eq!(&back, &y);
+        prop_assert_eq!(back.is_inline(), y.is_inline());
+        prop_assert!(back.repr_is_canonical());
+    }
+
+    #[test]
+    fn boundary_domega_reduces(x in boundary_zomega(), k in -6i64..6) {
+        let d = Domega::new(x, k);
+        prop_assert!(d.is_reduced());
     }
 
     #[test]

@@ -90,6 +90,8 @@ pub fn add_engine_statistics(acc: &mut EngineStatistics, s: &EngineStatistics) {
         (&mut acc.add_mat, &s.add_mat),
         (&mut acc.mv, &s.mv),
         (&mut acc.mm, &s.mm),
+        (&mut acc.wop, &s.wop),
+        (&mut acc.wnorm, &s.wnorm),
     ] {
         a.lookups += b.lookups;
         a.hits += b.hits;

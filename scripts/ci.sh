@@ -18,10 +18,10 @@ echo "== aq-lint: workspace lint gate =="
 cargo run -q --offline -p aq-analyze --bin aq-lint -- --deny --baseline=lint-baseline.toml
 
 echo "== tier-1: cargo build --release =="
-cargo build --release --offline
+cargo build --release --offline --workspace
 
 echo "== tier-1: cargo test -q =="
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== fail-soft: budget-abort suites =="
 cargo test -q --offline -p aq-dd --test budget
@@ -90,6 +90,12 @@ wait "$serve_pid" || { echo "aq-served exited non-zero"; exit 1; }
 rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
 
 if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== engine bench: algebraic-gap regression gate (grover6) =="
+    # GCD D[omega] throughput must hold at least half of numeric throughput
+    # (measured ~1.2x on this workload; the gate catches a regression back
+    # to the orders-of-magnitude gap this representation used to have)
+    cargo run --release --offline -p aq-bench --bin engine_bench -- --gap-gate=0.5
+
     echo "== engine bench (BENCH_engine.json) =="
     cargo run --release --offline -p aq-bench --bin engine_bench -- BENCH_engine.json
 
