@@ -5,11 +5,16 @@
 //! histogram estimates for comparison.
 //!
 //! Usage: `cargo run --release -p aq-bench --bin serve_bench
-//! [-- <out.json>] [--jobs=N]`
+//! [-- <out.json>] [--jobs=N] [--scale-gate]`
 //!
-//! Every worker is pinned numeric and every job is a numeric Grover
-//! search, so the three configurations measure pool scaling rather than
-//! scheme mix.
+//! The scaling rows run with the result cache *disabled* and distinct
+//! circuits, so they measure pool scaling; a separate cache row repeats a
+//! small circuit set with the cache on and reports its hit rate.
+//!
+//! `--scale-gate` turns the run into a pass/fail check: 4-worker
+//! throughput must not fall below 1-worker throughput. On a single-core
+//! host the gate prints a skip notice and passes (queueing, not speedup,
+//! is all such a machine can measure).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,10 +33,13 @@ struct ConfigResult {
     jobs_per_second: f64,
     p50_ms: f64,
     p99_ms: f64,
-    server_p50_ms: Option<u64>,
-    server_p99_ms: Option<u64>,
+    server_p50_ms: Option<f64>,
+    server_p99_ms: Option<f64>,
     completed: u64,
     aborted: u64,
+    warm_reuses: u64,
+    cache_served: u64,
+    cache_hit_rate: f64,
 }
 
 /// Exact quantile of a sorted latency sample (nearest-rank).
@@ -43,12 +51,24 @@ fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
-fn run_config(workers: usize, total_jobs: usize) -> ConfigResult {
+/// One closed-loop run. `distinct_circuits` is the size of the oracle
+/// pool jobs cycle through: large (64) for scaling rows, small (8) for
+/// the cache row, where repeats are the point.
+fn run_config(
+    workers: usize,
+    total_jobs: usize,
+    result_cache_capacity: usize,
+    distinct_circuits: u64,
+) -> ConfigResult {
     let cfg = ServeConfig {
         workers: vec![SchemeClass::Numeric; workers],
         queue_capacity: total_jobs.max(8) * 2,
-        checkpoint_dir: std::env::temp_dir()
-            .join(format!("aq-serve-bench-{}-w{workers}", std::process::id())),
+        checkpoint_dir: std::env::temp_dir().join(format!(
+            "aq-serve-bench-{}-w{workers}-c{result_cache_capacity}",
+            std::process::id()
+        )),
+        result_cache_capacity,
+        ..ServeConfig::default()
     };
     let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
@@ -74,7 +94,7 @@ fn run_config(workers: usize, total_jobs: usize) -> ConfigResult {
                     .is_ok()
                 {
                     // vary the oracle so consing across jobs stays honest
-                    let marked = (s as u64 * 31 + i * 7) % 64;
+                    let marked = (s as u64 * 31 + i * 7) % distinct_circuits;
                     i += 1;
                     let t = Instant::now();
                     let submitted = client.submit(SubmitRequest {
@@ -128,7 +148,54 @@ fn run_config(workers: usize, total_jobs: usize) -> ConfigResult {
         server_p99_ms: m.p99_ms,
         completed: m.completed,
         aborted: m.aborted,
+        warm_reuses: m.workers.iter().map(|w| w.stats.warm_reuses).sum(),
+        cache_served: m.cache_served,
+        cache_hit_rate: m.cache.hit_rate(),
     }
+}
+
+fn render_row(r: &ConfigResult, label: &str) -> String {
+    let mut row = String::new();
+    let fmt_opt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "null".into())
+    };
+    let _ = write!(
+        row,
+        concat!(
+            "    {{\n",
+            "      \"config\": \"{}\",\n",
+            "      \"workers\": {},\n",
+            "      \"jobs\": {},\n",
+            "      \"seconds\": {:.6},\n",
+            "      \"jobs_per_second\": {:.3},\n",
+            "      \"p50_ms\": {:.3},\n",
+            "      \"p99_ms\": {:.3},\n",
+            "      \"server_p50_ms\": {},\n",
+            "      \"server_p99_ms\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"aborted\": {},\n",
+            "      \"warm_reuses\": {},\n",
+            "      \"cache_served\": {},\n",
+            "      \"cache_hit_rate\": {:.4}\n",
+            "    }}"
+        ),
+        label,
+        r.workers,
+        r.jobs,
+        r.seconds,
+        r.jobs_per_second,
+        r.p50_ms,
+        r.p99_ms,
+        fmt_opt(r.server_p50_ms),
+        fmt_opt(r.server_p99_ms),
+        r.completed,
+        r.aborted,
+        r.warm_reuses,
+        r.cache_served,
+        r.cache_hit_rate,
+    );
+    row
 }
 
 fn main() {
@@ -138,60 +205,48 @@ fn main() {
         .find_map(|a| a.strip_prefix("--jobs="))
         .map(|v| v.parse().expect("--jobs=N"))
         .unwrap_or(64);
+    let scale_gate = args.iter().any(|a| a == "--scale-gate");
     let out = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".into());
 
+    // Scaling rows: result cache off, 64 distinct oracles.
     let results: Vec<ConfigResult> = [1usize, 4, 8]
         .iter()
         .map(|&w| {
-            let r = run_config(w, total_jobs);
+            let r = run_config(w, total_jobs, 0, 64);
             println!(
-                "{:>2} workers: {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  p50 {:>8.2}ms  p99 {:>8.2}ms  (server buckets: p50<={:?}ms p99<={:?}ms)",
+                "{:>2} workers: {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  p50 {:>8.2}ms  p99 {:>8.2}ms  warm {:>3}  (server buckets: p50<={:?}ms p99<={:?}ms)",
                 r.workers, r.jobs, r.seconds, r.jobs_per_second, r.p50_ms, r.p99_ms,
-                r.server_p50_ms, r.server_p99_ms,
+                r.warm_reuses, r.server_p50_ms, r.server_p99_ms,
             );
             r
         })
         .collect();
 
+    // Cache row: 1 worker, cache on, 8 distinct oracles cycled — repeat
+    // submissions short-circuit before the queue.
+    let cache_row = run_config(1, total_jobs, 256, 8);
+    println!(
+        "cache row:  {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  hit rate {:.1}%  served {} from cache",
+        cache_row.jobs,
+        cache_row.seconds,
+        cache_row.jobs_per_second,
+        cache_row.cache_hit_rate * 100.0,
+        cache_row.cache_served,
+    );
+
     let mut body = String::new();
-    for (i, r) in results.iter().enumerate() {
-        let _ = write!(
-            body,
-            concat!(
-                "    {{\n",
-                "      \"workers\": {},\n",
-                "      \"jobs\": {},\n",
-                "      \"seconds\": {:.6},\n",
-                "      \"jobs_per_second\": {:.3},\n",
-                "      \"p50_ms\": {:.3},\n",
-                "      \"p99_ms\": {:.3},\n",
-                "      \"server_p50_ms\": {},\n",
-                "      \"server_p99_ms\": {},\n",
-                "      \"completed\": {},\n",
-                "      \"aborted\": {}\n",
-                "    }}{}"
-            ),
-            r.workers,
-            r.jobs,
-            r.seconds,
-            r.jobs_per_second,
-            r.p50_ms,
-            r.p99_ms,
-            r.server_p50_ms
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "null".into()),
-            r.server_p99_ms
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "null".into()),
-            r.completed,
-            r.aborted,
-            if i + 1 < results.len() { ",\n" } else { "\n" },
-        );
+    for r in &results {
+        let label = format!("scaling-{}w", r.workers);
+        body.push_str(&render_row(r, &label));
+        body.push_str(",\n");
     }
+    body.push_str(&render_row(&cache_row, "cache-repeat-1w"));
+    body.push('\n');
+
     // Worker scaling is bounded by the machine: on a single-core host the
     // 4- and 8-worker rows measure queueing behaviour, not speedup.
     let cores = std::thread::available_parallelism()
@@ -202,4 +257,24 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write BENCH_serve.json");
     println!("wrote {out}");
+
+    if scale_gate {
+        if cores == 1 {
+            println!(
+                "scale-gate: SKIPPED — host_cores == 1, multi-worker speedup is not \
+                 measurable on this machine (rows above measure queueing only)"
+            );
+            return;
+        }
+        let one = results[0].jobs_per_second;
+        let four = results[1].jobs_per_second;
+        if four < one {
+            eprintln!(
+                "scale-gate: FAILED — 4-worker throughput {four:.1} jobs/s is below \
+                 1-worker throughput {one:.1} jobs/s"
+            );
+            std::process::exit(1);
+        }
+        println!("scale-gate: passed — 4 workers {four:.1} jobs/s >= 1 worker {one:.1} jobs/s");
+    }
 }

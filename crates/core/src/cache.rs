@@ -48,8 +48,9 @@ impl CacheStats {
         }
     }
 
-    /// Merges counters (used to carry statistics across compactions).
-    pub(crate) fn absorb(&mut self, other: &CacheStats) {
+    /// Merges counters (used to carry statistics across compactions and
+    /// to aggregate per-job statistics into session/service totals).
+    pub fn absorb(&mut self, other: &CacheStats) {
         self.lookups += other.lookups;
         self.hits += other.hits;
         self.misses += other.misses;
@@ -137,6 +138,17 @@ impl<K: Copy + Eq + Hash, V: Copy> LossyCache<K, V> {
         self.len = 0;
         self.slots.clear();
         self.slots.shrink_to_fit();
+    }
+
+    /// Empties the cache and zeroes its counters, keeping the slot
+    /// allocation. Session resets use this so the next job starts with
+    /// pristine per-job statistics without paying a fresh allocation;
+    /// contents never affect results (lossy memoisation is sound), so
+    /// dropping entries here cannot change what the next job computes.
+    pub fn reset(&mut self) {
+        self.slots.fill(None);
+        self.len = 0;
+        self.stats = CacheStats::default();
     }
 
     /// Currently occupied slots.

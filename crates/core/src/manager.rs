@@ -77,6 +77,31 @@ impl EngineStatistics {
         }
     }
 
+    /// Adds another snapshot field-wise. Callers aggregating per-job
+    /// statistics into a session or service total use this; counters
+    /// (including the size/capacity gauges) are summed, matching the
+    /// carry-across-compaction semantics of the cache counters.
+    pub fn absorb(&mut self, other: &EngineStatistics) {
+        for (a, b) in [
+            (&mut self.add_vec, &other.add_vec),
+            (&mut self.add_mat, &other.add_mat),
+            (&mut self.mv, &other.mv),
+            (&mut self.mm, &other.mm),
+            (&mut self.wop, &other.wop),
+            (&mut self.wnorm, &other.wnorm),
+        ] {
+            a.absorb(b);
+        }
+        self.vec_nodes += other.vec_nodes;
+        self.mat_nodes += other.mat_nodes;
+        self.vec_unique_len += other.vec_unique_len;
+        self.vec_unique_capacity += other.vec_unique_capacity;
+        self.mat_unique_len += other.mat_unique_len;
+        self.mat_unique_capacity += other.mat_unique_capacity;
+        self.distinct_weights += other.distinct_weights;
+        self.compactions += other.compactions;
+    }
+
     /// Load factor of the vector unique table, in `[0, 1)`.
     pub fn vec_unique_load(&self) -> f64 {
         self.vec_unique_len as f64 / self.vec_unique_capacity.max(1) as f64
@@ -284,6 +309,61 @@ impl<W: WeightContext> Manager<W> {
             distinct_weights: self.table.len(),
             compactions: self.compactions,
         }
+    }
+
+    /// Resets the manager to the pristine state of `Manager::new(ctx,
+    /// n_qubits)` while keeping its grown allocations: node arenas,
+    /// unique-table slot arrays and compute-cache slots survive with their
+    /// capacity intact but no contents. A long-lived worker session calls
+    /// this between jobs so the next job skips the allocation and
+    /// unique-table growth-rehash cost of a cold manager.
+    ///
+    /// The weight table is replaced wholesale (`ctx.new_table()`): numeric
+    /// ε-interning is path-dependent on table contents, so carrying
+    /// interned weights across jobs would make results depend on job
+    /// order. After a reset, every result this manager produces is
+    /// bit-identical to a cold manager's — only capacity-style statistics
+    /// (`*_unique_capacity`) can differ.
+    ///
+    /// All counters restart at zero and the budget reverts to unlimited,
+    /// so per-job [`Manager::statistics`] snapshots stay pure; callers
+    /// wanting session-lifetime totals should take a snapshot before the
+    /// reset and fold it with [`EngineStatistics::absorb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn reset_session(&mut self, ctx: W, n_qubits: u32) {
+        assert!(n_qubits > 0, "need at least one qubit");
+        self.table = ctx.new_table();
+        self.ctx = ctx;
+        self.n_qubits = n_qubits;
+        self.vec_nodes.clear();
+        self.mat_nodes.clear();
+        self.vec_unique.reset_in_place();
+        self.mat_unique.reset_in_place();
+        self.add_vec_cache.reset();
+        self.add_mat_cache.reset();
+        self.mv_cache.reset();
+        self.mm_cache.reset();
+        self.wops.reset();
+        self.compactions = 0;
+        self.budget = RunBudget::default();
+        self.budget_active = false;
+        self.budget_epoch = Instant::now();
+        self.probe_tick = 0;
+    }
+
+    /// Memory retained across a session reset, in arena/table slots: node
+    /// arena capacities plus unique-table slot counts. Sessions compare
+    /// this against a retention budget to decide between resetting in
+    /// place (keep the warm allocations) and dropping the manager (give
+    /// the memory back after an unusually large job).
+    pub fn retained_capacity(&self) -> usize {
+        self.vec_nodes.capacity()
+            + self.mat_nodes.capacity()
+            + self.vec_unique.capacity()
+            + self.mat_unique.capacity()
     }
 
     /// The number of qubits.

@@ -80,6 +80,16 @@ impl UniqueTable {
         self.slots[i] = (hash, id);
     }
 
+    /// Empties the table while keeping the grown slot array. A session
+    /// reusing a manager across jobs pays the growth rehashes only once:
+    /// after a reset the table re-interns the next job's nodes into
+    /// already-sized slots. Lookup results are unaffected — an empty
+    /// table is an empty table regardless of capacity.
+    pub fn reset_in_place(&mut self) {
+        self.slots.fill((0, EMPTY));
+        self.len = 0;
+    }
+
     /// The raw slot array, for snapshot serialization. Persisting the
     /// slots verbatim (rather than re-inserting on load) keeps the probe
     /// layout and capacity of a reloaded table bit-identical to the

@@ -111,6 +111,15 @@ impl WeightOpCache {
         self.norm4.clear();
     }
 
+    /// Empties all three caches and zeroes their counters, keeping slot
+    /// allocations (see [`LossyCache::reset`]). Used by session resets
+    /// between jobs.
+    pub fn reset(&mut self) {
+        self.pairs.reset();
+        self.norm2.reset();
+        self.norm4.reset();
+    }
+
     /// Adds previously accumulated counters (statistics survive
     /// compaction). The merged norm counters land on the 2-weight cache;
     /// [`WeightOpCache::norm_stats`] reports the sum either way.

@@ -560,3 +560,57 @@ fn zero_tolerance_blowup_vs_tolerant_compactness() {
     // exact representation recognises every redundancy
     assert!(exact.vec_nodes(&state) <= n as usize);
 }
+
+#[test]
+fn session_reset_reproduces_cold_results_bit_identically() {
+    // A worker session resets its manager between jobs instead of building
+    // a fresh one. The contract: after `reset_session`, every result is
+    // bit-identical to a cold manager's, and every statistic except the
+    // (possibly inherited-larger) unique-table capacities matches too.
+    fn check<W: WeightContext>(make: &dyn Fn() -> W) {
+        let ops: Vec<GateSpec> = vec![
+            (GateMatrix::h(), 0, vec![]),
+            (GateMatrix::x(), 2, vec![(0, true)]),
+            (GateMatrix::t(), 1, vec![]),
+            (GateMatrix::h(), 1, vec![]),
+            (GateMatrix::x(), 1, vec![(2, true)]),
+        ];
+        let apply = |m: &mut Manager<W>| {
+            let mut s = m.basis_state(0);
+            for (g, t, c) in &ops {
+                let gd = m.gate(g, *t, c);
+                s = m.mat_vec(&gd, &s);
+            }
+            m.amplitudes(&s)
+        };
+        let mut cold = Manager::new(make(), 3);
+        let cold_amps = apply(&mut cold);
+        let cold_stats = cold.statistics();
+
+        // dirty an unrelated-shaped manager, then reset it for the job
+        let mut warm = Manager::new(make(), 2);
+        let mut s = warm.basis_state(1);
+        for q in 0..2 {
+            let g = warm.gate(&GateMatrix::h(), q, &[]);
+            s = warm.mat_vec(&g, &s);
+        }
+        warm.reset_session(make(), 3);
+        let warm_amps = apply(&mut warm);
+        let warm_stats = warm.statistics();
+
+        assert_eq!(cold_amps.len(), warm_amps.len());
+        for (a, b) in cold_amps.iter().zip(&warm_amps) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "{a:?} vs {b:?}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "{a:?} vs {b:?}");
+        }
+        // Everything but the capacity gauges must match a cold run exactly.
+        let mut masked = warm_stats;
+        masked.vec_unique_capacity = cold_stats.vec_unique_capacity;
+        masked.mat_unique_capacity = cold_stats.mat_unique_capacity;
+        assert_eq!(masked, cold_stats, "warm-vs-cold statistics diverged");
+        assert!(warm.retained_capacity() >= cold.retained_capacity());
+    }
+    check(&NumericContext::new);
+    check(&QomegaContext::new);
+    check(&GcdContext::new);
+}

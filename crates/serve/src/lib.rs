@@ -23,6 +23,7 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod json;
 pub mod lockaudit;
@@ -32,9 +33,13 @@ pub mod queue;
 pub mod server;
 pub mod service;
 
+pub use cache::{CacheKey, ResultCache, ResultCacheStats};
 pub use client::{Client, TcpClient};
 pub use json::Json;
-pub use metrics::{histogram_quantile_ms, LatencyHistogram, Metrics, WorkerStats};
+pub use metrics::{
+    histogram_quantile_ms, LatencyHistogram, Metrics, WorkerStats, LATENCY_BUCKETS,
+    LATENCY_BUCKET_EDGES_US,
+};
 pub use protocol::{CircuitSpec, Request, SubmitRequest, MAX_FRAME_BYTES, MAX_QUBITS};
 pub use queue::{AdmissionError, JobQueue};
 pub use server::Server;

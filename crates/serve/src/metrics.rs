@@ -1,4 +1,4 @@
-//! Live service metrics: lifecycle counters, queue depth, a fixed-bucket
+//! Live service metrics: lifecycle counters, queue depth, a log-spaced
 //! latency histogram, and per-worker aggregated engine statistics.
 //!
 //! Counters are atomics (updated from worker and connection threads
@@ -11,20 +11,31 @@
 //!
 //! where `aborted` includes evictions (tracked separately in `evicted`
 //! as well) and `rejected` counts submissions that never became jobs.
+//! Jobs served straight from the result cache complete without touching
+//! a worker, so `completed == worker jobs + cache-served jobs`.
 
 use crate::lockaudit::DebugMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use aq_dd::EngineStatistics;
+use aq_sim::SessionStats;
 
-/// Upper edges (milliseconds) of the latency histogram buckets; a final
-/// implicit overflow bucket catches everything slower.
-pub const LATENCY_BUCKET_EDGES_MS: [u64; 12] =
-    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000];
+/// Upper edges (microseconds) of the latency histogram buckets: log-spaced
+/// at factor 2 from 100µs to ~26s, plus a final implicit overflow bucket.
+///
+/// The previous linear millisecond buckets quantized every sub-5ms job to
+/// the same handful of edges (`server_p50_ms` could only ever read 5, 25
+/// or 50 under load); factor-2 spacing bounds the quantile overestimate at
+/// 2× at every scale and resolves sub-millisecond latencies — which is
+/// where cache-served jobs live.
+pub const LATENCY_BUCKET_EDGES_US: [u64; 19] = [
+    100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400, 204_800, 409_600,
+    819_200, 1_638_400, 3_276_800, 6_553_600, 13_107_200, 26_214_400,
+];
 
 /// Number of histogram buckets (the edges plus the overflow bucket).
-pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_EDGES_MS.len() + 1;
+pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_EDGES_US.len() + 1;
 
 /// A hand-rolled fixed-bucket histogram of job latencies
 /// (submission-to-terminal-state, queue wait included).
@@ -36,11 +47,11 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// Records one latency observation.
     pub fn record(&self, latency: Duration) {
-        let ms = latency.as_millis() as u64;
-        let idx = LATENCY_BUCKET_EDGES_MS
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let idx = LATENCY_BUCKET_EDGES_US
             .iter()
-            .position(|&edge| ms <= edge)
-            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_US.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -52,9 +63,10 @@ impl LatencyHistogram {
 
 /// Upper-bound estimate of quantile `q` (in `[0, 1]`) from bucket counts:
 /// the upper edge of the bucket containing the q-th observation, in
-/// milliseconds (`None` while empty; the overflow bucket reports the last
-/// edge, i.e. "≥ 5000").
-pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<u64> {
+/// (fractional) milliseconds. With factor-2 edges the estimate is within
+/// one bucket — at most 2× — of the true quantile. `None` while empty;
+/// the overflow bucket reports the last edge (i.e. "≥ 26214.4").
+pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<f64> {
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return None;
@@ -64,8 +76,9 @@ pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            const LAST_EDGE: u64 = LATENCY_BUCKET_EDGES_MS[LATENCY_BUCKET_EDGES_MS.len() - 1];
-            return Some(LATENCY_BUCKET_EDGES_MS.get(i).copied().unwrap_or(LAST_EDGE));
+            const LAST_EDGE: u64 = LATENCY_BUCKET_EDGES_US[LATENCY_BUCKET_EDGES_US.len() - 1];
+            let us = LATENCY_BUCKET_EDGES_US.get(i).copied().unwrap_or(LAST_EDGE);
+            return Some(us as f64 / 1_000.0);
         }
     }
     None
@@ -80,35 +93,17 @@ pub struct WorkerStats {
     pub engine: EngineStatistics,
     /// Summed wall-clock seconds spent inside job step loops.
     pub busy_seconds: f64,
+    /// Jobs that reused the worker's warm session manager instead of
+    /// building a cold one.
+    pub warm_reuses: u64,
+    /// Session managers dropped for exceeding the retention budget.
+    pub session_shrinks: u64,
 }
 
-/// Sums two [`EngineStatistics`] field-wise (the engine itself has no
-/// cross-manager aggregation — each job runs its own manager).
+/// Sums two [`EngineStatistics`] field-wise. Thin wrapper around
+/// [`EngineStatistics::absorb`], kept for callers outside the engine.
 pub fn add_engine_statistics(acc: &mut EngineStatistics, s: &EngineStatistics) {
-    for (a, b) in [
-        (&mut acc.add_vec, &s.add_vec),
-        (&mut acc.add_mat, &s.add_mat),
-        (&mut acc.mv, &s.mv),
-        (&mut acc.mm, &s.mm),
-        (&mut acc.wop, &s.wop),
-        (&mut acc.wnorm, &s.wnorm),
-    ] {
-        a.lookups += b.lookups;
-        a.hits += b.hits;
-        a.misses += b.misses;
-        a.insertions += b.insertions;
-        a.evictions += b.evictions;
-        a.updates += b.updates;
-        a.cleared += b.cleared;
-    }
-    acc.vec_nodes += s.vec_nodes;
-    acc.mat_nodes += s.mat_nodes;
-    acc.vec_unique_len += s.vec_unique_len;
-    acc.vec_unique_capacity += s.vec_unique_capacity;
-    acc.mat_unique_len += s.mat_unique_len;
-    acc.mat_unique_capacity += s.mat_unique_capacity;
-    acc.distinct_weights += s.distinct_weights;
-    acc.compactions += s.compactions;
+    acc.absorb(s);
 }
 
 /// The service's shared metrics state.
@@ -116,7 +111,7 @@ pub fn add_engine_statistics(acc: &mut EngineStatistics, s: &EngineStatistics) {
 pub struct Metrics {
     /// Submit requests received (accepted + rejected).
     pub submitted: AtomicU64,
-    /// Jobs that ran the whole circuit.
+    /// Jobs that ran the whole circuit (including cache-served jobs).
     pub completed: AtomicU64,
     /// Jobs that stopped early (budget, engine error, or eviction).
     pub aborted: AtomicU64,
@@ -126,6 +121,13 @@ pub struct Metrics {
     pub evicted: AtomicU64,
     /// Jobs currently inside a worker.
     pub running: AtomicU64,
+    /// Completed jobs answered from the result cache without queueing.
+    pub cache_served: AtomicU64,
+    /// TCP connections accepted by the event loop.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused (with a structured error response) because the
+    /// event loop was at its connection cap.
+    pub connections_rejected: AtomicU64,
     /// Latency from submission to terminal state.
     pub latency: LatencyHistogram,
     /// Per-worker aggregates, indexed by worker id.
@@ -141,13 +143,23 @@ impl Metrics {
         }
     }
 
-    /// Folds one finished job into a worker's aggregate row.
-    pub fn record_worker_job(&self, worker: usize, engine: &EngineStatistics, seconds: f64) {
+    /// Folds one finished job into a worker's aggregate row. `session`
+    /// carries the worker session's lifetime recycling counters; the row
+    /// stores the latest snapshot (the counters are already cumulative).
+    pub fn record_worker_job(
+        &self,
+        worker: usize,
+        engine: &EngineStatistics,
+        seconds: f64,
+        session: SessionStats,
+    ) {
         let mut rows = self.workers.lock();
         if let Some(row) = rows.get_mut(worker) {
             row.jobs += 1;
             row.busy_seconds += seconds;
-            add_engine_statistics(&mut row.engine, engine);
+            row.engine.absorb(engine);
+            row.warm_reuses = session.warm_reuses;
+            row.session_shrinks = session.shrinks;
         }
     }
 }
@@ -159,20 +171,60 @@ mod tests {
     #[test]
     fn histogram_buckets_and_quantiles() {
         let h = LatencyHistogram::default();
-        for ms in [0, 1, 3, 9, 80, 80, 80, 400, 6_000, 100_000] {
-            h.record(Duration::from_millis(ms));
+        for us in [50, 100, 150, 999, 80_000, 80_000, 80_000, 400_000] {
+            h.record(Duration::from_micros(us));
         }
+        h.record(Duration::from_secs(30)); // overflow
+        h.record(Duration::from_secs(3_000)); // far overflow
         let counts = h.counts();
         assert_eq!(counts.iter().sum::<u64>(), 10);
-        assert_eq!(counts[0], 2); // 0ms and 1ms in the ≤1ms bucket
-        assert_eq!(counts[LATENCY_BUCKETS - 1], 2); // both overflows
-        assert_eq!(histogram_quantile_ms(&counts, 0.5), Some(100));
-        assert_eq!(histogram_quantile_ms(&counts, 1.0), Some(5_000));
-        assert_eq!(histogram_quantile_ms(&counts, 0.0), Some(1));
+        assert_eq!(counts[0], 2, "50µs and 100µs in the ≤100µs bucket");
+        assert_eq!(counts[LATENCY_BUCKETS - 1], 2, "both overflows");
+        assert_eq!(histogram_quantile_ms(&counts, 0.5), Some(102.4));
+        assert_eq!(histogram_quantile_ms(&counts, 1.0), Some(26_214.4));
+        assert_eq!(histogram_quantile_ms(&counts, 0.0), Some(0.1));
         assert_eq!(
             histogram_quantile_ms(&[0; LATENCY_BUCKETS], 0.5),
             None,
             "empty histogram has no quantiles"
+        );
+    }
+
+    /// Regression for the coarse-bucket bug: p50/p99 of a known sample
+    /// must land within one (factor-2) bucket of the true quantiles, at
+    /// sub-millisecond scales too.
+    #[test]
+    fn quantiles_land_within_one_bucket_of_truth() {
+        let h = LatencyHistogram::default();
+        // 100 samples: true p50 = 3ms, true p99 = 40ms, with a
+        // sub-millisecond cluster the old linear buckets flattened.
+        let mut sample_us: Vec<u64> = Vec::new();
+        sample_us.extend(std::iter::repeat_n(150, 20)); // 0.15ms
+        sample_us.extend(std::iter::repeat_n(3_000, 70)); // 3ms
+        sample_us.extend(std::iter::repeat_n(40_000, 9)); // 40ms
+        sample_us.push(700_000); // one 700ms straggler
+        for &us in &sample_us {
+            h.record(Duration::from_micros(us));
+        }
+        let counts = h.counts();
+
+        let p50 = histogram_quantile_ms(&counts, 0.50).expect("non-empty");
+        let p99 = histogram_quantile_ms(&counts, 0.99).expect("non-empty");
+        // upper-edge estimates: at least the true value, at most 2× it
+        assert!(
+            (3.0..=6.0).contains(&p50),
+            "p50 {p50} not within one bucket of 3ms"
+        );
+        assert!(
+            (40.0..=80.0).contains(&p99),
+            "p99 {p99} not within one bucket of 40ms"
+        );
+
+        // the sub-ms cluster is resolved, not folded into a 1ms bucket
+        let p10 = histogram_quantile_ms(&counts, 0.10).expect("non-empty");
+        assert!(
+            (0.15..=0.3).contains(&p10),
+            "p10 {p10} must stay sub-millisecond"
         );
     }
 
@@ -190,5 +242,26 @@ mod tests {
         assert_eq!(a.mv.hits, 14);
         assert_eq!(a.vec_nodes, 10);
         assert_eq!(a.compactions, 2);
+    }
+
+    #[test]
+    fn worker_rows_take_latest_session_snapshot() {
+        let m = Metrics::new(1);
+        let e = EngineStatistics::default();
+        let s1 = SessionStats {
+            jobs: 1,
+            warm_reuses: 0,
+            shrinks: 0,
+        };
+        let s2 = SessionStats {
+            jobs: 2,
+            warm_reuses: 1,
+            shrinks: 0,
+        };
+        m.record_worker_job(0, &e, 0.1, s1);
+        m.record_worker_job(0, &e, 0.1, s2);
+        let rows = m.workers.lock();
+        assert_eq!(rows[0].jobs, 2);
+        assert_eq!(rows[0].warm_reuses, 1, "cumulative, not summed twice");
     }
 }

@@ -1,4 +1,4 @@
-//! A bounded, scheme-aware priority job queue.
+//! A bounded, scheme-aware priority job queue with per-class sub-queues.
 //!
 //! Admission control happens at push time: a full queue refuses the job
 //! with a structured reason instead of blocking the submitter (the
@@ -6,6 +6,16 @@
 //! buffering). Workers pop the highest-priority job matching their pinned
 //! scheme class; FIFO order breaks priority ties so equal-priority jobs
 //! cannot starve each other.
+//!
+//! Each [`SchemeClass`] has its own job vector and its own condvar under
+//! one shared mutex. A push wakes exactly one worker of the matching
+//! class (`notify_one` on that class's condvar) instead of every worker
+//! in the pool — the single-condvar `notify_all` design woke all workers
+//! on every push, and most woke only to find nothing they could run.
+//! Closing still broadcasts on every class so exiting workers drain
+//! promptly, and [`JobQueue::pop`] returns `None` as soon as the queue is
+//! closed with no work *of the caller's class* — jobs of other classes
+//! never keep a worker blocked.
 
 use crate::lockaudit::{DebugCondvar, DebugMutex, DebugMutexGuard};
 use crate::service::SchemeClass;
@@ -50,46 +60,60 @@ impl std::fmt::Display for AdmissionError {
 
 #[derive(Debug)]
 struct Inner<T> {
-    jobs: Vec<QueuedJob<T>>,
+    /// One sub-queue per class, indexed by [`SchemeClass::index`].
+    classes: [Vec<QueuedJob<T>>; SchemeClass::COUNT],
+    /// Total queued jobs across classes (the admission bound is global).
+    len: usize,
     next_seq: u64,
     closed: bool,
 }
 
-/// The shared queue: a mutex-protected vector plus a condvar for idle
-/// workers. Linear scans are deliberate — the queue is bounded and small
-/// (tens of entries), so a heap buys nothing over obvious code.
+/// The shared queue: mutex-protected per-class vectors plus one condvar
+/// per class for idle workers of that class. Linear scans within a class
+/// are deliberate — the queue is bounded and small (tens of entries), so
+/// a heap buys nothing over obvious code.
 #[derive(Debug)]
 pub struct JobQueue<T> {
     inner: DebugMutex<Inner<T>>,
-    available: DebugCondvar,
+    available: [DebugCondvar; SchemeClass::COUNT],
     capacity: usize,
 }
 
 impl<T> JobQueue<T> {
-    /// Creates a queue admitting at most `capacity` waiting jobs.
+    /// Creates a queue admitting at most `capacity` waiting jobs (across
+    /// all classes).
     pub fn new(capacity: usize) -> Self {
         JobQueue {
             inner: DebugMutex::new(
                 "queue.inner",
                 Inner {
-                    jobs: Vec::new(),
+                    classes: std::array::from_fn(|_| Vec::new()),
+                    len: 0,
                     next_seq: 0,
                     closed: false,
                 },
             ),
-            available: DebugCondvar::new(),
+            available: std::array::from_fn(|_| DebugCondvar::new()),
             capacity: capacity.max(1),
         }
     }
 
-    /// Current queue depth.
+    /// Current queue depth across all classes (one lock acquisition).
     pub fn len(&self) -> usize {
-        self.lock().jobs.len()
+        self.lock().len
     }
 
-    /// Whether the queue is empty.
+    /// Whether the queue is empty — a single lock acquisition, not a
+    /// `len()` round-trip (the event loop queries depth per tick).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lock().len == 0
+    }
+
+    /// Current depth of each class's sub-queue, indexed by
+    /// [`SchemeClass::index`], in one lock acquisition.
+    pub fn depths(&self) -> [usize; SchemeClass::COUNT] {
+        let inner = self.lock();
+        std::array::from_fn(|i| inner.classes[i].len())
     }
 
     /// The admission bound.
@@ -101,7 +125,8 @@ impl<T> JobQueue<T> {
         self.inner.lock()
     }
 
-    /// Admits a job, or refuses with a reason.
+    /// Admits a job, or refuses with a reason. On success exactly one
+    /// worker of the job's class is woken.
     ///
     /// # Errors
     ///
@@ -118,46 +143,54 @@ impl<T> JobQueue<T> {
         if inner.closed {
             return Err(AdmissionError::Closed);
         }
-        if inner.jobs.len() >= self.capacity {
+        if inner.len >= self.capacity {
             return Err(AdmissionError::Full {
                 capacity: self.capacity,
             });
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.jobs.push(QueuedJob {
+        inner.classes[class.index()].push(QueuedJob {
             id,
             priority,
             seq,
             class,
             payload,
         });
-        self.available.notify_all();
+        inner.len += 1;
+        self.available[class.index()].notify_one();
         Ok(())
     }
 
-    /// Blocks until a job matching `class` is available (returning it),
-    /// or the queue is closed *and* holds no matching work (returning
-    /// `None` — the worker should exit).
+    /// Blocks until a job of `class` is available (returning it), or the
+    /// queue is closed and holds no work *of this class* (returning
+    /// `None` — the worker should exit). Jobs of other classes never
+    /// keep the caller blocked after a close.
     pub fn pop(&self, class: SchemeClass) -> Option<QueuedJob<T>> {
+        let ci = class.index();
         let mut inner = self.lock();
         loop {
-            if let Some(idx) = best_match(&inner.jobs, class) {
-                return Some(inner.jobs.swap_remove(idx));
+            if let Some(idx) = best_match(&inner.classes[ci]) {
+                let job = inner.classes[ci].swap_remove(idx);
+                inner.len -= 1;
+                return Some(job);
             }
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner);
+            inner = self.available[ci].wait(inner);
         }
     }
 
-    /// Stops admission and wakes every waiting worker. Already-queued
-    /// jobs can still be popped (drain) or swept out with
-    /// [`JobQueue::evict_all`] (shutdown).
+    /// Stops admission and wakes every waiting worker of every class.
+    /// Already-queued jobs can still be popped (drain) or swept out with
+    /// [`JobQueue::evict_all`] (shutdown) /
+    /// [`JobQueue::evict_unmatched`] (stranded-job abort).
     pub fn close(&self) {
         self.lock().closed = true;
-        self.available.notify_all();
+        for cv in &self.available {
+            cv.notify_all();
+        }
     }
 
     /// Whether [`JobQueue::close`] has been called.
@@ -168,18 +201,40 @@ impl<T> JobQueue<T> {
     /// Removes and returns every queued job (shutdown eviction).
     pub fn evict_all(&self) -> Vec<QueuedJob<T>> {
         let mut inner = self.lock();
-        let jobs = std::mem::take(&mut inner.jobs);
-        self.available.notify_all();
+        let mut jobs = Vec::with_capacity(inner.len);
+        for c in &mut inner.classes {
+            jobs.append(c);
+        }
+        inner.len = 0;
+        for cv in &self.available {
+            cv.notify_all();
+        }
+        jobs
+    }
+
+    /// Removes and returns every queued job whose class fails
+    /// `has_worker`. A drain would otherwise hang on these stranded jobs:
+    /// no worker of their class exists to run them, so they would sit in
+    /// the closed queue keeping the pending count above zero forever.
+    /// The caller aborts each returned job with an eviction outcome.
+    pub fn evict_unmatched(&self, has_worker: impl Fn(SchemeClass) -> bool) -> Vec<QueuedJob<T>> {
+        let mut inner = self.lock();
+        let mut jobs = Vec::new();
+        for class in SchemeClass::ALL {
+            if !has_worker(class) {
+                jobs.append(&mut inner.classes[class.index()]);
+            }
+        }
+        inner.len -= jobs.len();
         jobs
     }
 }
 
-/// Index of the best job for `class`: highest priority, then lowest
-/// sequence number (FIFO within a priority level).
-fn best_match<T>(jobs: &[QueuedJob<T>], class: SchemeClass) -> Option<usize> {
+/// Index of the best job within one class's sub-queue: highest priority,
+/// then lowest sequence number (FIFO within a priority level).
+fn best_match<T>(jobs: &[QueuedJob<T>]) -> Option<usize> {
     jobs.iter()
         .enumerate()
-        .filter(|(_, j)| j.class == class)
         .min_by_key(|(_, j)| (std::cmp::Reverse(j.priority), j.seq))
         .map(|(i, _)| i)
 }
@@ -187,6 +242,7 @@ fn best_match<T>(jobs: &[QueuedJob<T>], class: SchemeClass) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn admission_rejects_when_full_and_after_close() {
@@ -214,10 +270,13 @@ mod tests {
         q.push(2, 9, SchemeClass::Algebraic, 20).unwrap();
         q.push(3, 9, SchemeClass::Numeric, 30).unwrap();
         q.push(4, 9, SchemeClass::Numeric, 40).unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.depths(), [3, 1]);
         assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 30);
         assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 40);
         assert_eq!(q.pop(SchemeClass::Numeric).unwrap().payload, 10);
         assert_eq!(q.pop(SchemeClass::Algebraic).unwrap().payload, 20);
+        assert!(q.is_empty());
         q.close();
         assert!(q.pop(SchemeClass::Numeric).is_none(), "closed and empty");
     }
@@ -230,5 +289,58 @@ mod tests {
         let evicted = q.evict_all();
         assert_eq!(evicted.len(), 2);
         assert!(q.is_empty());
+        assert_eq!(q.depths(), [0, 0]);
+    }
+
+    /// Regression for the drain hang: a closed queue still holding only
+    /// class-B jobs must release a class-A worker immediately, and the
+    /// stranded class-B jobs must be evictable for abort instead of
+    /// sitting in the closed queue forever.
+    #[test]
+    fn close_releases_worker_of_other_class_and_strands_are_evictable() {
+        let q: std::sync::Arc<JobQueue<u32>> = std::sync::Arc::new(JobQueue::new(8));
+        // only an algebraic job is queued; the single worker is numeric
+        q.push(1, 0, SchemeClass::Algebraic, 42).unwrap();
+
+        let worker = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop(SchemeClass::Numeric))
+        };
+        // let the worker reach its wait, then close
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+
+        // the numeric worker must come back with None even though a
+        // (non-matching) job is still queued
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !worker.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "numeric worker is hung on a queue holding only algebraic work"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(worker.join().unwrap().is_none());
+
+        // the stranded algebraic job is evicted for abort, not forgotten
+        let stranded = q.evict_unmatched(|c| c == SchemeClass::Numeric);
+        assert_eq!(stranded.len(), 1);
+        assert_eq!(stranded[0].payload, 42);
+        assert!(q.is_empty());
+    }
+
+    /// Targeted wakeups: a push of one class must not leave a worker of
+    /// that class sleeping (liveness), delivered through the class's own
+    /// condvar rather than a broadcast.
+    #[test]
+    fn push_wakes_a_worker_of_the_matching_class() {
+        let q: std::sync::Arc<JobQueue<u32>> = std::sync::Arc::new(JobQueue::new(8));
+        let worker = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop(SchemeClass::Algebraic).map(|j| j.payload))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.push(7, 0, SchemeClass::Algebraic, 77).unwrap();
+        assert_eq!(worker.join().unwrap(), Some(77));
     }
 }

@@ -1,61 +1,328 @@
-//! The TCP front-end: line-delimited JSON over localhost.
+//! The TCP front-end: line-delimited JSON over localhost, served by a
+//! single-threaded event loop.
 //!
-//! One thread per connection, each serving any number of requests. The
-//! framing layer is deliberately paranoid — a frame longer than
+//! The loop multiplexes every connection over nonblocking sockets: one
+//! `accept` pass, one read/parse pass, one pending-verb poll, one write
+//! pass, then (only when nothing moved) a short idle sleep. No thread is
+//! ever spawned per connection, so the old failure mode — a refused
+//! `thread::spawn` silently dropping the socket — cannot exist; instead a
+//! connection beyond [`ServeConfig::max_connections`] receives a
+//! structured `error` response, is counted in the `metrics` verb, and is
+//! closed.
+//!
+//! The framing layer stays deliberately paranoid — a frame longer than
 //! [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES) gets a
 //! structured error and the connection is closed (there is no way to
 //! resynchronise mid-frame); malformed JSON or unknown verbs get a
-//! structured error and the connection *stays open*. Nothing a client
-//! sends can panic the server.
+//! structured error and the connection *stays open*; a truncated final
+//! line before EOF is answered as a (garbage) frame. Nothing a client
+//! sends can panic or stall the server: requests are handled with the
+//! core's non-blocking verb surface, so a slow `wait` on one connection
+//! never delays another.
+//!
+//! [`ServeConfig::max_connections`]: crate::service::ServeConfig::max_connections
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{error_response, Request, MAX_FRAME_BYTES};
 use crate::service::{Response, ServeCore};
 
-/// What reading one frame produced.
-enum Frame {
-    /// A complete line (without the trailing newline).
-    Line(Vec<u8>),
-    /// Peer closed the connection cleanly.
-    Eof,
-    /// The line exceeded [`MAX_FRAME_BYTES`]; the connection is
-    /// unrecoverable.
-    Oversized,
+/// How long the loop sleeps when a full pass made no progress.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// How long a finished shutdown waits for response bytes to drain before
+/// the loop exits anyway (a peer that never reads cannot hold the
+/// process hostage).
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_secs(5);
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 4096;
+
+/// A verb whose response is not ready yet; re-polled by the loop.
+#[derive(Debug)]
+enum Pending {
+    /// `wait`: resolves when the job turns terminal or the deadline
+    /// passes.
+    Wait { job: u64, deadline: Instant },
+    /// `drain`: resolves when nothing is pending in the registry.
+    Drain,
+    /// `shutdown`: resolves when the pool is idle and joined.
+    Shutdown {
+        evicted_queued: u64,
+        cancelled_running: u64,
+    },
 }
 
-/// Reads one newline-terminated frame, refusing to buffer more than
-/// `MAX_FRAME_BYTES` of it.
-fn read_frame(reader: &mut BufReader<TcpStream>) -> io::Result<Frame> {
-    let mut line = Vec::new();
-    let mut limited = reader.take((MAX_FRAME_BYTES + 1) as u64);
-    limited.read_until(b'\n', &mut line)?;
-    if line.is_empty() {
-        return Ok(Frame::Eof);
-    }
-    if line.last() != Some(&b'\n') {
-        // Either the peer hung up mid-line (short frame, no newline) or
-        // the frame is oversized. Distinguish by length.
-        if line.len() > MAX_FRAME_BYTES {
-            return Ok(Frame::Oversized);
+/// Per-connection state in the event loop.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// At most one in-flight slow verb; while set, later frames stay
+    /// buffered so responses keep request order.
+    pending: Option<Pending>,
+    /// Close once `write_buf` drains (oversized frame or shutdown).
+    close_after_flush: bool,
+    saw_eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending: None,
+            close_after_flush: false,
+            saw_eof: false,
+            dead: false,
         }
-        // Truncated final line: treat as a complete (garbage) frame so
-        // the parser can answer with a structured error before EOF.
     }
-    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
-        line.pop();
+
+    /// Queues one response line for the write pass.
+    fn push_line(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
     }
-    Ok(Frame::Line(line))
+
+    /// Drains the socket into `read_buf` without blocking. Returns
+    /// whether anything happened.
+    fn pump_reads(&mut self) -> bool {
+        if self.dead || self.saw_eof || self.close_after_flush {
+            return false;
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            // Past the frame bound there is nothing useful to buffer —
+            // the parse pass will answer Oversized and close.
+            if self.read_buf.len() > MAX_FRAME_BYTES {
+                break;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.saw_eof = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Parses and handles buffered frames until one goes pending, the
+    /// buffer runs dry, or the connection turns unrecoverable.
+    fn process_frames(&mut self, core: &Arc<ServeCore>, stopping: &mut bool) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progress = false;
+        while self.pending.is_none() && !self.close_after_flush {
+            let line = match self.read_buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let mut line: Vec<u8> = self.read_buf.drain(..=pos).collect();
+                    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    line
+                }
+                // No newline within the frame bound: unrecoverable.
+                None if self.read_buf.len() > MAX_FRAME_BYTES => {
+                    self.push_line(&error_response(&format!(
+                        "frame exceeds {MAX_FRAME_BYTES} bytes; closing connection"
+                    )));
+                    self.close_after_flush = true;
+                    progress = true;
+                    break;
+                }
+                // Peer hung up mid-line: answer the truncated tail as a
+                // complete (garbage) frame before the close.
+                None if self.saw_eof && !self.read_buf.is_empty() => {
+                    let mut line = std::mem::take(&mut self.read_buf);
+                    while line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    line
+                }
+                None => break,
+            };
+            progress = true;
+            if line.len() > MAX_FRAME_BYTES {
+                self.push_line(&error_response(&format!(
+                    "frame exceeds {MAX_FRAME_BYTES} bytes; closing connection"
+                )));
+                self.close_after_flush = true;
+                break;
+            }
+            if line.iter().all(|b| b.is_ascii_whitespace()) {
+                continue; // ignore blank keep-alive lines
+            }
+            let text = match std::str::from_utf8(&line) {
+                Ok(t) => t,
+                Err(_) => {
+                    self.push_line(&error_response("frame is not valid UTF-8"));
+                    continue;
+                }
+            };
+            match Request::parse(text) {
+                Err(reason) => self.push_line(&error_response(&reason)),
+                Ok(Request::Wait { job, timeout }) => match core.poll_wait(job) {
+                    Some(resp) => self.push_line(&resp.render()),
+                    None => {
+                        self.pending = Some(Pending::Wait {
+                            job,
+                            deadline: Instant::now() + timeout,
+                        });
+                    }
+                },
+                Ok(Request::Drain) => {
+                    core.begin_drain();
+                    match core.try_drain() {
+                        Some(resp) => self.push_line(&resp.render()),
+                        None => self.pending = Some(Pending::Drain),
+                    }
+                }
+                Ok(Request::Shutdown) => {
+                    let (evicted_queued, cancelled_running) = core.begin_shutdown();
+                    match core.try_complete_shutdown(evicted_queued, cancelled_running) {
+                        Some(resp) => {
+                            self.push_line(&resp.render());
+                            self.close_after_flush = true;
+                            *stopping = true;
+                        }
+                        None => {
+                            self.pending = Some(Pending::Shutdown {
+                                evicted_queued,
+                                cancelled_running,
+                            });
+                        }
+                    }
+                }
+                // submit / status / metrics never block.
+                Ok(req) => self.push_line(&core.handle(req).render()),
+            }
+        }
+        progress
+    }
+
+    /// Re-polls this connection's pending verb, if any.
+    fn poll_pending(
+        &mut self,
+        core: &Arc<ServeCore>,
+        epoch_moved: bool,
+        now: Instant,
+        stopping: &mut bool,
+    ) -> bool {
+        match self.pending {
+            None => false,
+            Some(Pending::Wait { job, deadline }) => {
+                if !(epoch_moved || *stopping || now >= deadline) {
+                    return false;
+                }
+                if let Some(resp) = core.poll_wait(job) {
+                    self.pending = None;
+                    self.push_line(&resp.render());
+                    return true;
+                }
+                if now >= deadline {
+                    self.pending = None;
+                    let resp = Response::Error {
+                        message: format!("timed out waiting for job {job}"),
+                    };
+                    self.push_line(&resp.render());
+                    return true;
+                }
+                false
+            }
+            Some(Pending::Drain) => match core.try_drain() {
+                Some(resp) => {
+                    self.pending = None;
+                    self.push_line(&resp.render());
+                    true
+                }
+                None => false,
+            },
+            Some(Pending::Shutdown {
+                evicted_queued,
+                cancelled_running,
+            }) => match core.try_complete_shutdown(evicted_queued, cancelled_running) {
+                Some(resp) => {
+                    self.pending = None;
+                    self.push_line(&resp.render());
+                    self.close_after_flush = true;
+                    *stopping = true;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Writes as much of `write_buf` as the socket accepts without
+    /// blocking; marks the connection dead once a close-after-flush has
+    /// fully drained (or the peer is gone).
+    fn flush_writes(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progress = false;
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.write_buf.is_empty() && self.close_after_flush {
+            self.dead = true;
+        }
+        progress
+    }
+
+    /// Whether the connection has nothing left to do and can be dropped.
+    fn finished(&self) -> bool {
+        self.dead
+            || (self.saw_eof
+                && self.read_buf.is_empty()
+                && self.pending.is_none()
+                && self.write_buf.is_empty())
+    }
 }
 
-fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
-    crate::lockaudit::blocking_op("tcp write_line");
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()
+/// Best-effort structured refusal for a connection over the cap; bounded
+/// by a short write timeout so a hostile peer cannot stall the loop.
+fn refuse_connection(mut stream: TcpStream) {
+    crate::lockaudit::blocking_op("refuse connection over cap");
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let line = error_response("server connection limit reached; retry later");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 /// A bound TCP server wrapping a [`ServeCore`].
@@ -64,7 +331,6 @@ pub struct Server {
     core: Arc<ServeCore>,
     listener: TcpListener,
     addr: SocketAddr,
-    stopping: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -81,7 +347,6 @@ impl Server {
             core,
             listener,
             addr,
-            stopping: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -90,93 +355,89 @@ impl Server {
         self.addr
     }
 
-    /// Serves connections until a `shutdown` request completes. Blocks
-    /// the calling thread.
+    /// Runs the event loop until a `shutdown` request completes and its
+    /// response has been flushed (or the flush grace expires). Blocks the
+    /// calling thread.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures (per-connection errors are
-    /// contained in their threads).
+    /// Propagates listener-level I/O failures (per-connection errors are
+    /// contained to their connection).
     pub fn run(self) -> io::Result<()> {
-        for conn in self.listener.incoming() {
-            if self.stopping.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
-            };
-            let core = Arc::clone(&self.core);
-            let stopping = Arc::clone(&self.stopping);
-            let addr = self.addr;
-            std::thread::Builder::new()
-                .name("aq-serve-conn".into())
-                .spawn(move || {
-                    serve_connection(stream, core, stopping, addr);
-                })
-                .ok();
-        }
-        Ok(())
-    }
-}
+        self.listener.set_nonblocking(true)?;
+        let core = self.core;
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut stopping = false;
+        let mut stop_deadline: Option<Instant> = None;
+        let mut last_epoch = core.completion_epoch();
+        loop {
+            let mut progress = false;
 
-fn serve_connection(
-    stream: TcpStream,
-    core: Arc<ServeCore>,
-    stopping: Arc<AtomicBool>,
-    server_addr: SocketAddr,
-) {
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(f) => f,
-            Err(_) => return, // connection-level I/O failure; nothing to say
-        };
-        let line = match frame {
-            Frame::Eof => return,
-            Frame::Oversized => {
-                let _ = write_line(
-                    &mut writer,
-                    &error_response(&format!(
-                        "frame exceeds {MAX_FRAME_BYTES} bytes; closing connection"
-                    )),
-                );
-                return;
+            // 1. Accept everything waiting (unless stopping).
+            if !stopping {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            progress = true;
+                            if conns.len() >= core.config().max_connections {
+                                core.note_connection_rejected();
+                                refuse_connection(stream);
+                                continue;
+                            }
+                            if stream.set_nonblocking(true).is_err() {
+                                core.note_connection_rejected();
+                                continue;
+                            }
+                            core.note_connection_accepted();
+                            conns.push(Conn::new(stream));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                        Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
             }
-            Frame::Line(bytes) => bytes,
-        };
-        if line.iter().all(|b| b.is_ascii_whitespace()) {
-            continue; // ignore blank keep-alive lines
-        }
-        let text = match std::str::from_utf8(&line) {
-            Ok(t) => t,
-            Err(_) => {
-                let _ = write_line(&mut writer, &error_response("frame is not valid UTF-8"));
-                continue;
+
+            // 2. Read and handle what each connection has buffered.
+            for conn in &mut conns {
+                progress |= conn.pump_reads();
+                progress |= conn.process_frames(&core, &mut stopping);
             }
-        };
-        let request = match Request::parse(text) {
-            Ok(r) => r,
-            Err(reason) => {
-                let _ = write_line(&mut writer, &error_response(&reason));
-                continue;
+
+            // 3. Re-poll pending slow verbs when anything completed.
+            let epoch = core.completion_epoch();
+            let epoch_moved = epoch != last_epoch;
+            last_epoch = epoch;
+            let now = Instant::now();
+            for conn in &mut conns {
+                progress |= conn.poll_pending(&core, epoch_moved, now, &mut stopping);
             }
-        };
-        let is_shutdown = matches!(request, Request::Shutdown);
-        let response = core.handle(request);
-        let _ = write_line(&mut writer, &response.render());
-        if is_shutdown && matches!(response, Response::ShutdownDone { .. }) {
-            // Stop the accept loop: raise the flag, then poke the
-            // listener with a throwaway connection so `incoming()`
-            // returns and observes it.
-            stopping.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(server_addr);
-            return;
+
+            // 4. Write pass.
+            for conn in &mut conns {
+                progress |= conn.flush_writes();
+            }
+
+            // 5. Reap finished connections.
+            let before = conns.len();
+            conns.retain(|c| !c.finished());
+            progress |= conns.len() != before;
+
+            if stopping {
+                let deadline =
+                    *stop_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_GRACE);
+                let drained = conns
+                    .iter()
+                    .all(|c| c.write_buf.is_empty() && c.pending.is_none());
+                if drained || Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+            if !progress {
+                crate::lockaudit::blocking_op("event-loop idle sleep");
+                std::thread::sleep(IDLE_SLEEP);
+            }
         }
     }
 }

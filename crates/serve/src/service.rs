@@ -35,12 +35,15 @@ use std::time::{Duration, Instant};
 
 use aq_circuits::Circuit;
 use aq_dd::EngineStatistics;
-use aq_sim::{run_job, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SimOptions};
+use aq_sim::{
+    EngineSession, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SessionConfig, SimOptions,
+};
 
+use crate::cache::{CacheKey, ResultCache, ResultCacheStats};
 use crate::json::Json;
 use crate::lockaudit::{DebugCondvar, DebugMutex, DebugMutexGuard};
 use crate::metrics::{
-    histogram_quantile_ms, Metrics, WorkerStats, LATENCY_BUCKETS, LATENCY_BUCKET_EDGES_MS,
+    histogram_quantile_ms, Metrics, WorkerStats, LATENCY_BUCKETS, LATENCY_BUCKET_EDGES_US,
 };
 use crate::protocol::{Request, SubmitRequest};
 use crate::queue::JobQueue;
@@ -59,6 +62,21 @@ pub enum SchemeClass {
 }
 
 impl SchemeClass {
+    /// Number of classes (size of per-class arrays in the queue).
+    pub const COUNT: usize = 2;
+
+    /// Every class, in [`SchemeClass::index`] order.
+    pub const ALL: [SchemeClass; SchemeClass::COUNT] =
+        [SchemeClass::Numeric, SchemeClass::Algebraic];
+
+    /// Dense index of this class, for per-class sub-queue arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            SchemeClass::Numeric => 0,
+            SchemeClass::Algebraic => 1,
+        }
+    }
+
     /// The class a scheme belongs to.
     pub fn of(scheme: &SchemeSpec) -> SchemeClass {
         if scheme.is_algebraic() {
@@ -95,6 +113,15 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Where per-job abort/eviction checkpoints are written.
     pub checkpoint_dir: PathBuf,
+    /// Bound on memoized completed outcomes in the content-addressed
+    /// result cache (`0` disables the cache).
+    pub result_cache_capacity: usize,
+    /// Per-worker session retention budget, in arena/unique-table slots
+    /// (see [`aq_sim::SessionConfig::max_retained_capacity`]).
+    pub session_max_retained_capacity: usize,
+    /// Bound on simultaneously open TCP connections in the event loop;
+    /// connections beyond it receive a structured error and are closed.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +130,9 @@ impl Default for ServeConfig {
             workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
             queue_capacity: 64,
             checkpoint_dir: std::env::temp_dir().join("aq-serve-checkpoints"),
+            result_cache_capacity: 256,
+            session_max_retained_capacity: SessionConfig::default().max_retained_capacity,
+            max_connections: 128,
         }
     }
 }
@@ -178,6 +208,10 @@ struct JobRecord {
     submitted_at: Instant,
     outcome: Option<JobOutcome>,
     cancel: Arc<AtomicBool>,
+    /// Result-cache key to fill on completion. `None` for resumed jobs
+    /// (their outcome depends on checkpoint state the key cannot see) and
+    /// for jobs that were themselves served from the cache.
+    cache_key: Option<CacheKey>,
 }
 
 #[derive(Debug, Default)]
@@ -197,6 +231,12 @@ struct Shared {
     terminal: DebugCondvar,
     next_id: AtomicU64,
     metrics: Metrics,
+    /// Content-addressed memo of completed outcomes. Locked strictly
+    /// *after* releasing the registry lock (never both at once).
+    result_cache: DebugMutex<ResultCache>,
+    /// Bumped on every terminal transition; the event loop re-polls its
+    /// pending `wait` verbs only when this moves.
+    completion_epoch: AtomicU64,
 }
 
 impl Shared {
@@ -232,10 +272,22 @@ impl Shared {
                 }
             }
         }
+        // A completed, non-resumed outcome with a key becomes a cache
+        // fill — staged here and performed only after the registry lock
+        // is released (lock-order discipline: never hold two locks).
+        let fill = if outcome.aborted.is_none() && !outcome.resumed {
+            rec.cache_key.take().map(|key| (key, outcome.clone()))
+        } else {
+            None
+        };
         rec.outcome = Some(outcome);
         self.metrics.latency.record(latency);
         reg.pending = reg.pending.saturating_sub(1);
         drop(reg);
+        if let Some((key, memo)) = fill {
+            self.result_cache.lock().insert(key, memo);
+        }
+        self.completion_epoch.fetch_add(1, Ordering::Release);
         self.terminal.notify_all();
     }
 }
@@ -285,13 +337,26 @@ pub struct MetricsReport {
     pub queue_depth: u64,
     /// Jobs inside workers right now.
     pub running: u64,
+    /// Completed jobs answered from the result cache without queueing
+    /// (subset of `completed`).
+    pub cache_served: u64,
+    /// Result-cache lifetime counters.
+    pub cache: ResultCacheStats,
+    /// Memoized outcomes currently stored.
+    pub cache_entries: u64,
+    /// Configured result-cache bound.
+    pub cache_capacity: u64,
+    /// TCP connections accepted by the event loop.
+    pub connections_accepted: u64,
+    /// Connections refused at the connection cap.
+    pub connections_rejected: u64,
     /// Latency histogram bucket counts (edges in
-    /// [`LATENCY_BUCKET_EDGES_MS`], plus overflow).
+    /// [`LATENCY_BUCKET_EDGES_US`], plus overflow).
     pub latency_counts: [u64; LATENCY_BUCKETS],
-    /// Median latency upper bound, ms.
-    pub p50_ms: Option<u64>,
-    /// 99th-percentile latency upper bound, ms.
-    pub p99_ms: Option<u64>,
+    /// Median latency upper bound, fractional ms.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency upper bound, fractional ms.
+    pub p99_ms: Option<f64>,
     /// Per-worker aggregates.
     pub workers: Vec<WorkerReport>,
 }
@@ -424,14 +489,34 @@ impl Response {
                 ("queue_depth", Json::Num(m.queue_depth as f64)),
                 ("running", Json::Num(m.running as f64)),
                 (
+                    "result_cache",
+                    Json::obj(vec![
+                        ("served", Json::Num(m.cache_served as f64)),
+                        ("hits", Json::Num(m.cache.hits as f64)),
+                        ("misses", Json::Num(m.cache.misses as f64)),
+                        ("insertions", Json::Num(m.cache.insertions as f64)),
+                        ("evictions", Json::Num(m.cache.evictions as f64)),
+                        ("hit_rate", Json::Num(m.cache.hit_rate())),
+                        ("entries", Json::Num(m.cache_entries as f64)),
+                        ("capacity", Json::Num(m.cache_capacity as f64)),
+                    ]),
+                ),
+                (
+                    "connections",
+                    Json::obj(vec![
+                        ("accepted", Json::Num(m.connections_accepted as f64)),
+                        ("rejected", Json::Num(m.connections_rejected as f64)),
+                    ]),
+                ),
+                (
                     "latency_ms",
                     Json::obj(vec![
                         (
                             "bucket_edges",
                             Json::Arr(
-                                LATENCY_BUCKET_EDGES_MS
+                                LATENCY_BUCKET_EDGES_US
                                     .iter()
-                                    .map(|&e| Json::Num(e as f64))
+                                    .map(|&e| Json::Num(e as f64 / 1_000.0))
                                     .collect(),
                             ),
                         ),
@@ -444,14 +529,8 @@ impl Response {
                                     .collect(),
                             ),
                         ),
-                        (
-                            "p50",
-                            m.p50_ms.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
-                        ),
-                        (
-                            "p99",
-                            m.p99_ms.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
-                        ),
+                        ("p50", m.p50_ms.map(Json::Num).unwrap_or(Json::Null)),
+                        ("p99", m.p99_ms.map(Json::Num).unwrap_or(Json::Null)),
                     ]),
                 ),
                 (
@@ -474,6 +553,8 @@ impl Response {
                                         ),
                                     ),
                                     ("compactions", Json::Num(w.stats.engine.compactions as f64)),
+                                    ("warm_reuses", Json::Num(w.stats.warm_reuses as f64)),
+                                    ("session_shrinks", Json::Num(w.stats.session_shrinks as f64)),
                                 ])
                             })
                             .collect(),
@@ -533,6 +614,11 @@ impl ServeCore {
             registry: DebugMutex::new("serve.registry", Registry::default()),
             terminal: DebugCondvar::new(),
             next_id: AtomicU64::new(1),
+            result_cache: DebugMutex::new(
+                "serve.result_cache",
+                ResultCache::new(cfg.result_cache_capacity),
+            ),
+            completion_epoch: AtomicU64::new(0),
             cfg,
         });
         let mut handles = Vec::with_capacity(workers.len());
@@ -604,8 +690,51 @@ impl ServeCore {
             Err(reason) => return reject(reason),
         };
 
+        // Content-addressed short-circuit: a repeated submission of work
+        // the cache has already seen completes immediately — before the
+        // queue, so a hit succeeds even while the queue is full. Resumed
+        // jobs are never cacheable (their result depends on checkpoint
+        // state the key cannot address).
+        let cache_key = if req.resume.is_none() {
+            Some(CacheKey::new(
+                &circuit,
+                start,
+                &req.scheme,
+                req.top_k,
+                &req.budget,
+            ))
+        } else {
+            None
+        };
+        let memoized = cache_key
+            .as_ref()
+            .and_then(|key| shared.result_cache.lock().get(key));
+
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let label = format!("{}/{}", req.circuit.label(), req.scheme.label());
+
+        if let Some(outcome) = memoized {
+            shared.metrics.cache_served.fetch_add(1, Ordering::Relaxed);
+            let record = JobRecord {
+                state: JobState::Queued,
+                label,
+                scheme: req.scheme.label(),
+                priority: req.priority,
+                submitted_at: Instant::now(),
+                outcome: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+                cache_key: None, // already cached; don't re-insert
+            };
+            {
+                let mut reg = shared.lock_registry();
+                reg.map.insert(id, record);
+                reg.pending += 1;
+            }
+            // Completes through the normal terminal path so every counter
+            // and the latency histogram (sub-ms buckets) see it.
+            shared.finish_job(id, outcome);
+            return Response::Submitted { job: id };
+        }
         let work = JobWork {
             circuit,
             start,
@@ -630,6 +759,7 @@ impl ServeCore {
             submitted_at: Instant::now(),
             outcome: None,
             cancel: Arc::new(AtomicBool::new(false)),
+            cache_key,
         };
 
         // Insert the record before queueing so a fast worker always finds
@@ -710,6 +840,10 @@ impl ServeCore {
                 stats,
             })
             .collect();
+        let (cache, cache_entries) = {
+            let c = shared.result_cache.lock();
+            (c.stats(), c.len() as u64)
+        };
         MetricsReport {
             submitted: shared.metrics.submitted.load(Ordering::Relaxed),
             completed: shared.metrics.completed.load(Ordering::Relaxed),
@@ -718,6 +852,12 @@ impl ServeCore {
             evicted: shared.metrics.evicted.load(Ordering::Relaxed),
             queue_depth: shared.queue.len() as u64,
             running: shared.metrics.running.load(Ordering::Relaxed),
+            cache_served: shared.metrics.cache_served.load(Ordering::Relaxed),
+            cache,
+            cache_entries,
+            cache_capacity: shared.cfg.result_cache_capacity as u64,
+            connections_accepted: shared.metrics.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: shared.metrics.connections_rejected.load(Ordering::Relaxed),
             p50_ms: histogram_quantile_ms(&latency_counts, 0.50),
             p99_ms: histogram_quantile_ms(&latency_counts, 0.99),
             latency_counts,
@@ -726,47 +866,116 @@ impl ServeCore {
     }
 
     fn drain(&self) -> Response {
-        let shared = &self.shared;
-        shared.queue.close();
-        let mut reg = shared.lock_registry();
-        while reg.pending > 0 {
-            reg = self.shared.terminal.wait(reg);
-        }
-        drop(reg);
-        Response::Drained {
-            completed: shared.metrics.completed.load(Ordering::Relaxed),
-            aborted: shared.metrics.aborted.load(Ordering::Relaxed),
+        self.begin_drain();
+        loop {
+            {
+                let mut reg = self.shared.lock_registry();
+                while reg.pending > 0 {
+                    reg = self.shared.terminal.wait(reg);
+                }
+            }
+            // The queue is closed, so pending cannot rise again; the poll
+            // succeeds on the first pass in practice and the loop is only
+            // belt-and-braces against a re-check racing the unlock.
+            if let Some(resp) = self.try_drain() {
+                return resp;
+            }
         }
     }
 
     fn shutdown(&self) -> Response {
+        let (evicted_queued, cancelled_running) = self.begin_shutdown();
+        loop {
+            {
+                let mut reg = self.shared.lock_registry();
+                while reg.pending > 0 {
+                    reg = self.shared.terminal.wait(reg);
+                }
+            }
+            if let Some(resp) = self.try_complete_shutdown(evicted_queued, cancelled_running) {
+                return resp;
+            }
+        }
+    }
+
+    // ---- non-blocking verb surface (event loop) -------------------------
+    //
+    // The TCP event loop cannot park a thread per slow verb, so the three
+    // blocking verbs split into begin/poll pairs: `begin_*` performs the
+    // state transition, `try_*`/`poll_*` checks for completion without
+    // blocking. The loop re-polls when [`ServeCore::completion_epoch`]
+    // moves.
+
+    /// The terminal-transition counter; changes whenever a pending `wait`,
+    /// `drain` or `shutdown` poll might newly succeed.
+    pub fn completion_epoch(&self) -> u64 {
+        self.shared.completion_epoch.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking `wait` poll: the status once the job is terminal (or
+    /// unknown), `None` while it is still in flight.
+    pub fn poll_wait(&self, job: u64) -> Option<Response> {
+        let reg = self.shared.lock_registry();
+        match reg.map.get(&job) {
+            None => Some(Response::UnknownJob { job }),
+            Some(rec) if rec.state.is_terminal() => {
+                Some(Response::Status(Box::new(JobStatusReport {
+                    job,
+                    state: rec.state,
+                    label: rec.label.clone(),
+                    scheme: rec.scheme.clone(),
+                    priority: rec.priority,
+                    outcome: rec.outcome.clone(),
+                })))
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// Starts a drain: closes admission and aborts *stranded* queued jobs
+    /// — jobs whose scheme class has no pinned worker, which would
+    /// otherwise leave the drain waiting forever. (Admission normally
+    /// prevents them; this is the fail-safe the drain contract needs.)
+    pub fn begin_drain(&self) {
         let shared = &self.shared;
         shared.queue.close();
+        let stranded = shared
+            .queue
+            .evict_unmatched(|class| shared.cfg.workers.contains(&class));
+        for q in stranded {
+            shared.finish_job(
+                q.id,
+                evicted_outcome("evicted: drain found no worker pinned to the job's scheme class"),
+            );
+        }
+    }
 
-        // Sweep out everything that never started…
+    /// Non-blocking drain poll; call after [`ServeCore::begin_drain`].
+    pub fn try_drain(&self) -> Option<Response> {
+        let shared = &self.shared;
+        if shared.lock_registry().pending > 0 {
+            return None;
+        }
+        Some(Response::Drained {
+            completed: shared.metrics.completed.load(Ordering::Relaxed),
+            aborted: shared.metrics.aborted.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Starts a shutdown: closes admission, sweeps out every queued job,
+    /// and cancels what is running (each job checkpoints itself). Returns
+    /// `(evicted_queued, cancelled_running)` for the final response.
+    pub fn begin_shutdown(&self) -> (u64, u64) {
+        let shared = &self.shared;
+        shared.queue.close();
         let evicted = shared.queue.evict_all();
         let evicted_queued = evicted.len() as u64;
         for q in evicted {
             shared.finish_job(
                 q.id,
-                JobOutcome {
-                    gates_applied: 0,
-                    seconds: 0.0,
-                    final_nodes: 0,
-                    statistics: EngineStatistics::default(),
-                    top_probabilities: Vec::new(),
-                    resumed: false,
-                    aborted: Some(JobAbortInfo {
-                        reason: "evicted: shutdown before the job started (resubmit to rerun)"
-                            .into(),
-                        checkpoint: None,
-                        evicted: true,
-                    }),
-                },
+                evicted_outcome("evicted: shutdown before the job started (resubmit to rerun)"),
             );
         }
-
-        // …cancel what is running (each job checkpoints itself)…
         let cancelled_running = {
             let reg = shared.lock_registry();
             let mut n = 0;
@@ -778,27 +987,73 @@ impl ServeCore {
             }
             n
         };
+        (evicted_queued, cancelled_running)
+    }
 
-        // …wait for the pool to go quiet and join it.
-        {
-            let mut reg = shared.lock_registry();
-            while reg.pending > 0 {
-                reg = self.shared.terminal.wait(reg);
-            }
+    /// Non-blocking shutdown poll; call after [`ServeCore::begin_shutdown`]
+    /// with its counts. Joins the (now idle) worker pool on success.
+    pub fn try_complete_shutdown(
+        &self,
+        evicted_queued: u64,
+        cancelled_running: u64,
+    ) -> Option<Response> {
+        if self.shared.lock_registry().pending > 0 {
+            return None;
         }
         let handles = std::mem::take(&mut *self.handles.lock());
         crate::lockaudit::blocking_op("join worker pool");
         for h in handles {
             let _ = h.join();
         }
-        Response::ShutdownDone {
+        Some(Response::ShutdownDone {
             evicted_queued,
             cancelled_running,
-        }
+        })
+    }
+
+    /// Counts one accepted TCP connection (event-loop bookkeeping).
+    pub fn note_connection_accepted(&self) {
+        self.shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one refused TCP connection (cap reached or accept failed).
+    pub fn note_connection_rejected(&self) {
+        self.shared
+            .metrics
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The zero-work aborted outcome drain/shutdown sweeps use.
+fn evicted_outcome(reason: &str) -> JobOutcome {
+    JobOutcome {
+        gates_applied: 0,
+        seconds: 0.0,
+        final_nodes: 0,
+        statistics: EngineStatistics::default(),
+        top_probabilities: Vec::new(),
+        resumed: false,
+        aborted: Some(JobAbortInfo {
+            reason: reason.into(),
+            checkpoint: None,
+            evicted: true,
+        }),
     }
 }
 
 fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
+    // The worker's persistent engine session: one warm `Manager` per
+    // scheme kind, budget-reset between jobs and reused across them, so
+    // steady-state jobs pay no arena/table (re)allocation. A panicking
+    // job leaves its slot empty (the next job starts cold) — the session
+    // itself survives.
+    let mut session = EngineSession::new(SessionConfig {
+        max_retained_capacity: shared.cfg.session_max_retained_capacity,
+    });
     while let Some(qjob) = shared.queue.pop(class) {
         let cancel = {
             let mut reg = shared.lock_registry();
@@ -820,10 +1075,10 @@ fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
             resume: work.resume.clone(),
             top_k: work.top_k,
         };
-        // The last line of the never-lose-a-worker defence: run_job is
+        // The last line of the never-lose-a-worker defence: session.run is
         // fail-soft by design, but if anything underneath it ever panics
         // the panic is converted into an aborted outcome here.
-        let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(&spec, Some(&cancel)))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| session.run(&spec, Some(&cancel)))) {
             Ok(outcome) => outcome,
             Err(payload) => JobOutcome {
                 gates_applied: 0,
@@ -839,9 +1094,12 @@ fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
                 }),
             },
         };
-        shared
-            .metrics
-            .record_worker_job(worker_idx, &outcome.statistics, outcome.seconds);
+        shared.metrics.record_worker_job(
+            worker_idx,
+            &outcome.statistics,
+            outcome.seconds,
+            session.stats(),
+        );
         shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
         shared.finish_job(qjob.id, outcome);
     }

@@ -67,6 +67,7 @@ fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
         ],
         queue_capacity: 64,
         checkpoint_dir: test_dir("mixed"),
+        ..ServeConfig::default()
     };
     let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
@@ -188,8 +189,16 @@ fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
     assert_eq!(m.aborted, THREADS * 2);
     assert!(m.reconciles(), "metrics must reconcile: {m:?}");
     assert_eq!(m.evicted, 0);
+    // Identical submissions (the canonical job, repeated Grover shapes)
+    // may be answered by the result cache without touching a worker; every
+    // accepted job either ran on a worker or was cache-served.
     let worker_jobs: u64 = m.workers.iter().map(|w| w.stats.jobs).sum();
-    assert_eq!(worker_jobs, accepted, "every accepted job ran on a worker");
+    assert_eq!(
+        worker_jobs + m.cache_served,
+        accepted,
+        "every accepted job ran on a worker or came from the result cache"
+    );
+    assert_eq!(m.cache.hits, m.cache_served);
     assert_eq!(m.latency_counts.iter().sum::<u64>(), accepted);
     assert!(
         m.workers
@@ -223,6 +232,7 @@ fn budget_abort_checkpoints_and_resume_completes_bit_identically() {
         workers: vec![SchemeClass::Numeric],
         queue_capacity: 8,
         checkpoint_dir: test_dir("resume"),
+        ..ServeConfig::default()
     };
     let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
@@ -287,11 +297,110 @@ fn budget_abort_checkpoints_and_resume_completes_bit_identically() {
 }
 
 #[test]
+fn result_cache_hit_is_byte_identical_to_the_cold_run() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+        queue_capacity: 8,
+        checkpoint_dir: test_dir("cache"),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+    let budget = RunBudget::unlimited().with_max_nodes(2_000_000);
+
+    // Exercise every weight context: the cache must hand back exactly
+    // what the engine computed, for floats and exact rings alike.
+    for (i, scheme) in [
+        SchemeSpec::Numeric { eps: 1e-10 },
+        SchemeSpec::Numeric { eps: 0.0 },
+        SchemeSpec::Qomega,
+        SchemeSpec::Gcd,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let circuit = CircuitSpec::Grover { n: 5, marked: 19 };
+        let cold_id = submitted_id(client.submit(submit(circuit.clone(), scheme.clone(), budget)));
+        let cold = wait_terminal(&client, cold_id);
+        assert_eq!(cold.state, JobState::Completed);
+
+        let warm_id = submitted_id(client.submit(submit(circuit, scheme, budget)));
+        assert_ne!(warm_id, cold_id, "a cache hit is still a new job id");
+        let warm = wait_terminal(&client, warm_id);
+        assert_eq!(warm.state, JobState::Completed);
+
+        // Byte-identical: every field of the outcome, amplitude bits
+        // included, via the full Debug rendering.
+        assert_eq!(
+            format!("{:?}", outcome(&warm)),
+            format!("{:?}", outcome(&cold)),
+            "cache-served outcome diverged from the cold run"
+        );
+        for ((ia, pa), (ib, pb)) in outcome(&warm)
+            .top_probabilities
+            .iter()
+            .zip(&outcome(&cold).top_probabilities)
+        {
+            assert_eq!(ia, ib);
+            assert_eq!(pa.to_bits(), pb.to_bits(), "amplitude bits diverged");
+        }
+
+        let served_so_far = (i + 1) as u64;
+        let m = client.metrics();
+        assert_eq!(m.cache_served, served_so_far);
+        assert_eq!(m.cache.hits, served_so_far);
+    }
+
+    // A near-identical budget in the same power-of-two class also hits…
+    let near = RunBudget::unlimited().with_max_nodes(1_200_000);
+    let near_id = submitted_id(client.submit(submit(
+        CircuitSpec::Grover { n: 5, marked: 19 },
+        SchemeSpec::Qomega,
+        near,
+    )));
+    let near_report = wait_terminal(&client, near_id);
+    assert_eq!(near_report.state, JobState::Completed);
+    let m = client.metrics();
+    assert_eq!(m.cache_served, 5, "same budget class must be served");
+
+    // …but a different top_k is different content.
+    let wide = SubmitRequest {
+        top_k: 8,
+        ..submit(
+            CircuitSpec::Grover { n: 5, marked: 19 },
+            SchemeSpec::Qomega,
+            budget,
+        )
+    };
+    let wide_id = submitted_id(client.submit(wide));
+    let wide_report = wait_terminal(&client, wide_id);
+    assert_eq!(outcome(&wide_report).top_probabilities.len(), 8);
+
+    let m = client.metrics();
+    assert_eq!(m.cache_served, 5, "different top_k must miss");
+    let worker_jobs: u64 = m.workers.iter().map(|w| w.stats.jobs).sum();
+    assert_eq!(
+        worker_jobs + m.cache_served,
+        m.completed,
+        "cache-served jobs never touch a worker"
+    );
+    assert!(m.cache_entries >= 5, "cold outcomes are memoized");
+    // Warm-session counters: repeat jobs on each lane reuse managers.
+    let warm_total: u64 = m.workers.iter().map(|w| w.stats.warm_reuses).sum();
+    assert!(
+        warm_total >= 1,
+        "repeat jobs on one worker must reuse its session"
+    );
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+}
+
+#[test]
 fn shutdown_evicts_queued_jobs_and_joins_workers() {
     let cfg = ServeConfig {
         workers: vec![SchemeClass::Numeric],
         queue_capacity: 16,
         checkpoint_dir: test_dir("shutdown"),
+        ..ServeConfig::default()
     };
     let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));

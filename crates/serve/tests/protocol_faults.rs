@@ -14,12 +14,18 @@ struct Harness {
 }
 
 fn start_server(name: &str) -> Harness {
-    let cfg = ServeConfig {
+    start_server_with(name, |_| {})
+}
+
+fn start_server_with(name: &str, tweak: impl FnOnce(&mut ServeConfig)) -> Harness {
+    let mut cfg = ServeConfig {
         workers: vec![SchemeClass::Numeric],
         queue_capacity: 8,
         checkpoint_dir: std::env::temp_dir()
             .join(format!("aq-serve-faults-{}-{name}", std::process::id())),
+        ..ServeConfig::default()
     };
+    tweak(&mut cfg);
     let core = ServeCore::start(cfg).expect("start worker pool");
     let server = Server::bind(core, 0).expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -186,6 +192,142 @@ fn truncated_and_oversized_frames_are_handled() {
     client
         .roundtrip(r#"{"verb":"shutdown"}"#)
         .expect("shutdown");
+    h.server_thread.join().expect("server exits cleanly");
+}
+
+/// A client that vanishes mid-frame (socket dropped, no half-close, no
+/// newline) must cost the event loop nothing: the connection is reaped
+/// and every other connection keeps working.
+#[test]
+fn abrupt_mid_frame_disconnect_leaves_the_server_healthy() {
+    let h = start_server("midframe");
+    for _ in 0..8 {
+        let mut client = TcpClient::connect(h.addr).expect("connect");
+        client
+            .send_raw(br#"{"verb":"sub"#)
+            .expect("send partial frame");
+        drop(client); // abrupt close, mid-frame
+    }
+    let mut client = TcpClient::connect(h.addr).expect("connect");
+    assert_alive(&mut client);
+    client
+        .roundtrip(r#"{"verb":"shutdown"}"#)
+        .expect("shutdown");
+    h.server_thread.join().expect("server exits cleanly");
+}
+
+/// A slow-loris writer dribbling one byte at a time must not stall the
+/// loop: a second connection gets full service between the dribbles, and
+/// the slow request itself still completes once its newline arrives.
+#[test]
+fn slow_loris_writer_does_not_stall_other_connections() {
+    let h = start_server("loris");
+    let mut slow = TcpClient::connect(h.addr).expect("connect slow");
+    let mut brisk = TcpClient::connect(h.addr).expect("connect brisk");
+
+    let frame = b"{\"verb\":\"metrics\"}\n";
+    for (i, byte) in frame.iter().enumerate() {
+        slow.send_raw(std::slice::from_ref(byte)).expect("dribble");
+        std::thread::sleep(Duration::from_millis(2));
+        if i % 6 == 0 {
+            // Full roundtrips succeed while the slow frame is incomplete.
+            assert_alive(&mut brisk);
+        }
+    }
+    let response = slow.read_line().expect("slow frame answered");
+    let json = Json::parse(&response).expect("metrics response is JSON");
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+
+    brisk.roundtrip(r#"{"verb":"shutdown"}"#).expect("shutdown");
+    h.server_thread.join().expect("server exits cleanly");
+}
+
+/// One event loop multiplexes 64 simultaneous connections; every one of
+/// them gets served.
+#[test]
+fn sixty_four_simultaneous_connections_are_all_served() {
+    let h = start_server("many");
+    let mut clients: Vec<TcpClient> = (0..64)
+        .map(|i| TcpClient::connect(h.addr).unwrap_or_else(|e| panic!("connect client {i}: {e}")))
+        .collect();
+    // All 64 are open at once; interleave two rounds of requests.
+    for round in 0..2 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            let response = client
+                .roundtrip(r#"{"verb":"metrics"}"#)
+                .unwrap_or_else(|e| panic!("round {round}, client {i}: {e}"));
+            let json = Json::parse(&response).expect("metrics response is JSON");
+            assert_eq!(
+                json.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "round {round}, client {i}: {response}"
+            );
+        }
+    }
+    let shutdown = clients[0]
+        .roundtrip(r#"{"verb":"shutdown"}"#)
+        .expect("shutdown");
+    assert!(shutdown.contains("\"ok\":true"), "{shutdown}");
+    h.server_thread.join().expect("server exits cleanly");
+
+    // Under `--features lock-audit` the event loop fed the lock-order
+    // graph; the "never hold two locks" discipline must hold for the
+    // connection layer too.
+    #[cfg(feature = "lock-audit")]
+    {
+        let cycles = aq_serve::lockaudit::detected_cycles();
+        assert!(
+            cycles.is_empty(),
+            "lock-order cycles detected: {cycles:?}\ngraph:\n{}",
+            aq_serve::lockaudit::dot_graph()
+        );
+        let hazards = aq_serve::lockaudit::detected_hazards();
+        assert!(hazards.is_empty(), "lock hazards detected: {hazards:?}");
+    }
+}
+
+/// Connections beyond `max_connections` receive a structured refusal
+/// (never a silent drop), and capacity freed by a closing client becomes
+/// available again.
+#[test]
+fn connections_over_the_cap_get_a_structured_refusal() {
+    let h = start_server_with("cap", |cfg| cfg.max_connections = 2);
+    let mut first = TcpClient::connect(h.addr).expect("connect first");
+    let mut second = TcpClient::connect(h.addr).expect("connect second");
+    // Roundtrips prove both are registered with the loop (not just in the
+    // listener backlog) before the third arrives.
+    assert_alive(&mut first);
+    assert_alive(&mut second);
+
+    let mut third = TcpClient::connect(h.addr).expect("tcp connect still succeeds");
+    let refusal = third.read_line().expect("refusal line");
+    assert_structured_error(&refusal, "over-cap connection");
+    assert!(
+        refusal.contains("connection limit"),
+        "unexpected refusal: {refusal}"
+    );
+
+    // Freeing a slot lets a new client in (the loop reaps the closed
+    // connection on its next pass).
+    drop(second);
+    let mut served_again = false;
+    for _ in 0..200 {
+        if let Ok(mut retry) = TcpClient::connect(h.addr) {
+            if let Ok(response) = retry.roundtrip(r#"{"verb":"metrics"}"#) {
+                if response.contains("\"ok\":true") {
+                    served_again = true;
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        served_again,
+        "slot freed by a closed connection is reusable"
+    );
+
+    first.roundtrip(r#"{"verb":"shutdown"}"#).expect("shutdown");
     h.server_thread.join().expect("server exits cleanly");
 }
 

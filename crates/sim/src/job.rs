@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use aq_circuits::Circuit;
 use aq_dd::{
-    EngineStatistics, GcdContext, NormScheme, NumericContext, QomegaContext, WeightContext,
+    EngineStatistics, GcdContext, Manager, NormScheme, NumericContext, QomegaContext, WeightContext,
 };
 
 use crate::simulator::{SimOptions, Simulator};
@@ -193,7 +193,7 @@ fn run_with<W: WeightContext>(
         Simulator::resume(ctx.clone(), spec.circuit, path, spec.options.clone()).ok()
     });
     let was_resumed = resumed.is_some();
-    let (mut sim, mut aborted) = match resumed {
+    let (mut sim, aborted) = match resumed {
         Some((sim, _)) => (sim, None),
         None => {
             let mut sim = Simulator::with_options(ctx, spec.circuit, spec.options.clone());
@@ -205,7 +205,41 @@ fn run_with<W: WeightContext>(
             (sim, aborted)
         }
     };
+    drive(&mut sim, spec, was_resumed, aborted, cancel)
+}
 
+/// Runs one fresh (non-resume) job on a caller-supplied manager and hands
+/// the manager back afterwards, whatever the outcome. This is the session
+/// entry point: [`EngineSession`](crate::EngineSession) parks the returned
+/// manager for the next job. The manager must already match the job
+/// (correct context and qubit count — typically straight out of
+/// [`Manager::reset_session`](aq_dd::Manager::reset_session)); results are
+/// bit-identical to [`run_job`] on a cold manager.
+pub(crate) fn run_with_manager<W: WeightContext>(
+    manager: Manager<W>,
+    spec: &JobSpec<'_>,
+    cancel: Option<&AtomicBool>,
+) -> (JobOutcome, Manager<W>) {
+    let mut sim = Simulator::with_manager(manager, spec.circuit, spec.options.clone());
+    let aborted = sim.try_reset_to(spec.start).err().map(|e| JobAbortInfo {
+        reason: e.to_string(),
+        checkpoint: None,
+        evicted: false,
+    });
+    let outcome = drive(&mut sim, spec, false, aborted, cancel);
+    (outcome, sim.into_manager())
+}
+
+/// The shared job lifecycle: cancellation-aware step loop,
+/// checkpoint-on-abort, measurement extraction. `aborted` carries a
+/// pre-loop failure (e.g. the start state exceeded the budget).
+fn drive<W: WeightContext>(
+    sim: &mut Simulator<'_, W>,
+    spec: &JobSpec<'_>,
+    was_resumed: bool,
+    mut aborted: Option<JobAbortInfo>,
+    cancel: Option<&AtomicBool>,
+) -> JobOutcome {
     let dump_checkpoint = |sim: &Simulator<'_, W>| -> Option<PathBuf> {
         let path = spec.options.checkpoint_on_abort.as_ref()?;
         match sim.checkpoint(path, &spec.label) {
@@ -222,7 +256,7 @@ fn run_with<W: WeightContext>(
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
             aborted = Some(JobAbortInfo {
                 reason: "evicted: cancelled by the caller".into(),
-                checkpoint: dump_checkpoint(&sim),
+                checkpoint: dump_checkpoint(sim),
                 evicted: true,
             });
             break;
@@ -233,7 +267,7 @@ fn run_with<W: WeightContext>(
             Err(e) => {
                 aborted = Some(JobAbortInfo {
                     reason: e.to_string(),
-                    checkpoint: dump_checkpoint(&sim),
+                    checkpoint: dump_checkpoint(sim),
                     evicted: false,
                 });
             }

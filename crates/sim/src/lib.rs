@@ -34,6 +34,7 @@ mod checkpoint;
 pub mod job;
 mod operators;
 mod report;
+mod session;
 mod simulator;
 pub mod sweep;
 mod trace;
@@ -50,5 +51,6 @@ pub use operators::{
     try_matching_evolution, try_op_operator, try_permutation,
 };
 pub use report::{write_csv, Column};
+pub use session::{EngineSession, SessionConfig, SessionStats};
 pub use simulator::{SimAbort, SimError, SimOptions, SimResult, Simulator};
 pub use trace::{Trace, TracePoint};

@@ -1,0 +1,242 @@
+//! Persistent per-worker engine sessions.
+//!
+//! Cold-starting a [`Manager`] for every job throws away exactly the
+//! allocations that make decision-diagram packages fast: grown unique
+//! tables, compute-cache slot arrays and node arenas. An [`EngineSession`]
+//! parks one manager per weight-scheme kind between jobs and recycles it
+//! with [`Manager::reset_session`], so repeat jobs skip the allocation and
+//! growth-rehash cost entirely.
+//!
+//! The recycling is **sound by construction**: a reset replaces the weight
+//! table wholesale (ε-interning is path-dependent on table contents) and
+//! empties every node/cache structure, so a warm run is bit-identical to a
+//! cold one — the session is a performance lever, never a semantic one.
+//! Per-job [`JobOutcome::statistics`] stay pure because the reset also
+//! zeroes all counters.
+//!
+//! Retention is budget-aware: after a job whose manager grew past
+//! [`SessionConfig::max_retained_capacity`] slots, the manager is dropped
+//! instead of parked, returning the memory of an unusually large job
+//! rather than pinning it for the session's lifetime.
+
+use std::sync::atomic::AtomicBool;
+
+use aq_dd::{GcdContext, Manager, NormScheme, NumericContext, QomegaContext, WeightContext};
+
+use crate::job::{run_job, run_with_manager, JobOutcome, JobSpec, SchemeSpec};
+
+/// Tuning for an [`EngineSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Retention budget in arena/unique-table slots (see
+    /// [`Manager::retained_capacity`]): a manager above this after a job
+    /// is dropped instead of parked for reuse.
+    pub max_retained_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_retained_capacity: 8_000_000,
+        }
+    }
+}
+
+/// Counters describing how a session recycled its managers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs run through the session (including resume jobs, which bypass
+    /// the parked managers).
+    pub jobs: u64,
+    /// Jobs that reused a parked manager instead of building a cold one.
+    pub warm_reuses: u64,
+    /// Managers dropped after a job because their retained capacity
+    /// exceeded the budget.
+    pub shrinks: u64,
+}
+
+/// A long-lived engine context for one worker: at most one parked
+/// [`Manager`] per weight-scheme kind, recycled across jobs.
+///
+/// Numeric managers are parked separately per session — not per ε — which
+/// is safe because a reset installs the job's own context and a fresh
+/// weight table; the parked manager only contributes its allocations.
+#[derive(Debug, Default)]
+pub struct EngineSession {
+    cfg: SessionConfig,
+    numeric: Option<Manager<NumericContext>>,
+    qomega: Option<Manager<QomegaContext>>,
+    gcd: Option<Manager<GcdContext>>,
+    stats: SessionStats,
+}
+
+impl EngineSession {
+    /// Creates an empty session.
+    pub fn new(cfg: SessionConfig) -> Self {
+        EngineSession {
+            cfg,
+            ..EngineSession::default()
+        }
+    }
+
+    /// Recycling counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Runs one job, reusing this session's parked manager for the job's
+    /// scheme kind when one is available. Semantics are identical to
+    /// [`run_job`] — same outcomes, same per-job statistics (up to
+    /// unique-table capacity gauges, which may be inherited larger).
+    ///
+    /// Resume jobs reconstruct their manager from the checkpoint and
+    /// therefore bypass (and do not disturb) the parked managers. If a
+    /// job panics out of this call, the scheme slot is simply left empty
+    /// and the next job starts cold.
+    pub fn run(&mut self, spec: &JobSpec<'_>, cancel: Option<&AtomicBool>) -> JobOutcome {
+        self.stats.jobs += 1;
+        if spec.resume.is_some() {
+            return run_job(spec, cancel);
+        }
+        match &spec.scheme {
+            SchemeSpec::Numeric { eps } => {
+                let ctx = NumericContext::with_eps_and_scheme(*eps, NormScheme::MaxMagnitude);
+                run_in_slot(
+                    &mut self.numeric,
+                    ctx,
+                    spec,
+                    cancel,
+                    &mut self.stats,
+                    &self.cfg,
+                )
+            }
+            SchemeSpec::Qomega => run_in_slot(
+                &mut self.qomega,
+                QomegaContext::new(),
+                spec,
+                cancel,
+                &mut self.stats,
+                &self.cfg,
+            ),
+            SchemeSpec::Gcd => run_in_slot(
+                &mut self.gcd,
+                GcdContext::new(),
+                spec,
+                cancel,
+                &mut self.stats,
+                &self.cfg,
+            ),
+        }
+    }
+}
+
+/// Takes the slot's manager (or builds a cold one honouring the job's
+/// cache-capacity option), runs the job, and parks the manager again when
+/// it fits the retention budget.
+fn run_in_slot<W: WeightContext>(
+    slot: &mut Option<Manager<W>>,
+    ctx: W,
+    spec: &JobSpec<'_>,
+    cancel: Option<&AtomicBool>,
+    stats: &mut SessionStats,
+    cfg: &SessionConfig,
+) -> JobOutcome {
+    let n_qubits = spec.circuit.n_qubits();
+    let manager = match slot.take() {
+        Some(mut m) => {
+            stats.warm_reuses += 1;
+            m.reset_session(ctx, n_qubits);
+            m
+        }
+        None => match spec.options.cache_capacity {
+            Some(c) => Manager::with_cache_capacity(ctx, n_qubits, c),
+            None => Manager::new(ctx, n_qubits),
+        },
+    };
+    let (outcome, manager) = run_with_manager(manager, spec, cancel);
+    if manager.retained_capacity() <= cfg.max_retained_capacity {
+        *slot = Some(manager);
+    } else {
+        stats.shrinks += 1;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-identical equality of the fields a client observes.
+    fn assert_outcomes_identical(a: &JobOutcome, b: &JobOutcome) {
+        assert_eq!(a.gates_applied, b.gates_applied);
+        assert_eq!(a.final_nodes, b.final_nodes);
+        assert_eq!(a.top_probabilities.len(), b.top_probabilities.len());
+        for ((ia, pa), (ib, pb)) in a.top_probabilities.iter().zip(&b.top_probabilities) {
+            assert_eq!(ia, ib);
+            assert_eq!(pa.to_bits(), pb.to_bits(), "probability bits diverged");
+        }
+        assert_eq!(a.aborted, b.aborted);
+    }
+
+    #[test]
+    fn warm_session_runs_are_bit_identical_to_cold() {
+        let c = aq_circuits::grover(5, 19);
+        for scheme in [
+            SchemeSpec::Numeric { eps: 1e-10 },
+            SchemeSpec::Qomega,
+            SchemeSpec::Gcd,
+        ] {
+            let cold = run_job(&JobSpec::new(&c, 0, scheme.clone()), None);
+            let mut session = EngineSession::new(SessionConfig::default());
+            let first = session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+            let second = session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+            assert_outcomes_identical(&cold, &first);
+            assert_outcomes_identical(&cold, &second);
+            assert_eq!(session.stats().jobs, 2);
+            assert_eq!(session.stats().warm_reuses, 1, "second run must be warm");
+            assert_eq!(session.stats().shrinks, 0);
+        }
+    }
+
+    #[test]
+    fn session_parks_one_manager_per_scheme_kind() {
+        let c = aq_circuits::grover(4, 7);
+        let mut session = EngineSession::new(SessionConfig::default());
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Gcd), None);
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Gcd), None);
+        let s = session.stats();
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.warm_reuses, 2, "each scheme kind warms independently");
+    }
+
+    #[test]
+    fn retention_budget_drops_oversized_managers() {
+        let c = aq_circuits::grover(5, 3);
+        let mut session = EngineSession::new(SessionConfig {
+            max_retained_capacity: 1,
+        });
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        let s = session.stats();
+        assert_eq!(s.warm_reuses, 0, "nothing fits a 1-slot budget");
+        assert_eq!(s.shrinks, 2);
+    }
+
+    #[test]
+    fn numeric_eps_changes_between_warm_jobs_take_effect() {
+        // The parked manager contributes allocations only: a different ε
+        // on the next job must behave exactly as it would cold.
+        let c = aq_circuits::grover(4, 11);
+        let mut session = EngineSession::new(SessionConfig::default());
+        let loose_warmup =
+            session.run(&JobSpec::new(&c, 0, SchemeSpec::Numeric { eps: 0.3 }), None);
+        let exact_warm = session.run(&JobSpec::new(&c, 0, SchemeSpec::Numeric { eps: 0.0 }), None);
+        let exact_cold = run_job(&JobSpec::new(&c, 0, SchemeSpec::Numeric { eps: 0.0 }), None);
+        assert_outcomes_identical(&exact_warm, &exact_cold);
+        assert_eq!(session.stats().warm_reuses, 1);
+        // sanity: the loose run really did something different
+        assert!(loose_warmup.is_completed());
+    }
+}

@@ -186,6 +186,48 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
         }
     }
 
+    /// Creates a simulator on top of an existing (freshly reset) manager,
+    /// for worker sessions that reuse one manager's allocations across
+    /// jobs via [`Manager::reset_session`].
+    ///
+    /// The construction sequence is identical to
+    /// [`Simulator::with_options`] — build `|0…0⟩`, then install the
+    /// budget — so a run on a reset manager is bit-identical to a cold
+    /// one. `options.cache_capacity` is ignored: the manager's caches
+    /// already exist with the capacity it was built with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager's qubit count differs from the circuit's.
+    pub fn with_manager(
+        mut manager: Manager<W>,
+        circuit: &'c Circuit,
+        options: SimOptions,
+    ) -> Self {
+        assert_eq!(
+            manager.n_qubits(),
+            circuit.n_qubits(),
+            "manager qubit count must match the circuit"
+        );
+        let state = manager.basis_state(0);
+        manager.set_budget(options.budget);
+        Simulator {
+            manager,
+            circuit,
+            state,
+            cursor: 0,
+            elapsed: 0.0,
+            gate_cache: FxHashMap::default(),
+            options,
+        }
+    }
+
+    /// Consumes the simulator, returning its manager so a session can
+    /// park it for the next job.
+    pub fn into_manager(self) -> Manager<W> {
+        self.manager
+    }
+
     /// Restarts from the basis state `|index⟩`.
     ///
     /// # Errors

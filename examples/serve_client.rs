@@ -48,6 +48,7 @@ fn main() {
         workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
         queue_capacity: 16,
         checkpoint_dir: std::env::temp_dir().join("aq-serve-example"),
+        ..ServeConfig::default()
     })
     .expect("start worker pool");
     let client = Client::new(Arc::clone(&core));

@@ -41,7 +41,7 @@ cargo test -q --offline -p aq-sim --features validate-invariants --lib
 echo "== serve: concurrency + protocol fault suites (lock-order audit on) =="
 cargo test -q --offline -p aq-serve --features lock-audit --test concurrency
 cargo test -q --offline -p aq-serve --features lock-audit --test lock_audit
-cargo test -q --offline -p aq-serve --test protocol_faults
+cargo test -q --offline -p aq-serve --features lock-audit --test protocol_faults
 
 echo "== serve: real server cycle over TCP (aq-served + aq-cli) =="
 serve_ck="target/ci_serve_ckpts"
@@ -84,12 +84,26 @@ grep -q '"submitted":2,"completed":1,"aborted":1,"rejected":0' \
     target/ci_serve_metrics.json || { echo "metrics do not reconcile"; exit 1; }
 grep -q '"queue_depth":0,"running":0' target/ci_serve_metrics.json \
     || { echo "expected an idle server"; exit 1; }
+# resubmitting the completed job verbatim must be served from the result cache
+cli submit --circuit=grover --n=5 --marked=19 --scheme=numeric --eps=1e-10 \
+    --max-nodes=2000000 --wait=120 | tee target/ci_serve_cached.json
+grep -q '"state":"completed"' target/ci_serve_cached.json \
+    || { echo "expected the cached resubmission to complete"; exit 1; }
+cli metrics | tee target/ci_serve_metrics2.json
+grep -q '"served":1,"hits":1' target/ci_serve_metrics2.json \
+    || { echo "expected a result-cache hit in the metrics verb"; exit 1; }
 cli drain | grep -q '"state":"drained"' || { echo "drain failed"; exit 1; }
 cli shutdown | grep -q '"state":"stopped"' || { echo "shutdown failed"; exit 1; }
 wait "$serve_pid" || { echo "aq-served exited non-zero"; exit 1; }
 rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
 
 if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== serve bench: worker-scaling gate + BENCH_serve.json =="
+    # 4-worker throughput must not fall below 1-worker throughput; the
+    # gate prints a skip notice (and passes) when host_cores == 1
+    cargo run --release --offline -p aq-bench --bin serve_bench -- \
+        BENCH_serve.json --scale-gate
+
     echo "== engine bench: algebraic-gap regression gate (grover6) =="
     # GCD D[omega] throughput must hold at least half of numeric throughput
     # (measured ~1.2x on this workload; the gate catches a regression back
