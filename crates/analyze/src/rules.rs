@@ -8,6 +8,7 @@
 //! | R3   | no unbounded `HashMap`/`BTreeMap` caches in hot-path modules     |
 //! | R4   | no bare `as` narrowing casts in snapshot / wire-protocol code    |
 //! | R5   | no direct `f64` `==`/`!=` against float literals outside the epsilon module |
+//! | R6   | no bare `thread::sleep` in serve code outside the backoff module |
 //! | A0   | suppression directives must carry a justification                |
 //!
 //! R1 has one built-in idiom exemption: the sanctioned infallible-wrapper
@@ -33,6 +34,8 @@ pub enum RuleId {
     NarrowingCast,
     /// No direct float-literal `==`/`!=` outside the epsilon module.
     FloatEq,
+    /// No bare `thread::sleep` in serve code outside the backoff module.
+    BareSleep,
     /// Malformed suppression directive (missing justification).
     BadSuppression,
 }
@@ -46,6 +49,7 @@ impl RuleId {
             RuleId::UnboundedCache => "R3",
             RuleId::NarrowingCast => "R4",
             RuleId::FloatEq => "R5",
+            RuleId::BareSleep => "R6",
             RuleId::BadSuppression => "A0",
         }
     }
@@ -58,6 +62,7 @@ impl RuleId {
             "R3" => Some(RuleId::UnboundedCache),
             "R4" => Some(RuleId::NarrowingCast),
             "R5" => Some(RuleId::FloatEq),
+            "R6" => Some(RuleId::BareSleep),
             "A0" => Some(RuleId::BadSuppression),
             _ => None,
         }
@@ -80,6 +85,9 @@ impl RuleId {
             }
             RuleId::FloatEq => {
                 "no direct f64 ==/!= against float literals outside the epsilon module"
+            }
+            RuleId::BareSleep => {
+                "no bare thread::sleep in serve code outside the backoff module (use backoff::sleep)"
             }
             RuleId::BadSuppression => "suppression directives must carry a justification",
         }
@@ -153,6 +161,13 @@ pub struct LintConfig {
     pub r4_wire_files: Vec<String>,
     /// Files exempt from R5 (the epsilon module itself).
     pub r5_exempt_files: Vec<String>,
+    /// Directory prefixes R6 applies to (the serving stack, `src/bin/`
+    /// entry points included — CLI retry loops must not busy-sleep
+    /// either).
+    pub r6_scope: Vec<String>,
+    /// Files exempt from R6 (the backoff module: the one sanctioned
+    /// `thread::sleep` call site).
+    pub r6_exempt_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -196,6 +211,8 @@ impl LintConfig {
                 "crates/serve/src/server.rs".into(),
             ],
             r5_exempt_files: vec!["crates/rings/src/complex.rs".into()],
+            r6_scope: vec!["crates/serve/src/".into()],
+            r6_exempt_files: vec!["crates/serve/src/backoff.rs".into()],
         }
     }
 
@@ -461,6 +478,14 @@ pub fn check_file(fa: &FileAnalysis<'_>, cfg: &LintConfig) -> Vec<Finding> {
             check_float_eq(fa, &mut out);
         }
     }
+    // R6 deliberately runs outside the non-library gate: `src/bin/`
+    // entry points (aq-cli's retry loop) must route their waiting
+    // through the backoff module too.
+    if cfg.r6_scope.iter().any(|p| fa.rel.starts_with(p.as_str()))
+        && !cfg.r6_exempt_files.iter().any(|f| f == fa.rel)
+    {
+        check_bare_sleep(fa, &mut out);
+    }
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
 }
@@ -725,6 +750,34 @@ fn check_narrowing(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
                      hostile input must fail structurally — use `{target}::try_from` or a \
                      checked helper"
                 ),
+                out,
+            );
+        }
+    }
+}
+
+/// R6: bare `thread::sleep` in serve code. Ad-hoc sleeps hide latency
+/// from the supervisor, stall shutdown, and are invisible to the
+/// lock-order audit; all timed waiting goes through `backoff::sleep` (a
+/// marked blocking op) or a deadline-bearing condvar wait.
+fn check_bare_sleep(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..fa.code.len() {
+        let Some(tok) = fa.code_tok(ci) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident || tok.text(fa.src) != "sleep" || fa.in_test_code(tok.start) {
+            continue;
+        }
+        let prev = if ci > 0 { fa.code_text(ci - 1) } else { "" };
+        let prev2 = if ci > 1 { fa.code_text(ci - 2) } else { "" };
+        if prev == "::" && prev2 == "thread" {
+            fa.finding(
+                RuleId::BareSleep,
+                tok.start,
+                "bare `thread::sleep` in serve code; wait through `backoff::sleep` (a marked \
+                 blocking op the lock audit and supervisor can account for) or a \
+                 deadline-bearing condvar wait"
+                    .to_string(),
                 out,
             );
         }

@@ -12,6 +12,8 @@ fn cfg() -> LintConfig {
         r3_hot_files: vec!["crates/lib/src/hot.rs".into()],
         r4_wire_files: vec!["crates/lib/src/wire.rs".into()],
         r5_exempt_files: vec!["crates/lib/src/eps.rs".into()],
+        r6_scope: vec!["crates/srv/src/".into()],
+        r6_exempt_files: vec!["crates/srv/src/backoff.rs".into()],
     }
 }
 
@@ -190,6 +192,46 @@ fn r5_silent_in_the_epsilon_module_and_for_integers() {
     assert!(rules_at("crates/lib/src/eps.rs", src).is_empty());
     let ints = "pub fn is_zero(x: u64) -> bool { x == 0 }\n";
     assert!(rules_at("crates/lib/src/math.rs", ints).is_empty());
+}
+
+// ---- R6: no bare thread::sleep in serve code outside backoff ----
+
+#[test]
+fn r6_flags_bare_thread_sleep_in_scope_including_bin_entry_points() {
+    let src = "pub fn spin(d: std::time::Duration) {\n    std::thread::sleep(d);\n}\n";
+    assert_eq!(
+        rules_at("crates/srv/src/server.rs", src),
+        [RuleId::BareSleep]
+    );
+    // `use std::thread;` + `thread::sleep` is the same call, differently spelt
+    let via_use = "use std::thread;\n\
+                   pub fn spin(d: std::time::Duration) { thread::sleep(d); }\n";
+    assert_eq!(
+        rules_at("crates/srv/src/server.rs", via_use),
+        [RuleId::BareSleep]
+    );
+    // src/bin entry points are non-library code for R1 but stay in R6
+    // scope: a CLI retry loop must not busy-sleep either
+    assert_eq!(
+        rules_at("crates/srv/src/bin/cli.rs", src),
+        [RuleId::BareSleep]
+    );
+}
+
+#[test]
+fn r6_silent_for_backoff_module_test_code_and_out_of_scope_files() {
+    let src = "pub fn spin(d: std::time::Duration) {\n    std::thread::sleep(d);\n}\n";
+    // the backoff module owns the one sanctioned call site
+    assert!(rules_at("crates/srv/src/backoff.rs", src).is_empty());
+    // out of scope: other crates may sleep as they please
+    assert!(rules_at("crates/lib/src/lib.rs", src).is_empty());
+    // test modules inside scoped files are exempt
+    let in_test = "#[cfg(test)]\nmod tests {\n    \
+                   fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n}\n";
+    assert!(rules_at("crates/srv/src/server.rs", in_test).is_empty());
+    // the sanctioned wrapper itself never matches (prev2 is `backoff`)
+    let wrapped = "pub fn spin(d: std::time::Duration) { crate::backoff::sleep(d); }\n";
+    assert!(rules_at("crates/srv/src/server.rs", wrapped).is_empty());
 }
 
 // ---- A0: suppression directives need known rules and a real reason ----

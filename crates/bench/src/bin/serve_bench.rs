@@ -5,11 +5,18 @@
 //! histogram estimates for comparison.
 //!
 //! Usage: `cargo run --release -p aq-bench --bin serve_bench
-//! [-- <out.json>] [--jobs=N] [--scale-gate]`
+//! [-- <out.json>] [--jobs=N] [--scale-gate] [--chaos-seed=N]`
 //!
 //! The scaling rows run with the result cache *disabled* and distinct
 //! circuits, so they measure pool scaling; a separate cache row repeats a
 //! small circuit set with the cache on and reports its hit rate.
+//!
+//! `--chaos-seed=N` (needs `--features chaos`) adds a self-healing row:
+//! the same closed loop under a deterministic fault plan that panics the
+//! worker on ~1% of jobs (10‰, hashed per job id against the seed), with
+//! clients resubmitting through `run_with_retry`. The row reports the
+//! throughput cost of supervision plus `worker_deaths`, `worker_respawns`
+//! and client `retries`.
 //!
 //! `--scale-gate` turns the run into a pass/fail check: 4-worker
 //! throughput must not fall below 1-worker throughput. On a single-core
@@ -22,7 +29,8 @@ use std::time::{Duration, Instant};
 
 use aq_dd::RunBudget;
 use aq_serve::{
-    CircuitSpec, Client, JobState, Response, SchemeClass, ServeConfig, ServeCore, SubmitRequest,
+    CircuitSpec, Client, JobState, Response, RetryPolicy, SchemeClass, ServeConfig, ServeCore,
+    SubmitRequest,
 };
 use aq_sim::SchemeSpec;
 
@@ -40,6 +48,9 @@ struct ConfigResult {
     warm_reuses: u64,
     cache_served: u64,
     cache_hit_rate: f64,
+    worker_deaths: u64,
+    worker_respawns: u64,
+    retries: u64,
 }
 
 /// Exact quantile of a sorted latency sample (nearest-rank).
@@ -53,23 +64,35 @@ fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
 
 /// One closed-loop run. `distinct_circuits` is the size of the oracle
 /// pool jobs cycle through: large (64) for scaling rows, small (8) for
-/// the cache row, where repeats are the point.
+/// the cache row, where repeats are the point. With `chaos = Some(seed)`
+/// (feature-gated) a fault plan panics the worker on ~1% of jobs and the
+/// clients resubmit with capped backoff instead of panicking on aborts.
+#[allow(unused_mut)]
 fn run_config(
     workers: usize,
     total_jobs: usize,
     result_cache_capacity: usize,
     distinct_circuits: u64,
+    chaos: Option<u64>,
 ) -> ConfigResult {
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         workers: vec![SchemeClass::Numeric; workers],
         queue_capacity: total_jobs.max(8) * 2,
         checkpoint_dir: std::env::temp_dir().join(format!(
-            "aq-serve-bench-{}-w{workers}-c{result_cache_capacity}",
-            std::process::id()
+            "aq-serve-bench-{}-w{workers}-c{result_cache_capacity}-h{}",
+            std::process::id(),
+            chaos.is_some()
         )),
         result_cache_capacity,
         ..ServeConfig::default()
     };
+    #[cfg(feature = "chaos")]
+    if let Some(seed) = chaos {
+        cfg.fault_plan = aq_serve::FaultPlan::seeded(seed).kill_per_mille(10);
+        cfg.restart_budget = 10_000;
+        cfg.backoff_base = Duration::from_millis(5);
+        cfg.backoff_cap = Duration::from_millis(100);
+    }
     let core = ServeCore::start(cfg).expect("start worker pool");
     let client = Client::new(Arc::clone(&core));
 
@@ -97,23 +120,40 @@ fn run_config(
                     let marked = (s as u64 * 31 + i * 7) % distinct_circuits;
                     i += 1;
                     let t = Instant::now();
-                    let submitted = client.submit(SubmitRequest {
+                    let req = SubmitRequest {
                         circuit: CircuitSpec::Grover { n: 6, marked },
                         scheme: SchemeSpec::Numeric { eps: 1e-10 },
                         priority: 0,
                         budget: RunBudget::unlimited().with_max_nodes(5_000_000),
                         resume: None,
                         top_k: 1,
-                    });
-                    let job = match submitted {
-                        Response::Submitted { job } => job,
-                        other => panic!("bench submission refused: {other:?}"),
                     };
-                    match client.wait(job, Duration::from_secs(300)) {
-                        Response::Status(report) => {
-                            assert_eq!(report.state, JobState::Completed, "job {job}")
+                    if let Some(seed) = chaos {
+                        // Self-healing row: injected kills surface as
+                        // `transient:` aborts; resubmit until completed.
+                        let policy = RetryPolicy {
+                            max_attempts: 8,
+                            base: Duration::from_millis(5),
+                            cap: Duration::from_millis(100),
+                            seed: seed ^ (s as u64),
+                        };
+                        match client.run_with_retry(&req, Duration::from_secs(300), &policy) {
+                            Response::Status(report) => {
+                                assert_eq!(report.state, JobState::Completed, "{report:?}")
+                            }
+                            other => panic!("bench retry loop gave up: {other:?}"),
                         }
-                        other => panic!("bench wait failed: {other:?}"),
+                    } else {
+                        let job = match client.submit(req) {
+                            Response::Submitted { job } => job,
+                            other => panic!("bench submission refused: {other:?}"),
+                        };
+                        match client.wait(job, Duration::from_secs(300)) {
+                            Response::Status(report) => {
+                                assert_eq!(report.state, JobState::Completed, "job {job}")
+                            }
+                            other => panic!("bench wait failed: {other:?}"),
+                        }
                     }
                     latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
                 }
@@ -151,6 +191,10 @@ fn run_config(
         warm_reuses: m.workers.iter().map(|w| w.stats.warm_reuses).sum(),
         cache_served: m.cache_served,
         cache_hit_rate: m.cache.hit_rate(),
+        worker_deaths: m.worker_deaths,
+        worker_respawns: m.worker_respawns,
+        // Every submission beyond the job budget was a client retry.
+        retries: m.submitted.saturating_sub(latencies.len() as u64),
     }
 }
 
@@ -177,7 +221,10 @@ fn render_row(r: &ConfigResult, label: &str) -> String {
             "      \"aborted\": {},\n",
             "      \"warm_reuses\": {},\n",
             "      \"cache_served\": {},\n",
-            "      \"cache_hit_rate\": {:.4}\n",
+            "      \"cache_hit_rate\": {:.4},\n",
+            "      \"worker_deaths\": {},\n",
+            "      \"worker_respawns\": {},\n",
+            "      \"retries\": {}\n",
             "    }}"
         ),
         label,
@@ -194,6 +241,9 @@ fn render_row(r: &ConfigResult, label: &str) -> String {
         r.warm_reuses,
         r.cache_served,
         r.cache_hit_rate,
+        r.worker_deaths,
+        r.worker_respawns,
+        r.retries,
     );
     row
 }
@@ -206,6 +256,17 @@ fn main() {
         .map(|v| v.parse().expect("--jobs=N"))
         .unwrap_or(64);
     let scale_gate = args.iter().any(|a| a == "--scale-gate");
+    let chaos_seed: Option<u64> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--chaos-seed="))
+        .map(|v| v.parse().expect("--chaos-seed=N"));
+    #[cfg(not(feature = "chaos"))]
+    if chaos_seed.is_some() {
+        eprintln!(
+            "serve_bench: --chaos-seed needs a build with `--features chaos`; this one was not"
+        );
+        std::process::exit(2);
+    }
     let out = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -216,7 +277,7 @@ fn main() {
     let results: Vec<ConfigResult> = [1usize, 4, 8]
         .iter()
         .map(|&w| {
-            let r = run_config(w, total_jobs, 0, 64);
+            let r = run_config(w, total_jobs, 0, 64, None);
             println!(
                 "{:>2} workers: {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  p50 {:>8.2}ms  p99 {:>8.2}ms  warm {:>3}  (server buckets: p50<={:?}ms p99<={:?}ms)",
                 r.workers, r.jobs, r.seconds, r.jobs_per_second, r.p50_ms, r.p99_ms,
@@ -228,7 +289,7 @@ fn main() {
 
     // Cache row: 1 worker, cache on, 8 distinct oracles cycled — repeat
     // submissions short-circuit before the queue.
-    let cache_row = run_config(1, total_jobs, 256, 8);
+    let cache_row = run_config(1, total_jobs, 256, 8, None);
     println!(
         "cache row:  {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  hit rate {:.1}%  served {} from cache",
         cache_row.jobs,
@@ -238,6 +299,18 @@ fn main() {
         cache_row.cache_served,
     );
 
+    // Chaos row: 4 workers under a 1%-job-panic plan, retry-aware
+    // clients. The throughput delta against scaling-4w is the price of
+    // supervision + respawn + resubmission.
+    let chaos_row = chaos_seed.map(|seed| {
+        let r = run_config(4, total_jobs, 256, 64, Some(seed));
+        println!(
+            "chaos row:  {:>3} jobs in {:>7.3}s  {:>8.1} jobs/s  deaths {}  respawns {}  retries {}  (seed {seed:#x})",
+            r.jobs, r.seconds, r.jobs_per_second, r.worker_deaths, r.worker_respawns, r.retries,
+        );
+        r
+    });
+
     let mut body = String::new();
     for r in &results {
         let label = format!("scaling-{}w", r.workers);
@@ -245,6 +318,10 @@ fn main() {
         body.push_str(",\n");
     }
     body.push_str(&render_row(&cache_row, "cache-repeat-1w"));
+    if let Some(r) = &chaos_row {
+        body.push_str(",\n");
+        body.push_str(&render_row(r, "chaos-1pct-kill-4w"));
+    }
     body.push('\n');
 
     // Worker scaling is bounded by the machine: on a single-core host the

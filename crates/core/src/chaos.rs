@@ -1,0 +1,115 @@
+//! Deterministic corruption hooks for fault-injection testing.
+//!
+//! Only compiled under the `chaos` feature. The serve chaos suite uses
+//! [`Manager::chaos_corrupt`] to plant a *targeted* structural defect in a
+//! warm manager — exactly the kind of damage a partially-applied gate or a
+//! stray write would leave behind — and then asserts that the session
+//! quarantine layer catches it via [`Manager::validate`] before the manager
+//! is ever reused for another job.
+//!
+//! Every mutation planted here is provably caught by the invariant checker:
+//! an out-of-range `var` trips the "variable out of range" check, and a
+//! dangling child [`WeightId`] trips the "weight id out of range" edge
+//! check. The choice of mutation and its target node are pure functions of
+//! the seed, so a corruption schedule replays identically across runs.
+
+use crate::edge::{MatNode, VecNode};
+use crate::manager::Manager;
+use crate::weight::{WeightContext, WeightId, WeightTable};
+
+/// SplitMix64 mixer: decorrelates consecutive seeds into well-spread
+/// choices without any RNG state.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<W: WeightContext> Manager<W> {
+    /// Plants one seed-determined structural defect in this manager's
+    /// retained state: either a node `var` pushed past `n_qubits`, or a
+    /// child edge's weight id dangled past the weight-table length. Both
+    /// are guaranteed to be reported by [`Manager::validate`].
+    ///
+    /// Prefers the matrix arena when both have nodes (matrix nodes are the
+    /// common retained state after a gate-heavy job). Returns `false` when
+    /// both arenas are empty — there is nothing to corrupt and the manager
+    /// is left untouched.
+    pub fn chaos_corrupt(&mut self, seed: u64) -> bool {
+        let r = mix(seed);
+        let dangle_weight = r & 1 == 1;
+        let dangling = WeightId((self.table.len() as u32).wrapping_add((r >> 1) as u32 % 7));
+        if !self.mat_nodes.is_empty() {
+            let idx = (r >> 8) as usize % self.mat_nodes.len();
+            let node: &mut MatNode = &mut self.mat_nodes[idx];
+            if dangle_weight {
+                let c = (r >> 4) as usize % 4;
+                node.children[c].w = dangling;
+            } else {
+                node.var = self.n_qubits + 1 + (r >> 4) as u32 % 7;
+            }
+            true
+        } else if !self.vec_nodes.is_empty() {
+            let idx = (r >> 8) as usize % self.vec_nodes.len();
+            let node: &mut VecNode = &mut self.vec_nodes[idx];
+            if dangle_weight {
+                let c = (r >> 4) as usize % 2;
+                node.children[c].w = dangling;
+            } else {
+                node.var = self.n_qubits + 1 + (r >> 4) as u32 % 7;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateMatrix, Manager, NumericContext, QomegaContext};
+
+    #[test]
+    fn corruption_is_caught_by_validate() {
+        for seed in 0..32u64 {
+            let mut m = Manager::new(NumericContext::new(), 3);
+            let h = m.gate(&GateMatrix::h(), 0, &[]);
+            let s = m.basis_state(0);
+            let _ = m.mat_vec(&h, &s);
+            assert!(m.validate().is_ok(), "pristine manager must validate");
+            assert!(m.chaos_corrupt(seed), "non-empty arenas must corrupt");
+            assert!(
+                m.validate().is_err(),
+                "seed {seed}: corruption must be caught by validate()"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_manager_has_nothing_to_corrupt() {
+        let mut m = Manager::new(QomegaContext::new(), 2);
+        assert!(!m.chaos_corrupt(7));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let build = || {
+            let mut m = Manager::new(NumericContext::new(), 3);
+            let h = m.gate(&GateMatrix::h(), 1, &[]);
+            let s = m.basis_state(0b101);
+            let _ = m.mat_vec(&h, &s);
+            m
+        };
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let mut a = build();
+            let mut b = build();
+            a.chaos_corrupt(seed);
+            b.chaos_corrupt(seed);
+            let ea = a.validate().unwrap_err().to_string();
+            let eb = b.validate().unwrap_err().to_string();
+            assert_eq!(ea, eb, "seed {seed}: same seed must plant the same defect");
+        }
+    }
+}

@@ -46,6 +46,8 @@
 
 mod algebraic;
 mod cache;
+#[cfg(feature = "chaos")]
+mod chaos;
 mod dot;
 mod edge;
 mod error;

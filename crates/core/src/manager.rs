@@ -354,6 +354,28 @@ impl<W: WeightContext> Manager<W> {
         self.probe_tick = 0;
     }
 
+    /// Like [`Manager::reset_session`], but first runs the full structural
+    /// invariant checker ([`Manager::validate`]) over the *retained* state
+    /// from the previous job. A session reusing a warm manager after a
+    /// budget abort (or any other suspect exit) calls this so a
+    /// partially-applied gate, a dangling weight id or a de-normalized node
+    /// cannot leak into the next job: if the old state fails validation the
+    /// manager is left untouched and the caller must rebuild cold.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvariantViolation`] from the pre-reset validation;
+    /// on error no reset has happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero.
+    pub fn validated_reset_session(&mut self, ctx: W, n_qubits: u32) -> Result<(), EngineError> {
+        self.validate()?;
+        self.reset_session(ctx, n_qubits);
+        Ok(())
+    }
+
     /// Memory retained across a session reset, in arena/table slots: node
     /// arena capacities plus unique-table slot counts. Sessions compare
     /// this against a retention budget to decide between resetting in

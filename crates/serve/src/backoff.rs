@@ -1,0 +1,134 @@
+//! Jittered exponential backoff, and the one sanctioned `sleep`.
+//!
+//! Every retry loop in the serve stack — supervisor respawns, client
+//! resubmission, the event-loop idle tick — goes through this module so
+//! that (a) backoff schedules are seeded and therefore deterministic in
+//! tests, and (b) `aq-lint` rule R6 can forbid bare `thread::sleep`
+//! everywhere else in the crate: an unjittered, unbounded sleep in serve
+//! code is either a latency bug or a thundering-herd bug waiting to
+//! happen.
+
+use std::time::Duration;
+
+use aq_testutil::Rng;
+
+/// Capped exponential backoff with deterministic multiplicative jitter.
+///
+/// Attempt `k` (0-based) draws uniformly from `[d/2, d)` where `d =
+/// min(cap, base << k)` — full-jitter halved, so consecutive respawns of
+/// sibling workers spread out instead of stampeding, while the schedule
+/// stays within a provable envelope: attempt `k` always waits at least
+/// `min(cap, base·2^k)/2` and less than `min(cap, base·2^k)`.
+///
+/// The jitter stream is seeded ([`aq_testutil::Rng`]), so a fixed seed
+/// yields a bit-identical schedule — the chaos suite pins respawn timing
+/// this way.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: Rng,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule. `base` is the nominal first delay,
+    /// `cap` the nominal maximum; both are halved-to-full jittered.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: Rng::from_seed(seed),
+        }
+    }
+
+    /// The number of delays handed out since creation or the last
+    /// [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the next delay and advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let nominal = self
+            .base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(self.cap)
+            .max(Duration::from_micros(1));
+        let nanos = nominal.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jittered = nanos / 2 + self.rng.below(nanos.div_ceil(2).max(1));
+        Duration::from_nanos(jittered)
+    }
+
+    /// Restarts the schedule at attempt 0 (the jitter stream continues —
+    /// determinism only depends on the seed and the draw sequence).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// The one sanctioned blocking sleep in the serve crate. Call sites that
+/// need a plain delay (the event-loop idle tick, client retry waits) use
+/// this instead of `std::thread::sleep` so aq-lint R6 can flag every
+/// other sleep as a review error.
+pub fn sleep(d: Duration) {
+    std::thread::sleep(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 42);
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 1);
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 2);
+        let da: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let db: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(da, db, "distinct seeds should jitter differently");
+    }
+
+    #[test]
+    fn delays_stay_in_the_jitter_envelope_and_cap() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 7);
+        for k in 0..20u32 {
+            let nominal = base.saturating_mul(1u32 << k.min(31)).min(cap);
+            let d = b.next_delay();
+            assert!(d >= nominal / 2, "attempt {k}: {d:?} below {nominal:?}/2");
+            assert!(
+                d < nominal + Duration::from_nanos(1),
+                "attempt {k}: {d:?} above {nominal:?}"
+            );
+            assert!(d <= cap, "attempt {k}: {d:?} exceeds the cap");
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_envelope() {
+        let base = Duration::from_millis(100);
+        let mut b = Backoff::new(base, Duration::from_secs(10), 9);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempt(), 6);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let d = b.next_delay();
+        assert!(d < base, "first post-reset delay must be back under base");
+        assert!(d >= base / 2);
+    }
+}

@@ -5,6 +5,7 @@
 //!        [--scheme=numeric|qomega|gcd] [--eps=1e-10] [--priority=0..9]
 //!        [--max-nodes=N] [--max-weights=N] [--max-bits=N]
 //!        [--deadline-secs=S] [--resume=PATH] [--top-k=K] [--wait=SECS]
+//!        [--retries=N]
 //! aq-cli --addr=HOST:PORT status --job=ID
 //! aq-cli --addr=HOST:PORT wait --job=ID [--timeout=SECS]
 //! aq-cli --addr=HOST:PORT metrics | drain | shutdown
@@ -13,10 +14,18 @@
 //! Prints the server's JSON response line(s) on stdout. Exit status is 0
 //! when every response had `"ok":true`, 1 otherwise (a *rejected*
 //! submission or *aborted* job is still `ok:true` — inspect `state`).
+//!
+//! `submit --retries=N` (implies `--wait`) resubmits up to N extra times
+//! on retryable failures — a rejection carrying `retry_after_ms`, a
+//! `transient:` abort (the worker died mid-job), or a dropped connection
+//! — with capped exponential backoff honouring the server's hint. Every
+//! attempt's response lines are printed; the exit status reflects the
+//! final attempt.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
-use aq_serve::{Json, TcpClient};
+use aq_serve::{Backoff, Json, TcpClient};
 
 fn usage() -> ! {
     eprintln!(
@@ -97,6 +106,81 @@ fn build_submit(map: &HashMap<String, String>) -> String {
     Json::Obj(pairs).render()
 }
 
+/// One submit+wait exchange on a fresh connection. Returns the wait
+/// response (or the submit response when there was no job to wait on),
+/// printing every line as it arrives.
+fn submit_once(addr: &str, line: &str, wait_secs: f64) -> std::io::Result<Json> {
+    let mut client = TcpClient::connect(addr)?;
+    let response = client.roundtrip(line)?;
+    println!("{response}");
+    let parsed = Json::parse(&response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let Some(job) = parsed.get("job").and_then(Json::as_u64) else {
+        return Ok(parsed); // rejected: no job to wait on
+    };
+    let wait = Json::obj(vec![
+        ("verb", Json::str("wait")),
+        ("job", Json::Num(job as f64)),
+        ("timeout_secs", Json::Num(wait_secs)),
+    ])
+    .render();
+    let response = client.roundtrip(&wait)?;
+    println!("{response}");
+    Json::parse(&response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// `Some(server_hint_ms)` when the exchange is worth retrying: a
+/// rejection with a `retry_after_ms` hint or a `transient:` abort.
+fn retry_hint_ms(response: &Json) -> Option<u64> {
+    if response.get("state").and_then(Json::as_str) == Some("rejected") {
+        return response.get("retry_after_ms").and_then(Json::as_u64);
+    }
+    if response.get("state").and_then(Json::as_str) == Some("aborted")
+        && response
+            .get("reason")
+            .and_then(Json::as_str)
+            .is_some_and(|r| r.starts_with("transient:"))
+    {
+        return Some(0);
+    }
+    None
+}
+
+/// The `--retries=N` loop: submit+wait on a fresh connection per
+/// attempt, backing off (and honouring the server's hint) between
+/// retryable failures. Exits the process with the final attempt's
+/// status.
+fn submit_with_retries(addr: &str, line: &str, wait_secs: f64, retries: u32) -> ! {
+    let mut delays = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 0xC11);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let hint = match submit_once(addr, line, wait_secs) {
+            Ok(response) => {
+                if retry_hint_ms(&response).is_none() {
+                    let ok = response.get("ok").and_then(Json::as_bool).unwrap_or(false);
+                    std::process::exit(if ok { 0 } else { 1 });
+                }
+                retry_hint_ms(&response).unwrap_or(0)
+            }
+            // A dropped connection (the server was mid-restart, or our
+            // worker died while we waited) is itself transient.
+            Err(e) => {
+                eprintln!("aq-cli: attempt {attempt} failed: {e}");
+                0
+            }
+        };
+        if attempt > retries {
+            eprintln!("aq-cli: giving up after {attempt} attempts");
+            std::process::exit(1);
+        }
+        let delay = delays.next_delay().max(Duration::from_millis(hint));
+        eprintln!("aq-cli: retrying in {}ms", delay.as_millis());
+        aq_serve::backoff::sleep(delay);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = None;
@@ -142,6 +226,18 @@ fn main() {
         "shutdown" => Json::obj(vec![("verb", Json::str("shutdown"))]).render(),
         _ => usage(),
     };
+
+    // `--retries=N` takes the resilient path: submit+wait per attempt on
+    // a fresh connection, resubmitting on retryable failures.
+    if verb == "submit" {
+        if let Some(retries) = map.get("retries").and_then(|v| v.parse::<u32>().ok()) {
+            let wait_secs = map
+                .get("wait")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(60.0);
+            submit_with_retries(&addr, &line, wait_secs, retries);
+        }
+    }
 
     let mut client = TcpClient::connect(&addr).unwrap_or_else(|e| {
         eprintln!("aq-cli: cannot connect to {addr}: {e}");

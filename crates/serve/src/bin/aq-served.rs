@@ -3,11 +3,20 @@
 //! ```text
 //! aq-served [--port=N] [--workers=N | --pin=numeric,algebraic,...]
 //!           [--queue=N] [--checkpoint-dir=PATH]
+//!           [--restart-budget=N] [--backoff-base-ms=N]
+//!           [--backoff-cap-ms=N] [--seed=N]
+//!           [--chaos-seed=N] [--chaos-kill-every=N]
+//!           [--chaos-corrupt-every=N] [--chaos-stall-every=N]
+//!           [--chaos-wakeup-every=N]
 //! ```
 //!
 //! `--port=0` binds an ephemeral port; the chosen address is printed as
 //! a `listening on 127.0.0.1:PORT` line so scripts can scrape it. The
 //! process exits after a client sends the `shutdown` verb.
+//!
+//! The `--chaos-*` flags arm the deterministic fault-injection plan and
+//! require a binary built with `--features chaos`; without the feature
+//! they exit with status 2.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -17,14 +26,56 @@ use aq_serve::{SchemeClass, ServeConfig, ServeCore, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: aq-served [--port=N] [--workers=N | --pin=numeric,algebraic,...] \
-         [--queue=N] [--checkpoint-dir=PATH]"
+         [--queue=N] [--checkpoint-dir=PATH] [--restart-budget=N] \
+         [--backoff-base-ms=N] [--backoff-cap-ms=N] [--seed=N] \
+         [--chaos-seed=N] [--chaos-kill-every=N] [--chaos-corrupt-every=N] \
+         [--chaos-stall-every=N] [--chaos-wakeup-every=N]"
     );
     std::process::exit(2);
+}
+
+/// Arms the fault plan from the collected `--chaos-*` flags.
+#[cfg(feature = "chaos")]
+fn apply_chaos(cfg: &mut ServeConfig, flags: &[(String, u64)]) {
+    use aq_serve::FaultPlan;
+    use std::time::Duration;
+    if flags.is_empty() {
+        return;
+    }
+    let get = |key: &str| flags.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let mut plan = FaultPlan::seeded(get("seed").unwrap_or(0));
+    if let Some(n) = get("kill-every") {
+        plan = plan.kill_every(n);
+    }
+    if let Some(n) = get("corrupt-every") {
+        plan = plan.corrupt_every(n);
+    }
+    if let Some(n) = get("stall-every") {
+        plan = plan.stall_every(n, Duration::from_millis(50));
+    }
+    if let Some(n) = get("wakeup-every") {
+        plan = plan.wakeup_every(n);
+    }
+    cfg.fault_plan = plan;
+}
+
+/// Without the feature the flags are a hard error, not a silent no-op:
+/// a chaos run that silently injects nothing would look healthy.
+#[cfg(not(feature = "chaos"))]
+fn apply_chaos(_cfg: &mut ServeConfig, flags: &[(String, u64)]) {
+    if !flags.is_empty() {
+        eprintln!(
+            "aq-served: --chaos-* flags need a binary built with `--features chaos`; \
+             this one was not"
+        );
+        std::process::exit(2);
+    }
 }
 
 fn main() {
     let mut port: u16 = 7878;
     let mut cfg = ServeConfig::default();
+    let mut chaos_flags: Vec<(String, u64)> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--port=") {
             port = match v.parse() {
@@ -50,10 +101,36 @@ fn main() {
             };
         } else if let Some(v) = arg.strip_prefix("--checkpoint-dir=") {
             cfg.checkpoint_dir = PathBuf::from(v);
+        } else if let Some(v) = arg.strip_prefix("--restart-budget=") {
+            cfg.restart_budget = match v.parse() {
+                Ok(n) => n,
+                Err(_) => usage(),
+            };
+        } else if let Some(v) = arg.strip_prefix("--backoff-base-ms=") {
+            cfg.backoff_base = match v.parse() {
+                Ok(ms) => std::time::Duration::from_millis(ms),
+                Err(_) => usage(),
+            };
+        } else if let Some(v) = arg.strip_prefix("--backoff-cap-ms=") {
+            cfg.backoff_cap = match v.parse() {
+                Ok(ms) => std::time::Duration::from_millis(ms),
+                Err(_) => usage(),
+            };
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            cfg.supervisor_seed = match v.parse() {
+                Ok(s) => s,
+                Err(_) => usage(),
+            };
+        } else if let Some(rest) = arg.strip_prefix("--chaos-") {
+            match rest.split_once('=').map(|(k, v)| (k, v.parse::<u64>())) {
+                Some((k, Ok(v))) => chaos_flags.push((k.to_string(), v)),
+                _ => usage(),
+            }
         } else {
             usage();
         }
     }
+    apply_chaos(&mut cfg, &chaos_flags);
 
     let pins: Vec<&str> = cfg.workers.iter().map(|c| c.as_str()).collect();
     eprintln!(

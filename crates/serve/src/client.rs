@@ -6,8 +6,61 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::backoff::{self, Backoff};
 use crate::protocol::{Request, SubmitRequest, MAX_FRAME_BYTES};
 use crate::service::{MetricsReport, Response, ServeCore};
+
+/// How a client resubmits after transient failures: capped jittered
+/// exponential backoff, also honouring any `retry_after_ms` hint the
+/// server attached (whichever is longer wins).
+///
+/// Resubmission is idempotent by construction: a completed job's outcome
+/// lands in the server's content-addressed result cache, so a retry of
+/// work that actually finished is served bit-identically from the cache
+/// instead of running twice.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, the first try included (`1` = no retries).
+    pub max_attempts: u32,
+    /// Nominal first retry delay (jittered to `[d/2, d)`).
+    pub base: Duration,
+    /// Nominal retry delay cap.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0xC11E_4275,
+        }
+    }
+}
+
+/// `Some(server_hint_ms)` when the response is worth retrying: a
+/// rejection carrying `retry_after_ms` (class unhealthy, queue full,
+/// deadline-shed) or a job aborted with a `transient:` reason (its
+/// worker died mid-job; the job itself was fine). Permanent refusals
+/// and genuine outcomes return `None`.
+fn retry_hint_ms(response: &Response) -> Option<u64> {
+    match response {
+        Response::Rejected {
+            retry_after_ms: Some(ms),
+            ..
+        } => Some(*ms),
+        Response::Status(s) => s
+            .outcome
+            .as_ref()
+            .and_then(|o| o.aborted.as_ref())
+            .filter(|a| a.reason.starts_with("transient:"))
+            .map(|_| 0),
+        _ => None,
+    }
+}
 
 /// An in-process client: the same request/response surface as the wire,
 /// minus serialization. This is what the integration tests and the load
@@ -47,6 +100,34 @@ impl Client {
     /// Fetches a metrics snapshot.
     pub fn metrics(&self) -> MetricsReport {
         self.core.metrics_report()
+    }
+
+    /// Runs one job to a terminal state with idempotent resubmission:
+    /// submit, wait, and — when the response is a retryable refusal or a
+    /// `transient:` abort (worker death) — back off and resubmit, up to
+    /// `policy.max_attempts` tries. Returns the last response (a terminal
+    /// `Status`, a permanent `Rejected`, or whatever the final attempt
+    /// produced when the attempts ran out).
+    pub fn run_with_retry(
+        &self,
+        submit: &SubmitRequest,
+        wait_timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Response {
+        let mut delays = Backoff::new(policy.base, policy.cap, policy.seed);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let response = match self.submit(submit.clone()) {
+                Response::Submitted { job } => self.wait(job, wait_timeout),
+                other => other,
+            };
+            let hint_ms = match retry_hint_ms(&response) {
+                Some(ms) if attempt < policy.max_attempts.max(1) => ms,
+                _ => return response,
+            };
+            backoff::sleep(delays.next_delay().max(Duration::from_millis(hint_ms)));
+        }
     }
 
     /// Stops admission and waits for in-flight jobs.

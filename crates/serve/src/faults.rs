@@ -1,0 +1,356 @@
+//! Deterministic, seed-driven fault injection for the serve stack.
+//!
+//! A [`FaultPlan`] is threaded through the service, the worker loop and
+//! the TCP event loop. When the `chaos` feature is enabled it decides —
+//! as a pure function of its seed and the job id / connection sequence /
+//! tick it is asked about — whether to kill a worker, corrupt a parked
+//! session, stall a connection or fire a spurious wakeup. With the
+//! feature off every decision method compiles down to a constant
+//! "no fault", so production builds carry no chaos machinery at all.
+//!
+//! Determinism is the point: the same plan against the same request
+//! sequence injects the same faults, so the chaos suite can assert exact
+//! metric reconciliation and byte-identical results under a fixed seed.
+//!
+//! The plan keeps injection *counters* (kills, corruptions landed,
+//! stalls, wakeups) that the chaos tests reconcile against the service's
+//! own recovery counters — e.g. every corruption that landed must show up
+//! as a session validate-failure before the next warm reuse.
+
+use std::time::Duration;
+
+/// Which I/O phase of a connection a stall is injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPhase {
+    /// Delay acceptance handling of the new connection.
+    Accept,
+    /// Defer reading bytes the peer already sent.
+    Read,
+    /// Defer flushing response bytes to the peer.
+    Write,
+}
+
+/// Panic payload used for injected worker kills, so the supervisor's
+/// panic handling is exercised by a payload that is neither `&str` nor
+/// `String` (the two shapes real panics usually carry).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosKill;
+
+/// Snapshot of how many faults a plan has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worker kills triggered ([`FaultPlan::kill_worker`] returned true).
+    pub kills: u64,
+    /// Session corruptions that actually landed in a parked manager.
+    pub corruptions: u64,
+    /// Connection stalls handed out.
+    pub stalls: u64,
+    /// Spurious wakeups fired.
+    pub wakeups: u64,
+}
+
+#[cfg(feature = "chaos")]
+mod inner {
+    use super::StallPhase;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[derive(Debug, Default)]
+    pub(super) struct Inner {
+        pub(super) seed: u64,
+        /// Kill the worker on every job id divisible by this (0 = never).
+        pub(super) kill_every: u64,
+        /// Kill with this probability out of 1000, hashed per job id.
+        pub(super) kill_per_mille: u64,
+        /// Kill exactly these job ids.
+        pub(super) kill_jobs: Vec<u64>,
+        /// Corrupt the worker's parked session after every job id
+        /// divisible by this (0 = never).
+        pub(super) corrupt_every: u64,
+        /// Stall every connection whose accept sequence is divisible by
+        /// this (0 = never), for `stall` long.
+        pub(super) stall_every: u64,
+        pub(super) stall: Duration,
+        /// Pin the stalled phase instead of hashing it from the seed.
+        pub(super) stall_phase_override: Option<StallPhase>,
+        /// Fire a spurious queue wakeup on every event-loop tick divisible
+        /// by this (0 = never).
+        pub(super) wakeup_every: u64,
+        pub(super) kills: AtomicU64,
+        pub(super) corruptions: AtomicU64,
+        pub(super) stalls: AtomicU64,
+        pub(super) wakeups: AtomicU64,
+    }
+
+    impl Inner {
+        pub(super) fn count(counter: &AtomicU64) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// SplitMix64-style mixer over (seed, decision domain, index): one
+    /// plan seed yields independent streams per fault kind.
+    pub(super) fn mix(seed: u64, domain: u64, n: u64) -> u64 {
+        let mut z = seed
+            .wrapping_add(domain.wrapping_mul(0xd129_0d3b_5625_2b8f))
+            .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A deterministic fault-injection plan (inert unless built with the
+/// `chaos` feature *and* configured via its builder methods).
+///
+/// Cloning shares the plan — all clones feed the same counters, so the
+/// copy handed to the server and the copies inside workers reconcile.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    #[cfg(feature = "chaos")]
+    inner: Option<std::sync::Arc<inner::Inner>>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (same as `Default`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can inject faults at all.
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            false
+        }
+    }
+
+    /// Should the worker running job `job_id` be killed? Counts the kill
+    /// when the answer is yes.
+    #[allow(unused_variables)]
+    pub fn kill_worker(&self, job_id: u64) -> bool {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            let by_every = p.kill_every != 0 && job_id % p.kill_every == 0;
+            let by_list = p.kill_jobs.contains(&job_id);
+            let by_mille =
+                p.kill_per_mille != 0 && inner::mix(p.seed, 1, job_id) % 1000 < p.kill_per_mille;
+            if by_every || by_list || by_mille {
+                inner::Inner::count(&p.kills);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Should the parked session be corrupted after job `job_id`? Returns
+    /// the corruption seed when yes. Does **not** count — callers report
+    /// back with [`FaultPlan::note_corruption_landed`] only when a parked
+    /// manager existed to corrupt, so the counter equals corruptions that
+    /// can be detected.
+    #[allow(unused_variables)]
+    pub fn corrupt_session(&self, job_id: u64) -> Option<u64> {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            if p.corrupt_every != 0 && job_id % p.corrupt_every == 0 {
+                return Some(inner::mix(p.seed, 2, job_id));
+            }
+        }
+        None
+    }
+
+    /// Records that a corruption issued by [`FaultPlan::corrupt_session`]
+    /// actually landed in a parked manager.
+    pub fn note_corruption_landed(&self) {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            inner::Inner::count(&p.corruptions);
+        }
+    }
+
+    /// Should the `conn_seq`-th accepted connection be stalled, and if so
+    /// in which phase and for how long? Counts the stall when yes.
+    #[allow(unused_variables)]
+    pub fn conn_stall(&self, conn_seq: u64) -> Option<(StallPhase, Duration)> {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            if p.stall_every != 0 && conn_seq % p.stall_every == 0 {
+                let phase =
+                    p.stall_phase_override
+                        .unwrap_or(match inner::mix(p.seed, 3, conn_seq) % 3 {
+                            0 => StallPhase::Accept,
+                            1 => StallPhase::Read,
+                            _ => StallPhase::Write,
+                        });
+                inner::Inner::count(&p.stalls);
+                return Some((phase, p.stall));
+            }
+        }
+        None
+    }
+
+    /// Should event-loop tick `tick` fire a spurious wakeup on the queue
+    /// condvars? Counts the wakeup when yes.
+    #[allow(unused_variables)]
+    pub fn spurious_wakeup(&self, tick: u64) -> bool {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            if p.wakeup_every != 0 && tick != 0 && tick % p.wakeup_every == 0 {
+                inner::Inner::count(&p.wakeups);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Injection counters so far; `None` when the plan is inert.
+    pub fn counters(&self) -> Option<FaultCounters> {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = &self.inner {
+            use std::sync::atomic::Ordering;
+            return Some(FaultCounters {
+                kills: p.kills.load(Ordering::Relaxed),
+                corruptions: p.corruptions.load(Ordering::Relaxed),
+                stalls: p.stalls.load(Ordering::Relaxed),
+                wakeups: p.wakeups.load(Ordering::Relaxed),
+            });
+        }
+        None
+    }
+}
+
+#[cfg(feature = "chaos")]
+impl FaultPlan {
+    /// Starts an active plan from a seed. All subsequent builder calls
+    /// must happen before the plan is cloned/shared.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            inner: Some(std::sync::Arc::new(inner::Inner {
+                seed,
+                ..inner::Inner::default()
+            })),
+        }
+    }
+
+    fn tune(mut self, f: impl FnOnce(&mut inner::Inner)) -> Self {
+        if let Some(arc) = self.inner.as_mut() {
+            if let Some(p) = std::sync::Arc::get_mut(arc) {
+                f(p);
+            }
+        }
+        self
+    }
+
+    /// Kill the worker on every job id divisible by `n` (0 disables).
+    pub fn kill_every(self, n: u64) -> Self {
+        self.tune(|p| p.kill_every = n)
+    }
+
+    /// Kill each job's worker with probability `per_mille`/1000, decided
+    /// by hashing the job id against the plan seed.
+    pub fn kill_per_mille(self, per_mille: u64) -> Self {
+        self.tune(|p| p.kill_per_mille = per_mille)
+    }
+
+    /// Kill the worker running exactly job `id` (may be called multiple
+    /// times to target several ids).
+    pub fn kill_job(self, id: u64) -> Self {
+        self.tune(|p| p.kill_jobs.push(id))
+    }
+
+    /// Corrupt the worker's parked session after every job id divisible
+    /// by `n` (0 disables).
+    pub fn corrupt_every(self, n: u64) -> Self {
+        self.tune(|p| p.corrupt_every = n)
+    }
+
+    /// Stall every `n`-th accepted connection for `d` (0 disables). The
+    /// stalled phase is hashed from the seed unless pinned with
+    /// [`FaultPlan::stall_phase`].
+    pub fn stall_every(self, n: u64, d: Duration) -> Self {
+        self.tune(|p| {
+            p.stall_every = n;
+            p.stall = d;
+        })
+    }
+
+    /// Pins the phase used for injected connection stalls.
+    pub fn stall_phase(self, phase: StallPhase) -> Self {
+        self.tune(|p| p.stall_phase_override = Some(phase))
+    }
+
+    /// Fire a spurious queue wakeup on every `n`-th event-loop tick
+    /// (0 disables).
+    pub fn wakeup_every(self, n: u64) -> Self {
+        self.tune(|p| p.wakeup_every = n)
+    }
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert!(!p.kill_worker(1));
+        assert!(p.corrupt_session(1).is_none());
+        assert!(p.conn_stall(0).is_none());
+        assert!(!p.spurious_wakeup(5));
+        assert!(p.counters().is_none());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_counted() {
+        let make = || {
+            FaultPlan::seeded(0xFEED)
+                .kill_per_mille(250)
+                .corrupt_every(3)
+                .stall_every(2, Duration::from_millis(5))
+                .wakeup_every(4)
+        };
+        let a = make();
+        let b = make();
+        let ka: Vec<bool> = (1..=40).map(|id| a.kill_worker(id)).collect();
+        let kb: Vec<bool> = (1..=40).map(|id| b.kill_worker(id)).collect();
+        assert_eq!(ka, kb, "kill decisions must replay identically");
+        assert!(ka.iter().any(|&k| k), "250‰ over 40 jobs should kill some");
+        assert!(!ka.iter().all(|&k| k), "and spare some");
+        assert_eq!(a.corrupt_session(3), b.corrupt_session(3));
+        assert!(a.corrupt_session(4).is_none());
+        assert_eq!(a.conn_stall(2).map(|(ph, d)| (ph, d)), b.conn_stall(2));
+        assert!(a.conn_stall(1).is_none());
+        assert!(a.spurious_wakeup(4));
+        assert!(!a.spurious_wakeup(0), "tick 0 never fires");
+        let c = a.counters().expect("active plan has counters");
+        assert_eq!(c.kills as usize, ka.iter().filter(|&&k| k).count());
+        assert_eq!(c.stalls, 1);
+        assert_eq!(c.wakeups, 1);
+        assert_eq!(c.corruptions, 0, "corruptions only count when landed");
+        a.note_corruption_landed();
+        assert_eq!(a.counters().map(|c| c.corruptions), Some(1));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let p = FaultPlan::seeded(1).kill_every(1);
+        let q = p.clone();
+        assert!(q.kill_worker(7));
+        assert_eq!(p.counters().map(|c| c.kills), Some(1));
+    }
+
+    #[test]
+    fn stall_phase_override_pins_the_phase() {
+        let p = FaultPlan::seeded(9)
+            .stall_every(1, Duration::from_millis(1))
+            .stall_phase(StallPhase::Write);
+        for seq in 0..5 {
+            assert_eq!(p.conn_stall(seq).map(|(ph, _)| ph), Some(StallPhase::Write));
+        }
+    }
+}

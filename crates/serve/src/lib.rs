@@ -23,8 +23,10 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod json;
 pub mod lockaudit;
 pub mod metrics;
@@ -33,8 +35,10 @@ pub mod queue;
 pub mod server;
 pub mod service;
 
+pub use backoff::Backoff;
 pub use cache::{CacheKey, ResultCache, ResultCacheStats};
-pub use client::{Client, TcpClient};
+pub use client::{Client, RetryPolicy, TcpClient};
+pub use faults::{ChaosKill, FaultCounters, FaultPlan, StallPhase};
 pub use json::Json;
 pub use metrics::{
     histogram_quantile_ms, LatencyHistogram, Metrics, WorkerStats, LATENCY_BUCKETS,

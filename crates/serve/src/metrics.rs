@@ -98,6 +98,15 @@ pub struct WorkerStats {
     pub warm_reuses: u64,
     /// Session managers dropped for exceeding the retention budget.
     pub session_shrinks: u64,
+    /// Session managers quarantined (panic, unvalidated abort, or failed
+    /// suspect validation).
+    pub quarantines: u64,
+    /// Suspect session managers that passed pre-reuse validation.
+    pub validations: u64,
+    /// Suspect session managers whose retained state failed validation.
+    pub validate_failures: u64,
+    /// Cold session builds that replaced a quarantined manager.
+    pub rebuilds: u64,
 }
 
 /// Sums two [`EngineStatistics`] field-wise. Thin wrapper around
@@ -128,6 +137,17 @@ pub struct Metrics {
     /// Connections refused (with a structured error response) because the
     /// event loop was at its connection cap.
     pub connections_rejected: AtomicU64,
+    /// Connections dropped at shutdown because they exceeded their
+    /// per-connection flush grace.
+    pub connections_reaped_at_shutdown: AtomicU64,
+    /// Worker threads found dead by the supervisor (panicked out of the
+    /// worker loop; clean retirements are not deaths).
+    pub worker_deaths: AtomicU64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_respawns: AtomicU64,
+    /// Submissions rejected because the estimated queue wait already
+    /// exceeded the job's deadline (subset of `rejected`).
+    pub shed_deadline: AtomicU64,
     /// Latency from submission to terminal state.
     pub latency: LatencyHistogram,
     /// Per-worker aggregates, indexed by worker id.
@@ -160,6 +180,10 @@ impl Metrics {
             row.engine.absorb(engine);
             row.warm_reuses = session.warm_reuses;
             row.session_shrinks = session.shrinks;
+            row.quarantines = session.quarantines;
+            row.validations = session.validations;
+            row.validate_failures = session.validate_failures;
+            row.rebuilds = session.rebuilds;
         }
     }
 }
@@ -250,13 +274,12 @@ mod tests {
         let e = EngineStatistics::default();
         let s1 = SessionStats {
             jobs: 1,
-            warm_reuses: 0,
-            shrinks: 0,
+            ..SessionStats::default()
         };
         let s2 = SessionStats {
             jobs: 2,
             warm_reuses: 1,
-            shrinks: 0,
+            ..SessionStats::default()
         };
         m.record_worker_job(0, &e, 0.1, s1);
         m.record_worker_job(0, &e, 0.1, s2);

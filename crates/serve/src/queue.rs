@@ -198,6 +198,17 @@ impl<T> JobQueue<T> {
         self.lock().closed
     }
 
+    /// Wakes every waiter on every class condvar without changing any
+    /// state — a deliberate spurious wakeup. Chaos-test machinery for
+    /// asserting that [`JobQueue::pop`]'s wait loop re-checks its
+    /// predicate instead of trusting the wake; harmless (by that same
+    /// contract) if called in production.
+    pub fn chaos_notify_all(&self) {
+        for cv in &self.available {
+            cv.notify_all();
+        }
+    }
+
     /// Removes and returns every queued job (shutdown eviction).
     pub fn evict_all(&self) -> Vec<QueuedJob<T>> {
         let mut inner = self.lock();

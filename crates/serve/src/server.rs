@@ -27,16 +27,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::faults::StallPhase;
 use crate::protocol::{error_response, Request, MAX_FRAME_BYTES};
 use crate::service::{Response, ServeCore};
 
 /// How long the loop sleeps when a full pass made no progress.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 
-/// How long a finished shutdown waits for response bytes to drain before
-/// the loop exits anyway (a peer that never reads cannot hold the
-/// process hostage).
-const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_secs(5);
+/// How often an otherwise-busy loop still runs a supervision pass (an
+/// idle loop supervises every idle sleep anyway).
+const SUPERVISE_EVERY: Duration = Duration::from_millis(25);
 
 /// Read chunk size per `read` call.
 const READ_CHUNK: usize = 4096;
@@ -69,6 +69,14 @@ struct Conn {
     close_after_flush: bool,
     saw_eof: bool,
     dead: bool,
+    /// Per-connection shutdown flush deadline: set when a stop begins and
+    /// this connection still has bytes (or a verb) in flight. Reaped —
+    /// and counted — once exceeded, so one unread socket cannot hold the
+    /// process (or other connections' flushes) hostage.
+    flush_deadline: Option<Instant>,
+    /// Chaos-injected I/O stall: the named phase makes no progress until
+    /// the instant passes (purely a scheduling deferral — no sleeping).
+    stall: Option<(StallPhase, Instant)>,
 }
 
 impl Conn {
@@ -81,6 +89,22 @@ impl Conn {
             close_after_flush: false,
             saw_eof: false,
             dead: false,
+            flush_deadline: None,
+            stall: None,
+        }
+    }
+
+    /// Whether a chaos stall currently defers `phase` for this
+    /// connection (an `Accept` stall defers every phase). Clears the
+    /// stall once its window has passed.
+    fn stalled(&mut self, phase: StallPhase, now: Instant) -> bool {
+        match self.stall {
+            Some((_, until)) if now >= until => {
+                self.stall = None;
+                false
+            }
+            Some((p, _)) => p == phase || p == StallPhase::Accept,
+            None => false,
         }
     }
 
@@ -368,10 +392,21 @@ impl Server {
         let core = self.core;
         let mut conns: Vec<Conn> = Vec::new();
         let mut stopping = false;
-        let mut stop_deadline: Option<Instant> = None;
         let mut last_epoch = core.completion_epoch();
+        let mut conn_seq: u64 = 0;
+        let mut last_supervise = Instant::now();
         loop {
             let mut progress = false;
+
+            // 0. Supervision pass: reap dead workers, recover orphaned
+            // jobs, respawn under budget. Bounded to one pass per
+            // interval while the loop is busy; an idle loop supervises
+            // on every idle wakeup.
+            let now = Instant::now();
+            if now.saturating_duration_since(last_supervise) >= SUPERVISE_EVERY {
+                last_supervise = now;
+                core.supervise();
+            }
 
             // 1. Accept everything waiting (unless stopping).
             if !stopping {
@@ -389,7 +424,14 @@ impl Server {
                                 continue;
                             }
                             core.note_connection_accepted();
-                            conns.push(Conn::new(stream));
+                            let mut conn = Conn::new(stream);
+                            if let Some((phase, dur)) =
+                                core.config().fault_plan.conn_stall(conn_seq)
+                            {
+                                conn.stall = Some((phase, Instant::now() + dur));
+                            }
+                            conn_seq += 1;
+                            conns.push(conn);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
@@ -400,7 +442,11 @@ impl Server {
             }
 
             // 2. Read and handle what each connection has buffered.
+            let now = Instant::now();
             for conn in &mut conns {
+                if conn.stalled(StallPhase::Read, now) {
+                    continue;
+                }
                 progress |= conn.pump_reads();
                 progress |= conn.process_frames(&core, &mut stopping);
             }
@@ -415,7 +461,11 @@ impl Server {
             }
 
             // 4. Write pass.
+            let now = Instant::now();
             for conn in &mut conns {
+                if conn.stalled(StallPhase::Write, now) {
+                    continue;
+                }
                 progress |= conn.flush_writes();
             }
 
@@ -425,18 +475,35 @@ impl Server {
             progress |= conns.len() != before;
 
             if stopping {
-                let deadline =
-                    *stop_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_GRACE);
+                // Each connection gets its *own* flush grace, so one
+                // peer that never reads cannot spend the whole window
+                // and starve everyone else's flush (the old global
+                // deadline did exactly that under a slow-loris reader).
+                let now = Instant::now();
+                let grace = core.config().shutdown_conn_flush_grace;
+                for conn in &mut conns {
+                    if conn.dead || (conn.write_buf.is_empty() && conn.pending.is_none()) {
+                        continue;
+                    }
+                    let deadline = *conn.flush_deadline.get_or_insert(now + grace);
+                    if now >= deadline {
+                        conn.dead = true;
+                        core.note_connection_reaped();
+                        progress = true;
+                    }
+                }
                 let drained = conns
                     .iter()
-                    .all(|c| c.write_buf.is_empty() && c.pending.is_none());
-                if drained || Instant::now() >= deadline {
+                    .all(|c| c.dead || (c.write_buf.is_empty() && c.pending.is_none()));
+                if drained {
                     return Ok(());
                 }
             }
             if !progress {
                 crate::lockaudit::blocking_op("event-loop idle sleep");
-                std::thread::sleep(IDLE_SLEEP);
+                core.supervise();
+                last_supervise = Instant::now();
+                crate::backoff::sleep(IDLE_SLEEP);
             }
         }
     }

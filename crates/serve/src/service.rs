@@ -23,6 +23,30 @@
 //! engine errors arrive as structured aborts from
 //! [`run_job`](aq_sim::run_job), and a panic in the stack below is caught
 //! and converted into an aborted outcome.
+//!
+//! # Supervision
+//!
+//! Even the catch-everything worker loop can die — a panic outside the
+//! guarded region (chaos injection does this on purpose), a stack
+//! overflow aborting the unwind, a bug in the loop itself. The
+//! [`ServeCore::supervise`] pass runs on every request and every event
+//! loop tick and walks the worker slots through a small state machine:
+//!
+//! ```text
+//!           spawn ok                    thread finished, not clean
+//!   Spawning ───────► Live ──────────────────────────┐
+//!      ▲                │ clean exit (queue closed)   │ death: orphaned job
+//!      │ backoff due    ▼                             ▼ aborted `transient:`
+//!      │            Retired ◄──(budget exhausted)── Respawning
+//!      └────────────────────────────────────────────────┘
+//! ```
+//!
+//! Each death recovers the orphaned job as a `transient:` abort, then
+//! respawns the worker after a seeded, jittered exponential backoff —
+//! until the class's restart budget runs out. A class with no slot left
+//! outside `Retired` is **unhealthy**: its queued jobs are evicted once
+//! (with a reason), and new submissions are refused with a
+//! `retry_after_ms` hint instead of queueing into a black hole.
 
 use std::collections::HashMap;
 use std::io;
@@ -39,14 +63,21 @@ use aq_sim::{
     EngineSession, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SessionConfig, SimOptions,
 };
 
+use crate::backoff::Backoff;
 use crate::cache::{CacheKey, ResultCache, ResultCacheStats};
+use crate::faults::{ChaosKill, FaultCounters, FaultPlan};
 use crate::json::Json;
 use crate::lockaudit::{DebugCondvar, DebugMutex, DebugMutexGuard};
 use crate::metrics::{
     histogram_quantile_ms, Metrics, WorkerStats, LATENCY_BUCKETS, LATENCY_BUCKET_EDGES_US,
 };
 use crate::protocol::{Request, SubmitRequest};
-use crate::queue::JobQueue;
+use crate::queue::{AdmissionError, JobQueue};
+
+/// How long blocking verbs sleep between completion checks; each wakeup
+/// also runs a supervision pass, so a dead worker cannot stall `wait`,
+/// `drain` or `shutdown` past this granularity.
+const SUPERVISE_INTERVAL: Duration = Duration::from_millis(25);
 
 /// The two families of weight systems a worker can be pinned to. Engine
 /// managers are cheap per job, but the *working set* (gate caches, weight
@@ -122,6 +153,30 @@ pub struct ServeConfig {
     /// Bound on simultaneously open TCP connections in the event loop;
     /// connections beyond it receive a structured error and are closed.
     pub max_connections: usize,
+    /// Worker respawns the supervisor may spend per scheme class before
+    /// marking the class unhealthy.
+    pub restart_budget: u32,
+    /// Nominal first respawn delay (jittered to `[d/2, d)`).
+    pub backoff_base: Duration,
+    /// Nominal respawn delay cap.
+    pub backoff_cap: Duration,
+    /// Seed for the supervisor's deterministic backoff jitter (each
+    /// worker slot derives its own stream from this).
+    pub supervisor_seed: u64,
+    /// Run the structural invariant checker on a suspect warm session
+    /// manager before reusing it (see
+    /// [`aq_sim::SessionConfig::suspect_validate`]).
+    pub session_suspect_validate: bool,
+    /// The `retry_after_ms` hint attached to refusals for an unhealthy
+    /// scheme class.
+    pub unhealthy_retry_after: Duration,
+    /// Per-connection flush grace at shutdown: a connection that cannot
+    /// take its final bytes within this window is reaped (and counted)
+    /// instead of starving other connections' flushes.
+    pub shutdown_conn_flush_grace: Duration,
+    /// Deterministic fault-injection plan (inert by default; only active
+    /// under the `chaos` feature).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +188,14 @@ impl Default for ServeConfig {
             result_cache_capacity: 256,
             session_max_retained_capacity: SessionConfig::default().max_retained_capacity,
             max_connections: 128,
+            restart_budget: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            supervisor_seed: 0x5EED_507E,
+            session_suspect_validate: true,
+            unhealthy_retry_after: Duration::from_secs(5),
+            shutdown_conn_flush_grace: Duration::from_secs(1),
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -320,6 +383,27 @@ pub struct WorkerReport {
     pub stats: WorkerStats,
 }
 
+/// One scheme class's supervision health in the metrics report.
+#[derive(Debug, Clone)]
+pub struct ClassHealthReport {
+    /// The class.
+    pub class: SchemeClass,
+    /// Worker slots configured for this class.
+    pub configured: u64,
+    /// Slots currently live (thread running).
+    pub live: u64,
+    /// Slots waiting out a respawn backoff (or mid-spawn).
+    pub respawning: u64,
+    /// Respawns already spent from the class's restart budget.
+    pub restarts_used: u32,
+    /// The configured restart budget.
+    pub restart_budget: u32,
+    /// Whether the class still accepts jobs (some slot is not retired).
+    /// Classes with no configured workers are reported healthy here;
+    /// admission rejects them with the static no-worker reason instead.
+    pub healthy: bool,
+}
+
 /// A point-in-time metrics snapshot (the `metrics` verb).
 #[derive(Debug, Clone)]
 pub struct MetricsReport {
@@ -359,6 +443,19 @@ pub struct MetricsReport {
     pub p99_ms: Option<f64>,
     /// Per-worker aggregates.
     pub workers: Vec<WorkerReport>,
+    /// Worker threads the supervisor found dead.
+    pub worker_deaths: u64,
+    /// Worker threads the supervisor respawned.
+    pub worker_respawns: u64,
+    /// Submissions rejected by deadline-aware load shedding (subset of
+    /// `rejected`).
+    pub shed_deadline: u64,
+    /// Connections dropped at shutdown for exceeding their flush grace.
+    pub connections_reaped_at_shutdown: u64,
+    /// Per-class supervision health.
+    pub health: Vec<ClassHealthReport>,
+    /// Fault-injection counters when a chaos plan is active.
+    pub chaos: Option<FaultCounters>,
 }
 
 impl MetricsReport {
@@ -382,6 +479,11 @@ pub enum Response {
     Rejected {
         /// Why.
         reason: String,
+        /// When present, the earliest point retrying makes sense (class
+        /// unhealthy, queue full, or deadline-shed): a hint, not a
+        /// guarantee. Absent for permanent refusals (bad request, no
+        /// worker configured, draining).
+        retry_after_ms: Option<u64>,
     },
     /// Job status (from `status` or `wait`).
     Status(Box<JobStatusReport>),
@@ -427,12 +529,21 @@ impl Response {
                 ("job", Json::Num(*job as f64)),
                 ("state", Json::str("queued")),
             ]),
-            Response::Rejected { reason } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("verb", Json::str("submit")),
-                ("state", Json::str("rejected")),
-                ("reason", Json::str(reason.as_str())),
-            ]),
+            Response::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("verb", Json::str("submit")),
+                    ("state", Json::str("rejected")),
+                    ("reason", Json::str(reason.as_str())),
+                ];
+                if let Some(ms) = retry_after_ms {
+                    pairs.push(("retry_after_ms", Json::Num(*ms as f64)));
+                }
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            }
             Response::Status(s) => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
@@ -488,6 +599,9 @@ impl Response {
                 ("evicted", Json::Num(m.evicted as f64)),
                 ("queue_depth", Json::Num(m.queue_depth as f64)),
                 ("running", Json::Num(m.running as f64)),
+                ("worker_deaths", Json::Num(m.worker_deaths as f64)),
+                ("worker_respawns", Json::Num(m.worker_respawns as f64)),
+                ("shed_deadline", Json::Num(m.shed_deadline as f64)),
                 (
                     "result_cache",
                     Json::obj(vec![
@@ -506,6 +620,10 @@ impl Response {
                     Json::obj(vec![
                         ("accepted", Json::Num(m.connections_accepted as f64)),
                         ("rejected", Json::Num(m.connections_rejected as f64)),
+                        (
+                            "reaped_at_shutdown",
+                            Json::Num(m.connections_reaped_at_shutdown as f64),
+                        ),
                     ]),
                 ),
                 (
@@ -555,10 +673,48 @@ impl Response {
                                     ("compactions", Json::Num(w.stats.engine.compactions as f64)),
                                     ("warm_reuses", Json::Num(w.stats.warm_reuses as f64)),
                                     ("session_shrinks", Json::Num(w.stats.session_shrinks as f64)),
+                                    ("quarantines", Json::Num(w.stats.quarantines as f64)),
+                                    ("validations", Json::Num(w.stats.validations as f64)),
+                                    (
+                                        "validate_failures",
+                                        Json::Num(w.stats.validate_failures as f64),
+                                    ),
+                                    ("rebuilds", Json::Num(w.stats.rebuilds as f64)),
                                 ])
                             })
                             .collect(),
                     ),
+                ),
+                (
+                    "health",
+                    Json::Arr(
+                        m.health
+                            .iter()
+                            .map(|h| {
+                                Json::obj(vec![
+                                    ("class", Json::str(h.class.as_str())),
+                                    ("configured", Json::Num(h.configured as f64)),
+                                    ("live", Json::Num(h.live as f64)),
+                                    ("respawning", Json::Num(h.respawning as f64)),
+                                    ("restarts_used", Json::Num(h.restarts_used as f64)),
+                                    ("restart_budget", Json::Num(h.restart_budget as f64)),
+                                    ("healthy", Json::Bool(h.healthy)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "chaos",
+                    match &m.chaos {
+                        None => Json::Null,
+                        Some(c) => Json::obj(vec![
+                            ("kills", Json::Num(c.kills as f64)),
+                            ("corruptions", Json::Num(c.corruptions as f64)),
+                            ("stalls", Json::Num(c.stalls as f64)),
+                            ("wakeups", Json::Num(c.wakeups as f64)),
+                        ]),
+                    },
                 ),
             ]),
             Response::Drained { completed, aborted } => Json::obj(vec![
@@ -586,6 +742,54 @@ impl Response {
     }
 }
 
+/// Supervision state of one worker thread slot.
+#[derive(Debug)]
+enum WorkerState {
+    /// Thread spawned and, as far as the supervisor knows, running.
+    Live(JoinHandle<()>),
+    /// Thread died; a respawn is scheduled at the given instant.
+    Respawning {
+        /// When the backoff expires and the slot may spawn again.
+        at: Instant,
+    },
+    /// A supervision pass is handling this slot right now (reaping the
+    /// finished thread or spawning a new one) with the lock released.
+    Spawning,
+    /// Permanently stopped: clean exit after queue close, or the class's
+    /// restart budget ran out.
+    Retired,
+}
+
+/// One worker thread's slot in the supervisor.
+#[derive(Debug)]
+struct WorkerSlot {
+    class: SchemeClass,
+    state: WorkerState,
+    /// Bumped on every respawn; names the thread.
+    generation: u64,
+    /// Id of the job the thread is running right now (`0` when idle).
+    /// On death the supervisor recovers it as a `transient:` abort.
+    current_job: Arc<AtomicU64>,
+    /// Set by the worker loop just before a normal return; a finished
+    /// thread that never set it died.
+    clean_exit: Arc<AtomicBool>,
+    /// This slot's deterministic jittered respawn-delay schedule.
+    backoff: Backoff,
+}
+
+/// Supervisor state: the worker slots plus per-class restart accounting.
+#[derive(Debug)]
+struct Supervisor {
+    slots: Vec<WorkerSlot>,
+    /// Respawns spent per class, against `ServeConfig::restart_budget`.
+    restarts_used: [u32; SchemeClass::COUNT],
+    /// Whether the once-per-exhaustion queue eviction sweep already ran
+    /// for an unhealthy class.
+    unhealthy_swept: [bool; SchemeClass::COUNT],
+    /// Supervision pass counter (drives deterministic spurious wakeups).
+    tick: u64,
+}
+
 /// The running service: queue, registry, metrics and the worker pool.
 ///
 /// Construct with [`ServeCore::start`], talk to it with
@@ -595,7 +799,29 @@ impl Response {
 #[derive(Debug)]
 pub struct ServeCore {
     shared: Arc<Shared>,
-    handles: DebugMutex<Vec<JoinHandle<()>>>,
+    /// Locked strictly on its own (never while holding the registry,
+    /// queue or metrics locks, and nothing else is locked under it).
+    supervisor: DebugMutex<Supervisor>,
+}
+
+/// Spawns (or respawns) one worker thread for a slot, resetting the
+/// slot's shared flags first.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    idx: usize,
+    class: SchemeClass,
+    generation: u64,
+    current_job: &Arc<AtomicU64>,
+    clean_exit: &Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    current_job.store(0, Ordering::Release);
+    clean_exit.store(false, Ordering::Release);
+    let shared = Arc::clone(shared);
+    let current_job = Arc::clone(current_job);
+    let clean_exit = Arc::clone(clean_exit);
+    std::thread::Builder::new()
+        .name(format!("aq-serve-worker-{idx}-g{generation}"))
+        .spawn(move || worker_loop(shared, idx, class, current_job, clean_exit))
 }
 
 impl ServeCore {
@@ -608,6 +834,9 @@ impl ServeCore {
     pub fn start(cfg: ServeConfig) -> io::Result<Arc<ServeCore>> {
         std::fs::create_dir_all(&cfg.checkpoint_dir).ok();
         let workers = cfg.workers.clone();
+        let backoff_base = cfg.backoff_base;
+        let backoff_cap = cfg.backoff_cap;
+        let seed = cfg.supervisor_seed;
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: Metrics::new(workers.len()),
@@ -621,18 +850,25 @@ impl ServeCore {
             completion_epoch: AtomicU64::new(0),
             cfg,
         });
-        let mut handles = Vec::with_capacity(workers.len());
+        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(workers.len());
         for (idx, &class) in workers.iter().enumerate() {
-            let worker_shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
-                .name(format!("aq-serve-worker-{idx}"))
-                .spawn(move || worker_loop(worker_shared, idx, class));
-            match spawned {
-                Ok(h) => handles.push(h),
+            let current_job = Arc::new(AtomicU64::new(0));
+            let clean_exit = Arc::new(AtomicBool::new(false));
+            match spawn_worker(&shared, idx, class, 0, &current_job, &clean_exit) {
+                Ok(h) => slots.push(WorkerSlot {
+                    class,
+                    state: WorkerState::Live(h),
+                    generation: 0,
+                    current_job,
+                    clean_exit,
+                    backoff: Backoff::new(backoff_base, backoff_cap, seed.wrapping_add(idx as u64)),
+                }),
                 Err(e) => {
                     shared.queue.close();
-                    for h in handles {
-                        h.join().ok();
+                    for slot in slots {
+                        if let WorkerState::Live(h) = slot.state {
+                            h.join().ok();
+                        }
                     }
                     return Err(e);
                 }
@@ -640,7 +876,15 @@ impl ServeCore {
         }
         Ok(Arc::new(ServeCore {
             shared,
-            handles: DebugMutex::new("serve.handles", handles),
+            supervisor: DebugMutex::new(
+                "serve.supervisor",
+                Supervisor {
+                    slots,
+                    restarts_used: [0; SchemeClass::COUNT],
+                    unhealthy_swept: [false; SchemeClass::COUNT],
+                    tick: 0,
+                },
+            ),
         }))
     }
 
@@ -651,7 +895,10 @@ impl ServeCore {
 
     /// Handles one request to a terminal response. `Wait`, `Drain` and
     /// `Shutdown` block the calling thread (that is their contract).
+    /// Every request starts with a supervision pass, so a dead worker is
+    /// noticed at the next request at the latest.
     pub fn handle(&self, request: Request) -> Response {
+        self.supervise();
         match request {
             Request::Submit(submit) => self.submit(*submit),
             Request::Status { job } => self.status(job),
@@ -662,12 +909,288 @@ impl ServeCore {
         }
     }
 
+    /// One supervision pass: reap finished worker threads, recover jobs
+    /// orphaned by deaths as `transient:` aborts, respawn dead workers
+    /// under the per-class restart budget (with jittered exponential
+    /// backoff), and — when a class just ran out of budget — evict its
+    /// queued jobs once so nothing waits on a class that cannot serve.
+    ///
+    /// Runs on every request, every event-loop tick, and every wakeup of
+    /// a blocking verb; safe to call concurrently (the `Spawning`
+    /// placeholder state keeps two passes off the same slot).
+    pub fn supervise(&self) {
+        let shared = &self.shared;
+
+        // Phase 1 (supervisor lock): collect finished threads and due
+        // respawns, marking their slots `Spawning` so a concurrent pass
+        // skips them. No joins or spawns under the lock.
+        type Reaped = (usize, JoinHandle<()>, Arc<AtomicU64>, Arc<AtomicBool>);
+        type PendingSpawn = (usize, SchemeClass, u64, Arc<AtomicU64>, Arc<AtomicBool>);
+        let mut finished: Vec<Reaped> = Vec::new();
+        let mut to_spawn: Vec<PendingSpawn> = Vec::new();
+        let spurious;
+        {
+            let mut sup = self.supervisor.lock();
+            sup.tick += 1;
+            spurious = shared.cfg.fault_plan.spurious_wakeup(sup.tick);
+            let now = Instant::now();
+            for (idx, slot) in sup.slots.iter_mut().enumerate() {
+                let due = match &slot.state {
+                    WorkerState::Live(h) => {
+                        if h.is_finished() {
+                            let state = std::mem::replace(&mut slot.state, WorkerState::Spawning);
+                            if let WorkerState::Live(h) = state {
+                                finished.push((
+                                    idx,
+                                    h,
+                                    Arc::clone(&slot.current_job),
+                                    Arc::clone(&slot.clean_exit),
+                                ));
+                            }
+                        }
+                        false
+                    }
+                    WorkerState::Respawning { at } => *at <= now,
+                    WorkerState::Spawning | WorkerState::Retired => false,
+                };
+                if due {
+                    slot.state = WorkerState::Spawning;
+                    slot.generation += 1;
+                    to_spawn.push((
+                        idx,
+                        slot.class,
+                        slot.generation,
+                        Arc::clone(&slot.current_job),
+                        Arc::clone(&slot.clean_exit),
+                    ));
+                }
+            }
+        }
+
+        // Phase 2 (no locks): join the finished threads, classify clean
+        // exit vs death, recover orphaned jobs, and spawn due respawns.
+        let mut outcomes: Vec<(usize, bool)> = Vec::new(); // (slot, died)
+        for (idx, handle, current_job, clean_exit) in finished {
+            crate::lockaudit::blocking_op("join finished worker");
+            let panicked = handle.join().is_err();
+            let died = panicked || !clean_exit.load(Ordering::Acquire);
+            if died {
+                shared.metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                let orphan = current_job.swap(0, Ordering::AcqRel);
+                if orphan != 0 {
+                    shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
+                    shared.finish_job(
+                        orphan,
+                        transient_death_outcome(
+                            "transient: worker died mid-job; resubmit to rerun",
+                        ),
+                    );
+                }
+            }
+            outcomes.push((idx, died));
+        }
+        let mut spawned: Vec<(usize, io::Result<JoinHandle<()>>)> = Vec::new();
+        for (idx, class, generation, current_job, clean_exit) in to_spawn {
+            spawned.push((
+                idx,
+                spawn_worker(shared, idx, class, generation, &current_job, &clean_exit),
+            ));
+        }
+
+        // Phase 3 (supervisor lock): record the outcomes — schedule
+        // respawns under budget, retire otherwise, install spawned
+        // threads — and find classes that just became unhealthy.
+        let mut sweep: Option<[bool; SchemeClass::COUNT]> = None;
+        if !outcomes.is_empty() || !spawned.is_empty() {
+            let mut sup = self.supervisor.lock();
+            let now = Instant::now();
+            let budget = shared.cfg.restart_budget;
+            for (idx, died) in outcomes {
+                let ci = sup.slots[idx].class.index();
+                if !died {
+                    sup.slots[idx].state = WorkerState::Retired;
+                } else if sup.restarts_used[ci] < budget {
+                    sup.restarts_used[ci] += 1;
+                    let delay = sup.slots[idx].backoff.next_delay();
+                    sup.slots[idx].state = WorkerState::Respawning { at: now + delay };
+                } else {
+                    sup.slots[idx].state = WorkerState::Retired;
+                }
+            }
+            for (idx, result) in spawned {
+                match result {
+                    Ok(h) => {
+                        sup.slots[idx].state = WorkerState::Live(h);
+                        shared
+                            .metrics
+                            .worker_respawns
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // Spawn failed (OS out of threads): costs another
+                        // budget unit and waits out another backoff.
+                        let ci = sup.slots[idx].class.index();
+                        if sup.restarts_used[ci] < budget {
+                            sup.restarts_used[ci] += 1;
+                            let delay = sup.slots[idx].backoff.next_delay();
+                            sup.slots[idx].state = WorkerState::Respawning { at: now + delay };
+                        } else {
+                            sup.slots[idx].state = WorkerState::Retired;
+                        }
+                    }
+                }
+            }
+            // A class whose every configured slot is retired is
+            // unhealthy; sweep its queued jobs exactly once.
+            let mut healthy = [true; SchemeClass::COUNT];
+            let mut newly_unhealthy = false;
+            for class in SchemeClass::ALL {
+                let ci = class.index();
+                let mut configured = 0usize;
+                let mut alive = 0usize;
+                for slot in sup.slots.iter().filter(|s| s.class == class) {
+                    configured += 1;
+                    if !matches!(slot.state, WorkerState::Retired) {
+                        alive += 1;
+                    }
+                }
+                if configured > 0 && alive == 0 {
+                    healthy[ci] = false;
+                    if !sup.unhealthy_swept[ci] {
+                        sup.unhealthy_swept[ci] = true;
+                        newly_unhealthy = true;
+                    }
+                }
+            }
+            if newly_unhealthy && !shared.queue.is_closed() {
+                sweep = Some(healthy);
+            }
+        }
+
+        // Phase 4 (no supervisor lock): perform the eviction sweep and
+        // the chaos-plan spurious wakeup.
+        if let Some(healthy) = sweep {
+            let evicted = shared.queue.evict_unmatched(|class| healthy[class.index()]);
+            for q in evicted {
+                shared.finish_job(
+                    q.id,
+                    evicted_outcome(
+                        "evicted: no healthy worker remains for the job's scheme class \
+                         (restart budget exhausted)",
+                    ),
+                );
+            }
+        }
+        if spurious {
+            shared.queue.chaos_notify_all();
+        }
+    }
+
+    /// Whether a configured class has lost every worker slot to the
+    /// restart budget. Unconfigured classes are never unhealthy (they
+    /// are rejected with the static no-worker reason instead).
+    fn class_is_unhealthy(&self, class: SchemeClass) -> bool {
+        let sup = self.supervisor.lock();
+        let mut configured = 0usize;
+        let mut alive = 0usize;
+        for slot in sup.slots.iter().filter(|s| s.class == class) {
+            configured += 1;
+            if !matches!(slot.state, WorkerState::Retired) {
+                alive += 1;
+            }
+        }
+        configured > 0 && alive == 0
+    }
+
+    /// Per-class supervision health rows for the metrics report.
+    fn class_health(&self) -> Vec<ClassHealthReport> {
+        let sup = self.supervisor.lock();
+        SchemeClass::ALL
+            .iter()
+            .map(|&class| {
+                let mut configured = 0u64;
+                let mut live = 0u64;
+                let mut respawning = 0u64;
+                for slot in sup.slots.iter().filter(|s| s.class == class) {
+                    configured += 1;
+                    match slot.state {
+                        WorkerState::Live(_) => live += 1,
+                        WorkerState::Respawning { .. } | WorkerState::Spawning => respawning += 1,
+                        WorkerState::Retired => {}
+                    }
+                }
+                ClassHealthReport {
+                    class,
+                    configured,
+                    live,
+                    respawning,
+                    restarts_used: sup.restarts_used[class.index()],
+                    restart_budget: self.shared.cfg.restart_budget,
+                    healthy: configured == 0 || live + respawning > 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Rough wait estimate (ms) for a job of `class` admitted now: the
+    /// class's historical mean busy time per job times its queue position,
+    /// spread over the live workers — plus the time until the earliest
+    /// respawn when nothing is live. Used for `retry_after_ms` hints and
+    /// deadline shedding; an estimate, not a promise.
+    fn estimated_wait_ms(&self, class: SchemeClass) -> u64 {
+        let shared = &self.shared;
+        let (mut jobs, mut busy_s) = (0u64, 0.0f64);
+        {
+            let rows = shared.metrics.workers.lock();
+            for (idx, row) in rows.iter().enumerate() {
+                if shared.cfg.workers.get(idx) == Some(&class) {
+                    jobs += row.jobs;
+                    busy_s += row.busy_seconds;
+                }
+            }
+        }
+        let depth = shared.queue.depths()[class.index()] as u64;
+        let (live, respawn_wait_ms) = {
+            let sup = self.supervisor.lock();
+            let now = Instant::now();
+            let mut live = 0u64;
+            let mut earliest: Option<u64> = None;
+            for slot in sup.slots.iter().filter(|s| s.class == class) {
+                match &slot.state {
+                    WorkerState::Live(_) => live += 1,
+                    WorkerState::Respawning { at } => {
+                        let ms = at.saturating_duration_since(now).as_millis() as u64;
+                        earliest = Some(earliest.map_or(ms, |e: u64| e.min(ms)));
+                    }
+                    WorkerState::Spawning => earliest = Some(0),
+                    WorkerState::Retired => {}
+                }
+            }
+            (live, earliest.unwrap_or(0))
+        };
+        // No history yet: assume a nominal 50ms/job so the estimate stays
+        // a small positive hint instead of zero.
+        let avg_ms = if jobs > 0 {
+            busy_s * 1_000.0 / jobs as f64
+        } else {
+            50.0
+        };
+        let mut est = (avg_ms * (depth + 1) as f64 / live.max(1) as f64) as u64;
+        if live == 0 {
+            est = est.saturating_add(respawn_wait_ms);
+        }
+        est.max(1)
+    }
+
     fn submit(&self, req: SubmitRequest) -> Response {
         let shared = &self.shared;
         shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let reject = |reason: String| {
+        let reject = |reason: String, retry_after_ms: Option<u64>| {
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            Response::Rejected { reason }
+            Response::Rejected {
+                reason,
+                retry_after_ms,
+            }
         };
 
         // Admission control, cheapest checks first.
@@ -676,18 +1199,34 @@ impl ServeCore {
                 "a resource budget is mandatory: set budget.max_nodes, budget.max_weights, \
                  budget.max_bits and/or budget.deadline_secs"
                     .into(),
+                None,
             );
         }
         let class = SchemeClass::of(&req.scheme);
         if !shared.cfg.workers.contains(&class) {
-            return reject(format!(
-                "no worker is pinned to the {} scheme class on this server",
-                class.as_str()
-            ));
+            return reject(
+                format!(
+                    "no worker is pinned to the {} scheme class on this server",
+                    class.as_str()
+                ),
+                None,
+            );
+        }
+        // An unhealthy class (restart budget exhausted) refuses with a
+        // retry hint rather than queueing into a black hole. Skipped once
+        // the queue is closed: draining is permanent, not retryable.
+        if !shared.queue.is_closed() && self.class_is_unhealthy(class) {
+            return reject(
+                format!(
+                    "the {} scheme class is unhealthy: its worker restart budget is exhausted",
+                    class.as_str()
+                ),
+                Some(shared.cfg.unhealthy_retry_after.as_millis() as u64),
+            );
         }
         let (circuit, start) = match req.circuit.build() {
             Ok(pair) => pair,
-            Err(reason) => return reject(reason),
+            Err(reason) => return reject(reason, None),
         };
 
         // Content-addressed short-circuit: a repeated submission of work
@@ -735,6 +1274,26 @@ impl ServeCore {
             shared.finish_job(id, outcome);
             return Response::Submitted { job: id };
         }
+
+        // Deadline-aware load shedding: if the estimated queue wait
+        // already eats the job's whole deadline, running it would only
+        // burn a worker on a guaranteed budget abort — refuse now, with
+        // the estimate as the retry hint. (Checked after the cache: a hit
+        // is instant regardless of queue depth.)
+        if let Some(deadline) = req.budget.deadline {
+            let est_ms = self.estimated_wait_ms(class);
+            if Duration::from_millis(est_ms) > deadline {
+                shared.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                return reject(
+                    format!(
+                        "deadline-shed: estimated queue wait {est_ms}ms exceeds the job's \
+                         {}ms deadline",
+                        deadline.as_millis()
+                    ),
+                    Some(est_ms),
+                );
+            }
+        }
         let work = JobWork {
             circuit,
             start,
@@ -774,7 +1333,13 @@ impl ServeCore {
             reg.map.remove(&id);
             reg.pending = reg.pending.saturating_sub(1);
             drop(reg);
-            return reject(e.to_string());
+            // A full queue is worth retrying once it drains; a closed
+            // (draining) service is not.
+            let hint = match e {
+                AdmissionError::Full { .. } => Some(self.estimated_wait_ms(class)),
+                AdmissionError::Closed => None,
+            };
+            return reject(e.to_string(), hint);
         }
         Response::Submitted { job: id }
     }
@@ -796,30 +1361,37 @@ impl ServeCore {
 
     fn wait(&self, job: u64, timeout: Duration) -> Response {
         let deadline = Instant::now() + timeout;
-        let mut reg = self.shared.lock_registry();
         loop {
-            match reg.map.get(&job) {
-                None => return Response::UnknownJob { job },
-                Some(rec) if rec.state.is_terminal() => {
-                    return Response::Status(Box::new(JobStatusReport {
-                        job,
-                        state: rec.state,
-                        label: rec.label.clone(),
-                        scheme: rec.scheme.clone(),
-                        priority: rec.priority,
-                        outcome: rec.outcome.clone(),
-                    }))
+            {
+                let reg = self.shared.lock_registry();
+                match reg.map.get(&job) {
+                    None => return Response::UnknownJob { job },
+                    Some(rec) if rec.state.is_terminal() => {
+                        return Response::Status(Box::new(JobStatusReport {
+                            job,
+                            state: rec.state,
+                            label: rec.label.clone(),
+                            scheme: rec.scheme.clone(),
+                            priority: rec.priority,
+                            outcome: rec.outcome.clone(),
+                        }))
+                    }
+                    Some(_) => {}
                 }
-                Some(_) => {}
+                let now = Instant::now();
+                if now >= deadline {
+                    return Response::Error {
+                        message: format!("timed out waiting for job {job}"),
+                    };
+                }
+                let step = (deadline - now).min(SUPERVISE_INTERVAL);
+                let (guard, _) = self.shared.terminal.wait_timeout(reg, step);
+                drop(guard);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Response::Error {
-                    message: format!("timed out waiting for job {job}"),
-                };
-            }
-            let (guard, _) = self.shared.terminal.wait_timeout(reg, deadline - now);
-            reg = guard;
+            // Each wakeup supervises (registry lock released first): a
+            // worker dying mid-job cannot stall this wait — its death
+            // recovers the job as a `transient:` abort within a tick.
+            self.supervise();
         }
     }
 
@@ -862,23 +1434,33 @@ impl ServeCore {
             p99_ms: histogram_quantile_ms(&latency_counts, 0.99),
             latency_counts,
             workers,
+            worker_deaths: shared.metrics.worker_deaths.load(Ordering::Relaxed),
+            worker_respawns: shared.metrics.worker_respawns.load(Ordering::Relaxed),
+            shed_deadline: shared.metrics.shed_deadline.load(Ordering::Relaxed),
+            connections_reaped_at_shutdown: shared
+                .metrics
+                .connections_reaped_at_shutdown
+                .load(Ordering::Relaxed),
+            health: self.class_health(),
+            chaos: shared.cfg.fault_plan.counters(),
         }
     }
 
     fn drain(&self) -> Response {
         self.begin_drain();
         loop {
-            {
-                let mut reg = self.shared.lock_registry();
-                while reg.pending > 0 {
-                    reg = self.shared.terminal.wait(reg);
-                }
-            }
-            // The queue is closed, so pending cannot rise again; the poll
-            // succeeds on the first pass in practice and the loop is only
-            // belt-and-braces against a re-check racing the unlock.
+            self.supervise();
+            // Supervision just recovered any orphans, so the poll usually
+            // succeeds immediately; otherwise sleep one tick (interrupted
+            // early by any terminal transition) and supervise again — a
+            // worker dying mid-drain therefore cannot hang the drain.
             if let Some(resp) = self.try_drain() {
                 return resp;
+            }
+            let reg = self.shared.lock_registry();
+            if reg.pending > 0 {
+                let (guard, _) = self.shared.terminal.wait_timeout(reg, SUPERVISE_INTERVAL);
+                drop(guard);
             }
         }
     }
@@ -886,14 +1468,14 @@ impl ServeCore {
     fn shutdown(&self) -> Response {
         let (evicted_queued, cancelled_running) = self.begin_shutdown();
         loop {
-            {
-                let mut reg = self.shared.lock_registry();
-                while reg.pending > 0 {
-                    reg = self.shared.terminal.wait(reg);
-                }
-            }
+            self.supervise();
             if let Some(resp) = self.try_complete_shutdown(evicted_queued, cancelled_running) {
                 return resp;
+            }
+            let reg = self.shared.lock_registry();
+            if reg.pending > 0 {
+                let (guard, _) = self.shared.terminal.wait_timeout(reg, SUPERVISE_INTERVAL);
+                drop(guard);
             }
         }
     }
@@ -1000,7 +1582,28 @@ impl ServeCore {
         if self.shared.lock_registry().pending > 0 {
             return None;
         }
-        let handles = std::mem::take(&mut *self.handles.lock());
+        // Retire every slot, taking live handles out for the final join.
+        // A slot mid-spawn defers the poll: the new thread will be Live
+        // (and joinable) at the next supervision pass.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut sup = self.supervisor.lock();
+            if sup
+                .slots
+                .iter()
+                .any(|s| matches!(s.state, WorkerState::Spawning))
+            {
+                return None;
+            }
+            sup.slots
+                .iter_mut()
+                .filter_map(
+                    |slot| match std::mem::replace(&mut slot.state, WorkerState::Retired) {
+                        WorkerState::Live(h) => Some(h),
+                        _ => None,
+                    },
+                )
+                .collect()
+        };
         crate::lockaudit::blocking_op("join worker pool");
         for h in handles {
             let _ = h.join();
@@ -1026,6 +1629,15 @@ impl ServeCore {
             .connections_rejected
             .fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Counts one connection dropped at shutdown because it exceeded its
+    /// per-connection flush grace.
+    pub fn note_connection_reaped(&self) {
+        self.shared
+            .metrics
+            .connections_reaped_at_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The zero-work aborted outcome drain/shutdown sweeps use.
@@ -1045,25 +1657,65 @@ fn evicted_outcome(reason: &str) -> JobOutcome {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
+/// The zero-work aborted outcome the supervisor writes for a job
+/// orphaned by a worker death. `transient:` marks it retryable — the
+/// job itself was fine; resubmitting reruns it bit-identically.
+fn transient_death_outcome(reason: &str) -> JobOutcome {
+    JobOutcome {
+        gates_applied: 0,
+        seconds: 0.0,
+        final_nodes: 0,
+        statistics: EngineStatistics::default(),
+        top_probabilities: Vec::new(),
+        resumed: false,
+        aborted: Some(JobAbortInfo {
+            reason: reason.into(),
+            checkpoint: None,
+            evicted: false,
+        }),
+    }
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    worker_idx: usize,
+    class: SchemeClass,
+    current_job: Arc<AtomicU64>,
+    clean_exit: Arc<AtomicBool>,
+) {
     // The worker's persistent engine session: one warm `Manager` per
     // scheme kind, budget-reset between jobs and reused across them, so
     // steady-state jobs pay no arena/table (re)allocation. A panicking
-    // job leaves its slot empty (the next job starts cold) — the session
+    // job quarantines its lane (the next job starts cold) — the session
     // itself survives.
     let mut session = EngineSession::new(SessionConfig {
         max_retained_capacity: shared.cfg.session_max_retained_capacity,
+        suspect_validate: shared.cfg.session_suspect_validate,
     });
     while let Some(qjob) = shared.queue.pop(class) {
+        // Advertise the claim before anything can go wrong: if this
+        // thread dies mid-job, the supervisor finds the id here and
+        // recovers the job as a `transient:` abort instead of leaving it
+        // "running" forever.
+        current_job.store(qjob.id, Ordering::Release);
         let cancel = {
             let mut reg = shared.lock_registry();
             let Some(rec) = reg.map.get_mut(&qjob.id) else {
+                current_job.store(0, Ordering::Release);
                 continue; // record vanished (never happens; stay alive anyway)
             };
             rec.state = JobState::Running;
             Arc::clone(&rec.cancel)
         };
         shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+
+        // Chaos kill point — deliberately *outside* the catch_unwind
+        // below, so the panic takes down the whole worker thread and
+        // exercises the supervisor's real death/recover/respawn path
+        // rather than the per-job guard.
+        if shared.cfg.fault_plan.kill_worker(qjob.id) {
+            std::panic::panic_any(ChaosKill);
+        }
 
         let work = &qjob.payload;
         let spec = JobSpec {
@@ -1080,20 +1732,38 @@ fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
         // the panic is converted into an aborted outcome here.
         let outcome = match catch_unwind(AssertUnwindSafe(|| session.run(&spec, Some(&cancel)))) {
             Ok(outcome) => outcome,
-            Err(payload) => JobOutcome {
-                gates_applied: 0,
-                seconds: 0.0,
-                final_nodes: 0,
-                statistics: EngineStatistics::default(),
-                top_probabilities: Vec::new(),
-                resumed: false,
-                aborted: Some(JobAbortInfo {
-                    reason: format!("internal error: job panicked: {}", panic_message(&payload)),
-                    checkpoint: None,
-                    evicted: false,
-                }),
-            },
+            Err(payload) => {
+                // The unwound lane may hold arbitrarily damaged retained
+                // state; quarantine it so the next job starts cold.
+                session.note_panic(&work.scheme);
+                JobOutcome {
+                    gates_applied: 0,
+                    seconds: 0.0,
+                    final_nodes: 0,
+                    statistics: EngineStatistics::default(),
+                    top_probabilities: Vec::new(),
+                    resumed: false,
+                    aborted: Some(JobAbortInfo {
+                        reason: format!(
+                            "internal error: job panicked: {}",
+                            panic_message(&payload)
+                        ),
+                        checkpoint: None,
+                        evicted: false,
+                    }),
+                }
+            }
         };
+        // Chaos corruption point: silently damage the parked manager the
+        // job just left warm; the session's suspect-validate pass must
+        // catch it before the next warm reuse.
+        #[cfg(feature = "chaos")]
+        if let Some(seed) = shared.cfg.fault_plan.corrupt_session(qjob.id) {
+            if session.chaos_corrupt_parked(&work.scheme, seed) {
+                shared.cfg.fault_plan.note_corruption_landed();
+            }
+        }
+        current_job.store(0, Ordering::Release);
         shared.metrics.record_worker_job(
             worker_idx,
             &outcome.statistics,
@@ -1103,6 +1773,7 @@ fn worker_loop(shared: Arc<Shared>, worker_idx: usize, class: SchemeClass) {
         shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
         shared.finish_job(qjob.id, outcome);
     }
+    clean_exit.store(true, Ordering::Release);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {

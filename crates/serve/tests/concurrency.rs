@@ -132,7 +132,7 @@ fn mixed_batch_over_four_workers_reconciles_and_is_deterministic() {
                     SchemeSpec::Numeric { eps: 1e-10 },
                     RunBudget::unlimited(),
                 )) {
-                    Response::Rejected { reason } => {
+                    Response::Rejected { reason, .. } => {
                         assert!(reason.contains("budget"), "unexpected reason: {reason}")
                     }
                     other => panic!("unbudgeted submit must be rejected, got {other:?}"),
@@ -286,7 +286,7 @@ fn budget_abort_checkpoints_and_resume_completes_bit_identically() {
         SchemeSpec::Qomega,
         RunBudget::unlimited().with_max_nodes(1_000),
     )) {
-        Response::Rejected { reason } => {
+        Response::Rejected { reason, .. } => {
             assert!(reason.contains("algebraic"), "unexpected reason: {reason}")
         }
         other => panic!("expected Rejected, got {other:?}"),
@@ -460,7 +460,7 @@ fn shutdown_evicts_queued_jobs_and_joins_workers() {
         SchemeSpec::Numeric { eps: 1e-10 },
         RunBudget::unlimited().with_max_nodes(1_000),
     )) {
-        Response::Rejected { reason } => {
+        Response::Rejected { reason, .. } => {
             assert!(reason.contains("draining"), "unexpected reason: {reason}")
         }
         other => panic!("expected Rejected after shutdown, got {other:?}"),

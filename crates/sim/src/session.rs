@@ -1,4 +1,4 @@
-//! Persistent per-worker engine sessions.
+//! Persistent per-worker engine sessions with quarantine-aware recycling.
 //!
 //! Cold-starting a [`Manager`] for every job throws away exactly the
 //! allocations that make decision-diagram packages fast: grown unique
@@ -13,6 +13,20 @@
 //! cold one — the session is a performance lever, never a semantic one.
 //! Per-job [`JobOutcome::statistics`] stay pure because the reset also
 //! zeroes all counters.
+//!
+//! # Quarantine
+//!
+//! A warm manager is only trustworthy if its last job exited cleanly. Any
+//! abort (budget, deadline, cancellation) marks the parked manager
+//! **suspect**: before its next warm reuse the session runs the full
+//! structural invariant checker via [`Manager::validated_reset_session`]
+//! and only reuses the allocation if the retained state validates. A
+//! validation failure — or a job panic reported through
+//! [`EngineSession::note_panic`] — quarantines the lane: the manager is
+//! dropped and the next job builds cold. With
+//! [`SessionConfig::suspect_validate`] disabled the session skips the
+//! checker and quarantines suspect managers unconditionally (strictly more
+//! conservative, never less). All transitions surface in [`SessionStats`].
 //!
 //! Retention is budget-aware: after a job whose manager grew past
 //! [`SessionConfig::max_retained_capacity`] slots, the manager is dropped
@@ -32,12 +46,17 @@ pub struct SessionConfig {
     /// [`Manager::retained_capacity`]): a manager above this after a job
     /// is dropped instead of parked for reuse.
     pub max_retained_capacity: usize,
+    /// Run [`Manager::validate`] on a suspect parked manager before warm
+    /// reuse (on by default). When off, suspect managers are quarantined
+    /// without inspection and the next job always builds cold.
+    pub suspect_validate: bool,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
             max_retained_capacity: 8_000_000,
+            suspect_validate: true,
         }
     }
 }
@@ -53,6 +72,39 @@ pub struct SessionStats {
     /// Managers dropped after a job because their retained capacity
     /// exceeded the budget.
     pub shrinks: u64,
+    /// Managers dropped because their last job exited suspect (panic,
+    /// abort without validation, or a failed suspect validation).
+    pub quarantines: u64,
+    /// Suspect managers that passed pre-reuse validation and were reused.
+    pub validations: u64,
+    /// Suspect managers whose retained state failed validation (each one
+    /// also counts a quarantine).
+    pub validate_failures: u64,
+    /// Cold manager builds that replaced a quarantined one.
+    pub rebuilds: u64,
+}
+
+/// One scheme kind's parked manager plus its quarantine state.
+#[derive(Debug)]
+struct Lane<W: WeightContext> {
+    parked: Option<Manager<W>>,
+    /// The parked manager's last job aborted; validate before reuse.
+    suspect: bool,
+    /// The previous manager was quarantined; the next cold build counts
+    /// as a rebuild.
+    rebuild_pending: bool,
+}
+
+// Hand-written so `EngineSession: Default` does not demand `W: Default`
+// from the weight contexts (a derive would add that spurious bound).
+impl<W: WeightContext> Default for Lane<W> {
+    fn default() -> Self {
+        Lane {
+            parked: None,
+            suspect: false,
+            rebuild_pending: false,
+        }
+    }
 }
 
 /// A long-lived engine context for one worker: at most one parked
@@ -64,9 +116,9 @@ pub struct SessionStats {
 #[derive(Debug, Default)]
 pub struct EngineSession {
     cfg: SessionConfig,
-    numeric: Option<Manager<NumericContext>>,
-    qomega: Option<Manager<QomegaContext>>,
-    gcd: Option<Manager<GcdContext>>,
+    numeric: Lane<NumericContext>,
+    qomega: Lane<QomegaContext>,
+    gcd: Lane<GcdContext>,
     stats: SessionStats,
 }
 
@@ -85,14 +137,15 @@ impl EngineSession {
     }
 
     /// Runs one job, reusing this session's parked manager for the job's
-    /// scheme kind when one is available. Semantics are identical to
-    /// [`run_job`] — same outcomes, same per-job statistics (up to
-    /// unique-table capacity gauges, which may be inherited larger).
+    /// scheme kind when one is available and trustworthy. Semantics are
+    /// identical to [`run_job`] — same outcomes, same per-job statistics
+    /// (up to unique-table capacity gauges, which may be inherited larger).
     ///
     /// Resume jobs reconstruct their manager from the checkpoint and
     /// therefore bypass (and do not disturb) the parked managers. If a
-    /// job panics out of this call, the scheme slot is simply left empty
-    /// and the next job starts cold.
+    /// job panics out of this call, the scheme lane is left empty; the
+    /// caller should report the panic with [`EngineSession::note_panic`]
+    /// so the quarantine is counted.
     pub fn run(&mut self, spec: &JobSpec<'_>, cancel: Option<&AtomicBool>) -> JobOutcome {
         self.stats.jobs += 1;
         if spec.resume.is_some() {
@@ -101,7 +154,7 @@ impl EngineSession {
         match &spec.scheme {
             SchemeSpec::Numeric { eps } => {
                 let ctx = NumericContext::with_eps_and_scheme(*eps, NormScheme::MaxMagnitude);
-                run_in_slot(
+                run_in_lane(
                     &mut self.numeric,
                     ctx,
                     spec,
@@ -110,7 +163,7 @@ impl EngineSession {
                     &self.cfg,
                 )
             }
-            SchemeSpec::Qomega => run_in_slot(
+            SchemeSpec::Qomega => run_in_lane(
                 &mut self.qomega,
                 QomegaContext::new(),
                 spec,
@@ -118,7 +171,7 @@ impl EngineSession {
                 &mut self.stats,
                 &self.cfg,
             ),
-            SchemeSpec::Gcd => run_in_slot(
+            SchemeSpec::Gcd => run_in_lane(
                 &mut self.gcd,
                 GcdContext::new(),
                 spec,
@@ -128,13 +181,64 @@ impl EngineSession {
             ),
         }
     }
+
+    /// Records that a job for `scheme` panicked out of
+    /// [`EngineSession::run`]. The lane's manager (already consumed by the
+    /// unwound call, or stale if somehow still parked) is quarantined: the
+    /// slot is emptied and the next job for this scheme kind builds cold.
+    pub fn note_panic(&mut self, scheme: &SchemeSpec) {
+        let (emptied, rebuild_pending) = match scheme {
+            SchemeSpec::Numeric { .. } => {
+                self.numeric.parked = None;
+                self.numeric.suspect = false;
+                (true, &mut self.numeric.rebuild_pending)
+            }
+            SchemeSpec::Qomega => {
+                self.qomega.parked = None;
+                self.qomega.suspect = false;
+                (true, &mut self.qomega.rebuild_pending)
+            }
+            SchemeSpec::Gcd => {
+                self.gcd.parked = None;
+                self.gcd.suspect = false;
+                (true, &mut self.gcd.rebuild_pending)
+            }
+        };
+        if emptied {
+            *rebuild_pending = true;
+            self.stats.quarantines += 1;
+        }
+    }
+
+    /// Deterministically corrupts the parked manager for `scheme` (if any)
+    /// and marks it suspect, as if a faulty job had damaged its retained
+    /// state. Returns `true` if a corruption was planted. Chaos-test
+    /// machinery: the next [`EngineSession::run`] for this scheme must
+    /// catch the damage via suspect validation and rebuild cold.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_corrupt_parked(&mut self, scheme: &SchemeSpec, seed: u64) -> bool {
+        fn corrupt<W: WeightContext>(lane: &mut Lane<W>, seed: u64) -> bool {
+            if let Some(m) = lane.parked.as_mut() {
+                if m.chaos_corrupt(seed) {
+                    lane.suspect = true;
+                    return true;
+                }
+            }
+            false
+        }
+        match scheme {
+            SchemeSpec::Numeric { .. } => corrupt(&mut self.numeric, seed),
+            SchemeSpec::Qomega => corrupt(&mut self.qomega, seed),
+            SchemeSpec::Gcd => corrupt(&mut self.gcd, seed),
+        }
+    }
 }
 
-/// Takes the slot's manager (or builds a cold one honouring the job's
-/// cache-capacity option), runs the job, and parks the manager again when
-/// it fits the retention budget.
-fn run_in_slot<W: WeightContext>(
-    slot: &mut Option<Manager<W>>,
+/// Takes the lane's manager (validating first when it is suspect), runs
+/// the job, and parks the manager again when it fits the retention budget
+/// — marking it suspect if the job aborted.
+fn run_in_lane<W: WeightContext>(
+    lane: &mut Lane<W>,
     ctx: W,
     spec: &JobSpec<'_>,
     cancel: Option<&AtomicBool>,
@@ -142,22 +246,58 @@ fn run_in_slot<W: WeightContext>(
     cfg: &SessionConfig,
 ) -> JobOutcome {
     let n_qubits = spec.circuit.n_qubits();
-    let manager = match slot.take() {
-        Some(mut m) => {
+    let suspect = std::mem::replace(&mut lane.suspect, false);
+    let warm = match lane.parked.take() {
+        Some(mut m) if !suspect => {
             stats.warm_reuses += 1;
-            m.reset_session(ctx, n_qubits);
-            m
+            m.reset_session(ctx.clone(), n_qubits);
+            Some(m)
         }
-        None => match spec.options.cache_capacity {
-            Some(c) => Manager::with_cache_capacity(ctx, n_qubits, c),
-            None => Manager::new(ctx, n_qubits),
-        },
+        Some(mut m) if cfg.suspect_validate => {
+            match m.validated_reset_session(ctx.clone(), n_qubits) {
+                Ok(()) => {
+                    stats.validations += 1;
+                    stats.warm_reuses += 1;
+                    Some(m)
+                }
+                Err(_) => {
+                    stats.validate_failures += 1;
+                    stats.quarantines += 1;
+                    lane.rebuild_pending = true;
+                    None
+                }
+            }
+        }
+        Some(_) => {
+            // Suspect and validation disabled: quarantine without looking.
+            stats.quarantines += 1;
+            lane.rebuild_pending = true;
+            None
+        }
+        None => None,
+    };
+    let manager = match warm {
+        Some(m) => m,
+        None => {
+            if std::mem::replace(&mut lane.rebuild_pending, false) {
+                stats.rebuilds += 1;
+            }
+            match spec.options.cache_capacity {
+                Some(c) => Manager::with_cache_capacity(ctx, n_qubits, c),
+                None => Manager::new(ctx, n_qubits),
+            }
+        }
     };
     let (outcome, manager) = run_with_manager(manager, spec, cancel);
-    if manager.retained_capacity() <= cfg.max_retained_capacity {
-        *slot = Some(manager);
-    } else {
+    if manager.retained_capacity() > cfg.max_retained_capacity {
         stats.shrinks += 1;
+    } else if outcome.aborted.is_some() && !cfg.suspect_validate {
+        // No validator to clear it later — quarantine immediately.
+        stats.quarantines += 1;
+        lane.rebuild_pending = true;
+    } else {
+        lane.suspect = outcome.aborted.is_some();
+        lane.parked = Some(manager);
     }
     outcome
 }
@@ -165,6 +305,7 @@ fn run_in_slot<W: WeightContext>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aq_dd::RunBudget;
 
     /// Bit-identical equality of the fields a client observes.
     fn assert_outcomes_identical(a: &JobOutcome, b: &JobOutcome) {
@@ -195,6 +336,7 @@ mod tests {
             assert_eq!(session.stats().jobs, 2);
             assert_eq!(session.stats().warm_reuses, 1, "second run must be warm");
             assert_eq!(session.stats().shrinks, 0);
+            assert_eq!(session.stats().quarantines, 0);
         }
     }
 
@@ -216,6 +358,7 @@ mod tests {
         let c = aq_circuits::grover(5, 3);
         let mut session = EngineSession::new(SessionConfig {
             max_retained_capacity: 1,
+            ..SessionConfig::default()
         });
         session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
         session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
@@ -238,5 +381,102 @@ mod tests {
         assert_eq!(session.stats().warm_reuses, 1);
         // sanity: the loose run really did something different
         assert!(loose_warmup.is_completed());
+    }
+
+    /// A tight budget abort leaves a structurally consistent manager: the
+    /// suspect path must validate it, reuse the allocation, and count the
+    /// validation — and the warm run after an abort stays bit-identical.
+    #[test]
+    fn budget_abort_marks_suspect_and_validated_reuse_is_bit_identical() {
+        let c = aq_circuits::grover(5, 19);
+        let mut session = EngineSession::new(SessionConfig::default());
+        let mut abort_spec = JobSpec::new(&c, 0, SchemeSpec::Qomega);
+        abort_spec.options.budget = RunBudget {
+            max_nodes: Some(8),
+            ..RunBudget::default()
+        };
+        let aborted = session.run(&abort_spec, None);
+        assert!(aborted.aborted.is_some(), "tiny budget must abort");
+        let warm = session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        let cold = run_job(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        assert_outcomes_identical(&warm, &cold);
+        let s = session.stats();
+        assert_eq!(s.validations, 1, "suspect reuse must run the checker");
+        assert_eq!(s.warm_reuses, 1);
+        assert_eq!(s.validate_failures, 0);
+        assert_eq!(s.quarantines, 0);
+        assert_eq!(s.rebuilds, 0);
+    }
+
+    /// With suspect validation disabled, an abort quarantines outright and
+    /// the next job is a counted cold rebuild.
+    #[test]
+    fn abort_without_validation_quarantines_and_rebuilds_cold() {
+        let c = aq_circuits::grover(5, 19);
+        let mut session = EngineSession::new(SessionConfig {
+            suspect_validate: false,
+            ..SessionConfig::default()
+        });
+        let mut abort_spec = JobSpec::new(&c, 0, SchemeSpec::Qomega);
+        abort_spec.options.budget = RunBudget {
+            max_nodes: Some(8),
+            ..RunBudget::default()
+        };
+        let aborted = session.run(&abort_spec, None);
+        assert!(aborted.aborted.is_some());
+        let next = session.run(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        let cold = run_job(&JobSpec::new(&c, 0, SchemeSpec::Qomega), None);
+        assert_outcomes_identical(&next, &cold);
+        let s = session.stats();
+        assert_eq!(s.warm_reuses, 0);
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.validations, 0);
+    }
+
+    /// A reported panic empties the lane; the next job builds cold and is
+    /// still correct.
+    #[test]
+    fn note_panic_quarantines_the_lane() {
+        let c = aq_circuits::grover(4, 7);
+        let scheme = SchemeSpec::Numeric { eps: 1e-10 };
+        let mut session = EngineSession::new(SessionConfig::default());
+        session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+        session.note_panic(&scheme);
+        let next = session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+        let cold = run_job(&JobSpec::new(&c, 0, scheme.clone()), None);
+        assert_outcomes_identical(&next, &cold);
+        let s = session.stats();
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.rebuilds, 1);
+        assert_eq!(s.warm_reuses, 0, "panic must force a cold rebuild");
+    }
+
+    /// Satellite regression: corrupt a parked session and assert the next
+    /// job detects it (validate failure), runs cold, and is correct.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn corrupted_parked_manager_is_caught_and_next_job_runs_cold() {
+        let c = aq_circuits::grover(5, 19);
+        for scheme in [
+            SchemeSpec::Numeric { eps: 1e-10 },
+            SchemeSpec::Qomega,
+            SchemeSpec::Gcd,
+        ] {
+            let mut session = EngineSession::new(SessionConfig::default());
+            session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+            assert!(
+                session.chaos_corrupt_parked(&scheme, 0xC0FF_EE00),
+                "a parked manager must exist to corrupt"
+            );
+            let next = session.run(&JobSpec::new(&c, 0, scheme.clone()), None);
+            let cold = run_job(&JobSpec::new(&c, 0, scheme.clone()), None);
+            assert_outcomes_identical(&next, &cold);
+            let s = session.stats();
+            assert_eq!(s.validate_failures, 1, "corruption must fail validation");
+            assert_eq!(s.quarantines, 1);
+            assert_eq!(s.rebuilds, 1);
+            assert_eq!(s.warm_reuses, 0, "corrupted manager must not be reused");
+        }
     }
 }

@@ -33,7 +33,7 @@ fn submit(
         top_k: 3,
     }) {
         Response::Submitted { job } => Some(job),
-        Response::Rejected { reason } => {
+        Response::Rejected { reason, .. } => {
             println!("  rejected: {reason}");
             None
         }

@@ -43,6 +43,13 @@ cargo test -q --offline -p aq-serve --features lock-audit --test concurrency
 cargo test -q --offline -p aq-serve --features lock-audit --test lock_audit
 cargo test -q --offline -p aq-serve --features lock-audit --test protocol_faults
 
+echo "== serve: deterministic chaos suite (3 pinned seeds, lock-audit on) =="
+# seed-driven worker kills, session corruption, connection stalls and
+# spurious wakeups; asserts exact metric reconciliation and byte-identical
+# results under every schedule (seeds pinned inside the suite)
+cargo test -q --offline -p aq-serve --features chaos,lock-audit --test chaos
+cargo test -q --offline -p aq-sim --features chaos --lib
+
 echo "== serve: real server cycle over TCP (aq-served + aq-cli) =="
 serve_ck="target/ci_serve_ckpts"
 serve_log="target/ci_served.log"
@@ -97,12 +104,62 @@ cli shutdown | grep -q '"state":"stopped"' || { echo "shutdown failed"; exit 1; 
 wait "$serve_pid" || { echo "aq-served exited non-zero"; exit 1; }
 rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
 
+echo "== serve: kill -> respawn -> recover cycle over TCP (chaos build) =="
+cargo build -q --release --offline -p aq-serve --features chaos
+chaos_ck="target/ci_chaos_ckpts"
+chaos_log="target/ci_chaos_served.log"
+rm -rf "$chaos_ck" "$chaos_log" target/ci_chaos_*.json
+# every even job id panics its worker mid-claim; the supervisor must
+# recover the job as a transient abort and respawn the worker
+./target/release/aq-served --port=0 --workers=2 --checkpoint-dir="$chaos_ck" \
+    --restart-budget=100 --backoff-base-ms=5 --backoff-cap-ms=50 \
+    --chaos-seed=7 --chaos-kill-every=2 >"$chaos_log" 2>&1 &
+chaos_pid=$!
+chaos_addr=""
+for _ in $(seq 1 100); do
+    chaos_addr="$(sed -n 's/^listening on //p' "$chaos_log" | head -n 1)"
+    [[ -n "$chaos_addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$chaos_addr" ]]; then
+    echo "chaos aq-served never reported its address:"
+    cat "$chaos_log"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+ccli() { ./target/release/aq-cli --addr="$chaos_addr" "$@"; }
+# job 1 (odd id) survives; job 2 is killed, aborts transient, and the
+# retry loop resubmits until the respawned worker completes it
+ccli submit --circuit=grover --n=5 --marked=19 --scheme=numeric --eps=1e-10 \
+    --max-nodes=2000000 --retries=6 --wait=120 | tee target/ci_chaos_first.json
+grep -q '"state":"completed"' target/ci_chaos_first.json \
+    || { echo "expected the unkilled job to complete"; exit 1; }
+ccli submit --circuit=grover --n=5 --marked=7 --scheme=numeric --eps=1e-10 \
+    --max-nodes=2000000 --retries=6 --wait=120 | tee target/ci_chaos_second.json
+grep -q '"reason":"transient:' target/ci_chaos_second.json \
+    || { echo "expected a transient abort from the injected kill"; exit 1; }
+grep -q '"state":"completed"' target/ci_chaos_second.json \
+    || { echo "expected the retried job to complete after the respawn"; exit 1; }
+ccli metrics | tee target/ci_chaos_metrics.json
+grep -Eq '"worker_deaths":[1-9]' target/ci_chaos_metrics.json \
+    || { echo "expected at least one detected worker death"; exit 1; }
+grep -Eq '"worker_respawns":[1-9]' target/ci_chaos_metrics.json \
+    || { echo "expected at least one respawn"; exit 1; }
+ccli shutdown | grep -q '"state":"stopped"' || { echo "chaos shutdown failed"; exit 1; }
+wait "$chaos_pid" || { echo "chaos aq-served exited non-zero"; exit 1; }
+rm -rf "$chaos_ck" "$chaos_log" target/ci_chaos_*.json
+# restore the feature-free binaries for anything running after CI
+cargo build -q --release --offline -p aq-serve
+
 if [[ "${1:-}" != "--no-bench" ]]; then
-    echo "== serve bench: worker-scaling gate + BENCH_serve.json =="
+    echo "== serve bench: worker-scaling gate + chaos row + BENCH_serve.json =="
     # 4-worker throughput must not fall below 1-worker throughput; the
-    # gate prints a skip notice (and passes) when host_cores == 1
-    cargo run --release --offline -p aq-bench --bin serve_bench -- \
-        BENCH_serve.json --scale-gate
+    # gate prints a skip notice (and passes) when host_cores == 1. The
+    # chaos build adds the 1%-job-panic row (deaths/respawns/retries).
+    cargo run --release --offline -p aq-bench --features chaos --bin serve_bench -- \
+        BENCH_serve.json --scale-gate --chaos-seed=3405691582
+    grep -q '"config": "chaos-1pct-kill-4w"' BENCH_serve.json \
+        || { echo "expected the chaos row in BENCH_serve.json"; exit 1; }
 
     echo "== engine bench: algebraic-gap regression gate (grover6) =="
     # GCD D[omega] throughput must hold at least half of numeric throughput
