@@ -67,6 +67,8 @@ const ALL_RULES: &[RuleId] = &[
     RuleId::UnboundedCache,
     RuleId::NarrowingCast,
     RuleId::FloatEq,
+    RuleId::BareSleep,
+    RuleId::UnseededRandom,
     RuleId::BadSuppression,
 ];
 

@@ -9,6 +9,7 @@
 //! | R4   | no bare `as` narrowing casts in snapshot / wire-protocol code    |
 //! | R5   | no direct `f64` `==`/`!=` against float literals outside the epsilon module |
 //! | R6   | no bare `thread::sleep` in serve code outside the backoff module |
+//! | R7   | no unseeded randomness (`thread_rng`/`from_entropy`/`OsRng`/…) in sim/serve code |
 //! | A0   | suppression directives must carry a justification                |
 //!
 //! R1 has one built-in idiom exemption: the sanctioned infallible-wrapper
@@ -36,6 +37,9 @@ pub enum RuleId {
     FloatEq,
     /// No bare `thread::sleep` in serve code outside the backoff module.
     BareSleep,
+    /// No unseeded randomness in sim/serve code — sampling and backoff
+    /// must stay reproducible from an explicit seed.
+    UnseededRandom,
     /// Malformed suppression directive (missing justification).
     BadSuppression,
 }
@@ -50,6 +54,7 @@ impl RuleId {
             RuleId::NarrowingCast => "R4",
             RuleId::FloatEq => "R5",
             RuleId::BareSleep => "R6",
+            RuleId::UnseededRandom => "R7",
             RuleId::BadSuppression => "A0",
         }
     }
@@ -63,6 +68,7 @@ impl RuleId {
             "R4" => Some(RuleId::NarrowingCast),
             "R5" => Some(RuleId::FloatEq),
             "R6" => Some(RuleId::BareSleep),
+            "R7" => Some(RuleId::UnseededRandom),
             "A0" => Some(RuleId::BadSuppression),
             _ => None,
         }
@@ -88,6 +94,10 @@ impl RuleId {
             }
             RuleId::BareSleep => {
                 "no bare thread::sleep in serve code outside the backoff module (use backoff::sleep)"
+            }
+            RuleId::UnseededRandom => {
+                "no unseeded randomness (thread_rng/from_entropy/OsRng/SeedableRng::from_os_rng) \
+                 in sim/serve code; draw from an explicitly seeded generator"
             }
             RuleId::BadSuppression => "suppression directives must carry a justification",
         }
@@ -168,6 +178,10 @@ pub struct LintConfig {
     /// Files exempt from R6 (the backoff module: the one sanctioned
     /// `thread::sleep` call site).
     pub r6_exempt_files: Vec<String>,
+    /// Directory prefixes R7 applies to: code whose randomness must be
+    /// reproducible from an explicit seed (the sampler and the serving
+    /// stack, `src/bin/` entry points included).
+    pub r7_scope: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -213,6 +227,7 @@ impl LintConfig {
             r5_exempt_files: vec!["crates/rings/src/complex.rs".into()],
             r6_scope: vec!["crates/serve/src/".into()],
             r6_exempt_files: vec!["crates/serve/src/backoff.rs".into()],
+            r7_scope: vec!["crates/sim/src/".into(), "crates/serve/src/".into()],
         }
     }
 
@@ -485,6 +500,11 @@ pub fn check_file(fa: &FileAnalysis<'_>, cfg: &LintConfig) -> Vec<Finding> {
         && !cfg.r6_exempt_files.iter().any(|f| f == fa.rel)
     {
         check_bare_sleep(fa, &mut out);
+    }
+    // R7 likewise covers `src/bin/` entry points: an aq-cli or aq-served
+    // that seeds itself from the OS breaks shot reproducibility end to end.
+    if cfg.r7_scope.iter().any(|p| fa.rel.starts_with(p.as_str())) {
+        check_unseeded_random(fa, &mut out);
     }
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
@@ -778,6 +798,49 @@ fn check_bare_sleep(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
                  blocking op the lock audit and supervisor can account for) or a \
                  deadline-bearing condvar wait"
                     .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Entropy-drawing constructors: every way the `rand`/`getrandom`
+/// ecosystem (or std's `RandomState` hasher trick) mints an OS-seeded
+/// generator. None of them can replay a shot stream.
+const UNSEEDED_RNG: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// R7: unseeded randomness in sim/serve code. The sampler's whole
+/// contract is `(circuit, scheme, shots, seed) -> histogram`, bit-stable
+/// across runs and hosts; the serve result cache and the chaos suites
+/// both rely on it. A single `thread_rng()` (or an OS-entropy seed)
+/// anywhere in those paths silently voids that contract, so every
+/// generator must be constructed from an explicit seed (`seed_from_u64`,
+/// a splitmix on the job seed, …).
+fn check_unseeded_random(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..fa.code.len() {
+        let Some(tok) = fa.code_tok(ci) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident || fa.in_test_code(tok.start) {
+            continue;
+        }
+        let text = tok.text(fa.src);
+        if UNSEEDED_RNG.contains(&text) {
+            fa.finding(
+                RuleId::UnseededRandom,
+                tok.start,
+                format!(
+                    "`{text}` draws OS entropy in sim/serve code; sampling must be \
+                     reproducible from the job's explicit seed — construct the generator \
+                     with `seed_from_u64`/a seeded splitmix instead"
+                ),
                 out,
             );
         }

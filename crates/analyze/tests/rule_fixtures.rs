@@ -14,6 +14,7 @@ fn cfg() -> LintConfig {
         r5_exempt_files: vec!["crates/lib/src/eps.rs".into()],
         r6_scope: vec!["crates/srv/src/".into()],
         r6_exempt_files: vec!["crates/srv/src/backoff.rs".into()],
+        r7_scope: vec!["crates/srv/src/".into(), "crates/smp/src/".into()],
     }
 }
 
@@ -232,6 +233,51 @@ fn r6_silent_for_backoff_module_test_code_and_out_of_scope_files() {
     // the sanctioned wrapper itself never matches (prev2 is `backoff`)
     let wrapped = "pub fn spin(d: std::time::Duration) { crate::backoff::sleep(d); }\n";
     assert!(rules_at("crates/srv/src/server.rs", wrapped).is_empty());
+}
+
+// ---- R7: no unseeded randomness in sim/serve code ----
+
+#[test]
+fn r7_flags_entropy_drawing_constructors_in_scope() {
+    let src = "pub fn draw() -> u64 {\n    \
+               let mut rng = rand::thread_rng();\n    rng.gen()\n}\n";
+    assert_eq!(
+        rules_at("crates/smp/src/sample.rs", src),
+        [RuleId::UnseededRandom]
+    );
+    // OS-seeded constructors and the std hasher trick each fire too
+    let entropy = "pub fn rng() -> SmallRng { SmallRng::from_entropy() }\n\
+                   pub fn os() -> u64 { OsRng.next_u64() }\n\
+                   pub fn h() -> u64 { RandomState::new().hash_one(1u64) }\n";
+    assert_eq!(
+        rules_at("crates/smp/src/sample.rs", entropy),
+        [
+            RuleId::UnseededRandom,
+            RuleId::UnseededRandom,
+            RuleId::UnseededRandom
+        ]
+    );
+    // bin entry points stay in scope: a CLI seeding itself from the OS
+    // breaks end-to-end shot reproducibility just as thoroughly
+    assert_eq!(
+        rules_at("crates/srv/src/bin/cli.rs", src),
+        [RuleId::UnseededRandom]
+    );
+}
+
+#[test]
+fn r7_silent_for_seeded_generators_tests_and_out_of_scope_files() {
+    // an explicitly seeded generator is the sanctioned construction
+    let seeded = "pub fn rng(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }\n\
+                  pub fn split(seed: u64) -> u64 { splitmix64(seed) }\n";
+    assert!(rules_at("crates/smp/src/sample.rs", seeded).is_empty());
+    // out of scope: other crates may draw entropy as they please
+    let src = "pub fn draw() -> u64 { rand::thread_rng().gen() }\n";
+    assert!(rules_at("crates/lib/src/lib.rs", src).is_empty());
+    // test modules inside scoped files are exempt
+    let in_test = "#[cfg(test)]\nmod tests {\n    \
+                   fn f() -> u64 { rand::thread_rng().gen() }\n}\n";
+    assert!(rules_at("crates/smp/src/sample.rs", in_test).is_empty());
 }
 
 // ---- A0: suppression directives need known rules and a real reason ----

@@ -9,7 +9,10 @@
 //!
 //! The scaling rows run with the result cache *disabled* and distinct
 //! circuits, so they measure pool scaling; a separate cache row repeats a
-//! small circuit set with the cache on and reports its hit rate.
+//! small circuit set with the cache on and reports its hit rate. Two
+//! sampler rows report shots/s through the `sample` verb: measurement-free
+//! (GHZ — one simulation amortized over all draws) versus fork-per-shot
+//! (teleportation with mid-circuit measurement).
 //!
 //! `--chaos-seed=N` (needs `--features chaos`) adds a self-healing row:
 //! the same closed loop under a deterministic fault plan that panics the
@@ -32,7 +35,7 @@ use aq_serve::{
     CircuitSpec, Client, JobState, Response, RetryPolicy, SchemeClass, ServeConfig, ServeCore,
     SubmitRequest,
 };
-use aq_sim::SchemeSpec;
+use aq_sim::{SampleParams, SchemeSpec};
 
 struct ConfigResult {
     workers: usize,
@@ -127,6 +130,7 @@ fn run_config(
                         budget: RunBudget::unlimited().with_max_nodes(5_000_000),
                         resume: None,
                         top_k: 1,
+                        sample: None,
                     };
                     if let Some(seed) = chaos {
                         // Self-healing row: injected kills surface as
@@ -196,6 +200,124 @@ fn run_config(
         // Every submission beyond the job budget was a client retry.
         retries: m.submitted.saturating_sub(latencies.len() as u64),
     }
+}
+
+struct SamplerResult {
+    jobs: usize,
+    shots_per_job: u64,
+    shots: u64,
+    seconds: f64,
+    shots_per_second: f64,
+    forked: bool,
+}
+
+/// The two sampler workloads: a 10-qubit GHZ ladder (measurement-free —
+/// one simulation, then `shots` draws from the final state) and 3-qubit
+/// teleportation with mid-circuit measurement + classical control (the
+/// sampler must fork and re-run the tail per shot).
+fn sampler_qasm(forked: bool) -> String {
+    if forked {
+        return "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nx q[0];\nh q[1];\ncx q[1], q[2];\n\
+                cx q[0], q[1];\nh q[0];\nmeasure q[1] -> c[0];\nmeasure q[0] -> c[1];\n\
+                if (c==1) x q[2];\nif (c==3) x q[2];\nif (c==2) z q[2];\nif (c==3) z q[2];\n"
+            .into();
+    }
+    let mut ghz = String::from("OPENQASM 2.0;\nqreg q[10];\nh q[0];\n");
+    for q in 1..10u32 {
+        ghz.push_str(&format!("cx q[{}], q[{}];\n", q - 1, q));
+    }
+    ghz
+}
+
+/// Sequential sampling jobs on a 1-worker core, cache off, one seed per
+/// job so every histogram is computed, not replayed. Reports shots/s —
+/// the figure of merit for a sampler, since a measurement-free job pays
+/// one simulation for all its shots while a forked job pays per shot.
+fn run_sampler_config(forked: bool, jobs: usize, shots_per_job: u64) -> SamplerResult {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric],
+        queue_capacity: jobs.max(8) * 2,
+        checkpoint_dir: std::env::temp_dir().join(format!(
+            "aq-serve-bench-sampler-{}-f{forked}",
+            std::process::id()
+        )),
+        result_cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+    let qasm = sampler_qasm(forked);
+
+    let t0 = Instant::now();
+    for seed in 0..jobs as u64 {
+        let req = SubmitRequest {
+            circuit: CircuitSpec::Qasm(qasm.clone()),
+            scheme: SchemeSpec::Numeric { eps: 1e-10 },
+            priority: 0,
+            budget: RunBudget::unlimited().with_max_nodes(5_000_000),
+            resume: None,
+            top_k: 1,
+            sample: Some(SampleParams {
+                shots: shots_per_job,
+                seed,
+            }),
+        };
+        let job = match client.submit(req) {
+            Response::Submitted { job } => job,
+            other => panic!("sampler bench submission refused: {other:?}"),
+        };
+        match client.wait(job, Duration::from_secs(300)) {
+            Response::Status(report) => {
+                assert_eq!(report.state, JobState::Completed, "job {job}");
+                let outcome = report.outcome.as_ref().expect("terminal outcome");
+                let sample = outcome.sample.as_ref().expect("sampling outcome");
+                assert_eq!(sample.forked, forked);
+                assert_eq!(sample.total(), shots_per_job);
+            }
+            other => panic!("sampler bench wait failed: {other:?}"),
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+
+    match client.drain() {
+        Response::Drained { .. } => {}
+        other => panic!("drain failed: {other:?}"),
+    }
+    let m = client.metrics();
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+    assert_eq!(m.shots, jobs as u64 * shots_per_job);
+    client.shutdown();
+
+    let shots = jobs as u64 * shots_per_job;
+    SamplerResult {
+        jobs,
+        shots_per_job,
+        shots,
+        seconds,
+        shots_per_second: shots as f64 / seconds,
+        forked,
+    }
+}
+
+fn render_sampler_row(r: &SamplerResult, label: &str) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        concat!(
+            "    {{\n",
+            "      \"config\": \"{}\",\n",
+            "      \"workers\": 1,\n",
+            "      \"jobs\": {},\n",
+            "      \"shots_per_job\": {},\n",
+            "      \"shots\": {},\n",
+            "      \"seconds\": {:.6},\n",
+            "      \"shots_per_second\": {:.1},\n",
+            "      \"forked\": {}\n",
+            "    }}"
+        ),
+        label, r.jobs, r.shots_per_job, r.shots, r.seconds, r.shots_per_second, r.forked,
+    );
+    row
 }
 
 fn render_row(r: &ConfigResult, label: &str) -> String {
@@ -299,6 +421,25 @@ fn main() {
         cache_row.cache_served,
     );
 
+    // Sampler rows: shots/s for the two sampling regimes. Measurement-free
+    // amortizes one simulation over thousands of draws; fork-per-shot
+    // re-runs the measured tail every draw, so its per-job shot count is
+    // kept small.
+    let sampler_rows = [
+        run_sampler_config(false, 8, 8_192),
+        run_sampler_config(true, 8, 256),
+    ];
+    for r in &sampler_rows {
+        println!(
+            "sampler {}: {:>3} jobs x {:>5} shots in {:>7.3}s  {:>10.1} shots/s",
+            if r.forked { "forked" } else { "final " },
+            r.jobs,
+            r.shots_per_job,
+            r.seconds,
+            r.shots_per_second,
+        );
+    }
+
     // Chaos row: 4 workers under a 1%-job-panic plan, retry-aware
     // clients. The throughput delta against scaling-4w is the price of
     // supervision + respawn + resubmission.
@@ -318,6 +459,10 @@ fn main() {
         body.push_str(",\n");
     }
     body.push_str(&render_row(&cache_row, "cache-repeat-1w"));
+    body.push_str(",\n");
+    body.push_str(&render_sampler_row(&sampler_rows[0], "sampler-final-1w"));
+    body.push_str(",\n");
+    body.push_str(&render_sampler_row(&sampler_rows[1], "sampler-forked-1w"));
     if let Some(r) = &chaos_row {
         body.push_str(",\n");
         body.push_str(&render_row(r, "chaos-1pct-kill-4w"));

@@ -35,6 +35,28 @@ pub enum Op {
         /// `map[x]` = image of basis state `x`; must be a bijection.
         map: Arc<Vec<u64>>,
     },
+    /// A projective Z-basis measurement of one qubit, recording the
+    /// outcome in one bit of the (single, implicit) classical register.
+    Measure {
+        /// The measured qubit.
+        qubit: u32,
+        /// Destination classical bit (`c[0]` is the least significant).
+        cbit: u32,
+    },
+    /// Resets one qubit to `|0⟩` (measure, then flip on outcome `1`).
+    /// The scratch outcome is not recorded.
+    Reset {
+        /// The qubit to reset.
+        qubit: u32,
+    },
+    /// An operation applied only when the classical register equals
+    /// `value` — OpenQASM 2's `if (c == value) gate`.
+    Conditional {
+        /// The register value that enables the body.
+        value: u64,
+        /// The controlled operation.
+        op: Box<Op>,
+    },
 }
 
 impl Op {
@@ -43,7 +65,20 @@ impl Op {
         match self {
             Op::Gate { matrix, .. } => matrix.is_exact(),
             Op::MatchingEvolution { .. } | Op::Permutation { .. } => true,
+            Op::Measure { .. } | Op::Reset { .. } => true,
+            Op::Conditional { op, .. } => op.is_exact(),
         }
+    }
+
+    /// Returns `true` for operations that interact with the classical
+    /// register or collapse the state — measurement, reset, and classical
+    /// control. Circuits containing any of these cannot be simulated as a
+    /// single unitary evolution.
+    pub fn is_nonunitary(&self) -> bool {
+        matches!(
+            self,
+            Op::Measure { .. } | Op::Reset { .. } | Op::Conditional { .. }
+        )
     }
 }
 
@@ -64,14 +99,16 @@ impl Op {
 #[derive(Clone, Debug, Default)]
 pub struct Circuit {
     n_qubits: u32,
+    n_cbits: u32,
     ops: Vec<Op>,
 }
 
 impl Circuit {
-    /// An empty circuit on `n_qubits` qubits.
+    /// An empty circuit on `n_qubits` qubits (and no classical bits).
     pub fn new(n_qubits: u32) -> Self {
         Circuit {
             n_qubits,
+            n_cbits: 0,
             ops: Vec::new(),
         }
     }
@@ -79,6 +116,24 @@ impl Circuit {
     /// The number of qubits.
     pub fn n_qubits(&self) -> u32 {
         self.n_qubits
+    }
+
+    /// Width of the classical register (0 when the circuit never
+    /// measures). Grows automatically with [`Circuit::push_measure`] and
+    /// can be widened explicitly to mirror a declared `creg`.
+    pub fn n_cbits(&self) -> u32 {
+        self.n_cbits
+    }
+
+    /// Widens the classical register to at least `n` bits (never shrinks —
+    /// recorded measurement destinations stay valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`: the classical register is held in a `u64`.
+    pub fn widen_cbits(&mut self, n: u32) {
+        assert!(n <= 64, "classical register is limited to 64 bits");
+        self.n_cbits = self.n_cbits.max(n);
     }
 
     /// The number of operations.
@@ -101,9 +156,59 @@ impl Circuit {
         self.ops.iter()
     }
 
-    /// Appends a raw operation.
+    /// Appends a raw operation (widening the classical register if the
+    /// operation records a measurement outcome).
     pub fn push(&mut self, op: Op) {
+        if let Op::Measure { cbit, .. } = op {
+            self.widen_cbits(cbit + 1);
+        }
         self.ops.push(op);
+    }
+
+    /// Appends a measurement of `qubit` into classical bit `cbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range or `cbit >= 64`.
+    pub fn push_measure(&mut self, qubit: u32, cbit: u32) {
+        assert!(qubit < self.n_qubits, "measured qubit out of range");
+        self.push(Op::Measure { qubit, cbit });
+    }
+
+    /// Appends a reset of `qubit` to `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range.
+    pub fn push_reset(&mut self, qubit: u32) {
+        assert!(qubit < self.n_qubits, "reset qubit out of range");
+        self.push(Op::Reset { qubit });
+    }
+
+    /// Appends `op` under classical control: it runs only when the
+    /// classical register equals `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is itself non-unitary (nested classical control,
+    /// conditional measurement) — OpenQASM 2 has no such construct and the
+    /// simulator does not implement one.
+    pub fn push_conditional(&mut self, value: u64, op: Op) {
+        assert!(
+            !op.is_nonunitary(),
+            "conditional bodies must be unitary operations"
+        );
+        self.ops.push(Op::Conditional {
+            value,
+            op: Box::new(op),
+        });
+    }
+
+    /// Returns `true` if any operation measures, resets, or is classically
+    /// controlled — i.e. the circuit needs per-shot forking rather than a
+    /// single unitary evolution.
+    pub fn has_nonunitary_ops(&self) -> bool {
+        self.ops.iter().any(Op::is_nonunitary)
     }
 
     /// Appends a (multi-)controlled gate.
@@ -192,6 +297,7 @@ impl Circuit {
             self.n_qubits, other.n_qubits,
             "circuit width mismatch in extend_from"
         );
+        self.n_cbits = self.n_cbits.max(other.n_cbits);
         self.ops.extend(other.ops.iter().cloned());
     }
 
@@ -202,7 +308,8 @@ impl Circuit {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit contains a matching-evolution factor.
+    /// Panics if the circuit contains a matching-evolution factor or a
+    /// measurement operation (collapse has no inverse).
     ///
     /// ```
     /// use aq_circuits::Circuit;
@@ -248,6 +355,10 @@ impl Circuit {
                     // aq-lint: allow(R1): documented contract of inverse(); no IR exists for the inverse factor
                     panic!("matching-evolution factors have no in-IR inverse")
                 }
+                Op::Measure { .. } | Op::Reset { .. } | Op::Conditional { .. } => {
+                    // aq-lint: allow(R1): documented contract of inverse(); collapse is not invertible
+                    panic!("measurement operations have no inverse")
+                }
             }
         }
         out
@@ -275,32 +386,44 @@ impl fmt::Display for Circuit {
             self.ops.len()
         )?;
         for op in &self.ops {
-            match op {
-                Op::Gate {
-                    matrix,
-                    target,
-                    controls,
-                } => {
-                    write!(f, "  {} q{target}", matrix.name())?;
-                    for (c, p) in controls {
-                        write!(f, " {}q{c}", if *p { "+" } else { "-" })?;
-                    }
-                    writeln!(f)?;
-                }
-                Op::MatchingEvolution { pairs } => {
-                    writeln!(f, "  walk-factor ({} pairs)", pairs.len())?;
-                }
-                Op::Permutation { map } => {
-                    let moved = map
-                        .iter()
-                        .enumerate()
-                        .filter(|&(x, &y)| x as u64 != y)
-                        .count();
-                    writeln!(f, "  permutation ({moved} moved)")?;
-                }
-            }
+            write!(f, "  ")?;
+            fmt_op(f, op)?;
+            writeln!(f)?;
         }
         Ok(())
+    }
+}
+
+fn fmt_op(f: &mut fmt::Formatter<'_>, op: &Op) -> fmt::Result {
+    match op {
+        Op::Gate {
+            matrix,
+            target,
+            controls,
+        } => {
+            write!(f, "{} q{target}", matrix.name())?;
+            for (c, p) in controls {
+                write!(f, " {}q{c}", if *p { "+" } else { "-" })?;
+            }
+            Ok(())
+        }
+        Op::MatchingEvolution { pairs } => {
+            write!(f, "walk-factor ({} pairs)", pairs.len())
+        }
+        Op::Permutation { map } => {
+            let moved = map
+                .iter()
+                .enumerate()
+                .filter(|&(x, &y)| x as u64 != y)
+                .count();
+            write!(f, "permutation ({moved} moved)")
+        }
+        Op::Measure { qubit, cbit } => write!(f, "measure q{qubit} -> c{cbit}"),
+        Op::Reset { qubit } => write!(f, "reset q{qubit}"),
+        Op::Conditional { value, op } => {
+            write!(f, "if (c=={value}) ")?;
+            fmt_op(f, op)
+        }
     }
 }
 
@@ -343,5 +466,56 @@ mod tests {
         c.push_gate(GateMatrix::x(), 1, &[(0, true)]);
         let s = c.to_string();
         assert!(s.contains("X q1 +q0"), "got {s}");
+    }
+
+    #[test]
+    fn measurement_ops_track_classical_bits() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.n_cbits(), 0);
+        assert!(!c.has_nonunitary_ops());
+        c.push_measure(0, 4);
+        assert_eq!(c.n_cbits(), 5, "measure widens the classical register");
+        c.push_reset(1);
+        c.push_conditional(
+            2,
+            Op::Gate {
+                matrix: GateMatrix::x(),
+                target: 2,
+                controls: Vec::new(),
+            },
+        );
+        assert!(c.has_nonunitary_ops());
+        assert!(c.is_exact(), "measurement ops are not approximations");
+
+        let s = c.to_string();
+        assert!(s.contains("measure q0 -> c4"), "got {s}");
+        assert!(s.contains("reset q1"), "got {s}");
+        assert!(s.contains("if (c==2) X q2"), "got {s}");
+    }
+
+    #[test]
+    fn extend_from_merges_classical_registers() {
+        let mut a = Circuit::new(2);
+        a.push_measure(0, 0);
+        let mut b = Circuit::new(2);
+        b.push_measure(1, 3);
+        a.extend_from(&b);
+        assert_eq!(a.n_cbits(), 4);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "conditional bodies must be unitary operations")]
+    fn conditional_rejects_nonunitary_body() {
+        let mut c = Circuit::new(2);
+        c.push_conditional(1, Op::Measure { qubit: 0, cbit: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement operations have no inverse")]
+    fn inverted_rejects_measurement() {
+        let mut c = Circuit::new(2);
+        c.push_measure(0, 0);
+        let _ = c.inverted();
     }
 }

@@ -83,6 +83,112 @@ pub fn grover_iterations(n: u32) -> u64 {
     (((std::f64::consts::FRAC_PI_4) * ((1u64 << n) as f64).sqrt()).floor() as u64).max(1)
 }
 
+/// The `n`-qubit GHZ state preparation `(|0…0⟩ + |1…1⟩)/√2`: one Hadamard
+/// and a CNOT ladder. Every outcome probability is exactly dyadic, which
+/// makes this the canonical exact-sampling benchmark.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.push_gate(GateMatrix::h(), 0, &[]);
+    for q in 1..n {
+        c.push_gate(GateMatrix::x(), q, &[(q - 1, true)]);
+    }
+    c
+}
+
+/// Bernstein–Vazirani over `n` data qubits with hidden string `secret`
+/// (bit `n−1−q` of `secret` belongs to data qubit `q`, matching the
+/// most-significant-first index convention). Uses one ancilla as qubit
+/// `n`; the final state holds `|secret⟩` on the data qubits with
+/// probability 1, so sampling is deterministic.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `secret >= 2^n`.
+pub fn bernstein_vazirani(n: u32, secret: u64) -> Circuit {
+    assert!(n > 0 && n < 64, "qubit count out of range");
+    assert!(secret < 1u64 << n, "secret out of range");
+    let mut c = Circuit::new(n + 1);
+    // ancilla in |−⟩
+    c.push_gate(GateMatrix::x(), n, &[]);
+    c.push_gate(GateMatrix::h(), n, &[]);
+    for q in 0..n {
+        c.push_gate(GateMatrix::h(), q, &[]);
+    }
+    // oracle: f(x) = secret · x
+    for q in 0..n {
+        if (secret >> (n - 1 - q)) & 1 == 1 {
+            c.push_gate(GateMatrix::x(), n, &[(q, true)]);
+        }
+    }
+    for q in 0..n {
+        c.push_gate(GateMatrix::h(), q, &[]);
+    }
+    // uncompute the ancilla back to |0⟩ so the full register is |secret⟩|0⟩
+    c.push_gate(GateMatrix::h(), n, &[]);
+    c.push_gate(GateMatrix::x(), n, &[]);
+    c
+}
+
+/// Quantum teleportation of qubit 0 onto qubit 2 through mid-circuit
+/// measurement and classical control — the canonical exercise of the
+/// non-unitary IR. The message qubit should be prepared by ops prepended
+/// to this circuit (see [`Circuit::extend_from`]).
+///
+/// Classical bit layout: `c[0]` holds the X-correction bit (measurement
+/// of qubit 1), `c[1]` the Z-correction bit (measurement of qubit 0).
+/// Both Bell-measurement outcomes are uniform, so every collapse
+/// renormalizes by an exact `1/√p` in the algebraic contexts.
+pub fn teleport() -> Circuit {
+    let mut c = Circuit::new(3);
+    // Bell pair on qubits 1 and 2
+    c.push_gate(GateMatrix::h(), 1, &[]);
+    c.push_gate(GateMatrix::x(), 2, &[(1, true)]);
+    // Bell measurement of qubits 0 and 1
+    c.push_gate(GateMatrix::x(), 1, &[(0, true)]);
+    c.push_gate(GateMatrix::h(), 0, &[]);
+    c.push_measure(1, 0);
+    c.push_measure(0, 1);
+    // corrections on qubit 2: X^{c0} then Z^{c1}
+    c.push_conditional(
+        1,
+        Op::Gate {
+            matrix: GateMatrix::x(),
+            target: 2,
+            controls: Vec::new(),
+        },
+    );
+    c.push_conditional(
+        3,
+        Op::Gate {
+            matrix: GateMatrix::x(),
+            target: 2,
+            controls: Vec::new(),
+        },
+    );
+    c.push_conditional(
+        2,
+        Op::Gate {
+            matrix: GateMatrix::z(),
+            target: 2,
+            controls: Vec::new(),
+        },
+    );
+    c.push_conditional(
+        3,
+        Op::Gate {
+            matrix: GateMatrix::z(),
+            target: 2,
+            controls: Vec::new(),
+        },
+    );
+    c
+}
+
 fn grover_oracle(c: &mut Circuit, n: u32, marked: u64) {
     // flip qubits where the marked bit is 0, so MCZ fires exactly on |marked⟩
     let zeros: Vec<u32> = (0..n)

@@ -2,8 +2,11 @@
 //!
 //! Supports the gate vocabulary the benchmarks use — `h x y z s sdg t tdg
 //! sx cx cz ccx swap rz ry rx u1 p id barrier` — over a single quantum
-//! register. This is enough to round-trip every gate circuit this
-//! workspace generates and to load common benchmark files.
+//! register, plus the non-unitary statements `measure q[a] -> c[b]`,
+//! `reset q[a]` and classically controlled gates `if (c==v) gate` over a
+//! single classical register of at most 64 bits. This is enough to
+//! round-trip every circuit this workspace generates (including the
+//! teleportation benchmark) and to load common benchmark files.
 //!
 //! # Examples
 //!
@@ -70,11 +73,13 @@ impl Error for ParseQasmError {}
 /// # Errors
 ///
 /// Returns an error for unknown gates, malformed statements, missing or
-/// repeated `qreg` declarations, or out-of-range qubit indices. `creg`,
-/// `measure`, `barrier` and comments are accepted and ignored.
+/// repeated `qreg`/`creg` declarations, out-of-range qubit or classical
+/// bit indices, or `if` conditions that are not of the form `c == value`.
+/// `barrier`, `id` and comments are accepted and ignored.
 pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
     let mut circuit: Option<Circuit> = None;
     let mut reg_name = String::new();
+    let mut creg: Option<(String, u32)> = None;
 
     for (lineno, raw_line) in src.lines().enumerate() {
         let lineno = lineno + 1;
@@ -95,22 +100,146 @@ pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
                 }
                 let (name, size) = parse_reg(rest.trim(), lineno)?;
                 reg_name = name;
-                circuit = Some(Circuit::new(size));
+                let mut c = Circuit::new(size);
+                if let Some((_, bits)) = &creg {
+                    c.widen_cbits(*bits);
+                }
+                circuit = Some(c);
                 continue;
             }
-            if lower.starts_with("creg")
-                || lower.starts_with("measure")
-                || lower.starts_with("barrier")
-            {
+            if lower.starts_with("creg") {
+                if creg.is_some() {
+                    return Err(ParseQasmError::new(lineno, "multiple creg declarations"));
+                }
+                let (name, size) = parse_reg(stmt[4..].trim(), lineno)?;
+                if size > 64 {
+                    return Err(ParseQasmError::new(
+                        lineno,
+                        "classical register is limited to 64 bits",
+                    ));
+                }
+                if let Some(c) = circuit.as_mut() {
+                    c.widen_cbits(size);
+                }
+                creg = Some((name, size));
+                continue;
+            }
+            if lower.starts_with("barrier") {
                 continue;
             }
             let c = circuit
                 .as_mut()
                 .ok_or_else(|| ParseQasmError::new(lineno, "gate before qreg declaration"))?;
-            parse_gate_stmt(c, &reg_name, stmt, lineno)?;
+            parse_stmt(c, &reg_name, &creg, stmt, lineno)?;
         }
     }
     circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+}
+
+/// Dispatches one statement: `measure`, `reset`, `if (...)` or a gate.
+fn parse_stmt(
+    c: &mut Circuit,
+    reg: &str,
+    creg: &Option<(String, u32)>,
+    stmt: &str,
+    lineno: usize,
+) -> Result<(), ParseQasmError> {
+    let lower = stmt.to_ascii_lowercase();
+    if lower.starts_with("measure") {
+        let (qubit, cbit) = parse_measure(&stmt[7..], reg, creg, c.n_qubits(), lineno)?;
+        c.push_measure(qubit, cbit);
+        return Ok(());
+    }
+    if lower.starts_with("reset") {
+        let qubit = parse_qubit(stmt[5..].trim(), reg, c.n_qubits(), lineno)?;
+        c.push_reset(qubit);
+        return Ok(());
+    }
+    if lower.starts_with("if") {
+        let (value, body) = parse_condition(&stmt[2..], creg, lineno)?;
+        // Parse the body into a scratch circuit: a `swap` body expands to
+        // three CNOTs, each of which gets its own conditional wrapper.
+        let mut scratch = Circuit::new(c.n_qubits());
+        parse_gate_stmt(&mut scratch, reg, body, lineno)?;
+        for op in scratch.iter() {
+            let Op::Gate { .. } = op else {
+                return Err(ParseQasmError::new(
+                    lineno,
+                    "conditional bodies must be unitary gates",
+                ));
+            };
+            c.push_conditional(value, op.clone());
+        }
+        return Ok(());
+    }
+    parse_gate_stmt(c, reg, stmt, lineno)
+}
+
+/// Parses `q[a] -> c[b]` (the part of a measure statement after the keyword).
+fn parse_measure(
+    rest: &str,
+    reg: &str,
+    creg: &Option<(String, u32)>,
+    n_qubits: u32,
+    lineno: usize,
+) -> Result<(u32, u32), ParseQasmError> {
+    let Some((name, bits)) = creg else {
+        return Err(ParseQasmError::new(
+            lineno,
+            "measure before creg declaration",
+        ));
+    };
+    let (q, cb) = rest.split_once("->").ok_or_else(|| {
+        ParseQasmError::new(lineno, "malformed measure (expected `q[a] -> c[b]`)")
+    })?;
+    let qubit = parse_qubit(q.trim(), reg, n_qubits, lineno)?;
+    let cbit = parse_qubit(cb.trim(), name, *bits, lineno)
+        .map_err(|e| ParseQasmError::new(lineno, format!("in measure target: {}", e.message)))?;
+    Ok((qubit, cbit))
+}
+
+/// Parses `(c == value) body` (the part of an `if` statement after the
+/// keyword), returning the comparison value and the body statement.
+fn parse_condition<'a>(
+    rest: &'a str,
+    creg: &Option<(String, u32)>,
+    lineno: usize,
+) -> Result<(u64, &'a str), ParseQasmError> {
+    let Some((name, bits)) = creg else {
+        return Err(ParseQasmError::new(lineno, "if before creg declaration"));
+    };
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .ok_or_else(|| ParseQasmError::new(lineno, "malformed if (expected `if (c==v) gate`)"))?;
+    let close = inner
+        .find(')')
+        .ok_or_else(|| ParseQasmError::new(lineno, "unclosed if condition"))?;
+    let cond = &inner[..close];
+    let body = inner[close + 1..].trim();
+    let (lhs, rhs) = cond
+        .split_once("==")
+        .ok_or_else(|| ParseQasmError::new(lineno, "if condition must be `creg == value`"))?;
+    if lhs.trim() != name {
+        return Err(ParseQasmError::new(
+            lineno,
+            format!("unknown register `{}` in if condition", lhs.trim()),
+        ));
+    }
+    let value: u64 = rhs
+        .trim()
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad value in if condition"))?;
+    if *bits < 64 && value >= 1u64 << *bits {
+        return Err(ParseQasmError::new(
+            lineno,
+            format!("if condition value {value} exceeds the {bits}-bit register"),
+        ));
+    }
+    if body.is_empty() {
+        return Err(ParseQasmError::new(lineno, "if condition without a body"));
+    }
+    Ok((value, body))
 }
 
 fn parse_reg(rest: &str, lineno: usize) -> Result<(String, u32), ParseQasmError> {
@@ -354,7 +483,11 @@ impl fmt::Display for QasmExportError {
 
 impl Error for QasmExportError {}
 
-/// Serialises a gate circuit to OpenQASM 2.0.
+/// Serialises a circuit to OpenQASM 2.0, including `measure`, `reset` and
+/// classically controlled (`if (c==v) gate`) statements. When the circuit
+/// uses classical bits a `creg c[n];` declaration follows the `qreg` line,
+/// so the output reparses to an equivalent circuit byte-stably:
+/// `to_qasm(parse_qasm(text)) == text` for text this function produced.
 ///
 /// # Errors
 ///
@@ -366,65 +499,92 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmExportError> {
     use std::fmt::Write as _;
     let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
     let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    if circuit.n_cbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.n_cbits());
+    }
     for (i, op) in circuit.iter().enumerate() {
-        let Op::Gate {
+        write_op(&mut out, i, op, "")?;
+    }
+    Ok(out)
+}
+
+/// Serialises one operation as a statement line, with `prefix` (empty or a
+/// rendered `if (...) ` condition) before the gate name.
+fn write_op(out: &mut String, i: usize, op: &Op, prefix: &str) -> Result<(), QasmExportError> {
+    use std::fmt::Write as _;
+    let (matrix, target, controls) = match op {
+        Op::Measure { qubit, cbit } => {
+            let _ = writeln!(out, "measure q[{qubit}] -> c[{cbit}];");
+            return Ok(());
+        }
+        Op::Reset { qubit } => {
+            let _ = writeln!(out, "reset q[{qubit}];");
+            return Ok(());
+        }
+        Op::Conditional { value, op } => {
+            if !prefix.is_empty() {
+                return Err(QasmExportError::new(i, "nested if has no QASM 2 spelling"));
+            }
+            return write_op(out, i, op, &format!("if (c=={value}) "));
+        }
+        Op::Gate {
             matrix,
             target,
             controls,
-        } = op
-        else {
+        } => (matrix, target, controls),
+        _ => {
             return Err(QasmExportError::new(
                 i,
                 "cannot serialise walk operators to QASM 2",
             ));
-        };
-        let name = matrix.name();
-        let base = name.split('(').next().unwrap_or(name).to_ascii_lowercase();
-        let param = name
-            .find('(')
-            .map(|i| name[i..].to_string())
-            .unwrap_or_default();
-        match (base.as_str(), controls.len()) {
-            (_, 0) => {
-                let q = format!("q[{target}]");
-                let g = match base.as_str() {
-                    "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "sx" => base.clone(),
-                    "p" => format!("u1{param}"),
-                    "rz" | "ry" | "rx" => format!("{base}{param}"),
-                    other => {
-                        return Err(QasmExportError::new(
-                            i,
-                            format!("gate `{other}` has no QASM 2 spelling"),
-                        ));
-                    }
-                };
-                let _ = writeln!(out, "{g} {q};");
-            }
-            ("x", 1) if controls[0].1 => {
-                let _ = writeln!(out, "cx q[{}], q[{target}];", controls[0].0);
-            }
-            ("z", 1) if controls[0].1 => {
-                let _ = writeln!(out, "cz q[{}], q[{target}];", controls[0].0);
-            }
-            ("x", 2) if controls.iter().all(|c| c.1) => {
-                let _ = writeln!(
-                    out,
-                    "ccx q[{}], q[{}], q[{target}];",
-                    controls[0].0, controls[1].0
-                );
-            }
-            _ => {
-                return Err(QasmExportError::new(
-                    i,
-                    format!(
-                        "controlled `{base}` with {} controls has no QASM 2 spelling",
-                        controls.len()
-                    ),
-                ));
-            }
+        }
+    };
+    let name = matrix.name();
+    let base = name.split('(').next().unwrap_or(name).to_ascii_lowercase();
+    let param = name
+        .find('(')
+        .map(|i| name[i..].to_string())
+        .unwrap_or_default();
+    match (base.as_str(), controls.len()) {
+        (_, 0) => {
+            let q = format!("q[{target}]");
+            let g = match base.as_str() {
+                "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "sx" => base.clone(),
+                "p" => format!("u1{param}"),
+                "rz" | "ry" | "rx" => format!("{base}{param}"),
+                other => {
+                    return Err(QasmExportError::new(
+                        i,
+                        format!("gate `{other}` has no QASM 2 spelling"),
+                    ));
+                }
+            };
+            let _ = writeln!(out, "{prefix}{g} {q};");
+        }
+        ("x", 1) if controls[0].1 => {
+            let _ = writeln!(out, "{prefix}cx q[{}], q[{target}];", controls[0].0);
+        }
+        ("z", 1) if controls[0].1 => {
+            let _ = writeln!(out, "{prefix}cz q[{}], q[{target}];", controls[0].0);
+        }
+        ("x", 2) if controls.iter().all(|c| c.1) => {
+            let _ = writeln!(
+                out,
+                "{prefix}ccx q[{}], q[{}], q[{target}];",
+                controls[0].0, controls[1].0
+            );
+        }
+        _ => {
+            return Err(QasmExportError::new(
+                i,
+                format!(
+                    "controlled `{base}` with {} controls has no QASM 2 spelling",
+                    controls.len()
+                ),
+            ));
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -448,7 +608,70 @@ mod tests {
         "#;
         let c = parse_qasm(src).expect("parse");
         assert_eq!(c.n_qubits(), 3);
-        assert_eq!(c.len(), 7);
+        assert_eq!(c.n_cbits(), 3);
+        assert_eq!(c.len(), 8);
+        assert!(matches!(
+            c.iter().last(),
+            Some(Op::Measure { qubit: 0, cbit: 0 })
+        ));
+    }
+
+    #[test]
+    fn parse_measurement_statements() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[3];
+            creg c[2];
+            h q[0];
+            measure q[0] -> c[1];
+            reset q[2];
+            if (c==2) x q[1];
+            if(c==1) swap q[0], q[2];
+        "#;
+        let c = parse_qasm(src).expect("parse");
+        assert_eq!(c.n_cbits(), 2);
+        let ops: Vec<&Op> = c.iter().collect();
+        // h, measure, reset, 1 conditional x, 3 conditional cx (swap)
+        assert_eq!(ops.len(), 7);
+        assert!(matches!(ops[1], Op::Measure { qubit: 0, cbit: 1 }));
+        assert!(matches!(ops[2], Op::Reset { qubit: 2 }));
+        assert!(matches!(ops[3], Op::Conditional { value: 2, .. }));
+        assert!(matches!(ops[6], Op::Conditional { value: 1, .. }));
+    }
+
+    #[test]
+    fn measurement_parse_errors_are_located() {
+        let err =
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nmeasure q[0] -> c[0];").expect_err("no creg");
+        assert!(err.to_string().contains("measure before creg"), "{err}");
+
+        let err = parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nif (c==5) x q[0];")
+            .expect_err("value too wide");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        let err =
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nif (c==1) measure q[0] -> c[0];")
+                .expect_err("nonunitary body");
+        assert!(err.to_string().contains("unsupported gate"), "{err}");
+
+        let err = parse_qasm("OPENQASM 2.0;\nqreg q[1];\ncreg c[80];").expect_err("creg too wide");
+        assert!(err.to_string().contains("limited to 64 bits"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_measurement_is_byte_stable() {
+        // export → parse → export must reproduce the text byte-for-byte
+        let mut c = Circuit::new(3);
+        c.push_gate(GateMatrix::t(), 0, &[]);
+        c.extend_from(&crate::teleport());
+        let text = to_qasm(&c).expect("teleport serialises");
+        assert!(text.contains("creg c[2];"), "{text}");
+        assert!(text.contains("measure q[1] -> c[0];"), "{text}");
+        assert!(text.contains("if (c==3) z q[2];"), "{text}");
+        let reparsed = parse_qasm(&text).expect("reparse");
+        assert_eq!(reparsed.n_cbits(), 2);
+        let text2 = to_qasm(&reparsed).expect("re-export");
+        assert_eq!(text, text2, "round trip must be byte-stable");
     }
 
     #[test]

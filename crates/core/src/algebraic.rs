@@ -180,6 +180,17 @@ impl WeightContext for QomegaContext {
         None // irrational angles must be Clifford+T-compiled first
     }
 
+    fn sqrt_inv(&self, a: &Qomega) -> Option<Qomega> {
+        // 1/√p is representable exactly iff p = √2^{-k} with even k:
+        // then 1/√p = √2^{k/2}. Dyadic probabilities (1/2^m) all have
+        // this form; everything else leaves the field.
+        if a.numerator().is_one() && a.denom().is_one() && a.k() % 2 == 0 {
+            Some(Qomega::from(Domega::new(Zomega::one(), -(a.k() / 2))))
+        } else {
+            None
+        }
+    }
+
     fn to_complex(&self, a: &Qomega) -> Complex64 {
         a.to_complex64()
     }
@@ -387,6 +398,15 @@ impl WeightContext for GcdContext {
 
     fn from_approx(&self, _c: Complex64) -> Option<Domega> {
         None
+    }
+
+    fn sqrt_inv(&self, a: &Domega) -> Option<Domega> {
+        // same criterion as `Q[ω]`: p must be an even power of √2
+        if a.numerator().is_one() && a.k() % 2 == 0 {
+            Some(Domega::new(Zomega::one(), -(a.k() / 2)))
+        } else {
+            None
+        }
     }
 
     fn to_complex(&self, a: &Domega) -> Complex64 {

@@ -133,6 +133,19 @@ pub enum EngineError {
         /// Display name of the offending gate.
         gate: String,
     },
+    /// A measurement collapse needs a renormalization factor `1/√p` that
+    /// the weight system cannot represent exactly (exact contexts only;
+    /// `p` was not an even power of `√2`).
+    UnrepresentableMeasurement {
+        /// The measured qubit.
+        qubit: u32,
+    },
+    /// A measurement collapse targeted an outcome of probability zero
+    /// (or the state itself was the zero vector).
+    ImpossibleMeasurement {
+        /// The measured qubit.
+        qubit: u32,
+    },
     /// A snapshot file could not be read or written.
     SnapshotIo {
         /// The file path involved.
@@ -201,6 +214,15 @@ impl fmt::Display for EngineError {
                 f,
                 "gate `{gate}` not representable in this weight system; \
                  compile to Clifford+T first"
+            ),
+            EngineError::UnrepresentableMeasurement { qubit } => write!(
+                f,
+                "measurement on qubit {qubit}: renormalization factor 1/\u{221a}p \
+                 is not representable in this weight system"
+            ),
+            EngineError::ImpossibleMeasurement { qubit } => write!(
+                f,
+                "measurement on qubit {qubit}: the requested outcome has probability zero"
             ),
             EngineError::SnapshotIo { path, detail } => {
                 write!(f, "snapshot I/O error on `{path}`: {detail}")

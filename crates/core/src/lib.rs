@@ -56,6 +56,7 @@ pub mod fxhash;
 mod gates;
 mod invariant;
 mod manager;
+mod measure;
 mod numeric;
 mod ops;
 pub mod snapshot;
@@ -70,6 +71,7 @@ pub use edge::{Edge, MatId, VecId};
 pub use error::{EngineError, RunBudget};
 pub use gates::{GateEntry, GateMatrix, UnrepresentableGateError};
 pub use manager::{EngineStatistics, Manager};
+pub use measure::StateSampler;
 pub use numeric::{NormScheme, NumericContext};
 pub use verify::kron_states;
 pub use weight::{WeightContext, WeightId, WeightTable};

@@ -183,6 +183,16 @@ impl WeightContext for NumericContext {
         Some(c)
     }
 
+    fn sqrt_inv(&self, a: &Complex64) -> Option<Complex64> {
+        // squared norms are real; reject anything that is not a usable
+        // positive probability mass (the caller treats `None` as an
+        // impossible renormalization)
+        if a.re <= 0.0 || !a.re.is_finite() {
+            return None;
+        }
+        Some(Complex64::new(1.0 / a.re.sqrt(), 0.0))
+    }
+
     fn to_complex(&self, a: &Complex64) -> Complex64 {
         *a
     }

@@ -89,8 +89,9 @@ pub trait WeightTable {
 /// [`GcdContext`]: crate::GcdContext
 #[allow(clippy::wrong_self_convention)] // from_* here converts *into* Self::Value, dispatched on the context
 pub trait WeightContext: Clone + fmt::Debug {
-    /// The weight value type.
-    type Value: Clone + fmt::Debug;
+    /// The weight value type (`Display` renders it exactly — the engine
+    /// uses it to report measurement probabilities in exact form).
+    type Value: Clone + fmt::Debug + fmt::Display;
     /// The interning table for this value type.
     type Table: WeightTable<Value = Self::Value> + fmt::Debug;
 
@@ -133,6 +134,20 @@ pub trait WeightContext: Clone + fmt::Debug {
     /// outside `D[ω]`/`Q[ω]` — such gates must first be compiled to
     /// Clifford+T, as the paper does with Quipper for GSE).
     fn from_approx(&self, c: Complex64) -> Option<Self::Value>;
+
+    /// The reciprocal square root `1/√a` of a **non-negative real** value
+    /// (a squared norm produced by `mul(w, conj(w))` sums), or `None` if
+    /// this number system cannot represent it exactly.
+    ///
+    /// This is the measurement-collapse renormalization factor: after
+    /// discarding one branch, the surviving state is scaled by `1/√p`.
+    /// The numeric context can always do this (modulo `a ≤ 0`); the exact
+    /// algebraic contexts only when `a` is an even power of `√2` — which
+    /// covers every probability of the form `1/2^m`, i.e. all outcomes of
+    /// measuring stabilizer-like branches. Anything else (e.g. the
+    /// `(2+√2)/4` arising after a `T·H` pair) has no representable `1/√p`
+    /// and must be reported as an unrepresentable measurement.
+    fn sqrt_inv(&self, a: &Self::Value) -> Option<Self::Value>;
 
     /// Evaluates to a complex double (exact up to final rounding for the
     /// algebraic contexts).

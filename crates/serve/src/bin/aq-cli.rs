@@ -6,10 +6,18 @@
 //!        [--max-nodes=N] [--max-weights=N] [--max-bits=N]
 //!        [--deadline-secs=S] [--resume=PATH] [--top-k=K] [--wait=SECS]
 //!        [--retries=N]
+//! aq-cli --addr=HOST:PORT sample <submit flags except --resume>
+//!        [--shots=N] [--seed=S]
 //! aq-cli --addr=HOST:PORT status --job=ID
 //! aq-cli --addr=HOST:PORT wait --job=ID [--timeout=SECS]
 //! aq-cli --addr=HOST:PORT metrics | drain | shutdown
 //! ```
+//!
+//! `sample` submits a seeded shot-sampling job: the response's terminal
+//! status carries a `"sample"` object with the bitstring histogram
+//! (`counts` as `[basis index, hits]` pairs summing to `shots`) and the
+//! per-outcome probabilities — exact strings included under algebraic
+//! schemes. Equal seeds give bit-identical histograms.
 //!
 //! Prints the server's JSON response line(s) on stdout. Exit status is 0
 //! when every response had `"ok":true`, 1 otherwise (a *rejected*
@@ -29,7 +37,7 @@ use aq_serve::{Backoff, Json, TcpClient};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aq-cli --addr=HOST:PORT <submit|status|wait|metrics|drain|shutdown> [flags]\n\
+        "usage: aq-cli --addr=HOST:PORT <submit|sample|status|wait|metrics|drain|shutdown> [flags]\n\
          see `aq-cli --help` in the README \"Serving\" section for flag details"
     );
     std::process::exit(2);
@@ -59,8 +67,8 @@ fn num_field(map: &HashMap<String, String>, key: &str) -> Option<(String, Json)>
     })
 }
 
-fn build_submit(map: &HashMap<String, String>) -> String {
-    let mut pairs: Vec<(String, Json)> = vec![("verb".into(), Json::str("submit"))];
+fn build_submit(map: &HashMap<String, String>, verb: &str) -> String {
+    let mut pairs: Vec<(String, Json)> = vec![("verb".into(), Json::str(verb))];
     match map.get("qasm-file") {
         Some(path) => {
             let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -97,6 +105,15 @@ fn build_submit(map: &HashMap<String, String>) -> String {
     }
     if let Some(r) = map.get("resume") {
         pairs.push(("resume".into(), Json::str(r.as_str())));
+    }
+    if verb == "sample" {
+        for key in ["shots", "seed"] {
+            if !pairs.iter().any(|(k, _)| k == key) {
+                if let Some(p) = num_field(map, key) {
+                    pairs.push(p);
+                }
+            }
+        }
     }
     let budget: Vec<(String, Json)> = ["max-nodes", "max-weights", "max-bits", "deadline-secs"]
         .iter()
@@ -218,7 +235,7 @@ fn main() {
     };
 
     let line = match verb.as_str() {
-        "submit" => build_submit(&map),
+        "submit" | "sample" => build_submit(&map, &verb),
         "status" => job_line(&map, "status", None),
         "wait" => job_line(&map, "wait", Some("timeout")),
         "metrics" => Json::obj(vec![("verb", Json::str("metrics"))]).render(),
@@ -229,7 +246,7 @@ fn main() {
 
     // `--retries=N` takes the resilient path: submit+wait per attempt on
     // a fresh connection, resubmitting on retryable failures.
-    if verb == "submit" {
+    if verb == "submit" || verb == "sample" {
         if let Some(retries) = map.get("retries").and_then(|v| v.parse::<u32>().ok()) {
             let wait_secs = map
                 .get("wait")
@@ -261,7 +278,7 @@ fn main() {
     let parsed = check_and_print(response);
 
     // `submit --wait=SECS` chains a wait on the job id just returned.
-    if verb == "submit" {
+    if verb == "submit" || verb == "sample" {
         if let Some(secs) = map.get("wait").and_then(|v| v.parse::<f64>().ok()) {
             let job = parsed
                 .as_ref()

@@ -6,7 +6,10 @@
 //! change results, and the scheme label encodes ε for numeric jobs. The
 //! cache key therefore addresses *content*: the canonical circuit
 //! fingerprint plus every request parameter that can alter the reply a
-//! client sees. Two budgets that differ only within the same
+//! client sees — including the job kind: a seeded sampling job and a
+//! plain run over the same circuit carry a [`JobKind`] discriminant (with
+//! the sampler's `shots` and `seed`) so they can never answer for each
+//! other. Two budgets that differ only within the same
 //! power-of-two **budget class** are considered equivalent: a completed
 //! outcome proves the work fit the smaller budget of the class, and
 //! quantizing keeps near-miss budgets from fragmenting the cache.
@@ -25,7 +28,26 @@ use std::collections::HashMap;
 
 use aq_circuits::Circuit;
 use aq_dd::RunBudget;
-use aq_sim::{circuit_fingerprint, JobOutcome, SchemeSpec};
+use aq_sim::{circuit_fingerprint, JobOutcome, SampleParams, SchemeSpec};
+
+/// The job-kind tag inside a [`CacheKey`]: a plain simulation run and a
+/// seeded sampling job over the *same* circuit produce different replies
+/// (amplitudes vs a histogram), so the kind — and for sampling, the
+/// exact `(shots, seed)` pair — is part of the cache identity. Two
+/// sampling submissions hit the same entry only when their histograms
+/// are guaranteed bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JobKind {
+    /// Full simulation reporting `top_k` amplitudes.
+    Run,
+    /// Seeded shot sampling.
+    Sample {
+        /// Shots drawn.
+        shots: u64,
+        /// Sampler RNG seed.
+        seed: u64,
+    },
+}
 
 /// Identity of one cacheable simulation request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -41,16 +63,20 @@ pub struct CacheKey {
     /// Power-of-two quantized (max_nodes, max_distinct_weights,
     /// max_weight_bits); `u64::MAX` encodes "unlimited".
     budget_class: [u64; 3],
+    /// Run vs sample discriminant (with the sampler's shots and seed).
+    kind: JobKind,
 }
 
 impl CacheKey {
-    /// Builds the key for one submission.
+    /// Builds the key for one submission; `sample` is `Some` exactly for
+    /// sampling jobs.
     pub fn new(
         circuit: &Circuit,
         start: u64,
         scheme: &SchemeSpec,
         top_k: usize,
         budget: &RunBudget,
+        sample: Option<SampleParams>,
     ) -> CacheKey {
         let quantize = |v: Option<u64>| match v {
             None => u64::MAX,
@@ -67,6 +93,13 @@ impl CacheKey {
                 quantize(budget.max_distinct_weights.map(|n| n as u64)),
                 quantize(budget.max_weight_bits),
             ],
+            kind: match sample {
+                None => JobKind::Run,
+                Some(p) => JobKind::Sample {
+                    shots: p.shots,
+                    seed: p.seed,
+                },
+            },
         }
     }
 }
@@ -213,6 +246,7 @@ mod tests {
             statistics: EngineStatistics::default(),
             top_probabilities: vec![(0, 1.0)],
             resumed: false,
+            sample: None,
             aborted: None,
         }
     }
@@ -225,6 +259,7 @@ mod tests {
             &SchemeSpec::Qomega,
             4,
             &RunBudget::unlimited().with_max_nodes(1000),
+            None,
         )
     }
 
@@ -232,26 +267,66 @@ mod tests {
     fn keys_distinguish_circuit_scheme_start_and_budget_class() {
         let c = aq_circuits::grover(3, 1);
         let b = RunBudget::unlimited().with_max_nodes(1000);
-        let base = CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b);
-        assert_eq!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b));
+        let base = CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, None);
+        assert_eq!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, None));
         // same power-of-two budget class coalesces
         let near = RunBudget::unlimited().with_max_nodes(600);
-        assert_eq!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &near));
+        assert_eq!(
+            base,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &near, None)
+        );
         // a different class does not
         let far = RunBudget::unlimited().with_max_nodes(100_000);
-        assert_ne!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &far));
+        assert_ne!(
+            base,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &far, None)
+        );
         // deadlines are excluded from the key
         let dl = b.with_deadline(std::time::Duration::from_secs(1));
-        assert_eq!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &dl));
+        assert_eq!(
+            base,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &dl, None)
+        );
         // ε is part of the scheme label, so it is part of the key
         assert_ne!(
-            CacheKey::new(&c, 0, &SchemeSpec::Numeric { eps: 0.0 }, 4, &b),
-            CacheKey::new(&c, 0, &SchemeSpec::Numeric { eps: 1e-10 }, 4, &b),
+            CacheKey::new(&c, 0, &SchemeSpec::Numeric { eps: 0.0 }, 4, &b, None),
+            CacheKey::new(&c, 0, &SchemeSpec::Numeric { eps: 1e-10 }, 4, &b, None),
         );
-        assert_ne!(base, CacheKey::new(&c, 1, &SchemeSpec::Qomega, 4, &b));
-        assert_ne!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 8, &b));
+        assert_ne!(base, CacheKey::new(&c, 1, &SchemeSpec::Qomega, 4, &b, None));
+        assert_ne!(base, CacheKey::new(&c, 0, &SchemeSpec::Qomega, 8, &b, None));
         let c2 = aq_circuits::grover(3, 2);
-        assert_ne!(base, CacheKey::new(&c2, 0, &SchemeSpec::Qomega, 4, &b));
+        assert_ne!(
+            base,
+            CacheKey::new(&c2, 0, &SchemeSpec::Qomega, 4, &b, None)
+        );
+    }
+
+    /// Regression: a `run` and a `sample` over the same circuit, scheme
+    /// and budget must never answer for each other — a histogram reply
+    /// served where amplitudes were asked (or vice versa) would be a
+    /// protocol corruption the client cannot detect.
+    #[test]
+    fn run_and_sample_keys_never_collide() {
+        let c = aq_circuits::grover(3, 1);
+        let b = RunBudget::unlimited().with_max_nodes(1000);
+        let sp = |shots, seed| Some(SampleParams { shots, seed });
+        let run = CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, None);
+        let sample = CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, sp(1024, 0));
+        assert_ne!(run, sample);
+        // equal sampling parameters coalesce (bit-identical histograms)…
+        assert_eq!(
+            sample,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, sp(1024, 0))
+        );
+        // …but shots and seed are both part of the identity
+        assert_ne!(
+            sample,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, sp(2048, 0))
+        );
+        assert_ne!(
+            sample,
+            CacheKey::new(&c, 0, &SchemeSpec::Qomega, 4, &b, sp(1024, 1))
+        );
     }
 
     #[test]

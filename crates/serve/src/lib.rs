@@ -44,7 +44,7 @@ pub use metrics::{
     histogram_quantile_ms, LatencyHistogram, Metrics, WorkerStats, LATENCY_BUCKETS,
     LATENCY_BUCKET_EDGES_US,
 };
-pub use protocol::{CircuitSpec, Request, SubmitRequest, MAX_FRAME_BYTES, MAX_QUBITS};
+pub use protocol::{CircuitSpec, Request, SubmitRequest, MAX_FRAME_BYTES, MAX_QUBITS, MAX_SHOTS};
 pub use queue::{AdmissionError, JobQueue};
 pub use server::Server;
 pub use service::{

@@ -148,6 +148,11 @@ pub struct Metrics {
     /// Submissions rejected because the estimated queue wait already
     /// exceeded the job's deadline (subset of `rejected`).
     pub shed_deadline: AtomicU64,
+    /// Completed sampling jobs — a subset of `completed`, including
+    /// histograms answered from the result cache.
+    pub samples: AtomicU64,
+    /// Total shots drawn across completed sampling jobs.
+    pub shots: AtomicU64,
     /// Latency from submission to terminal state.
     pub latency: LatencyHistogram,
     /// Per-worker aggregates, indexed by worker id.

@@ -4,12 +4,14 @@
 //! # Grammar
 //!
 //! ```text
-//! request    = submit | status | wait | metrics | drain | shutdown
+//! request    = submit | sample | status | wait | metrics | drain | shutdown
 //! submit     = {"verb":"submit", circuit..., "scheme":"numeric"|"qomega"|"gcd",
 //!               ["eps":<f64>,] ["priority":0..=9,] ["top_k":<n>,]
 //!               ["resume":"<path>",]
 //!               "budget":{["max_nodes":n,]["max_weights":n,]
 //!                         ["max_bits":n,]["deadline_secs":s]}}
+//! sample     = {"verb":"sample", <submit fields except "resume">,
+//!               ["shots":1..=1000000,] ["seed":<u64>]}
 //! circuit    = "circuit":"grover","n":n,"marked":m
 //!            | "circuit":"bwt","height":h,"steps":s[,"seed":x]
 //!            | "circuit":"gse"[,"precision_bits":b][,"trotter_slices":t]
@@ -33,7 +35,7 @@ use std::time::Duration;
 
 use aq_circuits::{bwt, grover, qft, BwtParams, Circuit, GseParams};
 use aq_dd::RunBudget;
-use aq_sim::SchemeSpec;
+use aq_sim::{SampleParams, SchemeSpec};
 
 use crate::json::Json;
 
@@ -45,6 +47,12 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 /// submission: amplitude extraction is `O(2ⁿ)` and a serving process must
 /// not be wedged by one pathological request.
 pub const MAX_QUBITS: u32 = 24;
+
+/// Most shots one `sample` submission may request. Drawing is `O(n)` per
+/// shot on the final DD, but fork-per-shot circuits (mid-circuit
+/// measurement) re-simulate every shot, so the cap keeps one request from
+/// monopolising a worker.
+pub const MAX_SHOTS: u64 = 1_000_000;
 
 /// What circuit a submission asks for.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,12 +217,17 @@ pub struct SubmitRequest {
     pub resume: Option<PathBuf>,
     /// Top measurement probabilities to report.
     pub top_k: usize,
+    /// Set for the `sample` verb: draw this many seeded shots from the
+    /// final state instead of reporting amplitudes. Mutually exclusive
+    /// with `resume` (a shot stream has no mid-point checkpoint).
+    pub sample: Option<SampleParams>,
 }
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Submit a job.
+    /// Submit a job (the `submit` verb, or `sample` when
+    /// [`SubmitRequest::sample`] is set).
     Submit(Box<SubmitRequest>),
     /// Query a job's state.
     Status {
@@ -255,6 +268,19 @@ impl Request {
             .ok_or("missing string field `verb`")?;
         match verb {
             "submit" => Ok(Request::Submit(Box::new(parse_submit(&v)?))),
+            "sample" => {
+                let mut submit = parse_submit(&v)?;
+                if submit.resume.is_some() {
+                    return Err("sample jobs cannot resume from a checkpoint".into());
+                }
+                let shots = opt_u64(&v, "shots")?.unwrap_or(1024);
+                if !(1..=MAX_SHOTS).contains(&shots) {
+                    return Err(format!("shots must be in 1..={MAX_SHOTS}, got {shots}"));
+                }
+                let seed = opt_u64(&v, "seed")?.unwrap_or(0);
+                submit.sample = Some(SampleParams { shots, seed });
+                Ok(Request::Submit(Box::new(submit)))
+            }
             "status" => Ok(Request::Status {
                 job: require_u64(&v, "job")?,
             }),
@@ -407,6 +433,7 @@ fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         budget,
         resume,
         top_k,
+        sample: None,
     })
 }
 
@@ -437,6 +464,65 @@ mod tests {
         assert_eq!(s.top_k, 2);
         assert_eq!(s.budget.max_nodes, Some(100_000));
         assert_eq!(s.budget.deadline, Some(Duration::from_secs_f64(5.0)),);
+    }
+
+    #[test]
+    fn parses_a_sample_submit() {
+        let line = r#"{"verb":"sample","qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n",
+            "scheme":"gcd","shots":512,"seed":41,"budget":{"max_nodes":100000}}"#;
+        let Request::Submit(s) = Request::parse(line).expect("parse") else {
+            panic!("expected submit");
+        };
+        assert_eq!(
+            s.sample,
+            Some(SampleParams {
+                shots: 512,
+                seed: 41
+            })
+        );
+        assert_eq!(s.scheme, SchemeSpec::Gcd);
+        assert!(s.resume.is_none());
+
+        // shots and seed default when omitted
+        let line = r#"{"verb":"sample","circuit":"qft","n":3,"budget":{"max_nodes":1000}}"#;
+        let Request::Submit(s) = Request::parse(line).expect("parse") else {
+            panic!("expected submit");
+        };
+        assert_eq!(
+            s.sample,
+            Some(SampleParams {
+                shots: 1024,
+                seed: 0
+            })
+        );
+
+        // a plain submit never carries sample parameters
+        let line = r#"{"verb":"submit","circuit":"qft","n":3,"budget":{"max_nodes":1000}}"#;
+        let Request::Submit(s) = Request::parse(line).expect("parse") else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.sample, None);
+    }
+
+    #[test]
+    fn sample_rejects_bad_shots_and_resume() {
+        for (line, needle) in [
+            (
+                r#"{"verb":"sample","circuit":"qft","n":3,"shots":0}"#,
+                "shots must be in",
+            ),
+            (
+                r#"{"verb":"sample","circuit":"qft","n":3,"shots":2000000}"#,
+                "shots must be in",
+            ),
+            (
+                r#"{"verb":"sample","circuit":"qft","n":3,"resume":"/tmp/x.aqckp"}"#,
+                "cannot resume",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

@@ -60,7 +60,8 @@ use std::time::{Duration, Instant};
 use aq_circuits::Circuit;
 use aq_dd::EngineStatistics;
 use aq_sim::{
-    EngineSession, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec, SessionConfig, SimOptions,
+    EngineSession, JobAbortInfo, JobOutcome, JobSpec, SampleParams, SchemeSpec, SessionConfig,
+    SimOptions,
 };
 
 use crate::backoff::Backoff;
@@ -259,6 +260,7 @@ struct JobWork {
     label: String,
     resume: Option<PathBuf>,
     top_k: usize,
+    sample: Option<SampleParams>,
 }
 
 /// Registry entry for one admitted job.
@@ -327,6 +329,12 @@ impl Shared {
         match aborted {
             None => {
                 self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                if let Some(report) = &outcome.sample {
+                    self.metrics.samples.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .shots
+                        .fetch_add(report.shots, Ordering::Relaxed);
+                }
             }
             Some(info) => {
                 self.metrics.aborted.fetch_add(1, Ordering::Relaxed);
@@ -450,6 +458,11 @@ pub struct MetricsReport {
     /// Submissions rejected by deadline-aware load shedding (subset of
     /// `rejected`).
     pub shed_deadline: u64,
+    /// Completed sampling jobs (subset of `completed`; cache-served
+    /// histograms included).
+    pub samples: u64,
+    /// Total shots drawn across completed sampling jobs.
+    pub shots: u64,
     /// Connections dropped at shutdown for exceeding their flush grace.
     pub connections_reaped_at_shutdown: u64,
     /// Per-class supervision health.
@@ -569,6 +582,54 @@ impl Response {
                                 .collect(),
                         ),
                     ));
+                    if let Some(r) = &o.sample {
+                        pairs.push((
+                            "sample",
+                            Json::obj(vec![
+                                ("shots", Json::Num(r.shots as f64)),
+                                ("seed", Json::Num(r.seed as f64)),
+                                ("forked", Json::Bool(r.forked)),
+                                (
+                                    "counts",
+                                    Json::Arr(
+                                        r.counts
+                                            .iter()
+                                            .map(|(i, n)| {
+                                                Json::Arr(vec![
+                                                    Json::Num(*i as f64),
+                                                    Json::Num(*n as f64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "probabilities",
+                                    Json::Arr(
+                                        r.probabilities
+                                            .iter()
+                                            .map(|p| {
+                                                let mut fields = vec![
+                                                    (
+                                                        "index".to_string(),
+                                                        Json::Num(p.index as f64),
+                                                    ),
+                                                    ("p".to_string(), Json::Num(p.probability)),
+                                                ];
+                                                if let Some(e) = &p.exact {
+                                                    fields.push((
+                                                        "exact".to_string(),
+                                                        Json::str(e.as_str()),
+                                                    ));
+                                                }
+                                                Json::Obj(fields)
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        ));
+                    }
                     if let Some(a) = &o.aborted {
                         pairs.push(("reason", Json::str(a.reason.as_str())));
                         pairs.push(("evicted", Json::Bool(a.evicted)));
@@ -602,6 +663,8 @@ impl Response {
                 ("worker_deaths", Json::Num(m.worker_deaths as f64)),
                 ("worker_respawns", Json::Num(m.worker_respawns as f64)),
                 ("shed_deadline", Json::Num(m.shed_deadline as f64)),
+                ("samples", Json::Num(m.samples as f64)),
+                ("shots", Json::Num(m.shots as f64)),
                 (
                     "result_cache",
                     Json::obj(vec![
@@ -1241,6 +1304,7 @@ impl ServeCore {
                 &req.scheme,
                 req.top_k,
                 &req.budget,
+                req.sample,
             ))
         } else {
             None
@@ -1309,6 +1373,7 @@ impl ServeCore {
             label: label.clone(),
             resume: req.resume.clone(),
             top_k: req.top_k,
+            sample: req.sample,
         };
         let record = JobRecord {
             state: JobState::Queued,
@@ -1437,6 +1502,8 @@ impl ServeCore {
             worker_deaths: shared.metrics.worker_deaths.load(Ordering::Relaxed),
             worker_respawns: shared.metrics.worker_respawns.load(Ordering::Relaxed),
             shed_deadline: shared.metrics.shed_deadline.load(Ordering::Relaxed),
+            samples: shared.metrics.samples.load(Ordering::Relaxed),
+            shots: shared.metrics.shots.load(Ordering::Relaxed),
             connections_reaped_at_shutdown: shared
                 .metrics
                 .connections_reaped_at_shutdown
@@ -1649,6 +1716,7 @@ fn evicted_outcome(reason: &str) -> JobOutcome {
         statistics: EngineStatistics::default(),
         top_probabilities: Vec::new(),
         resumed: false,
+        sample: None,
         aborted: Some(JobAbortInfo {
             reason: reason.into(),
             checkpoint: None,
@@ -1668,6 +1736,7 @@ fn transient_death_outcome(reason: &str) -> JobOutcome {
         statistics: EngineStatistics::default(),
         top_probabilities: Vec::new(),
         resumed: false,
+        sample: None,
         aborted: Some(JobAbortInfo {
             reason: reason.into(),
             checkpoint: None,
@@ -1726,6 +1795,7 @@ fn worker_loop(
             label: work.label.clone(),
             resume: work.resume.clone(),
             top_k: work.top_k,
+            sample: work.sample,
         };
         // The last line of the never-lose-a-worker defence: session.run is
         // fail-soft by design, but if anything underneath it ever panics
@@ -1743,6 +1813,7 @@ fn worker_loop(
                     statistics: EngineStatistics::default(),
                     top_probabilities: Vec::new(),
                     resumed: false,
+                    sample: None,
                     aborted: Some(JobAbortInfo {
                         reason: format!(
                             "internal error: job panicked: {}",

@@ -39,6 +39,7 @@ fn submit(circuit: CircuitSpec, scheme: SchemeSpec) -> SubmitRequest {
         budget: RunBudget::unlimited().with_max_nodes(2_000_000),
         resume: None,
         top_k: 4,
+        sample: None,
     }
 }
 

@@ -12,7 +12,7 @@ use aq_serve::{
     CircuitSpec, Client, JobState, JobStatusReport, Response, SchemeClass, ServeConfig, ServeCore,
     SubmitRequest,
 };
-use aq_sim::{JobOutcome, SchemeSpec};
+use aq_sim::{JobOutcome, SampleParams, SchemeSpec};
 use aq_testutil::Rng;
 
 fn test_dir(name: &str) -> PathBuf {
@@ -29,6 +29,7 @@ fn submit(circuit: CircuitSpec, scheme: SchemeSpec, budget: RunBudget) -> Submit
         budget,
         resume: None,
         top_k: 4,
+        sample: None,
     }
 }
 
@@ -391,6 +392,153 @@ fn result_cache_hit_is_byte_identical_to_the_cold_run() {
         warm_total >= 1,
         "repeat jobs on one worker must reuse its session"
     );
+    assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+}
+
+#[test]
+fn sample_jobs_flow_through_the_full_lifecycle() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+        queue_capacity: 8,
+        checkpoint_dir: test_dir("sample"),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+    let budget = RunBudget::unlimited().with_max_nodes(2_000_000);
+
+    // 10-qubit GHZ as inline QASM: the state every scheme can represent
+    // exactly, so exact contexts must report its probabilities as
+    // *exactly* one half — not merely ε-close.
+    let mut ghz = String::from("OPENQASM 2.0;\nqreg q[10];\nh q[0];\n");
+    for q in 1..10u32 {
+        ghz.push_str(&format!("cx q[{}], q[{}];\n", q - 1, q));
+    }
+    let ghz = CircuitSpec::Qasm(ghz);
+    let all_ones = (1u64 << 10) - 1;
+
+    let sample_req =
+        |circuit: &CircuitSpec, scheme: SchemeSpec, shots: u64, seed: u64| SubmitRequest {
+            sample: Some(SampleParams { shots, seed }),
+            ..submit(circuit.clone(), scheme, budget)
+        };
+
+    let mut histograms = Vec::new();
+    for scheme in [
+        SchemeSpec::Numeric { eps: 1e-10 },
+        SchemeSpec::Qomega,
+        SchemeSpec::Gcd,
+    ] {
+        let id = submitted_id(client.submit(sample_req(&ghz, scheme.clone(), 4096, 7)));
+        let report = wait_terminal(&client, id);
+        assert_eq!(report.state, JobState::Completed, "{scheme:?}");
+        let o = outcome(&report);
+        let sample = o.sample.as_ref().expect("sampling outcome has a report");
+        assert_eq!(sample.shots, 4096);
+        assert_eq!(sample.seed, 7);
+        assert!(!sample.forked, "GHZ has no mid-circuit measurement");
+        assert_eq!(sample.total(), 4096, "histogram sums to the shot count");
+        for &(index, _) in &sample.counts {
+            assert!(
+                index == 0 || index == all_ones,
+                "GHZ can only collapse to |0…0⟩ or |1…1⟩, got {index}"
+            );
+        }
+        for p in &sample.probabilities {
+            if scheme.is_algebraic() {
+                assert_eq!(p.probability, 0.5, "exact schemes report exactly ½");
+                assert!(p.exact.is_some(), "algebraic outcomes carry exact strings");
+            } else {
+                assert!((p.probability - 0.5).abs() < 1e-12);
+            }
+        }
+        histograms.push(sample.counts.clone());
+    }
+    // Dyadic marginals are exact in every context, so the same seed draws
+    // the very same shot stream under all three schemes.
+    assert_eq!(histograms[0], histograms[1]);
+    assert_eq!(histograms[1], histograms[2]);
+
+    // Same submission again: answered from the result cache, byte-identical.
+    let warm = submitted_id(client.submit(sample_req(&ghz, SchemeSpec::Gcd, 4096, 7)));
+    let warm_report = wait_terminal(&client, warm);
+    let m = client.metrics();
+    assert_eq!(m.cache_served, 1, "repeat sample must be cache-served");
+    assert_eq!(
+        outcome(&warm_report).sample.as_ref().unwrap().counts,
+        histograms[2]
+    );
+
+    // A cache-defeating variation (different top_k → different key) forces
+    // a fresh worker run; equal seeds still give the identical histogram.
+    let rerun = submitted_id(client.submit(SubmitRequest {
+        top_k: 5,
+        ..sample_req(&ghz, SchemeSpec::Gcd, 4096, 7)
+    }));
+    let rerun_report = wait_terminal(&client, rerun);
+    let m = client.metrics();
+    assert_eq!(m.cache_served, 1, "different top_k must miss the cache");
+    assert_eq!(
+        outcome(&rerun_report).sample.as_ref().unwrap().counts,
+        histograms[2],
+        "equal seeds must reproduce the histogram bit-for-bit"
+    );
+    // …while a different seed gives a different (but still two-outcome)
+    // histogram.
+    let other_seed = submitted_id(client.submit(sample_req(&ghz, SchemeSpec::Gcd, 4096, 8)));
+    let other_report = wait_terminal(&client, other_seed);
+    assert_ne!(
+        outcome(&other_report).sample.as_ref().unwrap().counts,
+        histograms[2]
+    );
+
+    // A plain `run` of the same circuit/scheme/budget must not be served
+    // from any sample entry: it computes amplitudes, not a histogram.
+    let run_id = submitted_id(client.submit(submit(ghz.clone(), SchemeSpec::Gcd, budget)));
+    let run_report = wait_terminal(&client, run_id);
+    let run_outcome = outcome(&run_report);
+    assert!(
+        run_outcome.sample.is_none(),
+        "run outcomes carry no histogram"
+    );
+    assert!(!run_outcome.top_probabilities.is_empty());
+    let m = client.metrics();
+    assert_eq!(m.cache_served, 1, "run must not hit a sample cache entry");
+
+    // Teleportation with mid-circuit measurement and classical control,
+    // through the full service stack: the sampler forks per shot and the
+    // corrected output qubit always carries the |1⟩ message.
+    let teleport = CircuitSpec::Qasm(
+        "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nx q[0];\nh q[1];\ncx q[1], q[2];\n\
+         cx q[0], q[1];\nh q[0];\nmeasure q[1] -> c[0];\nmeasure q[0] -> c[1];\n\
+         if (c==1) x q[2];\nif (c==3) x q[2];\nif (c==2) z q[2];\nif (c==3) z q[2];\n"
+            .into(),
+    );
+    for scheme in [
+        SchemeSpec::Numeric { eps: 1e-10 },
+        SchemeSpec::Qomega,
+        SchemeSpec::Gcd,
+    ] {
+        let id = submitted_id(client.submit(sample_req(&teleport, scheme.clone(), 128, 5)));
+        let report = wait_terminal(&client, id);
+        assert_eq!(report.state, JobState::Completed, "{scheme:?}");
+        let sample = outcome(&report).sample.as_ref().unwrap();
+        assert!(sample.forked, "mid-circuit measurement forks per shot");
+        assert_eq!(sample.total(), 128);
+        for &(index, _) in &sample.counts {
+            assert_eq!(index & 1, 1, "corrected q2 must always read |1⟩");
+        }
+    }
+
+    // The sampling counters: 9 completed sampling jobs (the cache-served
+    // one included), each worth its shot count.
+    match client.drain() {
+        Response::Drained { .. } => {}
+        other => panic!("expected Drained, got {other:?}"),
+    }
+    let m = client.metrics();
+    assert_eq!(m.samples, 9);
+    assert_eq!(m.shots, 6 * 4096 + 3 * 128);
     assert!(m.reconciles(), "metrics must reconcile: {m:?}");
 }
 

@@ -66,7 +66,12 @@ pub struct CheckpointInfo {
 /// circuit. Operations don't implement `Hash`; their `Debug` rendering is
 /// stable and covers every parameter, so the fingerprint hashes that.
 pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
-    let rendered = format!("{}:{:?}", circuit.n_qubits(), circuit.ops());
+    let rendered = format!(
+        "{}+{}:{:?}",
+        circuit.n_qubits(),
+        circuit.n_cbits(),
+        circuit.ops()
+    );
     aq_dd::fxhash::fx_hash(&rendered)
 }
 

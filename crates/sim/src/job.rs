@@ -93,6 +93,21 @@ pub struct JobSpec<'c> {
     /// completion (`0` skips amplitude extraction entirely, which
     /// matters for wide registers).
     pub top_k: usize,
+    /// When set, the job is a *sampling* job: instead of reporting the
+    /// final state it draws shots from it (see [`crate::sample`]).
+    /// Sampling jobs ignore [`JobSpec::resume`] — a shot stream has no
+    /// mid-point checkpoint.
+    pub sample: Option<SampleParams>,
+}
+
+/// Parameters of a sampling job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleParams {
+    /// Number of shots to draw.
+    pub shots: u64,
+    /// Seed of the deterministic sampler RNG: equal seeds give equal
+    /// histograms, bit for bit.
+    pub seed: u64,
 }
 
 impl<'c> JobSpec<'c> {
@@ -111,6 +126,7 @@ impl<'c> JobSpec<'c> {
             label,
             resume: None,
             top_k: 4,
+            sample: None,
         }
     }
 }
@@ -147,6 +163,9 @@ pub struct JobOutcome {
     pub top_probabilities: Vec<(u64, f64)>,
     /// Whether the run continued from a matching resume checkpoint.
     pub resumed: bool,
+    /// Shot histogram and per-outcome probabilities, present exactly when
+    /// the job was a completed sampling job ([`JobSpec::sample`]).
+    pub sample: Option<crate::sample::SampleReport>,
     /// `None` for completed jobs.
     pub aborted: Option<JobAbortInfo>,
 }
@@ -182,6 +201,9 @@ fn run_with<W: WeightContext>(
     spec: &JobSpec<'_>,
     cancel: Option<&AtomicBool>,
 ) -> JobOutcome {
+    if let Some(params) = spec.sample {
+        return crate::sample::sample_job(ctx, spec, params, cancel);
+    }
     // Only a checkpoint taken from the same stage resumes; anything else
     // (missing file, corrupt file, different label or circuit) falls back
     // to a fresh run.
@@ -220,6 +242,9 @@ pub(crate) fn run_with_manager<W: WeightContext>(
     spec: &JobSpec<'_>,
     cancel: Option<&AtomicBool>,
 ) -> (JobOutcome, Manager<W>) {
+    if let Some(params) = spec.sample {
+        return crate::sample::sample_with_manager(manager, spec, params, cancel);
+    }
     let mut sim = Simulator::with_manager(manager, spec.circuit, spec.options.clone());
     let aborted = sim.try_reset_to(spec.start).err().map(|e| JobAbortInfo {
         reason: e.to_string(),
@@ -289,6 +314,7 @@ fn drive<W: WeightContext>(
         statistics: sim.statistics(),
         top_probabilities,
         resumed: was_resumed,
+        sample: None,
         aborted,
     }
 }

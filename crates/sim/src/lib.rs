@@ -34,6 +34,7 @@ mod checkpoint;
 pub mod job;
 mod operators;
 mod report;
+mod sample;
 mod session;
 mod simulator;
 pub mod sweep;
@@ -45,12 +46,13 @@ pub use accuracy::{circuits_equivalent, normalized_distance, PairedRun};
 pub use checkpoint::{
     circuit_fingerprint, peek_checkpoint, CheckpointInfo, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
-pub use job::{run_job, JobAbortInfo, JobOutcome, JobSpec, SchemeSpec};
+pub use job::{run_job, JobAbortInfo, JobOutcome, JobSpec, SampleParams, SchemeSpec};
 pub use operators::{
     circuit_unitary, matching_evolution, op_operator, permutation, try_circuit_unitary,
     try_matching_evolution, try_op_operator, try_permutation,
 };
 pub use report::{write_csv, Column};
+pub use sample::{SampleProbability, SampleReport};
 pub use session::{EngineSession, SessionConfig, SessionStats};
 pub use simulator::{SimAbort, SimError, SimOptions, SimResult, Simulator};
 pub use trace::{Trace, TracePoint};

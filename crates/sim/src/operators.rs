@@ -22,6 +22,14 @@ pub fn try_op_operator<W: WeightContext>(
         } => m.try_gate(matrix, *target, controls),
         Op::MatchingEvolution { pairs } => try_matching_evolution(m, pairs),
         Op::Permutation { map } => try_permutation(m, map),
+        // Non-unitary operations have no operator DD at all — they belong
+        // to the sampler (`crate::sample`), not the unitary pipeline.
+        Op::Measure { .. } | Op::Reset { .. } | Op::Conditional { .. } => {
+            Err(EngineError::UnrepresentableGate {
+                gate: "non-unitary operation (measure/reset/conditional); use the shot sampler"
+                    .into(),
+            })
+        }
     }
 }
 

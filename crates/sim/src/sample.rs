@@ -1,0 +1,535 @@
+//! Seeded shot sampling from simulated states.
+//!
+//! A sampling job ([`JobSpec::sample`]) draws `shots` bitstrings from the
+//! distribution a circuit prepares, using the workspace's deterministic
+//! xorshift RNG: equal seeds give bit-identical histograms, across runs
+//! and across machines. Two execution strategies cover the two circuit
+//! classes:
+//!
+//! * **Measurement-free** circuits are simulated once; the final state DD
+//!   is turned into a [`StateSampler`] (one conditional-probability entry
+//!   per node) and each shot is an `O(n_qubits)` root-to-terminal walk.
+//!   The exact algebraic contexts additionally report each observed
+//!   outcome's probability in closed form — `(1) / sqrt2^2` rather than
+//!   `0.4999…` — which is how the GHZ acceptance check distinguishes
+//!   exactly ½ from ε-close.
+//! * Circuits with **mid-circuit measurement, reset or classical control**
+//!   fork per shot: every shot replays the circuit, collapsing the state
+//!   at each measurement with [`Manager::try_measure_qubit`] and keeping
+//!   the classical register in a `u64` for `if (c==v)` conditions.
+//!
+//! Both strategies run under the job budget (every engine call probes it)
+//! and honour cooperative cancellation between operations and shots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use aq_circuits::{Circuit, Op};
+use aq_dd::fxhash::FxHashMap;
+use aq_dd::{Edge, EngineError, GateMatrix, Manager, MatId, VecId, WeightContext};
+use aq_testutil::Rng;
+
+use crate::job::{JobAbortInfo, JobOutcome, JobSpec, SampleParams};
+
+/// Shot histogram plus per-outcome probabilities for one sampling job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleReport {
+    /// Shots drawn (the histogram counts sum to exactly this).
+    pub shots: u64,
+    /// The RNG seed the shots were drawn with.
+    pub seed: u64,
+    /// `true` when the circuit contains non-unitary operations and every
+    /// shot replayed the circuit (fork-per-shot); `false` when one
+    /// simulation fed a final-state sampler.
+    pub forked: bool,
+    /// `(basis index, count)` for every observed bitstring, ascending by
+    /// index. Qubit 0 is the most significant bit of the index.
+    pub counts: Vec<(u64, u64)>,
+    /// The final-state probability of each observed outcome, in histogram
+    /// order. Empty on the fork-per-shot path, where the final
+    /// distribution is conditioned on per-shot measurement outcomes and
+    /// no single probability describes an entry.
+    pub probabilities: Vec<SampleProbability>,
+}
+
+impl SampleReport {
+    /// Sum of all histogram counts (equals [`SampleReport::shots`]).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Probability of one sampled outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleProbability {
+    /// Basis-state index of the outcome.
+    pub index: u64,
+    /// The probability as a double.
+    pub probability: f64,
+    /// Closed-form rendering of the exact probability — present for the
+    /// algebraic weight systems, `None` for the numeric context.
+    pub exact: Option<String>,
+}
+
+/// Runs one sampling job on a cold manager (the [`run_job`] sampling
+/// path).
+///
+/// [`run_job`]: crate::run_job
+pub(crate) fn sample_job<W: WeightContext>(
+    ctx: W,
+    spec: &JobSpec<'_>,
+    params: SampleParams,
+    cancel: Option<&AtomicBool>,
+) -> JobOutcome {
+    let manager = match spec.options.cache_capacity {
+        Some(c) => Manager::with_cache_capacity(ctx, spec.circuit.n_qubits(), c),
+        None => Manager::new(ctx, spec.circuit.n_qubits()),
+    };
+    sample_with_manager(manager, spec, params, cancel).0
+}
+
+/// Runs one sampling job on a caller-supplied manager and hands the
+/// manager back afterwards — the session entry point, mirroring
+/// [`run_with_manager`](crate::job::run_with_manager).
+pub(crate) fn sample_with_manager<W: WeightContext>(
+    mut manager: Manager<W>,
+    spec: &JobSpec<'_>,
+    params: SampleParams,
+    cancel: Option<&AtomicBool>,
+) -> (JobOutcome, Manager<W>) {
+    let t = Instant::now();
+    let mut driver = Driver {
+        m: &mut manager,
+        circuit: spec.circuit,
+        compact_threshold: spec.options.compact_threshold,
+        gate_cache: FxHashMap::default(),
+        ops_applied: 0,
+        cancel,
+    };
+    let mut final_nodes = 0;
+    let result = (|| {
+        // Same construction order as the simulator: build the start state,
+        // then install the budget, so its wall-clock epoch starts at the
+        // first operation.
+        let mut state = driver.m.try_basis_state(spec.start)?;
+        driver.m.set_budget(spec.options.budget);
+        let mut rng = Rng::from_seed(params.seed);
+        let report = if spec.circuit.has_nonunitary_ops() {
+            sample_forked(&mut driver, &mut state, spec, params, &mut rng)?
+        } else {
+            sample_final_state(&mut driver, &mut state, spec, params, &mut rng)?
+        };
+        final_nodes = driver.m.vec_nodes(&state);
+        Ok(report)
+    })();
+    let ops_applied = driver.ops_applied;
+    let seconds = t.elapsed().as_secs_f64();
+    let (sample, aborted) = match result {
+        Ok(report) => (Some(report), None),
+        Err(e) => (None, Some(abort_info(e))),
+    };
+    let outcome = JobOutcome {
+        gates_applied: ops_applied,
+        seconds,
+        final_nodes,
+        statistics: manager.statistics(),
+        top_probabilities: Vec::new(),
+        resumed: false,
+        sample,
+        aborted,
+    };
+    (outcome, manager)
+}
+
+/// Sampler failure: an engine error, or an eviction from outside.
+enum SampleError {
+    Engine(EngineError),
+    Evicted,
+}
+
+impl From<EngineError> for SampleError {
+    fn from(e: EngineError) -> Self {
+        SampleError::Engine(e)
+    }
+}
+
+fn abort_info(e: SampleError) -> JobAbortInfo {
+    match e {
+        SampleError::Engine(e) => JobAbortInfo {
+            reason: e.to_string(),
+            checkpoint: None,
+            evicted: false,
+        },
+        SampleError::Evicted => JobAbortInfo {
+            reason: "evicted: cancelled by the caller".into(),
+            checkpoint: None,
+            evicted: true,
+        },
+    }
+}
+
+/// Shared op-application machinery for both strategies: a per-op-index
+/// operator cache, compaction, cancellation.
+struct Driver<'a, 'c, W: WeightContext> {
+    m: &'a mut Manager<W>,
+    circuit: &'c Circuit,
+    compact_threshold: usize,
+    /// Operator DDs keyed by op index (each index is one fixed operation,
+    /// so the key never aliases). Reset corrections key the X gate by
+    /// `(index, true)`.
+    gate_cache: FxHashMap<(usize, bool), Edge<MatId>>,
+    ops_applied: usize,
+    cancel: Option<&'a AtomicBool>,
+}
+
+impl<W: WeightContext> Driver<'_, '_, W> {
+    fn check_cancel(&self) -> Result<(), SampleError> {
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return Err(SampleError::Evicted);
+        }
+        Ok(())
+    }
+
+    fn operator(&mut self, index: usize, op: &Op) -> Result<Edge<MatId>, EngineError> {
+        if let Some(&hit) = self.gate_cache.get(&(index, false)) {
+            return Ok(hit);
+        }
+        let built = crate::operators::try_op_operator(self.m, op)?;
+        self.gate_cache.insert((index, false), built);
+        Ok(built)
+    }
+
+    /// The X correction a reset applies after collapsing to `|1⟩`.
+    fn reset_correction(&mut self, index: usize, qubit: u32) -> Result<Edge<MatId>, EngineError> {
+        if let Some(&hit) = self.gate_cache.get(&(index, true)) {
+            return Ok(hit);
+        }
+        let built = self.m.try_gate(&GateMatrix::x(), qubit, &[])?;
+        self.gate_cache.insert((index, true), built);
+        Ok(built)
+    }
+
+    fn maybe_compact(&mut self, state: &mut Edge<VecId>) {
+        if self.m.allocated_nodes() > self.compact_threshold {
+            // A failed compaction is not fatal (see the simulator's step
+            // loop); cached operator edges die with the old arena either
+            // way.
+            if let Ok((vs, _)) = self.m.try_compact(&[*state], &[]) {
+                *state = vs[0];
+                self.gate_cache.clear();
+            }
+        }
+    }
+
+    /// Applies one op to `state`, updating the classical register and
+    /// drawing measurement outcomes from `rng`.
+    fn apply(
+        &mut self,
+        index: usize,
+        op: &Op,
+        state: &mut Edge<VecId>,
+        creg: &mut u64,
+        rng: &mut Rng,
+    ) -> Result<(), SampleError> {
+        match op {
+            Op::Measure { qubit, cbit } => {
+                let (_p0, p1) = self.m.try_qubit_marginal(state, *qubit)?;
+                let outcome = rng.unit_f64() < p1;
+                let (collapsed, _) = self.m.try_measure_qubit(state, *qubit, outcome)?;
+                *state = collapsed;
+                if outcome {
+                    *creg |= 1 << cbit;
+                } else {
+                    *creg &= !(1 << cbit);
+                }
+            }
+            Op::Reset { qubit } => {
+                let (_p0, p1) = self.m.try_qubit_marginal(state, *qubit)?;
+                let outcome = rng.unit_f64() < p1;
+                let (collapsed, _) = self.m.try_measure_qubit(state, *qubit, outcome)?;
+                *state = collapsed;
+                if outcome {
+                    let x = self.reset_correction(index, *qubit)?;
+                    *state = self.m.try_mat_vec(&x, state)?;
+                }
+            }
+            Op::Conditional { value, op } => {
+                if *creg == *value {
+                    let g = self.operator(index, op)?;
+                    *state = self.m.try_mat_vec(&g, state)?;
+                }
+            }
+            _ => {
+                let g = self.operator(index, op)?;
+                *state = self.m.try_mat_vec(&g, state)?;
+            }
+        }
+        self.ops_applied += 1;
+        self.maybe_compact(state);
+        Ok(())
+    }
+}
+
+/// Measurement-free strategy: simulate once, sample the final state.
+fn sample_final_state<W: WeightContext>(
+    driver: &mut Driver<'_, '_, W>,
+    state: &mut Edge<VecId>,
+    spec: &JobSpec<'_>,
+    params: SampleParams,
+    rng: &mut Rng,
+) -> Result<SampleReport, SampleError> {
+    let mut creg = 0u64;
+    for (i, op) in driver.circuit.iter().enumerate() {
+        driver.check_cancel()?;
+        driver.apply(i, op, state, &mut creg, rng)?;
+    }
+    let sampler = driver.m.try_state_sampler(state)?;
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for shot in 0..params.shots {
+        if shot % 4096 == 0 {
+            driver.check_cancel()?;
+        }
+        *counts.entry(sampler.draw(|| rng.unit_f64())).or_insert(0) += 1;
+    }
+    let exact = spec.scheme.is_algebraic();
+    let probabilities = counts
+        .keys()
+        .map(|&index| {
+            let p = driver.m.basis_probability(state, index);
+            SampleProbability {
+                index,
+                probability: driver.m.ctx().to_complex(&p).re,
+                exact: exact.then(|| p.to_string()),
+            }
+        })
+        .collect();
+    Ok(SampleReport {
+        shots: params.shots,
+        seed: params.seed,
+        forked: false,
+        counts: counts.into_iter().collect(),
+        probabilities,
+    })
+}
+
+/// Fork-per-shot strategy: every shot replays the circuit, collapsing at
+/// each measurement.
+fn sample_forked<W: WeightContext>(
+    driver: &mut Driver<'_, '_, W>,
+    state: &mut Edge<VecId>,
+    spec: &JobSpec<'_>,
+    params: SampleParams,
+    rng: &mut Rng,
+) -> Result<SampleReport, SampleError> {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..params.shots {
+        driver.check_cancel()?;
+        *state = driver.m.try_basis_state(spec.start)?;
+        let mut creg = 0u64;
+        for (i, op) in driver.circuit.iter().enumerate() {
+            driver.apply(i, op, state, &mut creg, rng)?;
+        }
+        let sampler = driver.m.try_state_sampler(state)?;
+        *counts.entry(sampler.draw(|| rng.unit_f64())).or_insert(0) += 1;
+    }
+    Ok(SampleReport {
+        shots: params.shots,
+        seed: params.seed,
+        forked: true,
+        counts: counts.into_iter().collect(),
+        probabilities: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{run_job, SchemeSpec};
+
+    fn all_schemes() -> [SchemeSpec; 4] {
+        [
+            SchemeSpec::Numeric { eps: 0.0 },
+            SchemeSpec::Numeric { eps: 1e-10 },
+            SchemeSpec::Qomega,
+            SchemeSpec::Gcd,
+        ]
+    }
+
+    fn sample_spec(
+        circuit: &aq_circuits::Circuit,
+        scheme: SchemeSpec,
+        shots: u64,
+        seed: u64,
+    ) -> JobSpec<'_> {
+        let mut spec = JobSpec::new(circuit, 0, scheme);
+        spec.sample = Some(SampleParams { shots, seed });
+        spec
+    }
+
+    #[test]
+    fn ghz_sampling_is_deterministic_and_exactly_half() {
+        let c = aq_circuits::ghz(10);
+        for scheme in all_schemes() {
+            let a = run_job(&sample_spec(&c, scheme.clone(), 500, 7), None);
+            let b = run_job(&sample_spec(&c, scheme.clone(), 500, 7), None);
+            let ra = a.sample.expect("completed sample job");
+            let rb = b.sample.expect("completed sample job");
+            assert_eq!(ra, rb, "same seed must give a bit-identical report");
+            assert_eq!(ra.total(), 500);
+            assert!(!ra.forked);
+            // only |0…0⟩ and |1…1⟩ can appear
+            for &(index, _) in &ra.counts {
+                assert!(index == 0 || index == (1 << 10) - 1, "index {index}");
+            }
+            for p in &ra.probabilities {
+                if scheme.is_algebraic() {
+                    // the acceptance bar: exactly ½, not ε-close
+                    assert_eq!(p.probability, 0.5, "GHZ outcome must be exactly ½");
+                    let exact = p.exact.as_deref().expect("exact rendering");
+                    assert!(!exact.is_empty());
+                } else {
+                    assert!((p.probability - 0.5).abs() < 1e-12);
+                    assert!(p.exact.is_none());
+                }
+            }
+            // different seeds must (overwhelmingly) differ
+            let other = run_job(&sample_spec(&c, scheme.clone(), 500, 8), None)
+                .sample
+                .expect("completed");
+            assert_ne!(ra.counts, other.counts, "seed must matter");
+        }
+    }
+
+    #[test]
+    fn ghz_histograms_agree_across_all_schemes() {
+        // All four schemes see the same exact ½ marginals, so with one
+        // seed the drawn shots are identical bit for bit.
+        let c = aq_circuits::ghz(6);
+        let reference = run_job(
+            &sample_spec(&c, SchemeSpec::Numeric { eps: 0.0 }, 256, 99),
+            None,
+        )
+        .sample
+        .expect("completed");
+        for scheme in all_schemes() {
+            let r = run_job(&sample_spec(&c, scheme, 256, 99), None)
+                .sample
+                .expect("completed");
+            assert_eq!(r.counts, reference.counts);
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_sampling_is_deterministic_in_outcome() {
+        let secret = 0b1011;
+        let c = aq_circuits::bernstein_vazirani(4, secret);
+        for scheme in all_schemes() {
+            let r = run_job(&sample_spec(&c, scheme, 64, 3), None)
+                .sample
+                .expect("completed");
+            // data register holds the secret, ancilla (lsb) is |0⟩
+            assert_eq!(r.counts, vec![(secret << 1, 64)]);
+            assert_eq!(r.probabilities.len(), 1);
+            assert!((r.probabilities[0].probability - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn teleportation_with_classical_control_reproduces_the_message() {
+        // Prepare |1⟩ on the message qubit; after teleportation qubit 2
+        // must be |1⟩ in every shot, whatever the measurement outcomes.
+        let mut c = aq_circuits::Circuit::new(3);
+        c.push_gate(aq_dd::GateMatrix::x(), 0, &[]);
+        c.extend_from(&aq_circuits::teleport());
+        for scheme in all_schemes() {
+            let r = run_job(&sample_spec(&c, scheme.clone(), 128, 11), None)
+                .sample
+                .unwrap_or_else(|| panic!("sample job must complete under {scheme}"));
+            assert!(r.forked, "mid-circuit measurement forks per shot");
+            assert_eq!(r.total(), 128);
+            for &(index, _) in &r.counts {
+                assert_eq!(index & 1, 1, "qubit 2 must be |1⟩, got index {index:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forked_sampling_is_deterministic_per_seed() {
+        let mut c = aq_circuits::Circuit::new(3);
+        c.push_gate(aq_dd::GateMatrix::h(), 0, &[]);
+        c.extend_from(&aq_circuits::teleport());
+        for scheme in all_schemes() {
+            let a = run_job(&sample_spec(&c, scheme.clone(), 200, 42), None)
+                .sample
+                .expect("completed");
+            let b = run_job(&sample_spec(&c, scheme, 200, 42), None)
+                .sample
+                .expect("completed");
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reset_reuses_a_qubit() {
+        // H then reset: the qubit must come back to |0⟩ regardless of the
+        // measured branch.
+        let mut c = aq_circuits::Circuit::new(2);
+        c.push_gate(aq_dd::GateMatrix::h(), 0, &[]);
+        c.push_reset(0);
+        c.push_gate(aq_dd::GateMatrix::x(), 1, &[]);
+        for scheme in all_schemes() {
+            let r = run_job(&sample_spec(&c, scheme, 64, 5), None)
+                .sample
+                .expect("completed");
+            assert_eq!(r.counts, vec![(0b01, 64)], "state must be |01⟩");
+        }
+    }
+
+    #[test]
+    fn sampler_respects_the_budget() {
+        use aq_dd::RunBudget;
+        let c = aq_circuits::ghz(8);
+        let mut spec = sample_spec(&c, SchemeSpec::Gcd, 32, 1);
+        spec.options.budget = RunBudget::unlimited().with_max_nodes(2);
+        let out = run_job(&spec, None);
+        let abort = out.aborted.expect("tiny budget aborts");
+        assert!(abort.reason.contains("node budget"), "{}", abort.reason);
+        assert!(out.sample.is_none());
+    }
+
+    #[test]
+    fn cancellation_evicts_a_sampling_job() {
+        use std::sync::atomic::AtomicBool;
+        let c = aq_circuits::ghz(6);
+        let cancel = AtomicBool::new(true);
+        let out = run_job(&sample_spec(&c, SchemeSpec::Qomega, 16, 1), Some(&cancel));
+        let abort = out.aborted.expect("cancelled job aborts");
+        assert!(abort.evicted);
+        assert!(out.sample.is_none());
+    }
+
+    #[test]
+    fn unrepresentable_renormalization_aborts_cleanly_in_exact_contexts() {
+        // T·H leaves measurement probability (2+√2)/4: no exact 1/√p.
+        let mut c = aq_circuits::Circuit::new(1);
+        c.push_gate(aq_dd::GateMatrix::h(), 0, &[]);
+        c.push_gate(aq_dd::GateMatrix::t(), 0, &[]);
+        c.push_gate(aq_dd::GateMatrix::h(), 0, &[]);
+        c.push_measure(0, 0);
+        let out = run_job(&sample_spec(&c, SchemeSpec::Gcd, 4, 1), None);
+        let abort = out.aborted.expect("unrepresentable 1/√p must abort");
+        assert!(
+            abort.reason.contains("not representable"),
+            "{}",
+            abort.reason
+        );
+        // the numeric context handles the same job fine
+        let out = run_job(
+            &sample_spec(&c, SchemeSpec::Numeric { eps: 1e-10 }, 64, 1),
+            None,
+        );
+        assert!(out.aborted.is_none());
+        assert_eq!(out.sample.expect("completed").total(), 64);
+    }
+}

@@ -612,6 +612,11 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
             }
             Op::MatchingEvolution { pairs } => GateKey::Matching(Arc::as_ptr(pairs) as usize),
             Op::Permutation { map } => GateKey::Permutation(Arc::as_ptr(map) as *const () as usize),
+            // Uncacheable by construction: the builder rejects these with
+            // a structured error (the sampler handles them instead).
+            Op::Measure { .. } | Op::Reset { .. } | Op::Conditional { .. } => {
+                return crate::operators::try_op_operator(&mut self.manager, op);
+            }
         };
         if let Some(&hit) = self.gate_cache.get(&key) {
             return Ok(hit);

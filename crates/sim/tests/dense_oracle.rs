@@ -71,6 +71,9 @@ fn dense_simulate(circuit: &Circuit, start: u64) -> Vec<Complex64> {
                 }
                 state = next;
             }
+            Op::Measure { .. } | Op::Reset { .. } | Op::Conditional { .. } => {
+                panic!("the dense oracle only covers unitary circuits")
+            }
         }
     }
     state

@@ -31,6 +31,7 @@ fn submit(
         budget,
         resume: None,
         top_k: 3,
+        sample: None,
     }) {
         Response::Submitted { job } => Some(job),
         Response::Rejected { reason, .. } => {
@@ -127,6 +128,7 @@ fn main() {
         budget: roomy,
         resume: Some(checkpoint),
         top_k: 3,
+        sample: None,
     });
     let resumed = match resumed {
         Response::Submitted { job } => job,

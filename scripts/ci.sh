@@ -53,7 +53,7 @@ cargo test -q --offline -p aq-sim --features chaos --lib
 echo "== serve: real server cycle over TCP (aq-served + aq-cli) =="
 serve_ck="target/ci_serve_ckpts"
 serve_log="target/ci_served.log"
-rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
+rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json target/ci_serve_ghz10.qasm
 ./target/release/aq-served --port=0 --workers=2 --checkpoint-dir="$serve_ck" \
     >"$serve_log" 2>&1 &
 serve_pid=$!
@@ -99,10 +99,50 @@ grep -q '"state":"completed"' target/ci_serve_cached.json \
 cli metrics | tee target/ci_serve_metrics2.json
 grep -q '"served":1,"hits":1' target/ci_serve_metrics2.json \
     || { echo "expected a result-cache hit in the metrics verb"; exit 1; }
+# a seeded sampling job over the same server: 10-qubit GHZ under the exact
+# gcd scheme — the histogram must sum to the shot count and the exact
+# context must report probabilities as exactly one half, with exact strings
+ghz_qasm="target/ci_serve_ghz10.qasm"
+{
+    printf 'OPENQASM 2.0;\nqreg q[10];\nh q[0];\n'
+    for q in $(seq 1 9); do printf 'cx q[%d], q[%d];\n' "$((q - 1))" "$q"; done
+} >"$ghz_qasm"
+cli sample --qasm-file="$ghz_qasm" --scheme=gcd --shots=2048 --seed=9 \
+    --max-nodes=2000000 --wait=120 | tee target/ci_serve_sample.json
+grep -q '"state":"completed"' target/ci_serve_sample.json \
+    || { echo "expected the sampling job to complete"; exit 1; }
+grep -q '"forked":false' target/ci_serve_sample.json \
+    || { echo "GHZ has no mid-circuit measurement; sampling must not fork"; exit 1; }
+grep -q '"p":0.5,"exact":"' target/ci_serve_sample.json \
+    || { echo "expected exactly-1/2 probabilities with exact strings"; exit 1; }
+extract_counts() { sed -n 's/.*"counts":\(\[.*\]\]\),"probabilities".*/\1/p' "$1" | head -n 1; }
+counts1="$(extract_counts target/ci_serve_sample.json)"
+sample_total=$(printf '%s' "$counts1" | grep -o '\[[0-9]*,[0-9]*\]' \
+    | awk -F'[^0-9]+' '{s += $3} END {print s}')
+[[ "$sample_total" == "2048" ]] \
+    || { echo "histogram sums to ${sample_total:-0}, want 2048"; exit 1; }
+# same seed again (top-k varied to defeat the result cache): the fresh run
+# must reproduce the histogram bit-for-bit
+cli sample --qasm-file="$ghz_qasm" --scheme=gcd --shots=2048 --seed=9 --top-k=5 \
+    --max-nodes=2000000 --wait=120 | tee target/ci_serve_sample2.json
+counts2="$(extract_counts target/ci_serve_sample2.json)"
+[[ -n "$counts1" && "$counts1" == "$counts2" ]] \
+    || { echo "equal seeds must reproduce the histogram bit-for-bit"; exit 1; }
+# the verbatim repeat is answered from the result cache, byte-identical
+cli sample --qasm-file="$ghz_qasm" --scheme=gcd --shots=2048 --seed=9 \
+    --max-nodes=2000000 --wait=120 | tee target/ci_serve_sample3.json
+counts3="$(extract_counts target/ci_serve_sample3.json)"
+[[ "$counts1" == "$counts3" ]] \
+    || { echo "cache-served sample must be byte-identical"; exit 1; }
+cli metrics | tee target/ci_serve_metrics3.json
+grep -q '"samples":3,"shots":6144' target/ci_serve_metrics3.json \
+    || { echo "expected sampling counters in the metrics verb"; exit 1; }
+grep -q '"served":2,"hits":2' target/ci_serve_metrics3.json \
+    || { echo "expected the repeat sample to be cache-served"; exit 1; }
 cli drain | grep -q '"state":"drained"' || { echo "drain failed"; exit 1; }
 cli shutdown | grep -q '"state":"stopped"' || { echo "shutdown failed"; exit 1; }
 wait "$serve_pid" || { echo "aq-served exited non-zero"; exit 1; }
-rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json
+rm -rf "$serve_ck" "$serve_log" target/ci_serve_*.json "$ghz_qasm"
 
 echo "== serve: kill -> respawn -> recover cycle over TCP (chaos build) =="
 cargo build -q --release --offline -p aq-serve --features chaos
@@ -160,6 +200,10 @@ if [[ "${1:-}" != "--no-bench" ]]; then
         BENCH_serve.json --scale-gate --chaos-seed=3405691582
     grep -q '"config": "chaos-1pct-kill-4w"' BENCH_serve.json \
         || { echo "expected the chaos row in BENCH_serve.json"; exit 1; }
+    grep -q '"config": "sampler-final-1w"' BENCH_serve.json \
+        || { echo "expected the measurement-free sampler row"; exit 1; }
+    grep -q '"config": "sampler-forked-1w"' BENCH_serve.json \
+        || { echo "expected the fork-per-shot sampler row"; exit 1; }
 
     echo "== engine bench: algebraic-gap regression gate (grover6) =="
     # GCD D[omega] throughput must hold at least half of numeric throughput
