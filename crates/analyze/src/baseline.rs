@@ -19,7 +19,7 @@
 //! Matching is by rule + file, then by the optional `line` and `contains`
 //! pins. Prefer `contains` over `line`: it survives unrelated edits.
 
-use crate::rules::{Finding, RuleId};
+use crate::rules::{Finding, RuleId, REGISTRY};
 
 /// One `[[suppress]]` entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,9 +137,13 @@ impl Baseline {
             match key.trim() {
                 "rule" => {
                     let s = parse_string(value, lineno)?;
-                    p.rule = Some(RuleId::from_code(&s).ok_or(format!(
-                        "line {lineno}: unknown rule `{s}` (expected R1..R5 or A0)"
-                    ))?);
+                    p.rule = Some(RuleId::from_code(&s).ok_or_else(|| {
+                        let known: Vec<&str> = REGISTRY.iter().map(|r| r.code).collect();
+                        format!(
+                            "line {lineno}: unknown rule `{s}` (expected one of {})",
+                            known.join(", ")
+                        )
+                    })?);
                 }
                 "file" => p.file = Some(parse_string(value, lineno)?),
                 "contains" => p.contains = Some(parse_string(value, lineno)?),
@@ -278,7 +282,7 @@ reason = "checked upstream"
         assert!(Baseline::parse(missing_reason)
             .unwrap_err()
             .contains("reason"));
-        let bad_rule = "[[suppress]]\nrule = \"R9\"\nfile = \"a.rs\"\nreason = \"x\"\n";
+        let bad_rule = "[[suppress]]\nrule = \"R99\"\nfile = \"a.rs\"\nreason = \"x\"\n";
         assert!(Baseline::parse(bad_rule)
             .unwrap_err()
             .contains("unknown rule"));

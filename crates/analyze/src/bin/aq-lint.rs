@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! aq-lint [--root=DIR] [--baseline=FILE] [--deny] [--json] [--list-rules]
+//!         [--stats] [--lock-dot=FILE]
 //! ```
 //!
 //! Exit codes: `0` clean (or advisory mode without `--deny`), `1`
@@ -11,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aq_analyze::{run_workspace, Baseline, LintConfig, Report, RuleId};
+use aq_analyze::{run_workspace, Baseline, LintConfig, Report, REGISTRY};
 
 const EXIT_CLEAN: u8 = 0;
 const EXIT_FINDINGS: u8 = 1;
@@ -24,6 +25,8 @@ struct Args {
     deny: bool,
     json: bool,
     list_rules: bool,
+    stats: bool,
+    lock_dot: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,18 +36,24 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         json: false,
         list_rules: false,
+        stats: false,
+        lock_dot: None,
     };
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--root=") {
             args.root = PathBuf::from(v);
         } else if let Some(v) = arg.strip_prefix("--baseline=") {
             args.baseline = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--lock-dot=") {
+            args.lock_dot = Some(PathBuf::from(v));
         } else if arg == "--deny" {
             args.deny = true;
         } else if arg == "--json" {
             args.json = true;
         } else if arg == "--list-rules" {
             args.list_rules = true;
+        } else if arg == "--stats" {
+            args.stats = true;
         } else if arg == "--help" || arg == "-h" {
             return Err(HELP.to_string());
         } else {
@@ -55,22 +64,14 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const HELP: &str = "usage: aq-lint [--root=DIR] [--baseline=FILE] [--deny] [--json] [--list-rules]
+               [--stats] [--lock-dot=FILE]
   --root=DIR       workspace root to scan (default: .)
   --baseline=FILE  committed suppression file (lint-baseline.toml)
   --deny           exit 1 if any deny-level finding survives suppression
   --json           machine-readable line-delimited JSON output
-  --list-rules     print the rule table and exit";
-
-const ALL_RULES: &[RuleId] = &[
-    RuleId::NoPanicPath,
-    RuleId::InfallibleDelegate,
-    RuleId::UnboundedCache,
-    RuleId::NarrowingCast,
-    RuleId::FloatEq,
-    RuleId::BareSleep,
-    RuleId::UnseededRandom,
-    RuleId::BadSuppression,
-];
+  --list-rules     print the rule table (derived from the registry) and exit
+  --stats          print a files/items/edges/wall-ms throughput line
+  --lock-dot=FILE  write the R9 static lock-order graph as Graphviz DOT";
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -138,8 +139,8 @@ fn main() -> ExitCode {
         }
     };
     if args.list_rules {
-        for r in ALL_RULES {
-            println!("{}  {}", r.code(), r.describe());
+        for r in REGISTRY {
+            println!("{}  {}", r.code, r.describe);
         }
         return ExitCode::from(EXIT_CLEAN);
     }
@@ -171,6 +172,21 @@ fn main() -> ExitCode {
         }
     };
     print_report(&report, args.json);
+    if args.stats {
+        println!(
+            "aq-lint --stats: files={} items={} edges={} wall-ms={}",
+            report.stats.files, report.stats.items, report.stats.call_edges, report.stats.wall_ms
+        );
+    }
+    if let Some(path) = &args.lock_dot {
+        if let Err(e) = std::fs::write(path, report.lock_graph.dot()) {
+            eprintln!(
+                "aq-lint: internal error: cannot write {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    }
     if args.deny && report.has_deny() {
         ExitCode::from(EXIT_FINDINGS)
     } else {

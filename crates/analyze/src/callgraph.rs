@@ -1,0 +1,171 @@
+//! The workspace call graph: one node per parsed function, one edge per
+//! resolved call or method-call event.
+//!
+//! Edges carry the call-site byte offset (for path reporting) and whether
+//! the site sits inside a `catch_unwind(…)` argument — panic-reachability
+//! refuses to cross guarded edges, while lock propagation follows them
+//! (a guarded callee still acquires its locks).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::parser::{Event, ParsedFile};
+use crate::resolve::{FnId, Workspace};
+
+/// One resolved call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Calling function.
+    pub caller: FnId,
+    /// Called function.
+    pub callee: FnId,
+    /// Byte offset of the callee name at the site.
+    pub pos: usize,
+    /// The site lies inside a `catch_unwind(…)` argument.
+    pub guarded: bool,
+}
+
+/// The graph plus adjacency indexes.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All resolved edges, deduplicated per `(caller, callee, guarded)`.
+    pub edges: Vec<Edge>,
+    /// Outgoing edge indices per caller.
+    pub out: HashMap<FnId, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every non-test function body. Test functions
+    /// neither call nor get called here: the semantic passes reason about
+    /// shipped code only.
+    pub fn build(ws: &Workspace<'_>) -> CallGraph {
+        let mut g = CallGraph::default();
+        let mut seen: HashMap<(FnId, FnId, bool), ()> = HashMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let caller = (fi, gi);
+                for ev in &f.body {
+                    let (targets, pos, guarded) = match ev {
+                        Event::Call {
+                            path, pos, guarded, ..
+                        } => (
+                            ws.resolve_call(fi, f.owner.as_deref(), path),
+                            *pos,
+                            *guarded,
+                        ),
+                        Event::Method {
+                            recv,
+                            name,
+                            pos,
+                            guarded,
+                            ..
+                        } => (
+                            ws.resolve_method(f.owner.as_deref(), recv, name),
+                            *pos,
+                            *guarded,
+                        ),
+                        _ => continue,
+                    };
+                    for callee in targets {
+                        if ws.fn_def(callee).is_test || callee == caller {
+                            continue;
+                        }
+                        if seen.insert((caller, callee, guarded), ()).is_none() {
+                            g.out.entry(caller).or_default().push(g.edges.len());
+                            g.edges.push(Edge {
+                                caller,
+                                callee,
+                                pos,
+                                guarded,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// BFS over unguarded edges from `roots`; returns the first-visit
+    /// parent edge per reached function (roots map to no parent).
+    pub fn reach_unguarded(&self, roots: &[FnId]) -> HashMap<FnId, Option<usize>> {
+        let mut parent: HashMap<FnId, Option<usize>> = HashMap::new();
+        let mut q: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, None).is_none() {
+                q.push_back(r);
+            }
+        }
+        while let Some(f) = q.pop_front() {
+            for &ei in self.out.get(&f).into_iter().flatten() {
+                let e = &self.edges[ei];
+                if e.guarded {
+                    continue;
+                }
+                if let std::collections::hash_map::Entry::Vacant(v) = parent.entry(e.callee) {
+                    v.insert(Some(ei));
+                    q.push_back(e.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The root→`f` call chain implied by a `reach_unguarded` parent map,
+    /// as qualified names.
+    pub fn chain(
+        &self,
+        ws: &Workspace<'_>,
+        parent: &HashMap<FnId, Option<usize>>,
+        f: FnId,
+    ) -> Vec<String> {
+        let mut chain = vec![ws.fn_def(f).qname()];
+        let mut cur = f;
+        let mut hops = 0;
+        while let Some(Some(ei)) = parent.get(&cur) {
+            let e = &self.edges[*ei];
+            cur = e.caller;
+            chain.push(ws.fn_def(cur).qname());
+            hops += 1;
+            if hops > 256 {
+                break; // defensive: parent maps are acyclic by construction
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Renders the graph as sorted `caller -> callee` qualified-name lines —
+/// the snapshot-test format.
+pub fn snapshot(ws: &Workspace<'_>, g: &CallGraph) -> Vec<String> {
+    let mut lines: Vec<String> = g
+        .edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{} -> {}{}",
+                ws.fn_def(e.caller).qname(),
+                ws.fn_def(e.callee).qname(),
+                if e.guarded { " [guarded]" } else { "" }
+            )
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+/// Convenience for tests: parse in-memory sources and snapshot the graph.
+pub fn snapshot_sources(sources: &[(&str, &str)]) -> Vec<String> {
+    let analyses: Vec<crate::rules::FileAnalysis<'_>> = sources
+        .iter()
+        .map(|(rel, src)| crate::rules::FileAnalysis::new(rel, src))
+        .collect();
+    let parsed: Vec<ParsedFile> = analyses.iter().map(crate::parser::parse).collect();
+    let ws = Workspace::build(&parsed);
+    let g = CallGraph::build(&ws);
+    snapshot(&ws, &g)
+}

@@ -1,11 +1,19 @@
-//! The workspace runner: file discovery, rule execution, baseline
-//! application and the structured report.
+//! The workspace runner: file discovery, rule execution, the semantic
+//! passes, baseline application and the structured report.
+//!
+//! Token-local rules (R1–R7, A0) run per file; the semantic passes
+//! (R8–R10) need every file at once — so the runner loads the whole
+//! workspace into memory, analyses each file, hands the full slice to
+//! [`crate::semantic::analyze`], then applies the baseline to the merged
+//! finding stream.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::baseline::Baseline;
 use crate::rules::{check_file, FileAnalysis, Finding, LintConfig, Severity};
+use crate::semantic::{self, LockGraph};
 
 /// Why a run could not produce a report at all. Distinct from findings:
 /// the CLI maps this to exit code 2, findings at deny level to exit 1.
@@ -31,6 +39,19 @@ impl std::fmt::Display for InternalError {
     }
 }
 
+/// Analyzer throughput counters for the `--stats` line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Functions parsed across the workspace.
+    pub items: usize,
+    /// Resolved call-graph edges.
+    pub call_edges: usize,
+    /// Wall-clock time of the whole run, in milliseconds.
+    pub wall_ms: u128,
+}
+
 /// The outcome of one lint run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -44,6 +65,11 @@ pub struct Report {
     pub baseline_suppressed: usize,
     /// Baseline entries that matched nothing (pay-down candidates).
     pub stale_baseline: Vec<String>,
+    /// Throughput counters.
+    pub stats: RunStats,
+    /// The static lock-order graph R9 extracted (for `--lock-dot` and
+    /// the serve runtime-diff test).
+    pub lock_graph: LockGraph,
 }
 
 impl Report {
@@ -112,33 +138,72 @@ pub fn run_workspace(
     baseline: Option<&Baseline>,
 ) -> Result<Report, InternalError> {
     let files = discover_sources(root)?;
-    let mut report = Report::default();
-    let mut matched = vec![0usize; baseline.map(|b| b.entries.len()).unwrap_or(0)];
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in files {
         let rel = relative_path(root, &path);
         let src = fs::read_to_string(&path).map_err(|e| InternalError::Io {
             path: rel.clone(),
             detail: e.to_string(),
         })?;
-        report.files_scanned += 1;
-        let fa = FileAnalysis::new(&rel, &src);
-        for finding in check_file(&fa, cfg) {
-            let line_text = fa.lines.line_text(&src, finding.line);
-            let suppressed = baseline.map(|b| {
-                let mut hit = false;
-                for (i, e) in b.entries.iter().enumerate() {
-                    if e.matches(&finding, line_text) {
-                        matched[i] += 1;
-                        hit = true;
-                    }
+        sources.push((rel, src));
+    }
+    Ok(run_sources(&sources, cfg, baseline))
+}
+
+/// Runs the full lint pass — token-local rules plus the R8–R10 semantic
+/// passes — over an in-memory workspace. Fixture tests and the serve
+/// lock-diff test use this directly.
+pub fn run_sources(
+    sources: &[(String, String)],
+    cfg: &LintConfig,
+    baseline: Option<&Baseline>,
+) -> Report {
+    let started = Instant::now();
+    let analyses: Vec<FileAnalysis<'_>> = sources
+        .iter()
+        .map(|(rel, src)| FileAnalysis::new(rel, src))
+        .collect();
+
+    let mut all: Vec<Finding> = Vec::new();
+    for fa in &analyses {
+        all.extend(check_file(fa, cfg));
+    }
+    let sem = semantic::analyze(&analyses, cfg);
+    all.extend(sem.findings);
+
+    let mut report = Report {
+        files_scanned: analyses.len(),
+        stats: RunStats {
+            files: analyses.len(),
+            items: sem.items,
+            call_edges: sem.call_edges,
+            wall_ms: 0,
+        },
+        lock_graph: sem.lock_graph,
+        ..Report::default()
+    };
+
+    let mut matched = vec![0usize; baseline.map(|b| b.entries.len()).unwrap_or(0)];
+    for finding in all {
+        let line_text = analyses
+            .iter()
+            .find(|fa| fa.rel == finding.file)
+            .map(|fa| fa.lines.line_text(fa.src, finding.line))
+            .unwrap_or("");
+        let suppressed = baseline.map(|b| {
+            let mut hit = false;
+            for (i, e) in b.entries.iter().enumerate() {
+                if e.matches(&finding, line_text) {
+                    matched[i] += 1;
+                    hit = true;
                 }
-                hit
-            });
-            if suppressed == Some(true) {
-                report.baseline_suppressed += 1;
-            } else {
-                report.findings.push(finding);
             }
+            hit
+        });
+        if suppressed == Some(true) {
+            report.baseline_suppressed += 1;
+        } else {
+            report.findings.push(finding);
         }
     }
     if let Some(b) = baseline {
@@ -156,10 +221,12 @@ pub fn run_workspace(
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(report)
+    report.stats.wall_ms = started.elapsed().as_millis();
+    report
 }
 
-/// Convenience: lints a single in-memory file (fixture tests use this).
+/// Convenience: lints a single in-memory file with the token-local rules
+/// only (fixture tests use this).
 pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     check_file(&FileAnalysis::new(rel, src), cfg)
 }

@@ -16,6 +16,14 @@
 //! tracked in a committed `lint-baseline.toml` ([`baseline`]) so new
 //! violations fail CI while old ones are paid down deliberately.
 //!
+//! v2 adds a semantic layer on top of the token rules: a coarse
+//! recursive-descent [`parser`] produces per-file item trees, [`resolve`]
+//! builds a best-effort workspace symbol index, [`callgraph`] turns the
+//! two into a call graph, and [`semantic`] runs three whole-workspace
+//! passes over it — R8 panic-reachability from serve entry roots, R9
+//! static lock-order extraction (with a DOT graph diffable against the
+//! runtime `lockaudit` graph), and R10 wire-schema exhaustiveness.
+//!
 //! Run it as:
 //!
 //! ```text
@@ -31,11 +39,21 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod semantic;
 
 pub use baseline::{Baseline, SuppressEntry};
-pub use engine::{discover_sources, lint_source, run_workspace, InternalError, Report};
+pub use callgraph::{snapshot, snapshot_sources, CallGraph};
+pub use engine::{
+    discover_sources, lint_source, run_sources, run_workspace, InternalError, Report, RunStats,
+};
 pub use lexer::{lex, LineIndex, TokKind, Token};
-pub use rules::{check_file, FileAnalysis, Finding, LintConfig, RuleId, Severity};
+pub use parser::{parse, ParsedFile};
+pub use resolve::{FnId, Workspace};
+pub use rules::{check_file, FileAnalysis, Finding, LintConfig, RuleId, Severity, REGISTRY};
+pub use semantic::{LockDiff, LockEdge, LockGraph, SemanticReport};

@@ -1,0 +1,301 @@
+//! Best-effort name resolution across the parsed workspace.
+//!
+//! Rust name resolution in full needs type inference; the semantic passes
+//! need much less. This resolver handles, in priority order:
+//!
+//! 1. `Type::method(…)` paths via inherent-impl lookup (trait impls on
+//!    the same type head count too);
+//! 2. free-function paths — same file, then same crate, then through the
+//!    file's `use` aliases (`use aq_circuits::{grover, qft}` makes a bare
+//!    `grover(…)` resolve into `crates/circuits`), then a unique global
+//!    name;
+//! 3. method calls by receiver shape: `self.m()` through the enclosing
+//!    impl, `x.field.m()` through a workspace-wide field-name → type-head
+//!    table, `STATIC.m()` through the static table, and finally a *unique*
+//!    global method name for simple receivers.
+//!
+//! Anything ambiguous or computed (`expr[i].push(…)`) stays unresolved —
+//! the passes prefer missing an edge to inventing one, and the soundness
+//! caveats are documented in DESIGN.md §11. Calls into `std` resolve to
+//! nothing because `std` items are not in the index.
+
+use std::collections::HashMap;
+
+use crate::parser::{FnDef, ParsedFile, Recv};
+
+/// Method names the unique-global fallback refuses to resolve: they
+/// collide with ubiquitous std-collection / std-sync methods, so a
+/// workspace type happening to define one (e.g. `Manager::swap`) must
+/// not swallow every `vec.swap(…)` in sight.
+const STD_METHOD_NAMES: &[&str] = &[
+    "swap",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "clear",
+    "take",
+    "clone",
+    "iter",
+    "iter_mut",
+    "next",
+    "extend",
+    "contains",
+    "contains_key",
+    "drain",
+    "retain",
+    "sort",
+    "split",
+    "join",
+    "send",
+    "recv",
+    "read",
+    "write",
+    "lock",
+    "flush",
+    "wait",
+    "abs",
+    "min",
+    "max",
+    "entry",
+    "keys",
+    "values",
+    "map",
+    "filter",
+    "count",
+    "find",
+    "last",
+    "first",
+    "rev",
+    "zip",
+    "sum",
+    "collect",
+    "clamp",
+    "to_string",
+    "parse",
+    "new",
+    "default",
+];
+
+/// Identifies one function across the workspace: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+/// The cross-file symbol index built from every [`ParsedFile`].
+#[derive(Debug)]
+pub struct Workspace<'p> {
+    /// The parsed files, in the order their indices refer to.
+    pub files: &'p [ParsedFile],
+    free_by_name: HashMap<&'p str, Vec<FnId>>,
+    methods_by_owner: HashMap<(&'p str, &'p str), Vec<FnId>>,
+    methods_by_name: HashMap<&'p str, Vec<FnId>>,
+    field_types: HashMap<&'p str, Vec<&'p str>>,
+    static_types: HashMap<&'p str, &'p str>,
+}
+
+/// Maps an extern-crate path segment (`aq_circuits`) to its workspace
+/// crate directory (`circuits`). `aq_dd` lives in `crates/core`.
+fn crate_dir_of_extern(seg: &str) -> Option<&str> {
+    match seg.strip_prefix("aq_")? {
+        "dd" => Some("core"),
+        other => Some(other),
+    }
+}
+
+impl<'p> Workspace<'p> {
+    /// Builds the index.
+    pub fn build(files: &'p [ParsedFile]) -> Workspace<'p> {
+        let mut ws = Workspace {
+            files,
+            free_by_name: HashMap::new(),
+            methods_by_owner: HashMap::new(),
+            methods_by_name: HashMap::new(),
+            field_types: HashMap::new(),
+            static_types: HashMap::new(),
+        };
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                let id = (fi, gi);
+                match &g.owner {
+                    None => ws.free_by_name.entry(&g.name).or_default().push(id),
+                    Some(owner) => {
+                        ws.methods_by_owner
+                            .entry((owner.as_str(), &g.name))
+                            .or_default()
+                            .push(id);
+                        ws.methods_by_name.entry(&g.name).or_default().push(id);
+                    }
+                }
+            }
+            for fd in &f.fields {
+                let types = ws.field_types.entry(fd.name.as_str()).or_default();
+                if !types.contains(&fd.type_head.as_str()) {
+                    types.push(&fd.type_head);
+                }
+            }
+            for sd in &f.statics {
+                ws.static_types
+                    .entry(sd.name.as_str())
+                    .or_insert(&sd.type_head);
+            }
+        }
+        ws
+    }
+
+    /// The function a [`FnId`] points at.
+    pub fn fn_def(&self, id: FnId) -> &'p FnDef {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// The workspace-relative path the function lives in.
+    pub fn rel_of(&self, id: FnId) -> &'p str {
+        &self.files[id.0].rel
+    }
+
+    fn free_in_crate(&self, name: &str, crate_name: &str) -> Vec<FnId> {
+        self.free_by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&(fi, _)| self.files[fi].crate_name == crate_name)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Resolves a path call (`foo(…)`, `Type::m(…)`, `a::b::c(…)`) made
+    /// from `file_i` inside an impl of `owner`. Empty result =
+    /// unresolved.
+    pub fn resolve_call(&self, file_i: usize, owner: Option<&str>, path: &[String]) -> Vec<FnId> {
+        let Some(name) = path.last() else {
+            return Vec::new();
+        };
+        let file = &self.files[file_i];
+        if path.len() >= 2 {
+            let qual = &path[path.len() - 2];
+            // `Self::m` / `Type::m`: inherent-impl lookup first
+            if qual == "Self" {
+                if let Some(o) = owner {
+                    if let Some(ids) = self.methods_by_owner.get(&(o, name.as_str())) {
+                        return ids.clone();
+                    }
+                }
+                return Vec::new();
+            }
+            if let Some(ids) = self.methods_by_owner.get(&(qual.as_str(), name.as_str())) {
+                return ids.clone();
+            }
+            // module-qualified free fn: `crate::x::f`, `aq_sim::f`, …
+            let head = path[0].as_str();
+            if head == "crate" || head == "self" || head == "super" {
+                let same = self.free_in_crate(name, &file.crate_name);
+                if !same.is_empty() {
+                    return same;
+                }
+            }
+            if let Some(dir) = crate_dir_of_extern(head) {
+                let ids = self.free_in_crate(name, dir);
+                if !ids.is_empty() {
+                    return ids;
+                }
+            }
+            // a module path within the current crate (`qasm::parse`):
+            // fall back to a same-crate free fn of that name
+            let same = self.free_in_crate(name, &file.crate_name);
+            if !same.is_empty() && (head.chars().next().is_some_and(char::is_lowercase)) {
+                return same;
+            }
+            return Vec::new();
+        }
+        // bare name: same file → same crate → use-alias → unique global
+        if let Some(ids) = self.free_by_name.get(name.as_str()) {
+            let same_file: Vec<FnId> = ids
+                .iter()
+                .copied()
+                .filter(|&(fi, _)| fi == file_i)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate = self.free_in_crate(name, &file.crate_name);
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+        }
+        for u in &file.uses {
+            if u.alias == *name {
+                if let Some(dir) = crate_dir_of_extern(&u.crate_seg) {
+                    let ids = self.free_in_crate(&u.target, dir);
+                    if !ids.is_empty() {
+                        return ids;
+                    }
+                }
+                if u.crate_seg == "crate" || u.crate_seg == "super" || u.crate_seg == "self" {
+                    let ids = self.free_in_crate(&u.target, &file.crate_name);
+                    if !ids.is_empty() {
+                        return ids;
+                    }
+                }
+            }
+        }
+        match self.free_by_name.get(name.as_str()) {
+            Some(ids) if ids.len() == 1 => ids.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Resolves a method call `recv.name(…)` made inside an impl of
+    /// `owner`. Empty result = unresolved.
+    pub fn resolve_method(&self, owner: Option<&str>, recv: &Recv, name: &str) -> Vec<FnId> {
+        if let Recv::Simple(id) = recv {
+            if id == "self" || id == "Self" {
+                if let Some(o) = owner {
+                    if let Some(ids) = self.methods_by_owner.get(&(o, name)) {
+                        return ids.clone();
+                    }
+                }
+            } else {
+                if let Some(types) = self.field_types.get(id.as_str()) {
+                    let mut out = Vec::new();
+                    for ty in types {
+                        if let Some(ids) = self.methods_by_owner.get(&(*ty, name)) {
+                            out.extend_from_slice(ids);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return out;
+                    }
+                }
+                if let Some(ty) = self.static_types.get(id.as_str()) {
+                    if let Some(ids) = self.methods_by_owner.get(&(*ty, name)) {
+                        return ids.clone();
+                    }
+                }
+            }
+            // unique global method name — simple receivers only, and
+            // never for names std collections also have
+            if STD_METHOD_NAMES.contains(&name) {
+                return Vec::new();
+            }
+            if let Some(ids) = self.methods_by_name.get(name) {
+                let owners: Vec<&str> = {
+                    let mut o: Vec<&str> = ids
+                        .iter()
+                        .map(|&id| self.fn_def(id).owner.as_deref().unwrap_or(""))
+                        .collect();
+                    o.sort_unstable();
+                    o.dedup();
+                    o
+                };
+                if owners.len() == 1 {
+                    return ids.clone();
+                }
+            }
+        }
+        Vec::new()
+    }
+}

@@ -10,7 +10,15 @@
 //! | R5   | no direct `f64` `==`/`!=` against float literals outside the epsilon module |
 //! | R6   | no bare `thread::sleep` in serve code outside the backoff module |
 //! | R7   | no unseeded randomness (`thread_rng`/`from_entropy`/`OsRng`/…) in sim/serve code |
+//! | R8   | no panic source reachable from a serve entry root outside `catch_unwind` |
+//! | R9   | static lock acquisition order must form a DAG                    |
+//! | R10  | wire-protocol serialize and parse sides must agree field-by-field |
 //! | A0   | suppression directives must carry a justification                |
+//!
+//! R1–R7 and A0 are token-local; R8–R10 are the whole-workspace semantic
+//! passes (see `semantic.rs`), built on the parser / resolver / call
+//! graph. Every rule lives in [`REGISTRY`] — `--list-rules`, code
+//! parsing, and the fixture suite all derive from that one table.
 //!
 //! R1 has one built-in idiom exemption: the sanctioned infallible-wrapper
 //! body `self.try_x(…).unwrap_or_else(|e| panic!("{e}"))` — that `panic!`
@@ -40,67 +48,121 @@ pub enum RuleId {
     /// No unseeded randomness in sim/serve code — sampling and backoff
     /// must stay reproducible from an explicit seed.
     UnseededRandom,
+    /// No panic source (panic-family macro, `panic_any`, `.unwrap()`/
+    /// `.expect()`, scoped indexing) reachable from a serve entry root
+    /// outside `catch_unwind` — the call-graph pass behind `.unwrap()`'s
+    /// token-local R1.
+    PanicReach,
+    /// The static held→acquired lock graph must stay acyclic.
+    StaticLockOrder,
+    /// Every wire field/verb written must be parsed and vice versa.
+    WireSchema,
     /// Malformed suppression directive (missing justification).
     BadSuppression,
 }
 
+/// One row of the rule registry: the single source of truth for rule
+/// codes and descriptions. `--list-rules`, `RuleId::from_code`, the
+/// baseline parser's error text, and the fixture-directory test all
+/// derive from this table, so they cannot drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule.
+    pub rule: RuleId,
+    /// Stable short code (`R1`…`R10`, `A0`).
+    pub code: &'static str,
+    /// One-line description.
+    pub describe: &'static str,
+}
+
+/// Every rule the analyzer knows, in listing order.
+pub const REGISTRY: &[RuleInfo] = &[
+    RuleInfo {
+        rule: RuleId::NoPanicPath,
+        code: "R1",
+        describe: "no unwrap()/expect()/panic!/todo!/unimplemented! in non-test library code",
+    },
+    RuleInfo {
+        rule: RuleId::InfallibleDelegate,
+        code: "R2",
+        describe: "infallible public APIs with a try_* sibling must be thin delegates to it",
+    },
+    RuleInfo {
+        rule: RuleId::UnboundedCache,
+        code: "R3",
+        describe: "no unbounded HashMap/BTreeMap caches in hot-path modules (direct-mapped only)",
+    },
+    RuleInfo {
+        rule: RuleId::NarrowingCast,
+        code: "R4",
+        describe:
+            "no bare `as` narrowing casts in snapshot/wire code (use try_from or a checked helper)",
+    },
+    RuleInfo {
+        rule: RuleId::FloatEq,
+        code: "R5",
+        describe: "no direct f64 ==/!= against float literals outside the epsilon module",
+    },
+    RuleInfo {
+        rule: RuleId::BareSleep,
+        code: "R6",
+        describe:
+            "no bare thread::sleep in serve code outside the backoff module (use backoff::sleep)",
+    },
+    RuleInfo {
+        rule: RuleId::UnseededRandom,
+        code: "R7",
+        describe:
+            "no unseeded randomness (thread_rng/from_entropy/OsRng/SeedableRng::from_os_rng) \
+                   in sim/serve code; draw from an explicitly seeded generator",
+    },
+    RuleInfo {
+        rule: RuleId::PanicReach,
+        code: "R8",
+        describe: "no panic source reachable from a serve entry root outside catch_unwind \
+                   (call-graph pass; reports the full root → panic chain)",
+    },
+    RuleInfo {
+        rule: RuleId::StaticLockOrder,
+        code: "R9",
+        describe: "static DebugMutex/DebugRwLock acquisition order must form a DAG \
+                   (held-set propagation through the call graph)",
+    },
+    RuleInfo {
+        rule: RuleId::WireSchema,
+        code: "R10",
+        describe: "wire-protocol serialize and parse sides must agree: every written \
+                   field/verb is parsed somewhere and vice versa",
+    },
+    RuleInfo {
+        rule: RuleId::BadSuppression,
+        code: "A0",
+        describe: "suppression directives must carry a justification",
+    },
+];
+
 impl RuleId {
-    /// Stable short code (`R1`…`R5`, `A0`).
+    /// Stable short code (`R1`…`R10`, `A0`), from the registry.
     pub fn code(&self) -> &'static str {
-        match self {
-            RuleId::NoPanicPath => "R1",
-            RuleId::InfallibleDelegate => "R2",
-            RuleId::UnboundedCache => "R3",
-            RuleId::NarrowingCast => "R4",
-            RuleId::FloatEq => "R5",
-            RuleId::BareSleep => "R6",
-            RuleId::UnseededRandom => "R7",
-            RuleId::BadSuppression => "A0",
-        }
+        REGISTRY
+            .iter()
+            .find(|r| r.rule == *self)
+            .map(|r| r.code)
+            .unwrap_or("??")
     }
 
-    /// Parses a short code.
+    /// Parses a short code, from the registry.
     pub fn from_code(s: &str) -> Option<RuleId> {
-        match s {
-            "R1" => Some(RuleId::NoPanicPath),
-            "R2" => Some(RuleId::InfallibleDelegate),
-            "R3" => Some(RuleId::UnboundedCache),
-            "R4" => Some(RuleId::NarrowingCast),
-            "R5" => Some(RuleId::FloatEq),
-            "R6" => Some(RuleId::BareSleep),
-            "R7" => Some(RuleId::UnseededRandom),
-            "A0" => Some(RuleId::BadSuppression),
-            _ => None,
-        }
+        REGISTRY.iter().find(|r| r.code == s).map(|r| r.rule)
     }
 
-    /// One-line description (for `--list-rules`).
+    /// One-line description (for `--list-rules`), from the registry.
     pub fn describe(&self) -> &'static str {
-        match self {
-            RuleId::NoPanicPath => {
-                "no unwrap()/expect()/panic!/todo!/unimplemented! in non-test library code"
-            }
-            RuleId::InfallibleDelegate => {
-                "infallible public APIs with a try_* sibling must be thin delegates to it"
-            }
-            RuleId::UnboundedCache => {
-                "no unbounded HashMap/BTreeMap caches in hot-path modules (direct-mapped only)"
-            }
-            RuleId::NarrowingCast => {
-                "no bare `as` narrowing casts in snapshot/wire code (use try_from or a checked helper)"
-            }
-            RuleId::FloatEq => {
-                "no direct f64 ==/!= against float literals outside the epsilon module"
-            }
-            RuleId::BareSleep => {
-                "no bare thread::sleep in serve code outside the backoff module (use backoff::sleep)"
-            }
-            RuleId::UnseededRandom => {
-                "no unseeded randomness (thread_rng/from_entropy/OsRng/SeedableRng::from_os_rng) \
-                 in sim/serve code; draw from an explicitly seeded generator"
-            }
-            RuleId::BadSuppression => "suppression directives must carry a justification",
-        }
+        REGISTRY
+            .iter()
+            .find(|r| r.rule == *self)
+            .map(|r| r.describe)
+            .unwrap_or("")
     }
 }
 
@@ -182,6 +244,22 @@ pub struct LintConfig {
     /// reproducible from an explicit seed (the sampler and the serving
     /// stack, `src/bin/` entry points included).
     pub r7_scope: Vec<String>,
+    /// R8 entry roots: qualified (`ServeCore::handle`) or bare
+    /// (`worker_loop`) function names panic-reachability starts from.
+    /// Empty disables the pass.
+    pub r8_roots: Vec<String>,
+    /// Path prefixes whose index expressions count as R8 panic sources
+    /// (the serving stack, where a stray `[i]` can kill a worker).
+    pub r8_index_prefixes: Vec<String>,
+    /// Files whose lock-method calls R9 ignores (the lock wrappers
+    /// themselves: their internal `.lock()`s are the instrumentation,
+    /// not acquisition sites).
+    pub r9_exempt_files: Vec<String>,
+    /// Files whose non-test string-key writes R10 treats as the wire
+    /// serialize side. Empty disables the pass.
+    pub r10_writer_files: Vec<String>,
+    /// Files whose non-test key reads R10 treats as the wire parse side.
+    pub r10_parser_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -228,6 +306,26 @@ impl LintConfig {
             r6_scope: vec!["crates/serve/src/".into()],
             r6_exempt_files: vec!["crates/serve/src/backoff.rs".into()],
             r7_scope: vec!["crates/sim/src/".into(), "crates/serve/src/".into()],
+            r8_roots: vec![
+                "ServeCore::handle".into(),
+                "ServeCore::supervise".into(),
+                "ServeCore::poll_wait".into(),
+                "ServeCore::begin_drain".into(),
+                "ServeCore::try_drain".into(),
+                "ServeCore::begin_shutdown".into(),
+                "ServeCore::try_complete_shutdown".into(),
+                "Server::run".into(),
+                "worker_loop".into(),
+                "run_job".into(),
+            ],
+            r8_index_prefixes: vec!["crates/serve/src/".into()],
+            r9_exempt_files: vec!["crates/serve/src/lockaudit.rs".into()],
+            r10_writer_files: vec![
+                "crates/serve/src/protocol.rs".into(),
+                "crates/serve/src/service.rs".into(),
+                "crates/serve/src/bin/aq-cli.rs".into(),
+            ],
+            r10_parser_files: vec!["crates/serve/src/protocol.rs".into()],
         }
     }
 
@@ -305,6 +403,10 @@ impl<'a> FileAnalysis<'a> {
         while ci < self.code.len() {
             if self.code_text(ci) == "#" && self.code_text(ci + 1) == "[" {
                 let attr_start = self.code_tok(ci).map(|t| t.start).unwrap_or(0);
+                // `#[cfg_attr(test, …)]` conditionally *adds an attribute*;
+                // the item itself still compiles in non-test builds, so it
+                // is not a test gate.
+                let is_cfg_attr = self.code_text(ci + 2) == "cfg_attr";
                 // find the matching `]`, tracking bracket depth
                 let mut j = ci + 1;
                 let mut depth = 0usize;
@@ -331,7 +433,7 @@ impl<'a> FileAnalysis<'a> {
                     prev2 = [prev2[1], text];
                     j += 1;
                 }
-                if is_test {
+                if is_test && !is_cfg_attr {
                     // skip any further attributes, then span the item
                     let mut k = j + 1;
                     while self.code_text(k) == "#" && self.code_text(k + 1) == "[" {
@@ -445,7 +547,7 @@ impl<'a> FileAnalysis<'a> {
 
     /// Whether `rule` is suppressed at `line` by an inline directive on
     /// the same line or the line directly above.
-    fn allowed(&self, rule: RuleId, line: usize) -> bool {
+    pub fn allowed(&self, rule: RuleId, line: usize) -> bool {
         self.allows.iter().any(|a| {
             a.has_reason && a.rules.contains(&rule) && (a.line == line || a.line + 1 == line)
         })

@@ -1,0 +1,80 @@
+//! Pins the call graph the resolver + graph builder produce for a small
+//! two-file workspace: free-fn calls, associated-fn calls, method calls
+//! through `self` fields and locals, guarded edges, and cross-file
+//! resolution. The snapshot format is `caller -> callee [guarded]` lines,
+//! sorted — any resolver regression shows up as a diff here.
+
+use aq_analyze::snapshot_sources;
+
+#[test]
+fn two_file_workspace_snapshot() {
+    let engine = "pub struct Engine;\n\
+                  impl Engine {\n    \
+                  pub fn run(&self) -> u32 {\n        \
+                  let warm = helper();\n        \
+                  self.step(warm);\n        \
+                  let shielded = std::panic::catch_unwind(|| fragile(warm));\n        \
+                  shielded.unwrap_or(0)\n    }\n    \
+                  fn step(&self, x: u32) -> u32 { leaf(x) }\n}\n\
+                  pub fn helper() -> u32 { leaf(1) }\n\
+                  pub fn fragile(x: u32) -> u32 { x }\n\
+                  pub fn leaf(x: u32) -> u32 { x }\n";
+    let driver = "use crate::engine::Engine;\n\
+                  pub fn drive() -> u32 {\n    \
+                  let e = Engine::new();\n    e.run()\n}\n\
+                  impl Engine {\n    pub fn new() -> Engine { Engine }\n}\n";
+    let lines = snapshot_sources(&[
+        ("crates/fix/src/engine.rs", engine),
+        ("crates/fix/src/driver.rs", driver),
+    ]);
+    let expected = [
+        "Engine::run -> Engine::step",
+        "Engine::run -> fragile [guarded]",
+        "Engine::run -> helper",
+        "Engine::step -> leaf",
+        "drive -> Engine::new",
+        "drive -> Engine::run",
+        "helper -> leaf",
+    ];
+    assert_eq!(
+        lines,
+        expected,
+        "call-graph snapshot drifted:\n{}",
+        lines.join("\n")
+    );
+}
+
+#[test]
+fn test_functions_are_excluded_from_the_graph() {
+    let src = "pub fn shipped() { leaf() }\n\
+               pub fn leaf() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n    \
+               use super::*;\n    \
+               #[test]\n    fn t() { shipped(); leaf(); }\n}\n";
+    let lines = snapshot_sources(&[("crates/fix/src/lib.rs", src)]);
+    assert_eq!(
+        lines,
+        ["shipped -> leaf"],
+        "test callers never enter the graph"
+    );
+}
+
+#[test]
+fn ambiguous_bare_names_resolve_to_nothing_not_everything() {
+    // Two crates each define `init`; a bare `init()` call in a third file
+    // must not fabricate edges to both.
+    let a = "pub fn init() {}\n";
+    let b = "pub fn init() {}\n";
+    let c = "pub fn boot() { init() }\n";
+    let lines = snapshot_sources(&[
+        ("crates/a/src/lib.rs", a),
+        ("crates/b/src/lib.rs", b),
+        ("crates/c/src/lib.rs", c),
+    ]);
+    assert!(
+        lines.is_empty(),
+        "ambiguous resolution must stay empty, got:\n{}",
+        lines.join("\n")
+    );
+}

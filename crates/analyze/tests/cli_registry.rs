@@ -1,0 +1,70 @@
+//! Agreement test between the rule registry and everything derived from
+//! it: the `--list-rules` output of the real `aq-lint` binary, code
+//! round-tripping, and the fixture suites' coverage of every rule.
+
+use std::process::Command;
+
+use aq_analyze::{RuleId, REGISTRY};
+
+#[test]
+fn list_rules_output_is_exactly_the_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_aq-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run aq-lint --list-rules");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        REGISTRY.len(),
+        "--list-rules prints one line per registry row"
+    );
+    for (line, info) in lines.iter().zip(REGISTRY) {
+        assert_eq!(
+            *line,
+            format!("{}  {}", info.code, info.describe),
+            "--list-rules is derived from the registry verbatim"
+        );
+    }
+}
+
+#[test]
+fn registry_codes_are_unique_and_round_trip() {
+    for (i, info) in REGISTRY.iter().enumerate() {
+        assert_eq!(
+            RuleId::from_code(info.code),
+            Some(info.rule),
+            "code {} parses back to its rule",
+            info.code
+        );
+        assert_eq!(info.rule.code(), info.code);
+        assert_eq!(info.rule.describe(), info.describe);
+        for other in &REGISTRY[i + 1..] {
+            assert_ne!(info.code, other.code, "duplicate code {}", info.code);
+            assert_ne!(info.rule, other.rule, "duplicate rule for {}", info.code);
+        }
+    }
+    assert_eq!(RuleId::from_code("R99"), None);
+}
+
+#[test]
+fn every_registry_rule_has_fixture_coverage() {
+    // The fixture suites name each rule's code in a `---- Rn:`-style
+    // banner (token rules) or a `// ---- Rn --` section (semantic rules).
+    // A new registry row without a fixture fails here, keeping the two
+    // in lockstep.
+    let token_suite = include_str!("rule_fixtures.rs");
+    let semantic_suite = include_str!("semantic_fixtures.rs");
+    for info in REGISTRY {
+        let covered = token_suite.contains(&format!("---- {}:", info.code))
+            || semantic_suite
+                .to_lowercase()
+                .contains(&format!("fn {}_", info.code.to_lowercase()));
+        assert!(
+            covered,
+            "rule {} has no fixture in rule_fixtures.rs or semantic_fixtures.rs",
+            info.code
+        );
+    }
+}

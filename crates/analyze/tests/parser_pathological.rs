@@ -1,0 +1,150 @@
+//! Pathological-input suite for the recursive-descent parser: deeply
+//! nested blocks, raw strings full of fake tokens, `cfg_attr` attributes,
+//! and torn input. The parser's contract is graceful degradation — fewer
+//! events, never a panic, a hang, or a phantom item.
+
+use aq_analyze::{parse, FileAnalysis};
+
+fn parsed(src: &str) -> aq_analyze::ParsedFile {
+    let fa = FileAnalysis::new("crates/fix/src/lib.rs", src);
+    parse(&fa)
+}
+
+#[test]
+fn deeply_nested_blocks_parse_without_recursion_or_loss() {
+    // 300 nested braces inside one body: the body scanner is iterative,
+    // so depth costs nothing and the fn still comes out whole.
+    let depth = 300;
+    let mut src = String::from("pub fn deep() -> u32 {\n");
+    for _ in 0..depth {
+        src.push('{');
+    }
+    src.push_str("inner()");
+    for _ in 0..depth {
+        src.push('}');
+    }
+    src.push_str("\n}\n");
+    let file = parsed(&src);
+    assert_eq!(file.fns.len(), 1);
+    assert_eq!(file.fns[0].name, "deep");
+    assert!(
+        file.fns[0].body.iter().any(
+            |e| matches!(e, aq_analyze::parser::Event::Call { path, .. } if path == &["inner"])
+        ),
+        "the call at the bottom of the nesting is still seen"
+    );
+}
+
+#[test]
+fn deeply_nested_parens_do_not_hang_the_argument_skipper() {
+    let depth = 300;
+    let mut src = String::from("pub fn paren() -> u32 { f");
+    for _ in 0..depth {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..depth {
+        src.push(')');
+    }
+    src.push_str(" }\n");
+    let file = parsed(&src);
+    assert_eq!(file.fns.len(), 1, "the item boundary survives");
+}
+
+#[test]
+fn raw_strings_full_of_fake_tokens_are_inert() {
+    // The raw string contains an unbalanced `{`, a fake fn, a fake
+    // panic! and a `"`-terminator decoy — all of it is one token.
+    let src = "pub fn real() -> &'static str {\n    \
+               r##\"fn fake() { panic!(\"boom\") } { { { \"# \"##\n}\n\
+               pub fn after() {}\n";
+    let file = parsed(src);
+    let names: Vec<&str> = file.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["real", "after"], "no phantom items, no lost items");
+    assert!(
+        !file.fns.iter().any(|f| f.body.iter().any(
+            |e| matches!(e, aq_analyze::parser::Event::MacroUse { name, .. } if name == "panic")
+        )),
+        "the panic! inside the raw string is not an event"
+    );
+}
+
+#[test]
+fn cfg_attr_test_does_not_exempt_an_item_from_analysis() {
+    // `#[cfg_attr(test, allow(dead_code))]` still compiles the item into
+    // non-test builds: it must NOT be marked as test code, or shipped
+    // panics would silently escape R1/R8.
+    let src = "#[cfg_attr(test, allow(dead_code))]\n\
+               pub fn shipped(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               #[cfg(test)]\n\
+               mod tests {\n    fn gated() {}\n}\n";
+    let fa = FileAnalysis::new("crates/fix/src/lib.rs", src);
+    let file = parse(&fa);
+    let shipped = file
+        .fns
+        .iter()
+        .find(|f| f.name == "shipped")
+        .expect("parsed");
+    assert!(
+        !shipped.is_test,
+        "cfg_attr(test, …) is a conditional attribute, not a test gate"
+    );
+    let gated = file.fns.iter().find(|f| f.name == "gated").expect("parsed");
+    assert!(gated.is_test, "a real #[cfg(test)] module still gates");
+}
+
+#[test]
+fn torn_input_degrades_to_fewer_items_without_panicking() {
+    for src in [
+        "pub fn half(",
+        "impl {",
+        "fn f() { let x = ",
+        "struct S { x: ",
+        "pub fn ok() {} fn g(",
+        "#[",
+        "match { { {",
+        "r#\"unterminated",
+    ] {
+        let file = parsed(src);
+        // Whatever parses, parses; nothing hangs or panics, and every
+        // reported item corresponds to a name actually in the source.
+        for f in &file.fns {
+            assert!(
+                src.contains(&f.name),
+                "phantom item `{}` from {src:?}",
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn let_bindings_drops_and_statement_ends_attribute_correctly() {
+    let src = "pub fn flow(q: &Q) {\n    \
+               let guard = q.acquire();\n    \
+               q.peek().refresh();\n    \
+               drop(guard);\n}\n";
+    let file = parsed(src);
+    let body = &file.fns[0].body;
+    use aq_analyze::parser::Event;
+    assert!(
+        body.iter().any(|e| matches!(
+            e,
+            Event::Method { name, let_ident: Some(id), chained: false, .. }
+                if name == "acquire" && id == "guard"
+        )),
+        "the let binding reaches the event: {body:?}"
+    );
+    assert!(
+        body.iter().any(|e| matches!(
+            e,
+            Event::Method { name, chained: true, .. } if name == "peek"
+        )),
+        "a chained call is marked chained: {body:?}"
+    );
+    assert!(
+        body.iter()
+            .any(|e| matches!(e, Event::Drop { ident } if ident == "guard")),
+        "drop(guard) releases the binding: {body:?}"
+    );
+}

@@ -246,7 +246,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -265,7 +266,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        let text = std::str::from_utf8(digits).unwrap_or("");
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => Err(self.err(format!("bad number `{text}`"))),
@@ -313,7 +315,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // consume one UTF-8 character (input is &str, so
                     // boundaries are valid)
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
                     if u32::from(c) < 0x20 {

@@ -52,12 +52,18 @@ impl LatencyHistogram {
             .iter()
             .position(|&edge| us <= edge)
             .unwrap_or(LATENCY_BUCKET_EDGES_US.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of the per-bucket counts.
     pub fn counts(&self) -> [u64; LATENCY_BUCKETS] {
-        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+        std::array::from_fn(|i| {
+            self.buckets
+                .get(i)
+                .map_or(0, |bucket| bucket.load(Ordering::Relaxed))
+        })
     }
 }
 
@@ -72,12 +78,12 @@ pub fn histogram_quantile_ms(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<
         return None;
     }
     let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let last_edge = LATENCY_BUCKET_EDGES_US.last().copied().unwrap_or(0);
     let mut seen = 0;
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            const LAST_EDGE: u64 = LATENCY_BUCKET_EDGES_US[LATENCY_BUCKET_EDGES_US.len() - 1];
-            let us = LATENCY_BUCKET_EDGES_US.get(i).copied().unwrap_or(LAST_EDGE);
+            let us = LATENCY_BUCKET_EDGES_US.get(i).copied().unwrap_or(last_edge);
             return Some(us as f64 / 1_000.0);
         }
     }

@@ -68,6 +68,16 @@ struct Inner<T> {
     closed: bool,
 }
 
+impl<T> Inner<T> {
+    /// The sub-queue for `class` — the one sanctioned class-indexed
+    /// access; everything else goes through here.
+    fn class_queue(&mut self, class: SchemeClass) -> &mut Vec<QueuedJob<T>> {
+        let ci = class.index().min(SchemeClass::COUNT - 1);
+        // aq-lint: allow(R8): ci is clamped below COUNT, and SchemeClass::index is dense by construction
+        &mut self.classes[ci]
+    }
+}
+
 /// The shared queue: mutex-protected per-class vectors plus one condvar
 /// per class for idle workers of that class. Linear scans within a class
 /// are deliberate — the queue is bounded and small (tens of entries), so
@@ -113,7 +123,11 @@ impl<T> JobQueue<T> {
     /// [`SchemeClass::index`], in one lock acquisition.
     pub fn depths(&self) -> [usize; SchemeClass::COUNT] {
         let inner = self.lock();
-        std::array::from_fn(|i| inner.classes[i].len())
+        let mut out = [0usize; SchemeClass::COUNT];
+        for (depth, class_queue) in out.iter_mut().zip(inner.classes.iter()) {
+            *depth = class_queue.len();
+        }
+        out
     }
 
     /// The admission bound.
@@ -123,6 +137,14 @@ impl<T> JobQueue<T> {
 
     fn lock(&self) -> DebugMutexGuard<'_, Inner<T>> {
         self.inner.lock()
+    }
+
+    /// The wake condvar for `class`, via the same clamped lookup as
+    /// [`Inner::class_queue`].
+    fn waker(&self, class: SchemeClass) -> &DebugCondvar {
+        let ci = class.index().min(SchemeClass::COUNT - 1);
+        // aq-lint: allow(R8): ci is clamped below COUNT, and SchemeClass::index is dense by construction
+        &self.available[ci]
     }
 
     /// Admits a job, or refuses with a reason. On success exactly one
@@ -150,7 +172,7 @@ impl<T> JobQueue<T> {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.classes[class.index()].push(QueuedJob {
+        inner.class_queue(class).push(QueuedJob {
             id,
             priority,
             seq,
@@ -158,7 +180,7 @@ impl<T> JobQueue<T> {
             payload,
         });
         inner.len += 1;
-        self.available[class.index()].notify_one();
+        self.waker(class).notify_one();
         Ok(())
     }
 
@@ -167,18 +189,18 @@ impl<T> JobQueue<T> {
     /// `None` — the worker should exit). Jobs of other classes never
     /// keep the caller blocked after a close.
     pub fn pop(&self, class: SchemeClass) -> Option<QueuedJob<T>> {
-        let ci = class.index();
         let mut inner = self.lock();
         loop {
-            if let Some(idx) = best_match(&inner.classes[ci]) {
-                let job = inner.classes[ci].swap_remove(idx);
+            let queue = inner.class_queue(class);
+            if let Some(idx) = best_match(queue) {
+                let job = queue.swap_remove(idx);
                 inner.len -= 1;
                 return Some(job);
             }
             if inner.closed {
                 return None;
             }
-            inner = self.available[ci].wait(inner);
+            inner = self.waker(class).wait(inner);
         }
     }
 
@@ -233,7 +255,7 @@ impl<T> JobQueue<T> {
         let mut jobs = Vec::new();
         for class in SchemeClass::ALL {
             if !has_worker(class) {
-                jobs.append(&mut inner.classes[class.index()]);
+                jobs.append(inner.class_queue(class));
             }
         }
         inner.len -= jobs.len();

@@ -135,7 +135,8 @@ impl Conn {
                     break;
                 }
                 Ok(n) => {
-                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    self.read_buf
+                        .extend_from_slice(chunk.get(..n).unwrap_or_default());
                     progress = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

@@ -853,6 +853,56 @@ struct Supervisor {
     tick: u64,
 }
 
+impl Supervisor {
+    /// Restart-budget units already spent for `class`.
+    fn restarts_used_for(&self, class: SchemeClass) -> u32 {
+        self.restarts_used.get(class.index()).copied().unwrap_or(0)
+    }
+
+    /// Spends one restart-budget unit for `class` if any remains;
+    /// `false` means the budget is exhausted and the slot must retire.
+    fn try_spend_restart(&mut self, class: SchemeClass, budget: u32) -> bool {
+        match self.restarts_used.get_mut(class.index()) {
+            Some(used) if *used < budget => {
+                *used += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `class` as having had its unhealthy eviction sweep; returns
+    /// `true` only on the first marking (the sweep runs exactly once).
+    fn mark_unhealthy_swept(&mut self, class: SchemeClass) -> bool {
+        match self.unhealthy_swept.get_mut(class.index()) {
+            Some(swept) if !*swept => {
+                *swept = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Phase-3 bookkeeping for one slot: clean exits retire, deaths
+    /// respawn while budget remains (spending one unit and advancing the
+    /// slot's backoff) and retire once it runs out.
+    fn record_outcome(&mut self, idx: usize, died: bool, budget: u32, now: Instant) {
+        let Some(class) = self.slots.get(idx).map(|s| s.class) else {
+            return;
+        };
+        let respawn = died && self.try_spend_restart(class, budget);
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.state = if respawn {
+                WorkerState::Respawning {
+                    at: now + slot.backoff.next_delay(),
+                }
+            } else {
+                WorkerState::Retired
+            };
+        }
+    }
+}
+
 /// The running service: queue, registry, metrics and the worker pool.
 ///
 /// Construct with [`ServeCore::start`], talk to it with
@@ -1069,46 +1119,31 @@ impl ServeCore {
             let now = Instant::now();
             let budget = shared.cfg.restart_budget;
             for (idx, died) in outcomes {
-                let ci = sup.slots[idx].class.index();
-                if !died {
-                    sup.slots[idx].state = WorkerState::Retired;
-                } else if sup.restarts_used[ci] < budget {
-                    sup.restarts_used[ci] += 1;
-                    let delay = sup.slots[idx].backoff.next_delay();
-                    sup.slots[idx].state = WorkerState::Respawning { at: now + delay };
-                } else {
-                    sup.slots[idx].state = WorkerState::Retired;
-                }
+                sup.record_outcome(idx, died, budget, now);
             }
             for (idx, result) in spawned {
                 match result {
                     Ok(h) => {
-                        sup.slots[idx].state = WorkerState::Live(h);
+                        if let Some(slot) = sup.slots.get_mut(idx) {
+                            slot.state = WorkerState::Live(h);
+                        }
                         shared
                             .metrics
                             .worker_respawns
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(_) => {
-                        // Spawn failed (OS out of threads): costs another
-                        // budget unit and waits out another backoff.
-                        let ci = sup.slots[idx].class.index();
-                        if sup.restarts_used[ci] < budget {
-                            sup.restarts_used[ci] += 1;
-                            let delay = sup.slots[idx].backoff.next_delay();
-                            sup.slots[idx].state = WorkerState::Respawning { at: now + delay };
-                        } else {
-                            sup.slots[idx].state = WorkerState::Retired;
-                        }
-                    }
+                    // Spawn failed (OS out of threads): costs another
+                    // budget unit and waits out another backoff.
+                    Err(_) => sup.record_outcome(idx, true, budget, now),
                 }
             }
             // A class whose every configured slot is retired is
             // unhealthy; sweep its queued jobs exactly once.
+            // `SchemeClass::ALL` is in `index()` order, so the zip lines
+            // the flags up with the classes without any indexing.
             let mut healthy = [true; SchemeClass::COUNT];
             let mut newly_unhealthy = false;
-            for class in SchemeClass::ALL {
-                let ci = class.index();
+            for (&class, healthy_flag) in SchemeClass::ALL.iter().zip(healthy.iter_mut()) {
                 let mut configured = 0usize;
                 let mut alive = 0usize;
                 for slot in sup.slots.iter().filter(|s| s.class == class) {
@@ -1118,9 +1153,8 @@ impl ServeCore {
                     }
                 }
                 if configured > 0 && alive == 0 {
-                    healthy[ci] = false;
-                    if !sup.unhealthy_swept[ci] {
-                        sup.unhealthy_swept[ci] = true;
+                    *healthy_flag = false;
+                    if sup.mark_unhealthy_swept(class) {
                         newly_unhealthy = true;
                     }
                 }
@@ -1133,7 +1167,9 @@ impl ServeCore {
         // Phase 4 (no supervisor lock): perform the eviction sweep and
         // the chaos-plan spurious wakeup.
         if let Some(healthy) = sweep {
-            let evicted = shared.queue.evict_unmatched(|class| healthy[class.index()]);
+            let evicted = shared
+                .queue
+                .evict_unmatched(|class| healthy.get(class.index()).copied().unwrap_or(true));
             for q in evicted {
                 shared.finish_job(
                     q.id,
@@ -1187,7 +1223,7 @@ impl ServeCore {
                     configured,
                     live,
                     respawning,
-                    restarts_used: sup.restarts_used[class.index()],
+                    restarts_used: sup.restarts_used_for(class),
                     restart_budget: self.shared.cfg.restart_budget,
                     healthy: configured == 0 || live + respawning > 0,
                 }
@@ -1212,7 +1248,12 @@ impl ServeCore {
                 }
             }
         }
-        let depth = shared.queue.depths()[class.index()] as u64;
+        let depth = shared
+            .queue
+            .depths()
+            .get(class.index())
+            .copied()
+            .unwrap_or(0) as u64;
         let (live, respawn_wait_ms) = {
             let sup = self.supervisor.lock();
             let now = Instant::now();
@@ -1473,7 +1514,13 @@ impl ServeCore {
             .enumerate()
             .map(|(worker, stats)| WorkerReport {
                 worker,
-                class: shared.cfg.workers[worker],
+                // rows and cfg.workers are index-aligned by construction
+                class: shared
+                    .cfg
+                    .workers
+                    .get(worker)
+                    .copied()
+                    .unwrap_or(SchemeClass::Numeric),
                 stats,
             })
             .collect();
@@ -1783,6 +1830,7 @@ fn worker_loop(
         // exercises the supervisor's real death/recover/respawn path
         // rather than the per-job guard.
         if shared.cfg.fault_plan.kill_worker(qjob.id) {
+            // aq-lint: allow(R8): deliberate chaos-plan worker kill; the supervisor must see a real panic
             std::panic::panic_any(ChaosKill);
         }
 

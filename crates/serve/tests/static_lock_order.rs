@@ -1,0 +1,109 @@
+//! Static-vs-runtime lock-order agreement: `aq-lint`'s R9 pass extracts
+//! a held→acquired graph from the workspace *sources*; the `lock-audit`
+//! instrumentation records the graph the running service *actually*
+//! exhibits. This suite proves the two contracts the design demands:
+//!
+//! 1. the static graph is acyclic (no possible acquisition deadlock), and
+//! 2. the static graph is a superset of every runtime-observed graph —
+//!    the analyzer never misses an ordering the service really performs.
+//!
+//! Static edges the workload does not exercise are coverage gaps, not
+//! bugs; they are printed as warnings.
+
+#![cfg(feature = "lock-audit")]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aq_analyze::{run_workspace, LintConfig};
+use aq_dd::RunBudget;
+use aq_serve::{
+    lockaudit, CircuitSpec, Client, Response, SchemeClass, ServeConfig, ServeCore, SubmitRequest,
+};
+use aq_sim::{SampleParams, SchemeSpec};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aq-lockdiff-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn static_lock_graph_is_acyclic_and_covers_the_runtime_graph() {
+    // ---- 1. the static graph, from the real workspace sources ----
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        run_workspace(&root, &LintConfig::for_workspace(), None).expect("workspace source scan");
+    let graph = &report.lock_graph;
+    assert!(
+        graph.nodes.iter().any(|n| n == "serve.registry"),
+        "the serve stack's audited locks appear as nodes: {:?}",
+        graph.nodes
+    );
+    assert_eq!(
+        graph.cycle(),
+        None,
+        "static acquisition order must form a DAG:\n{}",
+        graph.dot()
+    );
+
+    // ---- 2. a real workload feeding the runtime auditor ----
+    lockaudit::reset();
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+        queue_capacity: 16,
+        checkpoint_dir: test_dir("workload"),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+    // One job per lane plus a sampled one: exercises submit, the queue,
+    // the registry, the result cache, status polling and metrics.
+    for (scheme, sample) in [
+        (SchemeSpec::Numeric { eps: 1e-10 }, None),
+        (SchemeSpec::Qomega, None),
+        (
+            SchemeSpec::Numeric { eps: 1e-10 },
+            Some(SampleParams { shots: 32, seed: 3 }),
+        ),
+    ] {
+        let submitted = client.submit(SubmitRequest {
+            circuit: CircuitSpec::Grover { n: 4, marked: 11 },
+            scheme,
+            priority: 0,
+            budget: RunBudget::unlimited().with_max_nodes(2_000_000),
+            resume: None,
+            top_k: 2,
+            sample,
+        });
+        let job = match submitted {
+            Response::Submitted { job } => job,
+            other => panic!("expected Submitted, got {other:?}"),
+        };
+        client.wait(job, Duration::from_secs(120));
+    }
+    let _ = core.handle(aq_serve::Request::Metrics);
+    client.drain();
+    client.shutdown();
+
+    // ---- 3. runtime ⊆ static, and the runtime saw no cycle either ----
+    let cycles = lockaudit::detected_cycles();
+    assert!(cycles.is_empty(), "runtime lock-order cycles: {cycles:?}");
+    let runtime: Vec<(String, String)> = lockaudit::lock_order_edges()
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    let diff = graph.diff(&runtime);
+    assert!(
+        diff.missing_static.is_empty(),
+        "the service performed lock orderings the static graph missed \
+         (analyzer gap): {:?}\nstatic graph:\n{}\nruntime graph:\n{}",
+        diff.missing_static,
+        graph.dot(),
+        lockaudit::dot_graph()
+    );
+    for (a, b) in &diff.unexercised {
+        eprintln!("warning: static edge `{a}` -> `{b}` not exercised by this workload");
+    }
+}

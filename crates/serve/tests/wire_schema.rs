@@ -1,0 +1,311 @@
+//! Response wire-schema lockdown: every field the service writes is read
+//! back here through the rendered JSON, field by field. This is the
+//! consuming side of the R10 wire-schema cross-check — a response field
+//! nobody reads (not even this suite) is dead weight, and `aq-lint`
+//! flags it. Renaming or dropping a field therefore fails either this
+//! suite (schema drift) or the lint (dead field), never neither.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aq_dd::RunBudget;
+use aq_serve::{
+    CircuitSpec, Client, Json, Response, SchemeClass, ServeConfig, ServeCore, SubmitRequest,
+};
+use aq_sim::{SampleParams, SchemeSpec};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aq-wire-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Renders a response the way the TCP server would and parses it back.
+fn wire(response: &Response) -> Json {
+    Json::parse(&response.render()).expect("every response renders as valid JSON")
+}
+
+fn require_num(json: &Json, key: &str) -> f64 {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field `{key}` in {json:?}"))
+}
+
+fn require_str<'j>(json: &'j Json, key: &str) -> &'j str {
+    json.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string field `{key}` in {json:?}"))
+}
+
+fn require_bool(json: &Json, key: &str) -> bool {
+    json.get(key)
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("missing bool field `{key}` in {json:?}"))
+}
+
+fn require_arr<'j>(json: &'j Json, key: &str) -> &'j [Json] {
+    match json.get(key) {
+        Some(Json::Arr(items)) => items,
+        other => panic!("missing array field `{key}`, got {other:?}"),
+    }
+}
+
+fn require_obj<'j>(json: &'j Json, key: &str) -> &'j Json {
+    match json.get(key) {
+        Some(o @ Json::Obj(_)) => o,
+        other => panic!("missing object field `{key}`, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_response_field_round_trips_through_the_wire() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric, SchemeClass::Algebraic],
+        queue_capacity: 16,
+        checkpoint_dir: test_dir("schema"),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+
+    // --- submit: a sampled algebraic job (exercises the exact field) ---
+    let submitted = client.submit(SubmitRequest {
+        circuit: CircuitSpec::Grover { n: 4, marked: 11 },
+        scheme: SchemeSpec::Qomega,
+        priority: 3,
+        budget: RunBudget::unlimited().with_max_nodes(2_000_000),
+        resume: None,
+        top_k: 4,
+        sample: Some(SampleParams { shots: 64, seed: 7 }),
+    });
+    let sj = wire(&submitted);
+    assert!(require_bool(&sj, "ok"));
+    assert_eq!(require_str(&sj, "verb"), "submit");
+    assert_eq!(require_str(&sj, "state"), "queued");
+    let job = require_num(&sj, "job") as u64;
+
+    // --- wait → status of a completed job: outcome + sample schema ---
+    let status = client.wait(job, Duration::from_secs(120));
+    let st = wire(&status);
+    assert!(require_bool(&st, "ok"));
+    assert_eq!(require_str(&st, "verb"), "status");
+    assert_eq!(require_num(&st, "job") as u64, job);
+    assert_eq!(require_str(&st, "state"), "completed");
+    assert!(!require_str(&st, "label").is_empty());
+    assert!(!require_str(&st, "scheme").is_empty());
+    assert_eq!(require_num(&st, "priority") as u8, 3);
+    assert!(require_num(&st, "gates_applied") >= 1.0);
+    assert!(require_num(&st, "seconds") >= 0.0);
+    assert!(require_num(&st, "final_nodes") >= 1.0);
+    assert!(!require_bool(&st, "resumed"));
+    assert!(require_num(&st, "cache_hit_rate") >= 0.0);
+    // Sampled jobs report their distribution through the sample block;
+    // the top-k array stays empty by design.
+    assert!(require_arr(&st, "top").is_empty());
+    let sample = require_obj(&st, "sample");
+    assert_eq!(require_num(sample, "shots") as u64, 64);
+    assert_eq!(require_num(sample, "seed") as u64, 7);
+    assert!(!require_bool(sample, "forked"));
+    let counts = require_arr(sample, "counts");
+    let total: f64 = counts
+        .iter()
+        .map(|pair| match pair {
+            Json::Arr(iv) => iv.get(1).and_then(Json::as_f64).unwrap_or(0.0),
+            _ => 0.0,
+        })
+        .sum();
+    assert_eq!(total as u64, 64, "histogram counts sum to the shot count");
+    let probabilities = require_arr(sample, "probabilities");
+    assert!(!probabilities.is_empty());
+    for p in probabilities {
+        assert!(require_num(p, "index") >= 0.0);
+        assert!(require_num(p, "p") >= 0.0);
+        // exact amplitude string: present on the algebraic lane
+        assert!(
+            p.get("exact").and_then(Json::as_str).is_some(),
+            "Qomega probabilities carry exact amplitudes: {p:?}"
+        );
+    }
+
+    // --- an unsampled job: top-k probabilities populated ---
+    let plain = client.submit(SubmitRequest {
+        circuit: CircuitSpec::Grover { n: 4, marked: 11 },
+        scheme: SchemeSpec::Numeric { eps: 1e-10 },
+        priority: 0,
+        budget: RunBudget::unlimited().with_max_nodes(2_000_000),
+        resume: None,
+        top_k: 4,
+        sample: None,
+    });
+    let plain_job = require_num(&wire(&plain), "job") as u64;
+    let plain_status = wire(&client.wait(plain_job, Duration::from_secs(120)));
+    assert_eq!(require_str(&plain_status, "state"), "completed");
+    let top = require_arr(&plain_status, "top");
+    assert_eq!(top.len(), 4, "top-k probabilities present when unsampled");
+    match &top[0] {
+        Json::Arr(pair) => {
+            assert_eq!(pair[0].as_u64(), Some(11), "marked element wins");
+            assert!(pair[1].as_f64().unwrap_or(0.0) > 0.9);
+        }
+        other => panic!("top entries are [index, p] pairs, got {other:?}"),
+    }
+
+    // --- a starved budget: aborted status with checkpoint fields ---
+    let starved = client.submit(SubmitRequest {
+        circuit: CircuitSpec::Grover { n: 6, marked: 45 },
+        scheme: SchemeSpec::Numeric { eps: 1e-10 },
+        priority: 0,
+        budget: RunBudget::unlimited().with_max_nodes(20),
+        resume: None,
+        top_k: 4,
+        sample: None,
+    });
+    let starved_job = require_num(&wire(&starved), "job") as u64;
+    let aborted_status = client.wait(starved_job, Duration::from_secs(120));
+    let ab = wire(&aborted_status);
+    assert_eq!(require_str(&ab, "state"), "aborted");
+    assert!(require_str(&ab, "reason").contains("node budget exceeded"));
+    assert!(!require_bool(&ab, "evicted"));
+    assert!(
+        ab.get("checkpoint").is_some(),
+        "aborted status carries the checkpoint field (path or null)"
+    );
+
+    // --- metrics: the full report schema ---
+    let metrics = wire(&core.handle(aq_serve::Request::Metrics));
+    assert!(require_bool(&metrics, "ok"));
+    assert_eq!(require_str(&metrics, "verb"), "metrics");
+    assert_eq!(require_num(&metrics, "submitted") as u64, 3);
+    assert_eq!(require_num(&metrics, "completed") as u64, 2);
+    assert_eq!(require_num(&metrics, "aborted") as u64, 1);
+    assert_eq!(require_num(&metrics, "rejected") as u64, 0);
+    assert_eq!(require_num(&metrics, "evicted") as u64, 0);
+    assert_eq!(require_num(&metrics, "queue_depth") as u64, 0);
+    assert_eq!(require_num(&metrics, "running") as u64, 0);
+    assert_eq!(require_num(&metrics, "worker_deaths") as u64, 0);
+    assert_eq!(require_num(&metrics, "worker_respawns") as u64, 0);
+    assert_eq!(require_num(&metrics, "shed_deadline") as u64, 0);
+    assert_eq!(require_num(&metrics, "samples") as u64, 1);
+    assert_eq!(require_num(&metrics, "shots") as u64, 64);
+
+    let cache = require_obj(&metrics, "result_cache");
+    assert_eq!(require_num(cache, "served") as u64, 0);
+    assert!(require_num(cache, "hits") >= 0.0);
+    assert!(require_num(cache, "misses") >= 1.0);
+    assert!(require_num(cache, "insertions") >= 1.0);
+    assert!(require_num(cache, "evictions") >= 0.0);
+    assert!((0.0..=1.0).contains(&require_num(cache, "hit_rate")));
+    assert!(require_num(cache, "entries") >= 1.0);
+    assert!(require_num(cache, "capacity") >= 1.0);
+
+    let conns = require_obj(&metrics, "connections");
+    assert_eq!(
+        require_num(conns, "accepted") as u64,
+        0,
+        "no TCP server attached"
+    );
+    assert_eq!(require_num(conns, "rejected") as u64, 0);
+    assert_eq!(require_num(conns, "reaped_at_shutdown") as u64, 0);
+
+    let latency = require_obj(&metrics, "latency_ms");
+    let edges = require_arr(latency, "bucket_edges");
+    let lat_counts = require_arr(latency, "counts");
+    assert_eq!(lat_counts.len(), edges.len() + 1, "overflow bucket");
+    assert!(latency.get("p50").and_then(Json::as_f64).is_some());
+    assert!(latency.get("p99").and_then(Json::as_f64).is_some());
+
+    let workers = require_arr(&metrics, "workers");
+    assert_eq!(workers.len(), 2);
+    for w in workers {
+        assert!(require_num(w, "worker") < 2.0);
+        assert!(matches!(require_str(w, "class"), "numeric" | "algebraic"));
+        assert!(require_num(w, "jobs") >= 0.0);
+        assert!(require_num(w, "busy_seconds") >= 0.0);
+        assert!(require_num(w, "cache_hit_rate") >= 0.0);
+        assert!(require_num(w, "nodes_allocated") >= 0.0);
+        assert!(require_num(w, "compactions") >= 0.0);
+        assert!(require_num(w, "warm_reuses") >= 0.0);
+        assert!(require_num(w, "session_shrinks") >= 0.0);
+        assert!(require_num(w, "quarantines") >= 0.0);
+        assert!(require_num(w, "validations") >= 0.0);
+        assert!(require_num(w, "validate_failures") >= 0.0);
+        assert!(require_num(w, "rebuilds") >= 0.0);
+    }
+    let total_jobs: f64 = workers.iter().map(|w| require_num(w, "jobs")).sum();
+    assert_eq!(total_jobs as u64, 3);
+
+    let health = require_arr(&metrics, "health");
+    assert_eq!(health.len(), 2, "one row per scheme class");
+    for h in health {
+        assert!(matches!(require_str(h, "class"), "numeric" | "algebraic"));
+        assert_eq!(require_num(h, "configured") as u64, 1);
+        assert_eq!(require_num(h, "live") as u64, 1);
+        assert_eq!(require_num(h, "respawning") as u64, 0);
+        assert_eq!(require_num(h, "restarts_used") as u64, 0);
+        assert!(require_num(h, "restart_budget") >= 1.0);
+        assert!(require_bool(h, "healthy"));
+    }
+
+    // chaos block: null without a fault plan, but the keys stay read —
+    // the chaos suite runs in another binary, the schema lives here
+    match metrics.get("chaos") {
+        Some(Json::Null) | None => {}
+        Some(c) => {
+            assert!(require_num(c, "kills") >= 0.0);
+            assert!(require_num(c, "corruptions") >= 0.0);
+            assert!(require_num(c, "stalls") >= 0.0);
+            assert!(require_num(c, "wakeups") >= 0.0);
+        }
+    }
+
+    // --- drain, then shutdown: terminal lifecycle schemas ---
+    let drained = wire(&client.drain());
+    assert!(require_bool(&drained, "ok"));
+    assert_eq!(require_str(&drained, "verb"), "drain");
+    assert_eq!(require_str(&drained, "state"), "drained");
+    assert_eq!(require_num(&drained, "completed") as u64, 2);
+    assert_eq!(require_num(&drained, "aborted") as u64, 1);
+
+    let stopped = wire(&client.shutdown());
+    assert!(require_bool(&stopped, "ok"));
+    assert_eq!(require_str(&stopped, "verb"), "shutdown");
+    assert_eq!(require_str(&stopped, "state"), "stopped");
+    assert_eq!(require_num(&stopped, "evicted_queued") as u64, 0);
+    assert_eq!(require_num(&stopped, "cancelled_running") as u64, 0);
+}
+
+#[test]
+fn rejection_and_error_schemas_round_trip() {
+    let cfg = ServeConfig {
+        workers: vec![SchemeClass::Numeric],
+        queue_capacity: 4,
+        checkpoint_dir: test_dir("reject"),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::start(cfg).expect("start worker pool");
+    let client = Client::new(Arc::clone(&core));
+
+    // No algebraic worker configured → static rejection with a reason.
+    let rejected = client.submit(SubmitRequest {
+        circuit: CircuitSpec::Grover { n: 3, marked: 1 },
+        scheme: SchemeSpec::Qomega,
+        priority: 0,
+        budget: RunBudget::unlimited(),
+        resume: None,
+        top_k: 1,
+        sample: None,
+    });
+    let rj = wire(&rejected);
+    assert!(require_bool(&rj, "ok"));
+    assert_eq!(require_str(&rj, "state"), "rejected");
+    assert!(!require_str(&rj, "reason").is_empty());
+
+    // Unknown job id → the unknown-state status schema.
+    let unknown = wire(&client.status(999_999));
+    assert_eq!(require_str(&unknown, "state"), "unknown");
+    assert_eq!(require_num(&unknown, "job") as u64, 999_999);
+
+    let stopped = wire(&client.shutdown());
+    assert_eq!(require_str(&stopped, "state"), "stopped");
+}

@@ -173,7 +173,9 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
             Some(c) => Manager::with_cache_capacity(ctx, circuit.n_qubits(), c),
             None => Manager::new(ctx, circuit.n_qubits()),
         };
-        let state = manager.basis_state(0);
+        // No budget is installed yet and index 0 is in range for every
+        // register, so this cannot fail; the fallback is never reached.
+        let state = manager.try_basis_state(0).unwrap_or(Edge::ZERO_VEC);
         manager.set_budget(options.budget);
         Simulator {
             manager,
@@ -209,7 +211,9 @@ impl<'c, W: WeightContext> Simulator<'c, W> {
             circuit.n_qubits(),
             "manager qubit count must match the circuit"
         );
-        let state = manager.basis_state(0);
+        // As in `with_options`: unbudgeted, index 0 always in range —
+        // the zero-state fallback is unreachable.
+        let state = manager.try_basis_state(0).unwrap_or(Edge::ZERO_VEC);
         manager.set_budget(options.budget);
         Simulator {
             manager,

@@ -14,8 +14,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== aq-lint: workspace lint gate =="
-cargo run -q --offline -p aq-analyze --bin aq-lint -- --deny --baseline=lint-baseline.toml
+echo "== aq-lint: workspace lint gate (R1-R10 + A0, semantic passes on) =="
+cargo run -q --offline -p aq-analyze --bin aq-lint -- --deny --baseline=lint-baseline.toml \
+    --stats --lock-dot=target/lock-order.dot
+# the committed lock-order graph must match what the analyzer derives
+diff -u docs/lock-order.dot target/lock-order.dot || {
+    echo "docs/lock-order.dot is stale; regenerate with:"
+    echo "  cargo run -p aq-analyze --bin aq-lint -- --lock-dot=docs/lock-order.dot"
+    exit 1
+}
 
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline --workspace
@@ -42,6 +49,8 @@ echo "== serve: concurrency + protocol fault suites (lock-order audit on) =="
 cargo test -q --offline -p aq-serve --features lock-audit --test concurrency
 cargo test -q --offline -p aq-serve --features lock-audit --test lock_audit
 cargo test -q --offline -p aq-serve --features lock-audit --test protocol_faults
+# static R9 graph must be acyclic and a superset of the runtime graph
+cargo test -q --offline -p aq-serve --features lock-audit --test static_lock_order
 
 echo "== serve: deterministic chaos suite (3 pinned seeds, lock-audit on) =="
 # seed-driven worker kills, session corruption, connection stalls and
